@@ -1,0 +1,93 @@
+//! **B8** — end-to-end throughput for every paper query shape at 1000×
+//! the paper's data size. There is no baseline; this bench exists so any
+//! regression in the whole parse→lower→optimize→evaluate pipeline is
+//! visible per query family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlpp::Engine;
+use sqlpp_bench::{engine_with_employees, gen_wide_prices};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_paper_queries");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let engine = engine_with_employees(3_000, 3, 5);
+    engine.register("closing_prices", gen_wide_prices(1_000, 3, 5));
+
+    let families: &[(&str, &str)] = &[
+        (
+            "L2_unnest",
+            "SELECT e.name AS emp_name, p.name AS proj_name \
+             FROM hr.emp_nest AS e, e.projects AS p \
+             WHERE p.name LIKE '%Security%'",
+        ),
+        (
+            "L8_missing_filter",
+            "SELECT e.id, e.title AS title FROM hr.emp_nest AS e \
+             WHERE e.title = 'Manager'",
+        ),
+        (
+            "L10_nested_select_value",
+            "SELECT e.id AS id, (SELECT VALUE p.name FROM e.projects AS p \
+             WHERE p.name LIKE '%Security%') AS sec FROM hr.emp_nest AS e",
+        ),
+        (
+            "L12_group_as",
+            "FROM hr.emp_nest AS e, e.projects AS p \
+             GROUP BY p.name AS pname GROUP AS g \
+             SELECT pname AS project, \
+             (FROM g AS v SELECT VALUE v.e.name) AS members",
+        ),
+        (
+            "L17_grouped_agg",
+            "SELECT e.deptno, AVG(e.salary) AS avgsal FROM hr.emp_nest AS e \
+             GROUP BY e.deptno",
+        ),
+        (
+            "L20_unpivot",
+            "SELECT c.\"date\" AS d, sym AS symbol, price AS price \
+             FROM closing_prices AS c, UNPIVOT c AS price AT sym \
+             WHERE NOT sym = 'date'",
+        ),
+        (
+            "L22_unpivot_agg",
+            "SELECT sym AS symbol, AVG(price) AS avg_price \
+             FROM closing_prices c, UNPIVOT c AS price AT sym \
+             WHERE NOT sym = 'date' GROUP BY sym",
+        ),
+    ];
+
+    for (name, query) in families {
+        // Fail loudly if a family stops producing rows (a silent semantic
+        // regression would otherwise look like a speedup).
+        assert!(
+            !engine.query(query).unwrap().is_empty(),
+            "query family {name} returned no rows"
+        );
+        let plan = engine.prepare(query).unwrap();
+        group.bench_function(*name, |b| {
+            b.iter(|| plan.execute(&engine).unwrap());
+        });
+    }
+
+    // Parse+plan cost alone, on the most syntactically involved query.
+    let engine2 = Engine::new();
+    group.bench_function("plan_only_L12", |b| {
+        b.iter(|| {
+            engine2
+                .prepare(
+                    "FROM hr.emp_nest AS e, e.projects AS p \
+                     GROUP BY p.name AS pname GROUP AS g \
+                     SELECT pname AS project, \
+                     (FROM g AS v SELECT VALUE v.e.name) AS members",
+                )
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

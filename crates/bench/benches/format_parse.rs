@@ -1,0 +1,66 @@
+//! **B7** — §I tenet 5 (format independence): "A query should be written
+//! identically across underlying data in any of today's many nested
+//! and/or semistructured formats."
+//!
+//! Workload: the same logical collection serialized in all four formats;
+//! measured are (a) decode into the logical model and (b) decode + the
+//! *identical* query text. Also reports the encoded sizes once, since the
+//! binary format's compactness is part of its reason to exist.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlpp::Engine;
+use sqlpp_bench::gen_emp_flat;
+use sqlpp_formats::{CsvFormat, DataFormat, IonLiteFormat, JsonFormat, PNotationFormat};
+
+const QUERY: &str =
+    "SELECT VALUE e.salary FROM data AS e WHERE e.title = 'Engineer'";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("format_parse");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let (emps, _) = gen_emp_flat(10_000, 0, 13);
+    let formats: Vec<Box<dyn DataFormat>> = vec![
+        Box::new(JsonFormat),
+        Box::new(PNotationFormat),
+        Box::new(CsvFormat::default()),
+        Box::new(IonLiteFormat),
+    ];
+    for fmt in &formats {
+        let bytes = fmt.write(&emps).expect("encodable");
+        eprintln!("format {:>9}: {} bytes", fmt.name(), bytes.len());
+        group.bench_with_input(
+            BenchmarkId::new("decode", fmt.name()),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| fmt.read(bytes).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_and_query", fmt.name()),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let engine = Engine::new();
+                    engine.register("data", fmt.read(bytes).unwrap());
+                    engine.query(QUERY).unwrap()
+                });
+            },
+        );
+        // The tenet itself: the identical query text over every format
+        // yields the same answer.
+        let engine = Engine::new();
+        engine.register("data", fmt.read(&bytes).unwrap());
+        let result = engine.query(QUERY).unwrap();
+        assert_eq!(result.len(), {
+            let reference = Engine::new();
+            reference.register("data", emps.clone());
+            reference.query(QUERY).unwrap().len()
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

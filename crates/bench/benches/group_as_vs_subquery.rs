@@ -1,0 +1,61 @@
+//! **B1** — §V-B: "This pattern [GROUP AS] is more efficient and more
+//! intuitive than nested SELECT VALUE queries when the required nesting is
+//! not based on the nesting of the input."
+//!
+//! Workload: invert the employee→project hierarchy (Listing 12's query)
+//! two ways —
+//!
+//! 1. `group_as`: one GROUP BY … GROUP AS pass;
+//! 2. `nested_subquery`: a correlated `SELECT VALUE` per distinct project
+//!    (quadratic re-scan), the formulation SQL++ lets you avoid.
+//!
+//! Expected shape: `group_as` wins, super-linearly as `n` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlpp_bench::engine_with_employees;
+
+const GROUP_AS: &str = "FROM hr.emp_nest AS e, e.projects AS p \
+     GROUP BY p.name AS pname GROUP AS g \
+     SELECT pname AS project, (FROM g AS v SELECT VALUE v.e.name) AS members";
+
+const NESTED_SUBQUERY: &str = "SELECT DISTINCT VALUE {'project': p.name, 'members': \
+       (SELECT VALUE e2.name FROM hr.emp_nest AS e2, e2.projects AS p2 \
+        WHERE p2.name = p.name)} \
+     FROM hr.emp_nest AS e, e.projects AS p";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_as_vs_subquery");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // The correlated baseline is quadratic (~2 s/run at n=400 already),
+    // so it is measured only at the smaller sizes; group_as continues up.
+    for n in [50usize, 100, 200, 400, 1600] {
+        let engine = engine_with_employees(n, 6, 11);
+        if n <= 200 {
+            // Sanity: both formulations agree before we time them.
+            let a = engine.query(GROUP_AS).unwrap().canonical();
+            let b = engine.query(NESTED_SUBQUERY).unwrap().canonical();
+            assert_eq!(a, b, "formulations must agree at n={n}");
+        }
+
+        let plan_group = engine.prepare(GROUP_AS).unwrap();
+        let plan_sub = engine.prepare(NESTED_SUBQUERY).unwrap();
+        group.bench_with_input(BenchmarkId::new("group_as", n), &n, |bench, _| {
+            bench.iter(|| plan_group.execute(&engine).unwrap());
+        });
+        if n <= 200 {
+            group.bench_with_input(
+                BenchmarkId::new("nested_subquery", n),
+                &n,
+                |bench, _| {
+                    bench.iter(|| plan_sub.execute(&engine).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

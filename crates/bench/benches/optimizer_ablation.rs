@@ -1,0 +1,47 @@
+//! **B9 (ablation)** — the plan-cleanup passes (constant folding, filter
+//! fusion, WHERE TRUE elimination) from `sqlpp-plan::optimize`, measured
+//! on vs. off. DESIGN.md calls the optimizer "deliberately conservative";
+//! this bench keeps it honest about what the passes actually buy on
+//! queries where they apply (generated predicates with foldable
+//! arithmetic) and what the pass itself costs at plan time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlpp::SessionConfig;
+use sqlpp_bench::configured_engine;
+
+/// A query with foldable constants and a stacked (fusable) filter shape —
+/// what an ORM or query generator typically emits.
+const QUERY: &str = "SELECT VALUE e.id FROM hr.emp_base AS e \
+     WHERE TRUE AND e.salary > 25000 + 25000 * 2 AND 1 = 1 AND \
+           e.deptno = (2 + 3) * 2";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_ablation");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let base = configured_engine(20_000, 0, 3, SessionConfig::default());
+    let optimized = base.with_config(SessionConfig::default());
+    let raw = base.with_config(SessionConfig {
+        optimize: false,
+        ..SessionConfig::default()
+    });
+    assert_eq!(
+        optimized.query(QUERY).unwrap().canonical(),
+        raw.query(QUERY).unwrap().canonical(),
+        "the optimizer must not change results"
+    );
+    for (label, engine) in [("on", &optimized), ("off", &raw)] {
+        group.bench_with_input(BenchmarkId::new("plan", label), &(), |b, ()| {
+            b.iter(|| engine.prepare(QUERY).unwrap());
+        });
+        let plan = engine.prepare(QUERY).unwrap();
+        group.bench_with_input(BenchmarkId::new("execute", label), &(), |b, ()| {
+            b.iter(|| plan.execute(engine).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! **B6** — §VI: PIVOT/UNPIVOT "flexibly turn data into attributes and
+//! vice versa."
+//!
+//! Workload: unpivot a wide-tuple collection (Listing 20's shape) and
+//! re-pivot the tall twin, sweeping tuple width; a hand-written Rust loop
+//! over the same `Value`s is the upper-bound baseline, so the numbers
+//! report interpreter overhead rather than wishful thinking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlpp::Engine;
+use sqlpp_bench::{gen_tall_prices, gen_wide_prices};
+use sqlpp_value::{Tuple, Value};
+
+const UNPIVOT: &str = "SELECT c.\"date\" AS \"date\", sym AS symbol, price AS price \
+     FROM wide AS c, UNPIVOT c AS price AT sym WHERE NOT sym = 'date'";
+const PIVOT: &str = "SELECT t.\"date\" AS \"date\", \
+     (PIVOT g.t.price AT g.t.symbol FROM grp AS g) AS prices \
+     FROM tall AS t GROUP BY t.\"date\" GROUP AS grp";
+
+/// The native upper bound for the unpivot direction.
+fn native_unpivot(wide: &Value) -> Value {
+    let mut out = Vec::new();
+    for row in wide.as_elements().expect("bag") {
+        let t = row.as_tuple().expect("tuple");
+        let date = t.get("date").cloned().expect("date");
+        for (name, value) in t.iter() {
+            if name == "date" {
+                continue;
+            }
+            let mut rec = Tuple::with_capacity(3);
+            rec.insert("date", date.clone());
+            rec.insert("symbol", Value::Str(name.to_string()));
+            rec.insert("price", value.clone());
+            out.push(Value::Tuple(rec));
+        }
+    }
+    Value::Bag(out)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pivot_unpivot");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let rows = 28; // a month of trading days
+    for width in [4usize, 64, 1024] {
+        let engine = Engine::new();
+        let wide = gen_wide_prices(rows, width, 77);
+        engine.register("wide", wide.clone());
+        engine.register("tall", gen_tall_prices(rows, width, 77));
+
+        // Sanity: engine unpivot == native unpivot.
+        let engine_result = engine.query(UNPIVOT).unwrap();
+        assert!(engine_result.matches(&native_unpivot(&wide)));
+
+        let plan_unpivot = engine.prepare(UNPIVOT).unwrap();
+        group.bench_with_input(BenchmarkId::new("unpivot", width), &width, |b, _| {
+            b.iter(|| plan_unpivot.execute(&engine).unwrap());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("unpivot_native", width),
+            &width,
+            |b, _| {
+                b.iter(|| native_unpivot(&wide));
+            },
+        );
+        let plan_pivot = engine.prepare(PIVOT).unwrap();
+        group.bench_with_input(BenchmarkId::new("pivot", width), &width, |b, _| {
+            b.iter(|| plan_pivot.execute(&engine).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! # sqlpp-catalog — named SQL++ values
+//!
+//! A SQL++ database "contains one or more SQL++ named values" (§II). A
+//! name is an identifier, possibly dotted/namespaced — `hr.emp_nest_tuples`
+//! "could reflect the database/table hierarchy of a MySQL database or the
+//! schema/table hierarchy of a Postgres database". This crate provides a
+//! concurrent in-memory catalog mapping such names to values, with
+//! snapshot isolation for readers (values are handed out as `Arc`s and
+//! replaced wholesale on write).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sqlpp_schema::SqlppType;
+use sqlpp_value::Value;
+
+/// A dotted, namespaced name such as `hr.emp` (case-sensitive, as the
+/// paper's examples rely on exact attribute and collection names).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QualifiedName(Vec<String>);
+
+impl QualifiedName {
+    /// Builds a name from its segments. Empty segment lists are invalid.
+    pub fn new<I, S>(segments: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let segs: Vec<String> = segments.into_iter().map(Into::into).collect();
+        assert!(!segs.is_empty(), "qualified name needs at least one segment");
+        QualifiedName(segs)
+    }
+
+    /// Parses a dotted string: `"hr.emp"` → `["hr", "emp"]`.
+    pub fn parse(dotted: &str) -> Self {
+        QualifiedName::new(dotted.split('.'))
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[String] {
+        &self.0
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false (construction requires one segment).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.join("."))
+    }
+}
+
+impl From<&str> for QualifiedName {
+    fn from(s: &str) -> Self {
+        QualifiedName::parse(s)
+    }
+}
+
+/// Errors from catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The name is not bound.
+    NotFound(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::NotFound(name) => {
+                write!(f, "name {name:?} is not bound in the catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// The in-memory catalog of named values.
+///
+/// Cloning a `Catalog` is cheap and shares the underlying storage, so a
+/// catalog can be handed to several engine sessions. Readers obtain
+/// `Arc<Value>` snapshots; a concurrent `set` replaces the binding without
+/// disturbing in-flight readers.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<BTreeMap<QualifiedName, Arc<Value>>>>,
+    schemas: Arc<RwLock<BTreeMap<QualifiedName, Arc<SqlppType>>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Binds `name` to `value`, replacing any previous binding.
+    pub fn set(&self, name: impl Into<QualifiedName>, value: Value) {
+        self.inner.write().insert(name.into(), Arc::new(value));
+    }
+
+    /// Looks up a binding.
+    pub fn get(&self, name: &QualifiedName) -> Result<Arc<Value>, CatalogError> {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CatalogError::NotFound(name.to_string()))
+    }
+
+    /// Looks up by dotted string.
+    pub fn get_str(&self, dotted: &str) -> Result<Arc<Value>, CatalogError> {
+        self.get(&QualifiedName::parse(dotted))
+    }
+
+    /// Resolves the *longest* name prefix of `segments` that is bound,
+    /// returning the value and how many segments were consumed. This is how
+    /// `hr.emp_nest_tuples.x` distinguishes "navigate attribute `x` of
+    /// collection `hr.emp_nest_tuples`" from a three-segment catalog name.
+    pub fn resolve_prefix(&self, segments: &[String]) -> Option<(Arc<Value>, usize)> {
+        let map = self.inner.read();
+        for take in (1..=segments.len()).rev() {
+            let name = QualifiedName(segments[..take].to_vec());
+            if let Some(v) = map.get(&name) {
+                return Some((v.clone(), take));
+            }
+        }
+        None
+    }
+
+    /// Removes a binding, returning it if present. Any schema attached to
+    /// the name is removed with it.
+    pub fn remove(&self, name: &QualifiedName) -> Option<Arc<Value>> {
+        self.schemas.write().remove(name);
+        self.inner.write().remove(name)
+    }
+
+    /// Attaches a declared/inferred *element* schema to a name — the
+    /// paper's optional-schema tenet: data stays self-describing, but a
+    /// schema, when present, enables static disambiguation (§III).
+    pub fn set_schema(&self, name: impl Into<QualifiedName>, element_type: SqlppType) {
+        self.schemas.write().insert(name.into(), Arc::new(element_type));
+    }
+
+    /// The element schema attached to a name, if any.
+    pub fn schema(&self, name: &QualifiedName) -> Option<Arc<SqlppType>> {
+        self.schemas.read().get(name).cloned()
+    }
+
+    /// All `(dotted name, element type)` schema attachments — the planner
+    /// consumes this snapshot for static disambiguation.
+    pub fn schema_snapshot(&self) -> Vec<(String, SqlppType)> {
+        self.schemas
+            .read()
+            .iter()
+            .map(|(k, v)| (k.to_string(), (**v).clone()))
+            .collect()
+    }
+
+    /// True when the exact name is bound.
+    pub fn contains(&self, name: &QualifiedName) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// All bound names, sorted.
+    pub fn names(&self) -> Vec<QualifiedName> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no names are bound.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let map = self.inner.read();
+        f.debug_map()
+            .entries(map.iter().map(|(k, v)| (k.to_string(), v.kind().name())))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_value::{bag, Value};
+
+    #[test]
+    fn set_get_roundtrip() {
+        let cat = Catalog::new();
+        cat.set("hr.emp", bag![1i64, 2i64]);
+        assert_eq!(*cat.get_str("hr.emp").unwrap(), bag![1i64, 2i64]);
+        assert!(cat.get_str("hr.other").is_err());
+    }
+
+    #[test]
+    fn names_are_case_sensitive_and_dotted() {
+        let cat = Catalog::new();
+        cat.set("HR.Emp", Value::Int(1));
+        assert!(cat.get_str("hr.emp").is_err());
+        assert!(cat.contains(&QualifiedName::parse("HR.Emp")));
+        assert_eq!(cat.names().len(), 1);
+    }
+
+    #[test]
+    fn resolve_prefix_prefers_longest_match() {
+        let cat = Catalog::new();
+        cat.set("hr", Value::Int(1));
+        cat.set("hr.emp", Value::Int(2));
+        let segs: Vec<String> = vec!["hr".into(), "emp".into(), "name".into()];
+        let (v, used) = cat.resolve_prefix(&segs).unwrap();
+        assert_eq!(*v, Value::Int(2));
+        assert_eq!(used, 2);
+        // Falls back to the shorter binding when the longer is absent.
+        let segs2: Vec<String> = vec!["hr".into(), "dept".into()];
+        let (v2, used2) = cat.resolve_prefix(&segs2).unwrap();
+        assert_eq!(*v2, Value::Int(1));
+        assert_eq!(used2, 1);
+        assert!(cat.resolve_prefix(&["zz".to_string()]).is_none());
+    }
+
+    #[test]
+    fn clones_share_state_and_writes_do_not_disturb_readers() {
+        let cat = Catalog::new();
+        cat.set("t", Value::Int(1));
+        let snapshot = cat.get_str("t").unwrap();
+        let clone = cat.clone();
+        clone.set("t", Value::Int(2));
+        // The old snapshot is unchanged; new reads see the new value.
+        assert_eq!(*snapshot, Value::Int(1));
+        assert_eq!(*cat.get_str("t").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.set("a", Value::Int(1));
+        cat.set("b", Value::Int(2));
+        assert_eq!(cat.len(), 2);
+        assert!(cat.remove(&QualifiedName::parse("a")).is_some());
+        assert!(cat.remove(&QualifiedName::parse("a")).is_none());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cat = Catalog::new();
+        cat.set("shared", Value::Int(0));
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let cat = cat.clone();
+                s.spawn(move || {
+                    for j in 0..100 {
+                        cat.set(format!("t{i}").as_str(), Value::Int(j));
+                        let _ = cat.get_str("shared");
+                    }
+                });
+            }
+        });
+        assert_eq!(cat.len(), 9);
+    }
+}

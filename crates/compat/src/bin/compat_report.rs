@@ -1,0 +1,11 @@
+//! Prints the SQL++ compatibility-kit report for this engine.
+
+use sqlpp::TypingMode;
+
+fn main() {
+    let report = sqlpp_compat_kit::run_all(TypingMode::Permissive);
+    print!("{}", report.render());
+    if report.failed() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,930 @@
+//! The conformance corpus: every listing of the paper plus derived edge
+//! cases, expressed as data fixtures (in the paper's own object notation),
+//! a query, and the expected result.
+//!
+//! Where the paper's printed output is *inconsistent with its own data or
+//! query* (it happens — see the `note` fields), the expected value here is
+//! the mechanical result of the printed query over the printed data, and
+//! EXPERIMENTS.md records the discrepancy.
+
+/// Which engine modes a case runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeSpec {
+    /// Must pass in both SQL-compatibility and composability modes.
+    Both,
+    /// Only meaningful with the SQL-compatibility flag set.
+    CompatOnly,
+    /// Only meaningful in composability mode.
+    ComposableOnly,
+}
+
+/// How the expectation is checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// Result must be bag-equal (order-insensitive) to the expected value.
+    BagEqual,
+    /// Result must be exactly equal including array order (used when the
+    /// query has ORDER BY).
+    OrderedEqual,
+    /// The query must fail to plan or evaluate.
+    Errors,
+}
+
+/// One conformance case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Stable identifier: `L<k>` for paper listings, `K-…` for derived
+    /// kit cases.
+    pub id: &'static str,
+    /// Paper section.
+    pub section: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Extra collections to load for this case, `(name, pnotation)`.
+    pub setup: &'static [(&'static str, &'static str)],
+    /// The query (or bare expression) to run.
+    pub query: &'static str,
+    /// Expected result in pnotation (ignored for `Check::Errors`).
+    pub expected: &'static str,
+    /// How to compare.
+    pub check: Check,
+    /// Mode applicability.
+    pub modes: ModeSpec,
+    /// Discrepancy / clarification notes.
+    pub note: Option<&'static str>,
+}
+
+/// Listing 1: `hr.emp_nest_tuples`.
+pub const EMP_NEST_TUPLES: &str = r#"{{
+    {'id': 3, 'name': 'Bob Smith', 'title': null,
+     'projects': [{'name': 'Serverless Query'},
+                  {'name': 'OLAP Security'},
+                  {'name': 'OLTP Security'}]},
+    {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+    {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+     'projects': [{'name': 'OLTP Security'}]}
+}}"#;
+
+/// Listing 3: `hr.emp_nest_scalars` (projects are arrays of strings).
+pub const EMP_NEST_SCALARS: &str = r#"{{
+    {'id': 3, 'name': 'Bob Smith', 'title': null,
+     'projects': ['Serverless Querying', 'OLAP Security', 'OLTP Security']},
+    {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+    {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+     'projects': ['OLTP Security']}
+}}"#;
+
+/// Listing 6: `hr.emp_null` (Bob's lack of title as NULL).
+pub const EMP_NULL: &str = r#"{{
+    {'id': 3, 'name': 'Bob Smith', 'title': null},
+    {'id': 4, 'name': 'Susan Smith', 'title': 'Manager'},
+    {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer'}
+}}"#;
+
+/// Listing 7: `hr.emp_missing` (Bob's lack of title as absence).
+pub const EMP_MISSING: &str = r#"{{
+    {'id': 3, 'name': 'Bob Smith'},
+    {'id': 4, 'name': 'Susan Smith', 'title': 'Manager'},
+    {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer'}
+}}"#;
+
+/// Synthesized `hr.emp` for §V-C (the paper describes its columns —
+/// name, deptno, title, salary — but prints no rows).
+pub const EMP_FLAT: &str = r#"{{
+    {'name': 'Alice', 'deptno': 1, 'title': 'Engineer', 'salary': 90000},
+    {'name': 'Bob',   'deptno': 1, 'title': 'Engineer', 'salary': 80000},
+    {'name': 'Carol', 'deptno': 2, 'title': 'Engineer', 'salary': 100000},
+    {'name': 'Dave',  'deptno': 2, 'title': 'Manager',  'salary': 120000},
+    {'name': 'Eve',   'deptno': 3, 'title': 'Manager',  'salary': 130000}
+}}"#;
+
+/// Listing 19: `closing_prices`.
+pub const CLOSING_PRICES: &str = r#"{{
+    {'date': '4/1/2019', 'amzn': 1900, 'goog': 1120, 'fb': 180},
+    {'date': '4/2/2019', 'amzn': 1902, 'goog': 1119, 'fb': 183}
+}}"#;
+
+/// Listing 23: `today_stock_prices`.
+pub const TODAY_STOCK_PRICES: &str = r#"{{
+    {'symbol': 'amzn', 'price': 1900},
+    {'symbol': 'goog', 'price': 1120},
+    {'symbol': 'fb', 'price': 180}
+}}"#;
+
+/// Listing 27: `stock_prices`.
+pub const STOCK_PRICES: &str = r#"{{
+    {'date': '4/1/2019', 'symbol': 'amzn', 'price': 1900},
+    {'date': '4/1/2019', 'symbol': 'goog', 'price': 1120},
+    {'date': '4/1/2019', 'symbol': 'fb', 'price': 180},
+    {'date': '4/2/2019', 'symbol': 'amzn', 'price': 1902},
+    {'date': '4/2/2019', 'symbol': 'goog', 'price': 1119},
+    {'date': '4/2/2019', 'symbol': 'fb', 'price': 183}
+}}"#;
+
+/// The standard fixtures loaded for every case.
+pub fn standard_fixtures() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("hr.emp_nest_tuples", EMP_NEST_TUPLES),
+        ("hr.emp_nest_scalars", EMP_NEST_SCALARS),
+        ("hr.emp_null", EMP_NULL),
+        ("hr.emp_missing", EMP_MISSING),
+        ("hr.emp", EMP_FLAT),
+        ("closing_prices", CLOSING_PRICES),
+        ("today_stock_prices", TODAY_STOCK_PRICES),
+        ("stock_prices", STOCK_PRICES),
+    ]
+}
+
+/// The full corpus.
+#[allow(clippy::vec_init_then_push)] // one push block per paper listing reads best
+pub fn corpus() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    // ================= paper listings =================
+
+    cases.push(Case {
+        id: "L2",
+        section: "III",
+        title: "left-correlated unnest of nested tuples (Pseudocode 1)",
+        setup: &[],
+        query: "SELECT e.name AS emp_name, p.name AS proj_name \
+                FROM hr.emp_nest_tuples AS e, e.projects AS p \
+                WHERE p.name LIKE '%Security%'",
+        expected: r#"{{
+            {'emp_name': 'Bob Smith', 'proj_name': 'OLAP Security'},
+            {'emp_name': 'Bob Smith', 'proj_name': 'OLTP Security'},
+            {'emp_name': 'Jane Smith', 'proj_name': 'OLTP Security'}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "L4",
+        section: "III-A",
+        title: "variables bind to scalars (Pseudocode 2)",
+        setup: &[],
+        query: "SELECT e.name AS emp_name, p AS proj_name \
+                FROM hr.emp_nest_scalars AS e, e.projects AS p \
+                WHERE p LIKE '%Security%'",
+        expected: r#"{{
+            {'emp_name': 'Bob Smith', 'proj_name': 'OLAP Security'},
+            {'emp_name': 'Bob Smith', 'proj_name': 'OLTP Security'},
+            {'emp_name': 'Jane Smith', 'proj_name': 'OLTP Security'}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "L8",
+        section: "IV-B",
+        title: "query over a potentially missing attribute",
+        setup: &[],
+        query: "SELECT e.id, e.name AS emp_name, e.title AS title \
+                FROM hr.emp_missing AS e WHERE e.title = 'Manager'",
+        expected: r#"{{ {'id': 4, 'emp_name': 'Susan Smith', 'title': 'Manager'} }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some(
+            "For Bob the predicate is MISSING = 'Manager' → MISSING, so the \
+             tuple is excluded — data exclusion, not an error (§IV-B).",
+        ),
+    });
+
+    cases.push(Case {
+        id: "L8b",
+        section: "IV-B",
+        title: "projecting a missing attribute drops it from the output",
+        setup: &[],
+        query: "SELECT e.id, e.name AS emp_name, e.title AS title \
+                FROM hr.emp_missing AS e",
+        expected: r#"{{
+            {'id': 3, 'emp_name': 'Bob Smith'},
+            {'id': 4, 'emp_name': 'Susan Smith', 'title': 'Manager'},
+            {'id': 6, 'emp_name': 'Jane Smith', 'title': 'Engineer'}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("Bob's output tuple has no title attribute (§IV-B)."),
+    });
+
+    cases.push(Case {
+        id: "L9",
+        section: "IV-B",
+        title: "CASE over MISSING propagates in composability mode",
+        setup: &[],
+        query: "SELECT e.id, e.name AS emp_name, \
+                CASE WHEN e.title LIKE 'Chief %' THEN 'Executive' \
+                ELSE 'Worker' END AS category \
+                FROM hr.emp_missing AS e",
+        expected: r#"{{
+            {'id': 3, 'emp_name': 'Bob Smith'},
+            {'id': 4, 'emp_name': 'Susan Smith', 'category': 'Worker'},
+            {'id': 6, 'emp_name': 'Jane Smith', 'category': 'Worker'}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::ComposableOnly,
+        note: Some(
+            "\"CASE WHEN MISSING … END … will in turn evaluate to MISSING\" \
+             (§IV-B); Bob gets no category attribute.",
+        ),
+    });
+
+    cases.push(Case {
+        id: "L9-compat",
+        section: "IV-B",
+        title: "the same CASE under SQL rules (compat mode)",
+        setup: &[],
+        query: "SELECT e.id, e.name AS emp_name, \
+                CASE WHEN e.title LIKE 'Chief %' THEN 'Executive' \
+                ELSE 'Worker' END AS category \
+                FROM hr.emp_missing AS e",
+        expected: r#"{{
+            {'id': 3, 'emp_name': 'Bob Smith', 'category': 'Worker'},
+            {'id': 4, 'emp_name': 'Susan Smith', 'category': 'Worker'},
+            {'id': 6, 'emp_name': 'Jane Smith', 'category': 'Worker'}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::CompatOnly,
+        note: Some(
+            "SQL's CASE takes the ELSE on a non-true condition; the compat \
+             flag preserves that for SQL queries.",
+        ),
+    });
+
+    cases.push(Case {
+        id: "L10",
+        section: "V-A",
+        title: "nested SELECT VALUE subquery in the projection",
+        setup: &[],
+        query: "SELECT e.id AS id, e.name AS emp_name, e.title AS emp_title, \
+                (SELECT VALUE p FROM e.projects AS p \
+                 WHERE p LIKE '%Security%') AS security_proj \
+                FROM hr.emp_nest_scalars AS e",
+        expected: r#"{{
+            {'id': 3, 'emp_name': 'Bob Smith', 'emp_title': null,
+             'security_proj': {{'OLAP Security', 'OLTP Security'}}},
+            {'id': 4, 'emp_name': 'Susan Smith', 'emp_title': 'Manager',
+             'security_proj': {{}}},
+            {'id': 6, 'emp_name': 'Jane Smith', 'emp_title': 'Engineer',
+             'security_proj': {{'OLTP Security'}}}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some(
+            "Listing 11 prints the attributes as 'name'/'title' though the \
+             query aliases them emp_name/emp_title; the mechanical result \
+             uses the aliases. SELECT VALUE is never coerced (§V-A).",
+        ),
+    });
+
+    cases.push(Case {
+        id: "L12",
+        section: "V-B",
+        title: "GROUP BY … GROUP AS inverts the hierarchy",
+        setup: &[],
+        query: "FROM hr.emp_nest_scalars AS e, e.projects AS p \
+                WHERE p LIKE '%Security%' \
+                GROUP BY LOWER(p) AS p GROUP AS g \
+                SELECT p AS proj_name, \
+                  (FROM g AS v SELECT VALUE v.e.name) AS employees",
+        expected: r#"{{
+            {'proj_name': 'olap security', 'employees': {{'Bob Smith'}}},
+            {'proj_name': 'oltp security',
+             'employees': {{'Bob Smith', 'Jane Smith'}}}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some(
+            "Listing 13 prints original-case project names although the key \
+             is LOWER(p), and swaps which project Bob/Jane share relative to \
+             Listings 1/3; the expected value here is the mechanical result \
+             over the printed data.",
+        ),
+    });
+
+    cases.push(Case {
+        id: "L14",
+        section: "V-B",
+        title: "the GROUP AS variable holds the captured binding tuples",
+        setup: &[],
+        query: "FROM hr.emp_nest_scalars AS e, e.projects AS p \
+                WHERE p LIKE '%Security%' \
+                GROUP BY LOWER(p) AS lp GROUP AS g \
+                SELECT VALUE {'key': lp, \
+                  'names': (FROM g AS b SELECT VALUE b.e.name), \
+                  'originals': (FROM g AS b SELECT VALUE b.p)}",
+        expected: r#"{{
+            {'key': 'olap security', 'names': {{'Bob Smith'}},
+             'originals': {{'OLAP Security'}}},
+            {'key': 'oltp security', 'names': {{'Bob Smith', 'Jane Smith'}},
+             'originals': {{'OLTP Security', 'OLTP Security'}}}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("Each group element is the {e: …, p: …} binding tuple."),
+    });
+
+    cases.push(Case {
+        id: "L15",
+        section: "V-C",
+        title: "SQL aggregation (implicit group)",
+        setup: &[],
+        query: "SELECT AVG(e.salary) AS avgsal FROM hr.emp AS e \
+                WHERE e.title = 'Engineer'",
+        expected: r#"{{ {'avgsal': 90000} }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("hr.emp rows are synthesized (the paper prints none)."),
+    });
+
+    cases.push(Case {
+        id: "L16",
+        section: "V-C",
+        title: "the same aggregation written directly in SQL++ Core",
+        setup: &[],
+        query: "{{ {'avgsal': COLL_AVG(SELECT VALUE e.salary FROM hr.emp AS e \
+                 WHERE e.title = 'Engineer')} }}",
+        expected: r#"{{ {'avgsal': 90000} }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("Runs as a bare expression: full composability."),
+    });
+
+    cases.push(Case {
+        id: "L17",
+        section: "V-C",
+        title: "grouped SQL aggregation",
+        setup: &[],
+        query: "SELECT e.deptno, AVG(e.salary) AS avgsal FROM hr.emp AS e \
+                WHERE e.title = 'Engineer' GROUP BY e.deptno",
+        expected: r#"{{
+            {'deptno': 1, 'avgsal': 85000},
+            {'deptno': 2, 'avgsal': 100000}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "L18",
+        section: "V-C",
+        title: "the grouped aggregation written in Core with GROUP AS",
+        setup: &[],
+        query: "FROM hr.emp AS e WHERE e.title = 'Engineer' \
+                GROUP BY e.deptno AS d GROUP AS g \
+                SELECT VALUE {'deptno': d, \
+                  'avgsal': COLL_AVG(FROM g AS gi SELECT VALUE gi.e.salary)}",
+        expected: r#"{{
+            {'deptno': 1, 'avgsal': 85000},
+            {'deptno': 2, 'avgsal': 100000}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some(
+            "Listing 18 prints `SELECT gi.e.salary` (no VALUE), which would \
+             aggregate one-attribute tuples; the runnable Core form uses \
+             SELECT VALUE, which is clearly the intent.",
+        ),
+    });
+
+    cases.push(Case {
+        id: "L20",
+        section: "VI-A",
+        title: "UNPIVOT turns attribute names into data",
+        setup: &[],
+        query: "SELECT c.\"date\" AS \"date\", sym AS symbol, price AS price \
+                FROM closing_prices AS c, UNPIVOT c AS price AT sym \
+                WHERE NOT sym = 'date'",
+        expected: r#"{{
+            {'date': '4/1/2019', 'symbol': 'amzn', 'price': 1900},
+            {'date': '4/1/2019', 'symbol': 'goog', 'price': 1120},
+            {'date': '4/1/2019', 'symbol': 'fb', 'price': 180},
+            {'date': '4/2/2019', 'symbol': 'amzn', 'price': 1902},
+            {'date': '4/2/2019', 'symbol': 'goog', 'price': 1119},
+            {'date': '4/2/2019', 'symbol': 'fb', 'price': 183}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("Matches Listing 21 exactly."),
+    });
+
+    cases.push(Case {
+        id: "L22",
+        section: "VI-A",
+        title: "aggregating over unpivoted attribute names",
+        setup: &[],
+        query: "SELECT sym AS symbol, AVG(price) AS avg_price \
+                FROM closing_prices c, UNPIVOT c AS price AT sym \
+                WHERE NOT sym = 'date' GROUP BY sym",
+        expected: r#"{{
+            {'symbol': 'amzn', 'avg_price': 1901},
+            {'symbol': 'goog', 'avg_price': 1119.5},
+            {'symbol': 'fb', 'avg_price': 181.5}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "L24",
+        section: "VI-B",
+        title: "PIVOT turns a collection into one tuple",
+        setup: &[],
+        query: "PIVOT sp.price AT sp.symbol FROM today_stock_prices sp",
+        expected: r#"{'amzn': 1900, 'goog': 1120, 'fb': 180}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("Matches Listing 25: the result is a single tuple."),
+    });
+
+    cases.push(Case {
+        id: "L26",
+        section: "VI-B",
+        title: "grouping combined with pivoting",
+        setup: &[],
+        query: "SELECT sp.\"date\" AS \"date\", \
+                (PIVOT dp.sp.price AT dp.sp.symbol \
+                 FROM dates_prices AS dp) AS prices \
+                FROM stock_prices AS sp \
+                GROUP BY sp.\"date\" GROUP AS dates_prices",
+        expected: r#"{{
+            {'date': '4/1/2019',
+             'prices': {'amzn': 1900, 'goog': 1120, 'fb': 180}},
+            {'date': '4/2/2019',
+             'prices': {'amzn': 1902, 'goog': 1119, 'fb': 183}}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("Matches Listing 28 exactly."),
+    });
+
+    // ================= derived kit cases =================
+
+    cases.push(Case {
+        id: "K-missing-1",
+        section: "IV-B",
+        title: "navigation into a missing attribute yields MISSING",
+        setup: &[],
+        query: "SELECT VALUE e.title IS MISSING FROM hr.emp_missing AS e",
+        expected: "{{true, false, false}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-missing-2",
+        section: "IV-B",
+        title: "IS NULL is true for both absent values (SQL view)",
+        setup: &[],
+        query: "SELECT VALUE e.title IS NULL FROM hr.emp_missing AS e",
+        expected: "{{true, false, false}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-missing-3",
+        section: "IV-B",
+        title: "NULL and MISSING remain distinguishable",
+        setup: &[],
+        query: "SELECT VALUE {'n': e.title IS NULL, 'm': e.title IS MISSING} \
+                FROM hr.emp_null AS e WHERE e.id = 3",
+        expected: "{{ {'n': true, 'm': false} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-missing-4",
+        section: "IV-B",
+        title: "wrongly-typed operands become MISSING (case 2)",
+        setup: &[("k.mixed", "{{ {'x': 1}, {'x': 'two'}, {'x': 3} }}")],
+        query: "SELECT VALUE (t.x * 2) IS MISSING FROM k.mixed AS t",
+        expected: "{{false, true, false}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("2 * 'some string' prefers MISSING over an error (§IV-B)."),
+    });
+
+    cases.push(Case {
+        id: "K-coalesce",
+        section: "IV-B",
+        title: "COALESCE(MISSING, 2) = 2 in compat mode",
+        setup: &[],
+        query: "SELECT VALUE COALESCE(e.title, 'none') FROM hr.emp_missing AS e \
+                WHERE e.id = 3",
+        expected: "{{'none'}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::CompatOnly,
+        note: Some("The §IV-B exception to MISSING propagation."),
+    });
+
+    cases.push(Case {
+        id: "K-coalesce-composable",
+        section: "IV-B",
+        title: "COALESCE propagates MISSING in composability mode",
+        setup: &[],
+        query: "SELECT VALUE COALESCE(e.title, 'none') IS MISSING \
+                FROM hr.emp_missing AS e WHERE e.id = 3",
+        expected: "{{true}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::ComposableOnly,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-hetero-1",
+        section: "IV",
+        title: "heterogeneous collections iterate without schema",
+        setup: &[("k.hetero", "{{ 'a string', 42, [1, 2], {'x': 1} }}")],
+        query: "SELECT VALUE TYPEOF(v) FROM k.hetero AS v",
+        expected: "{{'string', 'integer', 'array', 'tuple'}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-hetero-2",
+        section: "IV",
+        title: "Hive-union-style attribute: string or array of strings",
+        setup: &[(
+            "k.emp_mixed",
+            "{{ {'id': 1, 'projects': 'OLTP Security'},
+                {'id': 2, 'projects': ['OLAP Security', 'OLTP Security']} }}",
+        )],
+        query: "SELECT e.id AS id, \
+                CASE WHEN e.projects IS ARRAY \
+                     THEN CARDINALITY(e.projects) ELSE 1 END AS n \
+                FROM k.emp_mixed AS e",
+        expected: "{{ {'id': 1, 'n': 1}, {'id': 2, 'n': 2} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("Listing 5's UNIONTYPE heterogeneity, queried dynamically."),
+    });
+
+    cases.push(Case {
+        id: "K-compat-guarantee",
+        section: "IV-B",
+        title: "null-vs-missing compatibility guarantee on a SQL query",
+        setup: &[],
+        query: "SELECT e.id, e.title AS title FROM hr.emp_null AS e \
+                WHERE e.title = 'Manager' OR e.id = 3",
+        expected: r#"{{ {'id': 3, 'title': null}, {'id': 4, 'title': 'Manager'} }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some(
+            "Companion case K-compat-guarantee-2 runs the same query over \
+             emp_missing; §IV-B's guarantee says the results agree modulo \
+             null attributes going missing.",
+        ),
+    });
+
+    cases.push(Case {
+        id: "K-compat-guarantee-2",
+        section: "IV-B",
+        title: "…and the same query over the missing-attribute variant",
+        setup: &[],
+        query: "SELECT e.id, e.title AS title FROM hr.emp_missing AS e \
+                WHERE e.title = 'Manager' OR e.id = 3",
+        expected: r#"{{ {'id': 3}, {'id': 4, 'title': 'Manager'} }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-select-value-scalar",
+        section: "V-A",
+        title: "SELECT VALUE builds collections of non-tuples",
+        setup: &[],
+        query: "SELECT VALUE e.salary FROM hr.emp AS e WHERE e.deptno = 1",
+        expected: "{{90000, 80000}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-coercion-scalar",
+        section: "V-A",
+        title: "SQL subquery coerces to a scalar in compat mode",
+        setup: &[],
+        query: "SELECT VALUE e.name FROM hr.emp AS e \
+                WHERE e.salary = (SELECT MAX(e2.salary) AS m FROM hr.emp AS e2)",
+        expected: "{{'Eve'}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::CompatOnly,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-coercion-none",
+        section: "V-A",
+        title: "the same subquery is a bag in composability mode",
+        setup: &[],
+        query: "SELECT VALUE e.name FROM hr.emp AS e \
+                WHERE e.salary = (SELECT MAX(e2.salary) AS m FROM hr.emp AS e2)",
+        expected: "{{}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::ComposableOnly,
+        note: Some(
+            "No coercion: a number never equals a bag of tuples, so no row \
+             qualifies — exactly the composability-vs-compat trade-off.",
+        ),
+    });
+
+    cases.push(Case {
+        id: "K-in-subquery",
+        section: "V-A",
+        title: "IN subquery coerces to a collection of scalars",
+        setup: &[],
+        query: "SELECT VALUE e.name FROM hr.emp AS e \
+                WHERE e.deptno IN (SELECT e2.deptno AS d FROM hr.emp AS e2 \
+                                   WHERE e2.title = 'Manager')",
+        expected: "{{'Carol', 'Dave', 'Eve'}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::CompatOnly,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-order-limit",
+        section: "V",
+        title: "ORDER BY / LIMIT / OFFSET compose with the pipeline",
+        setup: &[],
+        query: "SELECT VALUE e.name FROM hr.emp AS e \
+                ORDER BY e.salary DESC LIMIT 2 OFFSET 1",
+        expected: "{{'Dave', 'Carol'}}",
+        check: Check::OrderedEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-distinct",
+        section: "V",
+        title: "SELECT DISTINCT VALUE dedupes structurally",
+        setup: &[],
+        query: "SELECT DISTINCT VALUE e.title FROM hr.emp AS e",
+        expected: "{{'Engineer', 'Manager'}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-count-star",
+        section: "V-C",
+        title: "COUNT(*) counts group elements",
+        setup: &[],
+        query: "SELECT e.deptno, COUNT(*) AS n FROM hr.emp AS e GROUP BY e.deptno",
+        expected: "{{ {'deptno': 1, 'n': 2}, {'deptno': 2, 'n': 2}, \
+                     {'deptno': 3, 'n': 1} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-having",
+        section: "V-C",
+        title: "HAVING filters groups with rewritten aggregates",
+        setup: &[],
+        query: "SELECT e.deptno FROM hr.emp AS e GROUP BY e.deptno \
+                HAVING COUNT(*) > 1",
+        expected: "{{ {'deptno': 1}, {'deptno': 2} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-agg-null",
+        section: "V-C",
+        title: "aggregates ignore absent values; empty groups yield NULL",
+        setup: &[("k.sparse", "{{ {'x': 1}, {'x': null}, {'y': 9} }}")],
+        query: "{{ {'cnt': COLL_COUNT(SELECT VALUE t.x FROM k.sparse AS t), \
+                   'sum': COLL_SUM(SELECT VALUE t.x FROM k.sparse AS t), \
+                   'none': COLL_AVG(SELECT VALUE t.z FROM k.sparse AS t)} }}",
+        expected: "{{ {'cnt': 1, 'sum': 1, 'none': null} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-empty-agg",
+        section: "V-C",
+        title: "SQL aggregation over an empty filter yields one row",
+        setup: &[],
+        query: "SELECT COUNT(*) AS n, AVG(e.salary) AS a FROM hr.emp AS e \
+                WHERE e.title = 'Astronaut'",
+        expected: "{{ {'n': 0, 'a': null} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-left-join",
+        section: "III",
+        title: "LEFT JOIN pads unmatched rows with NULL",
+        setup: &[
+            ("k.depts", "{{ {'dno': 1, 'dname': 'Eng'}, {'dno': 9, 'dname': 'Ghost'} }}"),
+        ],
+        query: "SELECT d.dname AS dname, e.name AS name \
+                FROM k.depts AS d LEFT JOIN hr.emp AS e ON e.deptno = d.dno",
+        expected: r#"{{
+            {'dname': 'Eng', 'name': 'Alice'},
+            {'dname': 'Eng', 'name': 'Bob'},
+            {'dname': 'Ghost', 'name': null}
+        }}"#,
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-union",
+        section: "V",
+        title: "set operations over value streams",
+        setup: &[],
+        query: "SELECT VALUE e.deptno FROM hr.emp AS e \
+                UNION SELECT VALUE 99 FROM hr.emp AS e2 WHERE e2.deptno = 1",
+        expected: "{{1, 2, 3, 99}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-ungrouped-ref",
+        section: "V-C",
+        title: "non-grouped column references are rejected (SQL rule)",
+        setup: &[],
+        query: "SELECT e.name, AVG(e.salary) AS a FROM hr.emp AS e",
+        expected: "",
+        check: Check::Errors,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-unpivot-scalar",
+        section: "VI-A",
+        title: "UNPIVOT of a non-tuple coerces permissively",
+        setup: &[("k.one", "{{ {'v': 7} }}")],
+        query: "SELECT a AS name, v AS val FROM k.one AS t, UNPIVOT t.v AS v AT a",
+        expected: "{{ {'name': '_1', 'val': 7} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-pivot-skips-absent-names",
+        section: "VI-B",
+        title: "PIVOT skips pairs whose name is absent",
+        setup: &[(
+            "k.pv",
+            "{{ {'s': 'a', 'p': 1}, {'p': 2}, {'s': 'c', 'p': 3} }}",
+        )],
+        query: "PIVOT r.p AT r.s FROM k.pv AS r",
+        expected: "{'a': 1, 'c': 3}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-deep-nesting",
+        section: "III",
+        title: "three levels of left-correlation",
+        setup: &[(
+            "k.deep",
+            "{{ {'id': 1, 'groups': [{'items': [1, 2]}, {'items': [3]}]} }}",
+        )],
+        query: "SELECT VALUE i FROM k.deep AS d, d.groups AS g, g.items AS i",
+        expected: "{{1, 2, 3}}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-window-rank",
+        section: "V-B",
+        title: "window functions run over document data",
+        setup: &[],
+        query: "SELECT e.name AS name, \
+                RANK() OVER (PARTITION BY e.deptno ORDER BY e.salary DESC) AS rk \
+                FROM hr.emp AS e WHERE e.deptno = 1",
+        expected: "{{ {'name': 'Alice', 'rk': 1}, {'name': 'Bob', 'rk': 2} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: Some("§V-B: OVER is 'wholly compatible' with SQL++."),
+    });
+
+    cases.push(Case {
+        id: "K-window-nested",
+        section: "V-B",
+        title: "windows consume unnested and produce nested data",
+        setup: &[],
+        query: "SELECT p.name AS project, \
+                [e.id, COUNT(*) OVER (PARTITION BY p.name)] AS id_and_teamsize \
+                FROM hr.emp_nest_tuples AS e, e.projects AS p \
+                WHERE p.name = 'OLTP Security'",
+        expected: "{{ {'project': 'OLTP Security', 'id_and_teamsize': [3, 2]}, \
+                     {'project': 'OLTP Security', 'id_and_teamsize': [6, 2]} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-rollup",
+        section: "V-B",
+        title: "ROLLUP subtotals with GROUPING()",
+        setup: &[],
+        query: "SELECT e.title, GROUPING(e.title) AS total_row, \
+                SUM(e.salary) AS payroll \
+                FROM hr.emp AS e GROUP BY ROLLUP (e.title)",
+        expected: "{{ {'title': 'Engineer', 'total_row': 0, 'payroll': 270000}, \
+                     {'title': 'Manager', 'total_row': 0, 'payroll': 250000}, \
+                     {'title': null, 'total_row': 1, 'payroll': 520000} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-let",
+        section: "V",
+        title: "LET bindings compose with the clause pipeline",
+        setup: &[],
+        query: "FROM hr.emp AS e LET band = e.salary / 50000 \
+                WHERE band >= 2 SELECT VALUE {'name': e.name, 'band': band}",
+        expected: "{{ {'name': 'Carol', 'band': 2}, {'name': 'Dave', 'band': 2}, \
+                     {'name': 'Eve', 'band': 2} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases.push(Case {
+        id: "K-at-position",
+        section: "III",
+        title: "AT binds array positions",
+        setup: &[("k.arr", "{{ {'xs': ['a', 'b', 'c']} }}")],
+        query: "SELECT VALUE {'i': i, 'x': x} FROM k.arr AS t, t.xs AS x AT i",
+        expected: "{{ {'i': 0, 'x': 'a'}, {'i': 1, 'x': 'b'}, {'i': 2, 'x': 'c'} }}",
+        check: Check::BagEqual,
+        modes: ModeSpec::Both,
+        note: None,
+    });
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_ids_are_unique() {
+        let cases = corpus();
+        let mut ids: Vec<&str> = cases.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "duplicate case ids");
+    }
+
+    #[test]
+    fn fixtures_parse_as_pnotation() {
+        for (name, text) in standard_fixtures() {
+            sqlpp_formats::pnotation::from_pnotation(text)
+                .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+        }
+        for case in corpus() {
+            for (name, text) in case.setup {
+                sqlpp_formats::pnotation::from_pnotation(text)
+                    .unwrap_or_else(|e| panic!("case {} fixture {name}: {e}", case.id));
+            }
+            if case.check != Check::Errors {
+                sqlpp_formats::pnotation::from_pnotation(case.expected)
+                    .unwrap_or_else(|e| panic!("case {} expected: {e}", case.id));
+            }
+        }
+    }
+}

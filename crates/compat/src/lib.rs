@@ -1,0 +1,26 @@
+//! # sqlpp-compat-kit — the Core SQL++ compatibility kit
+//!
+//! The paper's conclusion announces: "Future joint work is expected to
+//! include developing a shared 'compatibility kit' for use in checking
+//! for compliance with Core SQL++ in both its composability mode and its
+//! SQL compatibility mode." This crate *is* that kit for this
+//! implementation:
+//!
+//! * [`mod@corpus`] — every paper listing (data, query, expected output in
+//!   the paper's own notation) plus systematically derived edge cases,
+//!   each tagged with the mode(s) it applies to;
+//! * [`runner`] — executes the corpus against an [`sqlpp::Engine`] in
+//!   both modes and renders a pass/fail report;
+//! * `compat_report` — a binary printing the report
+//!   (`cargo run -p sqlpp-compat-kit --bin compat_report`).
+//!
+//! Any other engine exposing the same `Engine` facade could be checked by
+//! the same corpus, which is exactly the multi-vendor intent.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod runner;
+
+pub use corpus::{corpus, standard_fixtures, Case, Check, ModeSpec};
+pub use runner::{fixture_engine, run_all, run_case, CaseResult, Report};

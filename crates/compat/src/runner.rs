@@ -1,0 +1,188 @@
+//! The conformance runner: exercises an [`Engine`] against the corpus in
+//! one or both modes and produces a report — the "shared 'compatibility
+//! kit' for use in checking for compliance with Core SQL++ in both its
+//! composability mode and its SQL compatibility mode" that the paper's
+//! conclusion calls for.
+
+use sqlpp::{CompatMode, Engine, SessionConfig, TypingMode};
+use sqlpp_formats::pnotation::from_pnotation;
+use sqlpp_value::cmp::deep_eq;
+use sqlpp_value::Value;
+
+use crate::corpus::{corpus, standard_fixtures, Case, Check, ModeSpec};
+
+/// Outcome of one case in one mode.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case id.
+    pub id: String,
+    /// Which mode ran.
+    pub mode: CompatMode,
+    /// Pass/fail.
+    pub passed: bool,
+    /// Rendered actual result (or error text).
+    pub actual: String,
+    /// Rendered expectation.
+    pub expected: String,
+    /// Case title.
+    pub title: String,
+}
+
+/// A full conformance report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All case results.
+    pub results: Vec<CaseResult>,
+}
+
+impl Report {
+    /// Number of passing results.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|r| r.passed).count()
+    }
+
+    /// Number of failing results.
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.passed()
+    }
+
+    /// Renders a plain-text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("SQL++ compatibility kit report\n");
+        out.push_str("==============================\n\n");
+        for r in &self.results {
+            let mode = match r.mode {
+                CompatMode::SqlCompat => "sql-compat ",
+                CompatMode::Composable => "composable ",
+            };
+            if r.passed {
+                out.push_str(&format!("PASS [{mode}] {:<24} {}\n", r.id, r.title));
+            } else {
+                out.push_str(&format!("FAIL [{mode}] {:<24} {}\n", r.id, r.title));
+                out.push_str(&format!("      expected: {}\n", r.expected));
+                out.push_str(&format!("      actual:   {}\n", r.actual));
+            }
+        }
+        out.push_str(&format!(
+            "\n{} passed, {} failed, {} total\n",
+            self.passed(),
+            self.failed(),
+            self.results.len()
+        ));
+        out
+    }
+}
+
+/// Builds an engine pre-loaded with the standard fixtures.
+pub fn fixture_engine(compat: CompatMode, typing: TypingMode) -> Engine {
+    let engine = Engine::new().with_config(SessionConfig {
+        compat,
+        typing,
+        ..SessionConfig::default()
+    });
+    for (name, text) in standard_fixtures() {
+        engine
+            .load_pnotation(name, text)
+            .expect("standard fixtures parse");
+    }
+    engine
+}
+
+/// Runs the complete corpus in both modes.
+pub fn run_all(typing: TypingMode) -> Report {
+    let mut report = Report::default();
+    for mode in [CompatMode::SqlCompat, CompatMode::Composable] {
+        let engine = fixture_engine(mode, typing);
+        for case in corpus() {
+            let applicable = match case.modes {
+                ModeSpec::Both => true,
+                ModeSpec::CompatOnly => mode == CompatMode::SqlCompat,
+                ModeSpec::ComposableOnly => mode == CompatMode::Composable,
+            };
+            if !applicable {
+                continue;
+            }
+            report.results.push(run_case(&engine, &case, mode));
+        }
+    }
+    report
+}
+
+/// Runs one case against an engine.
+pub fn run_case(engine: &Engine, case: &Case, mode: CompatMode) -> CaseResult {
+    for (name, text) in case.setup {
+        engine
+            .load_pnotation(name, text)
+            .unwrap_or_else(|e| panic!("case {} fixture {name}: {e}", case.id));
+    }
+    let outcome = engine.run_str(case.query);
+    let (passed, actual) = match (&outcome, case.check) {
+        (Err(e), Check::Errors) => (true, format!("error (expected): {e}")),
+        (Err(e), _) => (false, format!("error: {e}")),
+        (Ok(_), Check::Errors) => (false, "query unexpectedly succeeded".to_string()),
+        (Ok(v), check) => {
+            let expected: Value =
+                from_pnotation(case.expected).expect("corpus expected parses");
+            let ok = match check {
+                Check::BagEqual => deep_eq(v, &expected),
+                Check::OrderedEqual => ordered_eq(v, &expected),
+                Check::Errors => unreachable!(),
+            };
+            (ok, v.to_string())
+        }
+    };
+    CaseResult {
+        id: case.id.to_string(),
+        mode,
+        passed,
+        actual,
+        expected: if case.check == Check::Errors {
+            "<error>".to_string()
+        } else {
+            from_pnotation(case.expected)
+                .map(|v| v.to_string())
+                .unwrap_or_default()
+        },
+        title: case.title.to_string(),
+    }
+}
+
+/// Order-sensitive comparison: bags compare element-by-element in order
+/// (used for ORDER BY cases, where the bag's element order is the sorted
+/// order).
+fn ordered_eq(a: &Value, b: &Value) -> bool {
+    match (a.as_elements(), b.as_elements()) {
+        (Some(x), Some(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| deep_eq(p, q))
+        }
+        _ => deep_eq(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_whole_corpus_passes_in_both_modes() {
+        let report = run_all(TypingMode::Permissive);
+        let failures: Vec<&CaseResult> =
+            report.results.iter().filter(|r| !r.passed).collect();
+        assert!(
+            failures.is_empty(),
+            "{} failures:\n{}",
+            failures.len(),
+            failures
+                .iter()
+                .map(|f| format!(
+                    "{} [{:?}]\n  expected {}\n  actual   {}",
+                    f.id, f.mode, f.expected, f.actual
+                ))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // Sanity: a meaningful number of checks actually ran.
+        assert!(report.results.len() >= 40, "{}", report.results.len());
+    }
+}

@@ -1,0 +1,78 @@
+//! The unified engine error type.
+
+use std::fmt;
+
+/// Any error an [`crate::Engine`] operation can produce.
+#[derive(Debug)]
+pub enum Error {
+    /// Lexing/parsing failed.
+    Syntax(sqlpp_syntax::SyntaxError),
+    /// Lowering to SQL++ Core failed.
+    Plan(sqlpp_plan::PlanError),
+    /// Evaluation failed (strict mode errors, unknown names, …).
+    Eval(sqlpp_eval::EvalError),
+    /// A data format failed to read or write.
+    Format(sqlpp_formats::FormatError),
+    /// A catalog lookup failed.
+    Catalog(sqlpp_catalog::CatalogError),
+    /// Schema validation rejected data.
+    Schema(String),
+    /// Misuse of the API (e.g. executing a CREATE TABLE as a query).
+    Usage(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax(e) => write!(f, "{e}"),
+            Error::Plan(e) => write!(f, "{e}"),
+            Error::Eval(e) => write!(f, "{e}"),
+            Error::Format(e) => write!(f, "{e}"),
+            Error::Catalog(e) => write!(f, "{e}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Syntax(e) => Some(e),
+            Error::Plan(e) => Some(e),
+            Error::Eval(e) => Some(e),
+            Error::Format(e) => Some(e),
+            Error::Catalog(e) => Some(e),
+            Error::Schema(_) | Error::Usage(_) => None,
+        }
+    }
+}
+
+impl From<sqlpp_syntax::SyntaxError> for Error {
+    fn from(e: sqlpp_syntax::SyntaxError) -> Self {
+        Error::Syntax(e)
+    }
+}
+impl From<sqlpp_plan::PlanError> for Error {
+    fn from(e: sqlpp_plan::PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+impl From<sqlpp_eval::EvalError> for Error {
+    fn from(e: sqlpp_eval::EvalError) -> Self {
+        Error::Eval(e)
+    }
+}
+impl From<sqlpp_formats::FormatError> for Error {
+    fn from(e: sqlpp_formats::FormatError) -> Self {
+        Error::Format(e)
+    }
+}
+impl From<sqlpp_catalog::CatalogError> for Error {
+    fn from(e: sqlpp_catalog::CatalogError) -> Self {
+        Error::Catalog(e)
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, Error>;

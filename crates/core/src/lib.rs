@@ -1,0 +1,380 @@
+//! # sqlpp — a SQL++ query engine
+//!
+//! A complete, from-scratch Rust implementation of the unified SQL++
+//! language of *SQL++: We Can Finally Relax!* (Carey, Chamberlin, Goo,
+//! Ong, Papakonstantinou, Suver, Vemulapalli, Westmann — ICDE 2024):
+//! SQL relaxed from flat to nested object structure and from mandatory to
+//! optional schema.
+//!
+//! ```
+//! use sqlpp::Engine;
+//!
+//! let engine = Engine::new();
+//! // Load the paper's Listing 1 collection from its own notation:
+//! engine.load_pnotation("hr.emp_nest_tuples", r#"{{
+//!     {'id': 3, 'name': 'Bob Smith', 'title': null,
+//!      'projects': [{'name': 'Serverless Query'},
+//!                   {'name': 'OLAP Security'},
+//!                   {'name': 'OLTP Security'}]},
+//!     {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+//!     {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+//!      'projects': [{'name': 'OLTP Security'}]}
+//! }}"#).unwrap();
+//!
+//! // Listing 2: unnest the projects with a left-correlated FROM.
+//! let result = engine.query(
+//!     "SELECT e.name AS emp_name, p.name AS proj_name \
+//!      FROM hr.emp_nest_tuples AS e, e.projects AS p \
+//!      WHERE p.name LIKE '%Security%'",
+//! ).unwrap();
+//! assert_eq!(result.len(), 3);
+//! ```
+//!
+//! The engine exposes the paper's two dials:
+//!
+//! * [`CompatMode`] — "a SQL compatibility flag in SQL++ whose setting
+//!   can be toggled between prioritizing composability or prioritizing
+//!   SQL compatibility" (§I);
+//! * [`TypingMode`] — permissive (type errors become MISSING and healthy
+//!   data keeps flowing, §IV) vs stop-on-error.
+
+#![warn(missing_docs)]
+
+mod dml;
+mod error;
+mod result;
+
+use sqlpp_catalog::QualifiedName;
+use sqlpp_eval::{EvalConfig, Evaluator};
+use sqlpp_formats::csv::CsvOptions;
+use sqlpp_plan::{lower_query, optimize, CoreQuery, PlanConfig};
+use sqlpp_schema::{SqlppType, Validator};
+use sqlpp_syntax::ast::Statement;
+use sqlpp_value::Value;
+
+pub use error::{Error, Result};
+pub use result::QueryResult;
+pub use sqlpp_catalog::Catalog;
+pub use sqlpp_eval::TypingMode;
+pub use sqlpp_plan::CompatMode;
+pub use sqlpp_value as value;
+pub use sqlpp_value::{Decimal, Tuple};
+
+/// Session-level configuration: the paper's mode dials plus engine knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// SQL compatibility vs composability (§I).
+    pub compat: CompatMode,
+    /// Permissive vs stop-on-error typing (§IV).
+    pub typing: TypingMode,
+    /// Run the plan optimizer.
+    pub optimize: bool,
+    /// Use the pipelined-aggregation fast path (§V-C).
+    pub pipeline_aggregates: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            compat: CompatMode::SqlCompat,
+            typing: TypingMode::Permissive,
+            optimize: true,
+            pipeline_aggregates: true,
+        }
+    }
+}
+
+/// The SQL++ engine: a catalog of named values plus a configuration.
+///
+/// Cloning an `Engine` shares the catalog (sessions over one database);
+/// use [`Engine::with_config`] to derive differently-configured sessions.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    catalog: Catalog,
+    config: SessionConfig,
+}
+
+impl Engine {
+    /// A fresh engine with an empty catalog and default configuration.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Derives a session with different configuration over the *same*
+    /// catalog.
+    pub fn with_config(&self, config: SessionConfig) -> Engine {
+        Engine { catalog: self.catalog.clone(), config }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    // ---------------- data loading ----------------
+
+    /// Binds a name to an in-memory value.
+    pub fn register(&self, name: &str, value: Value) {
+        self.catalog.set(name, value);
+    }
+
+    /// Loads a collection from the paper's object notation.
+    pub fn load_pnotation(&self, name: &str, text: &str) -> Result<()> {
+        let v = sqlpp_formats::pnotation::from_pnotation(text)?;
+        self.catalog.set(name, v);
+        Ok(())
+    }
+
+    /// Loads a collection from a JSON document (or JSON Lines stream).
+    pub fn load_json(&self, name: &str, text: &str) -> Result<()> {
+        let trimmed = text.trim_start();
+        let v = if trimmed.starts_with('[') || trimmed.starts_with('{') {
+            match sqlpp_formats::json::from_json(text) {
+                Ok(v) => v,
+                // Concatenated objects: fall back to JSON Lines.
+                Err(_) => sqlpp_formats::json::from_json_lines(text)?,
+            }
+        } else {
+            sqlpp_formats::json::from_json_lines(text)?
+        };
+        self.catalog.set(name, v);
+        Ok(())
+    }
+
+    /// Loads a collection from CSV text.
+    pub fn load_csv(&self, name: &str, text: &str) -> Result<()> {
+        let v = sqlpp_formats::csv::from_csv(text, &CsvOptions::default())?;
+        self.catalog.set(name, v);
+        Ok(())
+    }
+
+    /// Loads a collection from ion-lite bytes.
+    pub fn load_ion_lite(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let v = sqlpp_formats::ion_lite::from_ion_lite(bytes)?;
+        self.catalog.set(name, v);
+        Ok(())
+    }
+
+    /// Registers a value after validating every element against an
+    /// optional schema (the paper's schema-optional tenet: data may be
+    /// validated when a schema exists, and queries must not change).
+    pub fn register_with_schema(
+        &self,
+        name: &str,
+        value: Value,
+        element_type: &SqlppType,
+    ) -> Result<()> {
+        let validator = Validator::new(element_type.clone());
+        let violations = validator.validate(&value);
+        if let Some(v) = violations.first() {
+            return Err(Error::Schema(format!(
+                "{name}: {} violation(s); first: {}",
+                violations.len(),
+                v.message
+            )));
+        }
+        self.catalog.set(name, value);
+        // Attach the schema: queries over this collection gain §III
+        // schema-based disambiguation of bare identifiers.
+        self.catalog.set_schema(name, element_type.clone());
+        Ok(())
+    }
+
+    // ---------------- statements and queries ----------------
+
+    /// Executes a statement: queries return rows, `CREATE TABLE`
+    /// registers an empty (schema-attached) collection, and
+    /// INSERT/DELETE/UPDATE mutate named collections (re-validating
+    /// against any attached schema).
+    pub fn execute(&self, src: &str) -> Result<ExecOutcome> {
+        match sqlpp_syntax::parse_statement(src)? {
+            Statement::Query(_) => Ok(ExecOutcome::Rows(self.query(src)?)),
+            Statement::CreateTable(ct) => {
+                let ty = sqlpp_schema::hive::table_row_type(&ct);
+                let name = ct.name.join(".");
+                self.catalog.set(name.as_str(), Value::empty_bag());
+                self.catalog.set_schema(name.as_str(), ty.clone());
+                Ok(ExecOutcome::Created { name, row_type: ty })
+            }
+            Statement::Insert(ins) => {
+                Ok(ExecOutcome::Inserted { count: self.exec_insert(&ins)? })
+            }
+            Statement::Delete(del) => {
+                Ok(ExecOutcome::Deleted { count: self.exec_delete(&del)? })
+            }
+            Statement::Update(up) => {
+                Ok(ExecOutcome::Updated { count: self.exec_update(&up)? })
+            }
+        }
+    }
+
+    /// Parses, plans, and runs a query.
+    pub fn query(&self, src: &str) -> Result<QueryResult> {
+        self.query_with_params(src, Vec::new())
+    }
+
+    /// Like [`Engine::query`], with positional `?` parameters.
+    pub fn query_with_params(&self, src: &str, params: Vec<Value>) -> Result<QueryResult> {
+        let prepared = self.prepare(src)?;
+        prepared.execute_with_params(self, params)
+    }
+
+    /// Parses and lowers a query once for repeated execution.
+    pub fn prepare(&self, src: &str) -> Result<Prepared> {
+        let ast = sqlpp_syntax::parse_query(src)?;
+        let config = PlanConfig {
+            compat: self.config.compat,
+            schemas: self.catalog.schema_snapshot(),
+        };
+        let mut core = lower_query(&ast, &config)?;
+        if self.config.optimize {
+            core = optimize(core);
+        }
+        Ok(Prepared { core })
+    }
+
+    /// The lowered (Core) plan as text — SQL's EXPLAIN, and the mechanism
+    /// by which the listing gallery shows the §V-C rewritings.
+    pub fn explain(&self, src: &str) -> Result<String> {
+        Ok(self.prepare(src)?.core.explain())
+    }
+
+    /// Statically type-checks a query against the catalog's attached
+    /// schemas (§I: "the possibility of static type checking when the
+    /// optional schema is present"). Advisory: returns warnings for
+    /// expressions the schemas *guarantee* will misbehave (always-MISSING
+    /// navigation, never-numeric arithmetic, FROM over scalars); never
+    /// rejects a query, since schemaless data is legal by design.
+    pub fn check(&self, src: &str) -> Result<Vec<String>> {
+        let prepared = self.prepare(src)?;
+        Ok(sqlpp_plan::typecheck(prepared.plan(), &self.catalog.schema_snapshot())
+            .into_iter()
+            .map(|w| w.message)
+            .collect())
+    }
+
+    /// Evaluates a standalone SQL++ *expression* (full composability:
+    /// "subqueries can appear anywhere", and so can bare constructors like
+    /// Listing 16's `{{ {'avgsal': COLL_AVG(SELECT VALUE …)} }}`).
+    pub fn eval_expr(&self, src: &str) -> Result<Value> {
+        use sqlpp_syntax::ast::{
+            Query, QueryBlock, SelectClause, SetExpr, SetQuantifier,
+        };
+        let expr = sqlpp_syntax::parse_expr(src)?;
+        let block = QueryBlock::with_select(SelectClause::SelectValue {
+            quantifier: SetQuantifier::All,
+            expr,
+        });
+        let q = Query {
+            ctes: Vec::new(),
+            body: SetExpr::Block(Box::new(block)),
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        };
+        let config = PlanConfig {
+            compat: self.config.compat,
+            schemas: self.catalog.schema_snapshot(),
+        };
+        let mut core = lower_query(&q, &config)?;
+        if self.config.optimize {
+            core = optimize(core);
+        }
+        let evaluator = Evaluator::new(&self.catalog, self.eval_config());
+        let bag = evaluator.run(&core)?;
+        // A FROM-less SELECT VALUE produces a singleton bag; unwrap it.
+        match bag {
+            Value::Bag(mut items) if items.len() == 1 => {
+                Ok(items.pop().expect("len checked"))
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Runs either a query or, failing that, a bare expression — the REPL
+    /// and compatibility-kit entry point.
+    pub fn run_str(&self, src: &str) -> Result<Value> {
+        match self.query(src) {
+            Ok(r) => Ok(r.into_value()),
+            Err(Error::Syntax(first)) => {
+                self.eval_expr(src).map_err(|_| Error::Syntax(first))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn eval_config(&self) -> EvalConfig {
+        EvalConfig {
+            typing: self.config.typing,
+            compat: self.config.compat,
+            pipeline_aggregates: self.config.pipeline_aggregates,
+        }
+    }
+}
+
+/// Outcome of [`Engine::execute`].
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// A query's rows.
+    Rows(QueryResult),
+    /// A `CREATE TABLE` registered an (empty) collection with a declared
+    /// row type.
+    Created {
+        /// The registered name.
+        name: String,
+        /// The declared structural row type.
+        row_type: SqlppType,
+    },
+    /// An INSERT appended elements.
+    Inserted {
+        /// How many elements were inserted.
+        count: usize,
+    },
+    /// A DELETE removed elements.
+    Deleted {
+        /// How many elements were removed.
+        count: usize,
+    },
+    /// An UPDATE modified elements.
+    Updated {
+        /// How many elements were modified.
+        count: usize,
+    },
+}
+
+/// A parsed-and-lowered query, reusable across executions.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    core: CoreQuery,
+}
+
+impl Prepared {
+    /// The Core plan.
+    pub fn plan(&self) -> &CoreQuery {
+        &self.core
+    }
+
+    /// Executes against an engine.
+    pub fn execute(&self, engine: &Engine) -> Result<QueryResult> {
+        self.execute_with_params(engine, Vec::new())
+    }
+
+    /// Executes with positional parameters.
+    pub fn execute_with_params(
+        &self,
+        engine: &Engine,
+        params: Vec<Value>,
+    ) -> Result<QueryResult> {
+        let evaluator =
+            Evaluator::new(&engine.catalog, engine.eval_config()).with_params(params);
+        Ok(QueryResult::new(evaluator.run(&self.core)?))
+    }
+}
+
+/// Re-export of the qualified-name type for catalog manipulation.
+pub type Name = QualifiedName;

@@ -1,0 +1,157 @@
+//! Query results and their client-facing views.
+
+use sqlpp_value::Value;
+
+/// The result of a query: a SQL++ value (a bag for SELECT queries, a
+/// tuple for a top-level PIVOT).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    value: Value,
+}
+
+impl QueryResult {
+    pub(crate) fn new(value: Value) -> Self {
+        QueryResult { value }
+    }
+
+    /// The raw result value.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// Consumes into the raw value.
+    pub fn into_value(self) -> Value {
+        self.value
+    }
+
+    /// The result's elements (treating a non-collection result as a
+    /// singleton).
+    pub fn rows(&self) -> Vec<&Value> {
+        match self.value.as_elements() {
+            Some(items) => items.iter().collect(),
+            None => vec![&self.value],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.value.as_elements().map_or(1, <[Value]>::len)
+    }
+
+    /// True for an empty result collection.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The JDBC/ODBC-style *relational* view the paper describes for
+    /// schemaful clients (§IV-B): "the MISSING will be communicated as
+    /// NULL for communication compatibility purposes". Produces one row
+    /// per element with the union of attribute names as columns; absent
+    /// attributes and nested MISSINGs surface as NULL.
+    pub fn as_relational(&self) -> (Vec<String>, Vec<Vec<Value>>) {
+        let rows = self.rows();
+        let mut columns: Vec<String> = Vec::new();
+        for row in &rows {
+            if let Value::Tuple(t) = row {
+                for name in t.names() {
+                    if !columns.iter().any(|c| c == name) {
+                        columns.push(name.to_string());
+                    }
+                }
+            }
+        }
+        if columns.is_empty() {
+            // Non-tuple rows: a single synthetic column.
+            columns.push("_1".to_string());
+            let data = rows
+                .iter()
+                .map(|r| vec![missing_to_null((*r).clone())])
+                .collect();
+            return (columns, data);
+        }
+        let data = rows
+            .iter()
+            .map(|row| {
+                columns
+                    .iter()
+                    .map(|c| match row {
+                        Value::Tuple(t) => {
+                            missing_to_null(t.get(c).cloned().unwrap_or(Value::Missing))
+                        }
+                        other => {
+                            if c == "_1" {
+                                missing_to_null((*other).clone())
+                            } else {
+                                Value::Null
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (columns, data)
+    }
+
+    /// Pretty-prints in the paper's listing notation.
+    pub fn to_pretty(&self) -> String {
+        sqlpp_value::to_pretty(&self.value)
+    }
+
+    /// Canonicalized (bag-sorted) form for deterministic comparisons.
+    pub fn canonical(&self) -> Value {
+        sqlpp_value::canonicalize(&self.value)
+    }
+
+    /// Bag-equality against an expected value (order-insensitive for
+    /// bags, order-sensitive inside arrays), which is how the paper's
+    /// listing outputs are checked.
+    pub fn matches(&self, expected: &Value) -> bool {
+        sqlpp_value::cmp::deep_eq(&self.value, expected)
+    }
+}
+
+fn missing_to_null(v: Value) -> Value {
+    match v {
+        Value::Missing => Value::Null,
+        other => other,
+    }
+}
+
+impl From<QueryResult> for Value {
+    fn from(r: QueryResult) -> Value {
+        r.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_value::rows;
+
+    #[test]
+    fn relational_view_surfaces_missing_as_null() {
+        let r = QueryResult::new(rows![
+            {"id" => 1i64, "title" => "Mgr"},
+            {"id" => 2i64}, // no title
+        ]);
+        let (cols, data) = r.as_relational();
+        assert_eq!(cols, vec!["id", "title"]);
+        assert_eq!(data[1][1], Value::Null, "MISSING communicated as NULL");
+        assert_eq!(data[0][1], Value::Str("Mgr".into()));
+    }
+
+    #[test]
+    fn scalar_rows_get_a_synthetic_column() {
+        let r = QueryResult::new(sqlpp_value::bag![1i64, 2i64]);
+        let (cols, data) = r.as_relational();
+        assert_eq!(cols, vec!["_1"]);
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn matches_is_bag_equal() {
+        let r = QueryResult::new(sqlpp_value::bag![1i64, 2i64]);
+        assert!(r.matches(&sqlpp_value::bag![2i64, 1i64]));
+        assert!(!r.matches(&sqlpp_value::bag![1i64]));
+    }
+}

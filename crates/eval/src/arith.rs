@@ -1,0 +1,190 @@
+//! The numeric tower: Int ⊂ Decimal ⊂ Float promotion for arithmetic.
+//!
+//! * Int ∘ Int stays Int (checked; `/` truncates as in SQL);
+//! * anything with a Decimal (and no Float) is exact decimal arithmetic;
+//! * anything with a Float is `f64` arithmetic.
+//!
+//! Absent-value propagation and the permissive/strict dichotomy are the
+//! caller's job (`expr.rs`); this module only ever sees present numbers
+//! and reports structured failures.
+
+use sqlpp_value::{Decimal, Value};
+
+/// A failed numeric operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumError {
+    /// An operand was not a number (dynamic type error, §IV-B case 2).
+    NotANumber(&'static str),
+    /// Integer/decimal overflow.
+    Overflow,
+    /// Division or modulo by zero.
+    DivisionByZero,
+}
+
+/// Which arithmetic operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum NumOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+enum Tower {
+    Int(i64),
+    Dec(Decimal),
+    Flt(f64),
+}
+
+fn classify(v: &Value) -> Result<Tower, NumError> {
+    match v {
+        Value::Int(i) => Ok(Tower::Int(*i)),
+        Value::Decimal(d) => Ok(Tower::Dec(*d)),
+        Value::Float(f) => Ok(Tower::Flt(*f)),
+        other => Err(NumError::NotANumber(other.kind().name())),
+    }
+}
+
+/// Applies a binary arithmetic operator with tower promotion.
+pub fn num_binop(op: NumOp, a: &Value, b: &Value) -> Result<Value, NumError> {
+    use Tower::*;
+    let (ta, tb) = (classify(a)?, classify(b)?);
+    Ok(match (ta, tb) {
+        (Int(x), Int(y)) => int_op(op, x, y)?,
+        (Flt(x), Flt(y)) => float_op(op, x, y)?,
+        (Flt(x), Int(y)) => float_op(op, x, y as f64)?,
+        (Int(x), Flt(y)) => float_op(op, x as f64, y)?,
+        (Flt(x), Dec(y)) => float_op(op, x, y.to_f64())?,
+        (Dec(x), Flt(y)) => float_op(op, x.to_f64(), y)?,
+        (Dec(x), Dec(y)) => dec_op(op, x, y)?,
+        (Dec(x), Int(y)) => dec_op(op, x, Decimal::from_i64(y))?,
+        (Int(x), Dec(y)) => dec_op(op, Decimal::from_i64(x), y)?,
+    })
+}
+
+fn int_op(op: NumOp, x: i64, y: i64) -> Result<Value, NumError> {
+    let r = match op {
+        NumOp::Add => x.checked_add(y),
+        NumOp::Sub => x.checked_sub(y),
+        NumOp::Mul => x.checked_mul(y),
+        NumOp::Div => {
+            if y == 0 {
+                return Err(NumError::DivisionByZero);
+            }
+            x.checked_div(y)
+        }
+        NumOp::Rem => {
+            if y == 0 {
+                return Err(NumError::DivisionByZero);
+            }
+            x.checked_rem(y)
+        }
+    };
+    r.map(Value::Int).ok_or(NumError::Overflow)
+}
+
+fn float_op(op: NumOp, x: f64, y: f64) -> Result<Value, NumError> {
+    // IEEE semantics: division by zero yields ±inf/NaN rather than an
+    // error, matching SQL double behavior in permissive engines.
+    Ok(Value::Float(match op {
+        NumOp::Add => x + y,
+        NumOp::Sub => x - y,
+        NumOp::Mul => x * y,
+        NumOp::Div => x / y,
+        NumOp::Rem => x % y,
+    }))
+}
+
+fn dec_op(op: NumOp, x: Decimal, y: Decimal) -> Result<Value, NumError> {
+    let r = match op {
+        NumOp::Add => x.checked_add(y),
+        NumOp::Sub => x.checked_sub(y),
+        NumOp::Mul => x.checked_mul(y),
+        NumOp::Div => x.checked_div(y),
+        NumOp::Rem => x.checked_rem(y),
+    };
+    r.map(Value::Decimal).map_err(|e| match e {
+        sqlpp_value::DecimalError::DivisionByZero => NumError::DivisionByZero,
+        _ => NumError::Overflow,
+    })
+}
+
+/// Unary negation with the same tower rules.
+pub fn num_neg(v: &Value) -> Result<Value, NumError> {
+    match v {
+        Value::Int(i) => i.checked_neg().map(Value::Int).ok_or(NumError::Overflow),
+        Value::Decimal(d) => Ok(Value::Decimal(-*d)),
+        Value::Float(f) => Ok(Value::Float(-f)),
+        other => Err(NumError::NotANumber(other.kind().name())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Value {
+        Value::Decimal(s.parse().unwrap())
+    }
+
+    #[test]
+    fn int_arithmetic_stays_int_and_truncates_division() {
+        assert_eq!(num_binop(NumOp::Add, &Value::Int(2), &Value::Int(3)), Ok(Value::Int(5)));
+        assert_eq!(num_binop(NumOp::Div, &Value::Int(7), &Value::Int(2)), Ok(Value::Int(3)));
+        assert_eq!(num_binop(NumOp::Div, &Value::Int(-7), &Value::Int(2)), Ok(Value::Int(-3)));
+        assert_eq!(num_binop(NumOp::Rem, &Value::Int(7), &Value::Int(2)), Ok(Value::Int(1)));
+    }
+
+    #[test]
+    fn decimal_promotion() {
+        assert_eq!(num_binop(NumOp::Add, &Value::Int(1), &d("0.5")), Ok(d("1.5")));
+        assert_eq!(num_binop(NumOp::Mul, &d("1.5"), &d("2")), Ok(d("3")));
+        assert_eq!(num_binop(NumOp::Div, &d("1"), &Value::Int(4)), Ok(d("0.25")));
+    }
+
+    #[test]
+    fn float_promotion_dominates() {
+        assert_eq!(
+            num_binop(NumOp::Add, &Value::Float(0.5), &Value::Int(1)),
+            Ok(Value::Float(1.5))
+        );
+        assert_eq!(
+            num_binop(NumOp::Mul, &d("2"), &Value::Float(0.5)),
+            Ok(Value::Float(1.0))
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            num_binop(NumOp::Div, &Value::Int(1), &Value::Int(0)),
+            Err(NumError::DivisionByZero)
+        );
+        assert_eq!(
+            num_binop(NumOp::Add, &Value::Int(i64::MAX), &Value::Int(1)),
+            Err(NumError::Overflow)
+        );
+        assert_eq!(
+            num_binop(NumOp::Add, &Value::Int(1), &Value::Str("x".into())),
+            Err(NumError::NotANumber("string"))
+        );
+    }
+
+    #[test]
+    fn float_division_by_zero_is_ieee() {
+        assert_eq!(
+            num_binop(NumOp::Div, &Value::Float(1.0), &Value::Float(0.0)),
+            Ok(Value::Float(f64::INFINITY))
+        );
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(num_neg(&Value::Int(5)), Ok(Value::Int(-5)));
+        assert_eq!(num_neg(&d("1.5")), Ok(d("-1.5")));
+        assert_eq!(num_neg(&Value::Int(i64::MIN)), Err(NumError::Overflow));
+        assert!(num_neg(&Value::Bool(true)).is_err());
+    }
+}

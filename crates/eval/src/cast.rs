@@ -1,0 +1,140 @@
+//! `CAST(expr AS type)` — explicit conversions over the scalar types.
+//!
+//! Absent values pass through (`CAST(NULL AS INT)` is NULL, likewise
+//! MISSING); a failed conversion is a dynamic type error, which the
+//! evaluator maps to MISSING or an error per the typing mode (§IV).
+
+use sqlpp_value::{Decimal, Value};
+
+/// Normalized cast targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CastTarget {
+    Int,
+    Float,
+    Decimal,
+    String,
+    Bool,
+}
+
+impl CastTarget {
+    /// Parses a (upper-cased) SQL type name.
+    pub fn parse(name: &str) -> Option<CastTarget> {
+        match name {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" => Some(CastTarget::Int),
+            "FLOAT" | "DOUBLE" | "REAL" => Some(CastTarget::Float),
+            "DECIMAL" | "NUMERIC" => Some(CastTarget::Decimal),
+            "STRING" | "VARCHAR" | "CHAR" | "TEXT" => Some(CastTarget::String),
+            "BOOLEAN" | "BOOL" => Some(CastTarget::Bool),
+            _ => None,
+        }
+    }
+}
+
+/// Attempts the conversion; `None` signals a dynamic type error.
+pub fn cast(v: &Value, target: CastTarget) -> Option<Value> {
+    if v.is_absent() {
+        return Some(v.clone());
+    }
+    match target {
+        CastTarget::Int => match v {
+            Value::Int(_) => Some(v.clone()),
+            Value::Decimal(d) => d.trunc_to_i64().map(Value::Int),
+            Value::Float(f) => {
+                if f.is_finite() && f.abs() < i64::MAX as f64 {
+                    Some(Value::Int(f.trunc() as i64))
+                } else {
+                    None
+                }
+            }
+            Value::Str(s) => s.trim().parse::<i64>().ok().map(Value::Int),
+            Value::Bool(b) => Some(Value::Int(i64::from(*b))),
+            _ => None,
+        },
+        CastTarget::Float => match v {
+            Value::Float(_) => Some(v.clone()),
+            Value::Int(i) => Some(Value::Float(*i as f64)),
+            Value::Decimal(d) => Some(Value::Float(d.to_f64())),
+            Value::Str(s) => s.trim().parse::<f64>().ok().map(Value::Float),
+            Value::Bool(b) => Some(Value::Float(f64::from(u8::from(*b)))),
+            _ => None,
+        },
+        CastTarget::Decimal => match v {
+            Value::Decimal(_) => Some(v.clone()),
+            Value::Int(i) => Some(Value::Decimal(Decimal::from_i64(*i))),
+            Value::Float(f) => Decimal::from_f64(*f).map(Value::Decimal),
+            Value::Str(s) => s.trim().parse::<Decimal>().ok().map(Value::Decimal),
+            _ => None,
+        },
+        CastTarget::String => match v {
+            Value::Str(_) => Some(v.clone()),
+            Value::Int(_) | Value::Float(_) | Value::Decimal(_) | Value::Bool(_) => {
+                Some(Value::Str(v.to_string()))
+            }
+            _ => None,
+        },
+        CastTarget::Bool => match v {
+            Value::Bool(_) => Some(v.clone()),
+            Value::Int(i) => Some(Value::Bool(*i != 0)),
+            Value::Str(s) => match s.to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Some(Value::Bool(true)),
+                "false" | "f" | "0" => Some(Value::Bool(false)),
+                _ => None,
+            },
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_values_pass_through() {
+        assert_eq!(cast(&Value::Null, CastTarget::Int), Some(Value::Null));
+        assert_eq!(cast(&Value::Missing, CastTarget::String), Some(Value::Missing));
+    }
+
+    #[test]
+    fn numeric_casts_truncate() {
+        assert_eq!(
+            cast(&Value::Decimal("42.9".parse().unwrap()), CastTarget::Int),
+            Some(Value::Int(42))
+        );
+        assert_eq!(cast(&Value::Float(-1.7), CastTarget::Int), Some(Value::Int(-1)));
+        assert_eq!(cast(&Value::Str(" 17 ".into()), CastTarget::Int), Some(Value::Int(17)));
+        assert_eq!(cast(&Value::Str("abc".into()), CastTarget::Int), None);
+        assert_eq!(cast(&Value::Float(f64::NAN), CastTarget::Int), None);
+    }
+
+    #[test]
+    fn string_casts_render_scalars() {
+        assert_eq!(
+            cast(&Value::Int(5), CastTarget::String),
+            Some(Value::Str("5".into()))
+        );
+        assert_eq!(
+            cast(&Value::Bool(true), CastTarget::String),
+            Some(Value::Str("true".into()))
+        );
+        assert_eq!(cast(&Value::Array(vec![]), CastTarget::String), None);
+    }
+
+    #[test]
+    fn bool_casts() {
+        assert_eq!(
+            cast(&Value::Str("TRUE".into()), CastTarget::Bool),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(cast(&Value::Int(0), CastTarget::Bool), Some(Value::Bool(false)));
+        assert_eq!(cast(&Value::Str("yes".into()), CastTarget::Bool), None);
+    }
+
+    #[test]
+    fn target_parsing() {
+        assert_eq!(CastTarget::parse("BIGINT"), Some(CastTarget::Int));
+        assert_eq!(CastTarget::parse("VARCHAR"), Some(CastTarget::String));
+        assert_eq!(CastTarget::parse("GEOMETRY"), None);
+    }
+}

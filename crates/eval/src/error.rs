@@ -1,0 +1,55 @@
+//! Evaluation errors and the paper's two typing modes (§IV).
+
+use std::fmt;
+
+/// "SQL++ allows processing to continue even when dynamic type errors
+/// happen […] To support applications that want to catch type errors
+/// early and stop processing when they happen, SQL++ also offers a
+/// stop-on-error mode." (§I relaxation 2)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TypingMode {
+    /// Type errors become MISSING and flow on; "healthy" data keeps
+    /// processing (§IV-B case 2).
+    #[default]
+    Permissive,
+    /// Stop-on-error: the first dynamic type error aborts the query.
+    StrictError,
+}
+
+/// A runtime evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A dynamic type error (only surfaced in strict mode).
+    Type(String),
+    /// A name that resolved neither to a variable, a catalog entry, nor a
+    /// unique attribute of an in-scope binding.
+    UnknownName(String),
+    /// A positional parameter with no supplied value.
+    MissingParam(usize),
+    /// Unknown function.
+    UnknownFunction(String),
+    /// Numeric overflow or division by zero in strict mode.
+    Arithmetic(String),
+    /// A SQL scalar subquery produced more than one row (strict mode).
+    Cardinality(String),
+    /// Resource guard tripped (e.g. recursion depth).
+    Resource(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Type(m) => write!(f, "type error: {m}"),
+            EvalError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            EvalError::MissingParam(i) => {
+                write!(f, "no value supplied for parameter ${i}")
+            }
+            EvalError::UnknownFunction(n) => write!(f, "unknown function: {n}"),
+            EvalError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            EvalError::Cardinality(m) => write!(f, "cardinality error: {m}"),
+            EvalError::Resource(m) => write!(f, "resource limit: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

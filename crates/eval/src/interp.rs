@@ -1,0 +1,1518 @@
+//! The Core-plan interpreter: clause-operators over binding streams.
+//!
+//! Semantics follow the paper's pipeline model (§V-B) and Pseudocodes 1–2:
+//! FROM produces bindings of variables to *arbitrarily typed* values
+//! (§III-A), each subsequent clause is a function over the binding stream,
+//! and `SELECT VALUE` constructs the output collection. The
+//! permissive/strict typing dichotomy (§IV) is threaded through every
+//! operation via [`TypingMode`].
+
+use std::collections::HashMap;
+
+use sqlpp_catalog::Catalog;
+use sqlpp_plan::{
+    AggFunc, Coercion, CompatMode, CoreExpr, CoreFrom, CoreJoinKind, CoreOp, CoreQuery,
+    CoreSetOp, CoreSortKey, WindowDef, WindowFunc,
+};
+use sqlpp_syntax::ast::{BinOp, IsTest, UnOp};
+use sqlpp_value::cmp::{deep_eq, sql_compare, sql_eq, total_cmp};
+use sqlpp_value::hash::GroupKey;
+use sqlpp_value::{Tuple, Value};
+
+use crate::agg;
+use crate::arith::{num_binop, num_neg, NumError, NumOp};
+use crate::cast::{cast, CastTarget};
+use crate::env::Env;
+use crate::error::{EvalError, TypingMode};
+use crate::functions;
+use crate::like::like_match;
+
+/// Evaluator configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Permissive (type error → MISSING) vs stop-on-error (§IV).
+    pub typing: TypingMode,
+    /// SQL-compatibility mode: enables the COALESCE/MISSING exception and
+    /// MISSING→NULL canonicalization of grouping keys (§IV-B).
+    pub compat: CompatMode,
+    /// Use the incremental-aggregation fast path for `COLL_*` over
+    /// subqueries (§V-C licenses this; the `agg_pipeline_vs_materialize`
+    /// benchmark measures it). Disabling forces conceptual
+    /// materialization.
+    pub pipeline_aggregates: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            typing: TypingMode::Permissive,
+            compat: CompatMode::SqlCompat,
+            pipeline_aggregates: true,
+        }
+    }
+}
+
+/// The plan interpreter.
+pub struct Evaluator<'a> {
+    catalog: &'a Catalog,
+    config: EvalConfig,
+    params: Vec<Value>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over a catalog.
+    pub fn new(catalog: &'a Catalog, config: EvalConfig) -> Self {
+        Evaluator { catalog, config, params: Vec::new() }
+    }
+
+    /// Supplies positional parameter values.
+    pub fn with_params(mut self, params: Vec<Value>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Runs a query, producing its result value (a bag for SELECT
+    /// queries, a tuple for top-level PIVOT).
+    pub fn run(&self, q: &CoreQuery) -> Result<Value, EvalError> {
+        self.value_op(&q.op, &Env::new())
+    }
+
+    /// Dynamic type error handling (§IV-B case 2): MISSING in permissive
+    /// mode, an error in stop-on-error mode. The message is built lazily:
+    /// in permissive mode — the hot path over dirty data — producing
+    /// MISSING must cost no more than the operation it replaces, so no
+    /// formatting or allocation happens there.
+    fn type_err<M: FnOnce() -> String>(&self, msg: M) -> Result<Value, EvalError> {
+        match self.config.typing {
+            TypingMode::Permissive => Ok(Value::Missing),
+            TypingMode::StrictError => Err(EvalError::Type(msg())),
+        }
+    }
+
+    // =================================================================
+    // Operators
+    // =================================================================
+
+    /// Evaluates a value-producing operator.
+    fn value_op(&self, op: &CoreOp, env: &Env) -> Result<Value, EvalError> {
+        match op {
+            CoreOp::Project { input, expr, distinct } => {
+                let bindings = self.bindings(input, env)?;
+                let mut out = Vec::with_capacity(bindings.len());
+                for b in &bindings {
+                    out.push(self.expr(expr, b)?);
+                }
+                if *distinct {
+                    out = dedupe(out);
+                }
+                Ok(Value::Bag(out))
+            }
+            CoreOp::Pivot { input, value, name } => {
+                let bindings = self.bindings(input, env)?;
+                let mut t = Tuple::new();
+                for b in &bindings {
+                    let n = self.expr(name, b)?;
+                    let v = self.expr(value, b)?;
+                    match n {
+                        Value::Str(s) => t.insert(s, v),
+                        Value::Missing | Value::Null => {}
+                        other => {
+                            // Permissive mode skips the pair; strict errors.
+                            let _ = self.type_err(|| format!(
+                                "PIVOT attribute name must be a string, found {}",
+                                other.kind().name()
+                            ))?;
+                        }
+                    }
+                }
+                Ok(Value::Tuple(t))
+            }
+            CoreOp::SetOp { op, all, left, right } => {
+                let l = self.value_stream(left, env)?;
+                let r = self.value_stream(right, env)?;
+                Ok(Value::Bag(eval_set_op(*op, *all, l, r)))
+            }
+            CoreOp::SortValues { input, keys } => {
+                let values = self.value_stream(input, env)?;
+                let mut annotated = Vec::with_capacity(values.len());
+                for v in values {
+                    // The output element is visible as `$out`; if it is a
+                    // tuple its attributes resolve dynamically.
+                    let row_env = env.bind("$out", v.clone());
+                    let mut ks = Vec::with_capacity(keys.len());
+                    for k in keys {
+                        ks.push(self.expr(&k.expr, &row_env)?);
+                    }
+                    annotated.push((ks, v));
+                }
+                sort_annotated(&mut annotated, keys);
+                Ok(Value::Bag(annotated.into_iter().map(|(_, v)| v).collect()))
+            }
+            CoreOp::LimitOffset { input, limit, offset } => {
+                let values = self.value_stream(input, env)?;
+                let (lim, off) = self.limit_offset(limit, offset, env)?;
+                Ok(Value::Bag(apply_limit(values, lim, off)))
+            }
+            CoreOp::With { bindings, body } => {
+                let mut env = env.clone();
+                for (name, q) in bindings {
+                    let v = self.value_op(&q.op, &env)?;
+                    env = env.bind(name.clone(), v);
+                }
+                self.value_op(body, &env)
+            }
+            // A binding-producing operator in value position only happens
+            // for degenerate plans; expose the bindings as tuples.
+            other => {
+                let bindings = self.bindings(other, env)?;
+                Ok(Value::Bag(
+                    bindings.iter().map(|_| Value::Tuple(Tuple::new())).collect(),
+                ))
+            }
+        }
+    }
+
+    /// Evaluates a value-producing operator into a vector of elements.
+    fn value_stream(&self, op: &CoreOp, env: &Env) -> Result<Vec<Value>, EvalError> {
+        match self.value_op(op, env)? {
+            Value::Bag(items) | Value::Array(items) => Ok(items),
+            single => Ok(vec![single]),
+        }
+    }
+
+    /// Evaluates a binding-producing operator.
+    fn bindings(&self, op: &CoreOp, env: &Env) -> Result<Vec<Env>, EvalError> {
+        match op {
+            CoreOp::Single => Ok(vec![env.clone()]),
+            CoreOp::From { item } => self.from_item(item, env),
+            CoreOp::Filter { input, pred } => {
+                let input = self.bindings(input, env)?;
+                let mut out = Vec::with_capacity(input.len());
+                for b in input {
+                    if matches!(self.expr(pred, &b)?, Value::Bool(true)) {
+                        out.push(b);
+                    }
+                }
+                Ok(out)
+            }
+            CoreOp::Group { input, keys, group_var, captured, emit_empty_group } => {
+                self.group(input, keys, group_var, captured, *emit_empty_group, env)
+            }
+            CoreOp::Append { inputs } => {
+                let mut out = Vec::new();
+                for i in inputs {
+                    out.extend(self.bindings(i, env)?);
+                }
+                Ok(out)
+            }
+            CoreOp::Sort { input, keys } => {
+                let input = self.bindings(input, env)?;
+                let mut annotated = Vec::with_capacity(input.len());
+                for b in input {
+                    let mut ks = Vec::with_capacity(keys.len());
+                    for k in keys {
+                        ks.push(self.expr(&k.expr, &b)?);
+                    }
+                    annotated.push((ks, b));
+                }
+                sort_annotated(&mut annotated, keys);
+                Ok(annotated.into_iter().map(|(_, b)| b).collect())
+            }
+            CoreOp::LimitOffset { input, limit, offset } => {
+                let input_bindings = self.bindings(input, env)?;
+                let (lim, off) = self.limit_offset(limit, offset, env)?;
+                Ok(apply_limit(input_bindings, lim, off))
+            }
+            CoreOp::Window { input, defs } => {
+                let mut rows = self.bindings(input, env)?;
+                for def in defs {
+                    rows = self.window(rows, def)?;
+                }
+                Ok(rows)
+            }
+            other => Err(EvalError::Type(format!(
+                "operator {other:?} does not produce bindings"
+            ))),
+        }
+    }
+
+    fn limit_offset(
+        &self,
+        limit: &Option<CoreExpr>,
+        offset: &Option<CoreExpr>,
+        env: &Env,
+    ) -> Result<(Option<usize>, usize), EvalError> {
+        let eval_count = |e: &Option<CoreExpr>| -> Result<Option<usize>, EvalError> {
+            match e {
+                None => Ok(None),
+                Some(e) => match self.expr(e, env)? {
+                    Value::Int(i) if i >= 0 => Ok(Some(i as usize)),
+                    other => Err(EvalError::Type(format!(
+                        "LIMIT/OFFSET must be a non-negative integer, found {other}"
+                    ))),
+                },
+            }
+        };
+        Ok((eval_count(limit)?, eval_count(offset)?.unwrap_or(0)))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn group(
+        &self,
+        input: &CoreOp,
+        keys: &[(String, CoreExpr)],
+        group_var: &str,
+        captured: &[String],
+        emit_empty_group: bool,
+        env: &Env,
+    ) -> Result<Vec<Env>, EvalError> {
+        let input = self.bindings(input, env)?;
+        // Insertion-ordered grouping: HashMap for lookup, Vec for order.
+        let mut index: HashMap<GroupKey, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (keys, elements)
+        for b in input {
+            let mut key_vals = Vec::with_capacity(keys.len());
+            for (_, ke) in keys {
+                let mut v = self.expr(ke, &b)?;
+                // Grouping treats the two absent values alike (PartiQL's
+                // `eqg`); the surfaced key is NULL. This also realizes the
+                // §IV-B compatibility guarantee for GROUP BY queries.
+                if v.is_missing() {
+                    v = Value::Null;
+                }
+                key_vals.push(v);
+            }
+            // The group element: a tuple of the captured bindings
+            // (Listing 14's {e: …, p: …} shape).
+            let mut elem = Tuple::with_capacity(captured.len());
+            for var in captured {
+                if let Some(v) = b.get(var) {
+                    elem.insert(var.clone(), v.clone());
+                }
+            }
+            let elem = Value::Tuple(elem);
+            match index.entry(GroupKey(key_vals.clone())) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    groups[*o.get()].1.push(elem);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(groups.len());
+                    groups.push((key_vals, vec![elem]));
+                }
+            }
+        }
+        // Ungrouped aggregation and the grand-total grouping set yield
+        // exactly one group even over empty input (SQL).
+        if emit_empty_group && groups.is_empty() {
+            // The group's key values: whatever the (constant) key
+            // expressions evaluate to with no rows — NULL placeholders
+            // and GROUPING flags.
+            let mut key_vals = Vec::with_capacity(keys.len());
+            for (_, ke) in keys {
+                key_vals.push(match ke {
+                    CoreExpr::Const(v) => v.clone(),
+                    _ => Value::Null,
+                });
+            }
+            groups.push((key_vals, Vec::new()));
+        }
+        let mut out = Vec::with_capacity(groups.len());
+        for (key_vals, elems) in groups {
+            let mut genv = env.clone();
+            for ((alias, _), v) in keys.iter().zip(key_vals) {
+                genv = genv.bind(alias.clone(), v);
+            }
+            genv = genv.bind(group_var.to_string(), Value::Bag(elems));
+            out.push(genv);
+        }
+        Ok(out)
+    }
+
+    /// Evaluates one window definition over the binding stream, returning
+    /// the stream (original order preserved) with `def.var` bound on each
+    /// row. SQL default frame semantics: whole partition without ORDER
+    /// BY; RANGE UNBOUNDED PRECEDING..CURRENT ROW (peers included) with
+    /// it.
+    fn window(&self, rows: Vec<Env>, def: &WindowDef) -> Result<Vec<Env>, EvalError> {
+        // Partition: insertion-ordered buckets of row indices.
+        let mut index: HashMap<GroupKey, usize> = HashMap::new();
+        let mut partitions: Vec<Vec<usize>> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(def.partition.len());
+            for p in &def.partition {
+                let mut v = self.expr(p, row)?;
+                if v.is_missing() {
+                    v = Value::Null; // absent keys partition together
+                }
+                key.push(v);
+            }
+            match index.entry(GroupKey(key)) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    partitions[*o.get()].push(i);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(partitions.len());
+                    partitions.push(vec![i]);
+                }
+            }
+        }
+        let mut computed: Vec<Value> = vec![Value::Null; rows.len()];
+        for partition in &partitions {
+            // Order within the partition.
+            let mut ordered: Vec<(Vec<Value>, usize)> = Vec::with_capacity(partition.len());
+            for &i in partition {
+                let mut ks = Vec::with_capacity(def.order.len());
+                for k in &def.order {
+                    ks.push(self.expr(&k.expr, &rows[i])?);
+                }
+                ordered.push((ks, i));
+            }
+            sort_annotated(&mut ordered, &def.order);
+            // Peer groups under the ordering (all one group when
+            // unordered).
+            let peers_equal = |a: &[Value], b: &[Value]| {
+                def.order.is_empty()
+                    || a.iter().zip(b).all(|(x, y)| deep_eq(x, y))
+            };
+            match def.func {
+                WindowFunc::RowNumber => {
+                    for (pos, (_, i)) in ordered.iter().enumerate() {
+                        computed[*i] = Value::Int(pos as i64 + 1);
+                    }
+                }
+                WindowFunc::Rank | WindowFunc::DenseRank => {
+                    let mut rank = 0i64;
+                    let mut dense = 0i64;
+                    for (pos, (keys, i)) in ordered.iter().enumerate() {
+                        let new_peer_group =
+                            pos == 0 || !peers_equal(keys, &ordered[pos - 1].0);
+                        if new_peer_group {
+                            rank = pos as i64 + 1;
+                            dense += 1;
+                        }
+                        computed[*i] = Value::Int(match def.func {
+                            WindowFunc::Rank => rank,
+                            _ => dense,
+                        });
+                    }
+                }
+                WindowFunc::Lag | WindowFunc::Lead => {
+                    let offset = match def.args.get(1) {
+                        None => 1i64,
+                        Some(e) => match self.expr(e, &rows[ordered[0].1])? {
+                            Value::Int(o) if o >= 0 => o,
+                            other => {
+                                return Err(EvalError::Type(format!(
+                                    "LAG/LEAD offset must be a non-negative \
+                                     integer, found {other}"
+                                )));
+                            }
+                        },
+                    };
+                    for (pos, (_, i)) in ordered.iter().enumerate() {
+                        let neighbor = match def.func {
+                            WindowFunc::Lag => (pos as i64) - offset,
+                            _ => (pos as i64) + offset,
+                        };
+                        computed[*i] = if neighbor >= 0
+                            && (neighbor as usize) < ordered.len()
+                        {
+                            let j = ordered[neighbor as usize].1;
+                            self.expr(&def.args[0], &rows[j])?
+                        } else if let Some(default) = def.args.get(2) {
+                            self.expr(default, &rows[*i])?
+                        } else {
+                            Value::Null
+                        };
+                    }
+                }
+                WindowFunc::Agg(func) => {
+                    if def.order.is_empty() {
+                        // Whole-partition aggregate, computed once.
+                        let mut acc = agg::Accumulator::new(func);
+                        for (_, i) in &ordered {
+                            acc.push(&self.window_agg_input(def, *i, &rows)?);
+                        }
+                        let value = match acc.finish() {
+                            Ok(v) => v,
+                            Err(e) => self.agg_err(e)?,
+                        };
+                        for (_, i) in &ordered {
+                            computed[*i] = value.clone();
+                        }
+                    } else {
+                        // Running aggregate with peers included: compute
+                        // at each peer-group boundary.
+                        let mut acc = agg::Accumulator::new(func);
+                        let mut pos = 0usize;
+                        while pos < ordered.len() {
+                            let mut end = pos + 1;
+                            while end < ordered.len()
+                                && peers_equal(&ordered[end].0, &ordered[pos].0)
+                            {
+                                end += 1;
+                            }
+                            for (_, i) in &ordered[pos..end] {
+                                acc.push(&self.window_agg_input(def, *i, &rows)?);
+                            }
+                            let value = match acc.clone().finish() {
+                                Ok(v) => v,
+                                Err(e) => self.agg_err(e)?,
+                            };
+                            for (_, i) in &ordered[pos..end] {
+                                computed[*i] = value.clone();
+                            }
+                            pos = end;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(rows
+            .into_iter()
+            .zip(computed)
+            .map(|(row, v)| row.bind(def.var.clone(), v))
+            .collect())
+    }
+
+    /// The per-row input of a windowed aggregate: the argument expression,
+    /// or — for `COUNT(*) OVER (…)` — a constant that counts every row.
+    fn window_agg_input(
+        &self,
+        def: &WindowDef,
+        row: usize,
+        rows: &[Env],
+    ) -> Result<Value, EvalError> {
+        match def.args.first() {
+            Some(arg) => self.expr(arg, &rows[row]),
+            None => Ok(Value::Int(1)),
+        }
+    }
+
+    // =================================================================
+    // FROM
+    // =================================================================
+
+    #[allow(clippy::wrong_self_convention)] // "from" is the SQL clause
+    fn from_item(&self, item: &CoreFrom, env: &Env) -> Result<Vec<Env>, EvalError> {
+        match item {
+            CoreFrom::Scan { expr, as_var, at_var } => {
+                let source = self.expr(expr, env)?;
+                self.scan(source, as_var, at_var.as_deref(), env)
+            }
+            CoreFrom::Unpivot { expr, value_var, name_var } => {
+                let source = self.expr(expr, env)?;
+                self.unpivot(source, value_var, name_var, env)
+            }
+            CoreFrom::Let { expr, var } => {
+                let v = self.expr(expr, env)?;
+                Ok(vec![env.bind(var.clone(), v)])
+            }
+            CoreFrom::Correlate { left, right } => {
+                let lefts = self.from_item(left, env)?;
+                let mut out = Vec::new();
+                for l in lefts {
+                    out.extend(self.from_item(right, &l)?);
+                }
+                Ok(out)
+            }
+            CoreFrom::Join { kind, left, right, on, right_vars } => {
+                let lefts = self.from_item(left, env)?;
+                let mut out = Vec::new();
+                for l in lefts {
+                    let rights = self.from_item(right, &l)?;
+                    let mut matched = false;
+                    for r in rights {
+                        if matches!(self.expr(on, &r)?, Value::Bool(true)) {
+                            matched = true;
+                            out.push(r);
+                        }
+                    }
+                    if !matched && *kind == CoreJoinKind::Left {
+                        // SQL left join: unmatched rows pad the right-side
+                        // variables with NULL.
+                        let mut padded = l.clone();
+                        for v in right_vars {
+                            padded = padded.bind(v.clone(), Value::Null);
+                        }
+                        out.push(padded);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Iterating a FROM source (§III): collections iterate, MISSING
+    /// vanishes, and any other value is — permissively — a singleton
+    /// ("aliases may bind to any value, not just tuples").
+    fn scan(
+        &self,
+        source: Value,
+        as_var: &str,
+        at_var: Option<&str>,
+        env: &Env,
+    ) -> Result<Vec<Env>, EvalError> {
+        match source {
+            Value::Bag(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let mut e = env.bind(as_var.to_string(), item);
+                    if let Some(at) = at_var {
+                        // Bags are unordered: AT has no meaningful value.
+                        match self.config.typing {
+                            TypingMode::Permissive => {
+                                e = e.bind(at.to_string(), Value::Missing);
+                            }
+                            TypingMode::StrictError => {
+                                return Err(EvalError::Type(
+                                    "AT position variable over an unordered bag"
+                                        .to_string(),
+                                ));
+                            }
+                        }
+                    }
+                    out.push(e);
+                }
+                Ok(out)
+            }
+            Value::Array(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for (i, item) in items.into_iter().enumerate() {
+                    let mut e = env.bind(as_var.to_string(), item);
+                    if let Some(at) = at_var {
+                        e = e.bind(at.to_string(), Value::Int(i as i64));
+                    }
+                    out.push(e);
+                }
+                Ok(out)
+            }
+            Value::Missing => Ok(Vec::new()),
+            other => match self.config.typing {
+                TypingMode::Permissive => {
+                    let mut e = env.bind(as_var.to_string(), other);
+                    if let Some(at) = at_var {
+                        e = e.bind(at.to_string(), Value::Missing);
+                    }
+                    Ok(vec![e])
+                }
+                TypingMode::StrictError => Err(EvalError::Type(format!(
+                    "FROM source must be a collection, found {}",
+                    other.kind().name()
+                ))),
+            },
+        }
+    }
+
+    /// UNPIVOT (§VI-A): a tuple's attribute/value pairs become data. A
+    /// non-tuple coerces to `{'_1': v}` in permissive mode (PartiQL's
+    /// rule); MISSING unpivots to nothing.
+    fn unpivot(
+        &self,
+        source: Value,
+        value_var: &str,
+        name_var: &str,
+        env: &Env,
+    ) -> Result<Vec<Env>, EvalError> {
+        let tuple = match source {
+            Value::Tuple(t) => t,
+            Value::Missing => return Ok(Vec::new()),
+            other => match self.config.typing {
+                TypingMode::Permissive => {
+                    let mut t = Tuple::new();
+                    t.insert("_1", other);
+                    t
+                }
+                TypingMode::StrictError => {
+                    return Err(EvalError::Type(format!(
+                        "UNPIVOT source must be a tuple, found {}",
+                        other.kind().name()
+                    )));
+                }
+            },
+        };
+        Ok(tuple
+            .into_iter()
+            .map(|(name, value)| {
+                env.bind(value_var.to_string(), value)
+                    .bind(name_var.to_string(), Value::Str(name))
+            })
+            .collect())
+    }
+
+    // =================================================================
+    // Expressions
+    // =================================================================
+
+    /// Evaluates a Core expression in an environment.
+    pub fn expr(&self, e: &CoreExpr, env: &Env) -> Result<Value, EvalError> {
+        match e {
+            CoreExpr::Const(v) => Ok(v.clone()),
+            CoreExpr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnknownName(name.clone())),
+            CoreExpr::Param(i) => self
+                .params
+                .get(*i)
+                .cloned()
+                .ok_or(EvalError::MissingParam(*i)),
+            CoreExpr::Global(segments) => self.resolve_global(segments, env),
+            CoreExpr::Dynamic(name) => {
+                self.resolve_global(std::slice::from_ref(name), env)
+            }
+            CoreExpr::Path(base, attr) => {
+                let base = self.expr(base, env)?;
+                match &base {
+                    Value::Tuple(_) | Value::Null | Value::Missing => {
+                        Ok(base.path(attr))
+                    }
+                    other => self.type_err(|| format!(
+                        "cannot navigate attribute {attr:?} of a {}",
+                        other.kind().name()
+                    )),
+                }
+            }
+            CoreExpr::Index(base, idx) => {
+                let base = self.expr(base, env)?;
+                let idx = self.expr(idx, env)?;
+                if base.is_missing() || idx.is_missing() {
+                    return Ok(Value::Missing);
+                }
+                if base.is_null() || idx.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (&base, &idx) {
+                    (Value::Array(_), Value::Int(i)) => Ok(base.index(*i)),
+                    _ => self.type_err(|| format!(
+                        "cannot index a {} with a {}",
+                        base.kind().name(),
+                        idx.kind().name()
+                    )),
+                }
+            }
+            CoreExpr::Bin(op, l, r) => self.binop(*op, l, r, env),
+            CoreExpr::Un(op, inner) => {
+                let v = self.expr(inner, env)?;
+                if v.is_missing() {
+                    return Ok(Value::Missing);
+                }
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                match op {
+                    UnOp::Not => match v {
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        other => self.type_err(|| format!(
+                            "NOT requires a boolean, found {}",
+                            other.kind().name()
+                        )),
+                    },
+                    UnOp::Neg => self.lift_num(num_neg(&v)),
+                    UnOp::Pos => {
+                        if v.is_number() {
+                            Ok(v)
+                        } else {
+                            self.type_err(|| format!(
+                                "unary + requires a number, found {}",
+                                v.kind().name()
+                            ))
+                        }
+                    }
+                }
+            }
+            CoreExpr::Like { expr, pattern, escape, negated } => {
+                self.like(expr, pattern, escape.as_deref(), *negated, env)
+            }
+            CoreExpr::Between { expr, low, high, negated } => {
+                // x BETWEEN a AND b ≡ a <= x AND x <= b under 3VL.
+                let ge = self.compare(BinOp::GtEq, expr, low, env)?;
+                let le = self.compare(BinOp::LtEq, expr, high, env)?;
+                let both = logical_and(&ge, &le);
+                Ok(if *negated { logical_not(&both) } else { both })
+            }
+            CoreExpr::In { expr, collection, negated } => {
+                let v = self.in_predicate(expr, collection, env)?;
+                Ok(if *negated { logical_not(&v) } else { v })
+            }
+            CoreExpr::Is { expr, test, negated } => {
+                let v = self.expr(expr, env)?;
+                let result = match test {
+                    // SQL compatibility: IS NULL is true for both absent
+                    // values (a schemaful client cannot tell them apart).
+                    IsTest::Null => v.is_absent(),
+                    IsTest::Missing => v.is_missing(),
+                    IsTest::Type(name) => type_test(&v, name),
+                };
+                Ok(Value::Bool(result != *negated))
+            }
+            CoreExpr::Case { arms, else_expr } => {
+                for (when, then) in arms {
+                    match self.expr(when, env)? {
+                        Value::Bool(true) => return self.expr(then, env),
+                        // §IV-B (Listing 9): in composability mode a
+                        // MISSING condition propagates — "CASE WHEN
+                        // MISSING … END … will in turn evaluate to
+                        // MISSING". SQL-compat mode keeps SQL's rule
+                        // (non-true falls through to the next arm/ELSE).
+                        Value::Missing
+                            if self.config.compat == CompatMode::Composable =>
+                        {
+                            return Ok(Value::Missing);
+                        }
+                        _ => {}
+                    }
+                }
+                self.expr(else_expr, env)
+            }
+            CoreExpr::Call { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, env)?);
+                }
+                match functions::call(
+                    name,
+                    &vals,
+                    self.config.compat == CompatMode::SqlCompat,
+                )? {
+                    Ok(v) => Ok(v),
+                    Err(msg) => self.type_err(|| msg),
+                }
+            }
+            CoreExpr::CollAgg { func, distinct, input } => {
+                self.coll_agg(*func, *distinct, input, env)
+            }
+            CoreExpr::Subquery { plan, coercion } => {
+                let v = self.run_in(plan, env)?;
+                self.coerce_subquery(v, *coercion)
+            }
+            CoreExpr::Exists(q) => {
+                let v = self.run_in(q, env)?;
+                match v.as_elements() {
+                    Some(items) => Ok(Value::Bool(!items.is_empty())),
+                    None => Ok(Value::Bool(true)), // PIVOT result: a tuple exists
+                }
+            }
+            CoreExpr::TupleCtor(pairs) => {
+                let mut t = Tuple::with_capacity(pairs.len());
+                for (name_expr, value_expr) in pairs {
+                    let name = self.expr(name_expr, env)?;
+                    let value = self.expr(value_expr, env)?;
+                    match name {
+                        Value::Str(s) => t.insert(s, value),
+                        // Absent names skip the pair in permissive mode.
+                        Value::Missing | Value::Null => match self.config.typing {
+                            TypingMode::Permissive => {}
+                            TypingMode::StrictError => {
+                                return Err(EvalError::Type(
+                                    "tuple attribute name is absent".to_string(),
+                                ));
+                            }
+                        },
+                        other => {
+                            self.type_err(|| format!(
+                                "tuple attribute name must be a string, found {}",
+                                other.kind().name()
+                            ))?;
+                        }
+                    }
+                }
+                Ok(Value::Tuple(t))
+            }
+            CoreExpr::ArrayCtor(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let v = self.expr(item, env)?;
+                    if !v.is_missing() {
+                        out.push(v); // constructors omit MISSING
+                    }
+                }
+                Ok(Value::Array(out))
+            }
+            CoreExpr::BagCtor(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let v = self.expr(item, env)?;
+                    if !v.is_missing() {
+                        out.push(v);
+                    }
+                }
+                Ok(Value::Bag(out))
+            }
+            CoreExpr::Cast { expr, ty } => {
+                let v = self.expr(expr, env)?;
+                let target = CastTarget::parse(ty).ok_or_else(|| {
+                    EvalError::Type(format!("unknown CAST target type {ty}"))
+                })?;
+                match cast(&v, target) {
+                    Some(out) => Ok(out),
+                    None => self.type_err(|| format!(
+                        "cannot cast {} value {v} to {ty}",
+                        v.kind().name()
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Runs a nested plan with the current environment as its outer scope
+    /// (correlated subqueries).
+    fn run_in(&self, q: &CoreQuery, env: &Env) -> Result<Value, EvalError> {
+        self.value_op(&q.op, env)
+    }
+
+    /// Catalog resolution with longest-prefix matching and, on a miss, the
+    /// dynamic-disambiguation fallback (a unique attribute of exactly one
+    /// in-scope tuple binding).
+    fn resolve_global(&self, segments: &[String], env: &Env) -> Result<Value, EvalError> {
+        if let Some((value, used)) = self.catalog.resolve_prefix(segments) {
+            let mut v = (*value).clone();
+            for attr in &segments[used..] {
+                v = v.path(attr);
+            }
+            return Ok(v);
+        }
+        // CTE/variable names that look dotted never reach here (the
+        // planner resolved in-scope heads); but a head can still be bound
+        // dynamically (SortValues' attribute scope) or be an attribute of
+        // exactly one visible tuple.
+        if let Some(v) = env.get(&segments[0]) {
+            let mut v = v.clone();
+            for attr in &segments[1..] {
+                v = v.path(attr);
+            }
+            return Ok(v);
+        }
+        let head = &segments[0];
+        let mut candidates = Vec::new();
+        for (name, value) in env.visible_bindings() {
+            if name.starts_with('$') && name != "$out" {
+                continue;
+            }
+            if let Value::Tuple(t) = value {
+                if t.contains(head) {
+                    candidates.push(value);
+                }
+            }
+        }
+        if candidates.len() == 1 {
+            let mut v = candidates[0].clone();
+            for attr in segments {
+                v = v.path(attr);
+            }
+            return Ok(v);
+        }
+        Err(EvalError::UnknownName(segments.join(".")))
+    }
+
+    fn lift_num(&self, r: Result<Value, NumError>) -> Result<Value, EvalError> {
+        match r {
+            Ok(v) => Ok(v),
+            Err(NumError::NotANumber(kind)) => {
+                self.type_err(|| format!("expected a number, found {kind}"))
+            }
+            Err(NumError::Overflow) => match self.config.typing {
+                TypingMode::Permissive => Ok(Value::Missing),
+                TypingMode::StrictError => {
+                    Err(EvalError::Arithmetic("numeric overflow".to_string()))
+                }
+            },
+            Err(NumError::DivisionByZero) => match self.config.typing {
+                TypingMode::Permissive => Ok(Value::Missing),
+                TypingMode::StrictError => {
+                    Err(EvalError::Arithmetic("division by zero".to_string()))
+                }
+            },
+        }
+    }
+
+    fn binop(
+        &self,
+        op: BinOp,
+        l: &CoreExpr,
+        r: &CoreExpr,
+        env: &Env,
+    ) -> Result<Value, EvalError> {
+        // AND/OR have their own absent-value tables (SQL 3VL extended to
+        // MISSING; FALSE/TRUE dominate even absent operands).
+        if op == BinOp::And || op == BinOp::Or {
+            let lv = self.expr(l, env)?;
+            // Short-circuit on the dominating value.
+            if op == BinOp::And && lv == Value::Bool(false) {
+                return Ok(Value::Bool(false));
+            }
+            if op == BinOp::Or && lv == Value::Bool(true) {
+                return Ok(Value::Bool(true));
+            }
+            let rv = self.expr(r, env)?;
+            let (lb, rb) = (self.to_logical(&lv)?, self.to_logical(&rv)?);
+            return Ok(match op {
+                BinOp::And => and3(lb, rb),
+                _ => or3(lb, rb),
+            });
+        }
+        let lv = self.expr(l, env)?;
+        let rv = self.expr(r, env)?;
+        match op {
+            BinOp::Eq => Ok(sql_eq(&lv, &rv)),
+            BinOp::NotEq => Ok(logical_not(&sql_eq(&lv, &rv))),
+            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                self.compare_values(op, &lv, &rv)
+            }
+            BinOp::Add => self.arith(NumOp::Add, &lv, &rv),
+            BinOp::Sub => self.arith(NumOp::Sub, &lv, &rv),
+            BinOp::Mul => self.arith(NumOp::Mul, &lv, &rv),
+            BinOp::Div => self.arith(NumOp::Div, &lv, &rv),
+            BinOp::Mod => self.arith(NumOp::Rem, &lv, &rv),
+            BinOp::Concat => {
+                if lv.is_missing() || rv.is_missing() {
+                    return Ok(Value::Missing);
+                }
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (&lv, &rv) {
+                    (Value::Str(a), Value::Str(b)) => {
+                        let mut s = String::with_capacity(a.len() + b.len());
+                        s.push_str(a);
+                        s.push_str(b);
+                        Ok(Value::Str(s))
+                    }
+                    _ => self.type_err(|| format!(
+                        "|| requires strings, found {} and {}",
+                        lv.kind().name(),
+                        rv.kind().name()
+                    )),
+                }
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn arith(&self, op: NumOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+        if l.is_missing() || r.is_missing() {
+            return Ok(Value::Missing);
+        }
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Null);
+        }
+        self.lift_num(num_binop(op, l, r))
+    }
+
+    fn compare(
+        &self,
+        op: BinOp,
+        l: &CoreExpr,
+        r: &CoreExpr,
+        env: &Env,
+    ) -> Result<Value, EvalError> {
+        let lv = self.expr(l, env)?;
+        let rv = self.expr(r, env)?;
+        self.compare_values(op, &lv, &rv)
+    }
+
+    fn compare_values(&self, op: BinOp, lv: &Value, rv: &Value) -> Result<Value, EvalError> {
+        match sql_compare(lv, rv) {
+            Err(absent) => Ok(absent),
+            Ok(Some(ord)) => Ok(Value::Bool(match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::LtEq => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            })),
+            Ok(None) => self.type_err(|| format!(
+                "cannot compare {} with {}",
+                lv.kind().name(),
+                rv.kind().name()
+            )),
+        }
+    }
+
+    /// Converts to 3VL: Some(bool), or None for absent. `u8` encodes
+    /// MISSING=0 / NULL=1 to preserve the distinction through AND/OR.
+    fn to_logical(&self, v: &Value) -> Result<Logical, EvalError> {
+        match v {
+            Value::Bool(b) => Ok(Logical::Bool(*b)),
+            Value::Missing => Ok(Logical::Missing),
+            Value::Null => Ok(Logical::Null),
+            other => match self.type_err(|| format!(
+                "logical operator requires a boolean, found {}",
+                other.kind().name()
+            ))? {
+                Value::Missing => Ok(Logical::Missing),
+                _ => Ok(Logical::Missing),
+            },
+        }
+    }
+
+    fn like(
+        &self,
+        expr: &CoreExpr,
+        pattern: &CoreExpr,
+        escape: Option<&CoreExpr>,
+        negated: bool,
+        env: &Env,
+    ) -> Result<Value, EvalError> {
+        let text = self.expr(expr, env)?;
+        let pat = self.expr(pattern, env)?;
+        let esc = match escape {
+            Some(e) => Some(self.expr(e, env)?),
+            None => None,
+        };
+        for v in [Some(&text), Some(&pat), esc.as_ref()].into_iter().flatten() {
+            if v.is_missing() {
+                return Ok(Value::Missing);
+            }
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+        }
+        let (text, pat) = match (&text, &pat) {
+            (Value::Str(t), Value::Str(p)) => (t, p),
+            _ => {
+                return self.type_err(|| format!(
+                    "LIKE requires strings, found {} and {}",
+                    text.kind().name(),
+                    pat.kind().name()
+                ));
+            }
+        };
+        let esc_char = match &esc {
+            None => None,
+            Some(Value::Str(s)) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Some(c),
+                    _ => {
+                        return self.type_err(|| {
+                            "ESCAPE must be a single character".to_string()
+                        });
+                    }
+                }
+            }
+            Some(other) => {
+                return self.type_err(|| format!(
+                    "ESCAPE must be a string, found {}",
+                    other.kind().name()
+                ));
+            }
+        };
+        match like_match(text, pat, esc_char) {
+            Ok(m) => Ok(Value::Bool(m != negated)),
+            Err(_) => self.type_err(|| "malformed LIKE pattern".to_string()),
+        }
+    }
+
+    /// SQL IN semantics under 3VL: TRUE if any element equals, else NULL
+    /// if any comparison was absent, else FALSE.
+    fn in_predicate(
+        &self,
+        expr: &CoreExpr,
+        collection: &CoreExpr,
+        env: &Env,
+    ) -> Result<Value, EvalError> {
+        let needle = self.expr(expr, env)?;
+        if needle.is_missing() {
+            return Ok(Value::Missing);
+        }
+        let hay = self.expr(collection, env)?;
+        if hay.is_missing() {
+            return Ok(Value::Missing);
+        }
+        if hay.is_null() {
+            return Ok(Value::Null);
+        }
+        let items = match hay.as_elements() {
+            Some(items) => items,
+            None => {
+                return self.type_err(|| format!(
+                    "IN requires a collection, found {}",
+                    hay.kind().name()
+                ));
+            }
+        };
+        if needle.is_null() {
+            return Ok(Value::Null);
+        }
+        let mut saw_absent = false;
+        for item in items {
+            match sql_eq(&needle, item) {
+                Value::Bool(true) => return Ok(Value::Bool(true)),
+                Value::Bool(false) => {}
+                _ => saw_absent = true,
+            }
+        }
+        Ok(if saw_absent { Value::Null } else { Value::Bool(false) })
+    }
+
+    fn coll_agg(
+        &self,
+        func: AggFunc,
+        distinct: bool,
+        input: &CoreExpr,
+        env: &Env,
+    ) -> Result<Value, EvalError> {
+        // Pipelined fast path: COLL_AGG over a plain SELECT VALUE subquery
+        // aggregates incrementally instead of materializing the bag —
+        // legal because the materialization is only conceptual (§V-C).
+        if self.config.pipeline_aggregates && !distinct {
+            if let CoreExpr::Subquery { plan, coercion: Coercion::Bag } = input {
+                if let CoreOp::Project { input: sub_in, expr, distinct: false } = &plan.op
+                {
+                    let mut acc = agg::Accumulator::new(func);
+                    for b in self.bindings(sub_in, env)? {
+                        acc.push(&self.expr(expr, &b)?);
+                    }
+                    return match acc.finish() {
+                        Ok(v) => Ok(v),
+                        Err(e) => self.agg_err(e),
+                    };
+                }
+            }
+        }
+        let v = self.expr(input, env)?;
+        if v.is_null() {
+            return Ok(Value::Null);
+        }
+        if v.is_missing() {
+            return Ok(Value::Missing);
+        }
+        let items = match v.as_elements() {
+            Some(items) => items.to_vec(),
+            None => {
+                return self.type_err(|| format!(
+                    "{} requires a collection, found {}",
+                    func.coll_name(),
+                    v.kind().name()
+                ));
+            }
+        };
+        let items = if distinct { agg::distinct_elements(&items) } else { items };
+        match agg::apply(func, &items) {
+            Ok(v) => Ok(v),
+            Err(e) => self.agg_err(e),
+        }
+    }
+
+    fn agg_err(&self, e: agg::AggError) -> Result<Value, EvalError> {
+        match e {
+            agg::AggError::BadElement { func, kind } => self.type_err(|| format!(
+                "{} over a non-aggregatable {} element",
+                func.coll_name(),
+                kind
+            )),
+            agg::AggError::Arithmetic(m) => match self.config.typing {
+                TypingMode::Permissive => Ok(Value::Missing),
+                TypingMode::StrictError => Err(EvalError::Arithmetic(m)),
+            },
+        }
+    }
+
+    /// SQL subquery coercion (§V-A), applied only in SQL-compat mode by
+    /// the planner's choice of [`Coercion`].
+    fn coerce_subquery(&self, v: Value, coercion: Coercion) -> Result<Value, EvalError> {
+        match coercion {
+            Coercion::Bag => Ok(v),
+            Coercion::Scalar => {
+                let items = match v.as_elements() {
+                    Some(items) => items,
+                    None => return Ok(v), // PIVOT subquery: already a value
+                };
+                match items.len() {
+                    0 => Ok(Value::Null),
+                    1 => self.single_attr(&items[0]),
+                    n => match self.config.typing {
+                        TypingMode::Permissive => Ok(Value::Missing),
+                        TypingMode::StrictError => Err(EvalError::Cardinality(format!(
+                            "scalar subquery produced {n} rows"
+                        ))),
+                    },
+                }
+            }
+            Coercion::Collection => {
+                let items = match v.into_elements() {
+                    Some(items) => items,
+                    None => {
+                        return self.type_err(|| {
+                            "IN subquery did not produce a collection".to_string()
+                        });
+                    }
+                };
+                let mut out = Vec::with_capacity(items.len());
+                for item in &items {
+                    out.push(self.single_attr(item)?);
+                }
+                Ok(Value::Bag(out))
+            }
+        }
+    }
+
+    fn single_attr(&self, row: &Value) -> Result<Value, EvalError> {
+        match row {
+            Value::Tuple(t) if t.len() == 1 => {
+                Ok(t.iter().next().expect("len 1").1.clone())
+            }
+            other => match self.config.typing {
+                TypingMode::Permissive => Ok(Value::Missing),
+                TypingMode::StrictError => Err(EvalError::Cardinality(format!(
+                    "SQL subquery row must have exactly one attribute, found {other}"
+                ))),
+            },
+        }
+    }
+}
+
+// =====================================================================
+// Helpers
+// =====================================================================
+
+/// 3VL with two absent values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Logical {
+    Bool(bool),
+    Null,
+    Missing,
+}
+
+fn and3(a: Logical, b: Logical) -> Value {
+    use Logical::*;
+    match (a, b) {
+        (Bool(false), _) | (_, Bool(false)) => Value::Bool(false),
+        (Bool(true), Bool(true)) => Value::Bool(true),
+        // An absent operand dominates TRUE; MISSING beats NULL (pure
+        // propagation, §IV-B case 3).
+        (Missing, _) | (_, Missing) => Value::Missing,
+        _ => Value::Null,
+    }
+}
+
+fn or3(a: Logical, b: Logical) -> Value {
+    use Logical::*;
+    match (a, b) {
+        (Bool(true), _) | (_, Bool(true)) => Value::Bool(true),
+        (Bool(false), Bool(false)) => Value::Bool(false),
+        (Missing, _) | (_, Missing) => Value::Missing,
+        _ => Value::Null,
+    }
+}
+
+fn logical_and(a: &Value, b: &Value) -> Value {
+    let to = |v: &Value| match v {
+        Value::Bool(b) => Logical::Bool(*b),
+        Value::Null => Logical::Null,
+        _ => Logical::Missing,
+    };
+    and3(to(a), to(b))
+}
+
+fn logical_not(v: &Value) -> Value {
+    match v {
+        Value::Bool(b) => Value::Bool(!b),
+        other => other.clone(),
+    }
+}
+
+fn type_test(v: &Value, name: &str) -> bool {
+    match name {
+        "ARRAY" | "LIST" => matches!(v, Value::Array(_)),
+        "BAG" => matches!(v, Value::Bag(_)),
+        "TUPLE" | "STRUCT" | "OBJECT" => matches!(v, Value::Tuple(_)),
+        "STRING" | "VARCHAR" | "TEXT" => matches!(v, Value::Str(_)),
+        "NUMBER" | "NUMERIC" => v.is_number(),
+        "INT" | "INTEGER" | "BIGINT" => matches!(v, Value::Int(_)),
+        "FLOAT" | "DOUBLE" => matches!(v, Value::Float(_)),
+        "DECIMAL" => matches!(v, Value::Decimal(_)),
+        "BOOLEAN" | "BOOL" => matches!(v, Value::Bool(_)),
+        "COLLECTION" => v.is_collection(),
+        "SCALAR" => v.is_scalar(),
+        _ => false,
+    }
+}
+
+/// Structural dedup preserving first occurrences (DISTINCT).
+fn dedupe(items: Vec<Value>) -> Vec<Value> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut out: Vec<Value> = Vec::with_capacity(items.len());
+    for item in items {
+        let mut h = DefaultHasher::new();
+        GroupKey(vec![item.clone()]).hash(&mut h);
+        let key = h.finish();
+        let bucket = seen.entry(key).or_default();
+        if !bucket.iter().any(|&i| deep_eq(&out[i], &item)) {
+            bucket.push(out.len());
+            out.push(item);
+        }
+    }
+    out
+}
+
+fn apply_limit<T>(items: Vec<T>, limit: Option<usize>, offset: usize) -> Vec<T> {
+    items
+        .into_iter()
+        .skip(offset)
+        .take(limit.unwrap_or(usize::MAX))
+        .collect()
+}
+
+/// Stable sort of `(keys, payload)` rows honoring desc and nulls-first per
+/// key. Absent values (MISSING and NULL) obey `nulls_first` as a block;
+/// within the block MISSING sorts before NULL (the total order).
+fn sort_annotated<T>(rows: &mut [(Vec<Value>, T)], keys: &[CoreSortKey]) {
+    rows.sort_by(|(a, _), (b, _)| {
+        for (i, k) in keys.iter().enumerate() {
+            let (av, bv) = (&a[i], &b[i]);
+            let (aa, ba) = (av.is_absent(), bv.is_absent());
+            let ord = match (aa, ba) {
+                (true, true) => total_cmp(av, bv),
+                (true, false) => {
+                    if k.nulls_first {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                }
+                (false, true) => {
+                    if k.nulls_first {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    }
+                }
+                (false, false) => {
+                    let o = total_cmp(av, bv);
+                    if k.desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn eval_set_op(op: CoreSetOp, all: bool, left: Vec<Value>, right: Vec<Value>) -> Vec<Value> {
+    match (op, all) {
+        (CoreSetOp::Union, true) => {
+            let mut out = left;
+            out.extend(right);
+            out
+        }
+        (CoreSetOp::Union, false) => {
+            let mut out = left;
+            out.extend(right);
+            dedupe(out)
+        }
+        (CoreSetOp::Intersect, all) => {
+            // Multiset intersection: keep each left element up to its
+            // multiplicity in right.
+            let mut right_pool: Vec<Option<Value>> = right.into_iter().map(Some).collect();
+            let mut out = Vec::new();
+            for l in left {
+                if let Some(slot) = right_pool
+                    .iter_mut()
+                    .find(|s| s.as_ref().is_some_and(|r| deep_eq(r, &l)))
+                {
+                    *slot = None;
+                    out.push(l);
+                }
+            }
+            if all {
+                out
+            } else {
+                dedupe(out)
+            }
+        }
+        (CoreSetOp::Except, all) => {
+            let mut right_pool: Vec<Option<Value>> = right.into_iter().map(Some).collect();
+            let mut out = Vec::new();
+            for l in left {
+                if let Some(slot) = right_pool
+                    .iter_mut()
+                    .find(|s| s.as_ref().is_some_and(|r| deep_eq(r, &l)))
+                {
+                    *slot = None;
+                } else {
+                    out.push(l);
+                }
+            }
+            if all {
+                out
+            } else {
+                dedupe(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_tables_with_two_absent_values() {
+        use Logical::*;
+        assert_eq!(and3(Bool(false), Missing), Value::Bool(false));
+        assert_eq!(and3(Bool(true), Missing), Value::Missing);
+        assert_eq!(and3(Bool(true), Null), Value::Null);
+        assert_eq!(and3(Null, Missing), Value::Missing);
+        assert_eq!(or3(Bool(true), Missing), Value::Bool(true));
+        assert_eq!(or3(Bool(false), Missing), Value::Missing);
+        assert_eq!(or3(Bool(false), Null), Value::Null);
+    }
+
+    #[test]
+    fn dedupe_is_structural_and_stable() {
+        let items = vec![
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Int(2),
+            Value::Int(1),
+        ];
+        let out = dedupe(items);
+        assert_eq!(out, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn set_ops_respect_multiplicity() {
+        let l = vec![Value::Int(1), Value::Int(1), Value::Int(2)];
+        let r = vec![Value::Int(1), Value::Int(3)];
+        assert_eq!(
+            eval_set_op(CoreSetOp::Intersect, true, l.clone(), r.clone()),
+            vec![Value::Int(1)]
+        );
+        assert_eq!(
+            eval_set_op(CoreSetOp::Except, true, l.clone(), r.clone()),
+            vec![Value::Int(1), Value::Int(2)]
+        );
+        assert_eq!(
+            eval_set_op(CoreSetOp::Union, false, l, r).len(),
+            3 // {1, 2, 3}
+        );
+    }
+
+    #[test]
+    fn sort_places_absent_values_per_nulls_first() {
+        let keys = vec![CoreSortKey {
+            expr: CoreExpr::Const(Value::Null), // unused by sort_annotated
+            desc: false,
+            nulls_first: false,
+        }];
+        let mut rows = vec![
+            (vec![Value::Null], 0),
+            (vec![Value::Int(2)], 1),
+            (vec![Value::Missing], 2),
+            (vec![Value::Int(1)], 3),
+        ];
+        sort_annotated(&mut rows, &keys);
+        let order: Vec<i32> = rows.iter().map(|(_, p)| *p).collect();
+        assert_eq!(order, vec![3, 1, 2, 0], "values first, then MISSING < NULL");
+    }
+}

@@ -1,0 +1,34 @@
+//! # sqlpp-eval — the SQL++ evaluator
+//!
+//! Interprets SQL++ Core plans over binding streams, implementing the
+//! paper's semantics end to end:
+//!
+//! * FROM variables bind to *any* value, left-correlated (§III);
+//! * the two absent values propagate per §IV-B's three MISSING-producing
+//!   cases, with the SQL-compat COALESCE exception;
+//! * two typing modes (§IV): permissive (type error → MISSING, "healthy"
+//!   data keeps flowing) and stop-on-error;
+//! * `GROUP BY … GROUP AS` materializes first-class groups (§V-B);
+//! * `COLL_*` aggregates are ordinary collection functions (§V-C), with a
+//!   pipelined fast path the paper explicitly licenses;
+//! * PIVOT/UNPIVOT turn attribute names into data and back (§VI).
+//!
+//! The [`mod@reference`] module is a transparent transcription of the paper's
+//! Pseudocodes 1–2, used as a differential-testing oracle.
+
+#![warn(missing_docs)]
+
+pub mod agg;
+mod arith;
+mod cast;
+mod env;
+mod error;
+mod functions;
+mod interp;
+mod like;
+pub mod reference;
+
+pub use env::Env;
+pub use error::{EvalError, TypingMode};
+pub use interp::{EvalConfig, Evaluator};
+pub use like::like_match;

@@ -1,0 +1,163 @@
+//! The SQL `LIKE` pattern matcher: `%` matches any sequence, `_` any
+//! single character, and an optional ESCAPE character quotes either.
+//! Implemented with the classic two-pointer backtracking algorithm —
+//! linear in practice, and immune to the exponential blowup a naive
+//! recursive matcher suffers on patterns like `%a%a%a%…`.
+
+/// One parsed pattern element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pat {
+    /// Match exactly this character.
+    Lit(char),
+    /// `_`
+    One,
+    /// `%`
+    Any,
+}
+
+/// Errors from pattern compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LikeError {
+    /// The ESCAPE string was not a single character.
+    BadEscape,
+    /// The pattern ended immediately after an escape character.
+    DanglingEscape,
+}
+
+/// Compiles and matches in one call. `escape` is the ESCAPE character, if
+/// any.
+pub fn like_match(text: &str, pattern: &str, escape: Option<char>) -> Result<bool, LikeError> {
+    let pat = compile(pattern, escape)?;
+    Ok(matches(text, &pat))
+}
+
+fn compile(pattern: &str, escape: Option<char>) -> Result<Vec<Pat>, LikeError> {
+    let mut out = Vec::with_capacity(pattern.len());
+    let mut chars = pattern.chars();
+    while let Some(c) = chars.next() {
+        if Some(c) == escape {
+            match chars.next() {
+                Some(next) => out.push(Pat::Lit(next)),
+                None => return Err(LikeError::DanglingEscape),
+            }
+        } else if c == '%' {
+            // Collapse runs of % (they are equivalent and the collapse
+            // keeps backtracking cheap).
+            if out.last() != Some(&Pat::Any) {
+                out.push(Pat::Any);
+            }
+        } else if c == '_' {
+            out.push(Pat::One);
+        } else {
+            out.push(Pat::Lit(c));
+        }
+    }
+    Ok(out)
+}
+
+fn matches(text: &str, pat: &[Pat]) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    let (mut t, mut p) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pat index after %, text index)
+    while t < chars.len() {
+        if p < pat.len() {
+            match pat[p] {
+                Pat::Lit(c) if chars[t] == c => {
+                    t += 1;
+                    p += 1;
+                    continue;
+                }
+                Pat::One => {
+                    t += 1;
+                    p += 1;
+                    continue;
+                }
+                Pat::Any => {
+                    star = Some((p + 1, t));
+                    p += 1;
+                    continue;
+                }
+                Pat::Lit(_) => {}
+            }
+        }
+        // Mismatch: backtrack to the last %, consuming one more char.
+        match star {
+            Some((sp, st)) => {
+                p = sp;
+                t = st + 1;
+                star = Some((sp, st + 1));
+            }
+            None => return false,
+        }
+    }
+    // Remaining pattern must be all %.
+    pat[p..].iter().all(|x| *x == Pat::Any)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(text: &str, pattern: &str) -> bool {
+        like_match(text, pattern, None).unwrap()
+    }
+
+    #[test]
+    fn paper_pattern_percent_security_percent() {
+        // Listing 2's predicate.
+        assert!(m("OLAP Security", "%Security%"));
+        assert!(m("OLTP Security", "%Security%"));
+        assert!(!m("Serverless Query", "%Security%"));
+        assert!(m("Security", "%Security%"));
+    }
+
+    #[test]
+    fn exact_and_underscore() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abd"));
+        assert!(m("abc", "a_c"));
+        assert!(!m("ac", "a_c"));
+        assert!(m("chief x", "chief _"));
+    }
+
+    #[test]
+    fn percent_positions() {
+        assert!(m("Chief Officer", "Chief %"));
+        assert!(!m("chief officer", "Chief %")); // case-sensitive
+        assert!(m("", "%"));
+        assert!(m("", ""));
+        assert!(!m("a", ""));
+        assert!(m("abc", "%"));
+        assert!(m("abc", "a%"));
+        assert!(m("abc", "%c"));
+        assert!(m("abc", "%b%"));
+    }
+
+    #[test]
+    fn escape_characters() {
+        assert!(like_match("50%", "50\\%", Some('\\')).unwrap());
+        assert!(!like_match("50x", "50\\%", Some('\\')).unwrap());
+        assert!(like_match("a_b", "a!_b", Some('!')).unwrap());
+        assert!(!like_match("axb", "a!_b", Some('!')).unwrap());
+        // Escaped escape.
+        assert!(like_match("a!b", "a!!b", Some('!')).unwrap());
+        assert_eq!(
+            like_match("x", "abc!", Some('!')),
+            Err(LikeError::DanglingEscape)
+        );
+    }
+
+    #[test]
+    fn pathological_patterns_terminate_quickly() {
+        let text = "a".repeat(2000);
+        let pattern = "%a".repeat(40) + "b";
+        // Must return (false) fast rather than exploding exponentially.
+        assert!(!m(&text, &pattern));
+    }
+
+    #[test]
+    fn unicode() {
+        assert!(m("héllo", "h_llo"));
+        assert!(m("日本語", "%本%"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Format errors.
+
+use std::fmt;
+
+/// An error while reading or writing an external format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    format: &'static str,
+    kind: Kind,
+    message: String,
+    offset: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Parse,
+    Encode,
+}
+
+impl FormatError {
+    /// A parse (read) error at a byte offset.
+    pub fn parse(format: &'static str, message: impl Into<String>, offset: usize) -> Self {
+        FormatError { format, kind: Kind::Parse, message: message.into(), offset }
+    }
+
+    /// An encode (write) error.
+    pub fn encode(format: &'static str, message: impl Into<String>) -> Self {
+        FormatError { format, kind: Kind::Encode, message: message.into(), offset: 0 }
+    }
+
+    /// Which format produced the error.
+    pub fn format(&self) -> &'static str {
+        self.format
+    }
+
+    /// The underlying message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            Kind::Parse => write!(
+                f,
+                "{} parse error at byte {}: {}",
+                self.format, self.offset, self.message
+            ),
+            Kind::Encode => write!(f, "{} encode error: {}", self.format, self.message),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

@@ -1,0 +1,441 @@
+//! The paper's self-describing object notation ("an object notation using
+//! SQL literals", §II): bags `{{ … }}` / `<< … >>`, arrays `[ … ]`, tuples
+//! `{ 'name': value }`, single-quoted strings, `null`, `MISSING`, booleans
+//! and numbers. Every data listing in the paper is written in this
+//! notation, so the compatibility kit and the listing gallery load their
+//! fixtures through this module.
+//!
+//! Writing uses the [`sqlpp_value`] display impl (compact) or
+//! [`sqlpp_value::to_pretty`] (listing-style), which this parser reads
+//! back exactly — up to numeric *type*: like the paper's notation itself,
+//! plain fractional literals are exact decimals, so a `Float` whose
+//! rendering has no exponent reads back as a numerically equal `Decimal`
+//! (value preserved, type widened). Exponent-form and `` `nan` ``/
+//! `` `±inf` `` literals stay floats.
+
+use sqlpp_value::{Decimal, Tuple, Value};
+
+use crate::error::FormatError;
+
+/// Parses one value in paper notation.
+pub fn from_pnotation(text: &str) -> Result<Value, FormatError> {
+    let mut p = PParser { text, bytes: text.as_bytes(), pos: 0 };
+    p.skip_trivia();
+    let v = p.value()?;
+    p.skip_trivia();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Serializes compactly (one line).
+pub fn to_pnotation(v: &Value) -> String {
+    v.to_string()
+}
+
+/// Serializes in the indented style of the paper's listings.
+pub fn to_pnotation_pretty(v: &Value) -> String {
+    sqlpp_value::to_pretty(v)
+}
+
+struct PParser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> FormatError {
+        FormatError::parse("pnotation", msg, self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // SQL-style comments appear in the paper's listings
+                // (`-- no title`).
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, FormatError> {
+        self.skip_trivia();
+        match self.peek() {
+            Some(b'{') if self.peek2() == Some(b'{') => self.bag(b"{{", b"}}"),
+            Some(b'<') if self.peek2() == Some(b'<') => self.bag(b"<<", b">>"),
+            Some(b'{') => self.tuple(),
+            Some(b'[') => self.array(),
+            Some(b'\'') => Ok(Value::Str(self.string()?)),
+            Some(b'-' | b'.' | b'0'..=b'9') => self.number(),
+            Some(_) => self.word(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn expect_seq(&mut self, seq: &[u8]) -> Result<(), FormatError> {
+        for &b in seq {
+            if self.bump() != Some(b) {
+                return Err(self.err(format!(
+                    "expected {:?}",
+                    std::str::from_utf8(seq).unwrap_or("?")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn at_seq(&self, seq: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(seq)
+    }
+
+    fn bag(&mut self, open: &[u8], close: &[u8]) -> Result<Value, FormatError> {
+        self.expect_seq(open)?;
+        let mut items = Vec::new();
+        self.skip_trivia();
+        if self.at_seq(close) {
+            self.pos += close.len();
+            return Ok(Value::Bag(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_trivia();
+            if self.peek() == Some(b',') {
+                self.bump();
+                continue;
+            }
+            if self.at_seq(close) {
+                self.pos += close.len();
+                return Ok(Value::Bag(items));
+            }
+            return Err(self.err("expected ',' or bag close"));
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, FormatError> {
+        self.expect_seq(b"[")?;
+        let mut items = Vec::new();
+        self.skip_trivia();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn tuple(&mut self) -> Result<Value, FormatError> {
+        self.expect_seq(b"{")?;
+        let mut t = Tuple::new();
+        self.skip_trivia();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Tuple(t));
+        }
+        loop {
+            self.skip_trivia();
+            let name = self.string()?;
+            self.skip_trivia();
+            self.expect_seq(b":")?;
+            let value = self.value()?;
+            t.insert(name, value);
+            self.skip_trivia();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Tuple(t)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, FormatError> {
+        if self.peek() != Some(b'\'') {
+            return Err(self.err("expected string"));
+        }
+        self.bump();
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(s);
+                    }
+                }
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d =
+                                self.bump().ok_or_else(|| self.err("truncated \\u"))?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.err("bad hex"))?;
+                        }
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("bad code point"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x80 => s.push(b as char),
+                Some(_) => {
+                    // O(1) in-place decode; never re-validate the tail.
+                    let start = self.pos - 1;
+                    let ch = self.text[start..].chars().next().expect("in bounds");
+                    self.pos = start + ch.len_utf8();
+                    s.push(ch);
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, FormatError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let mut is_int = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' => {
+                    is_int = false;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    is_int = false;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if is_int {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        if !text.contains(['e', 'E']) {
+            if let Ok(d) = text.parse::<Decimal>() {
+                return Ok(Value::Decimal(d));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(format!("invalid number {text:?}")))
+    }
+
+    fn word(&mut self) -> Result<Value, FormatError> {
+        // Bare words: null, MISSING, true, false, hex bytes x'…', and the
+        // float escapes `nan`/`±inf`.
+        if self.peek() == Some(b'`') {
+            self.bump();
+            let start = self.pos;
+            while self.peek().is_some() && self.peek() != Some(b'`') {
+                self.bump();
+            }
+            let word = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("bad backtick literal"))?
+                .to_string();
+            self.expect_seq(b"`")?;
+            return match word.as_str() {
+                "nan" => Ok(Value::Float(f64::NAN)),
+                "+inf" => Ok(Value::Float(f64::INFINITY)),
+                "-inf" => Ok(Value::Float(f64::NEG_INFINITY)),
+                other => Err(self.err(format!("unknown literal `{other}`"))),
+            };
+        }
+        if (self.peek() == Some(b'x') || self.peek() == Some(b'X'))
+            && self.peek2() == Some(b'\'')
+        {
+            self.bump();
+            self.bump();
+            let mut bytes = Vec::new();
+            loop {
+                match self.bump() {
+                    Some(b'\'') => return Ok(Value::Bytes(bytes)),
+                    Some(hi) => {
+                        let lo =
+                            self.bump().ok_or_else(|| self.err("truncated hex"))?;
+                        let h = (hi as char)
+                            .to_digit(16)
+                            .ok_or_else(|| self.err("bad hex digit"))?;
+                        let l = (lo as char)
+                            .to_digit(16)
+                            .ok_or_else(|| self.err("bad hex digit"))?;
+                        bytes.push((h * 16 + l) as u8);
+                    }
+                    None => return Err(self.err("unterminated hex literal")),
+                }
+            }
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad word"))?;
+        match word.to_ascii_lowercase().as_str() {
+            "null" => Ok(Value::Null),
+            "missing" => Ok(Value::Missing),
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            other => Err(self.err(format!("unexpected word {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_value::{bag, tuple};
+
+    #[test]
+    fn parses_listing_1_shape() {
+        let text = r#"
+        {{
+            {
+                'id': 3,
+                'name': 'Bob Smith',
+                'title': null,
+                'projects': [
+                    {'name': 'Serverless Query'},
+                    {'name': 'OLAP Security'}
+                ]
+            },
+            {
+                'id': 4,
+                'name': 'Susan Smith',
+                'title': 'Manager',
+                'projects': []
+            }
+        }}
+        "#;
+        let v = from_pnotation(text).unwrap();
+        let elems = v.as_elements().unwrap();
+        assert_eq!(elems.len(), 2);
+        assert_eq!(elems[0].path("title"), Value::Null);
+        assert_eq!(
+            elems[0].path("projects").index(0).path("name"),
+            Value::Str("Serverless Query".into())
+        );
+    }
+
+    #[test]
+    fn comments_in_listings_are_skipped() {
+        // Listing 7 contains `-- no title`.
+        let text = "{{ {'id': 3, 'name': 'Bob'} -- no title\n , {'id': 4} }}";
+        let v = from_pnotation(text).unwrap();
+        assert_eq!(v.as_elements().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = bag![
+            Value::Tuple(tuple! {
+                "id" => 3i64,
+                "title" => Value::Null,
+                "scores" => bag![1i64, 2i64],
+            }),
+            Value::Str("it's".into()),
+            Value::Bool(false),
+            Value::Bytes(vec![0xab]),
+            Value::Decimal("0.001".parse().unwrap()),
+        ];
+        assert_eq!(from_pnotation(&to_pnotation(&v)).unwrap(), v);
+        assert_eq!(from_pnotation(&to_pnotation_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_read_back_numerically_equal_as_decimals() {
+        // Documented lossiness: the notation types plain fractions as
+        // exact decimals, so Float(2.5) widens on the way back.
+        let v = Value::Float(2.5);
+        let back = from_pnotation(&to_pnotation(&v)).unwrap();
+        assert_eq!(back, Value::Decimal("2.5".parse().unwrap()));
+        assert!(sqlpp_value::cmp::deep_eq(&back, &v));
+    }
+
+    #[test]
+    fn angle_bag_syntax() {
+        assert_eq!(from_pnotation("<<1, 2>>").unwrap(), bag![1i64, 2i64]);
+    }
+
+    #[test]
+    fn missing_keyword_parses() {
+        assert_eq!(from_pnotation("MISSING").unwrap(), Value::Missing);
+        assert_eq!(
+            from_pnotation("{{MISSING, null}}").unwrap(),
+            Value::Bag(vec![Value::Missing, Value::Null])
+        );
+    }
+
+    #[test]
+    fn special_floats() {
+        assert!(matches!(from_pnotation("`nan`").unwrap(), Value::Float(f) if f.is_nan()));
+        assert_eq!(
+            from_pnotation("`-inf`").unwrap(),
+            Value::Float(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["{{", "{'a' 1}", "'oops", "{{1,}}", "bogus", "[1", ""] {
+            assert!(from_pnotation(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

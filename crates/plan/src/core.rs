@@ -1,0 +1,823 @@
+//! SQL++ **Core**: the fully composable algebra the paper defines SQL on
+//! top of (§I: "we define a SQL++ Core, consisting of fully composable
+//! operators. Then SQL itself is defined as 'syntactic sugar' rewritings
+//! over the SQL++ Core").
+//!
+//! A [`CoreQuery`] is a pipeline of clause-operators over *binding
+//! streams* — "it is best to think of a SQL++ query as being a pipeline of
+//! clauses […] Each clause is a function that inputs data and outputs
+//! data" (§V-B). Projection is always `SELECT VALUE` here; SQL's SELECT
+//! list, its aggregate functions, and its subquery coercions exist only as
+//! lowering rewrites in [`crate::lower`].
+
+use std::fmt;
+
+use sqlpp_value::Value;
+
+/// A complete Core query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreQuery {
+    /// Root operator producing the query result value stream.
+    pub op: CoreOp,
+}
+
+/// Clause-operators over binding streams.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreOp {
+    /// Produces exactly one empty binding (a FROM-less query block).
+    Single,
+    /// The FROM clause: a function from the environment to a stream of
+    /// binding tuples (§III).
+    From {
+        /// The (tree of) FROM items.
+        item: CoreFrom,
+    },
+    /// WHERE / HAVING.
+    Filter {
+        /// Upstream operator.
+        input: Box<CoreOp>,
+        /// Predicate; bindings pass only when it evaluates to TRUE
+        /// (NULL/MISSING/non-boolean do not pass).
+        pred: CoreExpr,
+    },
+    /// GROUP BY … GROUP AS (§V-B): partitions the binding stream by key
+    /// values and emits one binding per group with the key aliases plus
+    /// `group_var` holding the bag of captured binding-tuples.
+    Group {
+        /// Upstream operator.
+        input: Box<CoreOp>,
+        /// `(alias, key expression)` pairs.
+        keys: Vec<(String, CoreExpr)>,
+        /// The GROUP AS variable (synthesized when the query didn't name
+        /// one but aggregates need it).
+        group_var: String,
+        /// Which in-scope variables are captured into each group element
+        /// tuple (Listing 14's `{e: …, p: …}` shape).
+        captured: Vec<String>,
+        /// Emit one group even over empty input — SQL's behavior for
+        /// ungrouped aggregation and for the grand-total grouping set.
+        emit_empty_group: bool,
+    },
+    /// Concatenates binding streams — the plumbing under ROLLUP/CUBE/
+    /// GROUPING SETS, which lower to one Group per grouping set.
+    Append {
+        /// The streams, in order.
+        inputs: Vec<CoreOp>,
+    },
+    /// ORDER BY over bindings (pre-projection sort keys).
+    Sort {
+        /// Upstream operator.
+        input: Box<CoreOp>,
+        /// Sort keys, major first.
+        keys: Vec<CoreSortKey>,
+    },
+    /// ORDER BY over output *values* (used above set operations, where the
+    /// only scope is the output element itself).
+    SortValues {
+        /// Upstream operator (value stream).
+        input: Box<CoreOp>,
+        /// Sort keys; expressions see the element as `$out` and, when the
+        /// element is a tuple, its attributes as variables.
+        keys: Vec<CoreSortKey>,
+    },
+    /// LIMIT/OFFSET over any stream.
+    LimitOffset {
+        /// Upstream operator.
+        input: Box<CoreOp>,
+        /// Maximum rows (evaluated once; non-negative integer).
+        limit: Option<CoreExpr>,
+        /// Rows to skip.
+        offset: Option<CoreExpr>,
+    },
+    /// `SELECT [DISTINCT] VALUE expr` — Core's only projection (§V-A).
+    Project {
+        /// Upstream operator (binding stream).
+        input: Box<CoreOp>,
+        /// The constructor expression.
+        expr: CoreExpr,
+        /// DISTINCT (structural-equality dedup, first occurrence wins).
+        distinct: bool,
+    },
+    /// `PIVOT value AT name` — folds the binding stream into ONE tuple
+    /// (§VI-B).
+    Pivot {
+        /// Upstream operator (binding stream).
+        input: Box<CoreOp>,
+        /// Attribute value per binding.
+        value: CoreExpr,
+        /// Attribute name per binding (non-string names are skipped in
+        /// permissive mode).
+        name: CoreExpr,
+    },
+    /// UNION/INTERSECT/EXCEPT over value streams.
+    SetOp {
+        /// Which set operation.
+        op: CoreSetOp,
+        /// Bag semantics (`ALL`) vs set semantics.
+        all: bool,
+        /// Left input.
+        left: Box<CoreOp>,
+        /// Right input.
+        right: Box<CoreOp>,
+    },
+    /// SQL window functions (§V-B: "wholly compatible with SQL++"):
+    /// extends each binding with one variable per window definition,
+    /// computed over the partitioned (and optionally ordered) binding
+    /// stream.
+    Window {
+        /// Upstream operator (binding stream).
+        input: Box<CoreOp>,
+        /// The window computations, each bound to a fresh variable.
+        defs: Vec<WindowDef>,
+    },
+    /// WITH: evaluates each binding once, then runs `body` with them in
+    /// scope.
+    With {
+        /// `(name, definition)` pairs, in order (later CTEs see earlier).
+        bindings: Vec<(String, CoreQuery)>,
+        /// The main query.
+        body: Box<CoreOp>,
+    },
+}
+
+/// Set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CoreSetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// One sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSortKey {
+    /// Key expression.
+    pub expr: CoreExpr,
+    /// Descending?
+    pub desc: bool,
+    /// Absent values (MISSING/NULL) first? Defaults follow the total
+    /// order: smallest first ascending, last descending.
+    pub nulls_first: bool,
+}
+
+/// FROM-item tree. Comma lists lower to left-nested [`CoreFrom::Correlate`]
+/// (left-correlation, §III); explicit joins keep their kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreFrom {
+    /// Iterate a collection expression, binding each element to `as_var`
+    /// (and, for arrays, its position to `at_var`). The expression may
+    /// reference variables bound by FROM items to its left.
+    Scan {
+        /// Source expression.
+        expr: CoreExpr,
+        /// Element variable.
+        as_var: String,
+        /// Optional position variable.
+        at_var: Option<String>,
+    },
+    /// Iterate a tuple's attribute/value pairs (§VI-A).
+    Unpivot {
+        /// Tuple-valued expression.
+        expr: CoreExpr,
+        /// Bound to each attribute value.
+        value_var: String,
+        /// Bound to each attribute name.
+        name_var: String,
+    },
+    /// `LET`-style single binding: evaluates `expr` once per input binding.
+    Let {
+        /// Defining expression.
+        expr: CoreExpr,
+        /// Variable introduced.
+        var: String,
+    },
+    /// Left-correlated product: for each left binding, evaluate the right
+    /// item in the extended environment.
+    Correlate {
+        /// Left input.
+        left: Box<CoreFrom>,
+        /// Right input (may reference left's variables).
+        right: Box<CoreFrom>,
+    },
+    /// Explicit join with an ON condition.
+    Join {
+        /// INNER or LEFT (RIGHT/FULL are normalized during lowering).
+        kind: CoreJoinKind,
+        /// Left input.
+        left: Box<CoreFrom>,
+        /// Right input.
+        right: Box<CoreFrom>,
+        /// Join condition (TRUE for CROSS).
+        on: CoreExpr,
+        /// Variables introduced by the right side — needed to bind NULLs
+        /// for unmatched left rows in LEFT joins.
+        right_vars: Vec<String>,
+    },
+}
+
+/// Join kinds surviving normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CoreJoinKind {
+    Inner,
+    Left,
+}
+
+/// One window computation: `var := func(args) OVER (PARTITION BY
+/// partition ORDER BY order)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDef {
+    /// The synthetic variable receiving the computed value.
+    pub var: String,
+    /// Which window function.
+    pub func: WindowFunc,
+    /// Argument expressions (evaluated per row).
+    pub args: Vec<CoreExpr>,
+    /// Partition key expressions.
+    pub partition: Vec<CoreExpr>,
+    /// In-partition ordering.
+    pub order: Vec<CoreSortKey>,
+}
+
+/// Window functions. Aggregates use the SQL default frame: the whole
+/// partition without ORDER BY; RANGE UNBOUNDED PRECEDING .. CURRENT ROW
+/// (peers included) with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowFunc {
+    /// `ROW_NUMBER()` — 1-based position in the ordered partition.
+    RowNumber,
+    /// `RANK()` — 1-based with gaps.
+    Rank,
+    /// `DENSE_RANK()` — 1-based without gaps.
+    DenseRank,
+    /// `LAG(expr [, offset [, default]])`.
+    Lag,
+    /// `LEAD(expr [, offset [, default]])`.
+    Lead,
+    /// A running/partition aggregate (`SUM(x) OVER (…)` etc.).
+    Agg(AggFunc),
+}
+
+impl WindowFunc {
+    /// Parses a window function name (upper-case).
+    pub fn parse(name: &str) -> Option<WindowFunc> {
+        Some(match name {
+            "ROW_NUMBER" => WindowFunc::RowNumber,
+            "RANK" => WindowFunc::Rank,
+            "DENSE_RANK" => WindowFunc::DenseRank,
+            "LAG" => WindowFunc::Lag,
+            "LEAD" => WindowFunc::Lead,
+            other => WindowFunc::Agg(AggFunc::parse(other).filter(|(_, coll)| !coll).map(|(f, _)| f)?),
+        })
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WindowFunc::RowNumber => "ROW_NUMBER",
+            WindowFunc::Rank => "RANK",
+            WindowFunc::DenseRank => "DENSE_RANK",
+            WindowFunc::Lag => "LAG",
+            WindowFunc::Lead => "LEAD",
+            WindowFunc::Agg(f) => match f {
+                AggFunc::Count => "COUNT",
+                AggFunc::Sum => "SUM",
+                AggFunc::Avg => "AVG",
+                AggFunc::Min => "MIN",
+                AggFunc::Max => "MAX",
+                AggFunc::Every => "EVERY",
+                AggFunc::Some => "SOME",
+            },
+        }
+    }
+}
+
+/// Composable aggregate functions (§V-C): ordinary functions from a
+/// collection to a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COLL_COUNT` — counts non-absent elements; `COUNT(*)` lowers to a
+    /// count over the group variable itself.
+    Count,
+    /// `COLL_SUM`.
+    Sum,
+    /// `COLL_AVG`.
+    Avg,
+    /// `COLL_MIN`.
+    Min,
+    /// `COLL_MAX`.
+    Max,
+    /// `COLL_EVERY` — true when every element is true.
+    Every,
+    /// `COLL_SOME`/`COLL_ANY`.
+    Some,
+}
+
+impl AggFunc {
+    /// The composable (COLL_) spelling.
+    pub fn coll_name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COLL_COUNT",
+            AggFunc::Sum => "COLL_SUM",
+            AggFunc::Avg => "COLL_AVG",
+            AggFunc::Min => "COLL_MIN",
+            AggFunc::Max => "COLL_MAX",
+            AggFunc::Every => "COLL_EVERY",
+            AggFunc::Some => "COLL_SOME",
+        }
+    }
+
+    /// Parses either the SQL name (`AVG`) or the composable name
+    /// (`COLL_AVG`); the bool is true for the composable form.
+    pub fn parse(name: &str) -> Option<(AggFunc, bool)> {
+        let (base, coll) = match name.strip_prefix("COLL_") {
+            Some(rest) => (rest, true),
+            None => (name, false),
+        };
+        let f = match base {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "EVERY" => AggFunc::Every,
+            "SOME" | "ANY" => AggFunc::Some,
+            _ => return None,
+        };
+        Some((f, coll))
+    }
+}
+
+/// How a subquery's bag result is adapted to its context — only ever
+/// non-`Bag` for SQL (sugar) subqueries in SQL-compatibility mode: "the
+/// context of the subquery designates whether the subquery's result should
+/// be coerced into a scalar value […] None of this implicit 'magic'
+/// applies to SELECT VALUE" (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coercion {
+    /// No coercion: the result is the bag itself.
+    Bag,
+    /// SQL scalar-subquery coercion: 0 rows → NULL, 1 single-attribute row
+    /// → that value, otherwise a type error signal.
+    Scalar,
+    /// SQL IN-subquery coercion: each single-attribute row → its value.
+    Collection,
+}
+
+/// Core expressions. Variables are explicit (§III: "the explicit denotation
+/// of variables is essential to SQL++ Core").
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreExpr {
+    /// A literal value.
+    Const(Value),
+    /// A resolved in-scope variable.
+    Var(String),
+    /// A positional parameter.
+    Param(usize),
+    /// A catalog reference: segments resolved against the catalog by
+    /// longest bound prefix; unconsumed segments navigate into the value.
+    Global(Vec<String>),
+    /// An identifier the planner could not resolve statically: tried at
+    /// runtime as (1) environment variable, (2) catalog name, (3) unique
+    /// attribute of exactly one in-scope tuple binding — the dynamic
+    /// counterpart of the paper's schema-based disambiguation.
+    Dynamic(String),
+    /// `base.attr`.
+    Path(Box<CoreExpr>, String),
+    /// `base[index]`.
+    Index(Box<CoreExpr>, Box<CoreExpr>),
+    /// Binary operator (re-using the surface enum; semantics live in
+    /// sqlpp-eval).
+    Bin(sqlpp_syntax::ast::BinOp, Box<CoreExpr>, Box<CoreExpr>),
+    /// Unary operator.
+    Un(sqlpp_syntax::ast::UnOp, Box<CoreExpr>),
+    /// LIKE.
+    Like {
+        /// Matched expression.
+        expr: Box<CoreExpr>,
+        /// Pattern.
+        pattern: Box<CoreExpr>,
+        /// Escape character.
+        escape: Option<Box<CoreExpr>>,
+        /// NOT LIKE?
+        negated: bool,
+    },
+    /// BETWEEN.
+    Between {
+        /// Tested expression.
+        expr: Box<CoreExpr>,
+        /// Lower bound.
+        low: Box<CoreExpr>,
+        /// Upper bound.
+        high: Box<CoreExpr>,
+        /// NOT BETWEEN?
+        negated: bool,
+    },
+    /// IN over an evaluated collection (lists lower to `ArrayCtor`).
+    In {
+        /// Tested expression.
+        expr: Box<CoreExpr>,
+        /// Collection-valued right-hand side.
+        collection: Box<CoreExpr>,
+        /// NOT IN?
+        negated: bool,
+    },
+    /// IS tests.
+    Is {
+        /// Tested expression.
+        expr: Box<CoreExpr>,
+        /// NULL / MISSING / type name.
+        test: sqlpp_syntax::ast::IsTest,
+        /// IS NOT?
+        negated: bool,
+    },
+    /// CASE (simple CASE is lowered to searched CASE during lowering).
+    Case {
+        /// `(condition, result)` arms.
+        arms: Vec<(CoreExpr, CoreExpr)>,
+        /// ELSE (defaults to NULL per SQL when absent).
+        else_expr: Box<CoreExpr>,
+    },
+    /// Scalar/function call by (upper-case) name.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<CoreExpr>,
+    },
+    /// A composable aggregate over a collection expression (§V-C).
+    CollAgg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Deduplicate elements first (`COUNT(DISTINCT x)`).
+        distinct: bool,
+        /// The collection input.
+        input: Box<CoreExpr>,
+    },
+    /// A nested query with its context-determined coercion.
+    Subquery {
+        /// The nested plan.
+        plan: Box<CoreQuery>,
+        /// Adaptation to context (§V-A).
+        coercion: Coercion,
+    },
+    /// EXISTS.
+    Exists(Box<CoreQuery>),
+    /// Tuple constructor; MISSING attribute values are dropped at runtime.
+    TupleCtor(Vec<(CoreExpr, CoreExpr)>),
+    /// Array constructor; MISSING elements are dropped at runtime.
+    ArrayCtor(Vec<CoreExpr>),
+    /// Bag constructor; MISSING elements are dropped at runtime.
+    BagCtor(Vec<CoreExpr>),
+    /// CAST.
+    Cast {
+        /// Source.
+        expr: Box<CoreExpr>,
+        /// Target type name (normalized upper-case scalar names).
+        ty: String,
+    },
+}
+
+impl CoreExpr {
+    /// Boolean literal shorthand.
+    pub fn bool(v: bool) -> CoreExpr {
+        CoreExpr::Const(Value::Bool(v))
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN rendering
+// ---------------------------------------------------------------------
+
+impl CoreQuery {
+    /// Renders the operator tree for `EXPLAIN`.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        explain_op(&self.op, 0, &mut out);
+        out
+    }
+}
+
+fn pad(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
+    pad(indent, out);
+    match op {
+        CoreOp::Single => out.push_str("single\n"),
+        CoreOp::From { item } => {
+            out.push_str("from\n");
+            explain_from(item, indent + 1, out);
+        }
+        CoreOp::Filter { input, pred } => {
+            out.push_str(&format!("filter {pred}\n"));
+            explain_op(input, indent + 1, out);
+        }
+        CoreOp::Append { inputs } => {
+            out.push_str("append\n");
+            for i in inputs {
+                explain_op(i, indent + 1, out);
+            }
+        }
+        CoreOp::Group { input, keys, group_var, captured, .. } => {
+            out.push_str("group by ");
+            for (i, (alias, expr)) in keys.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{expr} AS {alias}"));
+            }
+            if keys.is_empty() {
+                out.push_str("<all>");
+            }
+            out.push_str(&format!(
+                " group as {group_var} capturing [{}]\n",
+                captured.join(", ")
+            ));
+            explain_op(input, indent + 1, out);
+        }
+        CoreOp::Sort { input, keys } | CoreOp::SortValues { input, keys } => {
+            out.push_str(if matches!(op, CoreOp::Sort { .. }) {
+                "sort"
+            } else {
+                "sort-values"
+            });
+            for k in keys {
+                out.push_str(&format!(
+                    " {}{}",
+                    k.expr,
+                    if k.desc { " desc" } else { "" }
+                ));
+            }
+            out.push('\n');
+            explain_op(input, indent + 1, out);
+        }
+        CoreOp::LimitOffset { input, limit, offset } => {
+            out.push_str("limit/offset");
+            if let Some(l) = limit {
+                out.push_str(&format!(" limit {l}"));
+            }
+            if let Some(o) = offset {
+                out.push_str(&format!(" offset {o}"));
+            }
+            out.push('\n');
+            explain_op(input, indent + 1, out);
+        }
+        CoreOp::Project { input, expr, distinct } => {
+            out.push_str(&format!(
+                "select {}value {expr}\n",
+                if *distinct { "distinct " } else { "" }
+            ));
+            explain_op(input, indent + 1, out);
+        }
+        CoreOp::Pivot { input, value, name } => {
+            out.push_str(&format!("pivot {value} at {name}\n"));
+            explain_op(input, indent + 1, out);
+        }
+        CoreOp::SetOp { op: so, all, left, right } => {
+            out.push_str(&format!(
+                "{}{}\n",
+                match so {
+                    CoreSetOp::Union => "union",
+                    CoreSetOp::Intersect => "intersect",
+                    CoreSetOp::Except => "except",
+                },
+                if *all { " all" } else { "" }
+            ));
+            explain_op(left, indent + 1, out);
+            explain_op(right, indent + 1, out);
+        }
+        CoreOp::Window { input, defs } => {
+            out.push_str("window");
+            for d in defs {
+                out.push_str(&format!(" {} := {}(", d.var, d.func.name()));
+                for (i, a) in d.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{a}"));
+                }
+                out.push_str(") over(");
+                for (i, p) in d.partition.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{p}"));
+                }
+                if !d.order.is_empty() {
+                    out.push_str(" order");
+                    for k in &d.order {
+                        out.push_str(&format!(" {}{}", k.expr, if k.desc { " desc" } else { "" }));
+                    }
+                }
+                out.push(')');
+            }
+            out.push('\n');
+            explain_op(input, indent + 1, out);
+        }
+        CoreOp::With { bindings, body } => {
+            out.push_str("with\n");
+            for (name, q) in bindings {
+                pad(indent + 1, out);
+                out.push_str(&format!("{name} :=\n"));
+                explain_op(&q.op, indent + 2, out);
+            }
+            explain_op(body, indent + 1, out);
+        }
+    }
+}
+
+fn explain_from(item: &CoreFrom, indent: usize, out: &mut String) {
+    pad(indent, out);
+    match item {
+        CoreFrom::Scan { expr, as_var, at_var } => {
+            out.push_str(&format!("scan {expr} as {as_var}"));
+            if let Some(at) = at_var {
+                out.push_str(&format!(" at {at}"));
+            }
+            out.push('\n');
+        }
+        CoreFrom::Unpivot { expr, value_var, name_var } => {
+            out.push_str(&format!("unpivot {expr} as {value_var} at {name_var}\n"));
+        }
+        CoreFrom::Let { expr, var } => {
+            out.push_str(&format!("let {var} = {expr}\n"));
+        }
+        CoreFrom::Correlate { left, right } => {
+            out.push_str("correlate\n");
+            explain_from(left, indent + 1, out);
+            explain_from(right, indent + 1, out);
+        }
+        CoreFrom::Join { kind, left, right, on, .. } => {
+            out.push_str(&format!(
+                "{} join on {on}\n",
+                match kind {
+                    CoreJoinKind::Inner => "inner",
+                    CoreJoinKind::Left => "left",
+                }
+            ));
+            explain_from(left, indent + 1, out);
+            explain_from(right, indent + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for CoreExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreExpr::Const(v) => write!(f, "{v}"),
+            CoreExpr::Var(v) => write!(f, "{v}"),
+            CoreExpr::Param(i) => write!(f, "${i}"),
+            CoreExpr::Global(segs) => write!(f, "@{}", segs.join(".")),
+            CoreExpr::Dynamic(name) => write!(f, "?{name}"),
+            CoreExpr::Path(base, attr) => write!(f, "{base}.{attr}"),
+            CoreExpr::Index(base, idx) => write!(f, "{base}[{idx}]"),
+            CoreExpr::Bin(op, l, r) => write!(f, "({l} {} {r})", op.as_str()),
+            CoreExpr::Un(op, e) => match op {
+                sqlpp_syntax::ast::UnOp::Not => write!(f, "(NOT {e})"),
+                sqlpp_syntax::ast::UnOp::Neg => write!(f, "(-{e})"),
+                sqlpp_syntax::ast::UnOp::Pos => write!(f, "(+{e})"),
+            },
+            CoreExpr::Like { expr, pattern, negated, .. } => {
+                write!(
+                    f,
+                    "({expr} {}LIKE {pattern})",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+            CoreExpr::Between { expr, low, high, negated } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            CoreExpr::In { expr, collection, negated } => write!(
+                f,
+                "({expr} {}IN {collection})",
+                if *negated { "NOT " } else { "" }
+            ),
+            CoreExpr::Is { expr, test, negated } => {
+                let what = match test {
+                    sqlpp_syntax::ast::IsTest::Null => "NULL".to_string(),
+                    sqlpp_syntax::ast::IsTest::Missing => "MISSING".to_string(),
+                    sqlpp_syntax::ast::IsTest::Type(t) => t.clone(),
+                };
+                write!(f, "({expr} IS {}{what})", if *negated { "NOT " } else { "" })
+            }
+            CoreExpr::Case { arms, else_expr } => {
+                write!(f, "CASE")?;
+                for (w, t) in arms {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                write!(f, " ELSE {else_expr} END")
+            }
+            CoreExpr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            CoreExpr::CollAgg { func, distinct, input } => write!(
+                f,
+                "{}({}{input})",
+                func.coll_name(),
+                if *distinct { "DISTINCT " } else { "" }
+            ),
+            CoreExpr::Subquery { plan, coercion } => {
+                let tag = match coercion {
+                    Coercion::Bag => "",
+                    Coercion::Scalar => "scalar:",
+                    Coercion::Collection => "coll:",
+                };
+                write!(f, "({tag}subquery {})", plan.explain().trim().replace('\n', " | "))
+            }
+            CoreExpr::Exists(q) => {
+                write!(f, "EXISTS({})", q.explain().trim().replace('\n', " | "))
+            }
+            CoreExpr::TupleCtor(pairs) => {
+                write!(f, "{{")?;
+                for (i, (n, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            CoreExpr::ArrayCtor(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            CoreExpr::BagCtor(items) => {
+                write!(f, "<<")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ">>")
+            }
+            CoreExpr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_func_parsing() {
+        assert_eq!(AggFunc::parse("AVG"), Some((AggFunc::Avg, false)));
+        assert_eq!(AggFunc::parse("COLL_AVG"), Some((AggFunc::Avg, true)));
+        assert_eq!(AggFunc::parse("COLL_COUNT"), Some((AggFunc::Count, true)));
+        assert_eq!(AggFunc::parse("ANY"), Some((AggFunc::Some, false)));
+        assert_eq!(AggFunc::parse("LOWER"), None);
+        assert_eq!(AggFunc::parse("COLL_NOPE"), None);
+    }
+
+    #[test]
+    fn explain_renders_a_tree() {
+        let q = CoreQuery {
+            op: CoreOp::Project {
+                input: Box::new(CoreOp::Filter {
+                    input: Box::new(CoreOp::From {
+                        item: CoreFrom::Scan {
+                            expr: CoreExpr::Global(vec!["t".into()]),
+                            as_var: "x".into(),
+                            at_var: None,
+                        },
+                    }),
+                    pred: CoreExpr::Bin(
+                        sqlpp_syntax::ast::BinOp::Gt,
+                        Box::new(CoreExpr::Path(
+                            Box::new(CoreExpr::Var("x".into())),
+                            "a".into(),
+                        )),
+                        Box::new(CoreExpr::Const(Value::Int(1))),
+                    ),
+                }),
+                expr: CoreExpr::Var("x".into()),
+                distinct: false,
+            },
+        };
+        let text = q.explain();
+        assert!(text.contains("select value x"));
+        assert!(text.contains("filter (x.a > 1)"));
+        assert!(text.contains("scan @t as x"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Planning errors.
+
+use std::fmt;
+
+/// An error produced while lowering a query to SQL++ Core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    message: String,
+}
+
+impl PlanError {
+    /// Creates a planning error.
+    pub fn new(message: impl Into<String>) -> Self {
+        PlanError { message: message.into() }
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}

@@ -1,0 +1,235 @@
+//! A small rule-based optimizer over Core plans.
+//!
+//! The paper licenses engines to optimize behind the conceptual semantics
+//! ("under the hood a SQL++ engine is free to optimize", §V-C). These
+//! passes are deliberately conservative: they never change results, only
+//! shapes. The benchmark `agg_pipeline_vs_materialize` measures the win
+//! from the evaluator's pipelined aggregation; the passes here handle the
+//! classical trivia.
+
+use sqlpp_syntax::ast::BinOp;
+use sqlpp_value::Value;
+
+use crate::core::{CoreExpr, CoreOp, CoreQuery};
+
+/// Applies all passes until a fixpoint (bounded).
+pub fn optimize(q: CoreQuery) -> CoreQuery {
+    let mut op = q.op;
+    for _ in 0..4 {
+        let before = format!("{op:?}");
+        op = fold_op(op);
+        if format!("{op:?}") == before {
+            break;
+        }
+    }
+    CoreQuery { op }
+}
+
+fn fold_op(op: CoreOp) -> CoreOp {
+    match op {
+        CoreOp::Filter { input, pred } => {
+            let input = Box::new(fold_op(*input));
+            let pred = fold_expr(pred);
+            match pred {
+                // WHERE TRUE: drop the filter.
+                CoreExpr::Const(Value::Bool(true)) => *input,
+                // Merge stacked filters into one AND.
+                pred => match *input {
+                    CoreOp::Filter { input: inner, pred: inner_pred } => CoreOp::Filter {
+                        input: inner,
+                        pred: CoreExpr::Bin(
+                            BinOp::And,
+                            Box::new(inner_pred),
+                            Box::new(pred),
+                        ),
+                    },
+                    other => CoreOp::Filter { input: Box::new(other), pred },
+                },
+            }
+        }
+        CoreOp::Project { input, expr, distinct } => CoreOp::Project {
+            input: Box::new(fold_op(*input)),
+            expr: fold_expr(expr),
+            distinct,
+        },
+        CoreOp::Group { input, keys, group_var, captured, emit_empty_group } => {
+            CoreOp::Group {
+                input: Box::new(fold_op(*input)),
+                keys: keys.into_iter().map(|(a, e)| (a, fold_expr(e))).collect(),
+                group_var,
+                captured,
+                emit_empty_group,
+            }
+        }
+        CoreOp::Append { inputs } => CoreOp::Append {
+            inputs: inputs.into_iter().map(fold_op).collect(),
+        },
+        CoreOp::Sort { input, keys } => CoreOp::Sort {
+            input: Box::new(fold_op(*input)),
+            keys,
+        },
+        CoreOp::SortValues { input, keys } => CoreOp::SortValues {
+            input: Box::new(fold_op(*input)),
+            keys,
+        },
+        CoreOp::LimitOffset { input, limit, offset } => CoreOp::LimitOffset {
+            input: Box::new(fold_op(*input)),
+            limit: limit.map(fold_expr),
+            offset: offset.map(fold_expr),
+        },
+        CoreOp::Pivot { input, value, name } => CoreOp::Pivot {
+            input: Box::new(fold_op(*input)),
+            value: fold_expr(value),
+            name: fold_expr(name),
+        },
+        CoreOp::SetOp { op, all, left, right } => CoreOp::SetOp {
+            op,
+            all,
+            left: Box::new(fold_op(*left)),
+            right: Box::new(fold_op(*right)),
+        },
+        CoreOp::Window { input, defs } => CoreOp::Window {
+            input: Box::new(fold_op(*input)),
+            defs: defs
+                .into_iter()
+                .map(|mut d| {
+                    d.args = d.args.into_iter().map(fold_expr).collect();
+                    d.partition = d.partition.into_iter().map(fold_expr).collect();
+                    d
+                })
+                .collect(),
+        },
+        CoreOp::With { bindings, body } => CoreOp::With {
+            bindings: bindings
+                .into_iter()
+                .map(|(n, q)| (n, optimize(q)))
+                .collect(),
+            body: Box::new(fold_op(*body)),
+        },
+        other @ (CoreOp::Single | CoreOp::From { .. }) => other,
+    }
+}
+
+/// Constant folding limited to total, absent-value-free cases: integer
+/// arithmetic without overflow, boolean AND/OR/NOT over constants, and
+/// boolean short-circuits with one constant side (sound under three-valued
+/// logic only in the directions applied here).
+fn fold_expr(e: CoreExpr) -> CoreExpr {
+    use CoreExpr::*;
+    match e {
+        Bin(op, l, r) => {
+            let l = fold_expr(*l);
+            let r = fold_expr(*r);
+            if let (Const(Value::Int(a)), Const(Value::Int(b))) = (&l, &r) {
+                let folded = match op {
+                    BinOp::Add => a.checked_add(*b).map(Value::Int),
+                    BinOp::Sub => a.checked_sub(*b).map(Value::Int),
+                    BinOp::Mul => a.checked_mul(*b).map(Value::Int),
+                    BinOp::Eq => Some(Value::Bool(a == b)),
+                    BinOp::NotEq => Some(Value::Bool(a != b)),
+                    BinOp::Lt => Some(Value::Bool(a < b)),
+                    BinOp::LtEq => Some(Value::Bool(a <= b)),
+                    BinOp::Gt => Some(Value::Bool(a > b)),
+                    BinOp::GtEq => Some(Value::Bool(a >= b)),
+                    _ => None,
+                };
+                if let Some(v) = folded {
+                    return Const(v);
+                }
+            }
+            match (op, &l, &r) {
+                // TRUE AND x ⇒ x; x AND TRUE ⇒ x (sound in 3VL).
+                (BinOp::And, Const(Value::Bool(true)), _) => r,
+                (BinOp::And, _, Const(Value::Bool(true))) => l,
+                // FALSE AND x ⇒ FALSE (sound: FALSE dominates NULL/MISSING).
+                (BinOp::And, Const(Value::Bool(false)), _)
+                | (BinOp::And, _, Const(Value::Bool(false))) => {
+                    Const(Value::Bool(false))
+                }
+                // FALSE OR x ⇒ x; TRUE OR x ⇒ TRUE.
+                (BinOp::Or, Const(Value::Bool(false)), _) => r,
+                (BinOp::Or, _, Const(Value::Bool(false))) => l,
+                (BinOp::Or, Const(Value::Bool(true)), _)
+                | (BinOp::Or, _, Const(Value::Bool(true))) => Const(Value::Bool(true)),
+                _ => Bin(op, Box::new(l), Box::new(r)),
+            }
+        }
+        Un(op, inner) => {
+            let inner = fold_expr(*inner);
+            if let (sqlpp_syntax::ast::UnOp::Not, Const(Value::Bool(b))) = (op, &inner) {
+                return Const(Value::Bool(!b));
+            }
+            Un(op, Box::new(inner))
+        }
+        Case { arms, else_expr } => Case {
+            arms: arms
+                .into_iter()
+                .map(|(w, t)| (fold_expr(w), fold_expr(t)))
+                .collect(),
+            else_expr: Box::new(fold_expr(*else_expr)),
+        },
+        Path(base, attr) => Path(Box::new(fold_expr(*base)), attr),
+        Index(base, idx) => {
+            Index(Box::new(fold_expr(*base)), Box::new(fold_expr(*idx)))
+        }
+        Call { name, args } => Call {
+            name,
+            args: args.into_iter().map(fold_expr).collect(),
+        },
+        CollAgg { func, distinct, input } => CollAgg {
+            func,
+            distinct,
+            input: Box::new(fold_expr(*input)),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_query, PlanConfig};
+    use sqlpp_syntax::parse_query;
+
+    fn opt(src: &str) -> String {
+        let q = parse_query(src).unwrap();
+        optimize(lower_query(&q, &PlanConfig::default()).unwrap()).explain()
+    }
+
+    #[test]
+    fn constant_arithmetic_folds() {
+        let text = opt("SELECT VALUE x FROM t AS x WHERE x.a = 1 + 2 * 3");
+        assert!(text.contains("(x.a = 7)"), "{text}");
+    }
+
+    #[test]
+    fn where_true_is_dropped() {
+        let text = opt("SELECT VALUE x FROM t AS x WHERE 1 = 1");
+        assert!(!text.contains("filter"), "{text}");
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        // HAVING after WHERE on a grouped query keeps separate stages, but
+        // a WHERE TRUE AND x collapses.
+        let text = opt("SELECT VALUE x FROM t AS x WHERE TRUE AND x.a > 0");
+        assert!(text.contains("filter (x.a > 0)"), "{text}");
+    }
+
+    #[test]
+    fn false_and_null_folds_to_false() {
+        // Sound even though the other side is NULL: FALSE dominates.
+        let text = opt("SELECT VALUE x FROM t AS x WHERE FALSE AND NULL");
+        assert!(text.contains("filter false"), "{text}");
+    }
+
+    #[test]
+    fn overflow_is_not_folded() {
+        let text = opt(&format!(
+            "SELECT VALUE x FROM t AS x WHERE x.a = {} + {}",
+            i64::MAX,
+            i64::MAX
+        ));
+        assert!(text.contains("+"), "{text}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Lexical scopes for variable resolution during lowering.
+//!
+//! "The explicit denotation of variables is essential to SQL++ Core"
+//! (§III). The planner resolves every identifier head against the scope
+//! stack; unresolved heads become catalog references — unless a schema is
+//! attached to a variable, in which case the paper's *schema-based
+//! disambiguation* applies: "if schema is available, then SQL++ also
+//! allows expressions that are disambiguated using the schema. Formally,
+//! disambiguation results in the rewriting of the user-provided SQL++
+//! query into a SQL++ Core query that explicitly denotes the variables
+//! that were omitted."
+
+use std::collections::HashMap;
+
+use sqlpp_schema::SqlppType;
+
+/// How a bare identifier resolved against variable schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disambiguation {
+    /// No schema'd variable declares the attribute.
+    None,
+    /// Exactly one variable declares it: rewrite `attr` → `var.attr`.
+    Unique(String),
+    /// More than one does — a compile-time ambiguity, as in SQL.
+    Ambiguous(Vec<String>),
+}
+
+/// A stack of variable-name frames, each variable optionally carrying the
+/// structural type of the values it binds to. Inner frames shadow outer
+/// ones, which is what makes left-correlation and nested subqueries
+/// compose.
+#[derive(Debug, Default, Clone)]
+pub struct Scope {
+    frames: Vec<HashMap<String, Option<SqlppType>>>,
+}
+
+impl Scope {
+    /// An empty scope.
+    pub fn new() -> Self {
+        Scope::default()
+    }
+
+    /// Pushes a fresh frame (entering a query block or FROM item chain).
+    pub fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    /// Pops the innermost frame.
+    pub fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    /// Adds an untyped variable to the innermost frame.
+    pub fn add(&mut self, name: impl Into<String>) {
+        self.frames
+            .last_mut()
+            .expect("scope must have a frame before adding variables")
+            .insert(name.into(), None);
+    }
+
+    /// Adds a variable with a known element type (the collection it
+    /// ranges over had a schema).
+    pub fn add_typed(&mut self, name: impl Into<String>, ty: SqlppType) {
+        self.frames
+            .last_mut()
+            .expect("scope must have a frame before adding variables")
+            .insert(name.into(), Some(ty));
+    }
+
+    /// True when any frame binds `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.frames.iter().rev().any(|f| f.contains_key(name))
+    }
+
+    /// Schema-based disambiguation of a bare identifier: which visible
+    /// (non-shadowed) variables have a tuple schema declaring `attr`?
+    pub fn disambiguate(&self, attr: &str) -> Disambiguation {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut owners: Vec<String> = Vec::new();
+        for frame in self.frames.iter().rev() {
+            for (name, ty) in frame {
+                if seen.contains(&name.as_str()) {
+                    continue; // shadowed by an inner frame
+                }
+                seen.push(name);
+                if let Some(SqlppType::Tuple(tt)) = ty {
+                    if tt.field(attr).is_some() {
+                        owners.push(name.clone());
+                    }
+                }
+            }
+        }
+        match owners.len() {
+            0 => Disambiguation::None,
+            1 => Disambiguation::Unique(owners.pop().expect("len 1")),
+            _ => {
+                owners.sort();
+                Disambiguation::Ambiguous(owners)
+            }
+        }
+    }
+
+    /// Runs `f` inside a fresh frame and pops it afterwards.
+    pub fn scoped<T>(&mut self, f: impl FnOnce(&mut Scope) -> T) -> T {
+        self.push();
+        let r = f(self);
+        self.pop();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_schema::TupleType;
+
+    fn emp_type() -> SqlppType {
+        SqlppType::Tuple(TupleType::closed([
+            ("name", SqlppType::Str),
+            ("salary", SqlppType::Int),
+        ]))
+    }
+
+    #[test]
+    fn shadowing_and_popping() {
+        let mut s = Scope::new();
+        s.push();
+        s.add("e");
+        assert!(s.contains("e"));
+        s.scoped(|inner| {
+            inner.add("p");
+            assert!(inner.contains("e"), "outer frames remain visible");
+            assert!(inner.contains("p"));
+        });
+        assert!(!s.contains("p"), "inner frame is gone");
+        s.pop();
+        assert!(!s.contains("e"));
+    }
+
+    #[test]
+    fn disambiguation_finds_the_unique_owner() {
+        let mut s = Scope::new();
+        s.push();
+        s.add_typed("e", emp_type());
+        s.add("x"); // untyped vars never own attributes
+        assert_eq!(s.disambiguate("salary"), Disambiguation::Unique("e".into()));
+        assert_eq!(s.disambiguate("unknown"), Disambiguation::None);
+    }
+
+    #[test]
+    fn disambiguation_reports_ambiguity() {
+        let mut s = Scope::new();
+        s.push();
+        s.add_typed("a", emp_type());
+        s.add_typed("b", emp_type());
+        match s.disambiguate("name") {
+            Disambiguation::Ambiguous(owners) => {
+                assert_eq!(owners, vec!["a".to_string(), "b".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shadowed_typed_variables_do_not_count() {
+        let mut s = Scope::new();
+        s.push();
+        s.add_typed("e", emp_type());
+        s.push();
+        s.add("e"); // untyped shadow
+        assert_eq!(s.disambiguate("name"), Disambiguation::None);
+        s.pop();
+        assert_eq!(s.disambiguate("name"), Disambiguation::Unique("e".into()));
+    }
+}

@@ -1,0 +1,118 @@
+//! Mapping Hive-style DDL type expressions (Listing 5) onto the structural
+//! type system, including `UNIONTYPE`.
+
+use sqlpp_syntax::ast::{CreateTable, TypeExpr};
+
+use crate::types::{Field, SqlppType, TupleType};
+
+/// Converts a parsed DDL type expression to a structural type.
+pub fn type_from_ddl(ty: &TypeExpr) -> SqlppType {
+    match ty {
+        TypeExpr::Named(name) => match name.as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" => SqlppType::Int,
+            "STRING" | "VARCHAR" | "CHAR" | "TEXT" => SqlppType::Str,
+            "DOUBLE" | "FLOAT" | "REAL" => SqlppType::Float,
+            "DECIMAL" | "NUMERIC" => SqlppType::Decimal,
+            "BOOLEAN" | "BOOL" => SqlppType::Bool,
+            "BINARY" | "BYTES" | "BLOB" => SqlppType::Bytes,
+            _ => SqlppType::Any,
+        },
+        TypeExpr::Array(inner) => SqlppType::Array(Box::new(type_from_ddl(inner))),
+        TypeExpr::Bag(inner) => SqlppType::Bag(Box::new(type_from_ddl(inner))),
+        TypeExpr::Struct(fields) => SqlppType::Tuple(TupleType {
+            fields: fields
+                .iter()
+                .map(|(name, fty)| Field {
+                    name: name.clone(),
+                    ty: type_from_ddl(fty),
+                    optional: false,
+                })
+                .collect(),
+            open: false,
+        }),
+        TypeExpr::Union(alts) => {
+            SqlppType::Union(alts.iter().map(type_from_ddl).collect())
+        }
+    }
+}
+
+/// Converts a whole `CREATE TABLE` into the row (element) type of the
+/// declared collection. SQL columns are nullable by default, so every
+/// column type unions with NULL.
+pub fn table_row_type(ct: &CreateTable) -> SqlppType {
+    SqlppType::Tuple(TupleType {
+        fields: ct
+            .columns
+            .iter()
+            .map(|(name, ty)| Field {
+                name: name.clone(),
+                ty: type_from_ddl(ty).unify(SqlppType::Null),
+                optional: false,
+            })
+            .collect(),
+        open: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_syntax::ast::Statement;
+    use sqlpp_syntax::parse_statement;
+    use sqlpp_value::{array, rows, Value};
+
+    fn listing5_row_type() -> SqlppType {
+        let stmt = parse_statement(
+            "CREATE TABLE emp_mixed (id INT, name STRING, title STRING, \
+             projects UNIONTYPE<STRING, ARRAY<STRING>>)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => table_row_type(&ct),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn listing_5_round_trip_to_structural_type() {
+        let row = listing5_row_type();
+        // A string-projects employee and an array-projects employee both
+        // conform — exactly the heterogeneity the paper highlights.
+        let scalar_projects = rows![
+            {"id" => 1i64, "name" => "A", "title" => Value::Null, "projects" => "OLTP"}
+        ];
+        let array_projects = rows![
+            {"id" => 2i64, "name" => "B", "title" => "Mgr",
+             "projects" => array!["OLTP", "OLAP"]}
+        ];
+        for data in [scalar_projects, array_projects] {
+            let emp = &data.as_elements().unwrap()[0];
+            assert!(row.admits(emp), "{row} should admit {emp}");
+        }
+        // …but a numeric projects value does not.
+        let bad = rows![{"id" => 3i64, "name" => "C", "title" => Value::Null,
+                         "projects" => 7i64}];
+        assert!(!row.admits(&bad.as_elements().unwrap()[0]));
+    }
+
+    #[test]
+    fn named_types_map_to_scalars() {
+        assert_eq!(type_from_ddl(&TypeExpr::Named("BIGINT".into())), SqlppType::Int);
+        assert_eq!(type_from_ddl(&TypeExpr::Named("VARCHAR".into())), SqlppType::Str);
+        assert_eq!(type_from_ddl(&TypeExpr::Named("WHATEVER".into())), SqlppType::Any);
+    }
+
+    #[test]
+    fn struct_maps_to_closed_tuple() {
+        let t = type_from_ddl(&TypeExpr::Struct(vec![
+            ("x".into(), TypeExpr::Named("INT".into())),
+        ]));
+        match t {
+            SqlppType::Tuple(tt) => {
+                assert!(!tt.open);
+                assert_eq!(tt.fields.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Schema inference from self-describing data.
+//!
+//! Used by the *query stability* tests (§I tenet 3): infer a schema from a
+//! dataset, impose it, and verify query results are unchanged. Inference
+//! produces the least type (in this structural lattice) admitting every
+//! observed value.
+
+use sqlpp_value::Value;
+
+use crate::types::{Field, SqlppType, TupleType};
+
+/// Infers the type of one value.
+pub fn infer_value(v: &Value) -> SqlppType {
+    match v {
+        Value::Missing => SqlppType::Missing,
+        Value::Null => SqlppType::Null,
+        Value::Bool(_) => SqlppType::Bool,
+        Value::Int(_) => SqlppType::Int,
+        Value::Float(_) => SqlppType::Float,
+        Value::Decimal(_) => SqlppType::Decimal,
+        Value::Str(_) => SqlppType::Str,
+        Value::Bytes(_) => SqlppType::Bytes,
+        Value::Array(items) => SqlppType::Array(Box::new(infer_elements(items))),
+        Value::Bag(items) => SqlppType::Bag(Box::new(infer_elements(items))),
+        Value::Tuple(t) => {
+            // Duplicate attribute names (legal, §II) merge into one field
+            // whose type unifies every occurrence.
+            let mut fields: Vec<Field> = Vec::with_capacity(t.len());
+            for (name, value) in t.iter() {
+                let ty = infer_value(value);
+                if let Some(existing) = fields.iter_mut().find(|f| f.name == name) {
+                    let prev = std::mem::replace(&mut existing.ty, SqlppType::Any);
+                    existing.ty = prev.unify(ty);
+                } else {
+                    fields.push(Field { name: name.to_string(), ty, optional: false });
+                }
+            }
+            SqlppType::Tuple(TupleType { fields, open: false })
+        }
+    }
+}
+
+fn infer_elements(items: &[Value]) -> SqlppType {
+    let mut iter = items.iter();
+    let Some(first) = iter.next() else {
+        // Empty collections: the element type is unconstrained.
+        return SqlppType::Any;
+    };
+    let mut ty = infer_value(first);
+    for item in iter {
+        ty = ty.unify(infer_value(item));
+    }
+    ty
+}
+
+/// Infers a collection schema: the element type of a named collection.
+/// Returns `None` when the value is not a collection.
+pub fn infer_collection(v: &Value) -> Option<SqlppType> {
+    match v {
+        Value::Array(items) | Value::Bag(items) => Some(infer_elements(items)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_value::{array, bag, rows, tuple, Value};
+
+    #[test]
+    fn infers_scalars_and_collections() {
+        assert_eq!(infer_value(&Value::Int(1)), SqlppType::Int);
+        assert_eq!(
+            infer_value(&array!["a", "b"]),
+            SqlppType::Array(Box::new(SqlppType::Str))
+        );
+        assert_eq!(
+            infer_value(&Value::empty_bag()),
+            SqlppType::Bag(Box::new(SqlppType::Any))
+        );
+    }
+
+    #[test]
+    fn heterogeneous_collections_infer_unions() {
+        let t = infer_value(&bag![1i64, "x"]);
+        assert_eq!(
+            t,
+            SqlppType::Bag(Box::new(SqlppType::Union(vec![
+                SqlppType::Int,
+                SqlppType::Str
+            ])))
+        );
+    }
+
+    #[test]
+    fn missing_attributes_become_optional_fields() {
+        // emp_missing (Listing 7): Bob has no title.
+        let data = rows![
+            {"id" => 3i64, "name" => "Bob Smith"},
+            {"id" => 4i64, "name" => "Susan Smith", "title" => "Manager"},
+        ];
+        let elem = infer_collection(&data).unwrap();
+        match elem {
+            SqlppType::Tuple(t) => {
+                assert!(!t.field("id").unwrap().optional);
+                assert!(t.field("title").unwrap().optional);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inferred_type_admits_every_source_value() {
+        let data = bag![
+            Value::Tuple(tuple! {"a" => 1i64, "b" => array![1i64, 2i64]}),
+            Value::Tuple(tuple! {"a" => "x"}),
+            Value::Null,
+        ];
+        let ty = infer_value(&data);
+        assert!(ty.admits(&data), "{ty} should admit its own source");
+    }
+
+    #[test]
+    fn nulls_union_with_scalars() {
+        // hr.emp_null (Listing 6): title is sometimes null.
+        let data = rows![
+            {"title" => Value::Null},
+            {"title" => "Manager"},
+        ];
+        let elem = infer_collection(&data).unwrap();
+        match elem {
+            SqlppType::Tuple(t) => {
+                let f = t.field("title").unwrap();
+                assert!(matches!(f.ty, SqlppType::Union(_)), "{}", f.ty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

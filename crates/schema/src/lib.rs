@@ -1,0 +1,113 @@
+//! # sqlpp-schema — the optional schema layer
+//!
+//! SQL++ "does not require a predefined schema over a query's target
+//! input" (§I tenet 3), but when one is present it enables validation and
+//! static disambiguation while guaranteeing *query stability*: imposing a
+//! schema on unchanged data never changes a working query's result. This
+//! crate provides:
+//!
+//! * [`SqlppType`] — a structural type lattice with open/closed tuples,
+//!   optional fields, and union types (Hive's `UNIONTYPE`, Listing 5);
+//! * [`infer_value`]/[`infer_collection`] — schema inference from data;
+//! * [`hive::table_row_type`] — mapping parsed DDL onto structural types;
+//! * [`Validator`] — batch validation with per-path error reporting.
+
+#![warn(missing_docs)]
+
+pub mod hive;
+mod infer;
+mod types;
+
+pub use infer::{infer_collection, infer_value};
+pub use types::{Field, SqlppType, TupleType};
+
+use sqlpp_value::Value;
+
+/// A validation failure: which element, where, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Index of the offending element within the validated collection.
+    pub index: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Validates collections against an element type, collecting violations
+/// rather than stopping at the first (mirroring the permissive spirit of
+/// §IV: keep processing healthy data).
+#[derive(Debug, Clone)]
+pub struct Validator {
+    element_type: SqlppType,
+}
+
+impl Validator {
+    /// A validator for collections whose elements must conform to `ty`.
+    pub fn new(element_type: SqlppType) -> Self {
+        Validator { element_type }
+    }
+
+    /// The element type being enforced.
+    pub fn element_type(&self) -> &SqlppType {
+        &self.element_type
+    }
+
+    /// Checks every element of `collection`; scalars are treated as
+    /// single-element collections.
+    pub fn validate(&self, collection: &Value) -> Vec<Violation> {
+        let items: &[Value] = match collection.as_elements() {
+            Some(items) => items,
+            None => std::slice::from_ref(collection),
+        };
+        items
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !self.element_type.admits(v))
+            .map(|(index, v)| Violation {
+                index,
+                message: format!(
+                    "element {index} ({}) does not conform to {}",
+                    v.kind().name(),
+                    self.element_type
+                ),
+            })
+            .collect()
+    }
+
+    /// True when the whole collection conforms.
+    pub fn is_valid(&self, collection: &Value) -> bool {
+        self.validate(collection).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_value::{bag, rows};
+
+    #[test]
+    fn validator_reports_offending_indices() {
+        let v = Validator::new(SqlppType::Int);
+        let errs = v.validate(&bag![1i64, "two", 3i64, "four"]);
+        assert_eq!(errs.len(), 2);
+        assert_eq!(errs[0].index, 1);
+        assert_eq!(errs[1].index, 3);
+        assert!(errs[0].message.contains("string"));
+    }
+
+    #[test]
+    fn inferred_schema_always_validates_its_source() {
+        let data = rows![
+            {"id" => 1i64, "name" => "A"},
+            {"id" => 2i64},
+        ];
+        let elem = infer_collection(&data).unwrap();
+        assert!(Validator::new(elem).is_valid(&data));
+    }
+
+    #[test]
+    fn scalar_values_validate_as_singletons() {
+        let v = Validator::new(SqlppType::Str);
+        assert!(v.is_valid(&sqlpp_value::Value::Str("x".into())));
+        assert!(!v.is_valid(&sqlpp_value::Value::Int(1)));
+    }
+}

@@ -1,0 +1,449 @@
+//! The optional structural type system.
+//!
+//! SQL++ makes schema *optional* (§I tenet 3, §IV): data may be entirely
+//! self-describing, or a schema may be imposed — in which case static
+//! checks become possible and "the result of a working query should not
+//! change if a schema is imposed on existing data". Types are structural:
+//! a value conforms to a type by shape, not by declaration.
+
+use std::fmt;
+
+use sqlpp_value::{Value, ValueKind};
+
+/// A structural SQL++ type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlppType {
+    /// Top: every value conforms.
+    Any,
+    /// The NULL type (only NULL conforms).
+    Null,
+    /// The MISSING type (only MISSING conforms; useful in inference).
+    Missing,
+    /// Booleans.
+    Bool,
+    /// 64-bit integers.
+    Int,
+    /// Doubles.
+    Float,
+    /// Exact decimals.
+    Decimal,
+    /// Strings.
+    Str,
+    /// Byte strings.
+    Bytes,
+    /// Arrays with a uniform element type.
+    Array(Box<SqlppType>),
+    /// Bags with a uniform element type.
+    Bag(Box<SqlppType>),
+    /// Tuples with per-attribute types.
+    Tuple(TupleType),
+    /// A union of alternatives (Hive `UNIONTYPE`, or inferred
+    /// heterogeneity). Invariant: at least one alternative; flattened (no
+    /// nested unions).
+    Union(Vec<SqlppType>),
+}
+
+/// A tuple type: attribute fields plus openness.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TupleType {
+    /// Declared fields. A field may be optional: absent attributes are
+    /// permitted for optional fields (this is how schema coexists with
+    /// MISSING data).
+    pub fields: Vec<Field>,
+    /// Open tuples permit attributes beyond the declared fields. Closed
+    /// tuples (SQL rows) do not.
+    pub open: bool,
+}
+
+/// One declared attribute of a tuple type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: SqlppType,
+    /// Whether the attribute may be absent entirely.
+    pub optional: bool,
+}
+
+impl TupleType {
+    /// A closed tuple type from `(name, type)` pairs (all required).
+    pub fn closed<I, S>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = (S, SqlppType)>,
+        S: Into<String>,
+    {
+        TupleType {
+            fields: fields
+                .into_iter()
+                .map(|(name, ty)| Field { name: name.into(), ty, optional: false })
+                .collect(),
+            open: false,
+        }
+    }
+
+    /// An open variant of this tuple type.
+    pub fn into_open(mut self) -> Self {
+        self.open = true;
+        self
+    }
+
+    /// Looks up a declared field.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+impl fmt::Display for SqlppType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlppType::Any => write!(f, "any"),
+            SqlppType::Null => write!(f, "null"),
+            SqlppType::Missing => write!(f, "missing"),
+            SqlppType::Bool => write!(f, "boolean"),
+            SqlppType::Int => write!(f, "integer"),
+            SqlppType::Float => write!(f, "float"),
+            SqlppType::Decimal => write!(f, "decimal"),
+            SqlppType::Str => write!(f, "string"),
+            SqlppType::Bytes => write!(f, "bytes"),
+            SqlppType::Array(t) => write!(f, "array<{t}>"),
+            SqlppType::Bag(t) => write!(f, "bag<{t}>"),
+            SqlppType::Tuple(t) => {
+                write!(f, "tuple{{")?;
+                for (i, field) in t.fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(
+                        f,
+                        "{}{}: {}",
+                        field.name,
+                        if field.optional { "?" } else { "" },
+                        field.ty
+                    )?;
+                }
+                if t.open {
+                    if !t.fields.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "...")?;
+                }
+                write!(f, "}}")
+            }
+            SqlppType::Union(alts) => {
+                write!(f, "union<")?;
+                for (i, alt) in alts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{alt}")?;
+                }
+                write!(f, ">")
+            }
+        }
+    }
+}
+
+impl SqlppType {
+    /// Does `value` conform to this type?
+    pub fn admits(&self, value: &Value) -> bool {
+        match self {
+            SqlppType::Any => true,
+            SqlppType::Null => value.is_null(),
+            SqlppType::Missing => value.is_missing(),
+            SqlppType::Bool => value.kind() == ValueKind::Bool,
+            SqlppType::Int => value.kind() == ValueKind::Int,
+            SqlppType::Float => value.kind() == ValueKind::Float,
+            SqlppType::Decimal => value.kind() == ValueKind::Decimal,
+            SqlppType::Str => value.kind() == ValueKind::Str,
+            SqlppType::Bytes => value.kind() == ValueKind::Bytes,
+            SqlppType::Array(elem) => match value {
+                Value::Array(items) => items.iter().all(|v| elem.admits(v)),
+                _ => false,
+            },
+            SqlppType::Bag(elem) => match value {
+                Value::Bag(items) => items.iter().all(|v| elem.admits(v)),
+                _ => false,
+            },
+            SqlppType::Tuple(tt) => match value {
+                Value::Tuple(t) => {
+                    // Every declared required field present & conforming;
+                    // optional fields conform when present; extra
+                    // attributes allowed only if open. Duplicate attribute
+                    // names (legal in the data model, §II) must *all*
+                    // conform, since navigation may surface any of them.
+                    for field in &tt.fields {
+                        let mut occurrences = t.get_all(&field.name).peekable();
+                        if occurrences.peek().is_none() {
+                            if !field.optional {
+                                return false;
+                            }
+                            continue;
+                        }
+                        if !occurrences.all(|v| field.ty.admits(v)) {
+                            return false;
+                        }
+                    }
+                    if !tt.open {
+                        t.names().all(|n| tt.field(n).is_some())
+                    } else {
+                        true
+                    }
+                }
+                _ => false,
+            },
+            SqlppType::Union(alts) => alts.iter().any(|t| t.admits(value)),
+        }
+    }
+
+    /// Is this type (syntactically) a subtype of `other`? Sound but
+    /// deliberately incomplete — used by the static checker to rule out
+    /// impossible navigations, never to reject dynamically valid data.
+    pub fn subtype_of(&self, other: &SqlppType) -> bool {
+        if matches!(other, SqlppType::Any) || self == other {
+            return true;
+        }
+        match (self, other) {
+            (SqlppType::Union(alts), _) => alts.iter().all(|a| a.subtype_of(other)),
+            (_, SqlppType::Union(alts)) => alts.iter().any(|a| self.subtype_of(a)),
+            (SqlppType::Array(a), SqlppType::Array(b))
+            | (SqlppType::Bag(a), SqlppType::Bag(b)) => a.subtype_of(b),
+            (SqlppType::Tuple(a), SqlppType::Tuple(b)) => {
+                // b's required fields must be required-and-subtyped in a;
+                // if b is closed, a must be closed with no extra fields.
+                for bf in &b.fields {
+                    match a.field(&bf.name) {
+                        Some(af) => {
+                            if !af.ty.subtype_of(&bf.ty) || (af.optional && !bf.optional) {
+                                return false;
+                            }
+                        }
+                        None => {
+                            if !bf.optional {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                if !b.open {
+                    !a.open && a.fields.iter().all(|af| b.field(&af.name).is_some())
+                } else {
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Least upper bound used by inference: merges two types into the
+    /// smallest type (in this lattice) admitting both.
+    pub fn unify(self, other: SqlppType) -> SqlppType {
+        use SqlppType::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (Any, _) | (_, Any) => Any,
+            (Missing, t) | (t, Missing) => union2(Missing, t),
+            (Null, t) | (t, Null) => union2(Null, t),
+            (Array(a), Array(b)) => Array(Box::new(a.unify(*b))),
+            (Bag(a), Bag(b)) => Bag(Box::new(a.unify(*b))),
+            (Tuple(a), Tuple(b)) => Tuple(unify_tuples(a, b)),
+            (Union(mut alts), t) | (t, Union(mut alts)) => {
+                merge_into(&mut alts, t);
+                if alts.len() == 1 {
+                    alts.pop().expect("len checked")
+                } else {
+                    Union(alts)
+                }
+            }
+            (a, b) => Union(vec![a, b]),
+        }
+    }
+}
+
+fn union2(a: SqlppType, b: SqlppType) -> SqlppType {
+    if a == b {
+        a
+    } else {
+        SqlppType::Union(vec![a, b])
+    }
+}
+
+fn merge_into(alts: &mut Vec<SqlppType>, t: SqlppType) {
+    match t {
+        SqlppType::Union(more) => {
+            for m in more {
+                merge_into(alts, m);
+            }
+        }
+        t => {
+            // Collapse same-constructor alternatives (e.g. two tuple types)
+            // through unify; otherwise append if new.
+            for existing in alts.iter_mut() {
+                let mergeable = matches!(
+                    (&existing, &t),
+                    (SqlppType::Tuple(_), SqlppType::Tuple(_))
+                        | (SqlppType::Array(_), SqlppType::Array(_))
+                        | (SqlppType::Bag(_), SqlppType::Bag(_))
+                ) || *existing == t;
+                if mergeable {
+                    let prev = std::mem::replace(existing, SqlppType::Any);
+                    *existing = prev.unify(t);
+                    return;
+                }
+            }
+            alts.push(t);
+        }
+    }
+}
+
+fn unify_tuples(a: TupleType, b: TupleType) -> TupleType {
+    let mut fields: Vec<Field> = Vec::new();
+    for af in &a.fields {
+        match b.field(&af.name) {
+            Some(bf) => fields.push(Field {
+                name: af.name.clone(),
+                ty: af.ty.clone().unify(bf.ty.clone()),
+                optional: af.optional || bf.optional,
+            }),
+            None => fields.push(Field {
+                name: af.name.clone(),
+                ty: af.ty.clone(),
+                optional: true,
+            }),
+        }
+    }
+    for bf in &b.fields {
+        if a.field(&bf.name).is_none() {
+            fields.push(Field { name: bf.name.clone(), ty: bf.ty.clone(), optional: true });
+        }
+    }
+    TupleType { fields, open: a.open || b.open }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_value::{array, bag, tuple};
+
+    #[test]
+    fn scalar_admission() {
+        assert!(SqlppType::Int.admits(&Value::Int(1)));
+        assert!(!SqlppType::Int.admits(&Value::Float(1.0)));
+        assert!(SqlppType::Any.admits(&Value::Missing));
+        assert!(SqlppType::Null.admits(&Value::Null));
+        assert!(!SqlppType::Null.admits(&Value::Int(0)));
+    }
+
+    #[test]
+    fn collection_admission() {
+        let t = SqlppType::Array(Box::new(SqlppType::Str));
+        assert!(t.admits(&array!["a", "b"]));
+        assert!(!t.admits(&array!["a", 1i64]));
+        assert!(!t.admits(&bag!["a"]));
+        let b = SqlppType::Bag(Box::new(SqlppType::Any));
+        assert!(b.admits(&bag![1i64, "x"]));
+    }
+
+    #[test]
+    fn tuple_admission_closed_open_optional() {
+        let closed = SqlppType::Tuple(TupleType::closed([
+            ("id", SqlppType::Int),
+            ("name", SqlppType::Str),
+        ]));
+        let good = Value::Tuple(tuple! {"id" => 1i64, "name" => "Bob"});
+        let extra = Value::Tuple(tuple! {"id" => 1i64, "name" => "Bob", "x" => 1i64});
+        assert!(closed.admits(&good));
+        assert!(!closed.admits(&extra));
+        let open = SqlppType::Tuple(
+            TupleType::closed([("id", SqlppType::Int)]).into_open(),
+        );
+        assert!(open.admits(&extra));
+
+        let with_opt = SqlppType::Tuple(TupleType {
+            fields: vec![
+                Field { name: "id".into(), ty: SqlppType::Int, optional: false },
+                Field { name: "title".into(), ty: SqlppType::Str, optional: true },
+            ],
+            open: false,
+        });
+        let no_title = Value::Tuple(tuple! {"id" => 1i64});
+        assert!(with_opt.admits(&no_title));
+    }
+
+    #[test]
+    fn union_admission_models_hive_uniontype() {
+        // Listing 5: projects UNIONTYPE<STRING, ARRAY<STRING>>
+        let t = SqlppType::Union(vec![
+            SqlppType::Str,
+            SqlppType::Array(Box::new(SqlppType::Str)),
+        ]);
+        assert!(t.admits(&Value::Str("OLTP Security".into())));
+        assert!(t.admits(&array!["a", "b"]));
+        assert!(!t.admits(&Value::Int(1)));
+    }
+
+    #[test]
+    fn unify_builds_unions_and_merges_tuples() {
+        let u = SqlppType::Int.unify(SqlppType::Str);
+        assert_eq!(u, SqlppType::Union(vec![SqlppType::Int, SqlppType::Str]));
+        // Unifying with an equal type is the identity.
+        assert_eq!(SqlppType::Int.unify(SqlppType::Int), SqlppType::Int);
+        // Tuples merge field-wise; fields present on one side only become
+        // optional.
+        let a = SqlppType::Tuple(TupleType::closed([("id", SqlppType::Int)]));
+        let b = SqlppType::Tuple(TupleType::closed([
+            ("id", SqlppType::Int),
+            ("title", SqlppType::Str),
+        ]));
+        match a.unify(b) {
+            SqlppType::Tuple(t) => {
+                assert!(!t.field("id").unwrap().optional);
+                assert!(t.field("title").unwrap().optional);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_flattening() {
+        let u1 = SqlppType::Int.unify(SqlppType::Str);
+        let u2 = u1.unify(SqlppType::Bool);
+        match u2 {
+            SqlppType::Union(alts) => assert_eq!(alts.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subtyping_basics() {
+        assert!(SqlppType::Int.subtype_of(&SqlppType::Any));
+        assert!(SqlppType::Int
+            .subtype_of(&SqlppType::Union(vec![SqlppType::Int, SqlppType::Str])));
+        assert!(!SqlppType::Union(vec![SqlppType::Int, SqlppType::Str])
+            .subtype_of(&SqlppType::Int));
+        let narrow = SqlppType::Tuple(TupleType::closed([
+            ("id", SqlppType::Int),
+            ("name", SqlppType::Str),
+        ]));
+        let wide = SqlppType::Tuple(
+            TupleType::closed([("id", SqlppType::Int)]).into_open(),
+        );
+        assert!(narrow.subtype_of(&wide));
+        assert!(!wide.subtype_of(&narrow));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = SqlppType::Bag(Box::new(SqlppType::Tuple(TupleType {
+            fields: vec![Field {
+                name: "title".into(),
+                ty: SqlppType::Str,
+                optional: true,
+            }],
+            open: true,
+        })));
+        assert_eq!(t.to_string(), "bag<tuple{title?: string, ...}>");
+    }
+}

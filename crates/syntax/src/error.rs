@@ -1,0 +1,71 @@
+//! Syntax errors with source positions.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A lexing or parsing error, carrying the offending span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    message: String,
+    span: Span,
+}
+
+impl SyntaxError {
+    /// Creates an error at the given span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SyntaxError { message: message.into(), span }
+    }
+
+    /// The human-readable message (without position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where the error occurred.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Renders the error with a caret line pointing into `src`.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("syntax error: {} at {}\n", self.message, self.span);
+        if let Some(line_text) = src.lines().nth(self.span.line as usize - 1) {
+            out.push_str("  | ");
+            out.push_str(line_text);
+            out.push('\n');
+            out.push_str("  | ");
+            for _ in 1..self.span.column {
+                out.push(' ');
+            }
+            out.push('^');
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error: {} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_column() {
+        let err = SyntaxError::new(
+            "unexpected character",
+            Span { start: 7, end: 8, line: 1, column: 8 },
+        );
+        let rendered = err.render("SELECT #");
+        assert!(rendered.contains("SELECT #"));
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'));
+        assert!(rendered.contains("line 1, column 8"));
+    }
+}

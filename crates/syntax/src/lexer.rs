@@ -1,0 +1,557 @@
+//! The SQL++ lexer.
+//!
+//! Hand-written, zero-dependency, and permissive about whitespace. Supports
+//! SQL line comments (`-- …`), bracketed comments (`/* … */`, nesting
+//! allowed), SQL string literals with doubled-quote escaping, delimited
+//! identifiers (`"date"`), and the paper's bag-constructor digraphs `{{`,
+//! `}}`, `<<`, `>>`.
+//!
+//! One context dependence is unavoidable: `>>` also appears when two
+//! comparison operators abut (`a > (SELECT …) >` can't, but `x >> y` could
+//! in principle mean `x > > y` — it never does in SQL). We always lex `>>`
+//! and `<<` as bag delimiters; the parser splits them back into comparisons
+//! where a bag delimiter is impossible. In practice the digraphs only occur
+//! as constructors, matching PartiQL's grammar.
+
+use crate::error::SyntaxError;
+use crate::token::{Keyword, Span, Tok, Token};
+
+/// Lexes a complete source string into tokens (ending with [`Tok::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span { start, end: self.pos, line, column: col }
+    }
+
+    fn error(&self, msg: impl Into<String>, start: usize, line: u32, col: u32) -> SyntaxError {
+        SyntaxError::new(msg, self.span_from(start, line, col))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, SyntaxError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    tok: Tok::Eof,
+                    span: self.span_from(start, line, col),
+                });
+                return Ok(out);
+            };
+            let tok = match b {
+                b'\'' => self.lex_string()?,
+                b'"' => self.lex_quoted_ident()?,
+                b'`' => self.lex_backtick_special()?,
+                b'0'..=b'9' => self.lex_number()?,
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    self.lex_number()?
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => self.lex_word(),
+                _ => self.lex_symbol()?,
+            };
+            out.push(Token { tok, span: self.span_from(start, line, col) });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), SyntaxError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (start, line, col) = (self.pos, self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                            }
+                            (Some(b'/'), Some(b'*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.error(
+                                    "unterminated block comment",
+                                    start,
+                                    line,
+                                    col,
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Tok, SyntaxError> {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(Tok::Str(s));
+                    }
+                }
+                Some(b'\\') => {
+                    // C-style escapes, matching our value printer.
+                    match self.bump() {
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'\'') => s.push('\''),
+                        Some(b'u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = self.bump().ok_or_else(|| {
+                                    self.error("unterminated \\u escape", start, line, col)
+                                })?;
+                                code = code * 16
+                                    + (d as char).to_digit(16).ok_or_else(|| {
+                                        self.error(
+                                            "invalid hex digit in \\u escape",
+                                            start,
+                                            line,
+                                            col,
+                                        )
+                                    })?;
+                            }
+                            s.push(char::from_u32(code).ok_or_else(|| {
+                                self.error("invalid \\u code point", start, line, col)
+                            })?);
+                        }
+                        _ => {
+                            return Err(self.error(
+                                "invalid escape in string literal",
+                                start,
+                                line,
+                                col,
+                            ));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Collect raw UTF-8 bytes: re-slice from the source to
+                    // keep multi-byte characters intact.
+                    let ch_start = self.pos - 1;
+                    let ch = self.src[ch_start..]
+                        .chars()
+                        .next()
+                        .expect("in-bounds char");
+                    // Bump over any continuation bytes.
+                    for _ in 1..ch.len_utf8() {
+                        self.bump();
+                    }
+                    s.push(ch);
+                }
+                None => {
+                    return Err(self.error("unterminated string literal", start, line, col));
+                }
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<Tok, SyntaxError> {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        self.bump();
+                        s.push('"');
+                    } else {
+                        return Ok(Tok::QuotedIdent(s));
+                    }
+                }
+                Some(_) => {
+                    let ch_start = self.pos - 1;
+                    let ch = self.src[ch_start..]
+                        .chars()
+                        .next()
+                        .expect("in-bounds char");
+                    for _ in 1..ch.len_utf8() {
+                        self.bump();
+                    }
+                    s.push(ch);
+                }
+                None => {
+                    return Err(self.error(
+                        "unterminated delimited identifier",
+                        start,
+                        line,
+                        col,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Backtick forms carry special float values through the printer:
+    /// `` `nan` ``, `` `+inf` ``, `` `-inf` ``.
+    fn lex_backtick_special(&mut self) -> Result<Tok, SyntaxError> {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        self.bump();
+        let word_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'`' {
+                break;
+            }
+            self.bump();
+        }
+        let word = &self.src[word_start..self.pos];
+        if self.bump() != Some(b'`') {
+            return Err(self.error("unterminated backtick literal", start, line, col));
+        }
+        match word {
+            "nan" | "+inf" | "-inf" => Ok(Tok::Number(word.to_string())),
+            other => Err(self.error(
+                format!("unknown backtick literal `{other}`"),
+                start,
+                line,
+                col,
+            )),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, SyntaxError> {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let text_start = self.pos;
+        let mut is_int = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    is_int = false;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    is_int = false;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                    if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        return Err(self.error(
+                            "exponent must be followed by digits",
+                            start,
+                            line,
+                            col,
+                        ));
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[text_start..self.pos];
+        if is_int {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Tok::Int(v)),
+                // Magnitude beyond i64: defer to the decimal path.
+                Err(_) => Ok(Tok::Number(text.to_string())),
+            }
+        } else {
+            Ok(Tok::Number(text.to_string()))
+        }
+    }
+
+    fn lex_word(&mut self) -> Tok {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start..self.pos];
+        match Keyword::lookup(word) {
+            Some(kw) => Tok::Keyword(kw),
+            None => Tok::Ident(word.to_string()),
+        }
+    }
+
+    fn lex_symbol(&mut self) -> Result<Tok, SyntaxError> {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let b = self.bump().expect("peeked");
+        Ok(match b {
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump(); // tolerate `==`
+                }
+                Tok::Eq
+            }
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    Tok::LtEq
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Tok::NotEq
+                }
+                Some(b'<') => {
+                    self.bump();
+                    Tok::LBagAngle
+                }
+                _ => Tok::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    Tok::GtEq
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Tok::RBagAngle
+                }
+                _ => Tok::Gt,
+            },
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::NotEq
+                } else {
+                    return Err(self.error("expected '=' after '!'", start, line, col));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Tok::Concat
+                } else {
+                    return Err(self.error("expected '|' after '|'", start, line, col));
+                }
+            }
+            b'+' => Tok::Plus,
+            b'-' => Tok::Minus,
+            b'*' => Tok::Star,
+            b'/' => Tok::Slash,
+            b'%' => Tok::Percent,
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'{' => {
+                if self.peek() == Some(b'{') {
+                    self.bump();
+                    Tok::LBagBrace
+                } else {
+                    Tok::LBrace
+                }
+            }
+            b'}' => {
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    Tok::RBagBrace
+                } else {
+                    Tok::RBrace
+                }
+            }
+            b',' => Tok::Comma,
+            b'.' => Tok::Dot,
+            b':' => Tok::Colon,
+            b';' => Tok::Semicolon,
+            b'?' => Tok::Question,
+            other => {
+                return Err(self.error(
+                    format!("unexpected character {:?}", other as char),
+                    start,
+                    line,
+                    col,
+                ));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_paper_query() {
+        // Listing 2's shape.
+        let ts = toks(
+            "SELECT e.name AS emp_name FROM hr.emp_nest_tuples AS e, \
+             e.projects AS p WHERE p.name LIKE '%Security%'",
+        );
+        assert_eq!(ts[0], Tok::Keyword(Keyword::Select));
+        assert!(ts.contains(&Tok::Str("%Security%".to_string())));
+        assert!(ts.contains(&Tok::Ident("emp_nest_tuples".to_string())));
+        assert_eq!(*ts.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn strings_with_doubled_quotes_and_escapes() {
+        assert_eq!(toks("'it''s'")[0], Tok::Str("it's".into()));
+        assert_eq!(toks(r"'a\nb'")[0], Tok::Str("a\nb".into()));
+        assert_eq!(toks(r"'A'")[0], Tok::Str("A".into()));
+        assert_eq!(toks("'héllo'")[0], Tok::Str("héllo".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(toks("\"date\"")[0], Tok::QuotedIdent("date".into()));
+        assert_eq!(toks("\"a\"\"b\"")[0], Tok::QuotedIdent("a\"b".into()));
+    }
+
+    #[test]
+    fn numbers_int_and_decimal() {
+        assert_eq!(toks("42")[0], Tok::Int(42));
+        assert_eq!(toks("3.14")[0], Tok::Number("3.14".into()));
+        assert_eq!(toks("1e3")[0], Tok::Number("1e3".into()));
+        assert_eq!(toks("2.5E-2")[0], Tok::Number("2.5E-2".into()));
+        // Larger than i64 becomes a Number token.
+        assert_eq!(
+            toks("99999999999999999999")[0],
+            Tok::Number("99999999999999999999".into())
+        );
+    }
+
+    #[test]
+    fn dot_disambiguation() {
+        // `a.b` is ident dot ident; `.5` is a number.
+        assert_eq!(
+            toks("a.b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks(".5")[0], Tok::Number(".5".into()));
+    }
+
+    #[test]
+    fn bag_digraphs() {
+        assert_eq!(
+            toks("{{1}}"),
+            vec![Tok::LBagBrace, Tok::Int(1), Tok::RBagBrace, Tok::Eof]
+        );
+        assert_eq!(
+            toks("<<1>>"),
+            vec![Tok::LBagAngle, Tok::Int(1), Tok::RBagAngle, Tok::Eof]
+        );
+        assert_eq!(
+            toks("{'a': 1}"),
+            vec![
+                Tok::LBrace,
+                Tok::Str("a".into()),
+                Tok::Colon,
+                Tok::Int(1),
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 -- line comment\n + /* block /* nested */ */ 2"),
+            vec![Tok::Int(1), Tok::Plus, Tok::Int(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("<> != <= >= || = =="),
+            vec![
+                Tok::NotEq,
+                Tok::NotEq,
+                Tok::LtEq,
+                Tok::GtEq,
+                Tok::Concat,
+                Tok::Eq,
+                Tok::Eq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = lex("SELECT\n  #").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err = lex("'unterminated").unwrap_err();
+        assert!(err.to_string().contains("unterminated string"));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(toks("value")[0], Tok::Keyword(Keyword::Value));
+        assert_eq!(toks("valuex")[0], Tok::Ident("valuex".into()));
+        assert_eq!(toks("$var")[0], Tok::Ident("$var".into()));
+    }
+}

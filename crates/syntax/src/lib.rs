@@ -1,0 +1,41 @@
+//! # sqlpp-syntax — lexer, parser, AST and printer for SQL++
+//!
+//! A hand-written front end for the SQL++ language of *SQL++: We Can
+//! Finally Relax!* (ICDE 2024). It accepts
+//!
+//! * classic SQL clause order **and** the paper's pipeline clause-last
+//!   order (`FROM … WHERE … GROUP BY … SELECT …`, §V-B),
+//! * `SELECT VALUE` (§V-A), `GROUP BY … GROUP AS` (§V-B),
+//! * `UNPIVOT … AS … AT …` and `PIVOT … AT …` (§VI),
+//! * the `MISSING` literal, bag constructors `{{ … }}` / `<< … >>`, tuple
+//!   and array constructors, left-correlated FROM items, subqueries
+//!   anywhere, and Hive-style `CREATE TABLE` type declarations
+//!   (Listing 5's `UNIONTYPE`).
+//!
+//! ```
+//! use sqlpp_syntax::parse_query;
+//!
+//! // Listing 2 of the paper parses directly:
+//! let q = parse_query(
+//!     "SELECT e.name AS emp_name, p.name AS proj_name \
+//!      FROM hr.emp_nest_tuples AS e, e.projects AS p \
+//!      WHERE p.name LIKE '%Security%'",
+//! ).unwrap();
+//! // …and prints back to canonical SQL++:
+//! let text = sqlpp_syntax::print_query(&q);
+//! assert!(text.starts_with("SELECT e.name AS emp_name"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod pretty;
+pub mod token;
+
+pub use error::SyntaxError;
+pub use lexer::lex;
+pub use parser::{parse_expr, parse_query, parse_statement};
+pub use pretty::{print_expr, print_query, print_statement};

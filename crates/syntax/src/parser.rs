@@ -1,0 +1,1693 @@
+//! The SQL++ parser: recursive descent over clauses, Pratt precedence over
+//! expressions.
+//!
+//! Both clause orders parse (§V-B): `SELECT … FROM …` and
+//! `FROM … [WHERE …] [GROUP BY …] [HAVING …] SELECT …`. `PIVOT v AT n` is
+//! accepted wherever a SELECT clause is (§VI-B). The grammar follows the
+//! paper's examples and fills gaps with PartiQL's published grammar.
+
+use crate::ast::*;
+use crate::error::SyntaxError;
+use crate::lexer::lex;
+use crate::token::{Keyword as K, Span, Tok, Token};
+
+/// Parses a single statement (query or Hive-style CREATE TABLE).
+pub fn parse_statement(src: &str) -> Result<Statement, SyntaxError> {
+    let mut p = Parser::new(src)?;
+    let stmt = p.statement()?;
+    p.eat(&Tok::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a query expression.
+pub fn parse_query(src: &str) -> Result<Query, SyntaxError> {
+    let mut p = Parser::new(src)?;
+    let q = p.query()?;
+    p.eat(&Tok::Semicolon);
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parses a standalone expression (useful for tests and the REPL).
+pub fn parse_expr(src: &str) -> Result<Expr, SyntaxError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// `(order_by, limit, offset)` trailing-modifier triple.
+type TrailingMods = (Vec<OrderItem>, Option<Expr>, Option<Expr>);
+
+/// Recursion guard: expressions and queries nest through recursive
+/// descent, so adversarially deep inputs must be rejected before they
+/// exhaust the stack. Each nesting level costs ~12 stack frames (one per
+/// precedence tier), so 64 keeps even debug-profile test threads (2 MB
+/// stacks) safe while comfortably exceeding any real query's nesting.
+const MAX_DEPTH: usize = 48;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, SyntaxError> {
+        Ok(Parser { tokens: lex(src)?, pos: 0, params: 0, depth: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: K) -> bool {
+        self.eat(&Tok::Keyword(kw))
+    }
+
+    fn at_kw(&self, kw: K) -> bool {
+        *self.peek() == Tok::Keyword(kw)
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), SyntaxError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: K) -> Result<(), SyntaxError> {
+        self.expect(&Tok::Keyword(kw))
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SyntaxError> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {}", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError::new(msg, self.span())
+    }
+
+    /// An identifier-shaped token: regular or quoted. Non-reserved keywords
+    /// are not modeled; the keyword set is kept minimal instead.
+    fn ident(&mut self) -> Result<String, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            Tok::QuotedIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, SyntaxError> {
+        if self.at_kw(K::Create) {
+            Ok(Statement::CreateTable(self.create_table()?))
+        } else if self.at_kw(K::Insert) {
+            Ok(Statement::Insert(self.insert()?))
+        } else if self.at_kw(K::Delete) {
+            Ok(Statement::Delete(self.delete()?))
+        } else if self.at_kw(K::Update) {
+            Ok(Statement::Update(self.update()?))
+        } else {
+            Ok(Statement::Query(self.query()?))
+        }
+    }
+
+    fn dotted_name(&mut self) -> Result<Vec<String>, SyntaxError> {
+        let mut name = vec![self.ident()?];
+        while self.eat(&Tok::Dot) {
+            name.push(self.ident()?);
+        }
+        Ok(name)
+    }
+
+    fn insert(&mut self) -> Result<Insert, SyntaxError> {
+        self.expect_kw(K::Insert)?;
+        self.expect_kw(K::Into)?;
+        let target = self.dotted_name()?;
+        let source = if self.eat_kw(K::Value) {
+            InsertSource::Value(self.expr()?)
+        } else {
+            InsertSource::Query(Box::new(self.query()?))
+        };
+        Ok(Insert { target, source })
+    }
+
+    fn delete(&mut self) -> Result<Delete, SyntaxError> {
+        self.expect_kw(K::Delete)?;
+        self.expect_kw(K::From)?;
+        let target = self.dotted_name()?;
+        let alias = if self.eat_kw(K::As) || matches!(self.peek(), Tok::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let where_clause = if self.eat_kw(K::Where) { Some(self.expr()?) } else { None };
+        Ok(Delete { target, alias, where_clause })
+    }
+
+    fn update(&mut self) -> Result<Update, SyntaxError> {
+        self.expect_kw(K::Update)?;
+        let target = self.dotted_name()?;
+        let alias = if self.eat_kw(K::As)
+            || (matches!(self.peek(), Tok::Ident(_))
+                && *self.peek_at(1) == Tok::Keyword(K::Set))
+        {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect_kw(K::Set)?;
+        let mut assignments = Vec::new();
+        loop {
+            let path = self.postfix()?;
+            self.expect(&Tok::Eq)?;
+            let value = self.expr()?;
+            assignments.push((path, value));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw(K::Where) { Some(self.expr()?) } else { None };
+        Ok(Update { target, alias, assignments, where_clause })
+    }
+
+    fn create_table(&mut self) -> Result<CreateTable, SyntaxError> {
+        self.expect_kw(K::Create)?;
+        self.expect_kw(K::Table)?;
+        let mut name = vec![self.ident()?];
+        while self.eat(&Tok::Dot) {
+            name.push(self.ident()?);
+        }
+        self.expect(&Tok::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.type_expr()?;
+            columns.push((col, ty));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(CreateTable { name, columns })
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, SyntaxError> {
+        let name = self.ident()?.to_ascii_uppercase();
+        match name.as_str() {
+            "ARRAY" => {
+                self.expect(&Tok::Lt)?;
+                let inner = self.type_expr()?;
+                self.close_type_angle()?;
+                Ok(TypeExpr::Array(Box::new(inner)))
+            }
+            "BAG" => {
+                self.expect(&Tok::Lt)?;
+                let inner = self.type_expr()?;
+                self.close_type_angle()?;
+                Ok(TypeExpr::Bag(Box::new(inner)))
+            }
+            "UNIONTYPE" => {
+                self.expect(&Tok::Lt)?;
+                let mut alts = vec![self.type_expr()?];
+                while self.eat(&Tok::Comma) {
+                    alts.push(self.type_expr()?);
+                }
+                self.close_type_angle()?;
+                Ok(TypeExpr::Union(alts))
+            }
+            "STRUCT" => {
+                self.expect(&Tok::Lt)?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.ident()?;
+                    self.expect(&Tok::Colon)?;
+                    fields.push((fname, self.type_expr()?));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.close_type_angle()?;
+                Ok(TypeExpr::Struct(fields))
+            }
+            _ => {
+                // Multi-word scalar types: DOUBLE PRECISION etc. collapse
+                // to their first word; optional (p[, s]) is parsed and
+                // discarded (precision is not modeled).
+                if self.eat(&Tok::LParen) {
+                    while !self.eat(&Tok::RParen) {
+                        self.bump();
+                    }
+                }
+                Ok(TypeExpr::Named(name))
+            }
+        }
+    }
+
+    /// Closes a `<…>` type bracket, splitting a lexed `>>` digraph back
+    /// into two closing angles when type nesting requires it.
+    fn close_type_angle(&mut self) -> Result<(), SyntaxError> {
+        match self.peek().clone() {
+            Tok::Gt => {
+                self.bump();
+                Ok(())
+            }
+            Tok::RBagAngle => {
+                // Replace `>>` by a single remaining `>`.
+                self.tokens[self.pos].tok = Tok::Gt;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '>' to close type, found {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, SyntaxError> {
+        let mut ctes = Vec::new();
+        if self.eat_kw(K::With) {
+            loop {
+                let name = self.ident()?;
+                self.expect_kw(K::As)?;
+                self.expect(&Tok::LParen)?;
+                let q = self.query()?;
+                self.expect(&Tok::RParen)?;
+                ctes.push(Cte { name, query: Box::new(q) });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.set_expr()?;
+        let (order_by, limit, offset) = self.trailing_modifiers()?;
+        Ok(Query { ctes, body, order_by, limit, offset })
+    }
+
+    fn trailing_modifiers(&mut self) -> Result<TrailingMods, SyntaxError> {
+        let mut order_by = Vec::new();
+        if self.eat_kw(K::Order) {
+            self.expect_kw(K::By)?;
+            loop {
+                order_by.push(self.order_item()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if limit.is_none() && self.eat_kw(K::Limit) {
+                limit = Some(self.expr()?);
+            } else if offset.is_none() && self.eat_kw(K::Offset) {
+                offset = Some(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        Ok((order_by, limit, offset))
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem, SyntaxError> {
+        let expr = self.expr()?;
+        let desc = if self.eat_kw(K::Desc) {
+            true
+        } else {
+            self.eat_kw(K::Asc);
+            false
+        };
+        let nulls_first = if self.eat_kw(K::Nulls) {
+            if self.eat_kw(K::First) {
+                Some(true)
+            } else {
+                self.expect_kw(K::Last)?;
+                Some(false)
+            }
+        } else {
+            None
+        };
+        Ok(OrderItem { expr, desc, nulls_first })
+    }
+
+    /// Set expressions with standard precedence: INTERSECT binds tighter
+    /// than UNION/EXCEPT; all left-associative.
+    fn set_expr(&mut self) -> Result<SetExpr, SyntaxError> {
+        let mut left = self.set_operand()?;
+        loop {
+            let op = if self.at_kw(K::Union) {
+                SetOp::Union
+            } else if self.at_kw(K::Except) {
+                SetOp::Except
+            } else {
+                break;
+            };
+            self.bump();
+            let all = self.eat_kw(K::All);
+            if !all {
+                self.eat_kw(K::Distinct);
+            }
+            let right = self.set_operand()?;
+            left = SetExpr::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn set_operand(&mut self) -> Result<SetExpr, SyntaxError> {
+        let mut left = self.set_primary()?;
+        while self.at_kw(K::Intersect) {
+            self.bump();
+            let all = self.eat_kw(K::All);
+            if !all {
+                self.eat_kw(K::Distinct);
+            }
+            let right = self.set_primary()?;
+            left = SetExpr::SetOp {
+                op: SetOp::Intersect,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn set_primary(&mut self) -> Result<SetExpr, SyntaxError> {
+        if *self.peek() == Tok::LParen && self.starts_query(1) {
+            self.bump();
+            let inner = self.set_expr()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(inner);
+        }
+        Ok(SetExpr::Block(Box::new(self.query_block()?)))
+    }
+
+    /// Does a query start at lookahead offset `n`? (Used to distinguish a
+    /// parenthesized subquery from a parenthesized expression.)
+    fn starts_query(&self, n: usize) -> bool {
+        matches!(
+            self.peek_at(n),
+            Tok::Keyword(K::Select)
+                | Tok::Keyword(K::From)
+                | Tok::Keyword(K::Pivot)
+                | Tok::Keyword(K::With)
+                | Tok::Keyword(K::Values)
+        ) || (*self.peek_at(n) == Tok::LParen && {
+            // Nested parens: scan inward (bounded).
+            let mut i = n;
+            while *self.peek_at(i) == Tok::LParen && i < n + 8 {
+                i += 1;
+            }
+            matches!(
+                self.peek_at(i),
+                Tok::Keyword(K::Select)
+                    | Tok::Keyword(K::From)
+                    | Tok::Keyword(K::Pivot)
+                    | Tok::Keyword(K::With)
+                    | Tok::Keyword(K::Values)
+            )
+        })
+    }
+
+    /// One query block, in either clause order.
+    fn query_block(&mut self) -> Result<QueryBlock, SyntaxError> {
+        if self.at_kw(K::Select) || self.at_kw(K::Pivot) {
+            let select = self.select_clause()?;
+            let mut block = self.clause_tail(SelectPlacement::Leading)?;
+            block.select = select;
+            Ok(block)
+        } else if self.at_kw(K::From) {
+            let mut block = self.clause_tail(SelectPlacement::Trailing)?;
+            if self.at_kw(K::Select) || self.at_kw(K::Pivot) {
+                block.select = self.select_clause()?;
+                // HAVING may legally follow a trailing SELECT? No — the
+                // paper's pipeline is FROM..GROUP..HAVING..SELECT. But
+                // block-level ORDER BY/LIMIT inside parens attach here.
+            } else {
+                return Err(self.err("query block starting with FROM must end with SELECT or PIVOT"));
+            }
+            Ok(block)
+        } else if self.at_kw(K::Values) {
+            // VALUES (e, …), … — SQL compatibility: a bag of tuples with
+            // positional attribute names _1, _2, … is unconventional; we
+            // model VALUES rows as arrays, matching PartiQL.
+            self.bump();
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&Tok::LParen)?;
+                let mut row = vec![self.expr()?];
+                while self.eat(&Tok::Comma) {
+                    row.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen)?;
+                rows.push(Expr::ArrayCtor(row));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            // Desugar to `FROM <<row, …>> AS $values SELECT VALUE $values`
+            // so each row becomes one output element.
+            let mut block = QueryBlock::with_select(SelectClause::SelectValue {
+                quantifier: SetQuantifier::All,
+                expr: Expr::var("$values"),
+            });
+            block.from.push(FromItem::Collection {
+                expr: Expr::BagCtor(rows),
+                as_var: Some("$values".to_string()),
+                at_var: None,
+            });
+            block.placement = SelectPlacement::Leading;
+            Ok(block)
+        } else {
+            Err(self.err(format!(
+                "expected SELECT, FROM, PIVOT or VALUES, found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Parses FROM/LET/WHERE/GROUP BY/HAVING in order.
+    fn clause_tail(&mut self, placement: SelectPlacement) -> Result<QueryBlock, SyntaxError> {
+        let mut block = QueryBlock::with_select(SelectClause::Select {
+            quantifier: SetQuantifier::All,
+            items: Vec::new(),
+        });
+        block.placement = placement;
+        if self.eat_kw(K::From) {
+            loop {
+                let item = self.from_item()?;
+                block.from.push(item);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        // LET (extension): `LET v = expr, …` — lexed as the identifier
+        // `LET` since it is not reserved.
+        while let Tok::Ident(word) = self.peek() {
+            if !word.eq_ignore_ascii_case("let") {
+                break;
+            }
+            // Only treat as LET when followed by `ident =`.
+            if !matches!(self.peek_at(1), Tok::Ident(_) | Tok::QuotedIdent(_))
+                || *self.peek_at(2) != Tok::Eq
+            {
+                break;
+            }
+            self.bump();
+            loop {
+                let name = self.ident()?;
+                self.expect(&Tok::Eq)?;
+                let expr = self.expr()?;
+                block.lets.push(LetBinding { name, expr });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(K::Where) {
+            block.where_clause = Some(self.expr()?);
+        }
+        if self.at_kw(K::Group) && *self.peek_at(1) == Tok::Keyword(K::By) {
+            self.bump();
+            self.bump();
+            let (keys, modifier) = self.group_keys()?;
+            let group_as = if self.at_kw(K::Group) && *self.peek_at(1) == Tok::Keyword(K::As) {
+                self.bump();
+                self.bump();
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            block.group_by = Some(GroupBy { keys, modifier, group_as });
+        }
+        if self.eat_kw(K::Having) {
+            block.having = Some(self.expr()?);
+        }
+        Ok(block)
+    }
+
+    /// Parses the key list of a GROUP BY, including the analytical
+    /// modifiers ROLLUP/CUBE/GROUPING SETS (contextual words, not reserved
+    /// keywords).
+    fn group_keys(&mut self) -> Result<(Vec<GroupKeyExpr>, GroupModifier), SyntaxError> {
+        let ctx_word = |tok: &Tok, word: &str| {
+            matches!(tok, Tok::Ident(w) if w.eq_ignore_ascii_case(word))
+        };
+        if ctx_word(self.peek(), "rollup") && *self.peek_at(1) == Tok::LParen {
+            self.bump();
+            let keys = self.paren_key_list()?;
+            return Ok((keys, GroupModifier::Rollup));
+        }
+        if ctx_word(self.peek(), "cube") && *self.peek_at(1) == Tok::LParen {
+            self.bump();
+            let keys = self.paren_key_list()?;
+            return Ok((keys, GroupModifier::Cube));
+        }
+        if ctx_word(self.peek(), "grouping")
+            && ctx_word(self.peek_at(1), "sets")
+            && *self.peek_at(2) == Tok::LParen
+        {
+            self.bump();
+            self.bump();
+            self.expect(&Tok::LParen)?;
+            // Each set: (key, …) or a bare key; keys are pooled by AST
+            // equality across sets.
+            let mut keys: Vec<GroupKeyExpr> = Vec::new();
+            let mut sets: Vec<Vec<usize>> = Vec::new();
+            loop {
+                let mut set = Vec::new();
+                if self.eat(&Tok::LParen) {
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            set.push(self.pool_group_key(&mut keys)?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                } else {
+                    set.push(self.pool_group_key(&mut keys)?);
+                }
+                sets.push(set);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            return Ok((keys, GroupModifier::GroupingSets(sets)));
+        }
+        let mut keys = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw(K::As) { Some(self.ident()?) } else { None };
+            keys.push(GroupKeyExpr { expr, alias });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok((keys, GroupModifier::Plain))
+    }
+
+    fn paren_key_list(&mut self) -> Result<Vec<GroupKeyExpr>, SyntaxError> {
+        self.expect(&Tok::LParen)?;
+        let mut keys = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw(K::As) { Some(self.ident()?) } else { None };
+            keys.push(GroupKeyExpr { expr, alias });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(keys)
+    }
+
+    /// Parses one grouping-set member and returns its index in the pooled
+    /// key list (inserting if new).
+    fn pool_group_key(&mut self, keys: &mut Vec<GroupKeyExpr>) -> Result<usize, SyntaxError> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(K::As) { Some(self.ident()?) } else { None };
+        if let Some(i) = keys.iter().position(|k| k.expr == expr) {
+            return Ok(i);
+        }
+        keys.push(GroupKeyExpr { expr, alias });
+        Ok(keys.len() - 1)
+    }
+
+    fn select_clause(&mut self) -> Result<SelectClause, SyntaxError> {
+        if self.eat_kw(K::Pivot) {
+            let value = self.expr()?;
+            self.expect_kw(K::At)?;
+            let name = self.expr()?;
+            return Ok(SelectClause::Pivot { value, name });
+        }
+        self.expect_kw(K::Select)?;
+        let quantifier = if self.eat_kw(K::Distinct) {
+            SetQuantifier::Distinct
+        } else {
+            self.eat_kw(K::All);
+            SetQuantifier::All
+        };
+        if self.eat_kw(K::Value) {
+            let expr = self.expr()?;
+            return Ok(SelectClause::SelectValue { quantifier, expr });
+        }
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(SelectClause::Select { quantifier, items })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SyntaxError> {
+        if self.eat(&Tok::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let Tok::Ident(name) = self.peek().clone() {
+            if *self.peek_at(1) == Tok::Dot && *self.peek_at(2) == Tok::Star {
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(K::As) {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), Tok::Ident(_) | Tok::QuotedIdent(_)) {
+            // Bare alias (SQL permits omitting AS).
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // ------------------------------------------------------------------
+    // FROM items
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::wrong_self_convention)] // "from" is the SQL clause, not a conversion
+    fn from_item(&mut self) -> Result<FromItem, SyntaxError> {
+        let mut left = self.join_operand()?;
+        loop {
+            let kind = if self.at_kw(K::Cross) && *self.peek_at(1) == Tok::Keyword(K::Join) {
+                self.bump();
+                self.bump();
+                JoinKind::Cross
+            } else if self.at_kw(K::Inner) && *self.peek_at(1) == Tok::Keyword(K::Join) {
+                self.bump();
+                self.bump();
+                JoinKind::Inner
+            } else if self.at_kw(K::Left) {
+                self.bump();
+                self.eat_kw(K::Outer);
+                self.expect_kw(K::Join)?;
+                JoinKind::Left
+            } else if self.at_kw(K::Right) {
+                self.bump();
+                self.eat_kw(K::Outer);
+                self.expect_kw(K::Join)?;
+                JoinKind::Right
+            } else if self.at_kw(K::Full) {
+                self.bump();
+                self.eat_kw(K::Outer);
+                self.expect_kw(K::Join)?;
+                JoinKind::Full
+            } else if self.at_kw(K::Join) {
+                self.bump();
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let right = self.join_operand()?;
+            let on = if kind == JoinKind::Cross {
+                None
+            } else {
+                self.expect_kw(K::On)?;
+                Some(self.expr()?)
+            };
+            left = FromItem::Join {
+                kind,
+                left: Box::new(left),
+                right: Box::new(right),
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn join_operand(&mut self) -> Result<FromItem, SyntaxError> {
+        if self.eat_kw(K::Unpivot) {
+            let expr = self.expr()?;
+            self.expect_kw(K::As)?;
+            let value_var = self.ident()?;
+            self.expect_kw(K::At)?;
+            let name_var = self.ident()?;
+            return Ok(FromItem::Unpivot { expr, value_var, name_var });
+        }
+        self.eat_kw(K::Lateral); // left-correlation is the default; accept the keyword
+        let expr = self.expr()?;
+        let as_var = if self.eat_kw(K::As) || matches!(self.peek(), Tok::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let at_var = if self.eat_kw(K::At) { Some(self.ident()?) } else { None };
+        Ok(FromItem::Collection { expr, as_var, at_var })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (Pratt)
+    // ------------------------------------------------------------------
+
+    /// Entry: OR level, guarded against pathological nesting depth.
+    pub(crate) fn expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("expression nesting too deep"));
+        }
+        let r = self.or_expr();
+        self.depth -= 1;
+        r
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(K::Or) {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SyntaxError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw(K::And) {
+            let right = self.not_expr()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SyntaxError> {
+        if self.eat_kw(K::Not) {
+            let inner = self.not_expr()?;
+            Ok(Expr::Un { op: UnOp::Not, expr: Box::new(inner) })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, SyntaxError> {
+        let left = self.additive()?;
+        // Comparison and the SQL predicates live at the same level and do
+        // not chain (a = b = c is rejected by virtue of returning early).
+        let op = match self.peek() {
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::NotEq => Some(BinOp::NotEq),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::LtEq => Some(BinOp::LtEq),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::GtEq => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.additive()?;
+            return Ok(Expr::bin(op, left, right));
+        }
+        // Postfix predicates, possibly prefixed by NOT.
+        let negated = if self.at_kw(K::Not)
+            && matches!(
+                self.peek_at(1),
+                Tok::Keyword(K::Like) | Tok::Keyword(K::Between) | Tok::Keyword(K::In)
+            ) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw(K::Like) {
+            let pattern = self.additive()?;
+            let escape = if self.eat_kw(K::Escape) {
+                Some(Box::new(self.additive()?))
+            } else {
+                None
+            };
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                escape,
+                negated,
+            });
+        }
+        if self.eat_kw(K::Between) {
+            let low = self.additive()?;
+            self.expect_kw(K::And)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw(K::In) {
+            let rhs = if *self.peek() == Tok::LParen && !self.starts_query(1) {
+                self.bump();
+                let mut list = vec![self.expr()?];
+                while self.eat(&Tok::Comma) {
+                    list.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen)?;
+                InRhs::List(list)
+            } else {
+                InRhs::Expr(self.additive()?)
+            };
+            return Ok(Expr::In { expr: Box::new(left), rhs: Box::new(rhs), negated });
+        }
+        if negated {
+            return Err(self.err("expected LIKE, BETWEEN or IN after NOT"));
+        }
+        if self.eat_kw(K::Is) {
+            let negated = self.eat_kw(K::Not);
+            let test = if self.eat_kw(K::Null) {
+                IsTest::Null
+            } else if self.eat_kw(K::Missing) {
+                IsTest::Missing
+            } else {
+                IsTest::Type(self.ident()?.to_ascii_uppercase())
+            };
+            return Ok(Expr::Is { expr: Box::new(left), test, negated });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, SyntaxError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                Tok::Concat => BinOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SyntaxError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SyntaxError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                // Fold literal negation for nicer ASTs.
+                if let Expr::Lit(Lit::Int(v)) = e {
+                    return Ok(Expr::Lit(Lit::Int(-v)));
+                }
+                if let Expr::Lit(Lit::Decimal(d)) = e {
+                    return Ok(Expr::Lit(Lit::Decimal(-d)));
+                }
+                if let Expr::Lit(Lit::Float(f)) = e {
+                    return Ok(Expr::Lit(Lit::Float(-f)));
+                }
+                Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(e) })
+            }
+            Tok::Plus => {
+                self.bump();
+                let e = self.unary()?;
+                Ok(Expr::Un { op: UnOp::Pos, expr: Box::new(e) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    /// A primary followed by path steps.
+    fn postfix(&mut self) -> Result<Expr, SyntaxError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(&Tok::Dot) {
+                let attr = match self.peek().clone() {
+                    Tok::Ident(s) => {
+                        self.bump();
+                        s
+                    }
+                    Tok::QuotedIdent(s) => {
+                        self.bump();
+                        s
+                    }
+                    // Permit keyword-looking attribute names after a dot,
+                    // e.g. `c.value`.
+                    Tok::Keyword(k) => {
+                        self.bump();
+                        k.as_str().to_ascii_lowercase()
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "expected attribute name after '.', found {other}"
+                        )));
+                    }
+                };
+                match &mut e {
+                    Expr::Path { steps, .. } => steps.push(PathStep::Attr(attr)),
+                    _ => {
+                        e = wrap_path(e, PathStep::Attr(attr));
+                    }
+                }
+            } else if *self.peek() == Tok::LBracket {
+                self.bump();
+                let idx = self.expr()?;
+                self.expect(&Tok::RBracket)?;
+                match &mut e {
+                    Expr::Path { steps, .. } => {
+                        steps.push(PathStep::Index(Box::new(idx)));
+                    }
+                    _ => {
+                        e = wrap_path(e, PathStep::Index(Box::new(idx)));
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SyntaxError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Int(v)))
+            }
+            Tok::Number(text) => {
+                self.bump();
+                match text.as_str() {
+                    "nan" => return Ok(Expr::Lit(Lit::Float(f64::NAN))),
+                    "+inf" => return Ok(Expr::Lit(Lit::Float(f64::INFINITY))),
+                    "-inf" => return Ok(Expr::Lit(Lit::Float(f64::NEG_INFINITY))),
+                    _ => {}
+                }
+                // Exponent form → float; plain fraction → exact decimal.
+                if text.contains(['e', 'E']) {
+                    text.parse::<f64>()
+                        .map(|f| Expr::Lit(Lit::Float(f)))
+                        .map_err(|_| self.err(format!("invalid number {text}")))
+                } else {
+                    text.parse()
+                        .map(|d| Expr::Lit(Lit::Decimal(d)))
+                        .map_err(|e| self.err(format!("invalid number {text}: {e}")))
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Str(s)))
+            }
+            Tok::Keyword(K::Null) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Null))
+            }
+            Tok::Keyword(K::Missing) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Missing))
+            }
+            Tok::Keyword(K::True) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Bool(true)))
+            }
+            Tok::Keyword(K::False) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Bool(false)))
+            }
+            Tok::Question => {
+                self.bump();
+                let i = self.params;
+                self.params += 1;
+                Ok(Expr::Param(i))
+            }
+            Tok::Keyword(K::Case) => self.case_expr(),
+            Tok::Keyword(K::Cast) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect_kw(K::As)?;
+                let ty = self.type_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Cast { expr: Box::new(e), ty })
+            }
+            Tok::Keyword(K::Exists) => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let q = self.query()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Exists(Box::new(q)))
+            }
+            Tok::LParen => {
+                if self.starts_query(1) {
+                    self.bump();
+                    let q = self.query()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Subquery(Box::new(q)))
+                } else {
+                    self.bump();
+                    let e = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(e)
+                }
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if *self.peek() != Tok::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBracket)?;
+                Ok(Expr::ArrayCtor(items))
+            }
+            Tok::LBagBrace | Tok::LBagAngle => {
+                let close = if *self.peek() == Tok::LBagBrace {
+                    Tok::RBagBrace
+                } else {
+                    Tok::RBagAngle
+                };
+                self.bump();
+                let mut items = Vec::new();
+                if *self.peek() != close {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&close)?;
+                Ok(Expr::BagCtor(items))
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut pairs = Vec::new();
+                if *self.peek() != Tok::RBrace {
+                    loop {
+                        let name = self.expr()?;
+                        self.expect(&Tok::Colon)?;
+                        let value = self.expr()?;
+                        pairs.push((name, value));
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(Expr::TupleCtor(pairs))
+            }
+            // Aggregate-shaped keywords usable as function names.
+            Tok::Keyword(k @ (K::Any | K::Some | K::Every | K::Left | K::Right))
+                if *self.peek_at(1) == Tok::LParen =>
+            {
+                self.bump();
+                let call = self.call_args(k.as_str().to_string())?;
+                self.maybe_over(call)
+            }
+            Tok::Ident(name) => {
+                if *self.peek_at(1) == Tok::LParen {
+                    self.bump();
+                    let call = self.call_args(name.to_ascii_uppercase())?;
+                    self.maybe_over(call)
+                } else {
+                    self.bump();
+                    Ok(Expr::Path { head: name, steps: Vec::new() })
+                }
+            }
+            Tok::QuotedIdent(name) => {
+                self.bump();
+                Ok(Expr::Path { head: name, steps: Vec::new() })
+            }
+            other => Err(self.err(format!("unexpected token {other} in expression"))),
+        }
+    }
+
+    fn call_args(&mut self, name: String) -> Result<Expr, SyntaxError> {
+        self.expect(&Tok::LParen)?;
+        if self.eat(&Tok::Star) {
+            self.expect(&Tok::RParen)?;
+            return Ok(Expr::Call { name, args: Vec::new(), distinct: false, star: true });
+        }
+        let distinct = self.eat_kw(K::Distinct);
+        if !distinct {
+            self.eat_kw(K::All);
+        }
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                // A subquery argument without parens of its own:
+                // COLL_AVG(SELECT VALUE …) per Listing 16.
+                if self.starts_query(0) {
+                    args.push(Expr::Subquery(Box::new(self.query()?)));
+                } else {
+                    args.push(self.expr()?);
+                }
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(Expr::Call { name, args, distinct, star: false })
+    }
+
+    /// Attaches an `OVER (…)` window specification to a call, when
+    /// present.
+    fn maybe_over(&mut self, call: Expr) -> Result<Expr, SyntaxError> {
+        if !self.eat_kw(K::Over) {
+            return Ok(call);
+        }
+        let Expr::Call { name, args, distinct, star } = call else {
+            return Err(self.err("OVER must follow a function call"));
+        };
+        if distinct {
+            return Err(self.err("DISTINCT is not supported in window functions"));
+        }
+        self.expect(&Tok::LParen)?;
+        let mut partition_by = Vec::new();
+        if self.at_kw(K::Partition) {
+            self.bump();
+            self.expect_kw(K::By)?;
+            loop {
+                partition_by.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw(K::Order) {
+            self.expect_kw(K::By)?;
+            loop {
+                order_by.push(self.order_item()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(Expr::Window { func: name, args, star, partition_by, order_by })
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, SyntaxError> {
+        self.expect_kw(K::Case)?;
+        let operand = if !self.at_kw(K::When) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        let mut arms = Vec::new();
+        while self.eat_kw(K::When) {
+            let when = self.expr()?;
+            self.expect_kw(K::Then)?;
+            let then = self.expr()?;
+            arms.push((when, then));
+        }
+        if arms.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN arm"));
+        }
+        let else_expr = if self.eat_kw(K::Else) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw(K::End)?;
+        Ok(Expr::Case { operand, arms, else_expr })
+    }
+}
+
+/// Wraps a non-path expression in a fresh path so steps can attach, e.g.
+/// `(SELECT …)[0]` or `{'a':1}.a`. Represented by re-rooting: we keep the
+/// base expression in a one-step chain.
+fn wrap_path(base: Expr, step: PathStep) -> Expr {
+    // A non-identifier base with navigation: encode as a Call to the
+    // internal navigation functions so the AST stays small.
+    match step {
+        PathStep::Attr(a) => Expr::Call {
+            name: "$PATH".to_string(),
+            args: vec![base, Expr::Lit(Lit::Str(a))],
+            distinct: false,
+            star: false,
+        },
+        PathStep::Index(i) => Expr::Call {
+            name: "$INDEX".to_string(),
+            args: vec![base, *i],
+            distinct: false,
+            star: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Query {
+        parse_query(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+    }
+
+    fn block(src: &str) -> QueryBlock {
+        match q(src).body {
+            SetExpr::Block(b) => *b,
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing_2() {
+        let b = block(
+            "SELECT e.name AS emp_name, p.name AS proj_name \
+             FROM hr.emp_nest_tuples AS e, e.projects AS p \
+             WHERE p.name LIKE '%Security%'",
+        );
+        assert_eq!(b.from.len(), 2);
+        assert!(matches!(b.select, SelectClause::Select { ref items, .. } if items.len() == 2));
+        assert!(matches!(b.where_clause, Some(Expr::Like { .. })));
+        match &b.from[1] {
+            FromItem::Collection { expr, as_var, .. } => {
+                assert_eq!(*expr, Expr::path("e", &["projects"]));
+                assert_eq!(as_var.as_deref(), Some("p"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_clause_last_form_listing_12() {
+        let b = block(
+            "FROM hr.emp_nest_scalars AS e, e.projects AS p \
+             WHERE p LIKE '%Security%' \
+             GROUP BY LOWER(p) AS p GROUP AS g \
+             SELECT p AS proj_name, \
+               (FROM g AS v SELECT VALUE v.e.name) AS employees",
+        );
+        assert_eq!(b.placement, SelectPlacement::Trailing);
+        let gb = b.group_by.expect("group by");
+        assert_eq!(gb.keys.len(), 1);
+        assert_eq!(gb.keys[0].alias.as_deref(), Some("p"));
+        assert_eq!(gb.group_as.as_deref(), Some("g"));
+        match &b.select {
+            SelectClause::Select { items, .. } => {
+                assert_eq!(items.len(), 2);
+                match &items[1] {
+                    SelectItem::Expr { expr: Expr::Subquery(sub), alias } => {
+                        assert_eq!(alias.as_deref(), Some("employees"));
+                        match &sub.body {
+                            SetExpr::Block(b) => {
+                                assert_eq!(b.placement, SelectPlacement::Trailing);
+                                assert!(matches!(
+                                    b.select,
+                                    SelectClause::SelectValue { .. }
+                                ));
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_value_subquery_listing_10() {
+        let b = block(
+            "SELECT e.id AS id, (SELECT VALUE p FROM e.projects AS p \
+             WHERE p LIKE '%Security%') AS security_proj \
+             FROM hr.emp_nest_scalars AS e",
+        );
+        match &b.select {
+            SelectClause::Select { items, .. } => {
+                assert!(matches!(
+                    items[1],
+                    SelectItem::Expr { expr: Expr::Subquery(_), .. }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unpivot_listing_20() {
+        let b = block(
+            "SELECT c.\"date\" AS \"date\", sym AS symbol, price AS price \
+             FROM closing_prices AS c, UNPIVOT c AS price AT sym \
+             WHERE NOT sym = 'date'",
+        );
+        match &b.from[1] {
+            FromItem::Unpivot { value_var, name_var, .. } => {
+                assert_eq!(value_var, "price");
+                assert_eq!(name_var, "sym");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // `NOT sym = 'date'` parses as NOT (sym = 'date').
+        match b.where_clause.unwrap() {
+            Expr::Un { op: UnOp::Not, expr } => {
+                assert!(matches!(*expr, Expr::Bin { op: BinOp::Eq, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_pivot_listing_24() {
+        let b = block("PIVOT sp.price AT sp.symbol FROM today_stock_prices sp");
+        assert!(matches!(b.select, SelectClause::Pivot { .. }));
+        match &b.from[0] {
+            FromItem::Collection { as_var, .. } => {
+                assert_eq!(as_var.as_deref(), Some("sp"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_pivot_subquery_with_group_listing_26() {
+        let b = block(
+            "SELECT sp.\"date\" AS \"date\", \
+               (PIVOT dp.sp.price AT dp.sp.symbol FROM dates_prices AS dp) AS prices \
+             FROM stock_prices AS sp \
+             GROUP BY sp.\"date\" GROUP AS dates_prices",
+        );
+        let gb = b.group_by.unwrap();
+        assert_eq!(gb.group_as.as_deref(), Some("dates_prices"));
+        assert_eq!(gb.keys[0].alias, None);
+    }
+
+    #[test]
+    fn parses_aggregates_and_group_by_listing_17() {
+        let b = block(
+            "SELECT e.deptno, AVG(e.salary) AS avgsal FROM hr.emp AS e \
+             WHERE e.title = 'Engineer' GROUP BY e.deptno",
+        );
+        match &b.select {
+            SelectClause::Select { items, .. } => match &items[1] {
+                SelectItem::Expr { expr: Expr::Call { name, args, .. }, .. } => {
+                    assert_eq!(name, "AVG");
+                    assert_eq!(args.len(), 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_coll_avg_with_bare_subquery_arg_listing_16() {
+        let e = parse_expr(
+            "COLL_AVG(SELECT VALUE e.salary FROM hr.emp AS e WHERE e.title = 'Engineer')",
+        )
+        .unwrap();
+        match e {
+            Expr::Call { name, args, .. } => {
+                assert_eq!(name, "COLL_AVG");
+                assert!(matches!(args[0], Expr::Subquery(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_case_when_listing_9() {
+        let e = parse_expr(
+            "CASE WHEN e.title LIKE 'Chief %' THEN 'Executive' ELSE 'Worker' END",
+        )
+        .unwrap();
+        match e {
+            Expr::Case { operand: None, arms, else_expr: Some(_) } => {
+                assert_eq!(arms.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_constructors() {
+        assert!(matches!(parse_expr("{'a': 1, 'b': [1,2]}").unwrap(), Expr::TupleCtor(_)));
+        assert!(matches!(parse_expr("{{1, 2}}").unwrap(), Expr::BagCtor(_)));
+        assert!(matches!(parse_expr("<<1, 2>>").unwrap(), Expr::BagCtor(_)));
+        assert!(matches!(parse_expr("[]").unwrap(), Expr::ArrayCtor(_)));
+        assert!(matches!(parse_expr("{}").unwrap(), Expr::TupleCtor(p) if p.is_empty()));
+    }
+
+    #[test]
+    fn parses_operators_with_precedence() {
+        // 1 + 2 * 3 = (1 + (2*3))
+        match parse_expr("1 + 2 * 3 = 7").unwrap() {
+            Expr::Bin { op: BinOp::Eq, left, .. } => match *left {
+                Expr::Bin { op: BinOp::Add, right, .. } => {
+                    assert!(matches!(*right, Expr::Bin { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // a OR b AND c = a OR (b AND c)
+        match parse_expr("a OR b AND c").unwrap() {
+            Expr::Bin { op: BinOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Bin { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_predicates() {
+        assert!(matches!(
+            parse_expr("x BETWEEN 1 AND 10").unwrap(),
+            Expr::Between { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x NOT IN (1, 2, 3)").unwrap(),
+            Expr::In { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x IN (SELECT VALUE y FROM t AS y)").unwrap(),
+            Expr::In { .. }
+        ));
+        assert!(matches!(
+            parse_expr("x IS NOT MISSING").unwrap(),
+            Expr::Is { test: IsTest::Missing, negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x IS NULL").unwrap(),
+            Expr::Is { test: IsTest::Null, negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("EXISTS (SELECT * FROM t AS t2)").unwrap(),
+            Expr::Exists(_)
+        ));
+    }
+
+    #[test]
+    fn parses_path_steps_and_index() {
+        let e = parse_expr("e.projects[0].name").unwrap();
+        match e {
+            Expr::Path { head, steps } => {
+                assert_eq!(head, "e");
+                assert_eq!(steps.len(), 3);
+                assert!(matches!(steps[1], PathStep::Index(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_set_ops_with_precedence() {
+        let query = q("SELECT VALUE 1 FROM a AS a UNION SELECT VALUE 2 FROM b AS b \
+                       INTERSECT SELECT VALUE 3 FROM c AS c");
+        match query.body {
+            SetExpr::SetOp { op: SetOp::Union, right, .. } => {
+                assert!(matches!(*right, SetExpr::SetOp { op: SetOp::Intersect, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_limit_offset() {
+        let query = q("SELECT VALUE x FROM t AS x ORDER BY x.a DESC NULLS LAST, x.b LIMIT 10 OFFSET 5");
+        assert_eq!(query.order_by.len(), 2);
+        assert!(query.order_by[0].desc);
+        assert_eq!(query.order_by[0].nulls_first, Some(false));
+        assert_eq!(query.limit, Some(Expr::int(10)));
+        assert_eq!(query.offset, Some(Expr::int(5)));
+    }
+
+    #[test]
+    fn parses_joins() {
+        let b = block(
+            "SELECT * FROM a AS a LEFT OUTER JOIN b AS b ON a.id = b.id \
+             CROSS JOIN c AS c",
+        );
+        match &b.from[0] {
+            FromItem::Join { kind: JoinKind::Cross, left, .. } => {
+                assert!(matches!(**left, FromItem::Join { kind: JoinKind::Left, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_with_ctes() {
+        let query = q("WITH eng AS (SELECT VALUE e FROM hr.emp AS e) SELECT VALUE x FROM eng AS x");
+        assert_eq!(query.ctes.len(), 1);
+        assert_eq!(query.ctes[0].name, "eng");
+    }
+
+    #[test]
+    fn parses_let_bindings() {
+        let b = block("FROM t AS x LET y = x.a + 1 WHERE y > 2 SELECT VALUE y");
+        assert_eq!(b.lets.len(), 1);
+        assert_eq!(b.lets[0].name, "y");
+    }
+
+    #[test]
+    fn parses_params_in_order() {
+        let b = block("SELECT VALUE x FROM t AS x WHERE x.a = ? AND x.b = ?");
+        let w = b.where_clause.unwrap();
+        match w {
+            Expr::Bin { left, right, .. } => {
+                assert!(matches!(
+                    *left,
+                    Expr::Bin { right: box_r, .. } if matches!(*box_r, Expr::Param(0))
+                ));
+                assert!(matches!(
+                    *right,
+                    Expr::Bin { right: box_r, .. } if matches!(*box_r, Expr::Param(1))
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_table_listing_5() {
+        let stmt = parse_statement(
+            "CREATE TABLE emp_mixed (\
+               id INT, name STRING, title STRING, \
+               projects UNIONTYPE<STRING, ARRAY<STRING>>)",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.name, vec!["emp_mixed"]);
+                assert_eq!(ct.columns.len(), 4);
+                match &ct.columns[3].1 {
+                    TypeExpr::Union(alts) => {
+                        assert_eq!(alts.len(), 2);
+                        assert!(matches!(alts[1], TypeExpr::Array(_)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_distinct_and_count_star() {
+        let e = parse_expr("COUNT(*)").unwrap();
+        assert!(matches!(e, Expr::Call { star: true, .. }));
+        let e = parse_expr("COUNT(DISTINCT e.x)").unwrap();
+        assert!(matches!(e, Expr::Call { distinct: true, .. }));
+        let b = block("SELECT DISTINCT VALUE x FROM t AS x");
+        assert!(matches!(
+            b.select,
+            SelectClause::SelectValue { quantifier: SetQuantifier::Distinct, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let b = block("SELECT *, e.* FROM t AS e");
+        match b.select {
+            SelectClause::Select { items, .. } => {
+                assert!(matches!(items[0], SelectItem::Wildcard));
+                assert!(matches!(items[1], SelectItem::QualifiedWildcard(ref v) if v == "e"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_have_positions() {
+        let err = parse_query("SELECT FROM").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = parse_query("SELECT VALUE x FROM").unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn values_rows_parse() {
+        let b = block("VALUES (1, 'a'), (2, 'b')");
+        assert!(matches!(b.select, SelectClause::SelectValue { .. }));
+    }
+}

@@ -1,0 +1,828 @@
+//! AST → SQL++ text. The printer emits canonical SQL++ that re-parses to
+//! the same AST (round-trip property, tested here and with proptest at the
+//! workspace level). The original clause order ([`SelectPlacement`]) is
+//! preserved.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a statement.
+pub fn print_statement(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Query(q) => print_query(q),
+        Statement::CreateTable(ct) => print_create_table(ct),
+        Statement::Insert(ins) => {
+            let mut s = format!("INSERT INTO {} ", ins.target.join("."));
+            match &ins.source {
+                InsertSource::Value(e) => {
+                    s.push_str("VALUE ");
+                    s.push_str(&print_expr(e));
+                }
+                InsertSource::Query(q) => s.push_str(&print_query(q)),
+            }
+            s
+        }
+        Statement::Delete(del) => {
+            let mut s = format!("DELETE FROM {}", del.target.join("."));
+            if let Some(a) = &del.alias {
+                let _ = write!(s, " AS {}", ident(a));
+            }
+            if let Some(w) = &del.where_clause {
+                let _ = write!(s, " WHERE {}", print_expr(w));
+            }
+            s
+        }
+        Statement::Update(up) => {
+            let mut s = format!("UPDATE {}", up.target.join("."));
+            if let Some(a) = &up.alias {
+                let _ = write!(s, " AS {}", ident(a));
+            }
+            s.push_str(" SET ");
+            for (i, (path, value)) in up.assignments.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{} = {}", print_expr(path), print_expr(value));
+            }
+            if let Some(w) = &up.where_clause {
+                let _ = write!(s, " WHERE {}", print_expr(w));
+            }
+            s
+        }
+    }
+}
+
+/// Renders a query.
+pub fn print_query(q: &Query) -> String {
+    let mut s = String::new();
+    write_query(q, &mut s);
+    s
+}
+
+/// Renders an expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(e, 0, &mut s);
+    s
+}
+
+fn print_create_table(ct: &CreateTable) -> String {
+    let mut s = String::new();
+    s.push_str("CREATE TABLE ");
+    s.push_str(&ct.name.join("."));
+    s.push_str(" (");
+    for (i, (col, ty)) in ct.columns.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{col} ");
+        write_type(ty, &mut s);
+    }
+    s.push(')');
+    s
+}
+
+fn write_type(ty: &TypeExpr, out: &mut String) {
+    match ty {
+        TypeExpr::Named(n) => out.push_str(n),
+        TypeExpr::Array(inner) => {
+            out.push_str("ARRAY<");
+            write_type(inner, out);
+            out.push('>');
+        }
+        TypeExpr::Bag(inner) => {
+            out.push_str("BAG<");
+            write_type(inner, out);
+            out.push('>');
+        }
+        TypeExpr::Struct(fields) => {
+            out.push_str("STRUCT<");
+            for (i, (name, fty)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{name}: ");
+                write_type(fty, out);
+            }
+            out.push('>');
+        }
+        TypeExpr::Union(alts) => {
+            out.push_str("UNIONTYPE<");
+            for (i, alt) in alts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_type(alt, out);
+            }
+            out.push('>');
+        }
+    }
+}
+
+fn write_query(q: &Query, out: &mut String) {
+    if !q.ctes.is_empty() {
+        out.push_str("WITH ");
+        for (i, cte) in q.ctes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{} AS (", ident(&cte.name));
+            write_query(&cte.query, out);
+            out.push(')');
+        }
+        out.push(' ');
+    }
+    write_set_expr(&q.body, out);
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, item) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(&item.expr, 0, out);
+            if item.desc {
+                out.push_str(" DESC");
+            }
+            match item.nulls_first {
+                Some(true) => out.push_str(" NULLS FIRST"),
+                Some(false) => out.push_str(" NULLS LAST"),
+                None => {}
+            }
+        }
+    }
+    if let Some(limit) = &q.limit {
+        out.push_str(" LIMIT ");
+        write_expr(limit, 0, out);
+    }
+    if let Some(offset) = &q.offset {
+        out.push_str(" OFFSET ");
+        write_expr(offset, 0, out);
+    }
+}
+
+fn write_set_expr(se: &SetExpr, out: &mut String) {
+    match se {
+        SetExpr::Block(b) => write_block(b, out),
+        SetExpr::SetOp { op, all, left, right } => {
+            maybe_paren_set(left, out);
+            out.push(' ');
+            out.push_str(match op {
+                SetOp::Union => "UNION",
+                SetOp::Intersect => "INTERSECT",
+                SetOp::Except => "EXCEPT",
+            });
+            if *all {
+                out.push_str(" ALL");
+            }
+            out.push(' ');
+            maybe_paren_set(right, out);
+        }
+    }
+}
+
+fn maybe_paren_set(se: &SetExpr, out: &mut String) {
+    match se {
+        SetExpr::Block(b) => write_block(b, out),
+        SetExpr::SetOp { .. } => {
+            out.push('(');
+            write_set_expr(se, out);
+            out.push(')');
+        }
+    }
+}
+
+fn write_block(b: &QueryBlock, out: &mut String) {
+    let write_select = |out: &mut String| match &b.select {
+        SelectClause::Select { quantifier, items } => {
+            out.push_str("SELECT ");
+            if *quantifier == SetQuantifier::Distinct {
+                out.push_str("DISTINCT ");
+            }
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match item {
+                    SelectItem::Wildcard => out.push('*'),
+                    SelectItem::QualifiedWildcard(v) => {
+                        let _ = write!(out, "{}.*", ident(v));
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        write_expr(expr, 0, out);
+                        if let Some(a) = alias {
+                            let _ = write!(out, " AS {}", ident(a));
+                        }
+                    }
+                }
+            }
+        }
+        SelectClause::SelectValue { quantifier, expr } => {
+            out.push_str("SELECT ");
+            if *quantifier == SetQuantifier::Distinct {
+                out.push_str("DISTINCT ");
+            }
+            out.push_str("VALUE ");
+            write_expr(expr, 0, out);
+        }
+        SelectClause::Pivot { value, name } => {
+            out.push_str("PIVOT ");
+            write_expr(value, 0, out);
+            out.push_str(" AT ");
+            write_expr(name, 0, out);
+        }
+    };
+    let write_tail = |out: &mut String, leading_space: bool| {
+        let mut first = !leading_space;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(' ');
+            }
+        };
+        if !b.from.is_empty() {
+            sep(out);
+            out.push_str("FROM ");
+            for (i, item) in b.from.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_from_item(item, out);
+            }
+        }
+        if !b.lets.is_empty() {
+            sep(out);
+            out.push_str("LET ");
+            for (i, l) in b.lets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} = ", ident(&l.name));
+                write_expr(&l.expr, 0, out);
+            }
+        }
+        if let Some(w) = &b.where_clause {
+            sep(out);
+            out.push_str("WHERE ");
+            write_expr(w, 0, out);
+        }
+        if let Some(gb) = &b.group_by {
+            sep(out);
+            out.push_str("GROUP BY ");
+            let write_keys = |out: &mut String, keys: &[GroupKeyExpr]| {
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(&k.expr, 0, out);
+                    if let Some(a) = &k.alias {
+                        let _ = write!(out, " AS {}", ident(a));
+                    }
+                }
+            };
+            match &gb.modifier {
+                GroupModifier::Plain => write_keys(out, &gb.keys),
+                GroupModifier::Rollup => {
+                    out.push_str("ROLLUP (");
+                    write_keys(out, &gb.keys);
+                    out.push(')');
+                }
+                GroupModifier::Cube => {
+                    out.push_str("CUBE (");
+                    write_keys(out, &gb.keys);
+                    out.push(')');
+                }
+                GroupModifier::GroupingSets(sets) => {
+                    out.push_str("GROUPING SETS (");
+                    for (i, set) in sets.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push('(');
+                        for (j, idx) in set.iter().enumerate() {
+                            if j > 0 {
+                                out.push_str(", ");
+                            }
+                            let k = &gb.keys[*idx];
+                            write_expr(&k.expr, 0, out);
+                            if let Some(a) = &k.alias {
+                                let _ = write!(out, " AS {}", ident(a));
+                            }
+                        }
+                        out.push(')');
+                    }
+                    out.push(')');
+                }
+            }
+            if let Some(g) = &gb.group_as {
+                let _ = write!(out, " GROUP AS {}", ident(g));
+            }
+        }
+        if let Some(h) = &b.having {
+            sep(out);
+            out.push_str("HAVING ");
+            write_expr(h, 0, out);
+        }
+    };
+    match b.placement {
+        SelectPlacement::Leading => {
+            write_select(out);
+            write_tail(out, true);
+        }
+        SelectPlacement::Trailing => {
+            write_tail(out, false);
+            out.push(' ');
+            write_select(out);
+        }
+    }
+}
+
+fn write_from_item(item: &FromItem, out: &mut String) {
+    match item {
+        FromItem::Collection { expr, as_var, at_var } => {
+            write_expr(expr, 0, out);
+            if let Some(v) = as_var {
+                let _ = write!(out, " AS {}", ident(v));
+            }
+            if let Some(v) = at_var {
+                let _ = write!(out, " AT {}", ident(v));
+            }
+        }
+        FromItem::Unpivot { expr, value_var, name_var } => {
+            out.push_str("UNPIVOT ");
+            write_expr(expr, 0, out);
+            let _ = write!(out, " AS {} AT {}", ident(value_var), ident(name_var));
+        }
+        FromItem::Join { kind, left, right, on } => {
+            write_from_item(left, out);
+            out.push_str(match kind {
+                JoinKind::Inner => " INNER JOIN ",
+                JoinKind::Left => " LEFT OUTER JOIN ",
+                JoinKind::Right => " RIGHT OUTER JOIN ",
+                JoinKind::Full => " FULL OUTER JOIN ",
+                JoinKind::Cross => " CROSS JOIN ",
+            });
+            write_from_item(right, out);
+            if let Some(on) = on {
+                out.push_str(" ON ");
+                write_expr(on, 0, out);
+            }
+        }
+    }
+}
+
+/// Identifier quoting: emit bare when it is a safe regular identifier that
+/// is not a keyword; otherwise delimit with double quotes.
+fn ident(name: &str) -> String {
+    let safe = !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'$')
+        && !name.as_bytes()[0].is_ascii_digit()
+        && crate::token::Keyword::lookup(name).is_none();
+    if safe {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        match c {
+            '\'' => out.push_str("''"),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('\'');
+    out
+}
+
+/// Operator precedence for minimal parenthesization. Matches the parser's
+/// levels: OR(1) < AND(2) < NOT(3) < cmp(4) < add(5) < mul(6) < unary(7).
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 4,
+        BinOp::Add | BinOp::Sub | BinOp::Concat => 5,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+    }
+}
+
+fn write_expr(e: &Expr, min_prec: u8, out: &mut String) {
+    match e {
+        Expr::Lit(lit) => match lit {
+            Lit::Null => out.push_str("NULL"),
+            Lit::Missing => out.push_str("MISSING"),
+            Lit::Bool(true) => out.push_str("TRUE"),
+            Lit::Bool(false) => out.push_str("FALSE"),
+            Lit::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Lit::Decimal(d) => {
+                let _ = write!(out, "{d}");
+                if d.scale() == 0 {
+                    // Keep decimal-ness on round-trip.
+                    out.push_str(".0");
+                }
+            }
+            Lit::Float(f) => {
+                // Floats must re-parse as floats, so force exponent form
+                // (plain fractions parse as exact decimals). NaN/inf use
+                // the backtick escape hatch.
+                if f.is_nan() {
+                    out.push_str("`nan`");
+                } else if f.is_infinite() {
+                    out.push_str(if *f > 0.0 { "`+inf`" } else { "`-inf`" });
+                } else {
+                    let text = format!("{f}");
+                    out.push_str(&text);
+                    if !text.contains(['e', 'E']) {
+                        out.push_str("e0");
+                    }
+                }
+            }
+            Lit::Str(s) => out.push_str(&escape_str(s)),
+        },
+        Expr::Path { head, steps } => {
+            out.push_str(&ident(head));
+            for step in steps {
+                match step {
+                    PathStep::Attr(a) => {
+                        out.push('.');
+                        out.push_str(&ident(a));
+                    }
+                    PathStep::Index(i) => {
+                        out.push('[');
+                        write_expr(i, 0, out);
+                        out.push(']');
+                    }
+                }
+            }
+        }
+        Expr::Param(_) => out.push('?'),
+        Expr::Bin { op, left, right } => {
+            let p = prec(*op);
+            let need = p < min_prec;
+            if need {
+                out.push('(');
+            }
+            write_expr(left, p, out);
+            let _ = write!(out, " {} ", op.as_str());
+            // Right side binds one tighter (left-associative operators).
+            write_expr(right, p + 1, out);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Un { op, expr } => {
+            match op {
+                UnOp::Not => {
+                    let need = 3 < min_prec;
+                    if need {
+                        out.push('(');
+                    }
+                    out.push_str("NOT ");
+                    write_expr(expr, 3, out);
+                    if need {
+                        out.push(')');
+                    }
+                    return;
+                }
+                UnOp::Neg => out.push('-'),
+                UnOp::Pos => out.push('+'),
+            }
+            write_expr(expr, 7, out);
+        }
+        Expr::Like { expr, pattern, escape, negated } => {
+            write_expr(expr, 5, out);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" LIKE ");
+            write_expr(pattern, 5, out);
+            if let Some(esc) = escape {
+                out.push_str(" ESCAPE ");
+                write_expr(esc, 5, out);
+            }
+        }
+        Expr::Between { expr, low, high, negated } => {
+            write_expr(expr, 5, out);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" BETWEEN ");
+            write_expr(low, 5, out);
+            out.push_str(" AND ");
+            write_expr(high, 5, out);
+        }
+        Expr::In { expr, rhs, negated } => {
+            write_expr(expr, 5, out);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN ");
+            match rhs.as_ref() {
+                InRhs::List(items) => {
+                    out.push('(');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        write_expr(item, 0, out);
+                    }
+                    out.push(')');
+                }
+                InRhs::Expr(e) => write_expr(e, 5, out),
+            }
+        }
+        Expr::Is { expr, test, negated } => {
+            write_expr(expr, 5, out);
+            out.push_str(" IS ");
+            if *negated {
+                out.push_str("NOT ");
+            }
+            match test {
+                IsTest::Null => out.push_str("NULL"),
+                IsTest::Missing => out.push_str("MISSING"),
+                IsTest::Type(t) => out.push_str(t),
+            }
+        }
+        Expr::Case { operand, arms, else_expr } => {
+            out.push_str("CASE");
+            if let Some(op) = operand {
+                out.push(' ');
+                write_expr(op, 0, out);
+            }
+            for (when, then) in arms {
+                out.push_str(" WHEN ");
+                write_expr(when, 0, out);
+                out.push_str(" THEN ");
+                write_expr(then, 0, out);
+            }
+            if let Some(els) = else_expr {
+                out.push_str(" ELSE ");
+                write_expr(els, 0, out);
+            }
+            out.push_str(" END");
+        }
+        Expr::Call { name, args, distinct, star } => {
+            // Internal navigation pseudo-functions print as postfix syntax.
+            if name == "$PATH" && args.len() == 2 {
+                write_expr(&args[0], u8::MAX, out);
+                if let Expr::Lit(Lit::Str(a)) = &args[1] {
+                    out.push('.');
+                    out.push_str(&ident(a));
+                    return;
+                }
+            }
+            if name == "$INDEX" && args.len() == 2 {
+                write_expr(&args[0], u8::MAX, out);
+                out.push('[');
+                write_expr(&args[1], 0, out);
+                out.push(']');
+                return;
+            }
+            out.push_str(name);
+            out.push('(');
+            if *star {
+                out.push('*');
+            } else {
+                if *distinct {
+                    out.push_str("DISTINCT ");
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(a, 0, out);
+                }
+            }
+            out.push(')');
+        }
+        Expr::Window { func, args, star, partition_by, order_by } => {
+            out.push_str(func);
+            out.push('(');
+            if *star {
+                out.push('*');
+            } else {
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(a, 0, out);
+                }
+            }
+            out.push_str(") OVER (");
+            if !partition_by.is_empty() {
+                out.push_str("PARTITION BY ");
+                for (i, p) in partition_by.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(p, 0, out);
+                }
+            }
+            if !order_by.is_empty() {
+                if !partition_by.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str("ORDER BY ");
+                for (i, item) in order_by.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(&item.expr, 0, out);
+                    if item.desc {
+                        out.push_str(" DESC");
+                    }
+                    match item.nulls_first {
+                        Some(true) => out.push_str(" NULLS FIRST"),
+                        Some(false) => out.push_str(" NULLS LAST"),
+                        None => {}
+                    }
+                }
+            }
+            out.push(')');
+        }
+        Expr::Cast { expr, ty } => {
+            out.push_str("CAST(");
+            write_expr(expr, 0, out);
+            out.push_str(" AS ");
+            write_type(ty, out);
+            out.push(')');
+        }
+        Expr::Exists(q) => {
+            out.push_str("EXISTS (");
+            write_query(q, out);
+            out.push(')');
+        }
+        Expr::Subquery(q) => {
+            out.push('(');
+            write_query(q, out);
+            out.push(')');
+        }
+        Expr::TupleCtor(pairs) => {
+            out.push('{');
+            for (i, (name, value)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(name, 0, out);
+                out.push_str(": ");
+                write_expr(value, 0, out);
+            }
+            out.push('}');
+        }
+        Expr::ArrayCtor(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(item, 0, out);
+            }
+            out.push(']');
+        }
+        Expr::BagCtor(items) => {
+            out.push_str("<<");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(item, 0, out);
+            }
+            out.push_str(">>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_query, parse_statement};
+
+    fn rt_query(src: &str) {
+        let q1 = parse_query(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        let printed = print_query(&q1);
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\nprinted: {printed}", e));
+        assert_eq!(q1, q2, "round trip changed AST for: {printed}");
+    }
+
+    fn rt_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = print_expr(&e1);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted: {printed}"));
+        assert_eq!(e1, e2, "round trip changed AST for: {printed}");
+    }
+
+    #[test]
+    fn round_trips_the_paper_queries() {
+        rt_query(
+            "SELECT e.name AS emp_name, p.name AS proj_name \
+             FROM hr.emp_nest_tuples AS e, e.projects AS p \
+             WHERE p.name LIKE '%Security%'",
+        );
+        rt_query(
+            "FROM hr.emp_nest_scalars AS e, e.projects AS p \
+             WHERE p LIKE '%Security%' GROUP BY LOWER(p) AS p GROUP AS g \
+             SELECT p AS proj_name, (FROM g AS v SELECT VALUE v.e.name) AS employees",
+        );
+        rt_query(
+            "SELECT c.\"date\" AS \"date\", sym AS symbol, price AS price \
+             FROM closing_prices AS c, UNPIVOT c AS price AT sym \
+             WHERE NOT sym = 'date'",
+        );
+        rt_query("PIVOT sp.price AT sp.symbol FROM today_stock_prices AS sp");
+        rt_query(
+            "SELECT sp.\"date\" AS \"date\", \
+             (PIVOT dp.sp.price AT dp.sp.symbol FROM dates_prices AS dp) AS prices \
+             FROM stock_prices AS sp GROUP BY sp.\"date\" GROUP AS dates_prices",
+        );
+        rt_query(
+            "FROM hr.emp AS e WHERE e.title = 'Engineer' \
+             GROUP BY e.deptno AS d GROUP AS g \
+             SELECT VALUE {deptno: d, avgsal: COLL_AVG(FROM g AS gi SELECT VALUE gi.e.salary)}",
+        );
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "NOT a AND b",
+            "NOT (a AND b)",
+            "a OR b AND NOT c",
+            "x BETWEEN 1 AND 2 + 3",
+            "x NOT LIKE '%a%' ESCAPE '\\\\'",
+            "CASE WHEN x = 1 THEN 'a' ELSE 'b' END",
+            "CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END",
+            "{'a': 1, 'b': [1, 2, {{3}}]}",
+            "COALESCE(MISSING, 2)",
+            "COUNT(*)",
+            "COUNT(DISTINCT x)",
+            "CAST(x AS INT)",
+            "x.y[0].z",
+            "-x.a + 3.5",
+            "x IS NOT MISSING",
+            "EXISTS (SELECT VALUE y FROM t AS y)",
+            "1.5",
+            "2.0",
+            "x IN (1, 2, 3)",
+            "x IN y.items",
+            "ROW_NUMBER() OVER (PARTITION BY x.d ORDER BY x.s DESC)",
+            "SUM(x.s) OVER ()",
+            "COUNT(*) OVER (PARTITION BY x.d)",
+            "LAG(x.v, 2, 0) OVER (ORDER BY x.t NULLS LAST)",
+        ] {
+            rt_expr(src);
+        }
+    }
+
+    #[test]
+    fn round_trips_statements() {
+        let src = "CREATE TABLE emp_mixed (id INT, projects UNIONTYPE<STRING, ARRAY<STRING>>)";
+        let s1 = parse_statement(src).unwrap();
+        let printed = print_statement(&s1);
+        let s2 = parse_statement(&printed).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn keyword_and_odd_identifiers_are_quoted() {
+        assert_eq!(ident("date"), "date");
+        assert_eq!(ident("select"), "\"select\"");
+        assert_eq!(ident("odd name"), "\"odd name\"");
+        assert_eq!(ident("2x"), "\"2x\"");
+    }
+
+    #[test]
+    fn set_ops_round_trip() {
+        rt_query("SELECT VALUE 1 FROM a AS a UNION ALL SELECT VALUE 2 FROM b AS b");
+        rt_query(
+            "SELECT VALUE 1 FROM a AS a UNION SELECT VALUE 2 FROM b AS b \
+             INTERSECT SELECT VALUE 3 FROM c AS c",
+        );
+    }
+
+    #[test]
+    fn order_limit_round_trip() {
+        rt_query(
+            "SELECT VALUE x FROM t AS x ORDER BY x.a DESC NULLS LAST, x.b LIMIT 10 OFFSET 2",
+        );
+    }
+}

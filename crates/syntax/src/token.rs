@@ -1,0 +1,429 @@
+//! Tokens and source positions for the SQL++ lexer.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, with 1-based line/column of
+/// its start for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub column: u32,
+}
+
+impl Span {
+    /// Joins two spans into the smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            column: self.column,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Keywords recognized case-insensitively. The set covers SQL-92's query
+/// subset plus the SQL++ extensions (VALUE, MISSING, GROUP AS, PIVOT,
+/// UNPIVOT, AT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // Names are the keywords themselves.
+pub enum Keyword {
+    All,
+    And,
+    Any,
+    As,
+    Asc,
+    At,
+    Between,
+    By,
+    Case,
+    Cast,
+    Create,
+    Cross,
+    Delete,
+    Desc,
+    Distinct,
+    Else,
+    End,
+    Escape,
+    Every,
+    Except,
+    Exists,
+    False,
+    First,
+    From,
+    Full,
+    Group,
+    Having,
+    In,
+    Inner,
+    Insert,
+    Intersect,
+    Into,
+    Is,
+    Join,
+    Last,
+    Lateral,
+    Left,
+    Like,
+    Limit,
+    Missing,
+    Not,
+    Null,
+    Nulls,
+    Offset,
+    On,
+    Or,
+    Order,
+    Outer,
+    Over,
+    Partition,
+    Pivot,
+    Right,
+    Select,
+    Set,
+    Some,
+    Table,
+    Then,
+    True,
+    Union,
+    Unpivot,
+    Update,
+    Value,
+    Values,
+    When,
+    Where,
+    With,
+}
+
+impl Keyword {
+    /// Looks up a keyword from an identifier-shaped word (ASCII
+    /// case-insensitive).
+    pub fn lookup(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        // Uppercase on the stack for the common short case.
+        let mut buf = [0u8; 12];
+        if word.len() > buf.len() {
+            return None;
+        }
+        for (i, b) in word.bytes().enumerate() {
+            buf[i] = b.to_ascii_uppercase();
+        }
+        // `Keyword::Some` shadows `Option::Some` under the glob import.
+        Option::Some(match &buf[..word.len()] {
+            b"ALL" => All,
+            b"AND" => And,
+            b"ANY" => Any,
+            b"AS" => As,
+            b"ASC" => Asc,
+            b"AT" => At,
+            b"BETWEEN" => Between,
+            b"BY" => By,
+            b"CASE" => Case,
+            b"CAST" => Cast,
+            b"CREATE" => Create,
+            b"DELETE" => Delete,
+            b"CROSS" => Cross,
+            b"DESC" => Desc,
+            b"DISTINCT" => Distinct,
+            b"ELSE" => Else,
+            b"END" => End,
+            b"ESCAPE" => Escape,
+            b"EVERY" => Every,
+            b"EXCEPT" => Except,
+            b"EXISTS" => Exists,
+            b"FALSE" => False,
+            b"FIRST" => First,
+            b"FROM" => From,
+            b"FULL" => Full,
+            b"GROUP" => Group,
+            b"HAVING" => Having,
+            b"IN" => In,
+            b"INNER" => Inner,
+            b"INSERT" => Insert,
+            b"INTERSECT" => Intersect,
+            b"INTO" => Into,
+            b"IS" => Is,
+            b"JOIN" => Join,
+            b"LAST" => Last,
+            b"LATERAL" => Lateral,
+            b"LEFT" => Left,
+            b"LIKE" => Like,
+            b"LIMIT" => Limit,
+            b"MISSING" => Missing,
+            b"NOT" => Not,
+            b"NULL" => Null,
+            b"NULLS" => Nulls,
+            b"OFFSET" => Offset,
+            b"ON" => On,
+            b"OR" => Or,
+            b"ORDER" => Order,
+            b"OUTER" => Outer,
+            b"OVER" => Over,
+            b"PARTITION" => Partition,
+            b"PIVOT" => Pivot,
+            b"RIGHT" => Right,
+            b"SELECT" => Select,
+            b"SET" => Set,
+            b"SOME" => Some,
+            b"TABLE" => Table,
+            b"THEN" => Then,
+            b"TRUE" => True,
+            b"UNION" => Union,
+            b"UNPIVOT" => Unpivot,
+            b"UPDATE" => Update,
+            b"VALUE" => Value,
+            b"VALUES" => Values,
+            b"WHEN" => When,
+            b"WHERE" => Where,
+            b"WITH" => With,
+            _ => return None,
+        })
+    }
+
+    /// The canonical (upper-case) spelling.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            All => "ALL",
+            And => "AND",
+            Any => "ANY",
+            As => "AS",
+            Asc => "ASC",
+            At => "AT",
+            Between => "BETWEEN",
+            By => "BY",
+            Case => "CASE",
+            Cast => "CAST",
+            Create => "CREATE",
+            Delete => "DELETE",
+            Cross => "CROSS",
+            Desc => "DESC",
+            Distinct => "DISTINCT",
+            Else => "ELSE",
+            End => "END",
+            Escape => "ESCAPE",
+            Every => "EVERY",
+            Except => "EXCEPT",
+            Exists => "EXISTS",
+            False => "FALSE",
+            First => "FIRST",
+            From => "FROM",
+            Full => "FULL",
+            Group => "GROUP",
+            Having => "HAVING",
+            In => "IN",
+            Inner => "INNER",
+            Insert => "INSERT",
+            Intersect => "INTERSECT",
+            Into => "INTO",
+            Is => "IS",
+            Join => "JOIN",
+            Last => "LAST",
+            Lateral => "LATERAL",
+            Left => "LEFT",
+            Like => "LIKE",
+            Limit => "LIMIT",
+            Missing => "MISSING",
+            Not => "NOT",
+            Null => "NULL",
+            Nulls => "NULLS",
+            Offset => "OFFSET",
+            On => "ON",
+            Or => "OR",
+            Order => "ORDER",
+            Outer => "OUTER",
+            Over => "OVER",
+            Partition => "PARTITION",
+            Pivot => "PIVOT",
+            Right => "RIGHT",
+            Select => "SELECT",
+            Set => "SET",
+            Some => "SOME",
+            Table => "TABLE",
+            Then => "THEN",
+            True => "TRUE",
+            Union => "UNION",
+            Unpivot => "UNPIVOT",
+            Update => "UPDATE",
+            Value => "VALUE",
+            Values => "VALUES",
+            When => "WHEN",
+            Where => "WHERE",
+            With => "WITH",
+        }
+    }
+}
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A reserved word.
+    Keyword(Keyword),
+    /// A regular identifier (case preserved; matching is case-sensitive as
+    /// in the paper's examples, which rely on exact attribute names).
+    Ident(String),
+    /// A delimited identifier: `"date"`.
+    QuotedIdent(String),
+    /// A string literal: `'Bob Smith'` (SQL quoting, `''` escapes a quote).
+    Str(String),
+    /// An integer literal that fits an `i64`.
+    Int(i64),
+    /// A non-integral or exponent-bearing numeric literal, kept as text so
+    /// the semantic layer can choose decimal vs float.
+    Number(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `||` (string concatenation)
+    Concat,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `{{` (bag constructor open)
+    LBagBrace,
+    /// `}}` (bag constructor close)
+    RBagBrace,
+    /// `<<` (alternative bag open)
+    LBagAngle,
+    /// `>>` (alternative bag close)
+    RBagAngle,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `?` (positional parameter)
+    Question,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Keyword(k) => write!(f, "{}", k.as_str()),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::QuotedIdent(s) => write!(f, "\"{s}\""),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Eq => write!(f, "="),
+            Tok::NotEq => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::LtEq => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::GtEq => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Concat => write!(f, "||"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBagBrace => write!(f, "{{{{"),
+            Tok::RBagBrace => write!(f, "}}}}"),
+            Tok::LBagAngle => write!(f, "<<"),
+            Tok::RBagAngle => write!(f, ">>"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Colon => write!(f, ":"),
+            Tok::Semicolon => write!(f, ";"),
+            Tok::Question => write!(f, "?"),
+            Tok::Eof => write!(f, "<end of input>"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("UNPIVOT"), Some(Keyword::Unpivot));
+        assert_eq!(Keyword::lookup("emp"), None);
+        assert_eq!(Keyword::lookup("a_very_long_identifier_name"), None);
+    }
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Select,
+            Keyword::Value,
+            Keyword::Missing,
+            Keyword::Pivot,
+            Keyword::Lateral,
+        ] {
+            assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn span_join() {
+        let a = Span { start: 2, end: 5, line: 1, column: 3 };
+        let b = Span { start: 8, end: 12, line: 2, column: 1 };
+        let j = a.to(b);
+        assert_eq!((j.start, j.end), (2, 12));
+        assert_eq!((j.line, j.column), (1, 3));
+    }
+}

@@ -1,0 +1,408 @@
+//! Comparison semantics.
+//!
+//! SQL++ "defin\[es\] equality identically to SQL in the exclusive presence
+//! of scalars and NULL" (§V-B) — so the `=` operator is three-valued at the
+//! top level (NULL in → NULL out, MISSING in → MISSING out, §IV-B case 3),
+//! while *structural* equality (used for bag/multiset equality, DISTINCT,
+//! and grouping) is a genuine equivalence relation.
+//!
+//! The paper leaves the cross-type ORDER BY order to implementations; we
+//! adopt the PartiQL reference order, documented in DESIGN.md §3:
+//!
+//! ```text
+//! MISSING < NULL < booleans < numbers < strings < bytes
+//!         < arrays < tuples < bags
+//! ```
+
+use std::cmp::Ordering;
+
+use crate::decimal::Decimal;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Numeric comparison across the Int/Float/Decimal tower.
+///
+/// Exact where possible: Int/Int and Decimal/Decimal never round; an
+/// Int/Decimal pair is compared as decimals; only pairs involving a Float
+/// go through `f64`. NaN is ordered greater than every other number and
+/// equal to itself so the result is a total order.
+pub fn compare_numbers(a: &Value, b: &Value) -> Option<Ordering> {
+    use Value::*;
+    Some(match (a, b) {
+        (Int(x), Int(y)) => x.cmp(y),
+        (Decimal(x), Decimal(y)) => x.cmp_exact(y),
+        (Int(x), Decimal(y)) => crate::decimal::Decimal::from_i64(*x).cmp_exact(y),
+        (Decimal(x), Int(y)) => x.cmp_exact(&crate::decimal::Decimal::from_i64(*y)),
+        (Float(x), Float(y)) => total_f64(*x, *y),
+        (Float(x), Int(y)) => total_f64(*x, *y as f64),
+        (Int(x), Float(y)) => total_f64(*x as f64, *y),
+        (Float(x), Decimal(y)) => total_f64(*x, y.to_f64()),
+        (Decimal(x), Float(y)) => total_f64(x.to_f64(), *y),
+        _ => return None,
+    })
+}
+
+fn total_f64(a: f64, b: f64) -> Ordering {
+    match a.partial_cmp(&b) {
+        Some(o) => o,
+        None => {
+            // At least one NaN: NaN sorts above every number, NaN == NaN.
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => unreachable!("partial_cmp only fails on NaN"),
+            }
+        }
+    }
+}
+
+/// Structural (deep) equality: a true equivalence relation over all values,
+/// including the absent ones. Used for bag equality, DISTINCT and GROUP BY
+/// key identity. NULL ≡ NULL and MISSING ≡ MISSING here (grouping treats
+/// "both absent values alike", see DESIGN.md); numbers compare numerically
+/// across Int/Float/Decimal; bags compare as multisets; tuples as unordered
+/// multisets of (name, value) pairs.
+pub fn deep_eq(a: &Value, b: &Value) -> bool {
+    use Value::*;
+    match (a, b) {
+        (Missing, Missing) | (Null, Null) => true,
+        (Bool(x), Bool(y)) => x == y,
+        (Str(x), Str(y)) => x == y,
+        (Bytes(x), Bytes(y)) => x == y,
+        (Array(x), Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| deep_eq(a, b))
+        }
+        (Bag(x), Bag(y)) => bag_eq(x, y),
+        (Tuple(x), Tuple(y)) => tuple_eq(x, y),
+        _ if a.is_number() && b.is_number() => {
+            compare_numbers(a, b) == Some(Ordering::Equal)
+        }
+        _ => false,
+    }
+}
+
+/// Multiset equality: every element of `x` matches a distinct element of
+/// `y`. Sorting by the total order first makes this O(n log n) rather than
+/// quadratic matching.
+fn bag_eq(x: &[Value], y: &[Value]) -> bool {
+    if x.len() != y.len() {
+        return false;
+    }
+    let mut xs: Vec<&Value> = x.iter().collect();
+    let mut ys: Vec<&Value> = y.iter().collect();
+    xs.sort_by(|a, b| total_cmp(a, b));
+    ys.sort_by(|a, b| total_cmp(a, b));
+    xs.iter().zip(&ys).all(|(a, b)| deep_eq(a, b))
+}
+
+/// Unordered tuple equality with duplicate-name support: the pairs of both
+/// tuples must match as multisets.
+fn tuple_eq(x: &Tuple, y: &Tuple) -> bool {
+    if x.len() != y.len() {
+        return false;
+    }
+    let mut used = vec![false; y.len()];
+    let ypairs: Vec<(&str, &Value)> = y.iter().collect();
+    for (name, value) in x.iter() {
+        let mut found = false;
+        for (i, (yn, yv)) in ypairs.iter().enumerate() {
+            if !used[i] && *yn == name && deep_eq(value, yv) {
+                used[i] = true;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+/// The SQL++ `=` operator (three-valued, §IV-B): MISSING dominates NULL
+/// dominates a boolean answer. Values of different non-numeric types are
+/// simply unequal (comparing 2 = 'abc' is `false`, not an error — the
+/// typing-mode distinction applies to *functions*, and equality is total).
+pub fn sql_eq(a: &Value, b: &Value) -> Value {
+    if a.is_missing() || b.is_missing() {
+        return Value::Missing;
+    }
+    if a.is_null() || b.is_null() {
+        return Value::Null;
+    }
+    Value::Bool(deep_eq(a, b))
+}
+
+/// Three-valued ordering comparison used by `<`, `<=`, `>`, `>=`.
+///
+/// Returns `Missing`/`Null` when an operand is absent, per the propagation
+/// rules; returns `None` when the operands are present but not comparable
+/// (e.g. `1 < 'a'`) — the evaluator maps that to MISSING in permissive mode
+/// or an error in strict mode (§IV-B case 2).
+pub fn sql_compare(a: &Value, b: &Value) -> Result<Option<Ordering>, Value> {
+    use Value::*;
+    if a.is_missing() || b.is_missing() {
+        return Err(Value::Missing);
+    }
+    if a.is_null() || b.is_null() {
+        return Err(Value::Null);
+    }
+    if a.is_number() && b.is_number() {
+        return Ok(compare_numbers(a, b));
+    }
+    Ok(match (a, b) {
+        (Bool(x), Bool(y)) => Some(x.cmp(y)),
+        (Str(x), Str(y)) => Some(x.cmp(y)),
+        (Bytes(x), Bytes(y)) => Some(x.cmp(y)),
+        _ => None,
+    })
+}
+
+fn kind_rank(v: &Value) -> u8 {
+    use Value::*;
+    match v {
+        Missing => 0,
+        Null => 1,
+        Bool(_) => 2,
+        Int(_) | Float(_) | Decimal(_) => 3,
+        Str(_) => 4,
+        Bytes(_) => 5,
+        Array(_) => 6,
+        Tuple(_) => 7,
+        Bag(_) => 8,
+    }
+}
+
+/// Total order over *all* values, used by ORDER BY, bag canonicalization,
+/// and deterministic test output. Consistent with [`deep_eq`]:
+/// `total_cmp(a, b) == Equal ⟺ deep_eq(a, b)`.
+pub fn total_cmp(a: &Value, b: &Value) -> Ordering {
+    use Value::*;
+    let (ra, rb) = (kind_rank(a), kind_rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Missing, Missing) | (Null, Null) => Ordering::Equal,
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (Str(x), Str(y)) => x.cmp(y),
+        (Bytes(x), Bytes(y)) => x.cmp(y),
+        (Array(x), Array(y)) => seq_cmp(x, y),
+        (Bag(x), Bag(y)) => {
+            // Compare canonicalized (sorted) element sequences.
+            let mut xs: Vec<&Value> = x.iter().collect();
+            let mut ys: Vec<&Value> = y.iter().collect();
+            xs.sort_by(|p, q| total_cmp(p, q));
+            ys.sort_by(|p, q| total_cmp(p, q));
+            for (p, q) in xs.iter().zip(&ys) {
+                let o = total_cmp(p, q);
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            xs.len().cmp(&ys.len())
+        }
+        (Tuple(x), Tuple(y)) => {
+            // Compare pairs sorted by (name, value).
+            fn key(t: &crate::tuple::Tuple) -> Vec<(&str, &Value)> {
+                let mut pairs: Vec<(&str, &Value)> = t.iter().collect();
+                pairs.sort_by(|(an, av), (bn, bv)| {
+                    an.cmp(bn).then_with(|| total_cmp(av, bv))
+                });
+                pairs
+            }
+            let (xp, yp) = (key(x), key(y));
+            for ((an, av), (bn, bv)) in xp.iter().zip(&yp) {
+                let o = an.cmp(bn).then_with(|| total_cmp(av, bv));
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            xp.len().cmp(&yp.len())
+        }
+        _ if a.is_number() && b.is_number() => {
+            compare_numbers(a, b).expect("both numeric")
+        }
+        _ => unreachable!("same kind_rank implies same shape"),
+    }
+}
+
+fn seq_cmp(x: &[Value], y: &[Value]) -> Ordering {
+    for (a, b) in x.iter().zip(y) {
+        let o = total_cmp(a, b);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    x.len().cmp(&y.len())
+}
+
+/// Convenience: decimal-aware numeric equality used in tests.
+pub fn num_eq(a: &Value, b: &Value) -> bool {
+    compare_numbers(a, b) == Some(Ordering::Equal)
+}
+
+/// Helper for assembling decimals in tests and literals.
+pub fn dec(s: &str) -> Decimal {
+    s.parse().expect("valid decimal literal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{array, bag, tuple};
+
+    #[test]
+    fn sql_eq_three_valued() {
+        assert_eq!(sql_eq(&Value::Int(1), &Value::Int(1)), Value::Bool(true));
+        assert_eq!(sql_eq(&Value::Int(1), &Value::Int(2)), Value::Bool(false));
+        assert_eq!(sql_eq(&Value::Null, &Value::Int(1)), Value::Null);
+        assert_eq!(sql_eq(&Value::Null, &Value::Null), Value::Null);
+        assert_eq!(sql_eq(&Value::Missing, &Value::Null), Value::Missing);
+        assert_eq!(sql_eq(&Value::Missing, &Value::Int(1)), Value::Missing);
+    }
+
+    #[test]
+    fn eq_across_numeric_types() {
+        assert_eq!(
+            sql_eq(&Value::Int(2), &Value::Float(2.0)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            sql_eq(&Value::Decimal(dec("2.0")), &Value::Int(2)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            sql_eq(&Value::Decimal(dec("0.1")), &Value::Float(0.1)),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn eq_on_type_mismatch_is_false_not_error() {
+        assert_eq!(
+            sql_eq(&Value::Int(2), &Value::Str("2".into())),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn bag_equality_is_order_insensitive_with_multiplicity() {
+        let a = bag![1i64, 2i64, 2i64];
+        let b = bag![2i64, 1i64, 2i64];
+        let c = bag![1i64, 2i64];
+        let d = bag![1i64, 1i64, 2i64];
+        assert!(deep_eq(&a, &b));
+        assert!(!deep_eq(&a, &c));
+        assert!(!deep_eq(&a, &d));
+    }
+
+    #[test]
+    fn array_equality_is_ordered() {
+        assert!(deep_eq(&array![1i64, 2i64], &array![1i64, 2i64]));
+        assert!(!deep_eq(&array![1i64, 2i64], &array![2i64, 1i64]));
+    }
+
+    #[test]
+    fn tuple_equality_is_unordered_and_duplicate_aware() {
+        let a = Value::Tuple(tuple! {"x" => 1i64, "y" => 2i64});
+        let b = Value::Tuple(tuple! {"y" => 2i64, "x" => 1i64});
+        assert!(deep_eq(&a, &b));
+
+        let mut d1 = crate::tuple::Tuple::new();
+        d1.insert("x", Value::Int(1));
+        d1.insert("x", Value::Int(2));
+        let mut d2 = crate::tuple::Tuple::new();
+        d2.insert("x", Value::Int(2));
+        d2.insert("x", Value::Int(1));
+        assert!(deep_eq(&Value::Tuple(d1.clone()), &Value::Tuple(d2)));
+
+        let mut d3 = crate::tuple::Tuple::new();
+        d3.insert("x", Value::Int(1));
+        d3.insert("x", Value::Int(1));
+        assert!(!deep_eq(&Value::Tuple(d1), &Value::Tuple(d3)));
+    }
+
+    #[test]
+    fn structural_equality_treats_absents_reflexively() {
+        assert!(deep_eq(&Value::Null, &Value::Null));
+        assert!(deep_eq(&Value::Missing, &Value::Missing));
+        assert!(!deep_eq(&Value::Null, &Value::Missing));
+        // Nested inside collections too.
+        assert!(deep_eq(&bag![Value::Null], &bag![Value::Null]));
+    }
+
+    #[test]
+    fn total_order_ranks_kinds_per_partiql() {
+        let ordered = [
+            Value::Missing,
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Float(0.5),
+            Value::Int(7),
+            Value::Str("a".into()),
+            Value::Str("b".into()),
+            Value::Bytes(vec![0]),
+            array![1i64],
+            Value::Tuple(tuple! {"a" => 1i64}),
+            bag![1i64],
+        ];
+        for w in ordered.windows(2) {
+            assert_eq!(
+                total_cmp(&w[0], &w[1]),
+                Ordering::Less,
+                "{:?} < {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn total_order_consistent_with_deep_eq() {
+        let vals = [
+            bag![1i64, 2i64],
+            bag![2i64, 1i64],
+            array![Value::Null],
+            Value::Tuple(tuple! {"k" => "v"}),
+        ];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    total_cmp(a, b) == Ordering::Equal,
+                    deep_eq(a, b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_has_a_stable_place_in_the_order() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(total_cmp(&nan, &nan), Ordering::Equal);
+        assert_eq!(total_cmp(&Value::Float(1e308), &nan), Ordering::Less);
+        assert_eq!(total_cmp(&nan, &Value::Str("s".into())), Ordering::Less);
+    }
+
+    #[test]
+    fn sql_compare_orders_scalars_and_rejects_mismatches() {
+        assert_eq!(
+            sql_compare(&Value::Int(1), &Value::Int(2)),
+            Ok(Some(Ordering::Less))
+        );
+        assert_eq!(
+            sql_compare(&Value::Str("a".into()), &Value::Str("b".into())),
+            Ok(Some(Ordering::Less))
+        );
+        assert_eq!(sql_compare(&Value::Int(1), &Value::Str("a".into())), Ok(None));
+        assert_eq!(
+            sql_compare(&Value::Missing, &Value::Int(1)),
+            Err(Value::Missing)
+        );
+        assert_eq!(sql_compare(&Value::Null, &Value::Int(1)), Err(Value::Null));
+    }
+}

@@ -1,0 +1,504 @@
+//! A small exact decimal type for SQL++ scalar arithmetic.
+//!
+//! SQL's numeric tower includes exact decimals; JSON and the paper's object
+//! notation print them as plain numbers. We implement a fixed-point decimal
+//! as a 128-bit mantissa plus a base-10 scale, which comfortably covers the
+//! precision SQL++ implementations are expected to support without pulling
+//! in an external big-number dependency.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum scale we keep after arithmetic. Division results are rounded
+/// (half away from zero) to this many fractional digits.
+pub const MAX_SCALE: u32 = 20;
+
+/// An exact base-10 fixed-point number: `mantissa * 10^-scale`.
+///
+/// The representation is kept *normalized*: trailing zero fractional digits
+/// are removed so that equal numbers have equal representations (`1.50` and
+/// `1.5` are the same `Decimal`), which lets `Eq`/`Hash` be derived from the
+/// fields directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal {
+    mantissa: i128,
+    scale: u32,
+}
+
+/// Errors produced by decimal parsing and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecimalError {
+    /// The textual form was not a valid decimal literal.
+    Parse(String),
+    /// The magnitude exceeded the 128-bit mantissa.
+    Overflow,
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for DecimalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecimalError::Parse(s) => write!(f, "invalid decimal literal: {s:?}"),
+            DecimalError::Overflow => write!(f, "decimal overflow"),
+            DecimalError::DivisionByZero => write!(f, "decimal division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for DecimalError {}
+
+fn pow10(n: u32) -> Option<i128> {
+    10i128.checked_pow(n)
+}
+
+impl Decimal {
+    /// Builds a decimal from a raw mantissa and scale, normalizing trailing
+    /// fractional zeros.
+    pub fn new(mantissa: i128, scale: u32) -> Self {
+        let mut d = Decimal { mantissa, scale };
+        d.normalize();
+        d
+    }
+
+    /// The decimal value zero.
+    pub const ZERO: Decimal = Decimal { mantissa: 0, scale: 0 };
+    /// The decimal value one.
+    pub const ONE: Decimal = Decimal { mantissa: 1, scale: 0 };
+
+    /// Raw mantissa (`self = mantissa * 10^-scale`).
+    pub fn mantissa(&self) -> i128 {
+        self.mantissa
+    }
+
+    /// Raw base-10 scale.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    fn normalize(&mut self) {
+        if self.mantissa == 0 {
+            self.scale = 0;
+            return;
+        }
+        while self.scale > 0 && self.mantissa % 10 == 0 {
+            self.mantissa /= 10;
+            self.scale -= 1;
+        }
+    }
+
+    /// True when the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mantissa == 0
+    }
+
+    /// True for values strictly less than zero.
+    pub fn is_negative(&self) -> bool {
+        self.mantissa < 0
+    }
+
+    /// Converts an `i64` losslessly.
+    pub fn from_i64(v: i64) -> Self {
+        Decimal { mantissa: v as i128, scale: 0 }
+    }
+
+    /// Converts a finite `f64` by going through its shortest display form;
+    /// returns `None` for NaN/infinite inputs.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        if !v.is_finite() {
+            return None;
+        }
+        // The shortest round-trip display of an f64 is a valid decimal
+        // literal (possibly in exponent form), so reuse the parser.
+        format!("{v}").parse().ok()
+    }
+
+    /// Lossy conversion to `f64`, correctly rounded (the naive
+    /// `mantissa / 10^scale` double-rounds and can drift by an ULP, which
+    /// would break text round-trips of float-derived decimals).
+    pub fn to_f64(&self) -> f64 {
+        if self.scale == 0 {
+            return self.mantissa as f64;
+        }
+        self.to_string().parse().expect("decimal text is a valid f64")
+    }
+
+    /// Lossless conversion to `i64` when the value is integral and in range.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.scale != 0 {
+            return None;
+        }
+        i64::try_from(self.mantissa).ok()
+    }
+
+    /// Truncates toward zero to an `i64` (SQL `CAST(x AS INT)` semantics
+    /// differ per dialect; we truncate, as PartiQL does).
+    pub fn trunc_to_i64(&self) -> Option<i64> {
+        let p = pow10(self.scale)?;
+        i64::try_from(self.mantissa / p).ok()
+    }
+
+    /// Rescales both operands to a common scale, for comparison/addition.
+    fn align(a: Decimal, b: Decimal) -> Option<(i128, i128, u32)> {
+        let scale = a.scale.max(b.scale);
+        let am = a.mantissa.checked_mul(pow10(scale - a.scale)?)?;
+        let bm = b.mantissa.checked_mul(pow10(scale - b.scale)?)?;
+        Some((am, bm, scale))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Decimal) -> Result<Decimal, DecimalError> {
+        let (a, b, s) = Self::align(self, rhs).ok_or(DecimalError::Overflow)?;
+        Ok(Decimal::new(a.checked_add(b).ok_or(DecimalError::Overflow)?, s))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Decimal) -> Result<Decimal, DecimalError> {
+        let (a, b, s) = Self::align(self, rhs).ok_or(DecimalError::Overflow)?;
+        Ok(Decimal::new(a.checked_sub(b).ok_or(DecimalError::Overflow)?, s))
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: Decimal) -> Result<Decimal, DecimalError> {
+        let m = self
+            .mantissa
+            .checked_mul(rhs.mantissa)
+            .ok_or(DecimalError::Overflow)?;
+        Ok(Decimal::new(m, self.scale + rhs.scale))
+    }
+
+    /// Checked division, rounded half-away-from-zero to [`MAX_SCALE`].
+    pub fn checked_div(self, rhs: Decimal) -> Result<Decimal, DecimalError> {
+        if rhs.is_zero() {
+            return Err(DecimalError::DivisionByZero);
+        }
+        // Compute (self / rhs) at MAX_SCALE fractional digits:
+        //   result_mantissa = self.m * 10^(MAX_SCALE + rhs.scale - self.scale) / rhs.m
+        // Guard the exponent so it stays non-negative by pre-scaling.
+        let target = MAX_SCALE + rhs.scale;
+        let (num, num_scale) = if target >= self.scale {
+            let shift = pow10(target - self.scale).ok_or(DecimalError::Overflow)?;
+            (
+                self.mantissa.checked_mul(shift).ok_or(DecimalError::Overflow)?,
+                MAX_SCALE,
+            )
+        } else {
+            (self.mantissa, self.scale - rhs.scale)
+        };
+        let q = num / rhs.mantissa;
+        let r = num % rhs.mantissa;
+        // Round half away from zero. `|r| < |den|`, so compare without the
+        // doubling that could overflow: 2|r| >= |den|  <=>  |r| >= |den|-|r|.
+        let r_abs = r.unsigned_abs();
+        let den_abs = rhs.mantissa.unsigned_abs();
+        let rounded = if r != 0 && r_abs >= den_abs - r_abs {
+            if (num < 0) ^ (rhs.mantissa < 0) {
+                q - 1
+            } else {
+                q + 1
+            }
+        } else {
+            q
+        };
+        Ok(Decimal::new(rounded, num_scale))
+    }
+
+    /// Checked remainder (`a - trunc(a/b)*b`), matching SQL `%` on decimals.
+    pub fn checked_rem(self, rhs: Decimal) -> Result<Decimal, DecimalError> {
+        if rhs.is_zero() {
+            return Err(DecimalError::DivisionByZero);
+        }
+        let (a, b, s) = Self::align(self, rhs).ok_or(DecimalError::Overflow)?;
+        Ok(Decimal::new(a % b, s))
+    }
+
+
+    /// Absolute value.
+    pub fn abs(self) -> Decimal {
+        Decimal { mantissa: self.mantissa.abs(), scale: self.scale }
+    }
+
+    /// Largest integral decimal `<= self`.
+    pub fn floor(self) -> Decimal {
+        if self.scale == 0 {
+            return self;
+        }
+        let p = pow10(self.scale).expect("scale bounded");
+        let q = self.mantissa.div_euclid(p);
+        Decimal::new(q, 0)
+    }
+
+    /// Smallest integral decimal `>= self`.
+    pub fn ceil(self) -> Decimal {
+        if self.scale == 0 {
+            return self;
+        }
+        let p = pow10(self.scale).expect("scale bounded");
+        let q = self.mantissa.div_euclid(p);
+        let r = self.mantissa.rem_euclid(p);
+        Decimal::new(q + i128::from(r != 0), 0)
+    }
+
+    /// Rounds half away from zero to `digits` fractional digits.
+    pub fn round_dp(self, digits: u32) -> Decimal {
+        if self.scale <= digits {
+            return self;
+        }
+        let drop = self.scale - digits;
+        let p = pow10(drop).expect("scale bounded");
+        let q = self.mantissa / p;
+        let r = self.mantissa % p;
+        let adj = if r.unsigned_abs() * 2 >= p.unsigned_abs() {
+            if self.mantissa < 0 {
+                -1
+            } else {
+                1
+            }
+        } else {
+            0
+        };
+        Decimal::new(q + adj, digits)
+    }
+
+    /// Total-order comparison (exact; never goes through floats).
+    pub fn cmp_exact(&self, other: &Decimal) -> Ordering {
+        match Self::align(*self, *other) {
+            Some((a, b, _)) => a.cmp(&b),
+            // On alignment overflow fall back to sign + f64 comparison;
+            // values this large only arise from pathological arithmetic.
+            None => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_exact(other)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.mantissa);
+        }
+        let sign = if self.mantissa < 0 { "-" } else { "" };
+        let digits = self.mantissa.unsigned_abs().to_string();
+        let scale = self.scale as usize;
+        if digits.len() > scale {
+            let (int, frac) = digits.split_at(digits.len() - scale);
+            write!(f, "{sign}{int}.{frac}")
+        } else {
+            write!(f, "{sign}0.{}{}", "0".repeat(scale - digits.len()), digits)
+        }
+    }
+}
+
+impl fmt::Debug for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Decimal({self})")
+    }
+}
+
+impl FromStr for Decimal {
+    type Err = DecimalError;
+
+    /// Parses decimal literals with optional sign, fraction, and exponent:
+    /// `-12`, `3.14`, `.5`, `1e3`, `2.5E-2`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || DecimalError::Parse(s.to_string());
+        let bytes = s.as_bytes();
+        if bytes.is_empty() {
+            return Err(err());
+        }
+        let mut i = 0;
+        let neg = match bytes[0] {
+            b'-' => {
+                i += 1;
+                true
+            }
+            b'+' => {
+                i += 1;
+                false
+            }
+            _ => false,
+        };
+        let mut mantissa: i128 = 0;
+        let mut scale: i64 = 0;
+        let mut seen_digit = false;
+        let mut seen_dot = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'0'..=b'9' => {
+                    seen_digit = true;
+                    mantissa = mantissa
+                        .checked_mul(10)
+                        .and_then(|m| m.checked_add((bytes[i] - b'0') as i128))
+                        .ok_or(DecimalError::Overflow)?;
+                    if seen_dot {
+                        scale += 1;
+                    }
+                    i += 1;
+                }
+                b'.' if !seen_dot => {
+                    seen_dot = true;
+                    i += 1;
+                }
+                b'e' | b'E' => break,
+                _ => return Err(err()),
+            }
+        }
+        if !seen_digit {
+            return Err(err());
+        }
+        if i < bytes.len() {
+            // Exponent part.
+            i += 1; // consume 'e'
+            let exp_str = std::str::from_utf8(&bytes[i..]).map_err(|_| err())?;
+            let exp: i64 = exp_str.parse().map_err(|_| err())?;
+            scale -= exp;
+        }
+        if neg {
+            mantissa = -mantissa;
+        }
+        // Fold a negative scale (large exponent) into the mantissa.
+        while scale < 0 {
+            mantissa = mantissa.checked_mul(10).ok_or(DecimalError::Overflow)?;
+            scale += 1;
+        }
+        if scale > MAX_SCALE as i64 * 2 {
+            return Err(DecimalError::Overflow);
+        }
+        Ok(Decimal::new(mantissa, scale as u32))
+    }
+}
+
+impl std::ops::Neg for Decimal {
+    type Output = Decimal;
+    fn neg(self) -> Decimal {
+        Decimal { mantissa: -self.mantissa, scale: self.scale }
+    }
+}
+
+impl From<i64> for Decimal {
+    fn from(v: i64) -> Self {
+        Decimal::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-1", "3.14", "-0.5", "123456789.000000001", "42"] {
+            assert_eq!(d(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_normalizes_trailing_zeros() {
+        assert_eq!(d("1.50"), d("1.5"));
+        assert_eq!(d("1.50").to_string(), "1.5");
+        assert_eq!(d("0.000"), Decimal::ZERO);
+    }
+
+    #[test]
+    fn parse_leading_dot_and_exponent() {
+        assert_eq!(d(".5"), d("0.5"));
+        assert_eq!(d("1e3"), d("1000"));
+        assert_eq!(d("2.5E-2"), d("0.025"));
+        assert_eq!(d("-1.5e2"), d("-150"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "-", "1.2.3", "abc", "1e", "--1", "."] {
+            assert!(s.parse::<Decimal>().is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(d("1.1").checked_add(d("2.2")).unwrap(), d("3.3"));
+        assert_eq!(d("1").checked_sub(d("0.999")).unwrap(), d("0.001"));
+        assert_eq!(d("1.5").checked_mul(d("2")).unwrap(), d("3"));
+        assert_eq!(d("1").checked_div(d("4")).unwrap(), d("0.25"));
+        assert_eq!(d("7").checked_rem(d("2")).unwrap(), d("1"));
+        assert_eq!(d("7.5").checked_rem(d("2")).unwrap(), d("1.5"));
+    }
+
+    #[test]
+    fn division_rounds_half_away_from_zero() {
+        // 1/3 at MAX_SCALE digits.
+        let third = d("1").checked_div(d("3")).unwrap();
+        assert_eq!(third.to_string(), format!("0.{}", "3".repeat(20)));
+        let two_thirds = d("2").checked_div(d("3")).unwrap();
+        assert_eq!(two_thirds.to_string(), format!("0.{}7", "6".repeat(19)));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(
+            d("1").checked_div(Decimal::ZERO),
+            Err(DecimalError::DivisionByZero)
+        );
+        assert_eq!(
+            d("1").checked_rem(Decimal::ZERO),
+            Err(DecimalError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn comparison_is_exact_across_scales() {
+        assert!(d("0.1") < d("0.2"));
+        assert!(d("1.10") == d("1.1"));
+        assert!(d("-3") < d("2.5"));
+        assert!(d("10") > d("9.999999999"));
+    }
+
+    #[test]
+    fn floor_ceil_round() {
+        assert_eq!(d("1.5").floor(), d("1"));
+        assert_eq!(d("-1.5").floor(), d("-2"));
+        assert_eq!(d("1.5").ceil(), d("2"));
+        assert_eq!(d("-1.5").ceil(), d("-1"));
+        assert_eq!(d("2").floor(), d("2"));
+        assert_eq!(d("2.449").round_dp(1), d("2.4"));
+        assert_eq!(d("2.45").round_dp(1), d("2.5"));
+        assert_eq!(d("-2.45").round_dp(1), d("-2.5"));
+        assert_eq!(d("2.4").round_dp(3), d("2.4"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Decimal::from_i64(42).to_i64(), Some(42));
+        assert_eq!(d("42.5").to_i64(), None);
+        assert_eq!(d("42.5").trunc_to_i64(), Some(42));
+        assert_eq!(d("-42.5").trunc_to_i64(), Some(-42));
+        assert_eq!(Decimal::from_f64(1.25).unwrap(), d("1.25"));
+        assert!(Decimal::from_f64(f64::NAN).is_none());
+        assert!((d("2.25").to_f64() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_reported() {
+        let big = Decimal::new(i128::MAX / 2, 0);
+        assert_eq!(big.checked_mul(big), Err(DecimalError::Overflow));
+    }
+}

@@ -1,0 +1,221 @@
+//! Rendering values in the paper's self-describing object notation:
+//! bags as `{{ … }}`, arrays as `[ … ]`, tuples as `{ 'name': value }`
+//! with single-quoted strings — "an object notation using SQL literals"
+//! (§II). `Display` prints compactly; [`to_pretty`] indents like the
+//! paper's listings. MISSING renders as the bare keyword `MISSING` (it can
+//! occur as a bag element of a `SELECT VALUE` result, never inside a
+//! tuple).
+
+use std::fmt;
+
+use crate::value::Value;
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(self, f)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(self, f)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut impl fmt::Write) -> fmt::Result {
+    out.write_char('\'')?;
+    for c in s.chars() {
+        match c {
+            '\'' => out.write_str("''")?, // SQL-style doubled quote
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('\'')
+}
+
+/// Formats a float so it always reads back as a float (keeps a `.0` on
+/// integral values) and survives round-tripping.
+pub fn format_float(v: f64, out: &mut impl fmt::Write) -> fmt::Result {
+    if v.is_nan() {
+        out.write_str("`nan`")
+    } else if v.is_infinite() {
+        out.write_str(if v > 0.0 { "`+inf`" } else { "`-inf`" })
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        write!(out, "{v:.1}")
+    } else {
+        write!(out, "{v}")
+    }
+}
+
+fn write_compact(v: &Value, out: &mut impl fmt::Write) -> fmt::Result {
+    match v {
+        Value::Missing => out.write_str("MISSING"),
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => write!(out, "{b}"),
+        Value::Int(i) => write!(out, "{i}"),
+        Value::Float(x) => format_float(*x, out),
+        Value::Decimal(d) => write!(out, "{d}"),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Bytes(b) => {
+            out.write_str("x'")?;
+            for byte in b {
+                write!(out, "{byte:02x}")?;
+            }
+            out.write_char('\'')
+        }
+        Value::Array(items) => {
+            out.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(", ")?;
+                }
+                write_compact(item, out)?;
+            }
+            out.write_char(']')
+        }
+        Value::Bag(items) => {
+            out.write_str("{{")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(", ")?;
+                }
+                write_compact(item, out)?;
+            }
+            out.write_str("}}")
+        }
+        Value::Tuple(t) => {
+            out.write_char('{')?;
+            for (i, (name, value)) in t.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(", ")?;
+                }
+                write_escaped(name, out)?;
+                out.write_str(": ")?;
+                write_compact(value, out)?;
+            }
+            out.write_char('}')
+        }
+    }
+}
+
+/// Pretty multi-line rendering in the paper's listing style.
+pub fn to_pretty(v: &Value) -> String {
+    let mut s = String::new();
+    write_pretty(v, 0, &mut s).expect("string write cannot fail");
+    s
+}
+
+fn is_flat(v: &Value) -> bool {
+    match v {
+        Value::Array(items) | Value::Bag(items) => {
+            items.len() <= 4 && items.iter().all(|i| i.is_scalar() || i.is_absent())
+        }
+        Value::Tuple(t) => {
+            t.len() <= 3 && t.iter().all(|(_, v)| v.is_scalar() || v.is_absent())
+        }
+        _ => true,
+    }
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) -> fmt::Result {
+    if is_flat(v) {
+        return write_compact(v, out);
+    }
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&pad);
+                write_pretty(item, indent + 1, out)?;
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Bag(items) => {
+            out.push_str("{{");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&pad);
+                write_pretty(item, indent + 1, out)?;
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push_str("}}");
+        }
+        Value::Tuple(t) => {
+            out.push('{');
+            for (i, (name, value)) in t.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                out.push_str(&pad);
+                write_escaped(name, out)?;
+                out.push_str(": ");
+                write_pretty(value, indent + 1, out)?;
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        _ => write_compact(v, out)?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{array, bag, tuple};
+
+    #[test]
+    fn scalars_render_in_paper_notation() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Missing.to_string(), "MISSING");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Str("Bob Smith".into()).to_string(), "'Bob Smith'");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Bytes(vec![0xde, 0xad]).to_string(), "x'dead'");
+    }
+
+    #[test]
+    fn string_escaping_doubles_quotes() {
+        assert_eq!(Value::Str("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Value::Str("a\nb".into()).to_string(), "'a\\nb'");
+    }
+
+    #[test]
+    fn collections_render_with_paper_delimiters() {
+        assert_eq!(array![1i64, 2i64].to_string(), "[1, 2]");
+        assert_eq!(bag![1i64].to_string(), "{{1}}");
+        assert_eq!(Value::empty_bag().to_string(), "{{}}");
+        let t = Value::Tuple(tuple! {"id" => 3i64, "name" => "Bob"});
+        assert_eq!(t.to_string(), "{'id': 3, 'name': 'Bob'}");
+    }
+
+    #[test]
+    fn pretty_prints_nested_structures_with_indentation() {
+        let v = bag![Value::Tuple(tuple! {
+            "id" => 3i64,
+            "name" => "Bob Smith",
+            "projects" => array!["a", "b"],
+        })];
+        let pretty = to_pretty(&v);
+        assert!(pretty.contains("{{\n"));
+        assert!(pretty.contains("  {"));
+        assert!(pretty.contains("'projects': ['a', 'b']"));
+    }
+
+    #[test]
+    fn small_flat_values_stay_on_one_line() {
+        assert_eq!(to_pretty(&array![1i64, 2i64]), "[1, 2]");
+    }
+}

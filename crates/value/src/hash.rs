@@ -1,0 +1,216 @@
+//! Group-key hashing.
+//!
+//! GROUP BY needs a `HashMap`-compatible key whose equality matches the
+//! structural equality of [`crate::cmp::deep_eq`] — in particular NULL and
+//! MISSING keys each form a group, numbers compare across Int/Float/Decimal,
+//! and bags/tuples hash order-insensitively. [`GroupKey`] wraps one or more
+//! values and provides exactly that `Hash`/`Eq` pair.
+
+use std::hash::{Hash, Hasher};
+
+use crate::cmp::{deep_eq, total_cmp};
+use crate::value::Value;
+
+/// A hashable wrapper over grouping-key values.
+///
+/// Grouping treats the two absent values as *distinct singleton groups*
+/// unless the caller canonicalizes MISSING to NULL first (the SQL-compat
+/// lowering does that so results stay explainable to SQL users — see
+/// `sqlpp-plan`).
+#[derive(Clone, Debug)]
+pub struct GroupKey(pub Vec<Value>);
+
+impl PartialEq for GroupKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| deep_eq(a, b))
+    }
+}
+
+impl Eq for GroupKey {}
+
+impl Hash for GroupKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            hash_value(v, state);
+        }
+    }
+}
+
+/// Hashes a single value consistently with [`deep_eq`].
+pub fn hash_value<H: Hasher>(v: &Value, state: &mut H) {
+    match v {
+        Value::Missing => state.write_u8(0),
+        Value::Null => state.write_u8(1),
+        Value::Bool(b) => {
+            state.write_u8(2);
+            b.hash(state);
+        }
+        // All numerics hash through a canonical form so Int(2), Float(2.0)
+        // and Decimal(2) land in the same bucket, as equality demands.
+        Value::Int(_) | Value::Float(_) | Value::Decimal(_) => {
+            state.write_u8(3);
+            hash_number(v, state);
+        }
+        Value::Str(s) => {
+            state.write_u8(4);
+            s.hash(state);
+        }
+        Value::Bytes(b) => {
+            state.write_u8(5);
+            b.hash(state);
+        }
+        Value::Array(items) => {
+            state.write_u8(6);
+            state.write_usize(items.len());
+            for item in items {
+                hash_value(item, state);
+            }
+        }
+        Value::Bag(items) => {
+            state.write_u8(7);
+            state.write_usize(items.len());
+            // Order-insensitive: hash elements in canonical (sorted) order.
+            let mut sorted: Vec<&Value> = items.iter().collect();
+            sorted.sort_by(|a, b| total_cmp(a, b));
+            for item in sorted {
+                hash_value(item, state);
+            }
+        }
+        Value::Tuple(t) => {
+            state.write_u8(8);
+            state.write_usize(t.len());
+            let mut pairs: Vec<(&str, &Value)> = t.iter().collect();
+            pairs.sort_by(|(an, av), (bn, bv)| an.cmp(bn).then_with(|| total_cmp(av, bv)));
+            for (name, value) in pairs {
+                name.hash(state);
+                hash_value(value, state);
+            }
+        }
+    }
+}
+
+/// Bound under which every integer is exactly representable as an `f64`,
+/// so integral values below it can hash exactly while staying consistent
+/// with the (partially `f64`-mediated) numeric equality above it.
+const EXACT_F64_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Canonical numeric hashing: integral values with magnitude `< 2^53` hash
+/// as their exact `i128`; everything else hashes as the canonicalized `f64`
+/// bit pattern of its numeric value (-0.0 → 0.0, all NaNs unified). The
+/// 2^53 split matches where cross-type numeric *equality* becomes
+/// `f64`-mediated, keeping `hash` consistent with `deep_eq`.
+fn hash_number<H: Hasher>(v: &Value, state: &mut H) {
+    let as_small_int: Option<i128> = match v {
+        Value::Int(i) => {
+            if (i.unsigned_abs() as f64) < EXACT_F64_INT {
+                Some(*i as i128)
+            } else {
+                None
+            }
+        }
+        Value::Decimal(d) => {
+            // Normalization guarantees scale > 0 ⇒ non-integral.
+            if d.scale() == 0 && (d.mantissa().unsigned_abs() as f64) < EXACT_F64_INT {
+                Some(d.mantissa())
+            } else {
+                None
+            }
+        }
+        Value::Float(f) => {
+            if f.is_finite() && f.trunc() == *f && f.abs() < EXACT_F64_INT {
+                Some(*f as i128)
+            } else {
+                None
+            }
+        }
+        _ => unreachable!("hash_number called on non-number"),
+    };
+    if let Some(i) = as_small_int {
+        state.write_u8(0);
+        i.hash(state);
+        return;
+    }
+    state.write_u8(1);
+    let f = match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        Value::Decimal(d) => d.to_f64(),
+        _ => unreachable!(),
+    };
+    let canon = if f.is_nan() {
+        f64::NAN
+    } else if f == 0.0 {
+        0.0
+    } else {
+        f
+    };
+    canon.to_bits().hash(state);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmp::dec;
+    use crate::{bag, tuple};
+    use std::collections::HashMap;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        hash_value(v, &mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn equal_numbers_hash_equal_across_types() {
+        assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+        assert_eq!(h(&Value::Int(2)), h(&Value::Decimal(dec("2.00"))));
+        assert_eq!(h(&Value::Float(0.5)), h(&Value::Decimal(dec("0.5"))));
+    }
+
+    #[test]
+    fn bags_hash_order_insensitively() {
+        assert_eq!(h(&bag![1i64, 2i64, 3i64]), h(&bag![3i64, 1i64, 2i64]));
+        assert_ne!(h(&bag![1i64, 2i64]), h(&bag![1i64, 2i64, 2i64]));
+    }
+
+    #[test]
+    fn tuples_hash_attribute_order_insensitively() {
+        let a = Value::Tuple(tuple! {"x" => 1i64, "y" => 2i64});
+        let b = Value::Tuple(tuple! {"y" => 2i64, "x" => 1i64});
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn group_key_works_in_hash_map() {
+        let mut groups: HashMap<GroupKey, usize> = HashMap::new();
+        *groups.entry(GroupKey(vec![Value::Int(1)])).or_default() += 1;
+        *groups.entry(GroupKey(vec![Value::Float(1.0)])).or_default() += 1;
+        *groups.entry(GroupKey(vec![Value::Null])).or_default() += 1;
+        *groups.entry(GroupKey(vec![Value::Null])).or_default() += 1;
+        *groups.entry(GroupKey(vec![Value::Missing])).or_default() += 1;
+        assert_eq!(groups.len(), 3, "1≡1.0, null group, missing group");
+        assert_eq!(groups[&GroupKey(vec![Value::Int(1)])], 2);
+        assert_eq!(groups[&GroupKey(vec![Value::Null])], 2);
+        assert_eq!(groups[&GroupKey(vec![Value::Missing])], 1);
+    }
+
+    #[test]
+    fn huge_equal_numbers_hash_consistently_with_equality() {
+        // Above 2^53 equality between Int and Float is f64-mediated; the
+        // hash must follow suit.
+        let i = Value::Int(1 << 60);
+        let f = Value::Float((1u64 << 60) as f64);
+        assert!(crate::cmp::deep_eq(&i, &f));
+        assert_eq!(h(&i), h(&f));
+    }
+
+    #[test]
+    fn negative_zero_and_nan_are_canonicalized() {
+        assert_eq!(h(&Value::Float(0.0)), h(&Value::Float(-0.0)));
+        let nan1 = f64::NAN;
+        let nan2 = f64::from_bits(f64::NAN.to_bits() | 1);
+        assert_eq!(h(&Value::Float(nan1)), h(&Value::Float(nan2)));
+    }
+}

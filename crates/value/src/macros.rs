@@ -1,0 +1,94 @@
+//! Construction macros mirroring the paper's notation: `bag![…]` for
+//! `{{ … }}`, `array![…]` for `[ … ]`, and `tuple! { "k" => v }` for
+//! `{ 'k': v }`.
+
+/// Builds a [`crate::Value::Bag`] from expressions convertible to `Value`.
+///
+/// ```
+/// use sqlpp_value::{bag, Value};
+/// let b = bag![1i64, "two", Value::Null];
+/// assert_eq!(b.to_string(), "{{1, 'two', null}}");
+/// ```
+#[macro_export]
+macro_rules! bag {
+    () => { $crate::Value::Bag(Vec::new()) };
+    ($($elem:expr),+ $(,)?) => {
+        $crate::Value::Bag(vec![$($crate::Value::from($elem)),+])
+    };
+}
+
+/// Builds a [`crate::Value::Array`] from expressions convertible to `Value`.
+///
+/// ```
+/// use sqlpp_value::array;
+/// assert_eq!(array![1i64, 2i64].to_string(), "[1, 2]");
+/// ```
+#[macro_export]
+macro_rules! array {
+    () => { $crate::Value::Array(Vec::new()) };
+    ($($elem:expr),+ $(,)?) => {
+        $crate::Value::Array(vec![$($crate::Value::from($elem)),+])
+    };
+}
+
+/// Builds a [`crate::Tuple`] from `"name" => value` pairs. MISSING values
+/// are dropped, per the data model's construction rule.
+///
+/// ```
+/// use sqlpp_value::{tuple, Value};
+/// let t = tuple! { "id" => 3i64, "title" => Value::Null };
+/// assert_eq!(Value::Tuple(t).to_string(), "{'id': 3, 'title': null}");
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    () => { $crate::Tuple::new() };
+    ($($name:expr => $value:expr),+ $(,)?) => {{
+        let mut t = $crate::Tuple::new();
+        $( t.insert($name, $crate::Value::from($value)); )+
+        t
+    }};
+}
+
+/// Shorthand for a bag of tuples — the shape of every "collection of
+/// documents" in the paper's examples.
+///
+/// ```
+/// use sqlpp_value::rows;
+/// let r = rows![ {"id" => 1i64}, {"id" => 2i64} ];
+/// assert_eq!(r.to_string(), "{{{'id': 1}, {'id': 2}}}");
+/// ```
+#[macro_export]
+macro_rules! rows {
+    ($({$($name:expr => $value:expr),* $(,)?}),* $(,)?) => {
+        $crate::Value::Bag(vec![
+            $( $crate::Value::Tuple($crate::tuple! { $($name => $value),* }) ),*
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn bag_and_array_macros() {
+        assert_eq!(bag![], Value::Bag(vec![]));
+        assert_eq!(array![], Value::Array(vec![]));
+        assert_eq!(bag![1i64, 2i64].as_elements().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tuple_macro_drops_missing() {
+        let t = tuple! { "a" => 1i64, "b" => Value::Missing };
+        assert_eq!(t.len(), 1);
+        assert!(t.contains("a"));
+    }
+
+    #[test]
+    fn rows_macro_builds_bag_of_tuples() {
+        let r = rows![ {"x" => 1i64}, {"x" => 2i64, "y" => "z"} ];
+        let elems = r.as_elements().unwrap();
+        assert_eq!(elems.len(), 2);
+        assert!(matches!(elems[0], Value::Tuple(_)));
+    }
+}

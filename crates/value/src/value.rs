@@ -1,0 +1,381 @@
+//! The SQL++ value: the paper's §II data model.
+//!
+//! > "A value can be absent, scalar, tuple, collection, or any composition
+//! > thereof. […] Collections may be arrays […] or bags (i.e., multisets)."
+//!
+//! The two *absent* values are first-class:
+//!
+//! * [`Value::Null`] — present-but-unknown, exactly SQL's NULL.
+//! * [`Value::Missing`] — "the path result in cases where navigation fails
+//!   to bind to any information or where a function fails due to missing or
+//!   wrongly typed inputs" (§II). MISSING may flow through expressions but
+//!   may never be stored as a tuple attribute's value.
+
+use crate::decimal::Decimal;
+use crate::tuple::Tuple;
+
+/// A dynamically typed SQL++ value.
+#[derive(Clone, PartialEq)]
+pub enum Value {
+    /// The special absent value produced by failed navigation or, in
+    /// permissive mode, by mistyped function inputs (§IV-B).
+    Missing,
+    /// SQL's NULL: the attribute is present but its value is unknown.
+    Null,
+    /// SQL BOOLEAN.
+    Bool(bool),
+    /// SQL BIGINT (64-bit signed integer).
+    Int(i64),
+    /// SQL DOUBLE PRECISION.
+    Float(f64),
+    /// SQL DECIMAL/NUMERIC (exact fixed-point).
+    Decimal(Decimal),
+    /// SQL VARCHAR (UTF-8 string).
+    Str(String),
+    /// Binary data (maps to Ion blob / CBOR byte string).
+    Bytes(Vec<u8>),
+    /// An ordered collection, `[ … ]` in the paper's notation.
+    Array(Vec<Value>),
+    /// An unordered multiset, `{{ … }}` (or `<< … >>`) in the paper's
+    /// notation. Element order in the vector is an implementation detail;
+    /// bag equality ignores it (see [`crate::cmp`]).
+    Bag(Vec<Value>),
+    /// A set of attribute name/value pairs; unordered and allowing
+    /// duplicate names (§II).
+    Tuple(Tuple),
+}
+
+/// Coarse runtime type of a value, used for error messages, type-dispatch in
+/// functions, and the cross-type total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // Variants mirror `Value` one-to-one.
+pub enum ValueKind {
+    Missing,
+    Null,
+    Bool,
+    Int,
+    Float,
+    Decimal,
+    Str,
+    Bytes,
+    Array,
+    Tuple,
+    Bag,
+}
+
+impl ValueKind {
+    /// Lower-case type name as surfaced in diagnostics and the
+    /// `IS <type>` predicates.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueKind::Missing => "missing",
+            ValueKind::Null => "null",
+            ValueKind::Bool => "boolean",
+            ValueKind::Int => "integer",
+            ValueKind::Float => "float",
+            ValueKind::Decimal => "decimal",
+            ValueKind::Str => "string",
+            ValueKind::Bytes => "bytes",
+            ValueKind::Array => "array",
+            ValueKind::Tuple => "tuple",
+            ValueKind::Bag => "bag",
+        }
+    }
+}
+
+impl Value {
+    /// The runtime kind of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Missing => ValueKind::Missing,
+            Value::Null => ValueKind::Null,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Decimal(_) => ValueKind::Decimal,
+            Value::Str(_) => ValueKind::Str,
+            Value::Bytes(_) => ValueKind::Bytes,
+            Value::Array(_) => ValueKind::Array,
+            Value::Tuple(_) => ValueKind::Tuple,
+            Value::Bag(_) => ValueKind::Bag,
+        }
+    }
+
+    /// True for the two absent values, NULL and MISSING.
+    pub fn is_absent(&self) -> bool {
+        matches!(self, Value::Missing | Value::Null)
+    }
+
+    /// True only for MISSING.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// True only for NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True for any numeric scalar.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Decimal(_))
+    }
+
+    /// True for arrays and bags — the types FROM iterates over directly.
+    pub fn is_collection(&self) -> bool {
+        matches!(self, Value::Array(_) | Value::Bag(_))
+    }
+
+    /// True for scalars (including the absent values, per the paper's
+    /// classification of values as absent/scalar/tuple/collection we keep
+    /// absent values *out* of this predicate).
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            Value::Bool(_)
+                | Value::Int(_)
+                | Value::Float(_)
+                | Value::Decimal(_)
+                | Value::Str(_)
+                | Value::Bytes(_)
+        )
+    }
+
+    /// Borrows the elements of an array or bag.
+    pub fn as_elements(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) | Value::Bag(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consumes an array or bag, yielding its elements.
+    pub fn into_elements(self) -> Option<Vec<Value>> {
+        match self {
+            Value::Array(v) | Value::Bag(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the tuple payload.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if the value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (lossy for big ints/decimals).
+    pub fn as_f64_lossy(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Decimal(d) => Some(d.to_f64()),
+            _ => None,
+        }
+    }
+
+    /// Empty bag constant.
+    pub fn empty_bag() -> Value {
+        Value::Bag(Vec::new())
+    }
+
+    /// Empty array constant.
+    pub fn empty_array() -> Value {
+        Value::Array(Vec::new())
+    }
+
+    /// Navigation `self.attr` (§III / §IV-B case 1): the first binding of
+    /// `attr` in a tuple, and MISSING when the receiver is not a tuple or
+    /// the attribute is absent. Navigation on NULL yields NULL (the
+    /// receiver is *present* but unknown), mirroring PartiQL.
+    pub fn path(&self, attr: &str) -> Value {
+        match self {
+            Value::Tuple(t) => t.get(attr).cloned().unwrap_or(Value::Missing),
+            Value::Null => Value::Null,
+            _ => Value::Missing,
+        }
+    }
+
+    /// Index navigation `self[i]` for arrays; MISSING when out of bounds or
+    /// the receiver is not an array; NULL receiver propagates NULL.
+    pub fn index(&self, i: i64) -> Value {
+        match self {
+            Value::Array(v) => {
+                if i >= 0 {
+                    v.get(i as usize).cloned().unwrap_or(Value::Missing)
+                } else {
+                    Value::Missing
+                }
+            }
+            Value::Null => Value::Null,
+            _ => Value::Missing,
+        }
+    }
+
+    /// Approximate number of heap nodes, used to bound generated test data
+    /// and to report result sizes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::Array(v) | Value::Bag(v) => {
+                1 + v.iter().map(Value::node_count).sum::<usize>()
+            }
+            Value::Tuple(t) => 1 + t.iter().map(|(_, v)| v.node_count()).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+impl Default for Value {
+    /// The default value is MISSING — "no information".
+    fn default() -> Self {
+        Value::Missing
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Decimal> for Value {
+    fn from(v: Decimal) -> Self {
+        Value::Decimal(v)
+    }
+}
+impl From<Tuple> for Value {
+    fn from(v: Tuple) -> Self {
+        Value::Tuple(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    /// `None` maps to NULL (not MISSING): an `Option` models a present
+    /// column whose value may be unknown.
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn kinds_and_predicates() {
+        assert_eq!(Value::Missing.kind().name(), "missing");
+        assert_eq!(Value::Int(1).kind(), ValueKind::Int);
+        assert!(Value::Null.is_absent());
+        assert!(Value::Missing.is_absent());
+        assert!(!Value::Int(0).is_absent());
+        assert!(Value::Float(1.0).is_number());
+        assert!(Value::Bag(vec![]).is_collection());
+        assert!(Value::Str("x".into()).is_scalar());
+        assert!(!Value::Null.is_scalar());
+    }
+
+    #[test]
+    fn navigation_into_missing_attribute_yields_missing() {
+        // §IV-B: {'id': 3, 'name': 'Bob Smith'}.title == MISSING
+        let bob = tuple! { "id" => 3i64, "name" => "Bob Smith" };
+        assert_eq!(Value::Tuple(bob).path("title"), Value::Missing);
+    }
+
+    #[test]
+    fn navigation_into_present_attribute() {
+        let t = tuple! { "a" => 1i64 };
+        assert_eq!(Value::Tuple(t).path("a"), Value::Int(1));
+    }
+
+    #[test]
+    fn navigation_on_non_tuple_is_missing_and_null_propagates() {
+        assert_eq!(Value::Int(3).path("x"), Value::Missing);
+        assert_eq!(Value::Null.path("x"), Value::Null);
+        assert_eq!(Value::Missing.path("x"), Value::Missing);
+    }
+
+    #[test]
+    fn array_indexing() {
+        let a = Value::Array(vec![Value::Int(10), Value::Int(20)]);
+        assert_eq!(a.index(0), Value::Int(10));
+        assert_eq!(a.index(2), Value::Missing);
+        assert_eq!(a.index(-1), Value::Missing);
+        assert_eq!(Value::Str("s".into()).index(0), Value::Missing);
+        assert_eq!(Value::Null.index(0), Value::Null);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn node_count_counts_nested_nodes() {
+        let v = Value::Bag(vec![Value::Array(vec![Value::Int(1), Value::Int(2)])]);
+        assert_eq!(v.node_count(), 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: load the paper's Listing 1, run its queries, and see the
+//! two mode dials in action.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sqlpp::{CompatMode, Engine, SessionConfig, TypingMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::new();
+
+    // --- 1. Load a collection of documents (Listing 1) -----------------
+    engine.load_pnotation(
+        "hr.emp_nest_tuples",
+        r#"{{
+            {'id': 3, 'name': 'Bob Smith', 'title': null,
+             'projects': [{'name': 'Serverless Query'},
+                          {'name': 'OLAP Security'},
+                          {'name': 'OLTP Security'}]},
+            {'id': 4, 'name': 'Susan Smith', 'title': 'Manager', 'projects': []},
+            {'id': 6, 'name': 'Jane Smith', 'title': 'Engineer',
+             'projects': [{'name': 'OLTP Security'}]}
+        }}"#,
+    )?;
+
+    // --- 2. Query nested data with plain SQL syntax (Listing 2) --------
+    // Left-correlation lets the second FROM item range over e.projects.
+    let result = engine.query(
+        "SELECT e.name AS emp_name, p.name AS proj_name \
+         FROM hr.emp_nest_tuples AS e, e.projects AS p \
+         WHERE p.name LIKE '%Security%'",
+    )?;
+    println!("Security project assignments:\n{}\n", result.to_pretty());
+
+    // --- 3. MISSING vs NULL --------------------------------------------
+    // JSON (like many formats) can express absence two ways; SQL++ keeps
+    // them distinguishable.
+    engine.load_json(
+        "hr.emp_missing",
+        r#"[{"id": 3, "name": "Bob Smith"},
+            {"id": 4, "name": "Susan Smith", "title": "Manager"}]"#,
+    )?;
+    let absent = engine.query(
+        "SELECT VALUE {'name': e.name, \
+                       'has_title_attr': e.title IS NOT MISSING} \
+         FROM hr.emp_missing AS e",
+    )?;
+    println!("Absence is first-class:\n{}\n", absent.to_pretty());
+
+    // --- 4. The SELECT clause is sugar over SELECT VALUE ----------------
+    println!(
+        "EXPLAIN shows the SQL++ Core rewriting of an aggregate:\n{}",
+        engine.explain(
+            "SELECT AVG(e.id) AS avg_id FROM hr.emp_missing AS e"
+        )?
+    );
+
+    // --- 5. The two dials ------------------------------------------------
+    // Stop-on-error mode aborts on type errors instead of excluding data.
+    let strict = engine.with_config(SessionConfig {
+        typing: TypingMode::StrictError,
+        ..SessionConfig::default()
+    });
+    engine.load_pnotation("dirty", "{{ {'x': 1}, {'x': 'oops'} }}")?;
+    println!(
+        "permissive: {}",
+        engine.query("SELECT VALUE d.x * 2 FROM dirty AS d")?.value()
+    );
+    println!(
+        "strict:     {:?}",
+        strict
+            .query("SELECT VALUE d.x * 2 FROM dirty AS d")
+            .err()
+            .map(|e| e.to_string())
+    );
+
+    // Composability mode: subqueries always denote their bag.
+    let composable = engine.with_config(SessionConfig {
+        compat: CompatMode::Composable,
+        ..SessionConfig::default()
+    });
+    let bag = composable.eval_expr(
+        "{'one_to_three': (SELECT VALUE x FROM [1, 2, 3] AS x)}",
+    )?;
+    println!("composability: {bag}");
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! An interactive SQL++ shell.
+//!
+//! ```text
+//! cargo run --example repl
+//! sql++> SELECT VALUE x FROM [1,2,3] AS x WHERE x > 1
+//! {{2, 3}}
+//! ```
+//!
+//! Dot-commands:
+//!
+//! * `.load <name> <file>` — load a collection (format by extension:
+//!   `.json`, `.csv`, `.ion`, anything else is paper notation);
+//! * `.explain <query>` — show the lowered SQL++ Core plan;
+//! * `.names` — list catalog names;
+//! * `.mode compat|composable` / `.typing permissive|strict` — the dials;
+//! * `.quit`.
+
+use std::io::{BufRead, Write};
+
+use sqlpp::{CompatMode, Engine, SessionConfig, TypingMode};
+
+fn main() {
+    let mut config = SessionConfig::default();
+    let base = Engine::new();
+    // Something to play with out of the box.
+    base.load_pnotation(
+        "demo.emps",
+        "{{ {'name': 'Ann', 'dept': 'eng', 'salary': 100},
+            {'name': 'Bo', 'dept': 'eng', 'salary': 80},
+            {'name': 'Cy', 'dept': 'ops'} }}",
+    )
+    .expect("demo data");
+
+    println!("sqlpp REPL — try: SELECT VALUE e.name FROM demo.emps AS e");
+    println!("dot-commands: .load .explain .names .mode .typing .quit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("sql++> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let engine = base.with_config(config.clone());
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut words = rest.split_whitespace();
+            match words.next() {
+                Some("quit") | Some("exit") => break,
+                Some("names") => {
+                    for n in engine.catalog().names() {
+                        println!("  {n}");
+                    }
+                }
+                Some("mode") => match words.next() {
+                    Some("compat") => config.compat = CompatMode::SqlCompat,
+                    Some("composable") => config.compat = CompatMode::Composable,
+                    _ => println!("usage: .mode compat|composable"),
+                },
+                Some("typing") => match words.next() {
+                    Some("permissive") => config.typing = TypingMode::Permissive,
+                    Some("strict") => config.typing = TypingMode::StrictError,
+                    _ => println!("usage: .typing permissive|strict"),
+                },
+                Some("explain") => {
+                    let q = rest.trim_start_matches("explain").trim();
+                    match engine.explain(q) {
+                        Ok(plan) => print!("{plan}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Some("load") => {
+                    let (name, path) = (words.next(), words.next());
+                    match (name, path) {
+                        (Some(name), Some(path)) => match load(&engine, name, path) {
+                            Ok(n) => println!("loaded {n} into {name}"),
+                            Err(e) => println!("error: {e}"),
+                        },
+                        _ => println!("usage: .load <name> <file>"),
+                    }
+                }
+                other => println!("unknown command {other:?}"),
+            }
+            continue;
+        }
+        // Statements first (INSERT/DELETE/UPDATE/CREATE/queries), then
+        // bare expressions.
+        match engine.execute(line) {
+            Ok(sqlpp::ExecOutcome::Rows(r)) => println!("{}", r.to_pretty()),
+            Ok(sqlpp::ExecOutcome::Created { name, row_type }) => {
+                println!("created {name}: {row_type}");
+            }
+            Ok(sqlpp::ExecOutcome::Inserted { count }) => println!("inserted {count}"),
+            Ok(sqlpp::ExecOutcome::Deleted { count }) => println!("deleted {count}"),
+            Ok(sqlpp::ExecOutcome::Updated { count }) => println!("updated {count}"),
+            Err(_) => match engine.run_str(line) {
+                Ok(v) => println!("{}", sqlpp::value::to_pretty(&v)),
+                Err(e) => println!("error: {e}"),
+            },
+        }
+    }
+}
+
+fn load(engine: &Engine, name: &str, path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    if path.ends_with(".ion") {
+        engine.load_ion_lite(name, &bytes)?;
+    } else {
+        let text = String::from_utf8(bytes)?;
+        if path.ends_with(".json") {
+            engine.load_json(name, &text)?;
+        } else if path.ends_with(".csv") {
+            engine.load_csv(name, &text)?;
+        } else {
+            engine.load_pnotation(name, &text)?;
+        }
+    }
+    let v = engine.catalog().get_str(name)?;
+    Ok(format!(
+        "{} ({} rows)",
+        v.kind().name(),
+        v.as_elements().map(<[sqlpp::value::Value]>::len).unwrap_or(1)
+    ))
+}

@@ -1,0 +1,1 @@
+//! Workspace umbrella package: integration tests live in `tests/`, runnable examples in `examples/`. See the `sqlpp` crate for the library.

@@ -1,0 +1,185 @@
+//! The composability tenet (§I): "The extensions … compose well with one
+//! another and with SQL itself, much as functions in functional
+//! programming languages do." These tests stack features in combinations
+//! the paper never shows explicitly — if composability is real, they just
+//! work.
+
+use sqlpp::Engine;
+use sqlpp_formats::pnotation::from_pnotation;
+
+fn engine() -> Engine {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "shop.orders",
+            r#"{{
+            {'id': 1, 'cust': 'ann',
+             'lines': [{'sku': 'a', 'qty': 2, 'unit': 10},
+                       {'sku': 'b', 'qty': 1, 'unit': 100}]},
+            {'id': 2, 'cust': 'ann',
+             'lines': [{'sku': 'a', 'qty': 1, 'unit': 10}]},
+            {'id': 3, 'cust': 'bo', 'lines': []}
+        }}"#,
+        )
+        .unwrap();
+    engine
+}
+
+fn check(query: &str, expected: &str) {
+    let engine = engine();
+    let want = from_pnotation(expected).unwrap();
+    let got = engine.query(query).unwrap();
+    assert!(
+        got.matches(&want),
+        "query {query}\n expected {want}\n got      {}",
+        got.value()
+    );
+}
+
+#[test]
+fn subquery_as_from_source() {
+    // A whole query block is just a collection expression.
+    check(
+        "SELECT VALUE t.sku FROM \
+         (SELECT l.sku AS sku, l.qty * l.unit AS amount \
+          FROM shop.orders AS o, o.lines AS l) AS t \
+         WHERE t.amount > 15",
+        "{{'a', 'b'}}",
+    );
+}
+
+#[test]
+fn coll_aggregate_over_constructed_collection() {
+    let engine = engine();
+    let v = engine
+        .eval_expr("COLL_SUM([1, 2, COLL_MAX(<<3, 4>>)])")
+        .unwrap();
+    assert_eq!(v, sqlpp_value::Value::Int(7));
+}
+
+#[test]
+fn unpivot_a_constructed_tuple() {
+    check(
+        "SELECT a AS attr, v AS val \
+         FROM UNPIVOT {'x': 1, 'y': 2} AS v AT a",
+        "{{ {'attr': 'x', 'val': 1}, {'attr': 'y', 'val': 2} }}",
+    );
+}
+
+#[test]
+fn pivot_a_subquery() {
+    // PIVOT over the result of a grouped aggregation: per-order totals
+    // computed by a composable COLL_SUM in an inner block, summed per
+    // customer, pivoted into one tuple. (An order with no lines has a
+    // NULL total — COLL_SUM of an empty bag — so bo's sum is NULL.)
+    check(
+        "PIVOT row.total AT row.cust FROM \
+         (SELECT t.cust AS cust, SUM(t.amount) AS total FROM \
+           (SELECT o.cust AS cust, \
+                   COLL_SUM(SELECT VALUE l.qty * l.unit FROM o.lines AS l) AS amount \
+            FROM shop.orders AS o) AS t \
+          GROUP BY t.cust) AS row",
+        "{'ann': 130, 'bo': null}",
+    );
+}
+
+#[test]
+fn nested_group_as_two_levels() {
+    // Group the groups: customers → orders → lines, re-nested the other
+    // way around from the storage nesting.
+    check(
+        "FROM shop.orders AS o \
+         GROUP BY o.cust AS cust GROUP AS g \
+         SELECT cust, \
+                (FROM g AS v \
+                 GROUP BY COLL_COUNT(v.o.lines) AS n_lines GROUP AS g2 \
+                 SELECT VALUE {'n_lines': n_lines, \
+                               'order_ids': (FROM g2 AS w SELECT VALUE w.v.o.id)}) \
+                AS orders_by_size",
+        r#"{{
+            {'cust': 'ann', 'orders_by_size': {{
+                {'n_lines': 2, 'order_ids': {{1}}},
+                {'n_lines': 1, 'order_ids': {{2}}}
+            }}},
+            {'cust': 'bo', 'orders_by_size': {{
+                {'n_lines': 0, 'order_ids': {{3}}}
+            }}}
+        }}"#,
+    );
+}
+
+#[test]
+fn exists_correlated_through_two_levels() {
+    check(
+        "SELECT VALUE o.id FROM shop.orders AS o \
+         WHERE EXISTS (SELECT VALUE l FROM o.lines AS l WHERE l.unit >= 100)",
+        "{{1}}",
+    );
+}
+
+#[test]
+fn from_over_scalar_and_tuple_values() {
+    // "FROM clause variables … can bind to any type of SQL++ data" —
+    // including singletons in permissive mode.
+    let engine = engine();
+    let v = engine
+        .query("SELECT VALUE x FROM 42 AS x")
+        .unwrap();
+    assert_eq!(v.value().to_string(), "{{42}}");
+    let v = engine
+        .query("SELECT VALUE x.k FROM {'k': 'v'} AS x")
+        .unwrap();
+    assert_eq!(v.value().to_string(), "{{'v'}}");
+}
+
+#[test]
+fn select_value_of_select_value() {
+    check(
+        "SELECT VALUE (SELECT VALUE l.qty FROM o.lines AS l) \
+         FROM shop.orders AS o WHERE o.id = 1",
+        "{{ {{2, 1}} }}",
+    );
+}
+
+#[test]
+fn order_by_deep_path_into_constructed_output() {
+    let engine = engine();
+    let r = engine
+        .query(
+            "SELECT o.id AS id, \
+                    COLL_SUM(SELECT VALUE l.qty * l.unit FROM o.lines AS l) AS total \
+             FROM shop.orders AS o \
+             ORDER BY total DESC NULLS LAST",
+        )
+        .unwrap();
+    let ids: Vec<i64> = r
+        .rows()
+        .iter()
+        .map(|t| t.path("id").as_int().unwrap())
+        .collect();
+    assert_eq!(ids, vec![1, 2, 3], "NULL total (empty lines) sorts last");
+}
+
+#[test]
+fn union_of_unpivot_and_unnest() {
+    check(
+        "SELECT VALUE l.sku FROM shop.orders AS o, o.lines AS l \
+         UNION SELECT VALUE a FROM UNPIVOT {'c': 1, 'd': 2} AS v AT a",
+        "{{'a', 'b', 'c', 'd'}}",
+    );
+}
+
+#[test]
+fn group_by_a_nested_collection_key() {
+    // Grouping keys may themselves be non-scalar: group orders by their
+    // full set of SKUs (structural equality of bags).
+    check(
+        "SELECT g_key AS skus, COUNT(*) AS n FROM shop.orders AS o \
+         GROUP BY (SELECT VALUE l.sku FROM o.lines AS l) AS g_key",
+        r#"{{
+            {'skus': {{'a', 'b'}}, 'n': 1},
+            {'skus': {{'a'}}, 'n': 1},
+            {'skus': {{}}, 'n': 1}
+        }}"#,
+    );
+}

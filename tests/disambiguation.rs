@@ -1,0 +1,147 @@
+//! §III schema-based disambiguation: "In SQL, the presence of schema
+//! allows this form of static disambiguation […] if schema is available,
+//! then SQL++ also allows expressions that are disambiguated using the
+//! schema."
+//!
+//! With a schema attached, `SELECT name FROM emp` works — the planner
+//! rewrites `name` to `e.name`. Without one, explicit variables are
+//! required (the Core rule).
+
+use sqlpp::Engine;
+use sqlpp_schema::{infer_collection, SqlppType, TupleType};
+use sqlpp_value::Value;
+
+fn data() -> Value {
+    sqlpp_formats::pnotation::from_pnotation(
+        "{{ {'name': 'Ann', 'salary': 90}, {'name': 'Bo', 'salary': 70} }}",
+    )
+    .unwrap()
+}
+
+fn schemaful_engine() -> Engine {
+    let engine = Engine::new();
+    let d = data();
+    let elem = infer_collection(&d).unwrap();
+    engine.register_with_schema("emp", d, &elem).unwrap();
+    engine
+}
+
+#[test]
+fn bare_identifiers_resolve_through_the_schema() {
+    let engine = schemaful_engine();
+    let r = engine
+        .query("SELECT name, salary FROM emp AS e WHERE salary > 80")
+        .unwrap();
+    assert_eq!(
+        r.canonical().to_string(),
+        "{{{'name': 'Ann', 'salary': 90}}}"
+    );
+}
+
+#[test]
+fn explain_shows_the_rewritten_variables() {
+    // "disambiguation results in the rewriting of the user-provided SQL++
+    // query into a SQL++ Core query that explicitly denotes the
+    // variables that were omitted" — visible in EXPLAIN.
+    let engine = schemaful_engine();
+    let plan = engine
+        .explain("SELECT name FROM emp AS e")
+        .unwrap();
+    assert!(plan.contains("e.name"), "{plan}");
+}
+
+#[test]
+fn without_schema_bare_identifiers_fall_back_dynamically_or_fail() {
+    let engine = Engine::new();
+    engine.register("emp", data());
+    // No schema: `salary` is not statically resolvable. The documented
+    // dynamic fallback (unique tuple attribute at runtime) still finds it.
+    let r = engine
+        .query("SELECT e.name AS name FROM emp AS e WHERE salary > 80")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    // But a name that exists nowhere is an error, not silence.
+    let err = engine
+        .query("SELECT e.name AS name FROM emp AS e WHERE bogus > 80")
+        .unwrap_err();
+    assert!(err.to_string().contains("bogus"), "{err}");
+}
+
+#[test]
+fn ambiguous_references_are_compile_time_errors() {
+    let engine = Engine::new();
+    let d = data();
+    let elem = infer_collection(&d).unwrap();
+    engine.register_with_schema("emp_a", d.clone(), &elem).unwrap();
+    engine.register_with_schema("emp_b", d, &elem).unwrap();
+    let err = engine
+        .query("SELECT name FROM emp_a AS a, emp_b AS b")
+        .unwrap_err();
+    assert!(err.to_string().contains("ambiguous"), "{err}");
+    assert!(err.to_string().contains("a, b"), "{err}");
+}
+
+#[test]
+fn in_scope_variables_beat_disambiguation() {
+    // A variable literally named `salary` shadows the schema attribute.
+    let engine = schemaful_engine();
+    let r = engine
+        .query(
+            "SELECT VALUE salary FROM emp AS e, [1000] AS salary",
+        )
+        .unwrap();
+    assert_eq!(r.canonical().to_string(), "{{1000, 1000}}");
+}
+
+#[test]
+fn create_table_attaches_its_declared_schema() {
+    let engine = Engine::new();
+    engine
+        .execute("CREATE TABLE t (id INT, label STRING)")
+        .unwrap();
+    // The empty table is queryable with bare column names right away.
+    let r = engine.query("SELECT id, label FROM t AS r").unwrap();
+    assert!(r.is_empty());
+    // And the schema is retrievable.
+    let schema = engine
+        .catalog()
+        .schema(&sqlpp::Name::parse("t"))
+        .expect("schema attached");
+    assert!(matches!(&*schema, SqlppType::Tuple(TupleType { fields, .. }) if fields.len() == 2));
+}
+
+#[test]
+fn query_results_are_stable_under_disambiguation() {
+    // The same query written explicitly and via disambiguation agree.
+    let engine = schemaful_engine();
+    let implicit = engine
+        .query("SELECT name FROM emp AS e ORDER BY salary")
+        .unwrap();
+    let explicit = engine
+        .query("SELECT e.name AS name FROM emp AS e ORDER BY e.salary")
+        .unwrap();
+    assert_eq!(implicit.canonical(), explicit.canonical());
+}
+
+#[test]
+fn engine_check_reports_schema_guaranteed_anomalies() {
+    let engine = schemaful_engine();
+    // Clean query: no warnings.
+    assert!(engine
+        .check("SELECT name FROM emp AS e WHERE salary > 0")
+        .unwrap()
+        .is_empty());
+    // Navigation the schema rules out.
+    let w = engine.check("SELECT VALUE e.bogus FROM emp AS e").unwrap();
+    assert_eq!(w.len(), 1, "{w:?}");
+    assert!(w[0].contains("bogus"));
+    // Arithmetic on a string attribute.
+    let w = engine.check("SELECT VALUE e.name * 2 FROM emp AS e").unwrap();
+    assert!(w.iter().any(|m| m.contains("never a number")), "{w:?}");
+    // Schemaless collections never warn.
+    engine.register("loose", sqlpp_value::bag![1i64]);
+    assert!(engine
+        .check("SELECT VALUE l.anything FROM loose AS l")
+        .unwrap()
+        .is_empty());
+}

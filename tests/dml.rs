@@ -1,0 +1,195 @@
+//! INSERT / DELETE / UPDATE over named collections, including schema
+//! enforcement on writes and SQL++ three-valued predicate semantics.
+
+use sqlpp::{Engine, ExecOutcome};
+use sqlpp_value::Value;
+
+fn engine() -> Engine {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "emp",
+            "{{ {'id': 1, 'name': 'Ann', 'sal': 90},
+                {'id': 2, 'name': 'Bo', 'sal': 70},
+                {'id': 3, 'name': 'Cy'} }}",
+        )
+        .unwrap();
+    engine
+}
+
+fn count(engine: &Engine, name: &str) -> usize {
+    engine
+        .query(&format!("SELECT VALUE COLL_COUNT(SELECT VALUE x FROM {name} AS x)"))
+        .unwrap()
+        .rows()[0]
+        .as_int()
+        .unwrap() as usize
+}
+
+#[test]
+fn insert_value_appends_one_element() {
+    let engine = engine();
+    let outcome = engine
+        .execute("INSERT INTO emp VALUE {'id': 4, 'name': 'Di', 'sal': 100}")
+        .unwrap();
+    assert!(matches!(outcome, ExecOutcome::Inserted { count: 1 }));
+    assert_eq!(count(&engine, "emp"), 4);
+    let r = engine
+        .query("SELECT VALUE e.name FROM emp AS e WHERE e.id = 4")
+        .unwrap();
+    assert_eq!(r.canonical().to_string(), "{{'Di'}}");
+}
+
+#[test]
+fn insert_query_appends_many() {
+    let engine = engine();
+    let outcome = engine
+        .execute(
+            "INSERT INTO arch SELECT VALUE {'id': e.id, 'was': e.sal} \
+             FROM emp AS e WHERE e.sal >= 70",
+        )
+        .unwrap();
+    assert!(matches!(outcome, ExecOutcome::Inserted { count: 2 }));
+    // Target did not exist: created as a bag.
+    assert_eq!(count(&engine, "arch"), 2);
+}
+
+#[test]
+fn delete_respects_three_valued_logic() {
+    let engine = engine();
+    // Cy has no sal: predicate is MISSING → NOT deleted.
+    let outcome = engine.execute("DELETE FROM emp AS e WHERE e.sal < 80").unwrap();
+    assert!(matches!(outcome, ExecOutcome::Deleted { count: 1 }), "{outcome:?}");
+    let left = engine
+        .query("SELECT VALUE e.name FROM emp AS e")
+        .unwrap();
+    assert_eq!(left.canonical().to_string(), "{{'Ann', 'Cy'}}");
+}
+
+#[test]
+fn delete_without_where_empties_the_collection() {
+    let engine = engine();
+    let outcome = engine.execute("DELETE FROM emp").unwrap();
+    assert!(matches!(outcome, ExecOutcome::Deleted { count: 3 }));
+    assert_eq!(count(&engine, "emp"), 0);
+}
+
+#[test]
+fn update_sets_and_creates_attributes() {
+    let engine = engine();
+    let outcome = engine
+        .execute(
+            "UPDATE emp AS e SET e.sal = e.sal + 10, e.band = 'senior' \
+             WHERE e.sal >= 80",
+        )
+        .unwrap();
+    assert!(matches!(outcome, ExecOutcome::Updated { count: 1 }));
+    let r = engine
+        .query("SELECT e.sal AS sal, e.band AS band FROM emp AS e WHERE e.id = 1")
+        .unwrap();
+    assert_eq!(
+        r.canonical().to_string(),
+        "{{{'sal': 100, 'band': 'senior'}}}"
+    );
+    // Untouched rows keep their shape (Cy still has no sal).
+    let cy = engine
+        .query("SELECT VALUE e.sal IS MISSING FROM emp AS e WHERE e.id = 3")
+        .unwrap();
+    assert_eq!(cy.canonical().to_string(), "{{true}}");
+}
+
+#[test]
+fn update_rhs_sees_the_old_row() {
+    let engine = Engine::new();
+    engine
+        .load_pnotation("t", "{{ {'a': 1, 'b': 10} }}")
+        .unwrap();
+    // Swap via old values, SQL-style: both RHS evaluate before writes.
+    engine.execute("UPDATE t SET t.a = t.b, t.b = t.a").unwrap();
+    let r = engine.query("SELECT VALUE t FROM t AS t").unwrap();
+    assert_eq!(r.canonical().to_string(), "{{{'a': 10, 'b': 1}}}");
+}
+
+#[test]
+fn update_missing_removes_the_attribute() {
+    let engine = engine();
+    engine
+        .execute("UPDATE emp AS e SET e.sal = MISSING WHERE e.id = 1")
+        .unwrap();
+    let r = engine
+        .query("SELECT VALUE e.sal IS MISSING FROM emp AS e WHERE e.id = 1")
+        .unwrap();
+    assert_eq!(r.canonical().to_string(), "{{true}}");
+}
+
+#[test]
+fn update_nested_path_creates_intermediate_tuples() {
+    let engine = engine();
+    engine
+        .execute("UPDATE emp AS e SET e.contact.city = 'Oslo' WHERE e.id = 2")
+        .unwrap();
+    let r = engine
+        .query("SELECT VALUE e.contact.city FROM emp AS e WHERE e.id = 2")
+        .unwrap();
+    assert_eq!(r.canonical().to_string(), "{{'Oslo'}}");
+}
+
+#[test]
+fn schema_is_enforced_on_writes() {
+    let engine = Engine::new();
+    engine.execute("CREATE TABLE typed (id INT, label STRING)").unwrap();
+    // Conforming insert works (columns are nullable per SQL).
+    engine
+        .execute("INSERT INTO typed VALUE {'id': 1, 'label': 'ok'}")
+        .unwrap();
+    // Extra attribute → closed-tuple violation.
+    let err = engine
+        .execute("INSERT INTO typed VALUE {'id': 2, 'label': 'x', 'oops': true}")
+        .unwrap_err();
+    assert!(err.to_string().contains("schema"), "{err}");
+    // Wrong type through UPDATE is rejected too, atomically.
+    let err = engine
+        .execute("UPDATE typed SET typed.id = 'not an int'")
+        .unwrap_err();
+    assert!(err.to_string().contains("schema"), "{err}");
+    // The collection is unchanged after the failed update.
+    let r = engine.query("SELECT VALUE t.id FROM typed AS t").unwrap();
+    assert_eq!(r.canonical().to_string(), "{{1}}");
+}
+
+#[test]
+fn dml_errors_are_clear() {
+    let engine = engine();
+    engine.register("scalar", Value::Int(7));
+    assert!(engine
+        .execute("INSERT INTO scalar VALUE 1")
+        .unwrap_err()
+        .to_string()
+        .contains("not a collection"));
+    assert!(engine
+        .execute("DELETE FROM nowhere")
+        .unwrap_err()
+        .to_string()
+        .contains("not bound"));
+    assert!(engine
+        .execute("UPDATE emp AS e SET e = 1")
+        .unwrap_err()
+        .to_string()
+        .contains("attribute"));
+}
+
+#[test]
+fn dml_statements_round_trip_through_the_printer() {
+    for src in [
+        "INSERT INTO hr.emp VALUE {'id': 9}",
+        "INSERT INTO hr.emp SELECT VALUE x FROM other AS x",
+        "DELETE FROM hr.emp AS e WHERE e.id = 1",
+        "UPDATE hr.emp AS e SET e.sal = 0, e.flag = TRUE WHERE e.id = 2",
+    ] {
+        let s1 = sqlpp_syntax::parse_statement(src).unwrap();
+        let printed = sqlpp_syntax::print_statement(&s1);
+        let s2 = sqlpp_syntax::parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("{printed}: {e}"));
+        assert_eq!(s1, s2, "{printed}");
+    }
+}

@@ -1,0 +1,184 @@
+//! The public API surface a downstream user exercises: data loading,
+//! prepared statements, parameters, EXPLAIN, CREATE TABLE execution,
+//! relational views, error reporting, and session sharing.
+
+use sqlpp::{Engine, Error, ExecOutcome, SessionConfig, TypingMode};
+use sqlpp_value::Value;
+
+#[test]
+fn loading_all_formats_through_the_engine() {
+    let engine = Engine::new();
+    engine
+        .load_json("j", r#"[{"a": 1}, {"a": 2}]"#)
+        .unwrap();
+    engine.load_json("jl", "{\"a\": 3}\n{\"a\": 4}\n").unwrap();
+    engine.load_csv("c", "a,b\n5,x\n6,y\n").unwrap();
+    engine.load_pnotation("p", "{{ {'a': 7} }}").unwrap();
+    let bytes = sqlpp_formats::ion_lite::to_ion_lite(&sqlpp_value::rows![{"a" => 8i64}]);
+    engine.load_ion_lite("i", &bytes).unwrap();
+    for (name, expected) in [("j", 2), ("jl", 2), ("c", 2), ("p", 1), ("i", 1)] {
+        let r = engine
+            .query(&format!("SELECT VALUE t.a FROM {name} AS t"))
+            .unwrap();
+        assert_eq!(r.len(), expected, "{name}");
+    }
+}
+
+#[test]
+fn prepared_statements_are_reusable_and_parameterized() {
+    let engine = Engine::new();
+    engine
+        .load_pnotation("t", "{{ {'x': 1}, {'x': 2}, {'x': 3} }}")
+        .unwrap();
+    let plan = engine
+        .prepare("SELECT VALUE t.x FROM t AS t WHERE t.x >= ? AND t.x <= ?")
+        .unwrap();
+    let r1 = plan
+        .execute_with_params(&engine, vec![Value::Int(2), Value::Int(3)])
+        .unwrap();
+    assert_eq!(r1.canonical().to_string(), "{{2, 3}}");
+    let r2 = plan
+        .execute_with_params(&engine, vec![Value::Int(1), Value::Int(1)])
+        .unwrap();
+    assert_eq!(r2.canonical().to_string(), "{{1}}");
+    // Missing parameters are a clear error.
+    let err = plan.execute(&engine).unwrap_err();
+    assert!(err.to_string().contains("parameter"), "{err}");
+}
+
+#[test]
+fn create_table_registers_an_empty_typed_collection() {
+    let engine = Engine::new();
+    let outcome = engine
+        .execute(
+            "CREATE TABLE emp_mixed (id INT, name STRING, \
+             projects UNIONTYPE<STRING, ARRAY<STRING>>)",
+        )
+        .unwrap();
+    match outcome {
+        ExecOutcome::Created { name, row_type } => {
+            assert_eq!(name, "emp_mixed");
+            assert!(row_type.to_string().contains("union<"), "{row_type}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The (empty) collection is queryable immediately.
+    let r = engine.query("SELECT VALUE e FROM emp_mixed AS e").unwrap();
+    assert!(r.is_empty());
+}
+
+#[test]
+fn explain_shows_the_lowered_pipeline() {
+    let engine = Engine::new();
+    let plan = engine
+        .explain("SELECT AVG(e.x) AS a FROM t AS e GROUP BY e.g")
+        .unwrap();
+    assert!(plan.contains("COLL_AVG"), "{plan}");
+    assert!(plan.contains("group by"), "{plan}");
+    assert!(plan.contains("select value"), "{plan}");
+}
+
+#[test]
+fn unknown_names_are_reported_with_the_dotted_path() {
+    let engine = Engine::new();
+    let err = engine
+        .query("SELECT VALUE x FROM hr.nowhere AS x")
+        .unwrap_err();
+    assert!(matches!(err, Error::Eval(_)));
+    assert!(err.to_string().contains("hr.nowhere"), "{err}");
+}
+
+#[test]
+fn syntax_errors_carry_positions() {
+    let engine = Engine::new();
+    let err = engine.query("SELECT FROM WHERE").unwrap_err();
+    assert!(matches!(err, Error::Syntax(_)));
+    assert!(err.to_string().contains("line 1"), "{err}");
+}
+
+#[test]
+fn sessions_share_the_catalog_but_not_the_config() {
+    let base = Engine::new();
+    base.load_pnotation("t", "{{ {'x': 'not a number'} }}").unwrap();
+    let strict = base.with_config(SessionConfig {
+        typing: TypingMode::StrictError,
+        ..SessionConfig::default()
+    });
+    // Same data visible to both…
+    assert_eq!(base.query("SELECT VALUE t FROM t AS t").unwrap().len(), 1);
+    // …different behavior per session.
+    assert!(base.query("SELECT VALUE t.x + 1 FROM t AS t").is_ok());
+    assert!(strict.query("SELECT VALUE t.x + 1 FROM t AS t").is_err());
+    // Writes through one session are visible to the other.
+    strict.register("u", sqlpp_value::bag![1i64]);
+    assert_eq!(base.query("SELECT VALUE u FROM u AS u").unwrap().len(), 1);
+}
+
+#[test]
+fn relational_view_for_jdbc_style_clients() {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "t",
+            "{{ {'id': 1, 'note': 'hi'}, {'id': 2} }}",
+        )
+        .unwrap();
+    let r = engine
+        .query("SELECT t.id, t.note AS note FROM t AS t")
+        .unwrap();
+    let (cols, rows) = r.as_relational();
+    assert_eq!(cols, vec!["id", "note"]);
+    assert_eq!(rows[1][1], Value::Null, "MISSING surfaced as NULL (§IV-B)");
+}
+
+#[test]
+fn pivot_results_are_tuples_not_bags() {
+    let engine = Engine::new();
+    engine
+        .load_pnotation("prices", "{{ {'s': 'a', 'p': 1}, {'s': 'b', 'p': 2} }}")
+        .unwrap();
+    let r = engine
+        .query("PIVOT x.p AT x.s FROM prices AS x")
+        .unwrap();
+    assert!(matches!(r.value(), Value::Tuple(_)));
+    assert_eq!(r.value().path("b"), Value::Int(2));
+}
+
+#[test]
+fn run_str_handles_both_queries_and_expressions() {
+    let engine = Engine::new();
+    assert_eq!(
+        engine.run_str("1 + 2 * 3").unwrap(),
+        Value::Int(7)
+    );
+    engine.load_pnotation("t", "{{1, 2}}").unwrap();
+    assert_eq!(
+        engine.run_str("SELECT VALUE x FROM t AS x").unwrap().to_string(),
+        "{{1, 2}}"
+    );
+    // Garbage reports the *query* parse error (more useful than the
+    // expression one).
+    assert!(engine.run_str("SELECT $$$$").is_err());
+}
+
+#[test]
+fn values_rows_are_queryable() {
+    let engine = Engine::new();
+    let r = engine.query("VALUES (1, 'a'), (2, 'b')").unwrap();
+    assert_eq!(r.len(), 2);
+    let r2 = engine
+        .query("SELECT VALUE v[1] FROM (VALUES (1, 'a'), (2, 'b')) AS v")
+        .unwrap();
+    assert_eq!(r2.canonical().to_string(), "{{'a', 'b'}}");
+}
+
+#[test]
+fn deeply_nested_construction_round_trips() {
+    let engine = Engine::new();
+    let v = engine
+        .eval_expr("{'a': [{'b': <<1, {'c': null}>>}], 'd': [[]]}")
+        .unwrap();
+    let text = v.to_string();
+    let back = sqlpp_formats::pnotation::from_pnotation(&text).unwrap();
+    assert!(sqlpp_value::cmp::deep_eq(&v, &back));
+}

@@ -1,0 +1,124 @@
+//! Format independence, end to end (§I tenet 5): the *identical query
+//! text* over the same logical data loaded from four different formats
+//! produces the same answer.
+
+use proptest::prelude::*;
+use sqlpp::Engine;
+use sqlpp_formats::{CsvFormat, DataFormat, IonLiteFormat, JsonFormat, PNotationFormat};
+use sqlpp_value::{rows, Tuple, Value};
+
+fn tabular_sample() -> Value {
+    rows![
+        {"id" => 1i64, "city" => "Oslo", "pop" => 700i64},
+        {"id" => 2i64, "city" => "Pune", "pop" => 3100i64},
+        {"id" => 3i64, "city" => "Lima", "pop" => Value::Null},
+    ]
+}
+
+const QUERY: &str = "SELECT c.city AS city FROM cities AS c \
+                     WHERE c.pop > 1000 OR c.pop IS NULL";
+
+#[test]
+fn identical_query_over_four_formats() {
+    let data = tabular_sample();
+    let formats: Vec<Box<dyn DataFormat>> = vec![
+        Box::new(JsonFormat),
+        Box::new(PNotationFormat),
+        Box::new(CsvFormat::default()),
+        Box::new(IonLiteFormat),
+    ];
+    let reference = {
+        let engine = Engine::new();
+        engine.register("cities", data.clone());
+        engine.query(QUERY).unwrap().canonical()
+    };
+    for fmt in formats {
+        let bytes = fmt.write(&data).unwrap();
+        let engine = Engine::new();
+        engine.register("cities", fmt.read(&bytes).unwrap());
+        let got = engine.query(QUERY).unwrap().canonical();
+        assert_eq!(got, reference, "format {} diverged", fmt.name());
+    }
+}
+
+#[test]
+fn nested_data_round_trips_where_the_format_can_express_it() {
+    // JSON / pnotation / ion-lite carry nesting; CSV is excluded (flat).
+    let nested = sqlpp_formats::pnotation::from_pnotation(
+        "{{ {'id': 1, 'kids': [{'k': 1}, {'k': 2}]}, {'id': 2, 'kids': []} }}",
+    )
+    .unwrap();
+    let q = "SELECT VALUE k.k FROM t AS d, d.kids AS k";
+    let reference = {
+        let engine = Engine::new();
+        engine.register("t", nested.clone());
+        engine.query(q).unwrap().canonical()
+    };
+    let formats: Vec<Box<dyn DataFormat>> = vec![
+        Box::new(JsonFormat),
+        Box::new(PNotationFormat),
+        Box::new(IonLiteFormat),
+    ];
+    for fmt in formats {
+        let bytes = fmt.write(&nested).unwrap();
+        let engine = Engine::new();
+        engine.register("t", fmt.read(&bytes).unwrap());
+        assert_eq!(
+            engine.query(q).unwrap().canonical(),
+            reference,
+            "format {} diverged",
+            fmt.name()
+        );
+    }
+}
+
+/// Values expressible in *every* format's common subset: flat tuples of
+/// ints/strings/bools (CSV's world).
+fn arb_flat_rows() -> impl Strategy<Value = Value> {
+    proptest::collection::vec(
+        (
+            0i64..1000,
+            "[a-z]{1,6}",
+            any::<bool>(),
+        )
+            .prop_map(|(n, s, b)| {
+                let mut t = Tuple::new();
+                t.insert("n", Value::Int(n));
+                t.insert("s", Value::Str(s));
+                t.insert("b", Value::Bool(b));
+                Value::Tuple(t)
+            }),
+        1..10,
+    )
+    .prop_map(Value::Bag)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_formats_agree_on_flat_data(data in arb_flat_rows()) {
+        let q = "SELECT VALUE t.n FROM t AS t WHERE t.b";
+        let reference = {
+            let engine = Engine::new();
+            engine.register("t", data.clone());
+            engine.query(q).unwrap().canonical()
+        };
+        let formats: Vec<Box<dyn DataFormat>> = vec![
+            Box::new(JsonFormat),
+            Box::new(PNotationFormat),
+            Box::new(CsvFormat::default()),
+            Box::new(IonLiteFormat),
+        ];
+        for fmt in formats {
+            let bytes = fmt.write(&data).unwrap();
+            let engine = Engine::new();
+            engine.register("t", fmt.read(&bytes).unwrap());
+            prop_assert_eq!(
+                engine.query(q).unwrap().canonical(),
+                reference.clone(),
+                "format {} diverged", fmt.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! ROLLUP / CUBE / GROUPING SETS (§V-B: "SQL has additional analytical
+//! features such as CUBE, ROLLUP, and GROUPING SETS for grouped
+//! aggregation … These features are wholly compatible with SQL++").
+//!
+//! Each lowers to one GROUP … GROUP AS per grouping set, appended — the
+//! Core stays tiny; the analytics are rewritings, like everything else.
+
+use sqlpp::Engine;
+use sqlpp_formats::pnotation::from_pnotation;
+
+fn engine() -> Engine {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "sales",
+            r#"{{
+            {'region': 'east', 'product': 'ax', 'amount': 10},
+            {'region': 'east', 'product': 'bx', 'amount': 20},
+            {'region': 'west', 'product': 'ax', 'amount': 30},
+            {'region': 'west', 'product': 'ax', 'amount': 5}
+        }}"#,
+        )
+        .unwrap();
+    engine
+}
+
+fn check(query: &str, expected: &str) {
+    let engine = engine();
+    let want = from_pnotation(expected).unwrap();
+    let got = engine.query(query).unwrap();
+    assert!(
+        got.matches(&want),
+        "query {query}\n expected {want}\n got      {}",
+        got.value()
+    );
+}
+
+#[test]
+fn rollup_produces_prefix_subtotals_and_grand_total() {
+    check(
+        "SELECT s.region, s.product, SUM(s.amount) AS total \
+         FROM sales AS s GROUP BY ROLLUP (s.region, s.product)",
+        r#"{{
+            {'region': 'east', 'product': 'ax', 'total': 10},
+            {'region': 'east', 'product': 'bx', 'total': 20},
+            {'region': 'west', 'product': 'ax', 'total': 35},
+            {'region': 'east', 'product': null, 'total': 30},
+            {'region': 'west', 'product': null, 'total': 35},
+            {'region': null, 'product': null, 'total': 65}
+        }}"#,
+    );
+}
+
+#[test]
+fn cube_produces_every_subset() {
+    check(
+        "SELECT s.region, s.product, SUM(s.amount) AS total \
+         FROM sales AS s GROUP BY CUBE (s.region, s.product)",
+        r#"{{
+            {'region': 'east', 'product': 'ax', 'total': 10},
+            {'region': 'east', 'product': 'bx', 'total': 20},
+            {'region': 'west', 'product': 'ax', 'total': 35},
+            {'region': 'east', 'product': null, 'total': 30},
+            {'region': 'west', 'product': null, 'total': 35},
+            {'region': null, 'product': 'ax', 'total': 45},
+            {'region': null, 'product': 'bx', 'total': 20},
+            {'region': null, 'product': null, 'total': 65}
+        }}"#,
+    );
+}
+
+#[test]
+fn grouping_sets_take_exactly_the_requested_sets() {
+    check(
+        "SELECT s.region, s.product, COUNT(*) AS n \
+         FROM sales AS s \
+         GROUP BY GROUPING SETS ((s.region), (s.product), ())",
+        r#"{{
+            {'region': 'east', 'product': null, 'n': 2},
+            {'region': 'west', 'product': null, 'n': 2},
+            {'region': null, 'product': 'ax', 'n': 3},
+            {'region': null, 'product': 'bx', 'n': 1},
+            {'region': null, 'product': null, 'n': 4}
+        }}"#,
+    );
+}
+
+#[test]
+fn grouping_function_distinguishes_rollup_nulls_from_data_nulls() {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "t",
+            "{{ {'k': null, 'v': 1}, {'k': 'a', 'v': 2} }}",
+        )
+        .unwrap();
+    let want = from_pnotation(
+        r#"{{
+            {'k': null, 'g': 0, 'v': 1},
+            {'k': 'a', 'g': 0, 'v': 2},
+            {'k': null, 'g': 1, 'v': 3}
+        }}"#,
+    )
+    .unwrap();
+    let got = engine
+        .query(
+            "SELECT t.k, GROUPING(t.k) AS g, SUM(t.v) AS v \
+             FROM t AS t GROUP BY ROLLUP (t.k)",
+        )
+        .unwrap();
+    assert!(got.matches(&want), "got {}", got.value());
+}
+
+#[test]
+fn rollup_emits_the_grand_total_even_on_empty_input() {
+    let engine = Engine::new();
+    engine.load_pnotation("empty", "{{}}").unwrap();
+    let r = engine
+        .query(
+            "SELECT e.k, COUNT(*) AS n FROM empty AS e GROUP BY ROLLUP (e.k)",
+        )
+        .unwrap();
+    assert_eq!(r.canonical().to_string(), "{{{'k': null, 'n': 0}}}");
+}
+
+#[test]
+fn group_as_composes_with_rollup() {
+    // SQL++ twist: each grouping set's groups still expose GROUP AS.
+    check(
+        "SELECT s.region, \
+                (SELECT VALUE v.s.amount FROM g AS v) AS amounts \
+         FROM sales AS s GROUP BY ROLLUP (s.region) GROUP AS g",
+        r#"{{
+            {'region': 'east', 'amounts': {{10, 20}}},
+            {'region': 'west', 'amounts': {{30, 5}}},
+            {'region': null, 'amounts': {{10, 20, 30, 5}}}
+        }}"#,
+    );
+}
+
+#[test]
+fn modifiers_round_trip_through_the_printer() {
+    for q in [
+        "SELECT s.region, SUM(s.amount) AS t FROM sales AS s \
+         GROUP BY ROLLUP (s.region, s.product)",
+        "SELECT s.region, SUM(s.amount) AS t FROM sales AS s \
+         GROUP BY CUBE (s.region)",
+        "SELECT s.region, COUNT(*) AS n FROM sales AS s \
+         GROUP BY GROUPING SETS ((s.region), ())",
+    ] {
+        let ast1 = sqlpp_syntax::parse_query(q).unwrap();
+        let printed = sqlpp_syntax::print_query(&ast1);
+        let ast2 = sqlpp_syntax::parse_query(&printed)
+            .unwrap_or_else(|e| panic!("{printed}: {e}"));
+        assert_eq!(ast1, ast2, "{printed}");
+    }
+}
+
+#[test]
+fn grouping_outside_multi_set_grouping_is_zero() {
+    check(
+        "SELECT s.region, GROUPING(s.region) AS g FROM sales AS s \
+         GROUP BY s.region",
+        "{{ {'region': 'east', 'g': 0}, {'region': 'west', 'g': 0} }}",
+    );
+}

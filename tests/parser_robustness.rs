@@ -1,0 +1,79 @@
+//! Parser robustness: arbitrary input must produce an error or an AST —
+//! never a panic, never an unbounded loop. (A production front end's
+//! minimum bar; fuzzing-lite with proptest.)
+
+use proptest::prelude::*;
+use sqlpp_syntax::{lex, parse_expr, parse_query, parse_statement};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC{0,120}") {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(src in "\\PC{0,120}") {
+        let _ = parse_query(&src);
+        let _ = parse_expr(&src);
+        let _ = parse_statement(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sql_shaped_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("VALUE"), Just("FROM"), Just("WHERE"),
+                Just("GROUP"), Just("BY"), Just("AS"), Just("ORDER"),
+                Just("PIVOT"), Just("UNPIVOT"), Just("AT"), Just("OVER"),
+                Just("ROLLUP"), Just("("), Just(")"), Just("{{"), Just("}}"),
+                Just("["), Just("]"), Just(","), Just("."), Just("*"),
+                Just("="), Just("x"), Just("y"), Just("1"), Just("'s'"),
+                Just("NULL"), Just("MISSING"), Just("AND"), Just("NOT"),
+            ],
+            0..24,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse_query(&src);
+        let _ = parse_expr(&src);
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_without_stack_overflow() {
+    // Shallow nesting parses; adversarial depth is *rejected* by the
+    // parser's depth guard rather than crashing the process. Run on an
+    // explicit 16 MB thread so the check is independent of the test
+    // runner's (2 MB, debug-profile) stack size — what's under test is
+    // the guard, not the harness.
+    std::thread::Builder::new()
+        .stack_size(16 * 1024 * 1024)
+        .spawn(|| {
+            assert!(
+                parse_expr(&format!("{}1{}", "(".repeat(32), ")".repeat(32))).is_ok()
+            );
+            for depth in [512usize, 100_000] {
+                let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+                let err = parse_expr(&src).unwrap_err();
+                assert!(err.to_string().contains("too deep"), "{err}");
+            }
+            let deep_arrays =
+                format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+            assert!(parse_expr(&deep_arrays).is_err());
+        })
+        .expect("spawn")
+        .join()
+        .expect("no panic");
+}
+
+#[test]
+fn error_spans_never_exceed_the_source() {
+    for src in ["SELECT @", "{{", "'unterminated", "a ~ b", "e.\u{7f}"] {
+        if let Err(e) = parse_query(src) {
+            assert!(e.span().start <= src.len(), "{src:?}");
+            assert!(e.span().end <= src.len() + 1, "{src:?}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate algebraic properties: comparison laws, serialization round
+//! trips, and parser/printer inverses on generated inputs.
+
+use proptest::prelude::*;
+use sqlpp_syntax::{parse_expr, parse_query, print_expr, print_query};
+use sqlpp_value::cmp::{deep_eq, total_cmp};
+use sqlpp_value::{canonicalize, Tuple, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        Just(Value::Missing),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Float),
+        "[ -~]{0,8}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..4).prop_map(Value::Bytes),
+        (-10_000i64..10_000, 0u32..6)
+            .prop_map(|(m, s)| Value::Decimal(sqlpp_value::Decimal::new(m as i128, s))),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Bag),
+            proptest::collection::vec(("[a-e]{1,2}", inner), 0..4).prop_map(|pairs| {
+                let mut t = Tuple::new();
+                for (k, v) in pairs {
+                    t.insert(k, v);
+                }
+                Value::Tuple(t)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn total_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = total_cmp(&a, &b);
+        let ba = total_cmp(&b, &a);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab == std::cmp::Ordering::Equal, deep_eq(&a, &b));
+    }
+
+    #[test]
+    fn total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let (ab, bc, ac) = (total_cmp(&a, &b), total_cmp(&b, &c), total_cmp(&a, &c));
+        if ab != Greater && bc != Greater {
+            prop_assert_ne!(ac, Greater, "{:?} <= {:?} <= {:?}", a, b, c);
+        }
+    }
+
+    #[test]
+    fn hash_is_consistent_with_deep_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::Hasher;
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            sqlpp_value::hash::hash_value(v, &mut s);
+            s.finish()
+        };
+        if deep_eq(&a, &b) {
+            prop_assert_eq!(h(&a), h(&b), "equal values must hash equal");
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_equality_preserving(v in arb_value()) {
+        let c1 = canonicalize(&v);
+        let c2 = canonicalize(&c1);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(deep_eq(&v, &c1));
+    }
+
+    #[test]
+    fn ion_lite_round_trips_every_value(v in arb_value()) {
+        let bytes = sqlpp_formats::ion_lite::to_ion_lite(&v);
+        let back = sqlpp_formats::ion_lite::from_ion_lite(&bytes).unwrap();
+        // Exact (structural) equality — ion-lite is lossless, including
+        // NaN canonicalization handled by deep_eq for floats.
+        prop_assert!(deep_eq(&back, &v), "{} != {}", back, v);
+    }
+
+    #[test]
+    fn pnotation_round_trips_up_to_numeric_widening(v in arb_value()) {
+        let text = v.to_string();
+        let back = sqlpp_formats::pnotation::from_pnotation(&text)
+            .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
+        prop_assert!(deep_eq(&back, &v), "{} != {}", back, v);
+    }
+}
+
+/// Expression sources for the parse∘print = id property: built from
+/// templates so they are always valid.
+fn expr_corpus() -> Vec<String> {
+    let atoms = ["1", "x.a", "'s'", "NULL", "MISSING", "[1, 2]", "{'k': v}"];
+    let mut out: Vec<String> = Vec::new();
+    for a in atoms {
+        for b in atoms {
+            out.push(format!("{a} + {b}"));
+            out.push(format!("{a} = {b} AND NOT ({b} < {a})"));
+            out.push(format!("CASE WHEN {a} = {b} THEN {a} ELSE {b} END"));
+            out.push(format!("{a} IN ({b}, {a})"));
+        }
+    }
+    out.push("COLL_AVG(SELECT VALUE t.x FROM c AS t WHERE t.y BETWEEN 1 AND 9)".into());
+    out.push("EXISTS (FROM c AS t SELECT VALUE t)".into());
+    out
+}
+
+#[test]
+fn print_parse_is_identity_on_expressions() {
+    for src in expr_corpus() {
+        let e1 = parse_expr(&src).unwrap_or_else(|err| panic!("{src}: {err}"));
+        let printed = print_expr(&e1);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed}: {err}"));
+        assert_eq!(e1, e2, "round trip changed {src} (printed {printed})");
+    }
+}
+
+#[test]
+fn print_parse_is_identity_on_the_corpus_queries() {
+    for case in sqlpp_compat_kit::corpus() {
+        let Ok(q1) = parse_query(case.query) else {
+            continue; // expression-form cases (L16)
+        };
+        let printed = print_query(&q1);
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("case {}: reparse of {printed}: {e}", case.id));
+        assert_eq!(q1, q2, "case {} changed under print∘parse", case.id);
+    }
+}

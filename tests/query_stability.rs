@@ -1,0 +1,103 @@
+//! The query-stability tenet (§I): "the result of a working query should
+//! not change if a schema is imposed on existing data, so long as the
+//! underlying data itself remains the same."
+//!
+//! We infer a schema from data, impose it (validated registration), and
+//! check the engine produces byte-identical results; then we check that
+//! conforming data admits the inferred schema by construction (proptest).
+
+use proptest::prelude::*;
+use sqlpp::Engine;
+use sqlpp_schema::{infer_collection, infer_value, Validator};
+use sqlpp_value::{Tuple, Value};
+
+fn sample_data() -> Value {
+    sqlpp_formats::pnotation::from_pnotation(
+        r#"{{
+        {'id': 1, 'name': 'a', 'tags': ['x', 'y'], 'meta': {'v': 1}},
+        {'id': 2, 'name': 'b', 'tags': []},
+        {'id': 3, 'name': 'c', 'tags': ['z'], 'meta': {'v': 2}, 'extra': true}
+    }}"#,
+    )
+    .unwrap()
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT d.id, d.name AS name FROM t AS d",
+    "SELECT VALUE g FROM t AS d, d.tags AS g",
+    "SELECT d.id FROM t AS d WHERE d.meta.v > 1",
+    "SELECT d.id FROM t AS d WHERE d.extra IS NOT MISSING",
+    "SELECT COUNT(*) AS n FROM t AS d",
+];
+
+#[test]
+fn imposing_the_inferred_schema_changes_nothing() {
+    let data = sample_data();
+    let schemaless = Engine::new();
+    schemaless.register("t", data.clone());
+
+    let element_type = infer_collection(&data).expect("collection");
+    let schemaful = Engine::new();
+    schemaful
+        .register_with_schema("t", data, &element_type)
+        .expect("inferred schema admits its source");
+
+    for q in QUERIES {
+        let a = schemaless.query(q).unwrap().canonical();
+        let b = schemaful.query(q).unwrap().canonical();
+        assert_eq!(a, b, "schema imposition changed the result of {q}");
+    }
+}
+
+#[test]
+fn nonconforming_data_is_rejected_at_registration() {
+    let data = sample_data();
+    let element_type = infer_collection(&data).expect("collection");
+    let engine = Engine::new();
+    let bad = sqlpp_value::bag![Value::Int(42)];
+    let err = engine.register_with_schema("t", bad, &element_type);
+    assert!(err.is_err(), "a bare integer is not an employee tuple");
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        "[a-z]{0,4}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Bag),
+            proptest::collection::vec(("[a-d]", inner), 0..4).prop_map(|pairs| {
+                let mut t = Tuple::new();
+                for (k, v) in pairs {
+                    t.insert(k, v);
+                }
+                Value::Tuple(t)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn inference_is_sound(v in arb_value()) {
+        // The inferred type admits the value it was inferred from…
+        let ty = infer_value(&v);
+        prop_assert!(ty.admits(&v), "{ty} should admit {v}");
+    }
+
+    #[test]
+    fn validator_accepts_inferred_collections(
+        items in proptest::collection::vec(arb_value(), 0..8)
+    ) {
+        let coll = Value::Bag(items);
+        if let Some(elem) = infer_collection(&coll) {
+            prop_assert!(Validator::new(elem).is_valid(&coll));
+        }
+    }
+}

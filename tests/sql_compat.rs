@@ -1,0 +1,237 @@
+//! The backward-compatibility tenet (§I): "Existing SQL queries should
+//! continue to work, with identical syntax and semantics, in SQL query
+//! processors that are extended to provide SQL++."
+//!
+//! A battery of SQL-92-style queries over flat, homogeneous, fully typed
+//! tables — checked for the documented answers AND for agreement between
+//! the two modes (on pure SQL over clean relational data the compat flag
+//! must be unobservable).
+
+use sqlpp::{CompatMode, Engine, SessionConfig};
+use sqlpp_formats::pnotation::from_pnotation;
+
+fn engines() -> (Engine, Engine) {
+    let compat = Engine::new();
+    compat
+        .load_pnotation(
+            "emp",
+            r#"{{
+            {'empno': 1, 'ename': 'SMITH', 'job': 'CLERK',   'sal': 800,  'deptno': 20, 'comm': null},
+            {'empno': 2, 'ename': 'ALLEN', 'job': 'SALES',   'sal': 1600, 'deptno': 30, 'comm': 300},
+            {'empno': 3, 'ename': 'WARD',  'job': 'SALES',   'sal': 1250, 'deptno': 30, 'comm': 500},
+            {'empno': 4, 'ename': 'JONES', 'job': 'MANAGER', 'sal': 2975, 'deptno': 20, 'comm': null},
+            {'empno': 5, 'ename': 'BLAKE', 'job': 'MANAGER', 'sal': 2850, 'deptno': 30, 'comm': null},
+            {'empno': 6, 'ename': 'KING',  'job': 'PRESIDENT', 'sal': 5000, 'deptno': 10, 'comm': null}
+        }}"#,
+        )
+        .unwrap();
+    compat
+        .load_pnotation(
+            "dept",
+            r#"{{
+            {'deptno': 10, 'dname': 'ACCOUNTING'},
+            {'deptno': 20, 'dname': 'RESEARCH'},
+            {'deptno': 30, 'dname': 'SALES'},
+            {'deptno': 40, 'dname': 'OPERATIONS'}
+        }}"#,
+        )
+        .unwrap();
+    let composable = compat.with_config(SessionConfig {
+        compat: CompatMode::Composable,
+        ..SessionConfig::default()
+    });
+    (compat, composable)
+}
+
+fn check(query: &str, expected: &str) {
+    let (compat, composable) = engines();
+    let want = from_pnotation(expected).expect("expected parses");
+    let got_compat = compat.query(query).expect("compat mode runs");
+    assert!(
+        got_compat.matches(&want),
+        "compat mode:\n query   {query}\n expected {want}\n got      {}",
+        got_compat.value()
+    );
+    let got_composable = composable.query(query).expect("composable mode runs");
+    assert!(
+        got_composable.matches(&want),
+        "composable mode:\n query   {query}\n got      {}",
+        got_composable.value()
+    );
+}
+
+#[test]
+fn projection_and_filter() {
+    check(
+        "SELECT e.ename AS ename FROM emp AS e WHERE e.sal > 2800",
+        "{{ {'ename': 'JONES'}, {'ename': 'BLAKE'}, {'ename': 'KING'} }}",
+    );
+}
+
+#[test]
+fn arithmetic_and_aliases() {
+    check(
+        "SELECT e.ename AS ename, e.sal * 12 AS annual FROM emp AS e WHERE e.empno = 1",
+        "{{ {'ename': 'SMITH', 'annual': 9600} }}",
+    );
+}
+
+#[test]
+fn null_semantics_in_where() {
+    // comm > 100 is NULL for null comms → excluded, no error.
+    check(
+        "SELECT e.ename AS ename FROM emp AS e WHERE e.comm > 100",
+        "{{ {'ename': 'ALLEN'}, {'ename': 'WARD'} }}",
+    );
+    check(
+        "SELECT e.ename AS ename FROM emp AS e WHERE e.comm IS NULL AND e.deptno = 20",
+        "{{ {'ename': 'SMITH'}, {'ename': 'JONES'} }}",
+    );
+}
+
+#[test]
+fn group_by_with_having_and_aggregates() {
+    check(
+        "SELECT e.deptno, COUNT(*) AS n, SUM(e.sal) AS total, MIN(e.sal) AS lo, \
+                MAX(e.sal) AS hi \
+         FROM emp AS e GROUP BY e.deptno HAVING COUNT(*) >= 2",
+        "{{ {'deptno': 20, 'n': 2, 'total': 3775, 'lo': 800, 'hi': 2975},
+            {'deptno': 30, 'n': 3, 'total': 5700, 'lo': 1250, 'hi': 2850} }}",
+    );
+}
+
+#[test]
+fn aggregates_ignore_nulls() {
+    check(
+        "SELECT COUNT(e.comm) AS n, AVG(e.comm) AS a FROM emp AS e",
+        "{{ {'n': 2, 'a': 400} }}",
+    );
+}
+
+#[test]
+fn joins_inner_and_left() {
+    check(
+        "SELECT d.dname AS dname, e.ename AS ename \
+         FROM dept AS d JOIN emp AS e ON e.deptno = d.deptno \
+         WHERE e.job = 'MANAGER'",
+        "{{ {'dname': 'RESEARCH', 'ename': 'JONES'},
+            {'dname': 'SALES', 'ename': 'BLAKE'} }}",
+    );
+    check(
+        "SELECT d.dname AS dname, e.ename AS ename \
+         FROM dept AS d LEFT JOIN emp AS e ON e.deptno = d.deptno AND e.job = 'PRESIDENT'",
+        "{{ {'dname': 'ACCOUNTING', 'ename': 'KING'},
+            {'dname': 'RESEARCH', 'ename': null},
+            {'dname': 'SALES', 'ename': null},
+            {'dname': 'OPERATIONS', 'ename': null} }}",
+    );
+}
+
+#[test]
+fn order_by_limit_offset() {
+    let (compat, _) = engines();
+    let r = compat
+        .query("SELECT VALUE e.ename FROM emp AS e ORDER BY e.sal DESC LIMIT 3 OFFSET 1")
+        .unwrap();
+    let names: Vec<String> = r
+        .rows()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, vec!["JONES", "BLAKE", "ALLEN"]);
+}
+
+#[test]
+fn in_between_like_predicates() {
+    check(
+        "SELECT e.ename AS ename FROM emp AS e \
+         WHERE e.job IN ('CLERK', 'PRESIDENT')",
+        "{{ {'ename': 'SMITH'}, {'ename': 'KING'} }}",
+    );
+    check(
+        "SELECT e.ename AS ename FROM emp AS e WHERE e.sal BETWEEN 1250 AND 1600",
+        "{{ {'ename': 'ALLEN'}, {'ename': 'WARD'} }}",
+    );
+    check(
+        "SELECT e.ename AS ename FROM emp AS e WHERE e.ename LIKE '_LAKE'",
+        "{{ {'ename': 'BLAKE'} }}",
+    );
+}
+
+#[test]
+fn case_and_functions() {
+    check(
+        "SELECT e.ename AS ename, \
+                CASE WHEN e.sal >= 2800 THEN 'high' ELSE 'low' END AS band \
+         FROM emp AS e WHERE e.deptno = 20",
+        "{{ {'ename': 'SMITH', 'band': 'low'}, {'ename': 'JONES', 'band': 'high'} }}",
+    );
+    check(
+        "SELECT VALUE LOWER(e.ename) FROM emp AS e WHERE e.empno = 6",
+        "{{'king'}}",
+    );
+    check(
+        "SELECT VALUE COALESCE(e.comm, 0) FROM emp AS e WHERE e.deptno = 30",
+        "{{300, 500, 0}}",
+    );
+}
+
+#[test]
+fn distinct_and_set_operations() {
+    check(
+        "SELECT DISTINCT e.job AS job FROM emp AS e WHERE e.deptno = 30",
+        "{{ {'job': 'SALES'}, {'job': 'MANAGER'} }}",
+    );
+    check(
+        "SELECT VALUE e.deptno FROM emp AS e \
+         INTERSECT SELECT VALUE d.deptno FROM dept AS d",
+        "{{10, 20, 30}}",
+    );
+    check(
+        "SELECT VALUE d.deptno FROM dept AS d \
+         EXCEPT SELECT VALUE e.deptno FROM emp AS e",
+        "{{40}}",
+    );
+}
+
+#[test]
+fn exists_and_correlated_subquery() {
+    check(
+        "SELECT d.dname AS dname FROM dept AS d \
+         WHERE EXISTS (SELECT VALUE e FROM emp AS e \
+                       WHERE e.deptno = d.deptno AND e.sal > 4000)",
+        "{{ {'dname': 'ACCOUNTING'} }}",
+    );
+}
+
+#[test]
+fn scalar_subquery_compat_mode_only() {
+    // This one is *intentionally* mode-sensitive: the scalar coercion is
+    // SQL-compat behavior (§V-A).
+    let (compat, composable) = engines();
+    let q = "SELECT VALUE e.ename FROM emp AS e \
+             WHERE e.sal = (SELECT MAX(e2.sal) AS m FROM emp AS e2)";
+    assert_eq!(
+        compat.query(q).unwrap().value().to_string(),
+        "{{'KING'}}"
+    );
+    assert_eq!(composable.query(q).unwrap().value().to_string(), "{{}}");
+}
+
+#[test]
+fn with_cte() {
+    check(
+        "WITH rich AS (SELECT VALUE e FROM emp AS e WHERE e.sal > 2800) \
+         SELECT r.ename AS ename FROM rich AS r",
+        "{{ {'ename': 'JONES'}, {'ename': 'BLAKE'}, {'ename': 'KING'} }}",
+    );
+}
+
+#[test]
+fn union_all_keeps_duplicates() {
+    check(
+        "SELECT VALUE e.deptno FROM emp AS e WHERE e.job = 'MANAGER' \
+         UNION ALL SELECT VALUE e.deptno FROM emp AS e WHERE e.deptno = 20",
+        "{{20, 30, 20, 20}}",
+    );
+}

@@ -1,0 +1,222 @@
+//! Window functions (§V-B): "SQL has additional analytical features …
+//! as well as window functions (i.e., OVER) for more advanced analytics.
+//! These features are wholly compatible with SQL++ and then become able
+//! to operate on and produce nested and heterogeneous data."
+
+use sqlpp::Engine;
+use sqlpp_formats::pnotation::from_pnotation;
+use sqlpp_value::Value;
+
+fn engine() -> Engine {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "emp",
+            r#"{{
+            {'name': 'Ann', 'dept': 'eng', 'sal': 100},
+            {'name': 'Bo',  'dept': 'eng', 'sal': 80},
+            {'name': 'Cy',  'dept': 'eng', 'sal': 80},
+            {'name': 'Di',  'dept': 'ops', 'sal': 90},
+            {'name': 'Ed',  'dept': 'ops', 'sal': 60}
+        }}"#,
+        )
+        .unwrap();
+    engine
+}
+
+fn check(engine: &Engine, query: &str, expected: &str) {
+    let want = from_pnotation(expected).unwrap();
+    let got = engine.query(query).unwrap();
+    assert!(
+        got.matches(&want),
+        "query {query}\n expected {want}\n got      {}",
+        got.value()
+    );
+}
+
+#[test]
+fn row_number_rank_dense_rank() {
+    let engine = engine();
+    check(
+        &engine,
+        "SELECT e.name AS name, \
+                ROW_NUMBER() OVER (PARTITION BY e.dept ORDER BY e.sal DESC, e.name) AS rn, \
+                RANK() OVER (PARTITION BY e.dept ORDER BY e.sal DESC) AS rk, \
+                DENSE_RANK() OVER (PARTITION BY e.dept ORDER BY e.sal DESC) AS dr \
+         FROM emp AS e",
+        r#"{{
+            {'name': 'Ann', 'rn': 1, 'rk': 1, 'dr': 1},
+            {'name': 'Bo',  'rn': 2, 'rk': 2, 'dr': 2},
+            {'name': 'Cy',  'rn': 3, 'rk': 2, 'dr': 2},
+            {'name': 'Di',  'rn': 1, 'rk': 1, 'dr': 1},
+            {'name': 'Ed',  'rn': 2, 'rk': 2, 'dr': 2}
+        }}"#,
+    );
+}
+
+#[test]
+fn partition_aggregates_without_order() {
+    let engine = engine();
+    check(
+        &engine,
+        "SELECT e.name AS name, \
+                SUM(e.sal) OVER (PARTITION BY e.dept) AS dept_total, \
+                COUNT(*) OVER (PARTITION BY e.dept) AS dept_size, \
+                AVG(e.sal) OVER () AS overall_avg \
+         FROM emp AS e WHERE e.dept = 'ops'",
+        r#"{{
+            {'name': 'Di', 'dept_total': 150, 'dept_size': 2, 'overall_avg': 75},
+            {'name': 'Ed', 'dept_total': 150, 'dept_size': 2, 'overall_avg': 75}
+        }}"#,
+    );
+}
+
+#[test]
+fn running_aggregate_includes_peers() {
+    let engine = engine();
+    // SQL default frame: RANGE UNBOUNDED PRECEDING..CURRENT ROW — peers
+    // (Bo and Cy, both sal 80) see the same running sum.
+    check(
+        &engine,
+        "SELECT e.name AS name, \
+                SUM(e.sal) OVER (PARTITION BY e.dept ORDER BY e.sal) AS running \
+         FROM emp AS e WHERE e.dept = 'eng'",
+        r#"{{
+            {'name': 'Bo', 'running': 160},
+            {'name': 'Cy', 'running': 160},
+            {'name': 'Ann', 'running': 260}
+        }}"#,
+    );
+}
+
+#[test]
+fn lag_and_lead() {
+    let engine = engine();
+    check(
+        &engine,
+        "SELECT e.name AS name, \
+                LAG(e.name) OVER (ORDER BY e.sal DESC, e.name) AS prev, \
+                LEAD(e.name, 2) OVER (ORDER BY e.sal DESC, e.name) AS two_ahead, \
+                LAG(e.name, 1, 'none') OVER (ORDER BY e.sal DESC, e.name) AS prev_d \
+         FROM emp AS e WHERE e.dept = 'eng'",
+        r#"{{
+            {'name': 'Ann', 'prev': null, 'two_ahead': 'Cy', 'prev_d': 'none'},
+            {'name': 'Bo', 'prev': 'Ann', 'two_ahead': null, 'prev_d': 'Ann'},
+            {'name': 'Cy', 'prev': 'Bo', 'two_ahead': null, 'prev_d': 'Bo'}
+        }}"#,
+    );
+}
+
+#[test]
+fn windows_over_nested_heterogeneous_data() {
+    // The paper's point: the same OVER machinery runs on unnested
+    // document data and can *produce* nested output.
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "orders",
+            r#"{{
+            {'cust': 'a', 'items': [{'sku': 'x', 'qty': 2}, {'sku': 'y', 'qty': 1}]},
+            {'cust': 'b', 'items': [{'sku': 'x', 'qty': 5}]}
+        }}"#,
+        )
+        .unwrap();
+    check(
+        &engine,
+        "SELECT i.sku AS sku, o.cust AS cust, \
+                RANK() OVER (PARTITION BY i.sku ORDER BY i.qty DESC) AS qty_rank, \
+                [i.qty, SUM(i.qty) OVER (PARTITION BY i.sku)] AS qty_and_total \
+         FROM orders AS o, o.items AS i",
+        r#"{{
+            {'sku': 'x', 'cust': 'b', 'qty_rank': 1, 'qty_and_total': [5, 7]},
+            {'sku': 'x', 'cust': 'a', 'qty_rank': 2, 'qty_and_total': [2, 7]},
+            {'sku': 'y', 'cust': 'a', 'qty_rank': 1, 'qty_and_total': [1, 1]}
+        }}"#,
+    );
+}
+
+#[test]
+fn window_in_order_by_via_alias() {
+    let engine = engine();
+    let r = engine
+        .query(
+            "SELECT e.name AS name, \
+                    RANK() OVER (ORDER BY e.sal DESC) AS rk \
+             FROM emp AS e ORDER BY rk, name LIMIT 3",
+        )
+        .unwrap();
+    let names: Vec<&str> = r
+        .rows()
+        .iter()
+        .map(|t| t.path("name").as_str().unwrap().to_string())
+        .map(|s| Box::leak(s.into_boxed_str()) as &str)
+        .collect();
+    assert_eq!(names, vec!["Ann", "Di", "Bo"]);
+}
+
+#[test]
+fn identical_windows_are_computed_once() {
+    let engine = engine();
+    let plan = engine
+        .explain(
+            "SELECT SUM(e.sal) OVER (PARTITION BY e.dept) AS a, \
+                    SUM(e.sal) OVER (PARTITION BY e.dept) AS b \
+             FROM emp AS e",
+        )
+        .unwrap();
+    assert_eq!(plan.matches("$win").count(), 3, "one def, two refs:\n{plan}");
+}
+
+#[test]
+fn windows_are_rejected_outside_select_and_order_by() {
+    let engine = engine();
+    let err = engine
+        .query("SELECT VALUE e FROM emp AS e WHERE RANK() OVER (ORDER BY e.sal) = 1")
+        .unwrap_err();
+    assert!(err.to_string().contains("window"), "{err}");
+}
+
+#[test]
+fn ranking_functions_require_order() {
+    let engine = engine();
+    let err = engine
+        .query("SELECT ROW_NUMBER() OVER () AS rn FROM emp AS e")
+        .unwrap_err();
+    assert!(err.to_string().contains("ORDER BY"), "{err}");
+}
+
+#[test]
+fn windows_over_grouped_queries() {
+    // Aggregates feed windows: rank departments by their totals.
+    let engine = engine();
+    check(
+        &engine,
+        "SELECT e.dept, SUM(e.sal) AS total, \
+                RANK() OVER (ORDER BY SUM(e.sal) DESC) AS rk \
+         FROM emp AS e GROUP BY e.dept",
+        r#"{{
+            {'dept': 'eng', 'total': 260, 'rk': 1},
+            {'dept': 'ops', 'total': 150, 'rk': 2}
+        }}"#,
+    );
+}
+
+#[test]
+fn absent_values_sort_and_aggregate_consistently_in_windows() {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "t",
+            "{{ {'k': 1, 'v': 10}, {'k': 2, 'v': null}, {'k': 3} }}",
+        )
+        .unwrap();
+    let r = engine
+        .query(
+            "SELECT t.k AS k, COUNT(t.v) OVER () AS present \
+             FROM t AS t",
+        )
+        .unwrap();
+    for row in r.rows() {
+        assert_eq!(row.path("present"), Value::Int(1), "{row}");
+    }
+}
