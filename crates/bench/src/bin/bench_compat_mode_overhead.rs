@@ -1,0 +1,5 @@
+//! Single-suite wrapper; see `sqlpp_bench::suites::compat_mode_overhead`.
+
+fn main() {
+    sqlpp_bench::suites::run_one("compat_mode_overhead");
+}

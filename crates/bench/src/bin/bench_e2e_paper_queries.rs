@@ -1,0 +1,5 @@
+//! Single-suite wrapper; see `sqlpp_bench::suites::e2e_paper_queries`.
+
+fn main() {
+    sqlpp_bench::suites::run_one("e2e_paper_queries");
+}

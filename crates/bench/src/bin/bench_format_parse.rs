@@ -1,0 +1,5 @@
+//! Single-suite wrapper; see `sqlpp_bench::suites::format_parse`.
+
+fn main() {
+    sqlpp_bench::suites::run_one("format_parse");
+}

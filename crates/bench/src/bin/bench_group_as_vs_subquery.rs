@@ -1,0 +1,5 @@
+//! Single-suite wrapper; see `sqlpp_bench::suites::group_as_vs_subquery`.
+
+fn main() {
+    sqlpp_bench::suites::run_one("group_as_vs_subquery");
+}

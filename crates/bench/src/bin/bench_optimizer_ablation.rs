@@ -1,0 +1,5 @@
+//! Single-suite wrapper; see `sqlpp_bench::suites::optimizer_ablation`.
+
+fn main() {
+    sqlpp_bench::suites::run_one("optimizer_ablation");
+}

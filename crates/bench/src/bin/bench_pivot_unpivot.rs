@@ -1,0 +1,5 @@
+//! Single-suite wrapper; see `sqlpp_bench::suites::pivot_unpivot`.
+
+fn main() {
+    sqlpp_bench::suites::run_one("pivot_unpivot");
+}

@@ -1,0 +1,5 @@
+//! Single-suite wrapper; see `sqlpp_bench::suites::unnest_vs_flat_join`.
+
+fn main() {
+    sqlpp_bench::suites::run_one("unnest_vs_flat_join");
+}

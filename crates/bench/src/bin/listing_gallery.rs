@@ -15,8 +15,7 @@ use sqlpp_value::to_pretty;
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let compat_engine = fixture_engine(CompatMode::SqlCompat, TypingMode::Permissive);
-    let composable_engine =
-        fixture_engine(CompatMode::Composable, TypingMode::Permissive);
+    let composable_engine = fixture_engine(CompatMode::Composable, TypingMode::Permissive);
 
     let mut shown = 0;
     for case in corpus() {
@@ -31,9 +30,15 @@ fn main() {
             engine.load_pnotation(name, text).expect("fixture parses");
         }
         println!("==================================================================");
-        println!("{} — §{} — {} [{}]", case.id, case.section, case.title, mode_label);
+        println!(
+            "{} — §{} — {} [{}]",
+            case.id, case.section, case.title, mode_label
+        );
         println!("------------------------------------------------------------------");
-        println!("query:\n  {}\n", case.query.split_whitespace().collect::<Vec<_>>().join(" "));
+        println!(
+            "query:\n  {}\n",
+            case.query.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
         if case.check == Check::Errors {
             match engine.run_str(case.query) {
                 Err(e) => println!("result: rejected as expected\n  {e}\n"),

@@ -20,14 +20,16 @@
 
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sqlpp::{Engine, SessionConfig};
+use sqlpp_testkit::rng::Rng;
 use sqlpp_value::{Tuple, Value};
 
-/// Deterministic RNG for reproducible workloads.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub mod suites;
+
+/// Deterministic RNG for reproducible workloads (xoshiro256** from
+/// `sqlpp-testkit`, seeded via SplitMix64).
+pub fn rng(seed: u64) -> Rng {
+    Rng::new(seed)
 }
 
 const TITLES: &[&str] = &["Engineer", "Manager", "Analyst", "Director"];
@@ -48,7 +50,11 @@ pub fn gen_emp_nested(n: usize, fanout: usize, seed: u64) -> Value {
     let mut r = rng(seed);
     let mut out = Vec::with_capacity(n);
     for id in 0..n {
-        let k = if fanout == 0 { 0 } else { r.gen_range(0..=fanout) };
+        let k = if fanout == 0 {
+            0
+        } else {
+            r.gen_range(0..=fanout)
+        };
         let projects: Vec<Value> = (0..k)
             .map(|_| {
                 let p = PROJECT_POOL[r.gen_range(0..PROJECT_POOL.len())];
@@ -167,12 +173,7 @@ pub fn engine_with_employees(n: usize, fanout: usize, seed: u64) -> Engine {
 }
 
 /// An engine with a specific configuration and the same employee data.
-pub fn configured_engine(
-    n: usize,
-    fanout: usize,
-    seed: u64,
-    config: SessionConfig,
-) -> Engine {
+pub fn configured_engine(n: usize, fanout: usize, seed: u64, config: SessionConfig) -> Engine {
     engine_with_employees(n, fanout, seed).with_config(config)
 }
 

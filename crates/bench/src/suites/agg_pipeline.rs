@@ -9,40 +9,42 @@
 //! Expected shape: the pipelined path wins and the gap grows with group
 //! size (it skips one full intermediate bag per group).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sqlpp_bench::configured_engine;
 use sqlpp::SessionConfig;
+use sqlpp_testkit::bench::Harness;
+
+use crate::configured_engine;
 
 const QUERY: &str = "SELECT e.deptno, AVG(e.salary) AS avgsal \
                      FROM hr.emp_nest AS e GROUP BY e.deptno";
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("agg_pipeline");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for n in [1_000usize, 10_000, 50_000] {
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let sizes: &[usize] = if h.quick() {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
+    for &n in sizes {
         let pipelined = configured_engine(n, 0, 31, SessionConfig::default());
         let materialized = configured_engine(
             n,
             0,
             31,
-            SessionConfig { pipeline_aggregates: false, ..SessionConfig::default() },
+            SessionConfig {
+                pipeline_aggregates: false,
+                ..SessionConfig::default()
+            },
         );
         let a = pipelined.query(QUERY).unwrap().canonical();
         let b = materialized.query(QUERY).unwrap().canonical();
         assert_eq!(a, b, "both paths must agree at n={n}");
         let plan_p = pipelined.prepare(QUERY).unwrap();
         let plan_m = materialized.prepare(QUERY).unwrap();
-        group.bench_with_input(BenchmarkId::new("pipelined", n), &n, |bench, _| {
-            bench.iter(|| plan_p.execute(&pipelined).unwrap());
+        h.bench(format!("agg_pipeline/pipelined/{n}"), || {
+            plan_p.execute(&pipelined).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("materialized", n), &n, |bench, _| {
-            bench.iter(|| plan_m.execute(&materialized).unwrap());
+        h.bench(format!("agg_pipeline/materialized/{n}"), || {
+            plan_m.execute(&materialized).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

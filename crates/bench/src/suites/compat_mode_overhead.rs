@@ -10,21 +10,20 @@
 //! difference — the compatibility rewritings happen at lowering time, so
 //! execution is indistinguishable on queries whose semantics coincide.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlpp::{CompatMode, SessionConfig};
-use sqlpp_bench::configured_engine;
+use sqlpp_testkit::bench::Harness;
+
+use crate::configured_engine;
+use crate::suites::scaled;
 
 const QUERY: &str = "SELECT e.deptno, COUNT(*) AS n, AVG(e.salary) AS avg_sal \
      FROM hr.emp_base AS e WHERE e.salary > 75000 \
      GROUP BY e.deptno HAVING COUNT(*) > 3 \
      ORDER BY avg_sal DESC LIMIT 10";
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compat_mode_overhead");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(3));
-    let n = 20_000;
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let n = scaled(h, 20_000);
     // One shared dataset; only the session config differs, so the two
     // sides measure exactly the flag.
     let base = configured_engine(n, 0, 57, SessionConfig::default());
@@ -32,14 +31,16 @@ fn bench(c: &mut Criterion) {
         ("sql_compat", CompatMode::SqlCompat),
         ("composable", CompatMode::Composable),
     ] {
-        let engine =
-            base.with_config(SessionConfig { compat: mode, ..SessionConfig::default() });
-        group.bench_with_input(BenchmarkId::new("plan", label), &n, |bench, _| {
-            bench.iter(|| engine.prepare(QUERY).unwrap());
+        let engine = base.with_config(SessionConfig {
+            compat: mode,
+            ..SessionConfig::default()
+        });
+        h.bench(format!("compat_mode_overhead/plan/{label}"), || {
+            engine.prepare(QUERY).unwrap()
         });
         let plan = engine.prepare(QUERY).unwrap();
-        group.bench_with_input(BenchmarkId::new("execute", label), &n, |bench, _| {
-            bench.iter(|| plan.execute(&engine).unwrap());
+        h.bench(format!("compat_mode_overhead/execute/{label}"), || {
+            plan.execute(&engine).unwrap()
         });
     }
     // Both modes must agree on this pure-SQL query (backward
@@ -52,8 +53,4 @@ fn bench(c: &mut Criterion) {
         base.query(QUERY).unwrap().canonical(),
         composable.query(QUERY).unwrap().canonical()
     );
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

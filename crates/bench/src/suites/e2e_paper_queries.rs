@@ -3,18 +3,16 @@
 //! regression in the whole parse→lower→optimize→evaluate pipeline is
 //! visible per query family.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sqlpp::Engine;
-use sqlpp_bench::{engine_with_employees, gen_wide_prices};
+use sqlpp_testkit::bench::Harness;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2e_paper_queries");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
+use crate::suites::scaled;
+use crate::{engine_with_employees, gen_wide_prices};
 
-    let engine = engine_with_employees(3_000, 3, 5);
-    engine.register("closing_prices", gen_wide_prices(1_000, 3, 5));
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let engine = engine_with_employees(scaled(h, 3_000), 3, 5);
+    engine.register("closing_prices", gen_wide_prices(scaled(h, 1_000), 3, 5));
 
     let families: &[(&str, &str)] = &[
         (
@@ -67,27 +65,21 @@ fn bench(c: &mut Criterion) {
             "query family {name} returned no rows"
         );
         let plan = engine.prepare(query).unwrap();
-        group.bench_function(*name, |b| {
-            b.iter(|| plan.execute(&engine).unwrap());
+        h.bench(format!("e2e_paper_queries/{name}"), || {
+            plan.execute(&engine).unwrap()
         });
     }
 
     // Parse+plan cost alone, on the most syntactically involved query.
     let engine2 = Engine::new();
-    group.bench_function("plan_only_L12", |b| {
-        b.iter(|| {
-            engine2
-                .prepare(
-                    "FROM hr.emp_nest AS e, e.projects AS p \
-                     GROUP BY p.name AS pname GROUP AS g \
-                     SELECT pname AS project, \
-                     (FROM g AS v SELECT VALUE v.e.name) AS members",
-                )
-                .unwrap()
-        });
+    h.bench("e2e_paper_queries/plan_only_L12", || {
+        engine2
+            .prepare(
+                "FROM hr.emp_nest AS e, e.projects AS p \
+                 GROUP BY p.name AS pname GROUP AS g \
+                 SELECT pname AS project, \
+                 (FROM g AS v SELECT VALUE v.e.name) AS members",
+            )
+            .unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -7,20 +7,18 @@
 //! *identical* query text. Also reports the encoded sizes once, since the
 //! binary format's compactness is part of its reason to exist.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlpp::Engine;
-use sqlpp_bench::gen_emp_flat;
 use sqlpp_formats::{CsvFormat, DataFormat, IonLiteFormat, JsonFormat, PNotationFormat};
+use sqlpp_testkit::bench::Harness;
 
-const QUERY: &str =
-    "SELECT VALUE e.salary FROM data AS e WHERE e.title = 'Engineer'";
+use crate::gen_emp_flat;
+use crate::suites::scaled;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("format_parse");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    let (emps, _) = gen_emp_flat(10_000, 0, 13);
+const QUERY: &str = "SELECT VALUE e.salary FROM data AS e WHERE e.title = 'Engineer'";
+
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let (emps, _) = gen_emp_flat(scaled(h, 10_000), 0, 13);
     let formats: Vec<Box<dyn DataFormat>> = vec![
         Box::new(JsonFormat),
         Box::new(PNotationFormat),
@@ -30,22 +28,15 @@ fn bench(c: &mut Criterion) {
     for fmt in &formats {
         let bytes = fmt.write(&emps).expect("encodable");
         eprintln!("format {:>9}: {} bytes", fmt.name(), bytes.len());
-        group.bench_with_input(
-            BenchmarkId::new("decode", fmt.name()),
-            &bytes,
-            |b, bytes| {
-                b.iter(|| fmt.read(bytes).unwrap());
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decode_and_query", fmt.name()),
-            &bytes,
-            |b, bytes| {
-                b.iter(|| {
-                    let engine = Engine::new();
-                    engine.register("data", fmt.read(bytes).unwrap());
-                    engine.query(QUERY).unwrap()
-                });
+        h.bench(format!("format_parse/decode/{}", fmt.name()), || {
+            fmt.read(&bytes).unwrap()
+        });
+        h.bench(
+            format!("format_parse/decode_and_query/{}", fmt.name()),
+            || {
+                let engine = Engine::new();
+                engine.register("data", fmt.read(&bytes).unwrap());
+                engine.query(QUERY).unwrap()
             },
         );
         // The tenet itself: the identical query text over every format
@@ -59,8 +50,4 @@ fn bench(c: &mut Criterion) {
             reference.query(QUERY).unwrap().len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

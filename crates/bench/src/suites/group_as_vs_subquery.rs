@@ -11,8 +11,9 @@
 //!
 //! Expected shape: `group_as` wins, super-linearly as `n` grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sqlpp_bench::engine_with_employees;
+use sqlpp_testkit::bench::Harness;
+
+use crate::engine_with_employees;
 
 const GROUP_AS: &str = "FROM hr.emp_nest AS e, e.projects AS p \
      GROUP BY p.name AS pname GROUP AS g \
@@ -23,14 +24,16 @@ const NESTED_SUBQUERY: &str = "SELECT DISTINCT VALUE {'project': p.name, 'member
         WHERE p2.name = p.name)} \
      FROM hr.emp_nest AS e, e.projects AS p";
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("group_as_vs_subquery");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    // The correlated baseline is quadratic (~2 s/run at n=400 already),
-    // so it is measured only at the smaller sizes; group_as continues up.
-    for n in [50usize, 100, 200, 400, 1600] {
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    // The correlated baseline is quadratic, so it is measured only at the
+    // smaller sizes; group_as continues up.
+    let sizes: &[usize] = if h.quick() {
+        &[50, 200]
+    } else {
+        &[50, 100, 200, 400, 1600]
+    };
+    for &n in sizes {
         let engine = engine_with_employees(n, 6, 11);
         if n <= 200 {
             // Sanity: both formulations agree before we time them.
@@ -38,24 +41,15 @@ fn bench(c: &mut Criterion) {
             let b = engine.query(NESTED_SUBQUERY).unwrap().canonical();
             assert_eq!(a, b, "formulations must agree at n={n}");
         }
-
         let plan_group = engine.prepare(GROUP_AS).unwrap();
         let plan_sub = engine.prepare(NESTED_SUBQUERY).unwrap();
-        group.bench_with_input(BenchmarkId::new("group_as", n), &n, |bench, _| {
-            bench.iter(|| plan_group.execute(&engine).unwrap());
+        h.bench(format!("group_as_vs_subquery/group_as/{n}"), || {
+            plan_group.execute(&engine).unwrap()
         });
-        if n <= 200 {
-            group.bench_with_input(
-                BenchmarkId::new("nested_subquery", n),
-                &n,
-                |bench, _| {
-                    bench.iter(|| plan_sub.execute(&engine).unwrap());
-                },
-            );
+        if n <= 200 && !(h.quick() && n > 50) {
+            h.bench(format!("group_as_vs_subquery/nested_subquery/{n}"), || {
+                plan_sub.execute(&engine).unwrap()
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -10,44 +10,38 @@
 //! Expected shape: permissive cost is flat in the dirty fraction — the
 //! MISSING path is no more expensive than the arithmetic it replaces.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlpp::{Engine, SessionConfig, TypingMode};
-use sqlpp_bench::gen_dirty;
+use sqlpp_testkit::bench::Harness;
+
+use crate::gen_dirty;
+use crate::suites::scaled;
 
 const QUERY: &str = "SELECT VALUE t.x * 2 FROM d.data AS t";
 
 fn engine_with(dirty_permille: u32, n: usize, typing: TypingMode) -> Engine {
-    let engine = Engine::new()
-        .with_config(SessionConfig { typing, ..SessionConfig::default() });
+    let engine = Engine::new().with_config(SessionConfig {
+        typing,
+        ..SessionConfig::default()
+    });
     engine.register("d.data", gen_dirty(n, dirty_permille, 91));
     engine
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("missing_propagation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    let n = 50_000;
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let n = scaled(h, 50_000);
     for dirty in [0u32, 50, 200, 500] {
         let engine = engine_with(dirty, n, TypingMode::Permissive);
         let plan = engine.prepare(QUERY).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("permissive", format!("{}pct", dirty / 10)),
-            &dirty,
-            |bench, _| {
-                bench.iter(|| plan.execute(&engine).unwrap());
-            },
+        h.bench(
+            format!("missing_propagation/permissive/{}pct", dirty / 10),
+            || plan.execute(&engine).unwrap(),
         );
     }
     // Strict mode over clean data: the cost of carrying the mode check.
     let engine = engine_with(0, n, TypingMode::StrictError);
     let plan = engine.prepare(QUERY).unwrap();
-    group.bench_function("strict/clean", |bench| {
-        bench.iter(|| plan.execute(&engine).unwrap());
+    h.bench("missing_propagation/strict/clean", || {
+        plan.execute(&engine).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

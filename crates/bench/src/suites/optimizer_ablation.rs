@@ -5,9 +5,11 @@
 //! queries where they apply (generated predicates with foldable
 //! arithmetic) and what the pass itself costs at plan time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlpp::SessionConfig;
-use sqlpp_bench::configured_engine;
+use sqlpp_testkit::bench::Harness;
+
+use crate::configured_engine;
+use crate::suites::scaled;
 
 /// A query with foldable constants and a stacked (fusable) filter shape —
 /// what an ORM or query generator typically emits.
@@ -15,12 +17,9 @@ const QUERY: &str = "SELECT VALUE e.id FROM hr.emp_base AS e \
      WHERE TRUE AND e.salary > 25000 + 25000 * 2 AND 1 = 1 AND \
            e.deptno = (2 + 3) * 2";
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimizer_ablation");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    let base = configured_engine(20_000, 0, 3, SessionConfig::default());
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let base = configured_engine(scaled(h, 20_000), 0, 3, SessionConfig::default());
     let optimized = base.with_config(SessionConfig::default());
     let raw = base.with_config(SessionConfig {
         optimize: false,
@@ -32,16 +31,12 @@ fn bench(c: &mut Criterion) {
         "the optimizer must not change results"
     );
     for (label, engine) in [("on", &optimized), ("off", &raw)] {
-        group.bench_with_input(BenchmarkId::new("plan", label), &(), |b, ()| {
-            b.iter(|| engine.prepare(QUERY).unwrap());
+        h.bench(format!("optimizer_ablation/plan/{label}"), || {
+            engine.prepare(QUERY).unwrap()
         });
         let plan = engine.prepare(QUERY).unwrap();
-        group.bench_with_input(BenchmarkId::new("execute", label), &(), |b, ()| {
-            b.iter(|| plan.execute(engine).unwrap());
+        h.bench(format!("optimizer_ablation/execute/{label}"), || {
+            plan.execute(engine).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

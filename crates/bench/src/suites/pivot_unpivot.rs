@@ -6,10 +6,11 @@
 //! over the same `Value`s is the upper-bound baseline, so the numbers
 //! report interpreter overhead rather than wishful thinking.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlpp::Engine;
-use sqlpp_bench::{gen_tall_prices, gen_wide_prices};
+use sqlpp_testkit::bench::Harness;
 use sqlpp_value::{Tuple, Value};
+
+use crate::{gen_tall_prices, gen_wide_prices};
 
 const UNPIVOT: &str = "SELECT c.\"date\" AS \"date\", sym AS symbol, price AS price \
      FROM wide AS c, UNPIVOT c AS price AT sym WHERE NOT sym = 'date'";
@@ -37,13 +38,11 @@ fn native_unpivot(wide: &Value) -> Value {
     Value::Bag(out)
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pivot_unpivot");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
     let rows = 28; // a month of trading days
-    for width in [4usize, 64, 1024] {
+    let widths: &[usize] = if h.quick() { &[4, 64] } else { &[4, 64, 1024] };
+    for &width in widths {
         let engine = Engine::new();
         let wide = gen_wide_prices(rows, width, 77);
         engine.register("wide", wide.clone());
@@ -54,23 +53,15 @@ fn bench(c: &mut Criterion) {
         assert!(engine_result.matches(&native_unpivot(&wide)));
 
         let plan_unpivot = engine.prepare(UNPIVOT).unwrap();
-        group.bench_with_input(BenchmarkId::new("unpivot", width), &width, |b, _| {
-            b.iter(|| plan_unpivot.execute(&engine).unwrap());
+        h.bench(format!("pivot_unpivot/unpivot/{width}"), || {
+            plan_unpivot.execute(&engine).unwrap()
         });
-        group.bench_with_input(
-            BenchmarkId::new("unpivot_native", width),
-            &width,
-            |b, _| {
-                b.iter(|| native_unpivot(&wide));
-            },
-        );
+        h.bench(format!("pivot_unpivot/unpivot_native/{width}"), || {
+            native_unpivot(&wide)
+        });
         let plan_pivot = engine.prepare(PIVOT).unwrap();
-        group.bench_with_input(BenchmarkId::new("pivot", width), &width, |b, _| {
-            b.iter(|| plan_pivot.execute(&engine).unwrap());
+        h.bench(format!("pivot_unpivot/pivot/{width}"), || {
+            plan_pivot.execute(&engine).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

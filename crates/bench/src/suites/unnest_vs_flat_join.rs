@@ -8,20 +8,22 @@
 //! Expected shape: unnesting wins (the nesting *is* the join index: no
 //! matching work at all), and the gap widens with fan-out.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sqlpp_bench::engine_with_employees;
+use sqlpp_testkit::bench::Harness;
 
-const UNNEST: &str =
-    "SELECT e.id AS id, p.name AS pname FROM hr.emp_nest AS e, e.projects AS p";
+use crate::engine_with_employees;
+
+const UNNEST: &str = "SELECT e.id AS id, p.name AS pname FROM hr.emp_nest AS e, e.projects AS p";
 const FLAT_JOIN: &str = "SELECT e.id AS id, a.pname AS pname \
      FROM hr.emp_base AS e JOIN hr.assignments AS a ON a.emp_id = e.id";
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("unnest_vs_flat_join");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    for (n, fanout) in [(200usize, 2usize), (200, 8), (1000, 2), (1000, 8)] {
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let shapes: &[(usize, usize)] = if h.quick() {
+        &[(200, 2), (200, 8)]
+    } else {
+        &[(200, 2), (200, 8), (1000, 2), (1000, 8)]
+    };
+    for &(n, fanout) in shapes {
         let engine = engine_with_employees(n, fanout, 23);
         let a = engine.query(UNNEST).unwrap().canonical();
         let b = engine.query(FLAT_JOIN).unwrap().canonical();
@@ -29,19 +31,15 @@ fn bench(c: &mut Criterion) {
         let id = format!("{n}x{fanout}");
         let plan_unnest = engine.prepare(UNNEST).unwrap();
         let plan_join = engine.prepare(FLAT_JOIN).unwrap();
-        group.bench_with_input(BenchmarkId::new("unnest", &id), &n, |bench, _| {
-            bench.iter(|| plan_unnest.execute(&engine).unwrap());
+        h.bench(format!("unnest_vs_flat_join/unnest/{id}"), || {
+            plan_unnest.execute(&engine).unwrap()
         });
         // The join baseline is a (correlated) nested loop — n × assignments
         // probes; measured only at the smaller size to keep runs short.
         if n <= 200 {
-            group.bench_with_input(BenchmarkId::new("flat_join", &id), &n, |bench, _| {
-                bench.iter(|| plan_join.execute(&engine).unwrap());
+            h.bench(format!("unnest_vs_flat_join/flat_join/{id}"), || {
+                plan_join.execute(&engine).unwrap()
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -12,11 +12,23 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use parking_lot::RwLock;
 use sqlpp_schema::SqlppType;
 use sqlpp_value::Value;
+
+/// Acquires a read lock, recovering from poisoning: a panicked writer
+/// can only have been mid-`insert`/`remove` on the `BTreeMap`, whose
+/// tree structure is exception-safe, so the data is still consistent
+/// and read access remains sound.
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquires a write lock, recovering from poisoning (see [`read`]).
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A dotted, namespaced name such as `hr.emp` (case-sensitive, as the
 /// paper's examples rely on exact attribute and collection names).
@@ -31,7 +43,10 @@ impl QualifiedName {
         S: Into<String>,
     {
         let segs: Vec<String> = segments.into_iter().map(Into::into).collect();
-        assert!(!segs.is_empty(), "qualified name needs at least one segment");
+        assert!(
+            !segs.is_empty(),
+            "qualified name needs at least one segment"
+        );
         QualifiedName(segs)
     }
 
@@ -107,13 +122,12 @@ impl Catalog {
 
     /// Binds `name` to `value`, replacing any previous binding.
     pub fn set(&self, name: impl Into<QualifiedName>, value: Value) {
-        self.inner.write().insert(name.into(), Arc::new(value));
+        write(&self.inner).insert(name.into(), Arc::new(value));
     }
 
     /// Looks up a binding.
     pub fn get(&self, name: &QualifiedName) -> Result<Arc<Value>, CatalogError> {
-        self.inner
-            .read()
+        read(&self.inner)
             .get(name)
             .cloned()
             .ok_or_else(|| CatalogError::NotFound(name.to_string()))
@@ -129,7 +143,7 @@ impl Catalog {
     /// `hr.emp_nest_tuples.x` distinguishes "navigate attribute `x` of
     /// collection `hr.emp_nest_tuples`" from a three-segment catalog name.
     pub fn resolve_prefix(&self, segments: &[String]) -> Option<(Arc<Value>, usize)> {
-        let map = self.inner.read();
+        let map = read(&self.inner);
         for take in (1..=segments.len()).rev() {
             let name = QualifiedName(segments[..take].to_vec());
             if let Some(v) = map.get(&name) {
@@ -142,27 +156,26 @@ impl Catalog {
     /// Removes a binding, returning it if present. Any schema attached to
     /// the name is removed with it.
     pub fn remove(&self, name: &QualifiedName) -> Option<Arc<Value>> {
-        self.schemas.write().remove(name);
-        self.inner.write().remove(name)
+        write(&self.schemas).remove(name);
+        write(&self.inner).remove(name)
     }
 
     /// Attaches a declared/inferred *element* schema to a name — the
     /// paper's optional-schema tenet: data stays self-describing, but a
     /// schema, when present, enables static disambiguation (§III).
     pub fn set_schema(&self, name: impl Into<QualifiedName>, element_type: SqlppType) {
-        self.schemas.write().insert(name.into(), Arc::new(element_type));
+        write(&self.schemas).insert(name.into(), Arc::new(element_type));
     }
 
     /// The element schema attached to a name, if any.
     pub fn schema(&self, name: &QualifiedName) -> Option<Arc<SqlppType>> {
-        self.schemas.read().get(name).cloned()
+        read(&self.schemas).get(name).cloned()
     }
 
     /// All `(dotted name, element type)` schema attachments — the planner
     /// consumes this snapshot for static disambiguation.
     pub fn schema_snapshot(&self) -> Vec<(String, SqlppType)> {
-        self.schemas
-            .read()
+        read(&self.schemas)
             .iter()
             .map(|(k, v)| (k.to_string(), (**v).clone()))
             .collect()
@@ -170,28 +183,28 @@ impl Catalog {
 
     /// True when the exact name is bound.
     pub fn contains(&self, name: &QualifiedName) -> bool {
-        self.inner.read().contains_key(name)
+        read(&self.inner).contains_key(name)
     }
 
     /// All bound names, sorted.
     pub fn names(&self) -> Vec<QualifiedName> {
-        self.inner.read().keys().cloned().collect()
+        read(&self.inner).keys().cloned().collect()
     }
 
     /// Number of bindings.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        read(&self.inner).len()
     }
 
     /// True when no names are bound.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        read(&self.inner).is_empty()
     }
 }
 
 impl fmt::Debug for Catalog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let map = self.inner.read();
+        let map = read(&self.inner);
         f.debug_map()
             .entries(map.iter().map(|(k, v)| (k.to_string(), v.kind().name())))
             .finish()
@@ -258,6 +271,26 @@ mod tests {
         assert_eq!(cat.len(), 2);
         assert!(cat.remove(&QualifiedName::parse("a")).is_some());
         assert!(cat.remove(&QualifiedName::parse("a")).is_none());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        let cat = Catalog::new();
+        cat.set("t", Value::Int(1));
+        // Poison the value lock: panic on another thread while holding
+        // the write guard.
+        let inner = Arc::clone(&cat.inner);
+        let result = std::thread::spawn(move || {
+            let _guard = inner.write().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        // Reads and writes keep working through the recovery helpers.
+        assert_eq!(*cat.get_str("t").unwrap(), Value::Int(1));
+        cat.set("t", Value::Int(2));
+        assert_eq!(*cat.get_str("t").unwrap(), Value::Int(2));
         assert_eq!(cat.len(), 1);
     }
 

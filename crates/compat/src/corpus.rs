@@ -739,9 +739,10 @@ pub fn corpus() -> Vec<Case> {
         id: "K-left-join",
         section: "III",
         title: "LEFT JOIN pads unmatched rows with NULL",
-        setup: &[
-            ("k.depts", "{{ {'dno': 1, 'dname': 'Eng'}, {'dno': 9, 'dname': 'Ghost'} }}"),
-        ],
+        setup: &[(
+            "k.depts",
+            "{{ {'dno': 1, 'dname': 'Eng'}, {'dno': 9, 'dname': 'Ghost'} }}",
+        )],
         query: "SELECT d.dname AS dname, e.name AS name \
                 FROM k.depts AS d LEFT JOIN hr.emp AS e ON e.deptno = d.dno",
         expected: r#"{{

@@ -122,8 +122,7 @@ pub fn run_case(engine: &Engine, case: &Case, mode: CompatMode) -> CaseResult {
         (Err(e), _) => (false, format!("error: {e}")),
         (Ok(_), Check::Errors) => (false, "query unexpectedly succeeded".to_string()),
         (Ok(v), check) => {
-            let expected: Value =
-                from_pnotation(case.expected).expect("corpus expected parses");
+            let expected: Value = from_pnotation(case.expected).expect("corpus expected parses");
             let ok = match check {
                 Check::BagEqual => deep_eq(v, &expected),
                 Check::OrderedEqual => ordered_eq(v, &expected),
@@ -153,9 +152,7 @@ pub fn run_case(engine: &Engine, case: &Case, mode: CompatMode) -> CaseResult {
 /// order).
 fn ordered_eq(a: &Value, b: &Value) -> bool {
     match (a.as_elements(), b.as_elements()) {
-        (Some(x), Some(y)) => {
-            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| deep_eq(p, q))
-        }
+        (Some(x), Some(y)) => x.len() == y.len() && x.iter().zip(y).all(|(p, q)| deep_eq(p, q)),
         _ => deep_eq(a, b),
     }
 }
@@ -167,8 +164,7 @@ mod tests {
     #[test]
     fn the_whole_corpus_passes_in_both_modes() {
         let report = run_all(TypingMode::Permissive);
-        let failures: Vec<&CaseResult> =
-            report.results.iter().filter(|r| !r.passed).collect();
+        let failures: Vec<&CaseResult> = report.results.iter().filter(|r| !r.passed).collect();
         assert!(
             failures.is_empty(),
             "{} failures:\n{}",

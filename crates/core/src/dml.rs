@@ -14,8 +14,8 @@ use sqlpp_plan::lower::lower_with_scope;
 use sqlpp_plan::{CoreExpr, CoreOp, PlanConfig, Scope};
 use sqlpp_schema::Validator;
 use sqlpp_syntax::ast::{
-    Delete, Expr, Insert, InsertSource, PathStep, Query, QueryBlock, SelectClause,
-    SetExpr, SetQuantifier, Update,
+    Delete, Expr, Insert, InsertSource, PathStep, Query, QueryBlock, SelectClause, SetExpr,
+    SetQuantifier, Update,
 };
 use sqlpp_value::{Tuple, Value};
 
@@ -45,9 +45,7 @@ impl Engine {
                 vec![self.eval_expr(&sqlpp_syntax::print_expr(expr))?]
             }
             InsertSource::Query(q) => {
-                let result = self
-                    .query(&sqlpp_syntax::print_query(q))?
-                    .into_value();
+                let result = self.query(&sqlpp_syntax::print_query(q))?.into_value();
                 match result {
                     Value::Bag(items) | Value::Array(items) => items,
                     single => vec![single],
@@ -175,11 +173,7 @@ impl Engine {
 
     /// Compiles a WHERE predicate with `alias` in scope; `None` matches
     /// everything.
-    fn compile_row_predicate(
-        &self,
-        pred: &Option<Expr>,
-        alias: &str,
-    ) -> Result<Option<CoreExpr>> {
+    fn compile_row_predicate(&self, pred: &Option<Expr>, alias: &str) -> Result<Option<CoreExpr>> {
         match pred {
             None => Ok(None),
             Some(p) => Ok(Some(self.compile_row_expr(p, alias)?)),
@@ -217,12 +211,7 @@ impl Engine {
     }
 
     /// Three-valued match: only a TRUE predicate affects the row.
-    fn row_matches(
-        &self,
-        matcher: &Option<CoreExpr>,
-        alias: &str,
-        item: &Value,
-    ) -> Result<bool> {
+    fn row_matches(&self, matcher: &Option<CoreExpr>, alias: &str, item: &Value) -> Result<bool> {
         let Some(pred) = matcher else {
             return Ok(true);
         };
@@ -285,7 +274,9 @@ fn set_path(element: Value, attrs: &[String], value: Value) -> Result<Value> {
         }
         return Ok(Value::Tuple(t));
     }
-    let inner = t.remove(first).unwrap_or_else(|| Value::Tuple(Tuple::new()));
+    let inner = t
+        .remove(first)
+        .unwrap_or_else(|| Value::Tuple(Tuple::new()));
     let updated = set_path(inner, rest, value)?;
     t.upsert(first.clone(), updated);
     Ok(Value::Tuple(t))

@@ -103,7 +103,10 @@ impl Engine {
     /// Derives a session with different configuration over the *same*
     /// catalog.
     pub fn with_config(&self, config: SessionConfig) -> Engine {
-        Engine { catalog: self.catalog.clone(), config }
+        Engine {
+            catalog: self.catalog.clone(),
+            config,
+        }
     }
 
     /// The underlying catalog.
@@ -201,15 +204,15 @@ impl Engine {
                 self.catalog.set_schema(name.as_str(), ty.clone());
                 Ok(ExecOutcome::Created { name, row_type: ty })
             }
-            Statement::Insert(ins) => {
-                Ok(ExecOutcome::Inserted { count: self.exec_insert(&ins)? })
-            }
-            Statement::Delete(del) => {
-                Ok(ExecOutcome::Deleted { count: self.exec_delete(&del)? })
-            }
-            Statement::Update(up) => {
-                Ok(ExecOutcome::Updated { count: self.exec_update(&up)? })
-            }
+            Statement::Insert(ins) => Ok(ExecOutcome::Inserted {
+                count: self.exec_insert(&ins)?,
+            }),
+            Statement::Delete(del) => Ok(ExecOutcome::Deleted {
+                count: self.exec_delete(&del)?,
+            }),
+            Statement::Update(up) => Ok(ExecOutcome::Updated {
+                count: self.exec_update(&up)?,
+            }),
         }
     }
 
@@ -252,19 +255,19 @@ impl Engine {
     /// rejects a query, since schemaless data is legal by design.
     pub fn check(&self, src: &str) -> Result<Vec<String>> {
         let prepared = self.prepare(src)?;
-        Ok(sqlpp_plan::typecheck(prepared.plan(), &self.catalog.schema_snapshot())
-            .into_iter()
-            .map(|w| w.message)
-            .collect())
+        Ok(
+            sqlpp_plan::typecheck(prepared.plan(), &self.catalog.schema_snapshot())
+                .into_iter()
+                .map(|w| w.message)
+                .collect(),
+        )
     }
 
     /// Evaluates a standalone SQL++ *expression* (full composability:
     /// "subqueries can appear anywhere", and so can bare constructors like
     /// Listing 16's `{{ {'avgsal': COLL_AVG(SELECT VALUE …)} }}`).
     pub fn eval_expr(&self, src: &str) -> Result<Value> {
-        use sqlpp_syntax::ast::{
-            Query, QueryBlock, SelectClause, SetExpr, SetQuantifier,
-        };
+        use sqlpp_syntax::ast::{Query, QueryBlock, SelectClause, SetExpr, SetQuantifier};
         let expr = sqlpp_syntax::parse_expr(src)?;
         let block = QueryBlock::with_select(SelectClause::SelectValue {
             quantifier: SetQuantifier::All,
@@ -289,9 +292,7 @@ impl Engine {
         let bag = evaluator.run(&core)?;
         // A FROM-less SELECT VALUE produces a singleton bag; unwrap it.
         match bag {
-            Value::Bag(mut items) if items.len() == 1 => {
-                Ok(items.pop().expect("len checked"))
-            }
+            Value::Bag(mut items) if items.len() == 1 => Ok(items.pop().expect("len checked")),
             other => Ok(other),
         }
     }
@@ -301,9 +302,7 @@ impl Engine {
     pub fn run_str(&self, src: &str) -> Result<Value> {
         match self.query(src) {
             Ok(r) => Ok(r.into_value()),
-            Err(Error::Syntax(first)) => {
-                self.eval_expr(src).map_err(|_| Error::Syntax(first))
-            }
+            Err(Error::Syntax(first)) => self.eval_expr(src).map_err(|_| Error::Syntax(first)),
             Err(e) => Err(e),
         }
     }
@@ -365,13 +364,8 @@ impl Prepared {
     }
 
     /// Executes with positional parameters.
-    pub fn execute_with_params(
-        &self,
-        engine: &Engine,
-        params: Vec<Value>,
-    ) -> Result<QueryResult> {
-        let evaluator =
-            Evaluator::new(&engine.catalog, engine.eval_config()).with_params(params);
+    pub fn execute_with_params(&self, engine: &Engine, params: Vec<Value>) -> Result<QueryResult> {
+        let evaluator = Evaluator::new(&engine.catalog, engine.eval_config()).with_params(params);
         Ok(QueryResult::new(evaluator.run(&self.core)?))
     }
 }

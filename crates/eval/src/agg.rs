@@ -128,10 +128,12 @@ fn sum(present: &[&Value], func: AggFunc) -> Result<Value, AggError> {
     let mut acc = Value::Int(0);
     for v in present {
         if !v.is_number() {
-            return Err(AggError::BadElement { func, kind: v.kind().name() });
+            return Err(AggError::BadElement {
+                func,
+                kind: v.kind().name(),
+            });
         }
-        acc = num_binop(NumOp::Add, &acc, v)
-            .map_err(|e| AggError::Arithmetic(format!("{e:?}")))?;
+        acc = num_binop(NumOp::Add, &acc, v).map_err(|e| AggError::Arithmetic(format!("{e:?}")))?;
     }
     Ok(acc)
 }
@@ -234,9 +236,7 @@ impl Accumulator {
                     .map_err(|e| AggError::Arithmetic(format!("{e:?}")))
             }
             AggFunc::Min | AggFunc::Max => Ok(self.best.expect("count > 0")),
-            AggFunc::Every | AggFunc::Some => {
-                Ok(Value::Bool(self.bool_acc.expect("count > 0")))
-            }
+            AggFunc::Every | AggFunc::Some => Ok(Value::Bool(self.bool_acc.expect("count > 0"))),
         }
     }
 }
@@ -317,10 +317,22 @@ mod tests {
     fn every_and_some() {
         let t = Value::Bool(true);
         let f = Value::Bool(false);
-        assert_eq!(apply(AggFunc::Every, &[t.clone(), t.clone()]), Ok(Value::Bool(true)));
-        assert_eq!(apply(AggFunc::Every, &[t.clone(), f.clone()]), Ok(Value::Bool(false)));
-        assert_eq!(apply(AggFunc::Some, &[f.clone(), t.clone()]), Ok(Value::Bool(true)));
-        assert_eq!(apply(AggFunc::Some, &[f.clone(), f]), Ok(Value::Bool(false)));
+        assert_eq!(
+            apply(AggFunc::Every, &[t.clone(), t.clone()]),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            apply(AggFunc::Every, &[t.clone(), f.clone()]),
+            Ok(Value::Bool(false))
+        );
+        assert_eq!(
+            apply(AggFunc::Some, &[f.clone(), t.clone()]),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            apply(AggFunc::Some, &[f.clone(), f]),
+            Ok(Value::Bool(false))
+        );
     }
 
     #[test]

@@ -131,17 +131,35 @@ mod tests {
 
     #[test]
     fn int_arithmetic_stays_int_and_truncates_division() {
-        assert_eq!(num_binop(NumOp::Add, &Value::Int(2), &Value::Int(3)), Ok(Value::Int(5)));
-        assert_eq!(num_binop(NumOp::Div, &Value::Int(7), &Value::Int(2)), Ok(Value::Int(3)));
-        assert_eq!(num_binop(NumOp::Div, &Value::Int(-7), &Value::Int(2)), Ok(Value::Int(-3)));
-        assert_eq!(num_binop(NumOp::Rem, &Value::Int(7), &Value::Int(2)), Ok(Value::Int(1)));
+        assert_eq!(
+            num_binop(NumOp::Add, &Value::Int(2), &Value::Int(3)),
+            Ok(Value::Int(5))
+        );
+        assert_eq!(
+            num_binop(NumOp::Div, &Value::Int(7), &Value::Int(2)),
+            Ok(Value::Int(3))
+        );
+        assert_eq!(
+            num_binop(NumOp::Div, &Value::Int(-7), &Value::Int(2)),
+            Ok(Value::Int(-3))
+        );
+        assert_eq!(
+            num_binop(NumOp::Rem, &Value::Int(7), &Value::Int(2)),
+            Ok(Value::Int(1))
+        );
     }
 
     #[test]
     fn decimal_promotion() {
-        assert_eq!(num_binop(NumOp::Add, &Value::Int(1), &d("0.5")), Ok(d("1.5")));
+        assert_eq!(
+            num_binop(NumOp::Add, &Value::Int(1), &d("0.5")),
+            Ok(d("1.5"))
+        );
         assert_eq!(num_binop(NumOp::Mul, &d("1.5"), &d("2")), Ok(d("3")));
-        assert_eq!(num_binop(NumOp::Div, &d("1"), &Value::Int(4)), Ok(d("0.25")));
+        assert_eq!(
+            num_binop(NumOp::Div, &d("1"), &Value::Int(4)),
+            Ok(d("0.25"))
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn absent_values_pass_through() {
         assert_eq!(cast(&Value::Null, CastTarget::Int), Some(Value::Null));
-        assert_eq!(cast(&Value::Missing, CastTarget::String), Some(Value::Missing));
+        assert_eq!(
+            cast(&Value::Missing, CastTarget::String),
+            Some(Value::Missing)
+        );
     }
 
     #[test]
@@ -102,8 +105,14 @@ mod tests {
             cast(&Value::Decimal("42.9".parse().unwrap()), CastTarget::Int),
             Some(Value::Int(42))
         );
-        assert_eq!(cast(&Value::Float(-1.7), CastTarget::Int), Some(Value::Int(-1)));
-        assert_eq!(cast(&Value::Str(" 17 ".into()), CastTarget::Int), Some(Value::Int(17)));
+        assert_eq!(
+            cast(&Value::Float(-1.7), CastTarget::Int),
+            Some(Value::Int(-1))
+        );
+        assert_eq!(
+            cast(&Value::Str(" 17 ".into()), CastTarget::Int),
+            Some(Value::Int(17))
+        );
         assert_eq!(cast(&Value::Str("abc".into()), CastTarget::Int), None);
         assert_eq!(cast(&Value::Float(f64::NAN), CastTarget::Int), None);
     }
@@ -127,7 +136,10 @@ mod tests {
             cast(&Value::Str("TRUE".into()), CastTarget::Bool),
             Some(Value::Bool(true))
         );
-        assert_eq!(cast(&Value::Int(0), CastTarget::Bool), Some(Value::Bool(false)));
+        assert_eq!(
+            cast(&Value::Int(0), CastTarget::Bool),
+            Some(Value::Bool(false))
+        );
         assert_eq!(cast(&Value::Str("yes".into()), CastTarget::Bool), None);
     }
 

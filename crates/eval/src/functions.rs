@@ -187,9 +187,7 @@ fn dispatch(name: &str, args: &[Value], compat: bool) -> FuncResult {
             let s = str_arg(name, args, 1)?;
             // 1-based character position; 0 when absent.
             match s.find(sub) {
-                Some(byte_pos) => {
-                    Ok(Value::Int(s[..byte_pos].chars().count() as i64 + 1))
-                }
+                Some(byte_pos) => Ok(Value::Int(s[..byte_pos].chars().count() as i64 + 1)),
                 None => Ok(Value::Int(0)),
             }
         }
@@ -281,7 +279,11 @@ fn dispatch(name: &str, args: &[Value], compat: bool) -> FuncResult {
         }
         "ROUND" => {
             arity(name, args, 1..=2)?;
-            let digits = if args.len() == 2 { int_arg(name, args, 1)? } else { 0 };
+            let digits = if args.len() == 2 {
+                int_arg(name, args, 1)?
+            } else {
+                0
+            };
             if digits < 0 {
                 return Err("ROUND: negative digit count".to_string());
             }
@@ -370,13 +372,8 @@ fn dispatch(name: &str, args: &[Value], compat: bool) -> FuncResult {
         "CARDINALITY" | "ARRAY_LENGTH" => {
             arity(name, args, 1..=1)?;
             match &args[0] {
-                Value::Array(items) | Value::Bag(items) => {
-                    Ok(Value::Int(items.len() as i64))
-                }
-                other => Err(format!(
-                    "{name}: not a collection: {}",
-                    other.kind().name()
-                )),
+                Value::Array(items) | Value::Bag(items) => Ok(Value::Int(items.len() as i64)),
+                other => Err(format!("{name}: not a collection: {}", other.kind().name())),
             }
         }
         "TO_STRING" => {
@@ -384,10 +381,7 @@ fn dispatch(name: &str, args: &[Value], compat: bool) -> FuncResult {
             match &args[0] {
                 Value::Str(_) => Ok(args[0].clone()),
                 v if v.is_scalar() => Ok(Value::Str(v.to_string())),
-                other => Err(format!(
-                    "TO_STRING: not a scalar: {}",
-                    other.kind().name()
-                )),
+                other => Err(format!("TO_STRING: not a scalar: {}", other.kind().name())),
             }
         }
         // ---------------- tuple/array reflection ----------------
@@ -408,9 +402,7 @@ fn dispatch(name: &str, args: &[Value], compat: bool) -> FuncResult {
         "OBJECT_VALUES" => {
             arity(name, args, 1..=1)?;
             match &args[0] {
-                Value::Tuple(t) => Ok(Value::Array(
-                    t.iter().map(|(_, v)| v.clone()).collect(),
-                )),
+                Value::Tuple(t) => Ok(Value::Array(t.iter().map(|(_, v)| v.clone()).collect())),
                 other => Err(format!(
                     "OBJECT_VALUES: not a tuple: {}",
                     other.kind().name()
@@ -447,9 +439,7 @@ fn dispatch(name: &str, args: &[Value], compat: bool) -> FuncResult {
             arity(name, args, 2..=2)?;
             match &args[0] {
                 Value::Array(items) | Value::Bag(items) => Ok(Value::Bool(
-                    items
-                        .iter()
-                        .any(|v| sqlpp_value::cmp::deep_eq(v, &args[1])),
+                    items.iter().any(|v| sqlpp_value::cmp::deep_eq(v, &args[1])),
                 )),
                 other => Err(format!(
                     "ARRAY_CONTAINS: not a collection: {}",
@@ -478,9 +468,7 @@ fn dispatch(name: &str, args: &[Value], compat: bool) -> FuncResult {
         "ARRAY_REVERSE" => {
             arity(name, args, 1..=1)?;
             match &args[0] {
-                Value::Array(items) => {
-                    Ok(Value::Array(items.iter().rev().cloned().collect()))
-                }
+                Value::Array(items) => Ok(Value::Array(items.iter().rev().cloned().collect())),
                 other => Err(format!(
                     "ARRAY_REVERSE: not an array: {}",
                     other.kind().name()
@@ -564,29 +552,38 @@ mod tests {
     fn coalesce_follows_the_papers_exception() {
         // §IV-B: COALESCE(MISSING, 2) = 2 in SQL-compat mode…
         let args = [Value::Missing, Value::Int(2)];
-        assert_eq!(call("COALESCE", &args, true).unwrap().unwrap(), Value::Int(2));
+        assert_eq!(
+            call("COALESCE", &args, true).unwrap().unwrap(),
+            Value::Int(2)
+        );
         // …but propagates MISSING in pure composability mode.
         assert_eq!(
             call("COALESCE", &args, false).unwrap().unwrap(),
             Value::Missing
         );
-        assert_eq!(
-            ok("COALESCE", &[Value::Null, Value::Int(3)]),
-            Value::Int(3)
-        );
+        assert_eq!(ok("COALESCE", &[Value::Null, Value::Int(3)]), Value::Int(3));
         assert_eq!(ok("COALESCE", &[Value::Null, Value::Null]), Value::Null);
     }
 
     #[test]
     fn string_functions() {
-        assert_eq!(ok("LOWER", &["OLAP Security".into()]), "olap security".into());
+        assert_eq!(
+            ok("LOWER", &["OLAP Security".into()]),
+            "olap security".into()
+        );
         assert_eq!(ok("UPPER", &["abc".into()]), "ABC".into());
         assert_eq!(ok("CHAR_LENGTH", &["héllo".into()]), Value::Int(5));
         assert_eq!(
-            ok("SUBSTRING", &["abcdef".into(), Value::Int(2), Value::Int(3)]),
+            ok(
+                "SUBSTRING",
+                &["abcdef".into(), Value::Int(2), Value::Int(3)]
+            ),
             "bcd".into()
         );
-        assert_eq!(ok("SUBSTRING", &["abcdef".into(), Value::Int(4)]), "def".into());
+        assert_eq!(
+            ok("SUBSTRING", &["abcdef".into(), Value::Int(4)]),
+            "def".into()
+        );
         assert_eq!(ok("TRIM", &["  x  ".into()]), "x".into());
         assert_eq!(
             ok("POSITION", &["Sec".into(), "OLTP Security".into()]),
@@ -616,7 +613,10 @@ mod tests {
         );
         assert_eq!(ok("FLOOR", &[Value::Float(1.8)]), Value::Float(1.0));
         assert_eq!(
-            ok("ROUND", &[Value::Decimal("2.45".parse().unwrap()), Value::Int(1)]),
+            ok(
+                "ROUND",
+                &[Value::Decimal("2.45".parse().unwrap()), Value::Int(1)]
+            ),
             Value::Decimal("2.5".parse().unwrap())
         );
         assert_eq!(ok("SQRT", &[Value::Int(9)]), Value::Float(3.0));
@@ -671,7 +671,9 @@ mod tests {
             Value::Array(vec![Value::Int(1), "x".into()])
         );
         assert_eq!(ok("OBJECT_LENGTH", &[t]), Value::Int(2));
-        assert!(call("OBJECT_NAMES", &[Value::Int(1)], true).unwrap().is_err());
+        assert!(call("OBJECT_NAMES", &[Value::Int(1)], true)
+            .unwrap()
+            .is_err());
     }
 
     #[test]
@@ -693,10 +695,7 @@ mod tests {
             ok("ARRAY_REVERSE", &[array![1i64, 2i64]]),
             array![2i64, 1i64]
         );
-        assert_eq!(
-            ok("TO_ARRAY", &[sqlpp_value::bag![1i64]]),
-            array![1i64]
-        );
+        assert_eq!(ok("TO_ARRAY", &[sqlpp_value::bag![1i64]]), array![1i64]);
         assert_eq!(ok("TO_BAG", &[array![1i64]]), sqlpp_value::bag![1i64]);
         assert_eq!(ok("TO_ARRAY", &[Value::Int(5)]), array![5i64]);
     }

@@ -11,8 +11,8 @@ use std::collections::HashMap;
 
 use sqlpp_catalog::Catalog;
 use sqlpp_plan::{
-    AggFunc, Coercion, CompatMode, CoreExpr, CoreFrom, CoreJoinKind, CoreOp, CoreQuery,
-    CoreSetOp, CoreSortKey, WindowDef, WindowFunc,
+    AggFunc, Coercion, CompatMode, CoreExpr, CoreFrom, CoreJoinKind, CoreOp, CoreQuery, CoreSetOp,
+    CoreSortKey, WindowDef, WindowFunc,
 };
 use sqlpp_syntax::ast::{BinOp, IsTest, UnOp};
 use sqlpp_value::cmp::{deep_eq, sql_compare, sql_eq, total_cmp};
@@ -62,7 +62,11 @@ pub struct Evaluator<'a> {
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator over a catalog.
     pub fn new(catalog: &'a Catalog, config: EvalConfig) -> Self {
-        Evaluator { catalog, config, params: Vec::new() }
+        Evaluator {
+            catalog,
+            config,
+            params: Vec::new(),
+        }
     }
 
     /// Supplies positional parameter values.
@@ -96,7 +100,11 @@ impl<'a> Evaluator<'a> {
     /// Evaluates a value-producing operator.
     fn value_op(&self, op: &CoreOp, env: &Env) -> Result<Value, EvalError> {
         match op {
-            CoreOp::Project { input, expr, distinct } => {
+            CoreOp::Project {
+                input,
+                expr,
+                distinct,
+            } => {
                 let bindings = self.bindings(input, env)?;
                 let mut out = Vec::with_capacity(bindings.len());
                 for b in &bindings {
@@ -118,16 +126,23 @@ impl<'a> Evaluator<'a> {
                         Value::Missing | Value::Null => {}
                         other => {
                             // Permissive mode skips the pair; strict errors.
-                            let _ = self.type_err(|| format!(
-                                "PIVOT attribute name must be a string, found {}",
-                                other.kind().name()
-                            ))?;
+                            let _ = self.type_err(|| {
+                                format!(
+                                    "PIVOT attribute name must be a string, found {}",
+                                    other.kind().name()
+                                )
+                            })?;
                         }
                     }
                 }
                 Ok(Value::Tuple(t))
             }
-            CoreOp::SetOp { op, all, left, right } => {
+            CoreOp::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
                 let l = self.value_stream(left, env)?;
                 let r = self.value_stream(right, env)?;
                 Ok(Value::Bag(eval_set_op(*op, *all, l, r)))
@@ -148,7 +163,11 @@ impl<'a> Evaluator<'a> {
                 sort_annotated(&mut annotated, keys);
                 Ok(Value::Bag(annotated.into_iter().map(|(_, v)| v).collect()))
             }
-            CoreOp::LimitOffset { input, limit, offset } => {
+            CoreOp::LimitOffset {
+                input,
+                limit,
+                offset,
+            } => {
                 let values = self.value_stream(input, env)?;
                 let (lim, off) = self.limit_offset(limit, offset, env)?;
                 Ok(Value::Bag(apply_limit(values, lim, off)))
@@ -166,7 +185,10 @@ impl<'a> Evaluator<'a> {
             other => {
                 let bindings = self.bindings(other, env)?;
                 Ok(Value::Bag(
-                    bindings.iter().map(|_| Value::Tuple(Tuple::new())).collect(),
+                    bindings
+                        .iter()
+                        .map(|_| Value::Tuple(Tuple::new()))
+                        .collect(),
                 ))
             }
         }
@@ -195,9 +217,13 @@ impl<'a> Evaluator<'a> {
                 }
                 Ok(out)
             }
-            CoreOp::Group { input, keys, group_var, captured, emit_empty_group } => {
-                self.group(input, keys, group_var, captured, *emit_empty_group, env)
-            }
+            CoreOp::Group {
+                input,
+                keys,
+                group_var,
+                captured,
+                emit_empty_group,
+            } => self.group(input, keys, group_var, captured, *emit_empty_group, env),
             CoreOp::Append { inputs } => {
                 let mut out = Vec::new();
                 for i in inputs {
@@ -218,7 +244,11 @@ impl<'a> Evaluator<'a> {
                 sort_annotated(&mut annotated, keys);
                 Ok(annotated.into_iter().map(|(_, b)| b).collect())
             }
-            CoreOp::LimitOffset { input, limit, offset } => {
+            CoreOp::LimitOffset {
+                input,
+                limit,
+                offset,
+            } => {
                 let input_bindings = self.bindings(input, env)?;
                 let (lim, off) = self.limit_offset(limit, offset, env)?;
                 Ok(apply_limit(input_bindings, lim, off))
@@ -371,8 +401,7 @@ impl<'a> Evaluator<'a> {
             // Peer groups under the ordering (all one group when
             // unordered).
             let peers_equal = |a: &[Value], b: &[Value]| {
-                def.order.is_empty()
-                    || a.iter().zip(b).all(|(x, y)| deep_eq(x, y))
+                def.order.is_empty() || a.iter().zip(b).all(|(x, y)| deep_eq(x, y))
             };
             match def.func {
                 WindowFunc::RowNumber => {
@@ -384,8 +413,7 @@ impl<'a> Evaluator<'a> {
                     let mut rank = 0i64;
                     let mut dense = 0i64;
                     for (pos, (keys, i)) in ordered.iter().enumerate() {
-                        let new_peer_group =
-                            pos == 0 || !peers_equal(keys, &ordered[pos - 1].0);
+                        let new_peer_group = pos == 0 || !peers_equal(keys, &ordered[pos - 1].0);
                         if new_peer_group {
                             rank = pos as i64 + 1;
                             dense += 1;
@@ -414,9 +442,7 @@ impl<'a> Evaluator<'a> {
                             WindowFunc::Lag => (pos as i64) - offset,
                             _ => (pos as i64) + offset,
                         };
-                        computed[*i] = if neighbor >= 0
-                            && (neighbor as usize) < ordered.len()
-                        {
+                        computed[*i] = if neighbor >= 0 && (neighbor as usize) < ordered.len() {
                             let j = ordered[neighbor as usize].1;
                             self.expr(&def.args[0], &rows[j])?
                         } else if let Some(default) = def.args.get(2) {
@@ -496,11 +522,19 @@ impl<'a> Evaluator<'a> {
     #[allow(clippy::wrong_self_convention)] // "from" is the SQL clause
     fn from_item(&self, item: &CoreFrom, env: &Env) -> Result<Vec<Env>, EvalError> {
         match item {
-            CoreFrom::Scan { expr, as_var, at_var } => {
+            CoreFrom::Scan {
+                expr,
+                as_var,
+                at_var,
+            } => {
                 let source = self.expr(expr, env)?;
                 self.scan(source, as_var, at_var.as_deref(), env)
             }
-            CoreFrom::Unpivot { expr, value_var, name_var } => {
+            CoreFrom::Unpivot {
+                expr,
+                value_var,
+                name_var,
+            } => {
                 let source = self.expr(expr, env)?;
                 self.unpivot(source, value_var, name_var, env)
             }
@@ -516,7 +550,13 @@ impl<'a> Evaluator<'a> {
                 }
                 Ok(out)
             }
-            CoreFrom::Join { kind, left, right, on, right_vars } => {
+            CoreFrom::Join {
+                kind,
+                left,
+                right,
+                on,
+                right_vars,
+            } => {
                 let lefts = self.from_item(left, env)?;
                 let mut out = Vec::new();
                 for l in lefts {
@@ -566,8 +606,7 @@ impl<'a> Evaluator<'a> {
                             }
                             TypingMode::StrictError => {
                                 return Err(EvalError::Type(
-                                    "AT position variable over an unordered bag"
-                                        .to_string(),
+                                    "AT position variable over an unordered bag".to_string(),
                                 ));
                             }
                         }
@@ -658,19 +697,17 @@ impl<'a> Evaluator<'a> {
                 .cloned()
                 .ok_or(EvalError::MissingParam(*i)),
             CoreExpr::Global(segments) => self.resolve_global(segments, env),
-            CoreExpr::Dynamic(name) => {
-                self.resolve_global(std::slice::from_ref(name), env)
-            }
+            CoreExpr::Dynamic(name) => self.resolve_global(std::slice::from_ref(name), env),
             CoreExpr::Path(base, attr) => {
                 let base = self.expr(base, env)?;
                 match &base {
-                    Value::Tuple(_) | Value::Null | Value::Missing => {
-                        Ok(base.path(attr))
-                    }
-                    other => self.type_err(|| format!(
-                        "cannot navigate attribute {attr:?} of a {}",
-                        other.kind().name()
-                    )),
+                    Value::Tuple(_) | Value::Null | Value::Missing => Ok(base.path(attr)),
+                    other => self.type_err(|| {
+                        format!(
+                            "cannot navigate attribute {attr:?} of a {}",
+                            other.kind().name()
+                        )
+                    }),
                 }
             }
             CoreExpr::Index(base, idx) => {
@@ -684,11 +721,13 @@ impl<'a> Evaluator<'a> {
                 }
                 match (&base, &idx) {
                     (Value::Array(_), Value::Int(i)) => Ok(base.index(*i)),
-                    _ => self.type_err(|| format!(
-                        "cannot index a {} with a {}",
-                        base.kind().name(),
-                        idx.kind().name()
-                    )),
+                    _ => self.type_err(|| {
+                        format!(
+                            "cannot index a {} with a {}",
+                            base.kind().name(),
+                            idx.kind().name()
+                        )
+                    }),
                 }
             }
             CoreExpr::Bin(op, l, r) => self.binop(*op, l, r, env),
@@ -703,39 +742,53 @@ impl<'a> Evaluator<'a> {
                 match op {
                     UnOp::Not => match v {
                         Value::Bool(b) => Ok(Value::Bool(!b)),
-                        other => self.type_err(|| format!(
-                            "NOT requires a boolean, found {}",
-                            other.kind().name()
-                        )),
+                        other => self.type_err(|| {
+                            format!("NOT requires a boolean, found {}", other.kind().name())
+                        }),
                     },
                     UnOp::Neg => self.lift_num(num_neg(&v)),
                     UnOp::Pos => {
                         if v.is_number() {
                             Ok(v)
                         } else {
-                            self.type_err(|| format!(
-                                "unary + requires a number, found {}",
-                                v.kind().name()
-                            ))
+                            self.type_err(|| {
+                                format!("unary + requires a number, found {}", v.kind().name())
+                            })
                         }
                     }
                 }
             }
-            CoreExpr::Like { expr, pattern, escape, negated } => {
-                self.like(expr, pattern, escape.as_deref(), *negated, env)
-            }
-            CoreExpr::Between { expr, low, high, negated } => {
+            CoreExpr::Like {
+                expr,
+                pattern,
+                escape,
+                negated,
+            } => self.like(expr, pattern, escape.as_deref(), *negated, env),
+            CoreExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 // x BETWEEN a AND b ≡ a <= x AND x <= b under 3VL.
                 let ge = self.compare(BinOp::GtEq, expr, low, env)?;
                 let le = self.compare(BinOp::LtEq, expr, high, env)?;
                 let both = logical_and(&ge, &le);
                 Ok(if *negated { logical_not(&both) } else { both })
             }
-            CoreExpr::In { expr, collection, negated } => {
+            CoreExpr::In {
+                expr,
+                collection,
+                negated,
+            } => {
                 let v = self.in_predicate(expr, collection, env)?;
                 Ok(if *negated { logical_not(&v) } else { v })
             }
-            CoreExpr::Is { expr, test, negated } => {
+            CoreExpr::Is {
+                expr,
+                test,
+                negated,
+            } => {
                 let v = self.expr(expr, env)?;
                 let result = match test {
                     // SQL compatibility: IS NULL is true for both absent
@@ -755,9 +808,7 @@ impl<'a> Evaluator<'a> {
                         // MISSING … END … will in turn evaluate to
                         // MISSING". SQL-compat mode keeps SQL's rule
                         // (non-true falls through to the next arm/ELSE).
-                        Value::Missing
-                            if self.config.compat == CompatMode::Composable =>
-                        {
+                        Value::Missing if self.config.compat == CompatMode::Composable => {
                             return Ok(Value::Missing);
                         }
                         _ => {}
@@ -770,18 +821,16 @@ impl<'a> Evaluator<'a> {
                 for a in args {
                     vals.push(self.expr(a, env)?);
                 }
-                match functions::call(
-                    name,
-                    &vals,
-                    self.config.compat == CompatMode::SqlCompat,
-                )? {
+                match functions::call(name, &vals, self.config.compat == CompatMode::SqlCompat)? {
                     Ok(v) => Ok(v),
                     Err(msg) => self.type_err(|| msg),
                 }
             }
-            CoreExpr::CollAgg { func, distinct, input } => {
-                self.coll_agg(*func, *distinct, input, env)
-            }
+            CoreExpr::CollAgg {
+                func,
+                distinct,
+                input,
+            } => self.coll_agg(*func, *distinct, input, env),
             CoreExpr::Subquery { plan, coercion } => {
                 let v = self.run_in(plan, env)?;
                 self.coerce_subquery(v, *coercion)
@@ -810,10 +859,12 @@ impl<'a> Evaluator<'a> {
                             }
                         },
                         other => {
-                            self.type_err(|| format!(
-                                "tuple attribute name must be a string, found {}",
-                                other.kind().name()
-                            ))?;
+                            self.type_err(|| {
+                                format!(
+                                    "tuple attribute name must be a string, found {}",
+                                    other.kind().name()
+                                )
+                            })?;
                         }
                     }
                 }
@@ -841,15 +892,12 @@ impl<'a> Evaluator<'a> {
             }
             CoreExpr::Cast { expr, ty } => {
                 let v = self.expr(expr, env)?;
-                let target = CastTarget::parse(ty).ok_or_else(|| {
-                    EvalError::Type(format!("unknown CAST target type {ty}"))
-                })?;
+                let target = CastTarget::parse(ty)
+                    .ok_or_else(|| EvalError::Type(format!("unknown CAST target type {ty}")))?;
                 match cast(&v, target) {
                     Some(out) => Ok(out),
-                    None => self.type_err(|| format!(
-                        "cannot cast {} value {v} to {ty}",
-                        v.kind().name()
-                    )),
+                    None => self
+                        .type_err(|| format!("cannot cast {} value {v} to {ty}", v.kind().name())),
                 }
             }
         }
@@ -926,13 +974,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn binop(
-        &self,
-        op: BinOp,
-        l: &CoreExpr,
-        r: &CoreExpr,
-        env: &Env,
-    ) -> Result<Value, EvalError> {
+    fn binop(&self, op: BinOp, l: &CoreExpr, r: &CoreExpr, env: &Env) -> Result<Value, EvalError> {
         // AND/OR have their own absent-value tables (SQL 3VL extended to
         // MISSING; FALSE/TRUE dominate even absent operands).
         if op == BinOp::And || op == BinOp::Or {
@@ -956,9 +998,7 @@ impl<'a> Evaluator<'a> {
         match op {
             BinOp::Eq => Ok(sql_eq(&lv, &rv)),
             BinOp::NotEq => Ok(logical_not(&sql_eq(&lv, &rv))),
-            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-                self.compare_values(op, &lv, &rv)
-            }
+            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => self.compare_values(op, &lv, &rv),
             BinOp::Add => self.arith(NumOp::Add, &lv, &rv),
             BinOp::Sub => self.arith(NumOp::Sub, &lv, &rv),
             BinOp::Mul => self.arith(NumOp::Mul, &lv, &rv),
@@ -978,11 +1018,13 @@ impl<'a> Evaluator<'a> {
                         s.push_str(b);
                         Ok(Value::Str(s))
                     }
-                    _ => self.type_err(|| format!(
-                        "|| requires strings, found {} and {}",
-                        lv.kind().name(),
-                        rv.kind().name()
-                    )),
+                    _ => self.type_err(|| {
+                        format!(
+                            "|| requires strings, found {} and {}",
+                            lv.kind().name(),
+                            rv.kind().name()
+                        )
+                    }),
                 }
             }
             BinOp::And | BinOp::Or => unreachable!("handled above"),
@@ -1021,11 +1063,13 @@ impl<'a> Evaluator<'a> {
                 BinOp::GtEq => ord.is_ge(),
                 _ => unreachable!(),
             })),
-            Ok(None) => self.type_err(|| format!(
-                "cannot compare {} with {}",
-                lv.kind().name(),
-                rv.kind().name()
-            )),
+            Ok(None) => self.type_err(|| {
+                format!(
+                    "cannot compare {} with {}",
+                    lv.kind().name(),
+                    rv.kind().name()
+                )
+            }),
         }
     }
 
@@ -1036,10 +1080,12 @@ impl<'a> Evaluator<'a> {
             Value::Bool(b) => Ok(Logical::Bool(*b)),
             Value::Missing => Ok(Logical::Missing),
             Value::Null => Ok(Logical::Null),
-            other => match self.type_err(|| format!(
-                "logical operator requires a boolean, found {}",
-                other.kind().name()
-            ))? {
+            other => match self.type_err(|| {
+                format!(
+                    "logical operator requires a boolean, found {}",
+                    other.kind().name()
+                )
+            })? {
                 Value::Missing => Ok(Logical::Missing),
                 _ => Ok(Logical::Missing),
             },
@@ -1060,7 +1106,10 @@ impl<'a> Evaluator<'a> {
             Some(e) => Some(self.expr(e, env)?),
             None => None,
         };
-        for v in [Some(&text), Some(&pat), esc.as_ref()].into_iter().flatten() {
+        for v in [Some(&text), Some(&pat), esc.as_ref()]
+            .into_iter()
+            .flatten()
+        {
             if v.is_missing() {
                 return Ok(Value::Missing);
             }
@@ -1071,11 +1120,13 @@ impl<'a> Evaluator<'a> {
         let (text, pat) = match (&text, &pat) {
             (Value::Str(t), Value::Str(p)) => (t, p),
             _ => {
-                return self.type_err(|| format!(
-                    "LIKE requires strings, found {} and {}",
-                    text.kind().name(),
-                    pat.kind().name()
-                ));
+                return self.type_err(|| {
+                    format!(
+                        "LIKE requires strings, found {} and {}",
+                        text.kind().name(),
+                        pat.kind().name()
+                    )
+                });
             }
         };
         let esc_char = match &esc {
@@ -1085,17 +1136,14 @@ impl<'a> Evaluator<'a> {
                 match (chars.next(), chars.next()) {
                     (Some(c), None) => Some(c),
                     _ => {
-                        return self.type_err(|| {
-                            "ESCAPE must be a single character".to_string()
-                        });
+                        return self.type_err(|| "ESCAPE must be a single character".to_string());
                     }
                 }
             }
             Some(other) => {
-                return self.type_err(|| format!(
-                    "ESCAPE must be a string, found {}",
-                    other.kind().name()
-                ));
+                return self.type_err(|| {
+                    format!("ESCAPE must be a string, found {}", other.kind().name())
+                });
             }
         };
         match like_match(text, pat, esc_char) {
@@ -1126,10 +1174,8 @@ impl<'a> Evaluator<'a> {
         let items = match hay.as_elements() {
             Some(items) => items,
             None => {
-                return self.type_err(|| format!(
-                    "IN requires a collection, found {}",
-                    hay.kind().name()
-                ));
+                return self
+                    .type_err(|| format!("IN requires a collection, found {}", hay.kind().name()));
             }
         };
         if needle.is_null() {
@@ -1143,7 +1189,11 @@ impl<'a> Evaluator<'a> {
                 _ => saw_absent = true,
             }
         }
-        Ok(if saw_absent { Value::Null } else { Value::Bool(false) })
+        Ok(if saw_absent {
+            Value::Null
+        } else {
+            Value::Bool(false)
+        })
     }
 
     fn coll_agg(
@@ -1157,8 +1207,16 @@ impl<'a> Evaluator<'a> {
         // aggregates incrementally instead of materializing the bag —
         // legal because the materialization is only conceptual (§V-C).
         if self.config.pipeline_aggregates && !distinct {
-            if let CoreExpr::Subquery { plan, coercion: Coercion::Bag } = input {
-                if let CoreOp::Project { input: sub_in, expr, distinct: false } = &plan.op
+            if let CoreExpr::Subquery {
+                plan,
+                coercion: Coercion::Bag,
+            } = input
+            {
+                if let CoreOp::Project {
+                    input: sub_in,
+                    expr,
+                    distinct: false,
+                } = &plan.op
                 {
                     let mut acc = agg::Accumulator::new(func);
                     for b in self.bindings(sub_in, env)? {
@@ -1181,14 +1239,20 @@ impl<'a> Evaluator<'a> {
         let items = match v.as_elements() {
             Some(items) => items.to_vec(),
             None => {
-                return self.type_err(|| format!(
-                    "{} requires a collection, found {}",
-                    func.coll_name(),
-                    v.kind().name()
-                ));
+                return self.type_err(|| {
+                    format!(
+                        "{} requires a collection, found {}",
+                        func.coll_name(),
+                        v.kind().name()
+                    )
+                });
             }
         };
-        let items = if distinct { agg::distinct_elements(&items) } else { items };
+        let items = if distinct {
+            agg::distinct_elements(&items)
+        } else {
+            items
+        };
         match agg::apply(func, &items) {
             Ok(v) => Ok(v),
             Err(e) => self.agg_err(e),
@@ -1197,11 +1261,13 @@ impl<'a> Evaluator<'a> {
 
     fn agg_err(&self, e: agg::AggError) -> Result<Value, EvalError> {
         match e {
-            agg::AggError::BadElement { func, kind } => self.type_err(|| format!(
-                "{} over a non-aggregatable {} element",
-                func.coll_name(),
-                kind
-            )),
+            agg::AggError::BadElement { func, kind } => self.type_err(|| {
+                format!(
+                    "{} over a non-aggregatable {} element",
+                    func.coll_name(),
+                    kind
+                )
+            }),
             agg::AggError::Arithmetic(m) => match self.config.typing {
                 TypingMode::Permissive => Ok(Value::Missing),
                 TypingMode::StrictError => Err(EvalError::Arithmetic(m)),
@@ -1234,9 +1300,8 @@ impl<'a> Evaluator<'a> {
                 let items = match v.into_elements() {
                     Some(items) => items,
                     None => {
-                        return self.type_err(|| {
-                            "IN subquery did not produce a collection".to_string()
-                        });
+                        return self
+                            .type_err(|| "IN subquery did not produce a collection".to_string());
                     }
                 };
                 let mut out = Vec::with_capacity(items.len());
@@ -1250,9 +1315,7 @@ impl<'a> Evaluator<'a> {
 
     fn single_attr(&self, row: &Value) -> Result<Value, EvalError> {
         match row {
-            Value::Tuple(t) if t.len() == 1 => {
-                Ok(t.iter().next().expect("len 1").1.clone())
-            }
+            Value::Tuple(t) if t.len() == 1 => Ok(t.iter().next().expect("len 1").1.clone()),
             other => match self.config.typing {
                 TypingMode::Permissive => Ok(Value::Missing),
                 TypingMode::StrictError => Err(EvalError::Cardinality(format!(

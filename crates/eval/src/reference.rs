@@ -121,11 +121,12 @@ impl Helper<'_> {
                 SelectClause::SelectValue { expr, .. } => self
                     .eval_expr(expr, items, depth, env)
                     .map_err(ReferenceError::Eval)?,
-                SelectClause::Select { items: sel_items, .. } => {
+                SelectClause::Select {
+                    items: sel_items, ..
+                } => {
                     let mut t = sqlpp_value::Tuple::new();
                     for (i, item) in sel_items.iter().enumerate() {
-                        let sqlpp_syntax::ast::SelectItem::Expr { expr, alias } = item
-                        else {
+                        let sqlpp_syntax::ast::SelectItem::Expr { expr, alias } = item else {
                             return Err(ReferenceError::Unsupported("wildcards"));
                         };
                         let name = alias
@@ -170,9 +171,7 @@ impl Helper<'_> {
         depth: usize,
         env: &Env,
     ) -> Result<Value, EvalError> {
-        use sqlpp_syntax::ast::{
-            QueryBlock, SelectClause as SC, SetQuantifier,
-        };
+        use sqlpp_syntax::ast::{QueryBlock, SelectClause as SC, SetQuantifier};
         // Build `SELECT VALUE <expr>` with no FROM, lowered in a scope
         // where the first `depth` variables are declared, then evaluate
         // its projection expression directly.

@@ -29,7 +29,11 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { delimiter: b',', header: true, type_sniffing: true }
+        CsvOptions {
+            delimiter: b',',
+            header: true,
+            type_sniffing: true,
+        }
     }
 }
 
@@ -73,9 +77,9 @@ pub fn to_csv(v: &Value) -> Result<String, FormatError> {
         .ok_or_else(|| FormatError::encode("csv", "top-level value must be a collection"))?;
     let mut header: Vec<String> = Vec::new();
     for item in items {
-        let t = item.as_tuple().ok_or_else(|| {
-            FormatError::encode("csv", "every element must be a tuple")
-        })?;
+        let t = item
+            .as_tuple()
+            .ok_or_else(|| FormatError::encode("csv", "every element must be a tuple"))?;
         for name in t.names() {
             if !header.iter().any(|h| h == name) {
                 header.push(name.to_string());
@@ -113,7 +117,9 @@ pub fn to_csv(v: &Value) -> Result<String, FormatError> {
         }
         write_record(
             &mut out,
-            fields.iter().map(|f| f.as_ref().map(|(t, q)| (t.as_str(), *q))),
+            fields
+                .iter()
+                .map(|f| f.as_ref().map(|(t, q)| (t.as_str(), *q))),
         );
     }
     Ok(out)
@@ -227,7 +233,10 @@ fn parse_records(text: &str, delim: u8) -> Result<Vec<Vec<Field>>, FormatError> 
                 pos += 1;
             }
             b if b == delim => {
-                record.push(Field { text: std::mem::take(&mut field), quoted });
+                record.push(Field {
+                    text: std::mem::take(&mut field),
+                    quoted,
+                });
                 quoted = false;
                 any = true;
                 pos += 1;
@@ -237,7 +246,10 @@ fn parse_records(text: &str, delim: u8) -> Result<Vec<Vec<Field>>, FormatError> 
             }
             b'\n' => {
                 if any || !field.is_empty() || !record.is_empty() {
-                    record.push(Field { text: std::mem::take(&mut field), quoted });
+                    record.push(Field {
+                        text: std::mem::take(&mut field),
+                        quoted,
+                    });
                     records.push(std::mem::take(&mut record));
                 }
                 quoted = false;
@@ -256,7 +268,10 @@ fn parse_records(text: &str, delim: u8) -> Result<Vec<Vec<Field>>, FormatError> 
         return Err(FormatError::parse("csv", "unterminated quoted field", pos));
     }
     if any || !field.is_empty() || !record.is_empty() {
-        record.push(Field { text: field, quoted });
+        record.push(Field {
+            text: field,
+            quoted,
+        });
         records.push(record);
     }
     Ok(records)
@@ -313,7 +328,10 @@ mod tests {
     #[test]
     fn quoted_numbers_stay_strings() {
         let v = read("a\n\"42\"\n");
-        assert_eq!(v.as_elements().unwrap()[0].path("a"), Value::Str("42".into()));
+        assert_eq!(
+            v.as_elements().unwrap()[0].path("a"),
+            Value::Str("42".into())
+        );
     }
 
     #[test]
@@ -334,15 +352,24 @@ mod tests {
 
     #[test]
     fn headerless_mode_names_columns_positionally() {
-        let opts = CsvOptions { header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            header: false,
+            ..CsvOptions::default()
+        };
         let v = from_csv("1,x\n2,y\n", &opts).unwrap();
         assert_eq!(v.as_elements().unwrap()[0].path("_1"), Value::Int(1));
-        assert_eq!(v.as_elements().unwrap()[1].path("_2"), Value::Str("y".into()));
+        assert_eq!(
+            v.as_elements().unwrap()[1].path("_2"),
+            Value::Str("y".into())
+        );
     }
 
     #[test]
     fn custom_delimiter() {
-        let opts = CsvOptions { delimiter: b';', ..CsvOptions::default() };
+        let opts = CsvOptions {
+            delimiter: b';',
+            ..CsvOptions::default()
+        };
         let v = from_csv("a;b\n1;2\n", &opts).unwrap();
         assert_eq!(v.as_elements().unwrap()[0].path("b"), Value::Int(2));
     }

@@ -20,12 +20,22 @@ enum Kind {
 impl FormatError {
     /// A parse (read) error at a byte offset.
     pub fn parse(format: &'static str, message: impl Into<String>, offset: usize) -> Self {
-        FormatError { format, kind: Kind::Parse, message: message.into(), offset }
+        FormatError {
+            format,
+            kind: Kind::Parse,
+            message: message.into(),
+            offset,
+        }
     }
 
     /// An encode (write) error.
     pub fn encode(format: &'static str, message: impl Into<String>) -> Self {
-        FormatError { format, kind: Kind::Encode, message: message.into(), offset: 0 }
+        FormatError {
+            format,
+            kind: Kind::Encode,
+            message: message.into(),
+            offset: 0,
+        }
     }
 
     /// Which format produced the error.

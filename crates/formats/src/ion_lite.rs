@@ -25,7 +25,6 @@
 //! tuple   : varint count, (string value)…
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sqlpp_value::{Decimal, Tuple, Value};
 
 use crate::error::FormatError;
@@ -44,10 +43,10 @@ const TAG_BAG: u8 = 10;
 const TAG_TUPLE: u8 = 11;
 
 /// Encodes a value to ion-lite bytes.
-pub fn to_ion_lite(v: &Value) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+pub fn to_ion_lite(v: &Value) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
     encode(v, &mut buf);
-    buf.freeze()
+    buf
 }
 
 /// Decodes one ion-lite value; the whole buffer must be consumed.
@@ -59,20 +58,34 @@ pub fn from_ion_lite(mut data: &[u8]) -> Result<Value, FormatError> {
     Ok(v)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u128) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u128) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn put_zigzag(buf: &mut BytesMut, v: i128) {
+fn put_zigzag(buf: &mut Vec<u8>, v: i128) {
     put_varint(buf, ((v << 1) ^ (v >> 127)) as u128);
+}
+
+/// Pops the first byte off the input cursor.
+fn get_u8(data: &mut &[u8]) -> Result<u8, FormatError> {
+    let (&first, rest) = data
+        .split_first()
+        .ok_or_else(|| FormatError::parse("ion-lite", "truncated value", 0))?;
+    *data = rest;
+    Ok(first)
+}
+
+/// Advances the input cursor past `n` bytes (caller has length-checked).
+fn advance(data: &mut &[u8], n: usize) {
+    *data = &data[n..];
 }
 
 fn get_varint(data: &mut &[u8]) -> Result<u128, FormatError> {
@@ -85,7 +98,7 @@ fn get_varint(data: &mut &[u8]) -> Result<u128, FormatError> {
         if shift >= 128 {
             return Err(FormatError::parse("ion-lite", "varint overflow", 0));
         }
-        let byte = data.get_u8();
+        let byte = get_u8(data)?;
         v |= ((byte & 0x7f) as u128) << shift;
         if byte & 0x80 == 0 {
             return Ok(v);
@@ -99,55 +112,55 @@ fn get_zigzag(data: &mut &[u8]) -> Result<i128, FormatError> {
     Ok(((raw >> 1) as i128) ^ -((raw & 1) as i128))
 }
 
-fn encode(v: &Value, buf: &mut BytesMut) {
+fn encode(v: &Value, buf: &mut Vec<u8>) {
     match v {
-        Value::Missing => buf.put_u8(TAG_MISSING),
-        Value::Null => buf.put_u8(TAG_NULL),
-        Value::Bool(false) => buf.put_u8(TAG_FALSE),
-        Value::Bool(true) => buf.put_u8(TAG_TRUE),
+        Value::Missing => buf.push(TAG_MISSING),
+        Value::Null => buf.push(TAG_NULL),
+        Value::Bool(false) => buf.push(TAG_FALSE),
+        Value::Bool(true) => buf.push(TAG_TRUE),
         Value::Int(i) => {
-            buf.put_u8(TAG_INT);
+            buf.push(TAG_INT);
             put_zigzag(buf, *i as i128);
         }
         Value::Float(f) => {
-            buf.put_u8(TAG_FLOAT);
-            buf.put_f64_le(*f);
+            buf.push(TAG_FLOAT);
+            buf.extend_from_slice(&f.to_le_bytes());
         }
         Value::Decimal(d) => {
-            buf.put_u8(TAG_DECIMAL);
+            buf.push(TAG_DECIMAL);
             put_zigzag(buf, d.mantissa());
             put_varint(buf, d.scale() as u128);
         }
         Value::Str(s) => {
-            buf.put_u8(TAG_STRING);
+            buf.push(TAG_STRING);
             put_varint(buf, s.len() as u128);
-            buf.put_slice(s.as_bytes());
+            buf.extend_from_slice(s.as_bytes());
         }
         Value::Bytes(b) => {
-            buf.put_u8(TAG_BYTES);
+            buf.push(TAG_BYTES);
             put_varint(buf, b.len() as u128);
-            buf.put_slice(b);
+            buf.extend_from_slice(b);
         }
         Value::Array(items) => {
-            buf.put_u8(TAG_ARRAY);
+            buf.push(TAG_ARRAY);
             put_varint(buf, items.len() as u128);
             for item in items {
                 encode(item, buf);
             }
         }
         Value::Bag(items) => {
-            buf.put_u8(TAG_BAG);
+            buf.push(TAG_BAG);
             put_varint(buf, items.len() as u128);
             for item in items {
                 encode(item, buf);
             }
         }
         Value::Tuple(t) => {
-            buf.put_u8(TAG_TUPLE);
+            buf.push(TAG_TUPLE);
             put_varint(buf, t.len() as u128);
             for (name, value) in t.iter() {
                 put_varint(buf, name.len() as u128);
-                buf.put_slice(name.as_bytes());
+                buf.extend_from_slice(name.as_bytes());
                 encode(value, buf);
             }
         }
@@ -162,10 +175,7 @@ fn decode(data: &mut &[u8], depth: usize) -> Result<Value, FormatError> {
     if depth > MAX_DEPTH {
         return Err(FormatError::parse("ion-lite", "nesting too deep", 0));
     }
-    if data.is_empty() {
-        return Err(FormatError::parse("ion-lite", "truncated value", 0));
-    }
-    let tag = data.get_u8();
+    let tag = get_u8(data)?;
     Ok(match tag {
         TAG_MISSING => Value::Missing,
         TAG_NULL => Value::Null,
@@ -173,21 +183,24 @@ fn decode(data: &mut &[u8], depth: usize) -> Result<Value, FormatError> {
         TAG_TRUE => Value::Bool(true),
         TAG_INT => {
             let raw = get_zigzag(data)?;
-            Value::Int(i64::try_from(raw).map_err(|_| {
-                FormatError::parse("ion-lite", "integer out of range", 0)
-            })?)
+            Value::Int(
+                i64::try_from(raw)
+                    .map_err(|_| FormatError::parse("ion-lite", "integer out of range", 0))?,
+            )
         }
         TAG_FLOAT => {
             if data.len() < 8 {
                 return Err(FormatError::parse("ion-lite", "truncated float", 0));
             }
-            Value::Float(data.get_f64_le())
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&data[..8]);
+            advance(data, 8);
+            Value::Float(f64::from_le_bytes(raw))
         }
         TAG_DECIMAL => {
             let mantissa = get_zigzag(data)?;
-            let scale = u32::try_from(get_varint(data)?).map_err(|_| {
-                FormatError::parse("ion-lite", "decimal scale out of range", 0)
-            })?;
+            let scale = u32::try_from(get_varint(data)?)
+                .map_err(|_| FormatError::parse("ion-lite", "decimal scale out of range", 0))?;
             if scale > 64 {
                 return Err(FormatError::parse("ion-lite", "decimal scale too large", 0));
             }
@@ -200,7 +213,7 @@ fn decode(data: &mut &[u8], depth: usize) -> Result<Value, FormatError> {
                 return Err(FormatError::parse("ion-lite", "truncated bytes", 0));
             }
             let b = data[..len].to_vec();
-            data.advance(len);
+            advance(data, len);
             Value::Bytes(b)
         }
         TAG_ARRAY | TAG_BAG => {
@@ -251,7 +264,7 @@ fn get_string(data: &mut &[u8]) -> Result<String, FormatError> {
     let s = std::str::from_utf8(&data[..len])
         .map_err(|_| FormatError::parse("ion-lite", "invalid UTF-8", 0))?
         .to_string();
-    data.advance(len);
+    advance(data, len);
     Ok(s)
 }
 

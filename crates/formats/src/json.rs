@@ -15,7 +15,11 @@ use crate::error::FormatError;
 
 /// Parses one JSON value.
 pub fn from_json(text: &str) -> Result<Value, FormatError> {
-    let mut p = JsonParser { text, bytes: text.as_bytes(), pos: 0 };
+    let mut p = JsonParser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -28,7 +32,11 @@ pub fn from_json(text: &str) -> Result<Value, FormatError> {
 /// Parses a stream of whitespace/newline-separated JSON values (JSON Lines)
 /// into a bag — the natural way to load a collection of documents.
 pub fn from_json_lines(text: &str) -> Result<Value, FormatError> {
-    let mut p = JsonParser { text, bytes: text.as_bytes(), pos: 0 };
+    let mut p = JsonParser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     let mut items = Vec::new();
     loop {
         p.skip_ws();
@@ -259,13 +267,11 @@ impl<'a> JsonParser<'a> {
                             if !(0xDC00..0xE000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                             char::from_u32(combined)
                                 .ok_or_else(|| self.err("invalid surrogate pair"))?
                         } else {
-                            char::from_u32(cp)
-                                .ok_or_else(|| self.err("invalid code point"))?
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
                         };
                         s.push(c);
                     }
@@ -291,7 +297,9 @@ impl<'a> JsonParser<'a> {
     fn hex4(&mut self) -> Result<u32, FormatError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let d = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             v = v * 16
                 + (d as char)
                     .to_digit(16)
@@ -390,16 +398,23 @@ mod tests {
             Value::Str("a\nb\tA".into())
         );
         // Surrogate pair: 😀
-        assert_eq!(
-            from_json(r#""😀""#).unwrap(),
-            Value::Str("😀".into())
-        );
+        assert_eq!(from_json(r#""😀""#).unwrap(), Value::Str("😀".into()));
         assert_eq!(from_json("\"héllo\"").unwrap(), Value::Str("héllo".into()));
     }
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["{", "[1,", "\"abc", "tru", "01x", "{\"a\" 1}", "[1 2]", "", "1 2"] {
+        for bad in [
+            "{",
+            "[1,",
+            "\"abc",
+            "tru",
+            "01x",
+            "{\"a\" 1}",
+            "[1 2]",
+            "",
+            "1 2",
+        ] {
             assert!(from_json(bad).is_err(), "{bad:?} should fail");
         }
     }

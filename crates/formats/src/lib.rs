@@ -91,8 +91,8 @@ impl DataFormat for CsvFormat {
         "csv"
     }
     fn read(&self, data: &[u8]) -> Result<Value, FormatError> {
-        let text = std::str::from_utf8(data)
-            .map_err(|_| FormatError::parse("csv", "invalid UTF-8", 0))?;
+        let text =
+            std::str::from_utf8(data).map_err(|_| FormatError::parse("csv", "invalid UTF-8", 0))?;
         csv::from_csv(text, &self.options)
     }
     fn write(&self, value: &Value) -> Result<Vec<u8>, FormatError> {
@@ -112,7 +112,7 @@ impl DataFormat for IonLiteFormat {
         ion_lite::from_ion_lite(data)
     }
     fn write(&self, value: &Value) -> Result<Vec<u8>, FormatError> {
-        Ok(ion_lite::to_ion_lite(value).to_vec())
+        Ok(ion_lite::to_ion_lite(value))
     }
 }
 

@@ -19,7 +19,11 @@ use crate::error::FormatError;
 
 /// Parses one value in paper notation.
 pub fn from_pnotation(text: &str) -> Result<Value, FormatError> {
-    let mut p = PParser { text, bytes: text.as_bytes(), pos: 0 };
+    let mut p = PParser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_trivia();
     let v = p.value()?;
     p.skip_trivia();
@@ -205,17 +209,13 @@ impl<'a> PParser<'a> {
                     Some(b'u') => {
                         let mut code = 0u32;
                         for _ in 0..4 {
-                            let d =
-                                self.bump().ok_or_else(|| self.err("truncated \\u"))?;
+                            let d = self.bump().ok_or_else(|| self.err("truncated \\u"))?;
                             code = code * 16
                                 + (d as char)
                                     .to_digit(16)
                                     .ok_or_else(|| self.err("bad hex"))?;
                         }
-                        s.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| self.err("bad code point"))?,
-                        );
+                        s.push(char::from_u32(code).ok_or_else(|| self.err("bad code point"))?);
                     }
                     _ => return Err(self.err("invalid escape")),
                 },
@@ -294,9 +294,7 @@ impl<'a> PParser<'a> {
                 other => Err(self.err(format!("unknown literal `{other}`"))),
             };
         }
-        if (self.peek() == Some(b'x') || self.peek() == Some(b'X'))
-            && self.peek2() == Some(b'\'')
-        {
+        if (self.peek() == Some(b'x') || self.peek() == Some(b'X')) && self.peek2() == Some(b'\'') {
             self.bump();
             self.bump();
             let mut bytes = Vec::new();
@@ -304,8 +302,7 @@ impl<'a> PParser<'a> {
                 match self.bump() {
                     Some(b'\'') => return Ok(Value::Bytes(bytes)),
                     Some(hi) => {
-                        let lo =
-                            self.bump().ok_or_else(|| self.err("truncated hex"))?;
+                        let lo = self.bump().ok_or_else(|| self.err("truncated hex"))?;
                         let h = (hi as char)
                             .to_digit(16)
                             .ok_or_else(|| self.err("bad hex digit"))?;
@@ -326,8 +323,8 @@ impl<'a> PParser<'a> {
                 break;
             }
         }
-        let word = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("bad word"))?;
+        let word =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("bad word"))?;
         match word.to_ascii_lowercase().as_str() {
             "null" => Ok(Value::Null),
             "missing" => Ok(Value::Missing),

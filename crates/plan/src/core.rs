@@ -268,7 +268,11 @@ impl WindowFunc {
             "DENSE_RANK" => WindowFunc::DenseRank,
             "LAG" => WindowFunc::Lag,
             "LEAD" => WindowFunc::Lead,
-            other => WindowFunc::Agg(AggFunc::parse(other).filter(|(_, coll)| !coll).map(|(f, _)| f)?),
+            other => WindowFunc::Agg(
+                AggFunc::parse(other)
+                    .filter(|(_, coll)| !coll)
+                    .map(|(f, _)| f)?,
+            ),
         })
     }
 
@@ -523,7 +527,13 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
                 explain_op(i, indent + 1, out);
             }
         }
-        CoreOp::Group { input, keys, group_var, captured, .. } => {
+        CoreOp::Group {
+            input,
+            keys,
+            group_var,
+            captured,
+            ..
+        } => {
             out.push_str("group by ");
             for (i, (alias, expr)) in keys.iter().enumerate() {
                 if i > 0 {
@@ -547,16 +557,16 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
                 "sort-values"
             });
             for k in keys {
-                out.push_str(&format!(
-                    " {}{}",
-                    k.expr,
-                    if k.desc { " desc" } else { "" }
-                ));
+                out.push_str(&format!(" {}{}", k.expr, if k.desc { " desc" } else { "" }));
             }
             out.push('\n');
             explain_op(input, indent + 1, out);
         }
-        CoreOp::LimitOffset { input, limit, offset } => {
+        CoreOp::LimitOffset {
+            input,
+            limit,
+            offset,
+        } => {
             out.push_str("limit/offset");
             if let Some(l) = limit {
                 out.push_str(&format!(" limit {l}"));
@@ -567,7 +577,11 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
             out.push('\n');
             explain_op(input, indent + 1, out);
         }
-        CoreOp::Project { input, expr, distinct } => {
+        CoreOp::Project {
+            input,
+            expr,
+            distinct,
+        } => {
             out.push_str(&format!(
                 "select {}value {expr}\n",
                 if *distinct { "distinct " } else { "" }
@@ -578,7 +592,12 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
             out.push_str(&format!("pivot {value} at {name}\n"));
             explain_op(input, indent + 1, out);
         }
-        CoreOp::SetOp { op: so, all, left, right } => {
+        CoreOp::SetOp {
+            op: so,
+            all,
+            left,
+            right,
+        } => {
             out.push_str(&format!(
                 "{}{}\n",
                 match so {
@@ -634,14 +653,22 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
 fn explain_from(item: &CoreFrom, indent: usize, out: &mut String) {
     pad(indent, out);
     match item {
-        CoreFrom::Scan { expr, as_var, at_var } => {
+        CoreFrom::Scan {
+            expr,
+            as_var,
+            at_var,
+        } => {
             out.push_str(&format!("scan {expr} as {as_var}"));
             if let Some(at) = at_var {
                 out.push_str(&format!(" at {at}"));
             }
             out.push('\n');
         }
-        CoreFrom::Unpivot { expr, value_var, name_var } => {
+        CoreFrom::Unpivot {
+            expr,
+            value_var,
+            name_var,
+        } => {
             out.push_str(&format!("unpivot {expr} as {value_var} at {name_var}\n"));
         }
         CoreFrom::Let { expr, var } => {
@@ -652,7 +679,13 @@ fn explain_from(item: &CoreFrom, indent: usize, out: &mut String) {
             explain_from(left, indent + 1, out);
             explain_from(right, indent + 1, out);
         }
-        CoreFrom::Join { kind, left, right, on, .. } => {
+        CoreFrom::Join {
+            kind,
+            left,
+            right,
+            on,
+            ..
+        } => {
             out.push_str(&format!(
                 "{} join on {on}\n",
                 match kind {
@@ -682,30 +715,52 @@ impl fmt::Display for CoreExpr {
                 sqlpp_syntax::ast::UnOp::Neg => write!(f, "(-{e})"),
                 sqlpp_syntax::ast::UnOp::Pos => write!(f, "(+{e})"),
             },
-            CoreExpr::Like { expr, pattern, negated, .. } => {
+            CoreExpr::Like {
+                expr,
+                pattern,
+                negated,
+                ..
+            } => {
                 write!(
                     f,
                     "({expr} {}LIKE {pattern})",
                     if *negated { "NOT " } else { "" }
                 )
             }
-            CoreExpr::Between { expr, low, high, negated } => write!(
+            CoreExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
                 f,
                 "({expr} {}BETWEEN {low} AND {high})",
                 if *negated { "NOT " } else { "" }
             ),
-            CoreExpr::In { expr, collection, negated } => write!(
+            CoreExpr::In {
+                expr,
+                collection,
+                negated,
+            } => write!(
                 f,
                 "({expr} {}IN {collection})",
                 if *negated { "NOT " } else { "" }
             ),
-            CoreExpr::Is { expr, test, negated } => {
+            CoreExpr::Is {
+                expr,
+                test,
+                negated,
+            } => {
                 let what = match test {
                     sqlpp_syntax::ast::IsTest::Null => "NULL".to_string(),
                     sqlpp_syntax::ast::IsTest::Missing => "MISSING".to_string(),
                     sqlpp_syntax::ast::IsTest::Type(t) => t.clone(),
                 };
-                write!(f, "({expr} IS {}{what})", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "({expr} IS {}{what})",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             CoreExpr::Case { arms, else_expr } => {
                 write!(f, "CASE")?;
@@ -724,7 +779,11 @@ impl fmt::Display for CoreExpr {
                 }
                 write!(f, ")")
             }
-            CoreExpr::CollAgg { func, distinct, input } => write!(
+            CoreExpr::CollAgg {
+                func,
+                distinct,
+                input,
+            } => write!(
                 f,
                 "{}({}{input})",
                 func.coll_name(),
@@ -736,7 +795,11 @@ impl fmt::Display for CoreExpr {
                     Coercion::Scalar => "scalar:",
                     Coercion::Collection => "coll:",
                 };
-                write!(f, "({tag}subquery {})", plan.explain().trim().replace('\n', " | "))
+                write!(
+                    f,
+                    "({tag}subquery {})",
+                    plan.explain().trim().replace('\n', " | ")
+                )
             }
             CoreExpr::Exists(q) => {
                 write!(f, "EXISTS({})", q.explain().trim().replace('\n', " | "))

@@ -11,7 +11,9 @@ pub struct PlanError {
 impl PlanError {
     /// Creates a planning error.
     pub fn new(message: impl Into<String>) -> Self {
-        PlanError { message: message.into() }
+        PlanError {
+            message: message.into(),
+        }
     }
 
     /// The message.

@@ -26,8 +26,8 @@ mod scope;
 pub mod typecheck;
 
 pub use crate::core::{
-    AggFunc, Coercion, CoreExpr, CoreFrom, CoreJoinKind, CoreOp, CoreQuery, CoreSetOp,
-    CoreSortKey, WindowDef, WindowFunc,
+    AggFunc, Coercion, CoreExpr, CoreFrom, CoreJoinKind, CoreOp, CoreQuery, CoreSetOp, CoreSortKey,
+    WindowDef, WindowFunc,
 };
 pub use error::PlanError;
 pub use lower::{lower_query, CompatMode, PlanConfig};

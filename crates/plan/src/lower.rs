@@ -17,14 +17,14 @@
 //! prioritizing composability or prioritizing SQL compatibility" (§I).
 
 use sqlpp_syntax::ast::{
-    self, Expr, FromItem, GroupBy, JoinKind, OrderItem, Query, SelectClause, SelectItem,
-    SetExpr, SetQuantifier, TypeExpr,
+    self, Expr, FromItem, GroupBy, JoinKind, OrderItem, Query, SelectClause, SelectItem, SetExpr,
+    SetQuantifier, TypeExpr,
 };
 use sqlpp_value::Value;
 
 use crate::core::{
-    AggFunc, Coercion, CoreExpr, CoreFrom, CoreJoinKind, CoreOp, CoreQuery, CoreSetOp,
-    CoreSortKey, WindowDef, WindowFunc,
+    AggFunc, Coercion, CoreExpr, CoreFrom, CoreJoinKind, CoreOp, CoreQuery, CoreSetOp, CoreSortKey,
+    WindowDef, WindowFunc,
 };
 use crate::error::PlanError;
 use crate::scope::{Disambiguation, Scope};
@@ -110,7 +110,10 @@ impl Planner<'_> {
                     let mut op = self.set_expr(se, scope)?;
                     if !q.order_by.is_empty() {
                         let keys = self.value_sort_keys(&q.order_by, scope)?;
-                        op = CoreOp::SortValues { input: Box::new(op), keys };
+                        op = CoreOp::SortValues {
+                            input: Box::new(op),
+                            keys,
+                        };
                     }
                     self.wrap_limit(op, &q.limit, &q.offset, scope)?
                 }
@@ -118,7 +121,10 @@ impl Planner<'_> {
             let op = if ctes.is_empty() {
                 op
             } else {
-                CoreOp::With { bindings: ctes, body: Box::new(op) }
+                CoreOp::With {
+                    bindings: ctes,
+                    body: Box::new(op),
+                }
             };
             Ok(CoreQuery { op })
         })
@@ -127,7 +133,12 @@ impl Planner<'_> {
     fn set_expr(&self, se: &SetExpr, scope: &mut Scope) -> Result<CoreOp, PlanError> {
         match se {
             SetExpr::Block(block) => self.block(block, scope, &[], &None, &None),
-            SetExpr::SetOp { op, all, left, right } => Ok(CoreOp::SetOp {
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => Ok(CoreOp::SetOp {
                 op: match op {
                     ast::SetOp::Union => CoreSetOp::Union,
                     ast::SetOp::Intersect => CoreSetOp::Intersect,
@@ -191,7 +202,10 @@ impl Planner<'_> {
                 let expr = self.expr(&l.expr, scope, Ctx::Scalar)?;
                 scope.add(l.name.clone());
                 from_vars.push(l.name.clone());
-                let binding = CoreFrom::Let { expr, var: l.name.clone() };
+                let binding = CoreFrom::Let {
+                    expr,
+                    var: l.name.clone(),
+                };
                 from_tree = Some(match from_tree {
                     None => binding,
                     Some(left) => CoreFrom::Correlate {
@@ -208,7 +222,10 @@ impl Planner<'_> {
             // ---- WHERE ------------------------------------------------
             if let Some(w) = &block.where_clause {
                 let pred = self.expr(w, scope, Ctx::Scalar)?;
-                op = CoreOp::Filter { input: Box::new(op), pred };
+                op = CoreOp::Filter {
+                    input: Box::new(op),
+                    pred,
+                };
             }
 
             // ---- GROUP BY (explicit or implicit) ----------------------
@@ -241,12 +258,13 @@ impl Planner<'_> {
             // ---- HAVING -----------------------------------------------
             if let Some(h) = &block.having {
                 if group_ctx.is_none() {
-                    return Err(PlanError::new(
-                        "HAVING requires GROUP BY or an aggregate",
-                    ));
+                    return Err(PlanError::new("HAVING requires GROUP BY or an aggregate"));
                 }
                 let pred = self.expr(&rewrite(h)?, scope, Ctx::Scalar)?;
-                op = CoreOp::Filter { input: Box::new(op), pred };
+                op = CoreOp::Filter {
+                    input: Box::new(op),
+                    pred,
+                };
             }
 
             // ---- window extraction ------------------------------------
@@ -265,17 +283,22 @@ impl Planner<'_> {
                 let substituted = substitute_alias(&item.expr, &aliases);
                 let rewritten = rewrite(&substituted)?;
                 let extracted = extract_windows(&rewritten, &mut window_asts);
-                order_key_asts.push((
-                    extracted,
-                    item.desc,
-                    item.nulls_first.unwrap_or(!item.desc),
-                ));
+                order_key_asts.push((extracted, item.desc, item.nulls_first.unwrap_or(!item.desc)));
             }
 
             enum PreparedSelect {
-                Value { expr: Expr, distinct: bool },
-                List { items: Vec<SelectItem>, distinct: bool },
-                Pivot { value: Expr, name: Expr },
+                Value {
+                    expr: Expr,
+                    distinct: bool,
+                },
+                List {
+                    items: Vec<SelectItem>,
+                    distinct: bool,
+                },
+                Pivot {
+                    value: Expr,
+                    name: Expr,
+                },
             }
             let prepared = match &block.select {
                 SelectClause::SelectValue { quantifier, expr } => PreparedSelect::Value {
@@ -312,7 +335,10 @@ impl Planner<'_> {
                     defs.push(self.lower_window(var, w, scope)?);
                     scope.add(var.clone());
                 }
-                op = CoreOp::Window { input: Box::new(op), defs };
+                op = CoreOp::Window {
+                    input: Box::new(op),
+                    defs,
+                };
             }
 
             // ---- ORDER BY (pre-projection keys) -----------------------
@@ -325,7 +351,10 @@ impl Planner<'_> {
                         nulls_first: *nulls_first,
                     });
                 }
-                op = CoreOp::Sort { input: Box::new(op), keys };
+                op = CoreOp::Sort {
+                    input: Box::new(op),
+                    keys,
+                };
             }
 
             // ---- SELECT -----------------------------------------------
@@ -333,17 +362,28 @@ impl Planner<'_> {
             op = match prepared {
                 PreparedSelect::Value { expr, distinct } => {
                     let core = self.expr(&expr, scope, Ctx::Scalar)?;
-                    CoreOp::Project { input: Box::new(op), expr: core, distinct }
+                    CoreOp::Project {
+                        input: Box::new(op),
+                        expr: core,
+                        distinct,
+                    }
                 }
                 PreparedSelect::List { items, distinct } => {
-                    let expr =
-                        self.lower_select_list(&items, &from_vars, &identity, scope)?;
-                    CoreOp::Project { input: Box::new(op), expr, distinct }
+                    let expr = self.lower_select_list(&items, &from_vars, &identity, scope)?;
+                    CoreOp::Project {
+                        input: Box::new(op),
+                        expr,
+                        distinct,
+                    }
                 }
                 PreparedSelect::Pivot { value, name } => {
                     let value = self.expr(&value, scope, Ctx::Scalar)?;
                     let name = self.expr(&name, scope, Ctx::Scalar)?;
-                    CoreOp::Pivot { input: Box::new(op), value, name }
+                    CoreOp::Pivot {
+                        input: Box::new(op),
+                        value,
+                        name,
+                    }
                 }
             };
 
@@ -411,7 +451,10 @@ impl Planner<'_> {
                 }
             }
         }
-        Ok(CoreExpr::Call { name: "$MERGE".to_string(), args })
+        Ok(CoreExpr::Call {
+            name: "$MERGE".to_string(),
+            args,
+        })
     }
 
     /// Lowers an explicit GROUP BY, leaving `op` wrapped in a Group
@@ -437,7 +480,10 @@ impl Planner<'_> {
             lowered_keys.push((alias.clone(), lowered));
             ast_keys.push((alias, key.expr.clone()));
         }
-        let group_var = gb.group_as.clone().unwrap_or_else(|| SYNTH_GROUP.to_string());
+        let group_var = gb
+            .group_as
+            .clone()
+            .unwrap_or_else(|| SYNTH_GROUP.to_string());
         let captured: Vec<String> = from_vars.to_vec();
 
         // Which keys participate in each grouping set.
@@ -469,9 +515,8 @@ impl Planner<'_> {
 
         let input = std::mem::replace(op, CoreOp::Single);
         let make_group = |include: &[bool]| -> CoreOp {
-            let mut keys: Vec<(String, CoreExpr)> = Vec::with_capacity(
-                lowered_keys.len() * if multi { 2 } else { 1 },
-            );
+            let mut keys: Vec<(String, CoreExpr)> =
+                Vec::with_capacity(lowered_keys.len() * if multi { 2 } else { 1 });
             for (i, (alias, expr)) in lowered_keys.iter().enumerate() {
                 // An excluded key is a constant NULL: it surfaces as a
                 // NULL key value and does not partition.
@@ -505,7 +550,9 @@ impl Planner<'_> {
         *op = if sets.len() == 1 {
             make_group(&sets[0])
         } else {
-            CoreOp::Append { inputs: sets.iter().map(|s| make_group(s)).collect() }
+            CoreOp::Append {
+                inputs: sets.iter().map(|s| make_group(s)).collect(),
+            }
         };
         // Post-group scope: key aliases + the group variable (+ GROUPING
         // flags). (The frame also still contains the pre-group variables;
@@ -518,7 +565,12 @@ impl Planner<'_> {
             }
         }
         scope.add(group_var.clone());
-        Ok(GroupCtx { keys: ast_keys, captured, group_var, multi })
+        Ok(GroupCtx {
+            keys: ast_keys,
+            captured,
+            group_var,
+            multi,
+        })
     }
 
     // -----------------------------------------------------------------
@@ -533,15 +585,17 @@ impl Planner<'_> {
         vars: &mut Vec<String>,
     ) -> Result<CoreFrom, PlanError> {
         match item {
-            FromItem::Collection { expr, as_var, at_var } => {
+            FromItem::Collection {
+                expr,
+                as_var,
+                at_var,
+            } => {
                 let lowered = self.expr(expr, scope, Ctx::Source)?;
                 let as_var = as_var
                     .clone()
                     .or_else(|| expr.derived_alias().map(str::to_string))
                     .ok_or_else(|| {
-                        PlanError::new(
-                            "FROM item needs an AS alias (cannot derive one)",
-                        )
+                        PlanError::new("FROM item needs an AS alias (cannot derive one)")
                     })?;
                 // §III schema-based disambiguation: when the scanned
                 // collection has an attached schema, the range variable
@@ -555,9 +609,17 @@ impl Planner<'_> {
                     scope.add(at.clone());
                     vars.push(at.clone());
                 }
-                Ok(CoreFrom::Scan { expr: lowered, as_var, at_var: at_var.clone() })
+                Ok(CoreFrom::Scan {
+                    expr: lowered,
+                    as_var,
+                    at_var: at_var.clone(),
+                })
             }
-            FromItem::Unpivot { expr, value_var, name_var } => {
+            FromItem::Unpivot {
+                expr,
+                value_var,
+                name_var,
+            } => {
                 let lowered = self.expr(expr, scope, Ctx::Source)?;
                 scope.add(value_var.clone());
                 scope.add(name_var.clone());
@@ -569,7 +631,12 @@ impl Planner<'_> {
                     name_var: name_var.clone(),
                 })
             }
-            FromItem::Join { kind, left, right, on } => {
+            FromItem::Join {
+                kind,
+                left,
+                right,
+                on,
+            } => {
                 // RIGHT is a mirrored LEFT; FULL is not supported (the
                 // paper never uses it and its Core encoding would obscure
                 // the listings this repo reproduces).
@@ -620,7 +687,12 @@ impl Planner<'_> {
             Expr::Un { op, expr } => {
                 CoreExpr::Un(*op, Box::new(self.expr(expr, scope, Ctx::Scalar)?))
             }
-            Expr::Like { expr, pattern, escape, negated } => CoreExpr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                escape,
+                negated,
+            } => CoreExpr::Like {
                 expr: Box::new(self.expr(expr, scope, Ctx::Scalar)?),
                 pattern: Box::new(self.expr(pattern, scope, Ctx::Scalar)?),
                 escape: escape
@@ -629,7 +701,12 @@ impl Planner<'_> {
                     .transpose()?,
                 negated: *negated,
             },
-            Expr::Between { expr, low, high, negated } => CoreExpr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => CoreExpr::Between {
                 expr: Box::new(self.expr(expr, scope, Ctx::Scalar)?),
                 low: Box::new(self.expr(low, scope, Ctx::Scalar)?),
                 high: Box::new(self.expr(high, scope, Ctx::Scalar)?),
@@ -651,21 +728,25 @@ impl Planner<'_> {
                     negated: *negated,
                 }
             }
-            Expr::Is { expr, test, negated } => CoreExpr::Is {
+            Expr::Is {
+                expr,
+                test,
+                negated,
+            } => CoreExpr::Is {
                 expr: Box::new(self.expr(expr, scope, Ctx::Scalar)?),
                 test: test.clone(),
                 negated: *negated,
             },
-            Expr::Case { operand, arms, else_expr } => {
+            Expr::Case {
+                operand,
+                arms,
+                else_expr,
+            } => {
                 let mut core_arms = Vec::new();
                 for (when, then) in arms {
                     // Simple CASE sugar: `CASE x WHEN v` ⇒ `WHEN x = v`.
                     let cond = match operand {
-                        Some(op) => Expr::bin(
-                            ast::BinOp::Eq,
-                            op.as_ref().clone(),
-                            when.clone(),
-                        ),
+                        Some(op) => Expr::bin(ast::BinOp::Eq, op.as_ref().clone(), when.clone()),
                         None => when.clone(),
                     };
                     core_arms.push((
@@ -677,11 +758,17 @@ impl Planner<'_> {
                     Some(e) => self.expr(e, scope, Ctx::Scalar)?,
                     None => CoreExpr::Const(Value::Null),
                 };
-                CoreExpr::Case { arms: core_arms, else_expr: Box::new(else_core) }
+                CoreExpr::Case {
+                    arms: core_arms,
+                    else_expr: Box::new(else_core),
+                }
             }
-            Expr::Call { name, args, distinct, star } => {
-                self.lower_call(name, args, *distinct, *star, scope)?
-            }
+            Expr::Call {
+                name,
+                args,
+                distinct,
+                star,
+            } => self.lower_call(name, args, *distinct, *star, scope)?,
             Expr::Cast { expr, ty } => CoreExpr::Cast {
                 expr: Box::new(self.expr(expr, scope, Ctx::Scalar)?),
                 ty: type_name(ty)?,
@@ -689,18 +776,20 @@ impl Planner<'_> {
             Expr::Exists(q) => CoreExpr::Exists(Box::new(self.query(q, scope)?)),
             Expr::Subquery(q) => {
                 let plan = self.query(q, scope)?;
-                let coercion = if self.config.compat == CompatMode::SqlCompat
-                    && query_is_sugar_select(q)
-                {
-                    match ctx {
-                        Ctx::Scalar => Coercion::Scalar,
-                        Ctx::CollectionRhs => Coercion::Collection,
-                        Ctx::Source => Coercion::Bag,
-                    }
-                } else {
-                    Coercion::Bag
-                };
-                CoreExpr::Subquery { plan: Box::new(plan), coercion }
+                let coercion =
+                    if self.config.compat == CompatMode::SqlCompat && query_is_sugar_select(q) {
+                        match ctx {
+                            Ctx::Scalar => Coercion::Scalar,
+                            Ctx::CollectionRhs => Coercion::Collection,
+                            Ctx::Source => Coercion::Bag,
+                        }
+                    } else {
+                        Coercion::Bag
+                    };
+                CoreExpr::Subquery {
+                    plan: Box::new(plan),
+                    coercion,
+                }
             }
             Expr::Window { .. } => {
                 return Err(PlanError::new(
@@ -771,30 +860,32 @@ impl Planner<'_> {
         for step in rest {
             base = match step {
                 ast::PathStep::Attr(a) => CoreExpr::Path(Box::new(base), a.clone()),
-                ast::PathStep::Index(i) => CoreExpr::Index(
-                    Box::new(base),
-                    Box::new(self.expr(i, scope, Ctx::Scalar)?),
-                ),
+                ast::PathStep::Index(i) => {
+                    CoreExpr::Index(Box::new(base), Box::new(self.expr(i, scope, Ctx::Scalar)?))
+                }
             };
         }
         Ok(base)
     }
 
     /// Lowers one extracted window expression into a [`WindowDef`].
-    fn lower_window(
-        &self,
-        var: &str,
-        w: &Expr,
-        scope: &mut Scope,
-    ) -> Result<WindowDef, PlanError> {
-        let Expr::Window { func, args, star, partition_by, order_by } = w else {
+    fn lower_window(&self, var: &str, w: &Expr, scope: &mut Scope) -> Result<WindowDef, PlanError> {
+        let Expr::Window {
+            func,
+            args,
+            star,
+            partition_by,
+            order_by,
+        } = w
+        else {
             unreachable!("extract_windows only collects Window nodes");
         };
-        let func = WindowFunc::parse(func).ok_or_else(|| {
-            PlanError::new(format!("unknown window function {func}"))
-        })?;
-        if matches!(func, WindowFunc::RowNumber | WindowFunc::Rank | WindowFunc::DenseRank)
-            && order_by.is_empty()
+        let func = WindowFunc::parse(func)
+            .ok_or_else(|| PlanError::new(format!("unknown window function {func}")))?;
+        if matches!(
+            func,
+            WindowFunc::RowNumber | WindowFunc::Rank | WindowFunc::DenseRank
+        ) && order_by.is_empty()
         {
             return Err(PlanError::new(format!(
                 "{} requires ORDER BY in its window",
@@ -809,8 +900,7 @@ impl Planner<'_> {
                 .collect::<Result<_, _>>()?
         };
         if matches!(func, WindowFunc::Agg(AggFunc::Count)) && args.len() > 1
-            || matches!(func, WindowFunc::Lag | WindowFunc::Lead)
-                && !(1..=3).contains(&args.len())
+            || matches!(func, WindowFunc::Lag | WindowFunc::Lead) && !(1..=3).contains(&args.len())
         {
             return Err(PlanError::new(format!(
                 "wrong number of arguments for window function {}",
@@ -853,11 +943,7 @@ impl Planner<'_> {
     }
 
     /// Schema-based disambiguation of an out-of-scope head identifier.
-    fn disambiguate_head(
-        &self,
-        head: &str,
-        scope: &Scope,
-    ) -> Result<Option<CoreExpr>, PlanError> {
+    fn disambiguate_head(&self, head: &str, scope: &Scope) -> Result<Option<CoreExpr>, PlanError> {
         match scope.disambiguate(head) {
             Disambiguation::None => Ok(None),
             Disambiguation::Unique(var) => Ok(Some(CoreExpr::Path(
@@ -1011,7 +1097,9 @@ fn select_has_sql_aggregate(select: &SelectClause) -> bool {
 fn expr_has_sql_aggregate(e: &Expr) -> bool {
     use Expr::*;
     match e {
-        Call { name, args, star, .. } => {
+        Call {
+            name, args, star, ..
+        } => {
             if *star {
                 return true; // COUNT(*)
             }
@@ -1020,16 +1108,21 @@ fn expr_has_sql_aggregate(e: &Expr) -> bool {
             }
             args.iter().any(expr_has_sql_aggregate)
         }
-        Bin { left, right, .. } => {
-            expr_has_sql_aggregate(left) || expr_has_sql_aggregate(right)
-        }
+        Bin { left, right, .. } => expr_has_sql_aggregate(left) || expr_has_sql_aggregate(right),
         Un { expr, .. } => expr_has_sql_aggregate(expr),
-        Like { expr, pattern, escape, .. } => {
+        Like {
+            expr,
+            pattern,
+            escape,
+            ..
+        } => {
             expr_has_sql_aggregate(expr)
                 || expr_has_sql_aggregate(pattern)
                 || escape.as_deref().is_some_and(expr_has_sql_aggregate)
         }
-        Between { expr, low, high, .. } => {
+        Between {
+            expr, low, high, ..
+        } => {
             expr_has_sql_aggregate(expr)
                 || expr_has_sql_aggregate(low)
                 || expr_has_sql_aggregate(high)
@@ -1042,11 +1135,15 @@ fn expr_has_sql_aggregate(e: &Expr) -> bool {
                 }
         }
         Is { expr, .. } => expr_has_sql_aggregate(expr),
-        Case { operand, arms, else_expr } => {
+        Case {
+            operand,
+            arms,
+            else_expr,
+        } => {
             operand.as_deref().is_some_and(expr_has_sql_aggregate)
-                || arms.iter().any(|(w, t)| {
-                    expr_has_sql_aggregate(w) || expr_has_sql_aggregate(t)
-                })
+                || arms
+                    .iter()
+                    .any(|(w, t)| expr_has_sql_aggregate(w) || expr_has_sql_aggregate(t))
                 || else_expr.as_deref().is_some_and(expr_has_sql_aggregate)
         }
         Cast { expr, .. } => expr_has_sql_aggregate(expr),
@@ -1056,7 +1153,12 @@ fn expr_has_sql_aggregate(e: &Expr) -> bool {
         ArrayCtor(items) | BagCtor(items) => items.iter().any(expr_has_sql_aggregate),
         // A window call is NOT itself a grouping aggregate, but its
         // inputs may contain one (SUM(SUM(x)) OVER …).
-        Window { args, partition_by, order_by, .. } => {
+        Window {
+            args,
+            partition_by,
+            order_by,
+            ..
+        } => {
             args.iter().any(expr_has_sql_aggregate)
                 || partition_by.iter().any(expr_has_sql_aggregate)
                 || order_by.iter().any(|o| expr_has_sql_aggregate(&o.expr))
@@ -1086,14 +1188,27 @@ fn extract_windows(e: &Expr, defs: &mut Vec<(String, Expr)>) -> Expr {
             left: Box::new(extract_windows(left, defs)),
             right: Box::new(extract_windows(right, defs)),
         },
-        Un { op, expr } => Un { op: *op, expr: Box::new(extract_windows(expr, defs)) },
-        Like { expr, pattern, escape, negated } => Like {
+        Un { op, expr } => Un {
+            op: *op,
+            expr: Box::new(extract_windows(expr, defs)),
+        },
+        Like {
+            expr,
+            pattern,
+            escape,
+            negated,
+        } => Like {
             expr: Box::new(extract_windows(expr, defs)),
             pattern: Box::new(extract_windows(pattern, defs)),
             escape: escape.as_ref().map(|x| Box::new(extract_windows(x, defs))),
             negated: *negated,
         },
-        Between { expr, low, high, negated } => Between {
+        Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Between {
             expr: Box::new(extract_windows(expr, defs)),
             low: Box::new(extract_windows(low, defs)),
             high: Box::new(extract_windows(high, defs)),
@@ -1102,31 +1217,46 @@ fn extract_windows(e: &Expr, defs: &mut Vec<(String, Expr)>) -> Expr {
         In { expr, rhs, negated } => In {
             expr: Box::new(extract_windows(expr, defs)),
             rhs: Box::new(match rhs.as_ref() {
-                ast::InRhs::List(items) => ast::InRhs::List(
-                    items.iter().map(|i| extract_windows(i, defs)).collect(),
-                ),
+                ast::InRhs::List(items) => {
+                    ast::InRhs::List(items.iter().map(|i| extract_windows(i, defs)).collect())
+                }
                 ast::InRhs::Expr(x) => ast::InRhs::Expr(extract_windows(x, defs)),
             }),
             negated: *negated,
         },
-        Is { expr, test, negated } => Is {
+        Is {
+            expr,
+            test,
+            negated,
+        } => Is {
             expr: Box::new(extract_windows(expr, defs)),
             test: test.clone(),
             negated: *negated,
         },
-        Case { operand, arms, else_expr } => Case {
+        Case {
+            operand,
+            arms,
+            else_expr,
+        } => Case {
             operand: operand.as_ref().map(|o| Box::new(extract_windows(o, defs))),
             arms: arms
                 .iter()
                 .map(|(w, t)| (extract_windows(w, defs), extract_windows(t, defs)))
                 .collect(),
-            else_expr: else_expr.as_ref().map(|x| Box::new(extract_windows(x, defs))),
+            else_expr: else_expr
+                .as_ref()
+                .map(|x| Box::new(extract_windows(x, defs))),
         },
         Cast { expr, ty } => Cast {
             expr: Box::new(extract_windows(expr, defs)),
             ty: ty.clone(),
         },
-        Call { name, args, distinct, star } => Call {
+        Call {
+            name,
+            args,
+            distinct,
+            star,
+        } => Call {
             name: name.clone(),
             args: args.iter().map(|a| extract_windows(a, defs)).collect(),
             distinct: *distinct,
@@ -1138,12 +1268,8 @@ fn extract_windows(e: &Expr, defs: &mut Vec<(String, Expr)>) -> Expr {
                 .map(|(n, v)| (extract_windows(n, defs), extract_windows(v, defs)))
                 .collect(),
         ),
-        ArrayCtor(items) => {
-            ArrayCtor(items.iter().map(|i| extract_windows(i, defs)).collect())
-        }
-        BagCtor(items) => {
-            BagCtor(items.iter().map(|i| extract_windows(i, defs)).collect())
-        }
+        ArrayCtor(items) => ArrayCtor(items.iter().map(|i| extract_windows(i, defs)).collect()),
+        BagCtor(items) => BagCtor(items.iter().map(|i| extract_windows(i, defs)).collect()),
         Subquery(_) | Exists(_) | Lit(_) | Path { .. } | Param(_) => e.clone(),
     }
 }
@@ -1194,14 +1320,17 @@ fn rewrite_grouped(e: &Expr, g: &GroupCtx) -> Result<Expr, PlanError> {
     }
     use Expr::*;
     Ok(match e {
-        Call { name, args, distinct, star } => {
+        Call {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
             // GROUPING(key): 1 when the key is aggregated away by the
             // current grouping set, else 0.
             if name == "GROUPING" && args.len() == 1 {
                 let Some((alias, _)) = g.keys.iter().find(|(_, k)| *k == args[0]) else {
-                    return Err(PlanError::new(
-                        "GROUPING() argument must be a grouping key",
-                    ));
+                    return Err(PlanError::new("GROUPING() argument must be a grouping key"));
                 };
                 return Ok(if g.multi {
                     Expr::var(format!("$grouping${alias}"))
@@ -1220,9 +1349,7 @@ fn rewrite_grouped(e: &Expr, g: &GroupCtx) -> Result<Expr, PlanError> {
             }
             if let Some((func, false)) = AggFunc::parse(name) {
                 if args.len() != 1 {
-                    return Err(PlanError::new(format!(
-                        "{name} takes exactly one argument"
-                    )));
+                    return Err(PlanError::new(format!("{name} takes exactly one argument")));
                 }
                 // AGG(x) ⇒ COLL_AGG(FROM g AS $gi SELECT VALUE x[$gi.v/v])
                 let body = substitute_captured(&args[0], &g.captured);
@@ -1259,8 +1386,16 @@ fn rewrite_grouped(e: &Expr, g: &GroupCtx) -> Result<Expr, PlanError> {
             left: Box::new(rewrite_grouped(left, g)?),
             right: Box::new(rewrite_grouped(right, g)?),
         },
-        Un { op, expr } => Un { op: *op, expr: Box::new(rewrite_grouped(expr, g)?) },
-        Like { expr, pattern, escape, negated } => Like {
+        Un { op, expr } => Un {
+            op: *op,
+            expr: Box::new(rewrite_grouped(expr, g)?),
+        },
+        Like {
+            expr,
+            pattern,
+            escape,
+            negated,
+        } => Like {
             expr: Box::new(rewrite_grouped(expr, g)?),
             pattern: Box::new(rewrite_grouped(pattern, g)?),
             escape: match escape {
@@ -1269,7 +1404,12 @@ fn rewrite_grouped(e: &Expr, g: &GroupCtx) -> Result<Expr, PlanError> {
             },
             negated: *negated,
         },
-        Between { expr, low, high, negated } => Between {
+        Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Between {
             expr: Box::new(rewrite_grouped(expr, g)?),
             low: Box::new(rewrite_grouped(low, g)?),
             high: Box::new(rewrite_grouped(high, g)?),
@@ -1288,12 +1428,20 @@ fn rewrite_grouped(e: &Expr, g: &GroupCtx) -> Result<Expr, PlanError> {
             }),
             negated: *negated,
         },
-        Is { expr, test, negated } => Is {
+        Is {
+            expr,
+            test,
+            negated,
+        } => Is {
             expr: Box::new(rewrite_grouped(expr, g)?),
             test: test.clone(),
             negated: *negated,
         },
-        Case { operand, arms, else_expr } => Case {
+        Case {
+            operand,
+            arms,
+            else_expr,
+        } => Case {
             operand: match operand {
                 Some(op) => Some(Box::new(rewrite_grouped(op, g)?)),
                 None => None,
@@ -1329,7 +1477,13 @@ fn rewrite_grouped(e: &Expr, g: &GroupCtx) -> Result<Expr, PlanError> {
                 .map(|i| rewrite_grouped(i, g))
                 .collect::<Result<_, _>>()?,
         ),
-        Window { func, args, star, partition_by, order_by } => Window {
+        Window {
+            func,
+            args,
+            star,
+            partition_by,
+            order_by,
+        } => Window {
             func: func.clone(),
             args: args
                 .iter()
@@ -1365,7 +1519,10 @@ fn substitute_captured(e: &Expr, captured: &[String]) -> Expr {
         Path { head, steps } if captured.iter().any(|c| c == head) => {
             let mut new_steps = vec![ast::PathStep::Attr(head.clone())];
             new_steps.extend(steps.iter().cloned());
-            Path { head: SYNTH_GROUP_ITEM.to_string(), steps: new_steps }
+            Path {
+                head: SYNTH_GROUP_ITEM.to_string(),
+                steps: new_steps,
+            }
         }
         Path { .. } | Lit(_) | Param(_) => e.clone(),
         Bin { op, left, right } => Bin {
@@ -1377,7 +1534,12 @@ fn substitute_captured(e: &Expr, captured: &[String]) -> Expr {
             op: *op,
             expr: Box::new(substitute_captured(expr, captured)),
         },
-        Like { expr, pattern, escape, negated } => Like {
+        Like {
+            expr,
+            pattern,
+            escape,
+            negated,
+        } => Like {
             expr: Box::new(substitute_captured(expr, captured)),
             pattern: Box::new(substitute_captured(pattern, captured)),
             escape: escape
@@ -1385,7 +1547,12 @@ fn substitute_captured(e: &Expr, captured: &[String]) -> Expr {
                 .map(|e| Box::new(substitute_captured(e, captured))),
             negated: *negated,
         },
-        Between { expr, low, high, negated } => Between {
+        Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Between {
             expr: Box::new(substitute_captured(expr, captured)),
             low: Box::new(substitute_captured(low, captured)),
             high: Box::new(substitute_captured(high, captured)),
@@ -1395,20 +1562,29 @@ fn substitute_captured(e: &Expr, captured: &[String]) -> Expr {
             expr: Box::new(substitute_captured(expr, captured)),
             rhs: Box::new(match rhs.as_ref() {
                 ast::InRhs::List(items) => ast::InRhs::List(
-                    items.iter().map(|i| substitute_captured(i, captured)).collect(),
+                    items
+                        .iter()
+                        .map(|i| substitute_captured(i, captured))
+                        .collect(),
                 ),
-                ast::InRhs::Expr(e) => {
-                    ast::InRhs::Expr(substitute_captured(e, captured))
-                }
+                ast::InRhs::Expr(e) => ast::InRhs::Expr(substitute_captured(e, captured)),
             }),
             negated: *negated,
         },
-        Is { expr, test, negated } => Is {
+        Is {
+            expr,
+            test,
+            negated,
+        } => Is {
             expr: Box::new(substitute_captured(expr, captured)),
             test: test.clone(),
             negated: *negated,
         },
-        Case { operand, arms, else_expr } => Case {
+        Case {
+            operand,
+            arms,
+            else_expr,
+        } => Case {
             operand: operand
                 .as_ref()
                 .map(|o| Box::new(substitute_captured(o, captured))),
@@ -1429,9 +1605,17 @@ fn substitute_captured(e: &Expr, captured: &[String]) -> Expr {
             expr: Box::new(substitute_captured(expr, captured)),
             ty: ty.clone(),
         },
-        Call { name, args, distinct, star } => Call {
+        Call {
+            name,
+            args,
+            distinct,
+            star,
+        } => Call {
             name: name.clone(),
-            args: args.iter().map(|a| substitute_captured(a, captured)).collect(),
+            args: args
+                .iter()
+                .map(|a| substitute_captured(a, captured))
+                .collect(),
             distinct: *distinct,
             star: *star,
         },
@@ -1447,14 +1631,29 @@ fn substitute_captured(e: &Expr, captured: &[String]) -> Expr {
                 .collect(),
         ),
         ArrayCtor(items) => ArrayCtor(
-            items.iter().map(|i| substitute_captured(i, captured)).collect(),
+            items
+                .iter()
+                .map(|i| substitute_captured(i, captured))
+                .collect(),
         ),
         BagCtor(items) => BagCtor(
-            items.iter().map(|i| substitute_captured(i, captured)).collect(),
+            items
+                .iter()
+                .map(|i| substitute_captured(i, captured))
+                .collect(),
         ),
-        Window { func, args, star, partition_by, order_by } => Window {
+        Window {
+            func,
+            args,
+            star,
+            partition_by,
+            order_by,
+        } => Window {
             func: func.clone(),
-            args: args.iter().map(|a| substitute_captured(a, captured)).collect(),
+            args: args
+                .iter()
+                .map(|a| substitute_captured(a, captured))
+                .collect(),
             star: *star,
             partition_by: partition_by
                 .iter()
@@ -1515,7 +1714,10 @@ mod tests {
         let q = parse_query(src).unwrap();
         lower_query(
             &q,
-            &PlanConfig { compat: CompatMode::Composable, ..PlanConfig::default() },
+            &PlanConfig {
+                compat: CompatMode::Composable,
+                ..PlanConfig::default()
+            },
         )
         .unwrap()
     }
@@ -1524,12 +1726,12 @@ mod tests {
     fn select_list_becomes_tuple_constructor() {
         let q = lower("SELECT e.name AS emp_name FROM hr.emp AS e");
         match q.op {
-            CoreOp::Project { expr: CoreExpr::TupleCtor(pairs), .. } => {
+            CoreOp::Project {
+                expr: CoreExpr::TupleCtor(pairs),
+                ..
+            } => {
                 assert_eq!(pairs.len(), 1);
-                assert_eq!(
-                    pairs[0].0,
-                    CoreExpr::Const(Value::Str("emp_name".into()))
-                );
+                assert_eq!(pairs[0].0, CoreExpr::Const(Value::Str("emp_name".into())));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1540,7 +1742,9 @@ mod tests {
         let q = lower("SELECT VALUE p FROM hr.emp AS e, e.projects AS p");
         match q.op {
             CoreOp::Project { input, .. } => match *input {
-                CoreOp::From { item: CoreFrom::Correlate { left, right } } => {
+                CoreOp::From {
+                    item: CoreFrom::Correlate { left, right },
+                } => {
                     assert!(matches!(*left, CoreFrom::Scan { ref as_var, .. } if as_var == "e"));
                     match *right {
                         CoreFrom::Scan { expr, as_var, .. } => {
@@ -1569,7 +1773,9 @@ mod tests {
         let q = lower("SELECT VALUE e FROM hr.emp_nest_tuples AS e");
         match q.op {
             CoreOp::Project { input, .. } => match *input {
-                CoreOp::From { item: CoreFrom::Scan { expr, .. } } => {
+                CoreOp::From {
+                    item: CoreFrom::Scan { expr, .. },
+                } => {
                     assert_eq!(
                         expr,
                         CoreExpr::Global(vec!["hr".into(), "emp_nest_tuples".into()])
@@ -1584,9 +1790,7 @@ mod tests {
     #[test]
     fn listing_15_gets_an_implicit_group() {
         // SELECT AVG(e.salary) AS avgsal FROM hr.emp AS e WHERE …
-        let q = lower(
-            "SELECT AVG(e.salary) AS avgsal FROM hr.emp AS e WHERE e.title = 'Engineer'",
-        );
+        let q = lower("SELECT AVG(e.salary) AS avgsal FROM hr.emp AS e WHERE e.title = 'Engineer'");
         let text = q.explain();
         assert!(text.contains("group by <all>"), "{text}");
         assert!(text.contains("COLL_AVG"), "{text}");
@@ -1764,7 +1968,11 @@ mod tests {
     #[test]
     fn group_by_key_without_alias_derives_one() {
         let q = lower("SELECT e.deptno FROM t AS e GROUP BY e.deptno");
-        assert!(q.explain().contains("e.deptno AS deptno"), "{}", q.explain());
+        assert!(
+            q.explain().contains("e.deptno AS deptno"),
+            "{}",
+            q.explain()
+        );
     }
 
     #[test]

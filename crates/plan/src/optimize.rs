@@ -35,32 +35,42 @@ fn fold_op(op: CoreOp) -> CoreOp {
                 CoreExpr::Const(Value::Bool(true)) => *input,
                 // Merge stacked filters into one AND.
                 pred => match *input {
-                    CoreOp::Filter { input: inner, pred: inner_pred } => CoreOp::Filter {
+                    CoreOp::Filter {
                         input: inner,
-                        pred: CoreExpr::Bin(
-                            BinOp::And,
-                            Box::new(inner_pred),
-                            Box::new(pred),
-                        ),
+                        pred: inner_pred,
+                    } => CoreOp::Filter {
+                        input: inner,
+                        pred: CoreExpr::Bin(BinOp::And, Box::new(inner_pred), Box::new(pred)),
                     },
-                    other => CoreOp::Filter { input: Box::new(other), pred },
+                    other => CoreOp::Filter {
+                        input: Box::new(other),
+                        pred,
+                    },
                 },
             }
         }
-        CoreOp::Project { input, expr, distinct } => CoreOp::Project {
+        CoreOp::Project {
+            input,
+            expr,
+            distinct,
+        } => CoreOp::Project {
             input: Box::new(fold_op(*input)),
             expr: fold_expr(expr),
             distinct,
         },
-        CoreOp::Group { input, keys, group_var, captured, emit_empty_group } => {
-            CoreOp::Group {
-                input: Box::new(fold_op(*input)),
-                keys: keys.into_iter().map(|(a, e)| (a, fold_expr(e))).collect(),
-                group_var,
-                captured,
-                emit_empty_group,
-            }
-        }
+        CoreOp::Group {
+            input,
+            keys,
+            group_var,
+            captured,
+            emit_empty_group,
+        } => CoreOp::Group {
+            input: Box::new(fold_op(*input)),
+            keys: keys.into_iter().map(|(a, e)| (a, fold_expr(e))).collect(),
+            group_var,
+            captured,
+            emit_empty_group,
+        },
         CoreOp::Append { inputs } => CoreOp::Append {
             inputs: inputs.into_iter().map(fold_op).collect(),
         },
@@ -72,7 +82,11 @@ fn fold_op(op: CoreOp) -> CoreOp {
             input: Box::new(fold_op(*input)),
             keys,
         },
-        CoreOp::LimitOffset { input, limit, offset } => CoreOp::LimitOffset {
+        CoreOp::LimitOffset {
+            input,
+            limit,
+            offset,
+        } => CoreOp::LimitOffset {
             input: Box::new(fold_op(*input)),
             limit: limit.map(fold_expr),
             offset: offset.map(fold_expr),
@@ -82,7 +96,12 @@ fn fold_op(op: CoreOp) -> CoreOp {
             value: fold_expr(value),
             name: fold_expr(name),
         },
-        CoreOp::SetOp { op, all, left, right } => CoreOp::SetOp {
+        CoreOp::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => CoreOp::SetOp {
             op,
             all,
             left: Box::new(fold_op(*left)),
@@ -143,9 +162,7 @@ fn fold_expr(e: CoreExpr) -> CoreExpr {
                 (BinOp::And, _, Const(Value::Bool(true))) => l,
                 // FALSE AND x ⇒ FALSE (sound: FALSE dominates NULL/MISSING).
                 (BinOp::And, Const(Value::Bool(false)), _)
-                | (BinOp::And, _, Const(Value::Bool(false))) => {
-                    Const(Value::Bool(false))
-                }
+                | (BinOp::And, _, Const(Value::Bool(false))) => Const(Value::Bool(false)),
                 // FALSE OR x ⇒ x; TRUE OR x ⇒ TRUE.
                 (BinOp::Or, Const(Value::Bool(false)), _) => r,
                 (BinOp::Or, _, Const(Value::Bool(false))) => l,
@@ -169,14 +186,16 @@ fn fold_expr(e: CoreExpr) -> CoreExpr {
             else_expr: Box::new(fold_expr(*else_expr)),
         },
         Path(base, attr) => Path(Box::new(fold_expr(*base)), attr),
-        Index(base, idx) => {
-            Index(Box::new(fold_expr(*base)), Box::new(fold_expr(*idx)))
-        }
+        Index(base, idx) => Index(Box::new(fold_expr(*base)), Box::new(fold_expr(*idx))),
         Call { name, args } => Call {
             name,
             args: args.into_iter().map(fold_expr).collect(),
         },
-        CollAgg { func, distinct, input } => CollAgg {
+        CollAgg {
+            func,
+            distinct,
+            input,
+        } => CollAgg {
             func,
             distinct,
             input: Box::new(fold_expr(*input)),

@@ -79,7 +79,12 @@ impl Checker<'_> {
                 self.expr(pred, &env);
                 env
             }
-            CoreOp::Group { input, keys, group_var, .. } => {
+            CoreOp::Group {
+                input,
+                keys,
+                group_var,
+                ..
+            } => {
                 let inner = self.op(input, env);
                 let mut out = env.clone();
                 for (alias, key) in keys {
@@ -109,7 +114,11 @@ impl Checker<'_> {
                 }
                 env
             }
-            CoreOp::LimitOffset { input, limit, offset } => {
+            CoreOp::LimitOffset {
+                input,
+                limit,
+                offset,
+            } => {
                 let env = self.op(input, env);
                 if let Some(l) = limit {
                     self.expr(l, &env);
@@ -165,7 +174,11 @@ impl Checker<'_> {
     #[allow(clippy::wrong_self_convention)] // "from" is the SQL clause
     fn from_item(&mut self, item: &CoreFrom, env: &TypeEnv) -> TypeEnv {
         match item {
-            CoreFrom::Scan { expr, as_var, at_var } => {
+            CoreFrom::Scan {
+                expr,
+                as_var,
+                at_var,
+            } => {
                 let source_ty = self.expr(expr, env);
                 let elem = match &source_ty {
                     SqlppType::Array(e) | SqlppType::Bag(e) => (**e).clone(),
@@ -184,7 +197,11 @@ impl Checker<'_> {
                 }
                 out
             }
-            CoreFrom::Unpivot { expr, value_var, name_var } => {
+            CoreFrom::Unpivot {
+                expr,
+                value_var,
+                name_var,
+            } => {
                 self.expr(expr, env);
                 env.bind(value_var, SqlppType::Any)
                     .bind(name_var, SqlppType::Str)
@@ -197,7 +214,9 @@ impl Checker<'_> {
                 let env = self.from_item(left, env);
                 self.from_item(right, &env)
             }
-            CoreFrom::Join { left, right, on, .. } => {
+            CoreFrom::Join {
+                left, right, on, ..
+            } => {
                 let env = self.from_item(left, env);
                 let env = self.from_item(right, &env);
                 self.expr(on, &env);
@@ -232,9 +251,7 @@ impl Checker<'_> {
                     SqlppType::Array(elem) => *elem,
                     SqlppType::Any | SqlppType::Union(_) => SqlppType::Any,
                     other => {
-                        self.warn(format!(
-                            "indexing a {other} in {e} is always MISSING"
-                        ));
+                        self.warn(format!("indexing a {other} in {e} is always MISSING"));
                         SqlppType::Missing
                     }
                 }
@@ -272,7 +289,12 @@ impl Checker<'_> {
                 self.expr(inner, env);
                 SqlppType::Any
             }
-            CoreExpr::Like { expr, pattern, escape, .. } => {
+            CoreExpr::Like {
+                expr,
+                pattern,
+                escape,
+                ..
+            } => {
                 let t = self.expr(expr, env);
                 if never_string(&t) {
                     self.warn(format!(
@@ -286,13 +308,17 @@ impl Checker<'_> {
                 }
                 SqlppType::Bool
             }
-            CoreExpr::Between { expr, low, high, .. } => {
+            CoreExpr::Between {
+                expr, low, high, ..
+            } => {
                 self.expr(expr, env);
                 self.expr(low, env);
                 self.expr(high, env);
                 SqlppType::Bool
             }
-            CoreExpr::In { expr, collection, .. } => {
+            CoreExpr::In {
+                expr, collection, ..
+            } => {
                 self.expr(expr, env);
                 self.expr(collection, env);
                 SqlppType::Bool
@@ -347,7 +373,10 @@ impl Checker<'_> {
                         });
                     }
                 }
-                SqlppType::Tuple(TupleType { fields, open: false })
+                SqlppType::Tuple(TupleType {
+                    fields,
+                    open: false,
+                })
             }
             CoreExpr::ArrayCtor(items) => {
                 let elem = self.elements_type(items, env);
@@ -479,9 +508,15 @@ mod tests {
 
     fn warnings(src: &str) -> Vec<String> {
         let schemas = schema();
-        let config = PlanConfig { compat: Default::default(), schemas: schemas.clone() };
+        let config = PlanConfig {
+            compat: Default::default(),
+            schemas: schemas.clone(),
+        };
         let plan = lower_query(&parse_query(src).unwrap(), &config).unwrap();
-        check(&plan, &schemas).into_iter().map(|w| w.message).collect()
+        check(&plan, &schemas)
+            .into_iter()
+            .map(|w| w.message)
+            .collect()
     }
 
     #[test]
@@ -520,7 +555,10 @@ mod tests {
     fn schemaless_collections_never_warn() {
         // `other` has no schema: everything is Any, nothing is certain.
         let schemas = schema();
-        let config = PlanConfig { compat: Default::default(), schemas: schemas.clone() };
+        let config = PlanConfig {
+            compat: Default::default(),
+            schemas: schemas.clone(),
+        };
         let plan = lower_query(
             &parse_query("SELECT VALUE o.whatever.deep * 3 FROM other AS o").unwrap(),
             &config,
@@ -538,7 +576,10 @@ mod tests {
                 SqlppType::Str,
             ]),
         )];
-        let config = PlanConfig { compat: Default::default(), schemas: schemas.clone() };
+        let config = PlanConfig {
+            compat: Default::default(),
+            schemas: schemas.clone(),
+        };
         // `.a` exists on one branch: no warning.
         let plan = lower_query(
             &parse_query("SELECT VALUE m.a FROM mixed AS m").unwrap(),

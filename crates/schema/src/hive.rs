@@ -30,9 +30,7 @@ pub fn type_from_ddl(ty: &TypeExpr) -> SqlppType {
                 .collect(),
             open: false,
         }),
-        TypeExpr::Union(alts) => {
-            SqlppType::Union(alts.iter().map(type_from_ddl).collect())
-        }
+        TypeExpr::Union(alts) => SqlppType::Union(alts.iter().map(type_from_ddl).collect()),
     }
 }
 
@@ -97,16 +95,26 @@ mod tests {
 
     #[test]
     fn named_types_map_to_scalars() {
-        assert_eq!(type_from_ddl(&TypeExpr::Named("BIGINT".into())), SqlppType::Int);
-        assert_eq!(type_from_ddl(&TypeExpr::Named("VARCHAR".into())), SqlppType::Str);
-        assert_eq!(type_from_ddl(&TypeExpr::Named("WHATEVER".into())), SqlppType::Any);
+        assert_eq!(
+            type_from_ddl(&TypeExpr::Named("BIGINT".into())),
+            SqlppType::Int
+        );
+        assert_eq!(
+            type_from_ddl(&TypeExpr::Named("VARCHAR".into())),
+            SqlppType::Str
+        );
+        assert_eq!(
+            type_from_ddl(&TypeExpr::Named("WHATEVER".into())),
+            SqlppType::Any
+        );
     }
 
     #[test]
     fn struct_maps_to_closed_tuple() {
-        let t = type_from_ddl(&TypeExpr::Struct(vec![
-            ("x".into(), TypeExpr::Named("INT".into())),
-        ]));
+        let t = type_from_ddl(&TypeExpr::Struct(vec![(
+            "x".into(),
+            TypeExpr::Named("INT".into()),
+        )]));
         match t {
             SqlppType::Tuple(tt) => {
                 assert!(!tt.open);

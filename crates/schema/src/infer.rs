@@ -32,10 +32,17 @@ pub fn infer_value(v: &Value) -> SqlppType {
                     let prev = std::mem::replace(&mut existing.ty, SqlppType::Any);
                     existing.ty = prev.unify(ty);
                 } else {
-                    fields.push(Field { name: name.to_string(), ty, optional: false });
+                    fields.push(Field {
+                        name: name.to_string(),
+                        ty,
+                        optional: false,
+                    });
                 }
             }
-            SqlppType::Tuple(TupleType { fields, open: false })
+            SqlppType::Tuple(TupleType {
+                fields,
+                open: false,
+            })
         }
     }
 }

@@ -76,7 +76,11 @@ impl TupleType {
         TupleType {
             fields: fields
                 .into_iter()
-                .map(|(name, ty)| Field { name: name.into(), ty, optional: false })
+                .map(|(name, ty)| Field {
+                    name: name.into(),
+                    ty,
+                    optional: false,
+                })
                 .collect(),
             open: false,
         }
@@ -206,8 +210,9 @@ impl SqlppType {
         match (self, other) {
             (SqlppType::Union(alts), _) => alts.iter().all(|a| a.subtype_of(other)),
             (_, SqlppType::Union(alts)) => alts.iter().any(|a| self.subtype_of(a)),
-            (SqlppType::Array(a), SqlppType::Array(b))
-            | (SqlppType::Bag(a), SqlppType::Bag(b)) => a.subtype_of(b),
+            (SqlppType::Array(a), SqlppType::Array(b)) | (SqlppType::Bag(a), SqlppType::Bag(b)) => {
+                a.subtype_of(b)
+            }
             (SqlppType::Tuple(a), SqlppType::Tuple(b)) => {
                 // b's required fields must be required-and-subtyped in a;
                 // if b is closed, a must be closed with no extra fields.
@@ -316,10 +321,17 @@ fn unify_tuples(a: TupleType, b: TupleType) -> TupleType {
     }
     for bf in &b.fields {
         if a.field(&bf.name).is_none() {
-            fields.push(Field { name: bf.name.clone(), ty: bf.ty.clone(), optional: true });
+            fields.push(Field {
+                name: bf.name.clone(),
+                ty: bf.ty.clone(),
+                optional: true,
+            });
         }
     }
-    TupleType { fields, open: a.open || b.open }
+    TupleType {
+        fields,
+        open: a.open || b.open,
+    }
 }
 
 #[cfg(test)]
@@ -356,15 +368,21 @@ mod tests {
         let extra = Value::Tuple(tuple! {"id" => 1i64, "name" => "Bob", "x" => 1i64});
         assert!(closed.admits(&good));
         assert!(!closed.admits(&extra));
-        let open = SqlppType::Tuple(
-            TupleType::closed([("id", SqlppType::Int)]).into_open(),
-        );
+        let open = SqlppType::Tuple(TupleType::closed([("id", SqlppType::Int)]).into_open());
         assert!(open.admits(&extra));
 
         let with_opt = SqlppType::Tuple(TupleType {
             fields: vec![
-                Field { name: "id".into(), ty: SqlppType::Int, optional: false },
-                Field { name: "title".into(), ty: SqlppType::Str, optional: true },
+                Field {
+                    name: "id".into(),
+                    ty: SqlppType::Int,
+                    optional: false,
+                },
+                Field {
+                    name: "title".into(),
+                    ty: SqlppType::Str,
+                    optional: true,
+                },
             ],
             open: false,
         });
@@ -419,17 +437,13 @@ mod tests {
     #[test]
     fn subtyping_basics() {
         assert!(SqlppType::Int.subtype_of(&SqlppType::Any));
-        assert!(SqlppType::Int
-            .subtype_of(&SqlppType::Union(vec![SqlppType::Int, SqlppType::Str])));
-        assert!(!SqlppType::Union(vec![SqlppType::Int, SqlppType::Str])
-            .subtype_of(&SqlppType::Int));
+        assert!(SqlppType::Int.subtype_of(&SqlppType::Union(vec![SqlppType::Int, SqlppType::Str])));
+        assert!(!SqlppType::Union(vec![SqlppType::Int, SqlppType::Str]).subtype_of(&SqlppType::Int));
         let narrow = SqlppType::Tuple(TupleType::closed([
             ("id", SqlppType::Int),
             ("name", SqlppType::Str),
         ]));
-        let wide = SqlppType::Tuple(
-            TupleType::closed([("id", SqlppType::Int)]).into_open(),
-        );
+        let wide = SqlppType::Tuple(TupleType::closed([("id", SqlppType::Int)]).into_open());
         assert!(narrow.subtype_of(&wide));
         assert!(!wide.subtype_of(&narrow));
     }

@@ -605,14 +605,20 @@ pub enum IsTest {
 impl Expr {
     /// A bare variable/identifier reference.
     pub fn var(name: impl Into<String>) -> Expr {
-        Expr::Path { head: name.into(), steps: Vec::new() }
+        Expr::Path {
+            head: name.into(),
+            steps: Vec::new(),
+        }
     }
 
     /// `head.a.b…` convenience constructor.
     pub fn path(head: impl Into<String>, attrs: &[&str]) -> Expr {
         Expr::Path {
             head: head.into(),
-            steps: attrs.iter().map(|a| PathStep::Attr((*a).to_string())).collect(),
+            steps: attrs
+                .iter()
+                .map(|a| PathStep::Attr((*a).to_string()))
+                .collect(),
         }
     }
 
@@ -628,7 +634,11 @@ impl Expr {
 
     /// Builds `left op right`.
     pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Bin { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// The default output alias SQL would derive for this expression in a

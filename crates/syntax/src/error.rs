@@ -14,7 +14,10 @@ pub struct SyntaxError {
 impl SyntaxError {
     /// Creates an error at the given span.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        SyntaxError { message: message.into(), span }
+        SyntaxError {
+            message: message.into(),
+            span,
+        }
     }
 
     /// The human-readable message (without position).
@@ -61,7 +64,12 @@ mod tests {
     fn render_points_at_the_column() {
         let err = SyntaxError::new(
             "unexpected character",
-            Span { start: 7, end: 8, line: 1, column: 8 },
+            Span {
+                start: 7,
+                end: 8,
+                line: 1,
+                column: 8,
+            },
         );
         let rendered = err.render("SELECT #");
         assert!(rendered.contains("SELECT #"));

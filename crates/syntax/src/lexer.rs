@@ -31,7 +31,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -55,7 +61,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
-        Span { start, end: self.pos, line, column: col }
+        Span {
+            start,
+            end: self.pos,
+            line,
+            column: col,
+        }
     }
 
     fn error(&self, msg: impl Into<String>, start: usize, line: u32, col: u32) -> SyntaxError {
@@ -79,13 +90,14 @@ impl<'a> Lexer<'a> {
                 b'"' => self.lex_quoted_ident()?,
                 b'`' => self.lex_backtick_special()?,
                 b'0'..=b'9' => self.lex_number()?,
-                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
-                    self.lex_number()?
-                }
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.lex_number()?,
                 b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => self.lex_word(),
                 _ => self.lex_symbol()?,
             };
-            out.push(Token { tok, span: self.span_from(start, line, col) });
+            out.push(Token {
+                tok,
+                span: self.span_from(start, line, col),
+            });
         }
     }
 
@@ -195,10 +207,7 @@ impl<'a> Lexer<'a> {
                     // Collect raw UTF-8 bytes: re-slice from the source to
                     // keep multi-byte characters intact.
                     let ch_start = self.pos - 1;
-                    let ch = self.src[ch_start..]
-                        .chars()
-                        .next()
-                        .expect("in-bounds char");
+                    let ch = self.src[ch_start..].chars().next().expect("in-bounds char");
                     // Bump over any continuation bytes.
                     for _ in 1..ch.len_utf8() {
                         self.bump();
@@ -228,22 +237,14 @@ impl<'a> Lexer<'a> {
                 }
                 Some(_) => {
                     let ch_start = self.pos - 1;
-                    let ch = self.src[ch_start..]
-                        .chars()
-                        .next()
-                        .expect("in-bounds char");
+                    let ch = self.src[ch_start..].chars().next().expect("in-bounds char");
                     for _ in 1..ch.len_utf8() {
                         self.bump();
                     }
                     s.push(ch);
                 }
                 None => {
-                    return Err(self.error(
-                        "unterminated delimited identifier",
-                        start,
-                        line,
-                        col,
-                    ));
+                    return Err(self.error("unterminated delimited identifier", start, line, col));
                 }
             }
         }

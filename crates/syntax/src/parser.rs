@@ -56,7 +56,12 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Self, SyntaxError> {
-        Ok(Parser { tokens: lex(src)?, pos: 0, params: 0, depth: 0 })
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+            params: 0,
+            depth: 0,
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -184,16 +189,23 @@ impl Parser {
         } else {
             None
         };
-        let where_clause = if self.eat_kw(K::Where) { Some(self.expr()?) } else { None };
-        Ok(Delete { target, alias, where_clause })
+        let where_clause = if self.eat_kw(K::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Delete {
+            target,
+            alias,
+            where_clause,
+        })
     }
 
     fn update(&mut self) -> Result<Update, SyntaxError> {
         self.expect_kw(K::Update)?;
         let target = self.dotted_name()?;
         let alias = if self.eat_kw(K::As)
-            || (matches!(self.peek(), Tok::Ident(_))
-                && *self.peek_at(1) == Tok::Keyword(K::Set))
+            || (matches!(self.peek(), Tok::Ident(_)) && *self.peek_at(1) == Tok::Keyword(K::Set))
         {
             Some(self.ident()?)
         } else {
@@ -210,8 +222,17 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw(K::Where) { Some(self.expr()?) } else { None };
-        Ok(Update { target, alias, assignments, where_clause })
+        let where_clause = if self.eat_kw(K::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Update {
+            target,
+            alias,
+            assignments,
+            where_clause,
+        })
     }
 
     fn create_table(&mut self) -> Result<CreateTable, SyntaxError> {
@@ -317,7 +338,10 @@ impl Parser {
                 self.expect(&Tok::LParen)?;
                 let q = self.query()?;
                 self.expect(&Tok::RParen)?;
-                ctes.push(Cte { name, query: Box::new(q) });
+                ctes.push(Cte {
+                    name,
+                    query: Box::new(q),
+                });
                 if !self.eat(&Tok::Comma) {
                     break;
                 }
@@ -325,7 +349,13 @@ impl Parser {
         }
         let body = self.set_expr()?;
         let (order_by, limit, offset) = self.trailing_modifiers()?;
-        Ok(Query { ctes, body, order_by, limit, offset })
+        Ok(Query {
+            ctes,
+            body,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     fn trailing_modifiers(&mut self) -> Result<TrailingMods, SyntaxError> {
@@ -371,7 +401,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(OrderItem { expr, desc, nulls_first })
+        Ok(OrderItem {
+            expr,
+            desc,
+            nulls_first,
+        })
     }
 
     /// Set expressions with standard precedence: INTERSECT binds tighter
@@ -473,7 +507,9 @@ impl Parser {
                 // paper's pipeline is FROM..GROUP..HAVING..SELECT. But
                 // block-level ORDER BY/LIMIT inside parens attach here.
             } else {
-                return Err(self.err("query block starting with FROM must end with SELECT or PIVOT"));
+                return Err(
+                    self.err("query block starting with FROM must end with SELECT or PIVOT")
+                );
             }
             Ok(block)
         } else if self.at_kw(K::Values) {
@@ -568,7 +604,11 @@ impl Parser {
             } else {
                 None
             };
-            block.group_by = Some(GroupBy { keys, modifier, group_as });
+            block.group_by = Some(GroupBy {
+                keys,
+                modifier,
+                group_as,
+            });
         }
         if self.eat_kw(K::Having) {
             block.having = Some(self.expr()?);
@@ -580,9 +620,8 @@ impl Parser {
     /// modifiers ROLLUP/CUBE/GROUPING SETS (contextual words, not reserved
     /// keywords).
     fn group_keys(&mut self) -> Result<(Vec<GroupKeyExpr>, GroupModifier), SyntaxError> {
-        let ctx_word = |tok: &Tok, word: &str| {
-            matches!(tok, Tok::Ident(w) if w.eq_ignore_ascii_case(word))
-        };
+        let ctx_word =
+            |tok: &Tok, word: &str| matches!(tok, Tok::Ident(w) if w.eq_ignore_ascii_case(word));
         if ctx_word(self.peek(), "rollup") && *self.peek_at(1) == Tok::LParen {
             self.bump();
             let keys = self.paren_key_list()?;
@@ -630,7 +669,11 @@ impl Parser {
         let mut keys = Vec::new();
         loop {
             let expr = self.expr()?;
-            let alias = if self.eat_kw(K::As) { Some(self.ident()?) } else { None };
+            let alias = if self.eat_kw(K::As) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
             keys.push(GroupKeyExpr { expr, alias });
             if !self.eat(&Tok::Comma) {
                 break;
@@ -644,7 +687,11 @@ impl Parser {
         let mut keys = Vec::new();
         loop {
             let expr = self.expr()?;
-            let alias = if self.eat_kw(K::As) { Some(self.ident()?) } else { None };
+            let alias = if self.eat_kw(K::As) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
             keys.push(GroupKeyExpr { expr, alias });
             if !self.eat(&Tok::Comma) {
                 break;
@@ -658,7 +705,11 @@ impl Parser {
     /// key list (inserting if new).
     fn pool_group_key(&mut self, keys: &mut Vec<GroupKeyExpr>) -> Result<usize, SyntaxError> {
         let expr = self.expr()?;
-        let alias = if self.eat_kw(K::As) { Some(self.ident()?) } else { None };
+        let alias = if self.eat_kw(K::As) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         if let Some(i) = keys.iter().position(|k| k.expr == expr) {
             return Ok(i);
         }
@@ -780,7 +831,11 @@ impl Parser {
             let value_var = self.ident()?;
             self.expect_kw(K::At)?;
             let name_var = self.ident()?;
-            return Ok(FromItem::Unpivot { expr, value_var, name_var });
+            return Ok(FromItem::Unpivot {
+                expr,
+                value_var,
+                name_var,
+            });
         }
         self.eat_kw(K::Lateral); // left-correlation is the default; accept the keyword
         let expr = self.expr()?;
@@ -789,8 +844,16 @@ impl Parser {
         } else {
             None
         };
-        let at_var = if self.eat_kw(K::At) { Some(self.ident()?) } else { None };
-        Ok(FromItem::Collection { expr, as_var, at_var })
+        let at_var = if self.eat_kw(K::At) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(FromItem::Collection {
+            expr,
+            as_var,
+            at_var,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -830,7 +893,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr, SyntaxError> {
         if self.eat_kw(K::Not) {
             let inner = self.not_expr()?;
-            Ok(Expr::Un { op: UnOp::Not, expr: Box::new(inner) })
+            Ok(Expr::Un {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            })
         } else {
             self.comparison()
         }
@@ -902,7 +968,11 @@ impl Parser {
             } else {
                 InRhs::Expr(self.additive()?)
             };
-            return Ok(Expr::In { expr: Box::new(left), rhs: Box::new(rhs), negated });
+            return Ok(Expr::In {
+                expr: Box::new(left),
+                rhs: Box::new(rhs),
+                negated,
+            });
         }
         if negated {
             return Err(self.err("expected LIKE, BETWEEN or IN after NOT"));
@@ -916,7 +986,11 @@ impl Parser {
             } else {
                 IsTest::Type(self.ident()?.to_ascii_uppercase())
             };
-            return Ok(Expr::Is { expr: Box::new(left), test, negated });
+            return Ok(Expr::Is {
+                expr: Box::new(left),
+                test,
+                negated,
+            });
         }
         Ok(left)
     }
@@ -968,12 +1042,18 @@ impl Parser {
                 if let Expr::Lit(Lit::Float(f)) = e {
                     return Ok(Expr::Lit(Lit::Float(-f)));
                 }
-                Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(e) })
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                })
             }
             Tok::Plus => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr::Un { op: UnOp::Pos, expr: Box::new(e) })
+                Ok(Expr::Un {
+                    op: UnOp::Pos,
+                    expr: Box::new(e),
+                })
             }
             _ => self.postfix(),
         }
@@ -1000,9 +1080,9 @@ impl Parser {
                         k.as_str().to_ascii_lowercase()
                     }
                     other => {
-                        return Err(self.err(format!(
-                            "expected attribute name after '.', found {other}"
-                        )));
+                        return Err(
+                            self.err(format!("expected attribute name after '.', found {other}"))
+                        );
                     }
                 };
                 match &mut e {
@@ -1089,7 +1169,10 @@ impl Parser {
                 self.expect_kw(K::As)?;
                 let ty = self.type_expr()?;
                 self.expect(&Tok::RParen)?;
-                Ok(Expr::Cast { expr: Box::new(e), ty })
+                Ok(Expr::Cast {
+                    expr: Box::new(e),
+                    ty,
+                })
             }
             Tok::Keyword(K::Exists) => {
                 self.bump();
@@ -1176,12 +1259,18 @@ impl Parser {
                     self.maybe_over(call)
                 } else {
                     self.bump();
-                    Ok(Expr::Path { head: name, steps: Vec::new() })
+                    Ok(Expr::Path {
+                        head: name,
+                        steps: Vec::new(),
+                    })
                 }
             }
             Tok::QuotedIdent(name) => {
                 self.bump();
-                Ok(Expr::Path { head: name, steps: Vec::new() })
+                Ok(Expr::Path {
+                    head: name,
+                    steps: Vec::new(),
+                })
             }
             other => Err(self.err(format!("unexpected token {other} in expression"))),
         }
@@ -1191,7 +1280,12 @@ impl Parser {
         self.expect(&Tok::LParen)?;
         if self.eat(&Tok::Star) {
             self.expect(&Tok::RParen)?;
-            return Ok(Expr::Call { name, args: Vec::new(), distinct: false, star: true });
+            return Ok(Expr::Call {
+                name,
+                args: Vec::new(),
+                distinct: false,
+                star: true,
+            });
         }
         let distinct = self.eat_kw(K::Distinct);
         if !distinct {
@@ -1213,7 +1307,12 @@ impl Parser {
             }
         }
         self.expect(&Tok::RParen)?;
-        Ok(Expr::Call { name, args, distinct, star: false })
+        Ok(Expr::Call {
+            name,
+            args,
+            distinct,
+            star: false,
+        })
     }
 
     /// Attaches an `OVER (…)` window specification to a call, when
@@ -1222,7 +1321,13 @@ impl Parser {
         if !self.eat_kw(K::Over) {
             return Ok(call);
         }
-        let Expr::Call { name, args, distinct, star } = call else {
+        let Expr::Call {
+            name,
+            args,
+            distinct,
+            star,
+        } = call
+        else {
             return Err(self.err("OVER must follow a function call"));
         };
         if distinct {
@@ -1251,7 +1356,13 @@ impl Parser {
             }
         }
         self.expect(&Tok::RParen)?;
-        Ok(Expr::Window { func: name, args, star, partition_by, order_by })
+        Ok(Expr::Window {
+            func: name,
+            args,
+            star,
+            partition_by,
+            order_by,
+        })
     }
 
     fn case_expr(&mut self) -> Result<Expr, SyntaxError> {
@@ -1277,7 +1388,11 @@ impl Parser {
             None
         };
         self.expect_kw(K::End)?;
-        Ok(Expr::Case { operand, arms, else_expr })
+        Ok(Expr::Case {
+            operand,
+            arms,
+            else_expr,
+        })
     }
 }
 
@@ -1355,15 +1470,15 @@ mod tests {
             SelectClause::Select { items, .. } => {
                 assert_eq!(items.len(), 2);
                 match &items[1] {
-                    SelectItem::Expr { expr: Expr::Subquery(sub), alias } => {
+                    SelectItem::Expr {
+                        expr: Expr::Subquery(sub),
+                        alias,
+                    } => {
                         assert_eq!(alias.as_deref(), Some("employees"));
                         match &sub.body {
                             SetExpr::Block(b) => {
                                 assert_eq!(b.placement, SelectPlacement::Trailing);
-                                assert!(matches!(
-                                    b.select,
-                                    SelectClause::SelectValue { .. }
-                                ));
+                                assert!(matches!(b.select, SelectClause::SelectValue { .. }));
                             }
                             other => panic!("unexpected {other:?}"),
                         }
@@ -1386,7 +1501,10 @@ mod tests {
             SelectClause::Select { items, .. } => {
                 assert!(matches!(
                     items[1],
-                    SelectItem::Expr { expr: Expr::Subquery(_), .. }
+                    SelectItem::Expr {
+                        expr: Expr::Subquery(_),
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -1401,7 +1519,11 @@ mod tests {
              WHERE NOT sym = 'date'",
         );
         match &b.from[1] {
-            FromItem::Unpivot { value_var, name_var, .. } => {
+            FromItem::Unpivot {
+                value_var,
+                name_var,
+                ..
+            } => {
                 assert_eq!(value_var, "price");
                 assert_eq!(name_var, "sym");
             }
@@ -1409,7 +1531,10 @@ mod tests {
         }
         // `NOT sym = 'date'` parses as NOT (sym = 'date').
         match b.where_clause.unwrap() {
-            Expr::Un { op: UnOp::Not, expr } => {
+            Expr::Un {
+                op: UnOp::Not,
+                expr,
+            } => {
                 assert!(matches!(*expr, Expr::Bin { op: BinOp::Eq, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -1449,7 +1574,10 @@ mod tests {
         );
         match &b.select {
             SelectClause::Select { items, .. } => match &items[1] {
-                SelectItem::Expr { expr: Expr::Call { name, args, .. }, .. } => {
+                SelectItem::Expr {
+                    expr: Expr::Call { name, args, .. },
+                    ..
+                } => {
                     assert_eq!(name, "AVG");
                     assert_eq!(args.len(), 1);
                 }
@@ -1476,12 +1604,14 @@ mod tests {
 
     #[test]
     fn parses_case_when_listing_9() {
-        let e = parse_expr(
-            "CASE WHEN e.title LIKE 'Chief %' THEN 'Executive' ELSE 'Worker' END",
-        )
-        .unwrap();
+        let e = parse_expr("CASE WHEN e.title LIKE 'Chief %' THEN 'Executive' ELSE 'Worker' END")
+            .unwrap();
         match e {
-            Expr::Case { operand: None, arms, else_expr: Some(_) } => {
+            Expr::Case {
+                operand: None,
+                arms,
+                else_expr: Some(_),
+            } => {
                 assert_eq!(arms.len(), 1);
             }
             other => panic!("unexpected {other:?}"),
@@ -1490,7 +1620,10 @@ mod tests {
 
     #[test]
     fn parses_constructors() {
-        assert!(matches!(parse_expr("{'a': 1, 'b': [1,2]}").unwrap(), Expr::TupleCtor(_)));
+        assert!(matches!(
+            parse_expr("{'a': 1, 'b': [1,2]}").unwrap(),
+            Expr::TupleCtor(_)
+        ));
         assert!(matches!(parse_expr("{{1, 2}}").unwrap(), Expr::BagCtor(_)));
         assert!(matches!(parse_expr("<<1, 2>>").unwrap(), Expr::BagCtor(_)));
         assert!(matches!(parse_expr("[]").unwrap(), Expr::ArrayCtor(_)));
@@ -1501,8 +1634,16 @@ mod tests {
     fn parses_operators_with_precedence() {
         // 1 + 2 * 3 = (1 + (2*3))
         match parse_expr("1 + 2 * 3 = 7").unwrap() {
-            Expr::Bin { op: BinOp::Eq, left, .. } => match *left {
-                Expr::Bin { op: BinOp::Add, right, .. } => {
+            Expr::Bin {
+                op: BinOp::Eq,
+                left,
+                ..
+            } => match *left {
+                Expr::Bin {
+                    op: BinOp::Add,
+                    right,
+                    ..
+                } => {
                     assert!(matches!(*right, Expr::Bin { op: BinOp::Mul, .. }));
                 }
                 other => panic!("unexpected {other:?}"),
@@ -1511,7 +1652,11 @@ mod tests {
         }
         // a OR b AND c = a OR (b AND c)
         match parse_expr("a OR b AND c").unwrap() {
-            Expr::Bin { op: BinOp::Or, right, .. } => {
+            Expr::Bin {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Bin { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -1534,11 +1679,19 @@ mod tests {
         ));
         assert!(matches!(
             parse_expr("x IS NOT MISSING").unwrap(),
-            Expr::Is { test: IsTest::Missing, negated: true, .. }
+            Expr::Is {
+                test: IsTest::Missing,
+                negated: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("x IS NULL").unwrap(),
-            Expr::Is { test: IsTest::Null, negated: false, .. }
+            Expr::Is {
+                test: IsTest::Null,
+                negated: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse_expr("EXISTS (SELECT * FROM t AS t2)").unwrap(),
@@ -1561,11 +1714,23 @@ mod tests {
 
     #[test]
     fn parses_set_ops_with_precedence() {
-        let query = q("SELECT VALUE 1 FROM a AS a UNION SELECT VALUE 2 FROM b AS b \
-                       INTERSECT SELECT VALUE 3 FROM c AS c");
+        let query = q(
+            "SELECT VALUE 1 FROM a AS a UNION SELECT VALUE 2 FROM b AS b \
+                       INTERSECT SELECT VALUE 3 FROM c AS c",
+        );
         match query.body {
-            SetExpr::SetOp { op: SetOp::Union, right, .. } => {
-                assert!(matches!(*right, SetExpr::SetOp { op: SetOp::Intersect, .. }));
+            SetExpr::SetOp {
+                op: SetOp::Union,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    SetExpr::SetOp {
+                        op: SetOp::Intersect,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1573,7 +1738,8 @@ mod tests {
 
     #[test]
     fn parses_order_limit_offset() {
-        let query = q("SELECT VALUE x FROM t AS x ORDER BY x.a DESC NULLS LAST, x.b LIMIT 10 OFFSET 5");
+        let query =
+            q("SELECT VALUE x FROM t AS x ORDER BY x.a DESC NULLS LAST, x.b LIMIT 10 OFFSET 5");
         assert_eq!(query.order_by.len(), 2);
         assert!(query.order_by[0].desc);
         assert_eq!(query.order_by[0].nulls_first, Some(false));
@@ -1588,8 +1754,18 @@ mod tests {
              CROSS JOIN c AS c",
         );
         match &b.from[0] {
-            FromItem::Join { kind: JoinKind::Cross, left, .. } => {
-                assert!(matches!(**left, FromItem::Join { kind: JoinKind::Left, .. }));
+            FromItem::Join {
+                kind: JoinKind::Cross,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    **left,
+                    FromItem::Join {
+                        kind: JoinKind::Left,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1661,7 +1837,10 @@ mod tests {
         let b = block("SELECT DISTINCT VALUE x FROM t AS x");
         assert!(matches!(
             b.select,
-            SelectClause::SelectValue { quantifier: SetQuantifier::Distinct, .. }
+            SelectClause::SelectValue {
+                quantifier: SetQuantifier::Distinct,
+                ..
+            }
         ));
     }
 

@@ -164,7 +164,12 @@ fn write_query(q: &Query, out: &mut String) {
 fn write_set_expr(se: &SetExpr, out: &mut String) {
     match se {
         SetExpr::Block(b) => write_block(b, out),
-        SetExpr::SetOp { op, all, left, right } => {
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             maybe_paren_set(left, out);
             out.push(' ');
             out.push_str(match op {
@@ -340,7 +345,11 @@ fn write_block(b: &QueryBlock, out: &mut String) {
 
 fn write_from_item(item: &FromItem, out: &mut String) {
     match item {
-        FromItem::Collection { expr, as_var, at_var } => {
+        FromItem::Collection {
+            expr,
+            as_var,
+            at_var,
+        } => {
             write_expr(expr, 0, out);
             if let Some(v) = as_var {
                 let _ = write!(out, " AS {}", ident(v));
@@ -349,12 +358,21 @@ fn write_from_item(item: &FromItem, out: &mut String) {
                 let _ = write!(out, " AT {}", ident(v));
             }
         }
-        FromItem::Unpivot { expr, value_var, name_var } => {
+        FromItem::Unpivot {
+            expr,
+            value_var,
+            name_var,
+        } => {
             out.push_str("UNPIVOT ");
             write_expr(expr, 0, out);
             let _ = write!(out, " AS {} AT {}", ident(value_var), ident(name_var));
         }
-        FromItem::Join { kind, left, right, on } => {
+        FromItem::Join {
+            kind,
+            left,
+            right,
+            on,
+        } => {
             write_from_item(left, out);
             out.push_str(match kind {
                 JoinKind::Inner => " INNER JOIN ",
@@ -505,7 +523,12 @@ fn write_expr(e: &Expr, min_prec: u8, out: &mut String) {
             }
             write_expr(expr, 7, out);
         }
-        Expr::Like { expr, pattern, escape, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            escape,
+            negated,
+        } => {
             write_expr(expr, 5, out);
             if *negated {
                 out.push_str(" NOT");
@@ -517,7 +540,12 @@ fn write_expr(e: &Expr, min_prec: u8, out: &mut String) {
                 write_expr(esc, 5, out);
             }
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             write_expr(expr, 5, out);
             if *negated {
                 out.push_str(" NOT");
@@ -547,7 +575,11 @@ fn write_expr(e: &Expr, min_prec: u8, out: &mut String) {
                 InRhs::Expr(e) => write_expr(e, 5, out),
             }
         }
-        Expr::Is { expr, test, negated } => {
+        Expr::Is {
+            expr,
+            test,
+            negated,
+        } => {
             write_expr(expr, 5, out);
             out.push_str(" IS ");
             if *negated {
@@ -559,7 +591,11 @@ fn write_expr(e: &Expr, min_prec: u8, out: &mut String) {
                 IsTest::Type(t) => out.push_str(t),
             }
         }
-        Expr::Case { operand, arms, else_expr } => {
+        Expr::Case {
+            operand,
+            arms,
+            else_expr,
+        } => {
             out.push_str("CASE");
             if let Some(op) = operand {
                 out.push(' ');
@@ -577,7 +613,12 @@ fn write_expr(e: &Expr, min_prec: u8, out: &mut String) {
             }
             out.push_str(" END");
         }
-        Expr::Call { name, args, distinct, star } => {
+        Expr::Call {
+            name,
+            args,
+            distinct,
+            star,
+        } => {
             // Internal navigation pseudo-functions print as postfix syntax.
             if name == "$PATH" && args.len() == 2 {
                 write_expr(&args[0], u8::MAX, out);
@@ -611,7 +652,13 @@ fn write_expr(e: &Expr, min_prec: u8, out: &mut String) {
             }
             out.push(')');
         }
-        Expr::Window { func, args, star, partition_by, order_by } => {
+        Expr::Window {
+            func,
+            args,
+            star,
+            partition_by,
+            order_by,
+        } => {
             out.push_str(func);
             out.push('(');
             if *star {
@@ -821,8 +868,6 @@ mod tests {
 
     #[test]
     fn order_limit_round_trip() {
-        rt_query(
-            "SELECT VALUE x FROM t AS x ORDER BY x.a DESC NULLS LAST, x.b LIMIT 10 OFFSET 2",
-        );
+        rt_query("SELECT VALUE x FROM t AS x ORDER BY x.a DESC NULLS LAST, x.b LIMIT 10 OFFSET 2");
     }
 }

@@ -420,8 +420,18 @@ mod tests {
 
     #[test]
     fn span_join() {
-        let a = Span { start: 2, end: 5, line: 1, column: 3 };
-        let b = Span { start: 8, end: 12, line: 2, column: 1 };
+        let a = Span {
+            start: 2,
+            end: 5,
+            line: 1,
+            column: 3,
+        };
+        let b = Span {
+            start: 8,
+            end: 12,
+            line: 2,
+            column: 1,
+        };
         let j = a.to(b);
         assert_eq!((j.start, j.end), (2, 12));
         assert_eq!((j.line, j.column), (1, 3));

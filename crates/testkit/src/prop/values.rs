@@ -1,0 +1,232 @@
+//! Generators for SQL++ [`Value`]s — scalars, options, and recursively
+//! nested arrays / bags / tuples — mirroring the shapes the paper's data
+//! model allows (§II), including the awkward ones: NULL vs MISSING,
+//! heterogeneous collections, duplicate attribute names.
+
+use sqlpp_value::{Decimal, Tuple, Value};
+
+use super::gen::{self};
+use super::Gen;
+
+/// Tunable distribution for [`nested_value`]. The defaults reproduce the
+/// distribution the workspace's original proptest suites used.
+#[derive(Debug, Clone)]
+pub struct ValueProfile {
+    /// Maximum nesting depth of arrays/bags/tuples.
+    pub depth: u32,
+    /// Maximum elements per collection / attributes per tuple.
+    pub width: usize,
+    /// Attribute-name alphabet (inclusive) — small on purpose so
+    /// duplicate names actually occur.
+    pub key_chars: std::ops::RangeInclusive<char>,
+    /// Maximum attribute-name length.
+    pub key_len: usize,
+    /// Include `MISSING` among the scalar leaves.
+    pub with_missing: bool,
+    /// Include floats / decimals / bytes among the scalar leaves.
+    pub with_inexact: bool,
+}
+
+impl Default for ValueProfile {
+    fn default() -> Self {
+        ValueProfile {
+            depth: 3,
+            width: 4,
+            key_chars: 'a'..='e',
+            key_len: 2,
+            with_missing: true,
+            with_inexact: true,
+        }
+    }
+}
+
+/// A scalar SQL++ value (no collections, no tuples).
+pub fn scalar(profile: &ValueProfile) -> Gen<Value> {
+    let mut leaves: Vec<Gen<Value>> = vec![
+        gen::just(Value::Null),
+        gen::any_bool().map(Value::Bool),
+        gen::any_i64().map(Value::Int),
+        gen::ascii_string(0..=8).map(Value::Str),
+    ];
+    if profile.with_missing {
+        leaves.push(gen::just(Value::Missing));
+    }
+    if profile.with_inexact {
+        leaves.push(gen::f64_range(-1e6..1e6).map(Value::Float));
+        leaves.push(
+            gen::pair(gen::i64_range(-10_000..10_000), gen::u32_range(0..6))
+                .map(|(m, s)| Value::Decimal(Decimal::new(i128::from(m), s))),
+        );
+        leaves.push(gen::bytes(0..=4).map(Value::Bytes));
+    }
+    gen::one_of(leaves)
+}
+
+/// A small scalar: the restricted leaf set differential-style suites use
+/// (`NULL`, bools, small ints, short lowercase strings).
+pub fn small_scalar() -> Gen<Value> {
+    gen::one_of(vec![
+        gen::just(Value::Null),
+        gen::any_bool().map(Value::Bool),
+        gen::i64_range(-100..100).map(Value::Int),
+        gen::char_string('a'..='c', 0..=3).map(Value::Str),
+    ])
+}
+
+/// A recursively nested value under the given profile: nested value with
+/// its own leaf distribution.
+pub fn nested_value(profile: ValueProfile) -> Gen<Value> {
+    let leaf = scalar(&profile);
+    nested_value_with(profile, leaf)
+}
+
+/// [`nested_value`] with a custom leaf generator (e.g. [`small_scalar`]).
+pub fn nested_value_with(profile: ValueProfile, leaf: Gen<Value>) -> Gen<Value> {
+    Gen::new(move |src| generate_nested(src, &leaf, &profile, profile.depth))
+}
+
+/// [`nested_value`] with the default profile: the workhorse `arb_value()`
+/// equivalent.
+pub fn any_value() -> Gen<Value> {
+    nested_value(ValueProfile::default())
+}
+
+fn generate_nested(
+    src: &mut super::Source,
+    leaf: &Gen<Value>,
+    profile: &ValueProfile,
+    depth: u32,
+) -> Value {
+    // Half the weight on leaves even when nesting is allowed, so
+    // generated documents stay bounded in expectation.
+    if depth == 0 || src.draw_below(2) == 0 {
+        return leaf.generate(src);
+    }
+    match src.draw_below(3) {
+        0 => Value::Array(
+            (0..src.draw_len(0, profile.width))
+                .map(|_| generate_nested(src, leaf, profile, depth - 1))
+                .collect(),
+        ),
+        1 => Value::Bag(
+            (0..src.draw_len(0, profile.width))
+                .map(|_| generate_nested(src, leaf, profile, depth - 1))
+                .collect(),
+        ),
+        _ => {
+            let n = src.draw_len(0, profile.width);
+            let (klo, khi) = profile.key_chars.clone().into_inner();
+            let mut t = Tuple::new();
+            for _ in 0..n {
+                let klen = src.draw_len(1, profile.key_len.max(1));
+                let key: String = (0..klen)
+                    .map(|_| loop {
+                        let cp = src.draw_range_i64(klo as i64, khi as i64) as u32;
+                        if let Some(c) = char::from_u32(cp) {
+                            break c;
+                        }
+                    })
+                    .collect();
+                t.insert(key, generate_nested(src, leaf, profile, depth - 1));
+            }
+            Value::Tuple(t)
+        }
+    }
+}
+
+/// A bag of flat tuples with the given attribute generators — the
+/// "rows" shape SQL-compat suites generate. Attribute values come from
+/// the paired generators; the row count from `rows`.
+pub fn rows_of(
+    attrs: Vec<(&'static str, Gen<Value>)>,
+    rows: std::ops::RangeInclusive<usize>,
+) -> Gen<Value> {
+    let (lo, hi) = rows.into_inner();
+    Gen::new(move |src| {
+        let n = src.draw_len(lo, hi);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut t = Tuple::with_capacity(attrs.len());
+            for (name, g) in &attrs {
+                t.insert(*name, g.generate(src));
+            }
+            out.push(Value::Tuple(t));
+        }
+        Value::Bag(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::Source;
+
+    #[test]
+    fn zero_stream_is_a_simple_leaf() {
+        let v = any_value().generate(&mut Source::replay(vec![]));
+        assert_eq!(v, Value::Null, "all-zero stream must yield the first leaf");
+    }
+
+    #[test]
+    fn nested_values_respect_the_depth_bound() {
+        fn depth(v: &Value) -> u32 {
+            match v {
+                Value::Array(items) | Value::Bag(items) => {
+                    1 + items.iter().map(depth).max().unwrap_or(0)
+                }
+                Value::Tuple(t) => 1 + t.iter().map(|(_, v)| depth(v)).max().unwrap_or(0),
+                _ => 0,
+            }
+        }
+        let g = any_value();
+        let mut max_seen = 0;
+        for seed in 0..200 {
+            let v = g.generate(&mut Source::random(seed));
+            let d = depth(&v);
+            assert!(d <= 3, "depth {d} exceeds profile bound: {v:?}");
+            max_seen = max_seen.max(d);
+        }
+        assert!(max_seen >= 2, "distribution never nests (max {max_seen})");
+    }
+
+    #[test]
+    fn missing_can_be_generated_but_only_where_legal() {
+        // MISSING may appear as a collection element but Tuple::insert
+        // drops MISSING attributes, so no generated tuple stores one.
+        fn contains_missing(v: &Value) -> bool {
+            match v {
+                Value::Missing => true,
+                Value::Array(items) | Value::Bag(items) => items.iter().any(contains_missing),
+                Value::Tuple(t) => t.iter().any(|(_, v)| contains_missing(v)),
+                _ => false,
+            }
+        }
+        let g = any_value();
+        let mut saw_missing = false;
+        for seed in 0..300 {
+            let v = g.generate(&mut Source::random(seed));
+            saw_missing |= contains_missing(&v);
+        }
+        assert!(saw_missing, "leaf distribution never produced MISSING");
+    }
+
+    #[test]
+    fn rows_of_generates_flat_bags() {
+        let g = rows_of(
+            vec![
+                ("id", gen::i64_range(0..10).map(Value::Int)),
+                ("name", gen::char_string('a'..='z', 1..=4).map(Value::Str)),
+            ],
+            1..=6,
+        );
+        for seed in 0..40 {
+            let v = g.generate(&mut Source::random(seed));
+            let items = v.as_elements().unwrap();
+            assert!((1..=6).contains(&items.len()));
+            for item in items {
+                let t = item.as_tuple().unwrap();
+                assert!(t.contains("id") && t.contains("name"));
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Seedable, dependency-free pseudo-random number generation.
+//!
+//! Two generators, both public domain algorithms by Blackman & Vigna:
+//!
+//! * [`SplitMix64`] — a tiny 64-bit mixer used to expand one `u64` seed
+//!   into the 256-bit state of the main generator (and useful on its own
+//!   for hashing-style decorrelation of seeds).
+//! * [`Rng`] — xoshiro256**, the workspace's workhorse generator:
+//!   sub-nanosecond next, 2^256−1 period, passes BigCrush. Not
+//!   cryptographic — it exists so workloads and property tests are
+//!   deterministic and reproducible from a single printed seed.
+//!
+//! The API mirrors the small part of the `rand` crate the workspace used:
+//! `gen_range`, `shuffle`, `choose`, `gen_bool`.
+
+/// SplitMix64: one multiply-xorshift round per output.
+///
+/// Used to seed [`Rng`] so that close-together seeds (0, 1, 2, …) still
+/// produce decorrelated streams.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One round of SplitMix64 as a pure function: mixes `seed` with `salt`.
+/// Handy for deriving per-case seeds from a run seed.
+pub fn mix(seed: u64, salt: u64) -> u64 {
+    let mut sm = SplitMix64::new(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
+/// xoshiro256**: the main deterministic generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// A generator whose 256-bit state is expanded from `seed` via
+    /// SplitMix64 (the seeding procedure the algorithm's authors specify).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // The all-zero state is the one invalid state; SplitMix64 cannot
+        // produce four zero outputs in a row, but keep the guard explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32-bit output (upper bits, which are the strongest).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// An independent generator forked from this one's stream — use to
+    /// give a sub-task its own stream without sharing `&mut`.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// A uniform `u64` in `[0, bound)` via Lemire's unbiased
+    /// multiply-shift rejection method. `bound` must be nonzero.
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = u128::from(self.next_u64()) * u128::from(bound);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                m = u128::from(self.next_u64()) * u128::from(bound);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform sample from `range`, which may be half-open (`lo..hi`)
+    /// or inclusive (`lo..=hi`) over any primitive integer type, or a
+    /// half-open `f64` range. Panics on empty ranges, like `rand`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.to_inclusive();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.bounded_u64(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.bounded_u64(items.len() as u64) as usize])
+        }
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from the inclusive range `[lo, hi]`.
+    fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+    /// The predecessor, for converting `lo..hi` into `[lo, hi−1]`.
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                // Width as u64 offset; `span == 0` encodes the full u64
+                // domain (only reachable for 64-bit types).
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t;
+                }
+                let offset = rng.bounded_u64(span as u64);
+                ((lo as i128) + offset as i128) as $t
+            }
+            fn prev(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty float range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+    fn prev(self) -> Self {
+        self // float ranges stay half-open; `..=` and `..` coincide
+    }
+}
+
+impl SampleUniform for char {
+    fn sample_inclusive(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty char range");
+        // Sample code points, skipping the surrogate gap by resampling.
+        loop {
+            let cp = u32::sample_inclusive(rng, lo as u32, hi as u32);
+            if let Some(c) = char::from_u32(cp) {
+                return c;
+            }
+        }
+    }
+    fn prev(self) -> Self {
+        char::from_u32(self as u32 - 1).unwrap_or('\0')
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// The inclusive `[lo, hi]` bounds of the range.
+    fn to_inclusive(self) -> (T, T);
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn to_inclusive(self) -> (T, T) {
+        (self.start, self.end.prev())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn to_inclusive(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 from the canonical C
+        // implementation (Vigna, 2015).
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_both_ends() {
+        let mut r = Rng::new(7);
+        let (mut saw_lo, mut saw_hi) = (false, false);
+        for _ in 0..2000 {
+            let v = r.gen_range(3..=9i64);
+            assert!((3..=9).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 9;
+        }
+        assert!(saw_lo && saw_hi);
+        for _ in 0..100 {
+            let v = r.gen_range(0..5usize);
+            assert!(v < 5);
+            let f = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+        // Extremes do not overflow.
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+        let _ = r.gen_range(u64::MIN..=u64::MAX);
+        assert_eq!(r.gen_range(5..6u32), 5);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = Rng::new(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_selects() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        r.shuffle(&mut v);
+        assert_ne!(v, orig, "50 elements staying put is ~impossible");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert!(orig.contains(r.choose(&orig).unwrap()));
+        assert!(r.choose::<u32>(&[]).is_none());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng::new(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

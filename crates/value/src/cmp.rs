@@ -70,14 +70,10 @@ pub fn deep_eq(a: &Value, b: &Value) -> bool {
         (Bool(x), Bool(y)) => x == y,
         (Str(x), Str(y)) => x == y,
         (Bytes(x), Bytes(y)) => x == y,
-        (Array(x), Array(y)) => {
-            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| deep_eq(a, b))
-        }
+        (Array(x), Array(y)) => x.len() == y.len() && x.iter().zip(y).all(|(a, b)| deep_eq(a, b)),
         (Bag(x), Bag(y)) => bag_eq(x, y),
         (Tuple(x), Tuple(y)) => tuple_eq(x, y),
-        _ if a.is_number() && b.is_number() => {
-            compare_numbers(a, b) == Some(Ordering::Equal)
-        }
+        _ if a.is_number() && b.is_number() => compare_numbers(a, b) == Some(Ordering::Equal),
         _ => false,
     }
 }
@@ -207,9 +203,7 @@ pub fn total_cmp(a: &Value, b: &Value) -> Ordering {
             // Compare pairs sorted by (name, value).
             fn key(t: &crate::tuple::Tuple) -> Vec<(&str, &Value)> {
                 let mut pairs: Vec<(&str, &Value)> = t.iter().collect();
-                pairs.sort_by(|(an, av), (bn, bv)| {
-                    an.cmp(bn).then_with(|| total_cmp(av, bv))
-                });
+                pairs.sort_by(|(an, av), (bn, bv)| an.cmp(bn).then_with(|| total_cmp(av, bv)));
                 pairs
             }
             let (xp, yp) = (key(x), key(y));
@@ -221,9 +215,7 @@ pub fn total_cmp(a: &Value, b: &Value) -> Ordering {
             }
             xp.len().cmp(&yp.len())
         }
-        _ if a.is_number() && b.is_number() => {
-            compare_numbers(a, b).expect("both numeric")
-        }
+        _ if a.is_number() && b.is_number() => compare_numbers(a, b).expect("both numeric"),
         _ => unreachable!("same kind_rank implies same shape"),
     }
 }
@@ -398,7 +390,10 @@ mod tests {
             sql_compare(&Value::Str("a".into()), &Value::Str("b".into())),
             Ok(Some(Ordering::Less))
         );
-        assert_eq!(sql_compare(&Value::Int(1), &Value::Str("a".into())), Ok(None));
+        assert_eq!(
+            sql_compare(&Value::Int(1), &Value::Str("a".into())),
+            Ok(None)
+        );
         assert_eq!(
             sql_compare(&Value::Missing, &Value::Int(1)),
             Err(Value::Missing)

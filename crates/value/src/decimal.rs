@@ -63,9 +63,15 @@ impl Decimal {
     }
 
     /// The decimal value zero.
-    pub const ZERO: Decimal = Decimal { mantissa: 0, scale: 0 };
+    pub const ZERO: Decimal = Decimal {
+        mantissa: 0,
+        scale: 0,
+    };
     /// The decimal value one.
-    pub const ONE: Decimal = Decimal { mantissa: 1, scale: 0 };
+    pub const ONE: Decimal = Decimal {
+        mantissa: 1,
+        scale: 0,
+    };
 
     /// Raw mantissa (`self = mantissa * 10^-scale`).
     pub fn mantissa(&self) -> i128 {
@@ -100,7 +106,10 @@ impl Decimal {
 
     /// Converts an `i64` losslessly.
     pub fn from_i64(v: i64) -> Self {
-        Decimal { mantissa: v as i128, scale: 0 }
+        Decimal {
+            mantissa: v as i128,
+            scale: 0,
+        }
     }
 
     /// Converts a finite `f64` by going through its shortest display form;
@@ -121,7 +130,9 @@ impl Decimal {
         if self.scale == 0 {
             return self.mantissa as f64;
         }
-        self.to_string().parse().expect("decimal text is a valid f64")
+        self.to_string()
+            .parse()
+            .expect("decimal text is a valid f64")
     }
 
     /// Lossless conversion to `i64` when the value is integral and in range.
@@ -150,13 +161,19 @@ impl Decimal {
     /// Checked addition.
     pub fn checked_add(self, rhs: Decimal) -> Result<Decimal, DecimalError> {
         let (a, b, s) = Self::align(self, rhs).ok_or(DecimalError::Overflow)?;
-        Ok(Decimal::new(a.checked_add(b).ok_or(DecimalError::Overflow)?, s))
+        Ok(Decimal::new(
+            a.checked_add(b).ok_or(DecimalError::Overflow)?,
+            s,
+        ))
     }
 
     /// Checked subtraction.
     pub fn checked_sub(self, rhs: Decimal) -> Result<Decimal, DecimalError> {
         let (a, b, s) = Self::align(self, rhs).ok_or(DecimalError::Overflow)?;
-        Ok(Decimal::new(a.checked_sub(b).ok_or(DecimalError::Overflow)?, s))
+        Ok(Decimal::new(
+            a.checked_sub(b).ok_or(DecimalError::Overflow)?,
+            s,
+        ))
     }
 
     /// Checked multiplication.
@@ -180,7 +197,9 @@ impl Decimal {
         let (num, num_scale) = if target >= self.scale {
             let shift = pow10(target - self.scale).ok_or(DecimalError::Overflow)?;
             (
-                self.mantissa.checked_mul(shift).ok_or(DecimalError::Overflow)?,
+                self.mantissa
+                    .checked_mul(shift)
+                    .ok_or(DecimalError::Overflow)?,
                 MAX_SCALE,
             )
         } else {
@@ -213,10 +232,12 @@ impl Decimal {
         Ok(Decimal::new(a % b, s))
     }
 
-
     /// Absolute value.
     pub fn abs(self) -> Decimal {
-        Decimal { mantissa: self.mantissa.abs(), scale: self.scale }
+        Decimal {
+            mantissa: self.mantissa.abs(),
+            scale: self.scale,
+        }
     }
 
     /// Largest integral decimal `<= self`.
@@ -386,7 +407,10 @@ impl FromStr for Decimal {
 impl std::ops::Neg for Decimal {
     type Output = Decimal;
     fn neg(self) -> Decimal {
-        Decimal { mantissa: -self.mantissa, scale: self.scale }
+        Decimal {
+            mantissa: -self.mantissa,
+            scale: self.scale,
+        }
     }
 }
 

@@ -115,9 +115,7 @@ fn is_flat(v: &Value) -> bool {
         Value::Array(items) | Value::Bag(items) => {
             items.len() <= 4 && items.iter().all(|i| i.is_scalar() || i.is_absent())
         }
-        Value::Tuple(t) => {
-            t.len() <= 3 && t.iter().all(|(_, v)| v.is_scalar() || v.is_absent())
-        }
+        Value::Tuple(t) => t.len() <= 3 && t.iter().all(|(_, v)| v.is_scalar() || v.is_absent()),
         _ => true,
     }
 }

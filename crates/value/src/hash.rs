@@ -22,8 +22,7 @@ pub struct GroupKey(pub Vec<Value>);
 
 impl PartialEq for GroupKey {
     fn eq(&self, other: &Self) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| deep_eq(a, b))
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| deep_eq(a, b))
     }
 }
 
@@ -153,8 +152,8 @@ mod tests {
     use super::*;
     use crate::cmp::dec;
     use crate::{bag, tuple};
-    use std::collections::HashMap;
     use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
 
     fn h(v: &Value) -> u64 {
         let mut s = DefaultHasher::new();

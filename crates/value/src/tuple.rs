@@ -31,7 +31,9 @@ impl Tuple {
 
     /// Creates an empty tuple with room for `n` attributes.
     pub fn with_capacity(n: usize) -> Self {
-        Tuple { pairs: Vec::with_capacity(n) }
+        Tuple {
+            pairs: Vec::with_capacity(n),
+        }
     }
 
     /// Builds a tuple from pairs, applying the MISSING-dropping rule.
@@ -79,7 +81,10 @@ impl Tuple {
 
     /// All values bound to `name` (usually zero or one).
     pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Value> + 'a {
-        self.pairs.iter().filter(move |(k, _)| k == name).map(|(_, v)| v)
+        self.pairs
+            .iter()
+            .filter(move |(k, _)| k == name)
+            .map(|(_, v)| v)
     }
 
     /// True when some pair has this name.

@@ -241,9 +241,7 @@ impl Value {
     /// and to report result sizes.
     pub fn node_count(&self) -> usize {
         match self {
-            Value::Array(v) | Value::Bag(v) => {
-                1 + v.iter().map(Value::node_count).sum::<usize>()
-            }
+            Value::Array(v) | Value::Bag(v) => 1 + v.iter().map(Value::node_count).sum::<usize>(),
             Value::Tuple(t) => 1 + t.iter().map(|(_, v)| v.node_count()).sum::<usize>(),
             _ => 1,
         }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          ORDER BY avg_salary DESC \
          LIMIT 5",
     )?;
-    println!("Top departments by average salary:\n{}\n", profile.to_pretty());
+    println!(
+        "Top departments by average salary:\n{}\n",
+        profile.to_pretty()
+    );
 
     // 2. Invert the hierarchy with GROUP AS (§V-B): who staffs each
     //    project? The nesting of the output does NOT follow the nesting
@@ -37,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (FROM g AS v SELECT VALUE v.e.name LIMIT 3) AS sample_members \
          ORDER BY team_size DESC",
     )?;
-    println!("Project staffing (hierarchy inverted):\n{}\n", staffing.to_pretty());
+    println!(
+        "Project staffing (hierarchy inverted):\n{}\n",
+        staffing.to_pretty()
+    );
 
     // 3. Per-employee nested summary: output nesting follows input
     //    nesting, so a correlated SELECT VALUE is the natural tool (§V-A).

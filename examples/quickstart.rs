@@ -51,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 4. The SELECT clause is sugar over SELECT VALUE ----------------
     println!(
         "EXPLAIN shows the SQL++ Core rewriting of an aggregate:\n{}",
-        engine.explain(
-            "SELECT AVG(e.id) AS avg_id FROM hr.emp_missing AS e"
-        )?
+        engine.explain("SELECT AVG(e.id) AS avg_id FROM hr.emp_missing AS e")?
     );
 
     // --- 5. The two dials ------------------------------------------------
@@ -65,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.load_pnotation("dirty", "{{ {'x': 1}, {'x': 'oops'} }}")?;
     println!(
         "permissive: {}",
-        engine.query("SELECT VALUE d.x * 2 FROM dirty AS d")?.value()
+        engine
+            .query("SELECT VALUE d.x * 2 FROM dirty AS d")?
+            .value()
     );
     println!(
         "strict:     {:?}",
@@ -80,9 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compat: CompatMode::Composable,
         ..SessionConfig::default()
     });
-    let bag = composable.eval_expr(
-        "{'one_to_three': (SELECT VALUE x FROM [1, 2, 3] AS x)}",
-    )?;
+    let bag = composable.eval_expr("{'one_to_three': (SELECT VALUE x FROM [1, 2, 3] AS x)}")?;
     println!("composability: {bag}");
     Ok(())
 }

@@ -124,6 +124,8 @@ fn load(engine: &Engine, name: &str, path: &str) -> Result<String, Box<dyn std::
     Ok(format!(
         "{} ({} rows)",
         v.kind().name(),
-        v.as_elements().map(<[sqlpp::value::Value]>::len).unwrap_or(1)
+        v.as_elements()
+            .map(<[sqlpp::value::Value]>::len)
+            .unwrap_or(1)
     ))
 }

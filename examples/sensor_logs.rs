@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 END AS celsius \
          FROM iot.logs AS r",
     )?;
-    println!("Normalized readings (all generations):\n{}\n", normalized.to_pretty());
+    println!(
+        "Normalized readings (all generations):\n{}\n",
+        normalized.to_pretty()
+    );
 
     // 2. The same pipeline in stop-on-error mode refuses the dirty value
     //    the moment arithmetic touches it.
@@ -46,9 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         typing: TypingMode::StrictError,
         ..SessionConfig::default()
     });
-    let outcome = strict.query(
-        "SELECT VALUE r.reading * 2 FROM iot.logs AS r WHERE r.device = 'd4'",
-    );
+    let outcome =
+        strict.query("SELECT VALUE r.reading * 2 FROM iot.logs AS r WHERE r.device = 'd4'");
     println!(
         "Strict mode on the faulty reading: {}\n",
         outcome.err().map(|e| e.to_string()).unwrap_or_default()

@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          FROM stock_prices AS sp \
          GROUP BY sp.\"date\" GROUP AS dates_prices",
     )?;
-    println!("Daily price tuples (GROUP AS + PIVOT):\n{}\n", by_date.to_pretty());
+    println!(
+        "Daily price tuples (GROUP AS + PIVOT):\n{}\n",
+        by_date.to_pretty()
+    );
 
     // A scaled sweep: 252 trading days × 500 symbols, unpivoted,
     // aggregated, and re-pivoted — names⇄data round trip at scale.
@@ -81,7 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Scaled sweep: 252×500 matrix unpivoted, averaged and re-pivoted \
          into a {}-attribute tuple in {:?}.",
-        yearly.value().as_tuple().map(sqlpp::Tuple::len).unwrap_or(0),
+        yearly
+            .value()
+            .as_tuple()
+            .map(sqlpp::Tuple::len)
+            .unwrap_or(0),
         start.elapsed()
     );
     Ok(())

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Hermetic CI: everything here must pass offline, with an empty cargo
+# registry — the workspace has no crates.io dependencies by policy
+# (DESIGN.md §7). Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt check =="
+cargo fmt --all --check
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== bench smoke (--quick) =="
+out_dir="$(mktemp -d)"
+SQLPP_BENCH_DIR="$out_dir" cargo run --release -q -p sqlpp-bench --bin bench_all -- --quick
+report="$out_dir/BENCH_seed.json"
+test -s "$report" || { echo "missing bench report $report" >&2; exit 1; }
+grep -q '"median_ns"' "$report" || { echo "malformed bench report" >&2; exit 1; }
+echo "bench report OK: $report"
+
+echo "== ci green =="

@@ -122,9 +122,7 @@ fn from_over_scalar_and_tuple_values() {
     // "FROM clause variables … can bind to any type of SQL++ data" —
     // including singletons in permissive mode.
     let engine = engine();
-    let v = engine
-        .query("SELECT VALUE x FROM 42 AS x")
-        .unwrap();
+    let v = engine.query("SELECT VALUE x FROM 42 AS x").unwrap();
     assert_eq!(v.value().to_string(), "{{42}}");
     let v = engine
         .query("SELECT VALUE x.k FROM {'k': 'v'} AS x")

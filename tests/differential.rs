@@ -2,50 +2,40 @@
 //! reference evaluator (literal nested loops) on randomly generated data
 //! and queries from the SELECT–FROM–WHERE fragment.
 
-use proptest::prelude::*;
 use sqlpp::{Catalog, Engine};
 use sqlpp_eval::reference::eval_sfw;
 use sqlpp_syntax::parse_query;
+use sqlpp_testkit::prop::values::small_scalar;
+use sqlpp_testkit::{gen, prop_assert, sqlpp_prop, Gen};
 use sqlpp_value::cmp::deep_eq;
 use sqlpp_value::{Tuple, Value};
 
-/// Random scalar values.
-fn arb_scalar() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-100i64..100).prop_map(Value::Int),
-        "[a-c]{0,3}".prop_map(Value::Str),
-    ]
-}
-
 /// Random employee-ish tuples: some attributes may be absent, `projects`
 /// may be an array of scalars, absent, or (heterogeneity!) a scalar.
-fn arb_doc() -> impl Strategy<Value = Value> {
-    (
-        any::<i64>(),
-        proptest::option::of(arb_scalar()),
-        proptest::option::of(prop_oneof![
-            proptest::collection::vec(arb_scalar(), 0..4)
-                .prop_map(Value::Array),
-            arb_scalar(),
-        ]),
+fn arb_doc() -> Gen<Value> {
+    gen::triple(
+        gen::any_i64(),
+        gen::option_of(small_scalar()),
+        gen::option_of(gen::one_of(vec![
+            gen::vec_of(small_scalar(), 0..=3).map(Value::Array),
+            small_scalar(),
+        ])),
     )
-        .prop_map(|(id, title, projects)| {
-            let mut t = Tuple::new();
-            t.insert("id", Value::Int(id % 50));
-            if let Some(title) = title {
-                t.insert("title", title);
-            }
-            if let Some(projects) = projects {
-                t.insert("projects", projects);
-            }
-            Value::Tuple(t)
-        })
+    .map(|(id, title, projects)| {
+        let mut t = Tuple::new();
+        t.insert("id", Value::Int(id % 50));
+        if let Some(title) = title {
+            t.insert("title", title);
+        }
+        if let Some(projects) = projects {
+            t.insert("projects", projects);
+        }
+        Value::Tuple(t)
+    })
 }
 
-fn arb_collection() -> impl Strategy<Value = Value> {
-    proptest::collection::vec(arb_doc(), 0..12).prop_map(Value::Bag)
+fn arb_collection() -> Gen<Value> {
+    gen::vec_of(arb_doc(), 0..=11).map(Value::Bag)
 }
 
 /// Queries from the pseudocode fragment, over collection `t`.
@@ -65,10 +55,9 @@ fn queries() -> Vec<&'static str> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+sqlpp_prop! {
+    #![config(cases = 64)]
 
-    #[test]
     fn engine_matches_pseudocode_reference(data in arb_collection()) {
         let catalog = Catalog::new();
         catalog.set("t", data.clone());
@@ -94,10 +83,8 @@ proptest! {
 fn reference_reproduces_pseudocode_1_exactly() {
     // The concrete instance from the paper: Listing 2 over Listing 1.
     let catalog = Catalog::new();
-    let data = sqlpp_formats::pnotation::from_pnotation(
-        sqlpp_compat_kit::corpus::EMP_NEST_TUPLES,
-    )
-    .unwrap();
+    let data = sqlpp_formats::pnotation::from_pnotation(sqlpp_compat_kit::corpus::EMP_NEST_TUPLES)
+        .unwrap();
     catalog.set("hr.emp_nest_tuples", data.clone());
     let ast = parse_query(
         "SELECT e.name AS emp_name, p.name AS proj_name \

@@ -44,9 +44,7 @@ fn explain_shows_the_rewritten_variables() {
     // query into a SQL++ Core query that explicitly denotes the
     // variables that were omitted" — visible in EXPLAIN.
     let engine = schemaful_engine();
-    let plan = engine
-        .explain("SELECT name FROM emp AS e")
-        .unwrap();
+    let plan = engine.explain("SELECT name FROM emp AS e").unwrap();
     assert!(plan.contains("e.name"), "{plan}");
 }
 
@@ -72,7 +70,9 @@ fn ambiguous_references_are_compile_time_errors() {
     let engine = Engine::new();
     let d = data();
     let elem = infer_collection(&d).unwrap();
-    engine.register_with_schema("emp_a", d.clone(), &elem).unwrap();
+    engine
+        .register_with_schema("emp_a", d.clone(), &elem)
+        .unwrap();
     engine.register_with_schema("emp_b", d, &elem).unwrap();
     let err = engine
         .query("SELECT name FROM emp_a AS a, emp_b AS b")
@@ -86,9 +86,7 @@ fn in_scope_variables_beat_disambiguation() {
     // A variable literally named `salary` shadows the schema attribute.
     let engine = schemaful_engine();
     let r = engine
-        .query(
-            "SELECT VALUE salary FROM emp AS e, [1000] AS salary",
-        )
+        .query("SELECT VALUE salary FROM emp AS e, [1000] AS salary")
         .unwrap();
     assert_eq!(r.canonical().to_string(), "{{1000, 1000}}");
 }
@@ -136,7 +134,9 @@ fn engine_check_reports_schema_guaranteed_anomalies() {
     assert_eq!(w.len(), 1, "{w:?}");
     assert!(w[0].contains("bogus"));
     // Arithmetic on a string attribute.
-    let w = engine.check("SELECT VALUE e.name * 2 FROM emp AS e").unwrap();
+    let w = engine
+        .check("SELECT VALUE e.name * 2 FROM emp AS e")
+        .unwrap();
     assert!(w.iter().any(|m| m.contains("never a number")), "{w:?}");
     // Schemaless collections never warn.
     engine.register("loose", sqlpp_value::bag![1i64]);

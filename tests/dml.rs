@@ -19,7 +19,9 @@ fn engine() -> Engine {
 
 fn count(engine: &Engine, name: &str) -> usize {
     engine
-        .query(&format!("SELECT VALUE COLL_COUNT(SELECT VALUE x FROM {name} AS x)"))
+        .query(&format!(
+            "SELECT VALUE COLL_COUNT(SELECT VALUE x FROM {name} AS x)"
+        ))
         .unwrap()
         .rows()[0]
         .as_int()
@@ -58,11 +60,14 @@ fn insert_query_appends_many() {
 fn delete_respects_three_valued_logic() {
     let engine = engine();
     // Cy has no sal: predicate is MISSING → NOT deleted.
-    let outcome = engine.execute("DELETE FROM emp AS e WHERE e.sal < 80").unwrap();
-    assert!(matches!(outcome, ExecOutcome::Deleted { count: 1 }), "{outcome:?}");
-    let left = engine
-        .query("SELECT VALUE e.name FROM emp AS e")
+    let outcome = engine
+        .execute("DELETE FROM emp AS e WHERE e.sal < 80")
         .unwrap();
+    assert!(
+        matches!(outcome, ExecOutcome::Deleted { count: 1 }),
+        "{outcome:?}"
+    );
+    let left = engine.query("SELECT VALUE e.name FROM emp AS e").unwrap();
     assert_eq!(left.canonical().to_string(), "{{'Ann', 'Cy'}}");
 }
 
@@ -137,7 +142,9 @@ fn update_nested_path_creates_intermediate_tuples() {
 #[test]
 fn schema_is_enforced_on_writes() {
     let engine = Engine::new();
-    engine.execute("CREATE TABLE typed (id INT, label STRING)").unwrap();
+    engine
+        .execute("CREATE TABLE typed (id INT, label STRING)")
+        .unwrap();
     // Conforming insert works (columns are nullable per SQL).
     engine
         .execute("INSERT INTO typed VALUE {'id': 1, 'label': 'ok'}")
@@ -188,8 +195,8 @@ fn dml_statements_round_trip_through_the_printer() {
     ] {
         let s1 = sqlpp_syntax::parse_statement(src).unwrap();
         let printed = sqlpp_syntax::print_statement(&s1);
-        let s2 = sqlpp_syntax::parse_statement(&printed)
-            .unwrap_or_else(|e| panic!("{printed}: {e}"));
+        let s2 =
+            sqlpp_syntax::parse_statement(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
         assert_eq!(s1, s2, "{printed}");
     }
 }

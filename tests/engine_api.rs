@@ -8,9 +8,7 @@ use sqlpp_value::Value;
 #[test]
 fn loading_all_formats_through_the_engine() {
     let engine = Engine::new();
-    engine
-        .load_json("j", r#"[{"a": 1}, {"a": 2}]"#)
-        .unwrap();
+    engine.load_json("j", r#"[{"a": 1}, {"a": 2}]"#).unwrap();
     engine.load_json("jl", "{\"a\": 3}\n{\"a\": 4}\n").unwrap();
     engine.load_csv("c", "a,b\n5,x\n6,y\n").unwrap();
     engine.load_pnotation("p", "{{ {'a': 7} }}").unwrap();
@@ -99,7 +97,8 @@ fn syntax_errors_carry_positions() {
 #[test]
 fn sessions_share_the_catalog_but_not_the_config() {
     let base = Engine::new();
-    base.load_pnotation("t", "{{ {'x': 'not a number'} }}").unwrap();
+    base.load_pnotation("t", "{{ {'x': 'not a number'} }}")
+        .unwrap();
     let strict = base.with_config(SessionConfig {
         typing: TypingMode::StrictError,
         ..SessionConfig::default()
@@ -118,10 +117,7 @@ fn sessions_share_the_catalog_but_not_the_config() {
 fn relational_view_for_jdbc_style_clients() {
     let engine = Engine::new();
     engine
-        .load_pnotation(
-            "t",
-            "{{ {'id': 1, 'note': 'hi'}, {'id': 2} }}",
-        )
+        .load_pnotation("t", "{{ {'id': 1, 'note': 'hi'}, {'id': 2} }}")
         .unwrap();
     let r = engine
         .query("SELECT t.id, t.note AS note FROM t AS t")
@@ -137,9 +133,7 @@ fn pivot_results_are_tuples_not_bags() {
     engine
         .load_pnotation("prices", "{{ {'s': 'a', 'p': 1}, {'s': 'b', 'p': 2} }}")
         .unwrap();
-    let r = engine
-        .query("PIVOT x.p AT x.s FROM prices AS x")
-        .unwrap();
+    let r = engine.query("PIVOT x.p AT x.s FROM prices AS x").unwrap();
     assert!(matches!(r.value(), Value::Tuple(_)));
     assert_eq!(r.value().path("b"), Value::Int(2));
 }
@@ -147,13 +141,13 @@ fn pivot_results_are_tuples_not_bags() {
 #[test]
 fn run_str_handles_both_queries_and_expressions() {
     let engine = Engine::new();
-    assert_eq!(
-        engine.run_str("1 + 2 * 3").unwrap(),
-        Value::Int(7)
-    );
+    assert_eq!(engine.run_str("1 + 2 * 3").unwrap(), Value::Int(7));
     engine.load_pnotation("t", "{{1, 2}}").unwrap();
     assert_eq!(
-        engine.run_str("SELECT VALUE x FROM t AS x").unwrap().to_string(),
+        engine
+            .run_str("SELECT VALUE x FROM t AS x")
+            .unwrap()
+            .to_string(),
         "{{1, 2}}"
     );
     // Garbage reports the *query* parse error (more useful than the

@@ -2,10 +2,11 @@
 //! text* over the same logical data loaded from four different formats
 //! produces the same answer.
 
-use proptest::prelude::*;
 use sqlpp::Engine;
 use sqlpp_formats::{CsvFormat, DataFormat, IonLiteFormat, JsonFormat, PNotationFormat};
-use sqlpp_value::{rows, Tuple, Value};
+use sqlpp_testkit::prop::values::rows_of;
+use sqlpp_testkit::{gen, prop_assert_eq, sqlpp_prop, Gen};
+use sqlpp_value::{rows, Value};
 
 fn tabular_sample() -> Value {
     rows![
@@ -74,29 +75,20 @@ fn nested_data_round_trips_where_the_format_can_express_it() {
 
 /// Values expressible in *every* format's common subset: flat tuples of
 /// ints/strings/bools (CSV's world).
-fn arb_flat_rows() -> impl Strategy<Value = Value> {
-    proptest::collection::vec(
-        (
-            0i64..1000,
-            "[a-z]{1,6}",
-            any::<bool>(),
-        )
-            .prop_map(|(n, s, b)| {
-                let mut t = Tuple::new();
-                t.insert("n", Value::Int(n));
-                t.insert("s", Value::Str(s));
-                t.insert("b", Value::Bool(b));
-                Value::Tuple(t)
-            }),
-        1..10,
+fn arb_flat_rows() -> Gen<Value> {
+    rows_of(
+        vec![
+            ("n", gen::i64_range(0..1000).map(Value::Int)),
+            ("s", gen::char_string('a'..='z', 1..=6).map(Value::Str)),
+            ("b", gen::any_bool().map(Value::Bool)),
+        ],
+        1..=9,
     )
-    .prop_map(Value::Bag)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+sqlpp_prop! {
+    #![config(cases = 32)]
 
-    #[test]
     fn all_formats_agree_on_flat_data(data in arb_flat_rows()) {
         let q = "SELECT VALUE t.n FROM t AS t WHERE t.b";
         let reference = {

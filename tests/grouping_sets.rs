@@ -89,10 +89,7 @@ fn grouping_sets_take_exactly_the_requested_sets() {
 fn grouping_function_distinguishes_rollup_nulls_from_data_nulls() {
     let engine = Engine::new();
     engine
-        .load_pnotation(
-            "t",
-            "{{ {'k': null, 'v': 1}, {'k': 'a', 'v': 2} }}",
-        )
+        .load_pnotation("t", "{{ {'k': null, 'v': 1}, {'k': 'a', 'v': 2} }}")
         .unwrap();
     let want = from_pnotation(
         r#"{{
@@ -116,9 +113,7 @@ fn rollup_emits_the_grand_total_even_on_empty_input() {
     let engine = Engine::new();
     engine.load_pnotation("empty", "{{}}").unwrap();
     let r = engine
-        .query(
-            "SELECT e.k, COUNT(*) AS n FROM empty AS e GROUP BY ROLLUP (e.k)",
-        )
+        .query("SELECT e.k, COUNT(*) AS n FROM empty AS e GROUP BY ROLLUP (e.k)")
         .unwrap();
     assert_eq!(r.canonical().to_string(), "{{{'k': null, 'n': 0}}}");
 }
@@ -150,8 +145,7 @@ fn modifiers_round_trip_through_the_printer() {
     ] {
         let ast1 = sqlpp_syntax::parse_query(q).unwrap();
         let printed = sqlpp_syntax::print_query(&ast1);
-        let ast2 = sqlpp_syntax::parse_query(&printed)
-            .unwrap_or_else(|e| panic!("{printed}: {e}"));
+        let ast2 = sqlpp_syntax::parse_query(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
         assert_eq!(ast1, ast2, "{printed}");
     }
 }

@@ -80,9 +80,7 @@ fn strict_mode_rejects_division_by_zero() {
 #[test]
 fn compat_flag_gates_scalar_coercion_not_select_value() {
     let engine = Engine::new();
-    engine
-        .load_pnotation("t", "{{ {'v': 7} }}")
-        .unwrap();
+    engine.load_pnotation("t", "{{ {'v': 7} }}").unwrap();
     // A SELECT VALUE subquery is identical under both modes (§V-A: "None
     // of this implicit 'magic' applies to SELECT VALUE").
     for compat in [CompatMode::SqlCompat, CompatMode::Composable] {
@@ -90,9 +88,7 @@ fn compat_flag_gates_scalar_coercion_not_select_value() {
             compat,
             ..SessionConfig::default()
         });
-        let v = session
-            .eval_expr("(SELECT VALUE t.v FROM t AS t)")
-            .unwrap();
+        let v = session.eval_expr("(SELECT VALUE t.v FROM t AS t)").unwrap();
         assert_eq!(v, sqlpp_value::bag![7i64], "{compat:?}");
     }
     // A sugar SELECT subquery in scalar position coerces only in compat.
@@ -102,11 +98,15 @@ fn compat_flag_gates_scalar_coercion_not_select_value() {
         ..SessionConfig::default()
     });
     assert_eq!(
-        compat.eval_expr("(SELECT t.v AS v FROM t AS t) = 7").unwrap(),
+        compat
+            .eval_expr("(SELECT t.v AS v FROM t AS t) = 7")
+            .unwrap(),
         Value::Bool(true)
     );
     assert_eq!(
-        composable.eval_expr("(SELECT t.v AS v FROM t AS t) = 7").unwrap(),
+        composable
+            .eval_expr("(SELECT t.v AS v FROM t AS t) = 7")
+            .unwrap(),
         Value::Bool(false),
         "a bag of tuples is not 7"
     );

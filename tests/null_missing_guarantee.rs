@@ -10,8 +10,8 @@
 //! null-valued attributes, run a family of SQL queries over both, and
 //! compare after erasing the null/missing distinction.
 
-use proptest::prelude::*;
 use sqlpp::Engine;
+use sqlpp_testkit::{gen, prop_assert, sqlpp_prop, Gen};
 use sqlpp_value::cmp::deep_eq;
 use sqlpp_value::{Tuple, Value};
 
@@ -50,32 +50,30 @@ fn nulls_to_missing(v: &Value) -> Value {
             Value::Tuple(out)
         }
         Value::Bag(items) => Value::Bag(items.iter().map(nulls_to_missing).collect()),
-        Value::Array(items) => {
-            Value::Array(items.iter().map(nulls_to_missing).collect())
-        }
+        Value::Array(items) => Value::Array(items.iter().map(nulls_to_missing).collect()),
         other => other.clone(),
     }
 }
 
-fn arb_row() -> impl Strategy<Value = Value> {
-    (
-        0i64..40,
-        prop_oneof![
-            Just(Value::Null),
-            (0i64..5000).prop_map(Value::Int),
-        ],
-        prop_oneof![
-            Just(Value::Null),
-            "[A-D]".prop_map(Value::Str),
-        ],
+fn arb_row() -> Gen<Value> {
+    gen::triple(
+        gen::i64_range(0..40),
+        gen::one_of(vec![
+            gen::just(Value::Null),
+            gen::i64_range(0..5000).map(Value::Int),
+        ]),
+        gen::one_of(vec![
+            gen::just(Value::Null),
+            gen::char_string('A'..='D', 1..=1).map(Value::Str),
+        ]),
     )
-        .prop_map(|(id, sal, grade)| {
-            let mut t = Tuple::new();
-            t.insert("id", Value::Int(id));
-            t.insert("sal", sal);
-            t.insert("grade", grade);
-            Value::Tuple(t)
-        })
+    .map(|(id, sal, grade)| {
+        let mut t = Tuple::new();
+        t.insert("id", Value::Int(id));
+        t.insert("sal", sal);
+        t.insert("grade", grade);
+        Value::Tuple(t)
+    })
 }
 
 /// Working SQL queries over (id, sal, grade).
@@ -94,11 +92,12 @@ fn queries() -> Vec<&'static str> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+sqlpp_prop! {
+    #![config(cases = 48)]
 
-    #[test]
-    fn null_to_missing_substitution_is_invisible_to_sql(rows in proptest::collection::vec(arb_row(), 0..16)) {
+    fn null_to_missing_substitution_is_invisible_to_sql(
+        rows in gen::vec_of(arb_row(), 0..=15)
+    ) {
         let d = Value::Bag(rows);
         let d_prime = nulls_to_missing(&d);
 

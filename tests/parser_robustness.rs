@@ -1,38 +1,35 @@
 //! Parser robustness: arbitrary input must produce an error or an AST —
 //! never a panic, never an unbounded loop. (A production front end's
-//! minimum bar; fuzzing-lite with proptest.)
+//! minimum bar; fuzzing-lite with generated inputs.)
 
-use proptest::prelude::*;
 use sqlpp_syntax::{lex, parse_expr, parse_query, parse_statement};
+use sqlpp_testkit::{gen, sqlpp_prop};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+sqlpp_prop! {
+    #![config(cases = 512)]
 
-    #[test]
-    fn lexer_never_panics(src in "\\PC{0,120}") {
+    fn lexer_never_panics(src in gen::unicode_string(0..=120)) {
         let _ = lex(&src);
     }
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(src in "\\PC{0,120}") {
+    fn parser_never_panics_on_arbitrary_text(src in gen::unicode_string(0..=120)) {
         let _ = parse_query(&src);
         let _ = parse_expr(&src);
         let _ = parse_statement(&src);
     }
 
-    #[test]
     fn parser_never_panics_on_sql_shaped_soup(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("SELECT"), Just("VALUE"), Just("FROM"), Just("WHERE"),
-                Just("GROUP"), Just("BY"), Just("AS"), Just("ORDER"),
-                Just("PIVOT"), Just("UNPIVOT"), Just("AT"), Just("OVER"),
-                Just("ROLLUP"), Just("("), Just(")"), Just("{{"), Just("}}"),
-                Just("["), Just("]"), Just(","), Just("."), Just("*"),
-                Just("="), Just("x"), Just("y"), Just("1"), Just("'s'"),
-                Just("NULL"), Just("MISSING"), Just("AND"), Just("NOT"),
-            ],
-            0..24,
+        tokens in gen::vec_of(
+            gen::element_of(vec![
+                "SELECT", "VALUE", "FROM", "WHERE",
+                "GROUP", "BY", "AS", "ORDER",
+                "PIVOT", "UNPIVOT", "AT", "OVER",
+                "ROLLUP", "(", ")", "{{", "}}",
+                "[", "]", ",", ".", "*",
+                "=", "x", "y", "1", "'s'",
+                "NULL", "MISSING", "AND", "NOT",
+            ]),
+            0..=23,
         )
     ) {
         let src = tokens.join(" ");
@@ -51,16 +48,13 @@ fn pathological_nesting_is_rejected_without_stack_overflow() {
     std::thread::Builder::new()
         .stack_size(16 * 1024 * 1024)
         .spawn(|| {
-            assert!(
-                parse_expr(&format!("{}1{}", "(".repeat(32), ")".repeat(32))).is_ok()
-            );
+            assert!(parse_expr(&format!("{}1{}", "(".repeat(32), ")".repeat(32))).is_ok());
             for depth in [512usize, 100_000] {
                 let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
                 let err = parse_expr(&src).unwrap_err();
                 assert!(err.to_string().contains("too deep"), "{err}");
             }
-            let deep_arrays =
-                format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+            let deep_arrays = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
             assert!(parse_expr(&deep_arrays).is_err());
         })
         .expect("spawn")

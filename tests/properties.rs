@@ -1,51 +1,23 @@
 //! Cross-crate algebraic properties: comparison laws, serialization round
 //! trips, and parser/printer inverses on generated inputs.
 
-use proptest::prelude::*;
 use sqlpp_syntax::{parse_expr, parse_query, print_expr, print_query};
+use sqlpp_testkit::prop::values::any_value;
+use sqlpp_testkit::{prop_assert, prop_assert_eq, prop_assert_ne, sqlpp_prop};
 use sqlpp_value::cmp::{deep_eq, total_cmp};
 use sqlpp_value::{canonicalize, Tuple, Value};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        Just(Value::Missing),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        (-1e6f64..1e6).prop_map(Value::Float),
-        "[ -~]{0,8}".prop_map(Value::Str),
-        proptest::collection::vec(any::<u8>(), 0..4).prop_map(Value::Bytes),
-        (-10_000i64..10_000, 0u32..6)
-            .prop_map(|(m, s)| Value::Decimal(sqlpp_value::Decimal::new(m as i128, s))),
-    ];
-    leaf.prop_recursive(3, 32, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Bag),
-            proptest::collection::vec(("[a-e]{1,2}", inner), 0..4).prop_map(|pairs| {
-                let mut t = Tuple::new();
-                for (k, v) in pairs {
-                    t.insert(k, v);
-                }
-                Value::Tuple(t)
-            }),
-        ]
-    })
-}
+sqlpp_prop! {
+    #![config(cases = 128)]
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn total_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+    fn total_order_is_total_and_antisymmetric(a in any_value(), b in any_value()) {
         let ab = total_cmp(&a, &b);
         let ba = total_cmp(&b, &a);
         prop_assert_eq!(ab, ba.reverse());
         prop_assert_eq!(ab == std::cmp::Ordering::Equal, deep_eq(&a, &b));
     }
 
-    #[test]
-    fn total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+    fn total_order_is_transitive(a in any_value(), b in any_value(), c in any_value()) {
         use std::cmp::Ordering::*;
         let (ab, bc, ac) = (total_cmp(&a, &b), total_cmp(&b, &c), total_cmp(&a, &c));
         if ab != Greater && bc != Greater {
@@ -53,8 +25,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn hash_is_consistent_with_deep_eq(a in arb_value(), b in arb_value()) {
+    fn hash_is_consistent_with_deep_eq(a in any_value(), b in any_value()) {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::Hasher;
         let h = |v: &Value| {
@@ -67,16 +38,14 @@ proptest! {
         }
     }
 
-    #[test]
-    fn canonicalize_is_idempotent_and_equality_preserving(v in arb_value()) {
+    fn canonicalize_is_idempotent_and_equality_preserving(v in any_value()) {
         let c1 = canonicalize(&v);
         let c2 = canonicalize(&c1);
         prop_assert_eq!(&c1, &c2);
         prop_assert!(deep_eq(&v, &c1));
     }
 
-    #[test]
-    fn ion_lite_round_trips_every_value(v in arb_value()) {
+    fn ion_lite_round_trips_every_value(v in any_value()) {
         let bytes = sqlpp_formats::ion_lite::to_ion_lite(&v);
         let back = sqlpp_formats::ion_lite::from_ion_lite(&bytes).unwrap();
         // Exact (structural) equality — ion-lite is lossless, including
@@ -84,13 +53,33 @@ proptest! {
         prop_assert!(deep_eq(&back, &v), "{} != {}", back, v);
     }
 
-    #[test]
-    fn pnotation_round_trips_up_to_numeric_widening(v in arb_value()) {
+    fn pnotation_round_trips_up_to_numeric_widening(v in any_value()) {
         let text = v.to_string();
         let back = sqlpp_formats::pnotation::from_pnotation(&text)
             .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
         prop_assert!(deep_eq(&back, &v), "{} != {}", back, v);
     }
+}
+
+/// Formerly `tests/properties.proptest-regressions` — the shrunk
+/// counterexample `{'a': -922134.9894780187}` exercised float printing
+/// precision through the text round trips.
+#[test]
+fn regression_float_attribute_survives_both_round_trips() {
+    let mut t = Tuple::new();
+    t.insert("a", Value::Float(-922134.9894780187));
+    let v = Value::Tuple(t);
+
+    let text = v.to_string();
+    let back = sqlpp_formats::pnotation::from_pnotation(&text).unwrap();
+    assert!(deep_eq(&back, &v), "pnotation: {back} != {v}");
+
+    let bytes = sqlpp_formats::ion_lite::to_ion_lite(&v);
+    let back = sqlpp_formats::ion_lite::from_ion_lite(&bytes).unwrap();
+    assert!(deep_eq(&back, &v), "ion-lite: {back} != {v}");
+
+    let c1 = canonicalize(&v);
+    assert_eq!(c1, canonicalize(&c1));
 }
 
 /// Expression sources for the parse∘print = id property: built from
@@ -116,8 +105,7 @@ fn print_parse_is_identity_on_expressions() {
     for src in expr_corpus() {
         let e1 = parse_expr(&src).unwrap_or_else(|err| panic!("{src}: {err}"));
         let printed = print_expr(&e1);
-        let e2 = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("reparse of {printed}: {err}"));
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("reparse of {printed}: {err}"));
         assert_eq!(e1, e2, "round trip changed {src} (printed {printed})");
     }
 }

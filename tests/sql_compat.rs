@@ -211,10 +211,7 @@ fn scalar_subquery_compat_mode_only() {
     let (compat, composable) = engines();
     let q = "SELECT VALUE e.ename FROM emp AS e \
              WHERE e.sal = (SELECT MAX(e2.sal) AS m FROM emp AS e2)";
-    assert_eq!(
-        compat.query(q).unwrap().value().to_string(),
-        "{{'KING'}}"
-    );
+    assert_eq!(compat.query(q).unwrap().value().to_string(), "{{'KING'}}");
     assert_eq!(composable.query(q).unwrap().value().to_string(), "{{}}");
 }
 

@@ -164,7 +164,11 @@ fn identical_windows_are_computed_once() {
              FROM emp AS e",
         )
         .unwrap();
-    assert_eq!(plan.matches("$win").count(), 3, "one def, two refs:\n{plan}");
+    assert_eq!(
+        plan.matches("$win").count(),
+        3,
+        "one def, two refs:\n{plan}"
+    );
 }
 
 #[test]
