@@ -1,4 +1,4 @@
-//! The nine benchmark suites, one module per performance claim (see the
+//! The ten benchmark suites, one module per performance claim (see the
 //! crate docs for the claim ↔ suite map). Each suite registers its
 //! measurements on a shared [`Harness`]; thin `[[bin]]` wrappers run one
 //! suite each, and `bench_all` runs every suite into one report.
@@ -18,6 +18,7 @@ pub mod group_as_vs_subquery;
 pub mod missing_propagation;
 pub mod optimizer_ablation;
 pub mod pivot_unpivot;
+pub mod set_ops;
 pub mod unnest_vs_flat_join;
 
 /// All suites, in a stable order, as `(name, runner)` pairs.
@@ -35,6 +36,7 @@ pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
         ("format_parse", format_parse::run),
         ("e2e_paper_queries", e2e_paper_queries::run),
         ("optimizer_ablation", optimizer_ablation::run),
+        ("set_ops", set_ops::run),
     ]
 }
 

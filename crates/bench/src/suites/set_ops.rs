@@ -1,0 +1,81 @@
+//! **B10** — regression guard for the INTERSECT/EXCEPT rewrite: the
+//! evaluator used to linear-scan a `Vec<Option<Value>>` pool per left
+//! element (O(|L|·|R|) `deep_eq` probes); it now matches through a
+//! hash-bucketed multiset, so probe counts — and wall time — scale
+//! linearly in |L| + |R|.
+//!
+//! Each size benches `INTERSECT ALL` and `EXCEPT ALL` over two integer
+//! bags with 50% overlap, then runs the same query once with statistics
+//! collection to attach the `setop_probes` counter to the report. The
+//! suite *asserts* linearity: probes beyond `2·(|L|+|R|)` mean the
+//! quadratic scan is back.
+
+use sqlpp::Engine;
+use sqlpp_testkit::bench::Harness;
+use sqlpp_value::Value;
+
+use super::scaled;
+
+const INTERSECT_ALL: &str =
+    "SELECT VALUE x FROM s.a AS x INTERSECT ALL SELECT VALUE y FROM s.b AS y";
+const EXCEPT_ALL: &str = "SELECT VALUE x FROM s.a AS x EXCEPT ALL SELECT VALUE y FROM s.b AS y";
+
+/// Two integer bags of size `n` overlapping on half their elements.
+fn engine_with_bags(n: usize) -> Engine {
+    let engine = Engine::new();
+    let a: Vec<Value> = (0..n as i64).map(Value::Int).collect();
+    let b: Vec<Value> = (n as i64 / 2..n as i64 / 2 + n as i64)
+        .map(Value::Int)
+        .collect();
+    engine.register("s.a", Value::Bag(a));
+    engine.register("s.b", Value::Bag(b));
+    engine
+}
+
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let sizes: &[usize] = if h.quick() {
+        &[250, 1000]
+    } else {
+        &[250, 1000, 4000]
+    };
+    for &full in sizes {
+        let n = scaled(h, full).max(50);
+        let engine = engine_with_bags(n);
+
+        // Sanity: 50% overlap means intersect keeps n/2 elements and
+        // except drops them.
+        let intersect = engine.query(INTERSECT_ALL).unwrap();
+        assert_eq!(intersect.len(), n - n / 2, "overlap miscounted at n={n}");
+        let except = engine.query(EXCEPT_ALL).unwrap();
+        assert_eq!(except.len(), n / 2, "except miscounted at n={n}");
+
+        for (label, query) in [("intersect_all", INTERSECT_ALL), ("except_all", EXCEPT_ALL)] {
+            let plan = engine.prepare(query).unwrap();
+            h.bench(format!("set_ops/{label}/{n}"), || {
+                plan.execute(&engine).unwrap()
+            });
+            // One instrumented run: report the probe counters and gate on
+            // linear scaling (the former implementation probed ~n²/4
+            // times here).
+            let stats_run = engine.query_with_stats(query).unwrap();
+            let stats = stats_run.stats().expect("stats collection was on");
+            let probes = stats
+                .counters()
+                .iter()
+                .find(|(k, _)| *k == "setop_probes")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            let linear_bound = 2 * (2 * n as u64);
+            assert!(
+                probes <= linear_bound,
+                "set-op probes regressed to super-linear at n={n}: \
+                 {probes} > {linear_bound}"
+            );
+            h.attach_counters([
+                ("setop_probes".to_string(), probes),
+                ("rows_scanned".to_string(), stats.rows_scanned),
+            ]);
+        }
+    }
+}

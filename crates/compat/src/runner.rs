@@ -26,6 +26,8 @@ pub struct CaseResult {
     pub expected: String,
     /// Case title.
     pub title: String,
+    /// Wall time of the query execution, in nanoseconds.
+    pub elapsed_ns: u64,
 }
 
 /// A full conformance report.
@@ -56,10 +58,17 @@ impl Report {
                 CompatMode::SqlCompat => "sql-compat ",
                 CompatMode::Composable => "composable ",
             };
+            let timing = fmt_case_ns(r.elapsed_ns);
             if r.passed {
-                out.push_str(&format!("PASS [{mode}] {:<24} {}\n", r.id, r.title));
+                out.push_str(&format!(
+                    "PASS [{mode}] {:<24} {:>9}  {}\n",
+                    r.id, timing, r.title
+                ));
             } else {
-                out.push_str(&format!("FAIL [{mode}] {:<24} {}\n", r.id, r.title));
+                out.push_str(&format!(
+                    "FAIL [{mode}] {:<24} {:>9}  {}\n",
+                    r.id, timing, r.title
+                ));
                 out.push_str(&format!("      expected: {}\n", r.expected));
                 out.push_str(&format!("      actual:   {}\n", r.actual));
             }
@@ -116,7 +125,9 @@ pub fn run_case(engine: &Engine, case: &Case, mode: CompatMode) -> CaseResult {
             .load_pnotation(name, text)
             .unwrap_or_else(|e| panic!("case {} fixture {name}: {e}", case.id));
     }
+    let started = std::time::Instant::now();
     let outcome = engine.run_str(case.query);
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
     let (passed, actual) = match (&outcome, case.check) {
         (Err(e), Check::Errors) => (true, format!("error (expected): {e}")),
         (Err(e), _) => (false, format!("error: {e}")),
@@ -144,6 +155,16 @@ pub fn run_case(engine: &Engine, case: &Case, mode: CompatMode) -> CaseResult {
                 .unwrap_or_default()
         },
         title: case.title.to_string(),
+        elapsed_ns,
+    }
+}
+
+/// Compact per-case timing for the report column.
+fn fmt_case_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
     }
 }
 

@@ -168,6 +168,7 @@ impl Engine {
             typing: self.config().typing,
             compat: self.config().compat,
             pipeline_aggregates: self.config().pipeline_aggregates,
+            collect_stats: false,
         }
     }
 

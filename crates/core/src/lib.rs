@@ -44,7 +44,10 @@ mod dml;
 mod error;
 mod result;
 
+use std::time::Instant;
+
 use sqlpp_catalog::QualifiedName;
+use sqlpp_eval::stats::fmt_ns;
 use sqlpp_eval::{EvalConfig, Evaluator};
 use sqlpp_formats::csv::CsvOptions;
 use sqlpp_plan::{lower_query, optimize, CoreQuery, PlanConfig};
@@ -55,7 +58,7 @@ use sqlpp_value::Value;
 pub use error::{Error, Result};
 pub use result::QueryResult;
 pub use sqlpp_catalog::Catalog;
-pub use sqlpp_eval::TypingMode;
+pub use sqlpp_eval::{ExecStats, OpStats, TypingMode};
 pub use sqlpp_plan::CompatMode;
 pub use sqlpp_value as value;
 pub use sqlpp_value::{Decimal, Tuple};
@@ -195,8 +198,21 @@ impl Engine {
     /// INSERT/DELETE/UPDATE mutate named collections (re-validating
     /// against any attached schema).
     pub fn execute(&self, src: &str) -> Result<ExecOutcome> {
-        match sqlpp_syntax::parse_statement(src)? {
+        let parse_start = Instant::now();
+        let parsed = sqlpp_syntax::parse_statement(src)?;
+        let parse_ns = parse_start.elapsed().as_nanos() as u64;
+        match parsed {
             Statement::Query(_) => Ok(ExecOutcome::Rows(self.query(src)?)),
+            Statement::Explain { analyze, query } => {
+                let text = if analyze {
+                    let (core, _value, stats) = self.run_ast_with_stats(&query, parse_ns)?;
+                    render_analysis(&core, &stats)
+                } else {
+                    let (core, _, _) = self.lower_timed(&query)?;
+                    core.explain()
+                };
+                Ok(ExecOutcome::Explained { text })
+            }
             Statement::CreateTable(ct) => {
                 let ty = sqlpp_schema::hive::table_row_type(&ct);
                 let name = ct.name.join(".");
@@ -230,21 +246,86 @@ impl Engine {
     /// Parses and lowers a query once for repeated execution.
     pub fn prepare(&self, src: &str) -> Result<Prepared> {
         let ast = sqlpp_syntax::parse_query(src)?;
+        let (core, _, _) = self.lower_timed(&ast)?;
+        Ok(Prepared { core })
+    }
+
+    /// Lowers (and optionally optimizes) a parsed query, timing each
+    /// phase for [`ExecStats`].
+    fn lower_timed(&self, ast: &sqlpp_syntax::ast::Query) -> Result<(CoreQuery, u64, u64)> {
         let config = PlanConfig {
             compat: self.config.compat,
             schemas: self.catalog.schema_snapshot(),
         };
-        let mut core = lower_query(&ast, &config)?;
+        let t = Instant::now();
+        let mut core = lower_query(ast, &config)?;
+        let lower_ns = t.elapsed().as_nanos() as u64;
+        let mut optimize_ns = 0;
         if self.config.optimize {
+            let t = Instant::now();
             core = optimize(core);
+            optimize_ns = t.elapsed().as_nanos() as u64;
         }
-        Ok(Prepared { core })
+        Ok((core, lower_ns, optimize_ns))
     }
 
     /// The lowered (Core) plan as text — SQL's EXPLAIN, and the mechanism
     /// by which the listing gallery shows the §V-C rewritings.
     pub fn explain(&self, src: &str) -> Result<String> {
         Ok(self.prepare(src)?.core.explain())
+    }
+
+    /// Runs a query with statistics collection on and returns its result
+    /// with [`ExecStats`] attached (per-phase wall times plus operator
+    /// counters). The ordinary [`Engine::query`] path carries no
+    /// collector and pays nothing.
+    pub fn query_with_stats(&self, src: &str) -> Result<QueryResult> {
+        let (_core, value, stats) = self.run_with_stats(src)?;
+        Ok(QueryResult::with_stats(value, stats))
+    }
+
+    /// `EXPLAIN ANALYZE`: executes the query with statistics collection
+    /// on and renders the Core operator tree with each operator's
+    /// calls/rows/time, followed by the phase-times and counters summary.
+    pub fn explain_analyze(&self, src: &str) -> Result<String> {
+        let (core, _value, stats) = self.run_with_stats(src)?;
+        Ok(render_analysis(&core, &stats))
+    }
+
+    fn run_with_stats(&self, src: &str) -> Result<(Box<CoreQuery>, Value, ExecStats)> {
+        let t = Instant::now();
+        let ast = sqlpp_syntax::parse_query(src)?;
+        let parse_ns = t.elapsed().as_nanos() as u64;
+        self.run_ast_with_stats(&ast, parse_ns)
+    }
+
+    fn run_ast_with_stats(
+        &self,
+        ast: &sqlpp_syntax::ast::Query,
+        parse_ns: u64,
+    ) -> Result<(Box<CoreQuery>, Value, ExecStats)> {
+        let (core, lower_ns, optimize_ns) = self.lower_timed(ast)?;
+        // Boxed so the plan allocation — including the root operator,
+        // which lives inline in `CoreQuery` — stays at a fixed address
+        // from evaluation through annotation (stats are keyed by node
+        // address).
+        let core = Box::new(core);
+        let evaluator = Evaluator::new(
+            &self.catalog,
+            EvalConfig {
+                collect_stats: true,
+                ..self.eval_config()
+            },
+        );
+        let t = Instant::now();
+        let value = evaluator.run(&core)?;
+        let eval_ns = t.elapsed().as_nanos() as u64;
+        let mut stats = evaluator.stats_snapshot().expect("collect_stats is on");
+        stats.parse_ns = parse_ns;
+        stats.lower_ns = lower_ns;
+        stats.optimize_ns = optimize_ns;
+        stats.eval_ns = eval_ns;
+        Ok((core, value, stats))
     }
 
     /// Statically type-checks a query against the catalog's attached
@@ -312,8 +393,26 @@ impl Engine {
             typing: self.config.typing,
             compat: self.config.compat,
             pipeline_aggregates: self.config.pipeline_aggregates,
+            collect_stats: false,
         }
     }
+}
+
+/// Renders an `EXPLAIN ANALYZE` report: the operator tree with per-node
+/// `[calls=… rows=… time=…]` annotations, then the phase/counter summary.
+fn render_analysis(core: &CoreQuery, stats: &ExecStats) -> String {
+    let mut text = core.explain_with(&mut |op| {
+        stats.op(op).map(|s| {
+            format!(
+                " [calls={} rows={} time={}]",
+                s.calls,
+                s.rows_out,
+                fmt_ns(s.ns)
+            )
+        })
+    });
+    text.push_str(&stats.render_summary());
+    text
 }
 
 /// Outcome of [`Engine::execute`].
@@ -343,6 +442,12 @@ pub enum ExecOutcome {
     Updated {
         /// How many elements were modified.
         count: usize,
+    },
+    /// An `EXPLAIN [ANALYZE]` rendered a plan.
+    Explained {
+        /// The rendered plan (annotated with runtime statistics under
+        /// ANALYZE).
+        text: String,
     },
 }
 

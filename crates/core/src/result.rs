@@ -1,17 +1,33 @@
 //! Query results and their client-facing views.
 
+use sqlpp_eval::ExecStats;
 use sqlpp_value::Value;
 
 /// The result of a query: a SQL++ value (a bag for SELECT queries, a
-/// tuple for a top-level PIVOT).
+/// tuple for a top-level PIVOT), plus execution statistics when the query
+/// ran with collection enabled ([`crate::Engine::query_with_stats`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
     value: Value,
+    stats: Option<ExecStats>,
 }
 
 impl QueryResult {
     pub(crate) fn new(value: Value) -> Self {
-        QueryResult { value }
+        QueryResult { value, stats: None }
+    }
+
+    pub(crate) fn with_stats(value: Value, stats: ExecStats) -> Self {
+        QueryResult {
+            value,
+            stats: Some(stats),
+        }
+    }
+
+    /// Execution statistics, present only when the query ran with stats
+    /// collection on.
+    pub fn stats(&self) -> Option<&ExecStats> {
+        self.stats.as_ref()
     }
 
     /// The raw result value.

@@ -16,7 +16,7 @@ use sqlpp_plan::{
 };
 use sqlpp_syntax::ast::{BinOp, IsTest, UnOp};
 use sqlpp_value::cmp::{deep_eq, sql_compare, sql_eq, total_cmp};
-use sqlpp_value::hash::GroupKey;
+use sqlpp_value::hash::{hash_value, GroupKey};
 use sqlpp_value::{Tuple, Value};
 
 use crate::agg;
@@ -26,6 +26,7 @@ use crate::env::Env;
 use crate::error::{EvalError, TypingMode};
 use crate::functions;
 use crate::like::like_match;
+use crate::stats::{op_key, ExecStats, StatsCollector};
 
 /// Evaluator configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +41,10 @@ pub struct EvalConfig {
     /// benchmark measures it). Disabling forces conceptual
     /// materialization.
     pub pipeline_aggregates: bool,
+    /// Collect [`ExecStats`] while evaluating (`EXPLAIN ANALYZE`). Off by
+    /// default; when off the evaluator carries no collector and every
+    /// instrumentation point is a single `Option` discriminant check.
+    pub collect_stats: bool,
 }
 
 impl Default for EvalConfig {
@@ -48,6 +53,7 @@ impl Default for EvalConfig {
             typing: TypingMode::Permissive,
             compat: CompatMode::SqlCompat,
             pipeline_aggregates: true,
+            collect_stats: false,
         }
     }
 }
@@ -57,15 +63,18 @@ pub struct Evaluator<'a> {
     catalog: &'a Catalog,
     config: EvalConfig,
     params: Vec<Value>,
+    stats: Option<StatsCollector>,
 }
 
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator over a catalog.
     pub fn new(catalog: &'a Catalog, config: EvalConfig) -> Self {
+        let stats = config.collect_stats.then(StatsCollector::default);
         Evaluator {
             catalog,
             config,
             params: Vec::new(),
+            stats,
         }
     }
 
@@ -81,6 +90,13 @@ impl<'a> Evaluator<'a> {
         self.value_op(&q.op, &Env::new())
     }
 
+    /// Snapshots the statistics collected so far (phase times zeroed —
+    /// the engine layers those in). `None` unless
+    /// [`EvalConfig::collect_stats`] was set.
+    pub fn stats_snapshot(&self) -> Option<ExecStats> {
+        self.stats.as_ref().map(StatsCollector::snapshot)
+    }
+
     /// Dynamic type error handling (§IV-B case 2): MISSING in permissive
     /// mode, an error in stop-on-error mode. The message is built lazily:
     /// in permissive mode — the hot path over dirty data — producing
@@ -88,7 +104,12 @@ impl<'a> Evaluator<'a> {
     /// formatting or allocation happens there.
     fn type_err<M: FnOnce() -> String>(&self, msg: M) -> Result<Value, EvalError> {
         match self.config.typing {
-            TypingMode::Permissive => Ok(Value::Missing),
+            TypingMode::Permissive => {
+                if let Some(st) = &self.stats {
+                    st.add_missing_propagation();
+                }
+                Ok(Value::Missing)
+            }
             TypingMode::StrictError => Err(EvalError::Type(msg())),
         }
     }
@@ -97,8 +118,26 @@ impl<'a> Evaluator<'a> {
     // Operators
     // =================================================================
 
-    /// Evaluates a value-producing operator.
+    /// Evaluates a value-producing operator, recording per-operator
+    /// counters when stats collection is on. Times are inclusive of
+    /// children (the renderer shows the tree, so self-time is derivable).
     fn value_op(&self, op: &CoreOp, env: &Env) -> Result<Value, EvalError> {
+        let Some(st) = &self.stats else {
+            return self.value_op_inner(op, env);
+        };
+        let start = std::time::Instant::now();
+        let result = self.value_op_inner(op, env);
+        let elapsed = start.elapsed();
+        let rows = match &result {
+            Ok(Value::Bag(items)) | Ok(Value::Array(items)) => items.len() as u64,
+            Ok(_) => 1,
+            Err(_) => 0,
+        };
+        st.record_op(op_key(op), rows, elapsed);
+        result
+    }
+
+    fn value_op_inner(&self, op: &CoreOp, env: &Env) -> Result<Value, EvalError> {
         match op {
             CoreOp::Project {
                 input,
@@ -111,7 +150,7 @@ impl<'a> Evaluator<'a> {
                     out.push(self.expr(expr, b)?);
                 }
                 if *distinct {
-                    out = dedupe(out);
+                    out = dedupe(out, self.stats.as_ref());
                 }
                 Ok(Value::Bag(out))
             }
@@ -145,7 +184,13 @@ impl<'a> Evaluator<'a> {
             } => {
                 let l = self.value_stream(left, env)?;
                 let r = self.value_stream(right, env)?;
-                Ok(Value::Bag(eval_set_op(*op, *all, l, r)))
+                Ok(Value::Bag(eval_set_op(
+                    *op,
+                    *all,
+                    l,
+                    r,
+                    self.stats.as_ref(),
+                )))
             }
             CoreOp::SortValues { input, keys } => {
                 let values = self.value_stream(input, env)?;
@@ -202,8 +247,24 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Evaluates a binding-producing operator.
+    /// Evaluates a binding-producing operator, recording per-operator
+    /// counters when stats collection is on.
     fn bindings(&self, op: &CoreOp, env: &Env) -> Result<Vec<Env>, EvalError> {
+        let Some(st) = &self.stats else {
+            return self.bindings_inner(op, env);
+        };
+        let start = std::time::Instant::now();
+        let result = self.bindings_inner(op, env);
+        let elapsed = start.elapsed();
+        let rows = result.as_ref().map_or(0, |b| b.len() as u64);
+        st.record_op(op_key(op), rows, elapsed);
+        if matches!(op, CoreOp::From { .. }) {
+            st.add_bindings_produced(rows);
+        }
+        result
+    }
+
+    fn bindings_inner(&self, op: &CoreOp, env: &Env) -> Result<Vec<Env>, EvalError> {
         match op {
             CoreOp::Single => Ok(vec![env.clone()]),
             CoreOp::From { item } => self.from_item(item, env),
@@ -346,6 +407,9 @@ impl<'a> Evaluator<'a> {
             }
             groups.push((key_vals, Vec::new()));
         }
+        if let Some(st) = &self.stats {
+            st.add_groups_built(groups.len() as u64);
+        }
         let mut out = Vec::with_capacity(groups.len());
         for (key_vals, elems) in groups {
             let mut genv = env.clone();
@@ -385,6 +449,10 @@ impl<'a> Evaluator<'a> {
                     partitions.push(vec![i]);
                 }
             }
+        }
+        if let Some(st) = &self.stats {
+            // Window partitions are groups in the §V-B sense.
+            st.add_groups_built(partitions.len() as u64);
         }
         let mut computed: Vec<Value> = vec![Value::Null; rows.len()];
         for partition in &partitions {
@@ -593,6 +661,13 @@ impl<'a> Evaluator<'a> {
         at_var: Option<&str>,
         env: &Env,
     ) -> Result<Vec<Env>, EvalError> {
+        if let Some(st) = &self.stats {
+            st.add_rows_scanned(match &source {
+                Value::Bag(items) | Value::Array(items) => items.len() as u64,
+                Value::Missing => 0,
+                _ => 1,
+            });
+        }
         match source {
             Value::Bag(items) => {
                 let mut out = Vec::with_capacity(items.len());
@@ -670,6 +745,9 @@ impl<'a> Evaluator<'a> {
                 }
             },
         };
+        if let Some(st) = &self.stats {
+            st.add_rows_scanned(tuple.len() as u64);
+        }
         Ok(tuple
             .into_iter()
             .map(|(name, value)| {
@@ -906,6 +984,9 @@ impl<'a> Evaluator<'a> {
     /// Runs a nested plan with the current environment as its outer scope
     /// (correlated subqueries).
     fn run_in(&self, q: &CoreQuery, env: &Env) -> Result<Value, EvalError> {
+        if let Some(st) = &self.stats {
+            st.add_subquery_invocation();
+        }
         self.value_op(&q.op, env)
     }
 
@@ -1393,23 +1474,42 @@ fn type_test(v: &Value, name: &str) -> bool {
     }
 }
 
-/// Structural dedup preserving first occurrences (DISTINCT).
-fn dedupe(items: Vec<Value>) -> Vec<Value> {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
+/// Structural dedup preserving first occurrences (DISTINCT). Hashes each
+/// item *by reference* with [`hash_value`] — the same stream a
+/// single-element `GroupKey` would feed its hasher, minus the deep clone —
+/// then confirms candidates with `deep_eq` (hash_value is deep_eq-
+/// consistent, see the `hash_is_consistent_with_deep_eq` property).
+fn dedupe(items: Vec<Value>, stats: Option<&StatsCollector>) -> Vec<Value> {
     let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
     let mut out: Vec<Value> = Vec::with_capacity(items.len());
     for item in items {
-        let mut h = DefaultHasher::new();
-        GroupKey(vec![item.clone()]).hash(&mut h);
-        let key = h.finish();
+        let key = structural_hash(&item);
         let bucket = seen.entry(key).or_default();
-        if !bucket.iter().any(|&i| deep_eq(&out[i], &item)) {
+        let mut dup = false;
+        for &i in bucket.iter() {
+            if let Some(st) = stats {
+                st.add_dedupe_probes(1);
+            }
+            if deep_eq(&out[i], &item) {
+                dup = true;
+                break;
+            }
+        }
+        if !dup {
             bucket.push(out.len());
             out.push(item);
         }
     }
     out
+}
+
+/// 64-bit structural hash of a value, consistent with `deep_eq`.
+fn structural_hash(v: &Value) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::Hasher;
+    let mut h = DefaultHasher::new();
+    hash_value(v, &mut h);
+    h.finish()
 }
 
 fn apply_limit<T>(items: Vec<T>, limit: Option<usize>, offset: usize) -> Vec<T> {
@@ -1422,14 +1522,23 @@ fn apply_limit<T>(items: Vec<T>, limit: Option<usize>, offset: usize) -> Vec<T> 
 
 /// Stable sort of `(keys, payload)` rows honoring desc and nulls-first per
 /// key. Absent values (MISSING and NULL) obey `nulls_first` as a block;
-/// within the block MISSING sorts before NULL (the total order).
+/// within the block the total order puts MISSING before NULL, and DESC —
+/// which reverses the whole total order — therefore puts NULL before
+/// MISSING (the block's *placement* stays governed by `nulls_first`).
 fn sort_annotated<T>(rows: &mut [(Vec<Value>, T)], keys: &[CoreSortKey]) {
     rows.sort_by(|(a, _), (b, _)| {
         for (i, k) in keys.iter().enumerate() {
             let (av, bv) = (&a[i], &b[i]);
             let (aa, ba) = (av.is_absent(), bv.is_absent());
             let ord = match (aa, ba) {
-                (true, true) => total_cmp(av, bv),
+                (true, true) => {
+                    let o = total_cmp(av, bv);
+                    if k.desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
                 (true, false) => {
                     if k.nulls_first {
                         std::cmp::Ordering::Less
@@ -1461,7 +1570,59 @@ fn sort_annotated<T>(rows: &mut [(Vec<Value>, T)], keys: &[CoreSortKey]) {
     });
 }
 
-fn eval_set_op(op: CoreSetOp, all: bool, left: Vec<Value>, right: Vec<Value>) -> Vec<Value> {
+/// A multiset of the right operand for INTERSECT/EXCEPT matching: hash
+/// buckets of indices into an ownership pool, `deep_eq`-confirmed on probe
+/// (the same scheme [`dedupe`] uses). `take` is amortized O(1) per left
+/// element instead of the former O(|R|) linear pool scan.
+struct RightMultiset<'s> {
+    pool: Vec<Option<Value>>,
+    buckets: HashMap<u64, Vec<usize>>,
+    stats: Option<&'s StatsCollector>,
+}
+
+impl<'s> RightMultiset<'s> {
+    fn new(right: Vec<Value>, stats: Option<&'s StatsCollector>) -> Self {
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, v) in right.iter().enumerate() {
+            buckets.entry(structural_hash(v)).or_default().push(i);
+        }
+        RightMultiset {
+            pool: right.into_iter().map(Some).collect(),
+            buckets,
+            stats,
+        }
+    }
+
+    /// Removes one occurrence structurally equal to `v`, if any. Taken
+    /// indices leave their bucket, so duplicate-heavy inputs never
+    /// re-probe consumed slots.
+    fn take(&mut self, v: &Value) -> bool {
+        let Some(bucket) = self.buckets.get_mut(&structural_hash(v)) else {
+            return false;
+        };
+        for pos in 0..bucket.len() {
+            let i = bucket[pos];
+            let candidate = self.pool[i].as_ref().expect("taken slots leave the bucket");
+            if let Some(st) = self.stats {
+                st.add_setop_probes(1);
+            }
+            if deep_eq(candidate, v) {
+                self.pool[i] = None;
+                bucket.swap_remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn eval_set_op(
+    op: CoreSetOp,
+    all: bool,
+    left: Vec<Value>,
+    right: Vec<Value>,
+    stats: Option<&StatsCollector>,
+) -> Vec<Value> {
     match (op, all) {
         (CoreSetOp::Union, true) => {
             let mut out = left;
@@ -1471,45 +1632,36 @@ fn eval_set_op(op: CoreSetOp, all: bool, left: Vec<Value>, right: Vec<Value>) ->
         (CoreSetOp::Union, false) => {
             let mut out = left;
             out.extend(right);
-            dedupe(out)
+            dedupe(out, stats)
         }
         (CoreSetOp::Intersect, all) => {
             // Multiset intersection: keep each left element up to its
             // multiplicity in right.
-            let mut right_pool: Vec<Option<Value>> = right.into_iter().map(Some).collect();
+            let mut pool = RightMultiset::new(right, stats);
             let mut out = Vec::new();
             for l in left {
-                if let Some(slot) = right_pool
-                    .iter_mut()
-                    .find(|s| s.as_ref().is_some_and(|r| deep_eq(r, &l)))
-                {
-                    *slot = None;
+                if pool.take(&l) {
                     out.push(l);
                 }
             }
             if all {
                 out
             } else {
-                dedupe(out)
+                dedupe(out, stats)
             }
         }
         (CoreSetOp::Except, all) => {
-            let mut right_pool: Vec<Option<Value>> = right.into_iter().map(Some).collect();
+            let mut pool = RightMultiset::new(right, stats);
             let mut out = Vec::new();
             for l in left {
-                if let Some(slot) = right_pool
-                    .iter_mut()
-                    .find(|s| s.as_ref().is_some_and(|r| deep_eq(r, &l)))
-                {
-                    *slot = None;
-                } else {
+                if !pool.take(&l) {
                     out.push(l);
                 }
             }
             if all {
                 out
             } else {
-                dedupe(out)
+                dedupe(out, stats)
             }
         }
     }
@@ -1539,7 +1691,7 @@ mod tests {
             Value::Int(2),
             Value::Int(1),
         ];
-        let out = dedupe(items);
+        let out = dedupe(items, None);
         assert_eq!(out, vec![Value::Int(1), Value::Int(2)]);
     }
 
@@ -1548,16 +1700,34 @@ mod tests {
         let l = vec![Value::Int(1), Value::Int(1), Value::Int(2)];
         let r = vec![Value::Int(1), Value::Int(3)];
         assert_eq!(
-            eval_set_op(CoreSetOp::Intersect, true, l.clone(), r.clone()),
+            eval_set_op(CoreSetOp::Intersect, true, l.clone(), r.clone(), None),
             vec![Value::Int(1)]
         );
         assert_eq!(
-            eval_set_op(CoreSetOp::Except, true, l.clone(), r.clone()),
+            eval_set_op(CoreSetOp::Except, true, l.clone(), r.clone(), None),
             vec![Value::Int(1), Value::Int(2)]
         );
         assert_eq!(
-            eval_set_op(CoreSetOp::Union, false, l, r).len(),
+            eval_set_op(CoreSetOp::Union, false, l, r, None).len(),
             3 // {1, 2, 3}
+        );
+    }
+
+    #[test]
+    fn set_op_probes_scale_with_input_not_its_square() {
+        // n disjoint-heavy inputs: the former linear pool scan did
+        // O(n·m) deep_eq probes; the hash-bucketed multiset does at most
+        // one confirm per left element (all values distinct).
+        let n = 64;
+        let l: Vec<Value> = (0..n).map(Value::Int).collect();
+        let r: Vec<Value> = (0..n).map(Value::Int).collect();
+        let stats = StatsCollector::default();
+        let out = eval_set_op(CoreSetOp::Intersect, true, l, r, Some(&stats));
+        assert_eq!(out.len(), n as usize);
+        let probes = stats.snapshot().setop_probes;
+        assert!(
+            probes <= 2 * n as u64,
+            "expected O(n) probes, got {probes} for n = {n}"
         );
     }
 
@@ -1577,5 +1747,132 @@ mod tests {
         sort_annotated(&mut rows, &keys);
         let order: Vec<i32> = rows.iter().map(|(_, p)| *p).collect();
         assert_eq!(order, vec![3, 1, 2, 0], "values first, then MISSING < NULL");
+    }
+
+    #[test]
+    fn order_by_desc_reverses_missing_null_within_absent_block() {
+        // DESC reverses the *whole* total order, including the
+        // MISSING-before-NULL tie-break inside the absent block;
+        // `nulls_first` alone still decides where the block goes.
+        let keys = vec![CoreSortKey {
+            expr: CoreExpr::Const(Value::Null),
+            desc: true,
+            nulls_first: false,
+        }];
+        let mut rows = vec![
+            (vec![Value::Missing], 0),
+            (vec![Value::Int(1)], 1),
+            (vec![Value::Null], 2),
+            (vec![Value::Int(2)], 3),
+        ];
+        sort_annotated(&mut rows, &keys);
+        let order: Vec<i32> = rows.iter().map(|(_, p)| *p).collect();
+        assert_eq!(
+            order,
+            vec![3, 1, 2, 0],
+            "DESC: values descending, then NULL before MISSING"
+        );
+    }
+
+    // =================================================================
+    // LIMIT/OFFSET operand handling
+    // =================================================================
+
+    fn limits_under(
+        typing: TypingMode,
+        limit: Option<Value>,
+        offset: Option<Value>,
+    ) -> Result<(Option<usize>, usize), EvalError> {
+        let catalog = Catalog::new();
+        let ev = Evaluator::new(
+            &catalog,
+            EvalConfig {
+                typing,
+                ..EvalConfig::default()
+            },
+        );
+        let limit = limit.map(CoreExpr::Const);
+        let offset = offset.map(CoreExpr::Const);
+        ev.limit_offset(&limit, &offset, &Env::new())
+    }
+
+    #[test]
+    fn limit_zero_and_offset_past_end_truncate() {
+        let (lim, off) = limits_under(TypingMode::Permissive, Some(Value::Int(0)), None).unwrap();
+        assert_eq!(apply_limit(vec![1, 2, 3], lim, off), Vec::<i32>::new());
+
+        let (lim, off) = limits_under(TypingMode::Permissive, None, Some(Value::Int(99))).unwrap();
+        assert_eq!(apply_limit(vec![1, 2, 3], lim, off), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn limit_offset_reject_non_integers_in_both_typing_modes() {
+        // LIMIT/OFFSET counts sit outside the data domain: a bad operand
+        // is a query error, not dirty data, so even permissive mode
+        // refuses rather than producing MISSING (§IV's escape hatch is
+        // for *data* heterogeneity).
+        let bad = [
+            Value::Float(1.5),
+            Value::Str("2".into()),
+            Value::Null,
+            Value::Missing,
+            Value::Int(-1),
+        ];
+        for mode in [TypingMode::Permissive, TypingMode::StrictError] {
+            for v in &bad {
+                assert!(
+                    limits_under(mode, Some(v.clone()), None).is_err(),
+                    "LIMIT {v:?} must error under {mode:?}"
+                );
+                assert!(
+                    limits_under(mode, None, Some(v.clone())).is_err(),
+                    "OFFSET {v:?} must error under {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_collection_counts_scans_and_dedupe() {
+        use sqlpp_plan::CoreFrom;
+        let catalog = Catalog::new();
+        let ev = Evaluator::new(
+            &catalog,
+            EvalConfig {
+                collect_stats: true,
+                ..EvalConfig::default()
+            },
+        );
+        let scan = CoreOp::From {
+            item: CoreFrom::Scan {
+                expr: CoreExpr::Const(Value::Bag(vec![
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::Int(2),
+                ])),
+                as_var: "x".into(),
+                at_var: None,
+            },
+        };
+        let op = CoreOp::Project {
+            input: Box::new(scan),
+            expr: CoreExpr::Var("x".into()),
+            distinct: true,
+        };
+        let out = ev.value_op(&op, &Env::new()).unwrap();
+        assert_eq!(out, Value::Bag(vec![Value::Int(1), Value::Int(2)]));
+        let stats = ev.stats_snapshot().expect("collect_stats was on");
+        assert_eq!(stats.rows_scanned, 3);
+        assert_eq!(stats.bindings_produced, 3);
+        assert_eq!(stats.dedupe_probes, 1, "one hash hit confirmed by deep_eq");
+        let project = stats.op(&op).expect("Project ran");
+        assert_eq!((project.calls, project.rows_out), (1, 2));
+    }
+
+    #[test]
+    fn stats_are_absent_when_collection_is_off() {
+        let catalog = Catalog::new();
+        let ev = Evaluator::new(&catalog, EvalConfig::default());
+        assert!(ev.stats_snapshot().is_none());
     }
 }

@@ -27,8 +27,10 @@ mod functions;
 mod interp;
 mod like;
 pub mod reference;
+pub mod stats;
 
 pub use env::Env;
 pub use error::{EvalError, TypingMode};
 pub use interp::{EvalConfig, Evaluator};
 pub use like::like_match;
+pub use stats::{ExecStats, OpStats, StatsCollector};

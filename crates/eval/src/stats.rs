@@ -1,0 +1,250 @@
+//! Execution statistics — the observability layer under `EXPLAIN ANALYZE`.
+//!
+//! The paper stresses *inspectable* semantics; [`ExecStats`] is the
+//! inspectable counterpart for performance: per-phase wall times
+//! (parse/lower/optimize/eval) plus per-operator and engine-wide counters
+//! (rows scanned, bindings produced, groups built, dedupe/set-op probes,
+//! MISSING propagations, subquery invocations).
+//!
+//! Collection is gated by [`crate::EvalConfig::collect_stats`] and costs
+//! nothing when off: the evaluator holds an `Option<StatsCollector>` and
+//! every counter update sits behind that single discriminant check.
+//! Per-operator entries are keyed by the *address* of the `CoreOp` node in
+//! the plan that ran (see [`op_key`]), so annotating an `EXPLAIN` render
+//! requires walking the same plan allocation — which is how
+//! `sqlpp::Engine` uses it.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::time::Duration;
+
+use sqlpp_plan::CoreOp;
+
+/// Stable identity of an operator node within one plan: its address.
+/// Valid only while that plan allocation is alive and unmoved — the
+/// engine keeps the `CoreQuery` it executed and annotates the very same
+/// tree.
+pub fn op_key(op: &CoreOp) -> usize {
+    std::ptr::from_ref(op) as usize
+}
+
+/// Counters for one operator node (inclusive of its children).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// How many times the operator was evaluated (re-invocations under
+    /// correlation count individually).
+    pub calls: u64,
+    /// Total rows (bindings or values) the operator emitted across calls.
+    pub rows_out: u64,
+    /// Total wall time across calls, in nanoseconds, including children.
+    pub ns: u64,
+}
+
+/// A finished statistics snapshot: phase wall times plus counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Wall time spent parsing, in nanoseconds (filled by the engine).
+    pub parse_ns: u64,
+    /// Wall time spent lowering to Core, in nanoseconds.
+    pub lower_ns: u64,
+    /// Wall time spent in the optimizer, in nanoseconds.
+    pub optimize_ns: u64,
+    /// Wall time spent evaluating, in nanoseconds.
+    pub eval_ns: u64,
+    /// Elements iterated by FROM scans (including UNPIVOT pairs).
+    pub rows_scanned: u64,
+    /// Bindings emitted by FROM operators.
+    pub bindings_produced: u64,
+    /// Groups materialized by GROUP BY (and window partitions).
+    pub groups_built: u64,
+    /// `deep_eq` confirmations performed by DISTINCT/UNION dedup.
+    pub dedupe_probes: u64,
+    /// `deep_eq` confirmations performed by INTERSECT/EXCEPT matching.
+    pub setop_probes: u64,
+    /// Type errors absorbed as MISSING in permissive mode (§IV-B case 2).
+    pub missing_propagations: u64,
+    /// Nested-plan executions (subqueries, EXISTS, coerced SQL
+    /// subqueries).
+    pub subquery_invocations: u64,
+    /// Per-operator counters, keyed by [`op_key`] of the plan node.
+    pub ops: HashMap<usize, OpStats>,
+}
+
+impl ExecStats {
+    /// Per-operator counters for a plan node, if it ran.
+    pub fn op(&self, op: &CoreOp) -> Option<&OpStats> {
+        self.ops.get(&op_key(op))
+    }
+
+    /// The engine-wide counters as stable `(name, value)` pairs — the
+    /// export format benches attach to their JSON reports.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("rows_scanned", self.rows_scanned),
+            ("bindings_produced", self.bindings_produced),
+            ("groups_built", self.groups_built),
+            ("dedupe_probes", self.dedupe_probes),
+            ("setop_probes", self.setop_probes),
+            ("missing_propagations", self.missing_propagations),
+            ("subquery_invocations", self.subquery_invocations),
+        ]
+    }
+
+    /// Renders the phase times and counters as the two-line summary that
+    /// `EXPLAIN ANALYZE` appends under the operator tree.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "phases: parse {} | lower {} | optimize {} | eval {}\n",
+            fmt_ns(self.parse_ns),
+            fmt_ns(self.lower_ns),
+            fmt_ns(self.optimize_ns),
+            fmt_ns(self.eval_ns),
+        ));
+        out.push_str("counters:");
+        for (name, value) in self.counters() {
+            out.push_str(&format!(" {name}={value}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats nanoseconds human-readably (`1.23ms`, `45.6us`, `789ns`).
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// The evaluator-side accumulator. Interior-mutable (`Cell`/`RefCell`)
+/// because the interpreter threads `&self`; single-threaded by
+/// construction (the evaluator is not `Sync`).
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    rows_scanned: Cell<u64>,
+    bindings_produced: Cell<u64>,
+    groups_built: Cell<u64>,
+    dedupe_probes: Cell<u64>,
+    setop_probes: Cell<u64>,
+    missing_propagations: Cell<u64>,
+    subquery_invocations: Cell<u64>,
+    ops: RefCell<HashMap<usize, OpStats>>,
+}
+
+impl StatsCollector {
+    /// Records one operator evaluation: `rows` emitted over `elapsed`.
+    pub fn record_op(&self, key: usize, rows: u64, elapsed: Duration) {
+        let mut ops = self.ops.borrow_mut();
+        let e = ops.entry(key).or_default();
+        e.calls += 1;
+        e.rows_out += rows;
+        e.ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Counts elements iterated by a FROM scan.
+    pub fn add_rows_scanned(&self, n: u64) {
+        self.rows_scanned.set(self.rows_scanned.get() + n);
+    }
+
+    /// Counts bindings emitted by FROM operators.
+    pub fn add_bindings_produced(&self, n: u64) {
+        self.bindings_produced.set(self.bindings_produced.get() + n);
+    }
+
+    /// Counts groups (or window partitions) materialized.
+    pub fn add_groups_built(&self, n: u64) {
+        self.groups_built.set(self.groups_built.get() + n);
+    }
+
+    /// Counts one dedup `deep_eq` confirmation.
+    pub fn add_dedupe_probes(&self, n: u64) {
+        self.dedupe_probes.set(self.dedupe_probes.get() + n);
+    }
+
+    /// Counts one set-op `deep_eq` confirmation.
+    pub fn add_setop_probes(&self, n: u64) {
+        self.setop_probes.set(self.setop_probes.get() + n);
+    }
+
+    /// Counts a type error absorbed as MISSING (permissive mode).
+    pub fn add_missing_propagation(&self) {
+        self.missing_propagations
+            .set(self.missing_propagations.get() + 1);
+    }
+
+    /// Counts a nested-plan execution.
+    pub fn add_subquery_invocation(&self) {
+        self.subquery_invocations
+            .set(self.subquery_invocations.get() + 1);
+    }
+
+    /// Snapshots the counters into an [`ExecStats`] (phase times zeroed —
+    /// the engine fills those).
+    pub fn snapshot(&self) -> ExecStats {
+        ExecStats {
+            parse_ns: 0,
+            lower_ns: 0,
+            optimize_ns: 0,
+            eval_ns: 0,
+            rows_scanned: self.rows_scanned.get(),
+            bindings_produced: self.bindings_produced.get(),
+            groups_built: self.groups_built.get(),
+            dedupe_probes: self.dedupe_probes.get(),
+            setop_probes: self.setop_probes.get(),
+            missing_propagations: self.missing_propagations.get(),
+            subquery_invocations: self.subquery_invocations.get(),
+            ops: self.ops.borrow().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_accumulates_and_snapshots() {
+        let c = StatsCollector::default();
+        c.add_rows_scanned(10);
+        c.add_rows_scanned(5);
+        c.add_dedupe_probes(3);
+        c.add_missing_propagation();
+        c.record_op(42, 7, Duration::from_nanos(100));
+        c.record_op(42, 7, Duration::from_nanos(50));
+        let s = c.snapshot();
+        assert_eq!(s.rows_scanned, 15);
+        assert_eq!(s.dedupe_probes, 3);
+        assert_eq!(s.missing_propagations, 1);
+        let op = s.ops.get(&42).unwrap();
+        assert_eq!((op.calls, op.rows_out, op.ns), (2, 14, 150));
+    }
+
+    #[test]
+    fn summary_lists_every_counter() {
+        let c = StatsCollector::default();
+        c.add_setop_probes(9);
+        let s = c.snapshot();
+        let text = s.render_summary();
+        assert!(text.contains("setop_probes=9"));
+        assert!(text.contains("phases: parse"));
+        for (name, _) in s.counters() {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

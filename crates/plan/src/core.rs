@@ -497,8 +497,17 @@ impl CoreExpr {
 impl CoreQuery {
     /// Renders the operator tree for `EXPLAIN`.
     pub fn explain(&self) -> String {
+        self.explain_with(&mut |_| None)
+    }
+
+    /// Renders the operator tree with a per-operator annotation appended
+    /// to each operator's line (`EXPLAIN ANALYZE`). The callback receives
+    /// each node of *this* tree; the eval crate matches nodes by address,
+    /// which is why annotation is a callback rather than a plan-side map —
+    /// `sqlpp-plan` knows nothing about execution statistics.
+    pub fn explain_with(&self, annotate: &mut dyn FnMut(&CoreOp) -> Option<String>) -> String {
         let mut out = String::new();
-        explain_op(&self.op, 0, &mut out);
+        explain_op(&self.op, 0, &mut out, annotate);
         out
     }
 }
@@ -509,7 +518,13 @@ fn pad(indent: usize, out: &mut String) {
     }
 }
 
-fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
+fn explain_op(
+    op: &CoreOp,
+    indent: usize,
+    out: &mut String,
+    annotate: &mut dyn FnMut(&CoreOp) -> Option<String>,
+) {
+    let start = out.len();
     pad(indent, out);
     match op {
         CoreOp::Single => out.push_str("single\n"),
@@ -519,12 +534,12 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
         }
         CoreOp::Filter { input, pred } => {
             out.push_str(&format!("filter {pred}\n"));
-            explain_op(input, indent + 1, out);
+            explain_op(input, indent + 1, out, annotate);
         }
         CoreOp::Append { inputs } => {
             out.push_str("append\n");
             for i in inputs {
-                explain_op(i, indent + 1, out);
+                explain_op(i, indent + 1, out, annotate);
             }
         }
         CoreOp::Group {
@@ -548,7 +563,7 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
                 " group as {group_var} capturing [{}]\n",
                 captured.join(", ")
             ));
-            explain_op(input, indent + 1, out);
+            explain_op(input, indent + 1, out, annotate);
         }
         CoreOp::Sort { input, keys } | CoreOp::SortValues { input, keys } => {
             out.push_str(if matches!(op, CoreOp::Sort { .. }) {
@@ -560,7 +575,7 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
                 out.push_str(&format!(" {}{}", k.expr, if k.desc { " desc" } else { "" }));
             }
             out.push('\n');
-            explain_op(input, indent + 1, out);
+            explain_op(input, indent + 1, out, annotate);
         }
         CoreOp::LimitOffset {
             input,
@@ -575,7 +590,7 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
                 out.push_str(&format!(" offset {o}"));
             }
             out.push('\n');
-            explain_op(input, indent + 1, out);
+            explain_op(input, indent + 1, out, annotate);
         }
         CoreOp::Project {
             input,
@@ -586,11 +601,11 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
                 "select {}value {expr}\n",
                 if *distinct { "distinct " } else { "" }
             ));
-            explain_op(input, indent + 1, out);
+            explain_op(input, indent + 1, out, annotate);
         }
         CoreOp::Pivot { input, value, name } => {
             out.push_str(&format!("pivot {value} at {name}\n"));
-            explain_op(input, indent + 1, out);
+            explain_op(input, indent + 1, out, annotate);
         }
         CoreOp::SetOp {
             op: so,
@@ -607,8 +622,8 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
                 },
                 if *all { " all" } else { "" }
             ));
-            explain_op(left, indent + 1, out);
-            explain_op(right, indent + 1, out);
+            explain_op(left, indent + 1, out, annotate);
+            explain_op(right, indent + 1, out, annotate);
         }
         CoreOp::Window { input, defs } => {
             out.push_str("window");
@@ -636,16 +651,23 @@ fn explain_op(op: &CoreOp, indent: usize, out: &mut String) {
                 out.push(')');
             }
             out.push('\n');
-            explain_op(input, indent + 1, out);
+            explain_op(input, indent + 1, out, annotate);
         }
         CoreOp::With { bindings, body } => {
             out.push_str("with\n");
             for (name, q) in bindings {
                 pad(indent + 1, out);
                 out.push_str(&format!("{name} :=\n"));
-                explain_op(&q.op, indent + 2, out);
+                explain_op(&q.op, indent + 2, out, annotate);
             }
-            explain_op(body, indent + 1, out);
+            explain_op(body, indent + 1, out, annotate);
+        }
+    }
+    // Splice the annotation onto this operator's own line — the first
+    // newline written since `start`; children render after it.
+    if let Some(ann) = annotate(op) {
+        if let Some(nl) = out[start..].find('\n') {
+            out.insert_str(start + nl, &ann);
         }
     }
 }

@@ -25,6 +25,14 @@ pub enum Statement {
     Delete(Delete),
     /// `UPDATE name [AS alias] SET path = expr, … [WHERE cond]`.
     Update(Update),
+    /// `EXPLAIN [ANALYZE] <query>` — render the Core plan; with ANALYZE,
+    /// execute it and annotate each operator with `ExecStats` counters.
+    Explain {
+        /// Execute the query and collect runtime statistics.
+        analyze: bool,
+        /// The query to explain.
+        query: Box<Query>,
+    },
 }
 
 /// An INSERT statement.

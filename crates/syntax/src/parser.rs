@@ -155,6 +155,12 @@ impl Parser {
             Ok(Statement::Delete(self.delete()?))
         } else if self.at_kw(K::Update) {
             Ok(Statement::Update(self.update()?))
+        } else if self.eat_kw(K::Explain) {
+            let analyze = self.eat_kw(K::Analyze);
+            Ok(Statement::Explain {
+                analyze,
+                query: Box::new(self.query()?),
+            })
         } else {
             Ok(Statement::Query(self.query()?))
         }
@@ -1868,5 +1874,18 @@ mod tests {
     fn values_rows_parse() {
         let b = block("VALUES (1, 'a'), (2, 'b')");
         assert!(matches!(b.select, SelectClause::SelectValue { .. }));
+    }
+
+    #[test]
+    fn explain_statements_parse_and_round_trip() {
+        let stmt = parse_statement("EXPLAIN SELECT VALUE x FROM t AS x").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: false, .. }));
+
+        let stmt = parse_statement("explain analyze SELECT VALUE x FROM t AS x").unwrap();
+        assert!(matches!(stmt, Statement::Explain { analyze: true, .. }));
+
+        let printed = crate::print_statement(&stmt);
+        assert_eq!(printed, "EXPLAIN ANALYZE SELECT VALUE x FROM t AS x");
+        assert_eq!(parse_statement(&printed).unwrap(), stmt);
     }
 }

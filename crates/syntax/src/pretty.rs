@@ -50,6 +50,14 @@ pub fn print_statement(stmt: &Statement) -> String {
             }
             s
         }
+        Statement::Explain { analyze, query } => {
+            let mut s = String::from("EXPLAIN ");
+            if *analyze {
+                s.push_str("ANALYZE ");
+            }
+            s.push_str(&print_query(query));
+            s
+        }
     }
 }
 

@@ -41,6 +41,7 @@ impl fmt::Display for Span {
 #[allow(missing_docs)] // Names are the keywords themselves.
 pub enum Keyword {
     All,
+    Analyze,
     And,
     Any,
     As,
@@ -61,6 +62,7 @@ pub enum Keyword {
     Every,
     Except,
     Exists,
+    Explain,
     False,
     First,
     From,
@@ -124,6 +126,7 @@ impl Keyword {
         // `Keyword::Some` shadows `Option::Some` under the glob import.
         Option::Some(match &buf[..word.len()] {
             b"ALL" => All,
+            b"ANALYZE" => Analyze,
             b"AND" => And,
             b"ANY" => Any,
             b"AS" => As,
@@ -144,6 +147,7 @@ impl Keyword {
             b"EVERY" => Every,
             b"EXCEPT" => Except,
             b"EXISTS" => Exists,
+            b"EXPLAIN" => Explain,
             b"FALSE" => False,
             b"FIRST" => First,
             b"FROM" => From,
@@ -198,6 +202,7 @@ impl Keyword {
         use Keyword::*;
         match self {
             All => "ALL",
+            Analyze => "ANALYZE",
             And => "AND",
             Any => "ANY",
             As => "AS",
@@ -218,6 +223,7 @@ impl Keyword {
             Every => "EVERY",
             Except => "EXCEPT",
             Exists => "EXISTS",
+            Explain => "EXPLAIN",
             False => "FALSE",
             First => "FIRST",
             From => "FROM",

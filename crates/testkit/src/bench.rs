@@ -88,6 +88,9 @@ pub struct BenchResult {
     pub samples: usize,
     /// Iterations per sample (calibrated).
     pub iters: u64,
+    /// Optional named operator counters attached by the suite (e.g.
+    /// SQL++ `ExecStats` probe counts) — reported alongside the timings.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Collects [`BenchResult`]s and writes the JSON report.
@@ -171,7 +174,23 @@ impl Harness {
             p95_ns: p95,
             samples: per_iter_ns.len(),
             iters,
+            counters: Vec::new(),
         });
+    }
+
+    /// Attaches named counters to the most recent benchmark (e.g. operator
+    /// statistics from one instrumented execution of the same workload).
+    /// No-op if nothing has been benchmarked yet.
+    pub fn attach_counters(&mut self, counters: impl IntoIterator<Item = (String, u64)>) {
+        if let Some(last) = self.results.last_mut() {
+            last.counters.extend(counters);
+            let rendered: Vec<String> = last
+                .counters
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            println!("      counters {}", rendered.join(" "));
+        }
     }
 
     /// The results so far.
@@ -209,9 +228,20 @@ impl Harness {
         out.push_str(&format!("  \"created_unix\": {unix},\n"));
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
+            let mut counters = String::new();
+            if !r.counters.is_empty() {
+                counters.push_str(", \"counters\": {");
+                for (j, (k, v)) in r.counters.iter().enumerate() {
+                    if j > 0 {
+                        counters.push_str(", ");
+                    }
+                    counters.push_str(&format!("{}: {v}", json_string(k)));
+                }
+                counters.push('}');
+            }
             out.push_str(&format!(
                 "    {{\"id\": {}, \"median_ns\": {:.1}, \"mad_ns\": {:.1}, \
-                 \"p95_ns\": {:.1}, \"samples\": {}, \"iters\": {}}}{}\n",
+                 \"p95_ns\": {:.1}, \"samples\": {}, \"iters\": {}{counters}}}{}\n",
                 json_string(&r.id),
                 r.median_ns,
                 r.mad_ns,
@@ -314,6 +344,19 @@ mod tests {
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn attached_counters_reach_the_json_report() {
+        let mut h = Harness::new("unit", tiny_cfg());
+        h.bench("with_counters", || black_box(2 + 2));
+        h.attach_counters([("setop_probes".to_string(), 128u64)]);
+        let json = h.to_json();
+        assert!(
+            json.contains("\"counters\": {\"setop_probes\": 128}"),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

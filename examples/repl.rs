@@ -98,6 +98,7 @@ fn main() {
             Ok(sqlpp::ExecOutcome::Inserted { count }) => println!("inserted {count}"),
             Ok(sqlpp::ExecOutcome::Deleted { count }) => println!("deleted {count}"),
             Ok(sqlpp::ExecOutcome::Updated { count }) => println!("updated {count}"),
+            Ok(sqlpp::ExecOutcome::Explained { text }) => print!("{text}"),
             Err(_) => match engine.run_str(line) {
                 Ok(v) => println!("{}", sqlpp::value::to_pretty(&v)),
                 Err(e) => println!("error: {e}"),

@@ -22,4 +22,22 @@ test -s "$report" || { echo "missing bench report $report" >&2; exit 1; }
 grep -q '"median_ns"' "$report" || { echo "malformed bench report" >&2; exit 1; }
 echo "bench report OK: $report"
 
+echo "== compat-kit regression gate =="
+# The corpus pass count is checked in here; a drop means an engine
+# regression, a rise means this number needs bumping alongside the fix.
+expected_compat_passes=89
+compat_out="$(cargo run --release -q -p sqlpp-compat-kit --bin compat_report)"
+summary="$(printf '%s\n' "$compat_out" | grep -E '[0-9]+ passed, [0-9]+ failed, [0-9]+ total' | tail -n 1)"
+passed="$(printf '%s\n' "$summary" | sed -E 's/^([0-9]+) passed.*/\1/')"
+failed="$(printf '%s\n' "$summary" | sed -E 's/.* ([0-9]+) failed.*/\1/')"
+if [ -z "$passed" ] || [ "$failed" != "0" ] || [ "$passed" -lt "$expected_compat_passes" ]; then
+  printf '%s\n' "$compat_out" >&2
+  echo "compat regression: want >= $expected_compat_passes passed / 0 failed, got '$summary'" >&2
+  exit 1
+fi
+echo "compat OK: $summary"
+
+echo "== explain analyze smoke =="
+cargo run --release -q --example explain_analyze
+
 echo "== ci green =="

@@ -1,8 +1,10 @@
 //! Cross-crate algebraic properties: comparison laws, serialization round
 //! trips, and parser/printer inverses on generated inputs.
 
+use sqlpp::Engine;
 use sqlpp_syntax::{parse_expr, parse_query, print_expr, print_query};
-use sqlpp_testkit::prop::values::any_value;
+use sqlpp_testkit::prop::gen::vec_of;
+use sqlpp_testkit::prop::values::{any_value, small_scalar};
 use sqlpp_testkit::{prop_assert, prop_assert_eq, prop_assert_ne, sqlpp_prop};
 use sqlpp_value::cmp::{deep_eq, total_cmp};
 use sqlpp_value::{canonicalize, Tuple, Value};
@@ -59,6 +61,74 @@ sqlpp_prop! {
             .unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"));
         prop_assert!(deep_eq(&back, &v), "{} != {}", back, v);
     }
+
+    // The evaluator's hash-based DISTINCT must agree with the obvious
+    // quadratic deep_eq scan on duplicate-heavy inputs (small_scalar has
+    // a narrow domain, so collisions are common).
+    fn distinct_agrees_with_naive_deep_eq_dedupe(items in vec_of(small_scalar(), 0..=24)) {
+        let engine = Engine::new();
+        engine.register("c", Value::Bag(items.clone()));
+        let got = engine.query("SELECT DISTINCT VALUE x FROM c AS x").unwrap();
+        prop_assert!(
+            got.matches(&Value::Bag(naive_distinct(&items))),
+            "distinct diverged on {:?}: got {}", items, got.value()
+        );
+    }
+
+    // Hash-bucketed INTERSECT ALL / EXCEPT ALL must agree with a naive
+    // multiset reference that consumes right elements by deep_eq scan.
+    fn set_ops_agree_with_naive_multiset_reference(
+        left in vec_of(small_scalar(), 0..=20),
+        right in vec_of(small_scalar(), 0..=20),
+    ) {
+        let engine = Engine::new();
+        engine.register("l", Value::Bag(left.clone()));
+        engine.register("r", Value::Bag(right.clone()));
+        for (op, expected) in [
+            ("INTERSECT", naive_multiset_op(&left, &right, true)),
+            ("EXCEPT", naive_multiset_op(&left, &right, false)),
+        ] {
+            let q = format!(
+                "SELECT VALUE x FROM l AS x {op} ALL SELECT VALUE y FROM r AS y"
+            );
+            let got = engine.query(&q).unwrap();
+            prop_assert!(
+                got.matches(&Value::Bag(expected.clone())),
+                "{} ALL diverged on {:?} / {:?}: got {}, want {:?}",
+                op, left, right, got.value(), expected
+            );
+        }
+    }
+}
+
+/// First-occurrence DISTINCT by pairwise deep_eq — the O(n²) oracle.
+fn naive_distinct(items: &[Value]) -> Vec<Value> {
+    let mut out: Vec<Value> = Vec::new();
+    for item in items {
+        if !out.iter().any(|seen| deep_eq(seen, item)) {
+            out.push(item.clone());
+        }
+    }
+    out
+}
+
+/// Multiset INTERSECT ALL (`keep_matched`) / EXCEPT ALL (`!keep_matched`)
+/// oracle: each left element consumes at most one deep_eq-equal right
+/// element.
+fn naive_multiset_op(left: &[Value], right: &[Value], keep_matched: bool) -> Vec<Value> {
+    let mut pool: Vec<Option<Value>> = right.iter().cloned().map(Some).collect();
+    let mut out = Vec::new();
+    for l in left {
+        let matched = pool
+            .iter_mut()
+            .find(|slot| slot.as_ref().is_some_and(|r| deep_eq(r, l)))
+            .map(Option::take)
+            .is_some();
+        if matched == keep_matched {
+            out.push(l.clone());
+        }
+    }
+    out
 }
 
 /// Formerly `tests/properties.proptest-regressions` — the shrunk
