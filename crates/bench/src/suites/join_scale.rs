@@ -1,0 +1,216 @@
+//! **B11** — regression guard for hash equi-joins: the evaluator used to
+//! run every `JOIN ... ON` as a nested loop, re-evaluating the right side
+//! and the ON predicate per left row (O(|L|·|R|) probes). The optimizer
+//! now extracts equality keys from the ON conjunction and the evaluator
+//! materializes an uncorrelated right side exactly once into a hash
+//! table, so probe counts — and wall time — scale linearly in |L| + |R|.
+//!
+//! Four workloads per size:
+//!
+//! * `equi_hash` — an uncorrelated 1:1 equi-join through the hash path.
+//!   The suite *asserts* the plan renders `hash join`, that
+//!   `join_probes ≤ |L| + |R|`, and that `right_rescans == 0`; any of
+//!   those failing means the quadratic path is back.
+//! * `equi_nested_loop` — the same query with the optimizer off, for the
+//!   wall-clock comparison (benched at the smaller size; single-shot
+//!   timed at the larger size, attached as `nested_loop_ns`/`hash_ns`).
+//! * `correlated_fallback` — the right side references the left variable,
+//!   so hashing is impossible; asserts the plan *keeps* the nested loop.
+//! * `left_unmatched` — LEFT JOIN where half the left rows miss; NULL
+//!   padding must survive the hash path.
+
+use std::time::Instant;
+
+use sqlpp::{Engine, SessionConfig};
+use sqlpp_testkit::bench::Harness;
+use sqlpp_value::{Tuple, Value};
+
+use super::scaled;
+
+const EQUI: &str = "SELECT VALUE [x.v, y.v] FROM s.l AS x JOIN s.r AS y ON x.k = y.k";
+const CORRELATED: &str = "SELECT VALUE [x.k, y] FROM s.l AS x JOIN x.ns AS y ON x.v = y";
+const LEFT_UNMATCHED: &str =
+    "SELECT VALUE [x.k, y.v] FROM s.l AS x LEFT JOIN s.half AS y ON x.k = y.k";
+
+/// `n` tuples `{k: i, v: 7i, ns: [7i, -1]}` — keys are unique, so the
+/// equi-join is 1:1 and the correlated unnest matches exactly once.
+fn key_rows(n: usize) -> Value {
+    let rows = (0..n as i64)
+        .map(|i| {
+            let mut t = Tuple::with_capacity(3);
+            t.insert("k", Value::Int(i));
+            t.insert("v", Value::Int(7 * i));
+            t.insert("ns", Value::Array(vec![Value::Int(7 * i), Value::Int(-1)]));
+            Value::Tuple(t)
+        })
+        .collect();
+    Value::Bag(rows)
+}
+
+/// Two size-`n` tables with identical key sets, plus a half-size table
+/// so LEFT JOIN leaves `n - n/2` left rows unmatched.
+fn join_engine(n: usize) -> Engine {
+    let engine = Engine::new();
+    engine.register("s.l", key_rows(n));
+    engine.register("s.r", key_rows(n));
+    engine.register("s.half", key_rows(n / 2));
+    engine
+}
+
+/// Pulls one named counter out of an instrumented run.
+fn counter(stats: &sqlpp::ExecStats, name: &str) -> u64 {
+    stats
+        .counters()
+        .iter()
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let sizes: &[usize] = &[1_000, 10_000];
+    for (idx, &full) in sizes.iter().enumerate() {
+        let n = scaled(h, full).max(50);
+        let engine = join_engine(n);
+        let raw = engine.with_config(SessionConfig {
+            optimize: false,
+            ..SessionConfig::default()
+        });
+
+        // Plan-shape gates: the equi-join must hash, and with the
+        // optimizer off it must not.
+        let plan_text = engine.explain(EQUI).unwrap();
+        assert!(
+            plan_text.contains("hash join"),
+            "uncorrelated equi-join no longer plans a hash join:\n{plan_text}"
+        );
+        let raw_text = raw.explain(EQUI).unwrap();
+        assert!(
+            !raw_text.contains("hash join"),
+            "optimize:false engine unexpectedly hashes:\n{raw_text}"
+        );
+
+        // Semantic gate: both strategies agree (keys are unique, so the
+        // 1:1 join returns one row per left row, in either plan).
+        let hashed = engine.query(EQUI).unwrap();
+        assert_eq!(hashed.len(), n, "equi-join cardinality wrong at n={n}");
+        assert_eq!(
+            hashed.canonical(),
+            raw.query(EQUI).unwrap().canonical(),
+            "hash join disagrees with nested loop at n={n}"
+        );
+
+        let plan = engine.prepare(EQUI).unwrap();
+        h.bench(format!("join_scale/equi_hash/{n}x{n}"), || {
+            plan.execute(&engine).unwrap()
+        });
+
+        // One instrumented run: linear probe work, right side built once.
+        let run = engine.query_with_stats(EQUI).unwrap();
+        let stats = run.stats().expect("stats collection was on");
+        let probes = counter(stats, "join_probes");
+        let build_rows = counter(stats, "join_build_rows");
+        let rescans = counter(stats, "right_rescans");
+        assert!(
+            probes <= (2 * n) as u64,
+            "join probes regressed to super-linear at n={n}: {probes} > {}",
+            2 * n
+        );
+        assert_eq!(rescans, 0, "hash join rescanned its right side at n={n}");
+        assert_eq!(build_rows, n as u64, "build side row count wrong at n={n}");
+        let mut counters = vec![
+            ("join_probes".to_string(), probes),
+            ("join_build_rows".to_string(), build_rows),
+            ("right_rescans".to_string(), rescans),
+        ];
+
+        if idx == 0 {
+            // Small size: the nested loop is cheap enough to sample
+            // properly, giving the report a real baseline distribution.
+            let raw_plan = raw.prepare(EQUI).unwrap();
+            h.attach_counters(counters);
+            h.bench(format!("join_scale/equi_nested_loop/{n}x{n}"), || {
+                raw_plan.execute(&raw).unwrap()
+            });
+            let nl_run = raw.query_with_stats(EQUI).unwrap();
+            let nl = nl_run.stats().expect("stats collection was on");
+            h.attach_counters([
+                ("join_probes".to_string(), counter(nl, "join_probes")),
+                ("right_rescans".to_string(), counter(nl, "right_rescans")),
+            ]);
+        } else {
+            // Large size: a full sampling run of the O(n²) loop would
+            // dominate the whole sweep, so time one execution of each
+            // strategy and attach the pair for the speedup ratio.
+            let raw_plan = raw.prepare(EQUI).unwrap();
+            let t = Instant::now();
+            let _ = raw_plan.execute(&raw).unwrap();
+            let nl_ns = t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            let _ = plan.execute(&engine).unwrap();
+            let hash_ns = t.elapsed().as_nanos() as u64;
+            counters.push(("nested_loop_ns".to_string(), nl_ns));
+            counters.push(("hash_ns".to_string(), hash_ns));
+            h.attach_counters(counters);
+        }
+    }
+
+    // Correlated fallback: the right source depends on the left row, so
+    // the optimizer must keep the nested loop (and re-evaluate per row).
+    let n = scaled(h, 1_000).max(50);
+    let engine = join_engine(n);
+    let plan_text = engine.explain(CORRELATED).unwrap();
+    assert!(
+        !plan_text.contains("hash join"),
+        "correlated join was wrongly hashed:\n{plan_text}"
+    );
+    let correlated = engine.query(CORRELATED).unwrap();
+    assert_eq!(correlated.len(), n, "correlated join cardinality wrong");
+    let plan = engine.prepare(CORRELATED).unwrap();
+    h.bench(format!("join_scale/correlated_fallback/{n}"), || {
+        plan.execute(&engine).unwrap()
+    });
+    let run = engine.query_with_stats(CORRELATED).unwrap();
+    let stats = run.stats().expect("stats collection was on");
+    assert!(
+        counter(stats, "right_rescans") > 0,
+        "correlated join should re-evaluate its right side"
+    );
+    h.attach_counters([
+        ("join_probes".to_string(), counter(stats, "join_probes")),
+        ("right_rescans".to_string(), counter(stats, "right_rescans")),
+    ]);
+
+    // LEFT JOIN with unmatched rows: NULL padding through the hash path.
+    let plan_text = engine.explain(LEFT_UNMATCHED).unwrap();
+    assert!(
+        plan_text.contains("left hash join"),
+        "LEFT equi-join no longer plans a hash join:\n{plan_text}"
+    );
+    let padded = engine.query(LEFT_UNMATCHED).unwrap();
+    assert_eq!(padded.len(), n, "LEFT join must keep every left row");
+    let raw = engine.with_config(SessionConfig {
+        optimize: false,
+        ..SessionConfig::default()
+    });
+    assert_eq!(
+        padded.canonical(),
+        raw.query(LEFT_UNMATCHED).unwrap().canonical(),
+        "hash LEFT join disagrees with nested loop"
+    );
+    let plan = engine.prepare(LEFT_UNMATCHED).unwrap();
+    h.bench(format!("join_scale/left_unmatched/{n}"), || {
+        plan.execute(&engine).unwrap()
+    });
+    let run = engine.query_with_stats(LEFT_UNMATCHED).unwrap();
+    let stats = run.stats().expect("stats collection was on");
+    h.attach_counters([
+        ("join_probes".to_string(), counter(stats, "join_probes")),
+        (
+            "join_build_rows".to_string(),
+            counter(stats, "join_build_rows"),
+        ),
+        ("right_rescans".to_string(), counter(stats, "right_rescans")),
+    ]);
+}

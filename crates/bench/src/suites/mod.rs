@@ -1,4 +1,4 @@
-//! The ten benchmark suites, one module per performance claim (see the
+//! The eleven benchmark suites, one module per performance claim (see the
 //! crate docs for the claim ↔ suite map). Each suite registers its
 //! measurements on a shared [`Harness`]; thin `[[bin]]` wrappers run one
 //! suite each, and `bench_all` runs every suite into one report.
@@ -15,6 +15,7 @@ pub mod compat_mode_overhead;
 pub mod e2e_paper_queries;
 pub mod format_parse;
 pub mod group_as_vs_subquery;
+pub mod join_scale;
 pub mod missing_propagation;
 pub mod optimizer_ablation;
 pub mod pivot_unpivot;
@@ -37,6 +38,7 @@ pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
         ("e2e_paper_queries", e2e_paper_queries::run),
         ("optimizer_ablation", optimizer_ablation::run),
         ("set_ops", set_ops::run),
+        ("join_scale", join_scale::run),
     ]
 }
 

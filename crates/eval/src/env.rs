@@ -17,7 +17,10 @@ pub struct Env {
 }
 
 struct Node {
-    name: String,
+    // `Rc<str>` so hot loops (one bind per scanned row) can pre-intern
+    // the variable name once and pay a refcount bump per row instead of
+    // a fresh `String` allocation.
+    name: Rc<str>,
     value: Value,
     parent: Option<Rc<Node>>,
 }
@@ -29,8 +32,9 @@ impl Env {
     }
 
     /// Returns a new environment with `name` bound to `value`, shadowing
-    /// any outer binding of the same name.
-    pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
+    /// any outer binding of the same name. Callers binding in a loop
+    /// should create the `Rc<str>` once and pass clones.
+    pub fn bind(&self, name: impl Into<Rc<str>>, value: Value) -> Env {
         Env {
             node: Some(Rc::new(Node {
                 name: name.into(),
@@ -44,7 +48,7 @@ impl Env {
     pub fn get(&self, name: &str) -> Option<&Value> {
         let mut cur = self.node.as_deref();
         while let Some(n) = cur {
-            if n.name == name {
+            if &*n.name == name {
                 return Some(&n.value);
             }
             cur = n.parent.as_deref();
@@ -64,9 +68,9 @@ impl Env {
         let mut out = Vec::new();
         let mut cur = self.node.as_deref();
         while let Some(n) = cur {
-            if !seen.contains(&n.name.as_str()) {
+            if !seen.contains(&&*n.name) {
                 seen.push(&n.name);
-                out.push((n.name.as_str(), &n.value));
+                out.push((&*n.name, &n.value));
             }
             cur = n.parent.as_deref();
         }

@@ -195,10 +195,11 @@ impl<'a> Evaluator<'a> {
             CoreOp::SortValues { input, keys } => {
                 let values = self.value_stream(input, env)?;
                 let mut annotated = Vec::with_capacity(values.len());
+                let out_var: std::rc::Rc<str> = "$out".into();
                 for v in values {
                     // The output element is visible as `$out`; if it is a
                     // tuple its attributes resolve dynamically.
-                    let row_env = env.bind("$out", v.clone());
+                    let row_env = env.bind(out_var.clone(), v.clone());
                     let mut ks = Vec::with_capacity(keys.len());
                     for k in keys {
                         ks.push(self.expr(&k.expr, &row_env)?);
@@ -562,10 +563,11 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
+        let var: std::rc::Rc<str> = def.var.as_str().into();
         Ok(rows
             .into_iter()
             .zip(computed)
-            .map(|(row, v)| row.bind(def.var.clone(), v))
+            .map(|(row, v)| row.bind(var.clone(), v))
             .collect())
     }
 
@@ -626,11 +628,23 @@ impl<'a> Evaluator<'a> {
                 right_vars,
             } => {
                 let lefts = self.from_item(left, env)?;
+                let names: Vec<std::rc::Rc<str>> =
+                    right_vars.iter().map(|v| v.as_str().into()).collect();
                 let mut out = Vec::new();
+                let mut scanned = false;
                 for l in lefts {
+                    if scanned {
+                        if let Some(st) = &self.stats {
+                            st.add_right_rescans(1);
+                        }
+                    }
                     let rights = self.from_item(right, &l)?;
+                    scanned = true;
                     let mut matched = false;
                     for r in rights {
+                        if let Some(st) = &self.stats {
+                            st.add_join_probes(1);
+                        }
                         if matches!(self.expr(on, &r)?, Value::Bool(true)) {
                             matched = true;
                             out.push(r);
@@ -640,15 +654,226 @@ impl<'a> Evaluator<'a> {
                         // SQL left join: unmatched rows pad the right-side
                         // variables with NULL.
                         let mut padded = l.clone();
-                        for v in right_vars {
-                            padded = padded.bind(v.clone(), Value::Null);
+                        for name in &names {
+                            padded = padded.bind(name.clone(), Value::Null);
                         }
                         out.push(padded);
                     }
                 }
                 Ok(out)
             }
+            CoreFrom::HashJoin {
+                kind,
+                left,
+                right,
+                keys,
+                left_pred,
+                right_pred,
+                residual,
+                right_vars,
+            } => {
+                let lefts = self.from_item(left, env)?;
+                match self.hash_join_build(right, right_pred.as_ref(), keys, env) {
+                    Ok(build) => self.hash_join_probe(
+                        *kind,
+                        lefts,
+                        &build,
+                        keys,
+                        left_pred.as_ref(),
+                        residual.as_ref(),
+                        right_vars,
+                    ),
+                    // The optimizer's uncorrelated analysis is static and
+                    // conservative, but a runtime `Global` can still
+                    // resolve through the environment (dynamic
+                    // disambiguation). If materializing the right side in
+                    // the outer environment fails, reconstruct the exact
+                    // per-left-row nested loop the plan was derived from.
+                    Err(_) => self.hash_join_fallback(
+                        *kind,
+                        lefts,
+                        right,
+                        keys,
+                        left_pred.as_ref(),
+                        right_pred.as_ref(),
+                        residual.as_ref(),
+                        right_vars,
+                    ),
+                }
+            }
         }
+    }
+
+    /// Materializes a hash join's right side once and buckets the rows by
+    /// the structural hash of their key tuple. Rows failing the build
+    /// filter — or with any NULL/MISSING key, which can never compare
+    /// equal (3VL) — are left out of the table.
+    fn hash_join_build(
+        &self,
+        right: &CoreFrom,
+        right_pred: Option<&CoreExpr>,
+        keys: &[(CoreExpr, CoreExpr)],
+        env: &Env,
+    ) -> Result<JoinBuild, EvalError> {
+        let rights = self.from_item(right, env)?;
+        let mut rows: Vec<(Env, Vec<Value>)> = Vec::new();
+        let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+        'rows: for r in rights {
+            if let Some(p) = right_pred {
+                if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
+                    continue;
+                }
+            }
+            let mut kv = Vec::with_capacity(keys.len());
+            for (_, rk) in keys {
+                let v = self.expr(rk, &r)?;
+                if v.is_absent() {
+                    continue 'rows;
+                }
+                kv.push(v);
+            }
+            table.entry(joint_hash(&kv)).or_default().push(rows.len());
+            rows.push((r, kv));
+        }
+        if let Some(st) = &self.stats {
+            st.add_join_build_rows(rows.len() as u64);
+        }
+        Ok(JoinBuild { rows, table })
+    }
+
+    /// Probes the build table once per left row. Bucket candidates are
+    /// confirmed key-by-key with `deep_eq` (hash_value is deep_eq-
+    /// consistent), which is exactly when `l.x = r.y` evaluates to TRUE
+    /// for non-absent keys; the residual is then re-checked in the
+    /// combined environment.
+    fn hash_join_probe(
+        &self,
+        kind: CoreJoinKind,
+        lefts: Vec<Env>,
+        build: &JoinBuild,
+        keys: &[(CoreExpr, CoreExpr)],
+        left_pred: Option<&CoreExpr>,
+        residual: Option<&CoreExpr>,
+        right_vars: &[String],
+    ) -> Result<Vec<Env>, EvalError> {
+        let names: Vec<std::rc::Rc<str>> = right_vars.iter().map(|v| v.as_str().into()).collect();
+        let mut out = Vec::new();
+        let mut kv: Vec<Value> = Vec::with_capacity(keys.len());
+        for l in lefts {
+            let mut matched = false;
+            'probe: {
+                // An empty build side matches nothing — and, like the
+                // nested loop over an empty right side, evaluates no
+                // predicate or key at all.
+                if build.rows.is_empty() {
+                    break 'probe;
+                }
+                if let Some(p) = left_pred {
+                    if !matches!(self.expr(p, &l)?, Value::Bool(true)) {
+                        break 'probe;
+                    }
+                }
+                kv.clear();
+                for (lk, _) in keys {
+                    let v = self.expr(lk, &l)?;
+                    if v.is_absent() {
+                        break 'probe;
+                    }
+                    kv.push(v);
+                }
+                let Some(bucket) = build.table.get(&joint_hash(&kv)) else {
+                    break 'probe;
+                };
+                for &i in bucket {
+                    if let Some(st) = &self.stats {
+                        st.add_join_probes(1);
+                    }
+                    let (renv, rkv) = &build.rows[i];
+                    if !kv.iter().zip(rkv).all(|(a, b)| deep_eq(a, b)) {
+                        continue;
+                    }
+                    let combined = combine_envs(&l, renv, &names);
+                    if let Some(p) = residual {
+                        if !matches!(self.expr(p, &combined)?, Value::Bool(true)) {
+                            continue;
+                        }
+                    }
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+            if !matched && kind == CoreJoinKind::Left {
+                let mut padded = l.clone();
+                for name in &names {
+                    padded = padded.bind(name.clone(), Value::Null);
+                }
+                out.push(padded);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Nested-loop reconstruction of a [`CoreFrom::HashJoin`] whose build
+    /// failed: the original ON condition is exactly
+    /// `left_pred ∧ right_pred ∧ keys ∧ residual`, re-checked here per
+    /// (left, right) pair with the right side re-evaluated per left row.
+    #[allow(clippy::too_many_arguments)]
+    fn hash_join_fallback(
+        &self,
+        kind: CoreJoinKind,
+        lefts: Vec<Env>,
+        right: &CoreFrom,
+        keys: &[(CoreExpr, CoreExpr)],
+        left_pred: Option<&CoreExpr>,
+        right_pred: Option<&CoreExpr>,
+        residual: Option<&CoreExpr>,
+        right_vars: &[String],
+    ) -> Result<Vec<Env>, EvalError> {
+        let names: Vec<std::rc::Rc<str>> = right_vars.iter().map(|v| v.as_str().into()).collect();
+        let mut out = Vec::new();
+        let mut scanned = false;
+        for l in lefts {
+            if scanned {
+                if let Some(st) = &self.stats {
+                    st.add_right_rescans(1);
+                }
+            }
+            let rights = self.from_item(right, &l)?;
+            scanned = true;
+            let mut matched = false;
+            'rows: for r in rights {
+                if let Some(st) = &self.stats {
+                    st.add_join_probes(1);
+                }
+                for p in [left_pred, right_pred].into_iter().flatten() {
+                    if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
+                        continue 'rows;
+                    }
+                }
+                for (lk, rk) in keys {
+                    let a = self.expr(lk, &r)?;
+                    let b = self.expr(rk, &r)?;
+                    if !matches!(sql_eq(&a, &b), Value::Bool(true)) {
+                        continue 'rows;
+                    }
+                }
+                if let Some(p) = residual {
+                    if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
+                        continue 'rows;
+                    }
+                }
+                matched = true;
+                out.push(r);
+            }
+            if !matched && kind == CoreJoinKind::Left {
+                let mut padded = l.clone();
+                for name in &names {
+                    padded = padded.bind(name.clone(), Value::Null);
+                }
+                out.push(padded);
+            }
+        }
+        Ok(out)
     }
 
     /// Iterating a FROM source (§III): collections iterate, MISSING
@@ -668,16 +893,20 @@ impl<'a> Evaluator<'a> {
                 _ => 1,
             });
         }
+        // Intern the binding names once; each per-row bind is then a
+        // refcount bump instead of a String allocation.
+        let as_var: std::rc::Rc<str> = as_var.into();
+        let at_var: Option<std::rc::Rc<str>> = at_var.map(Into::into);
         match source {
             Value::Bag(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for item in items {
-                    let mut e = env.bind(as_var.to_string(), item);
-                    if let Some(at) = at_var {
+                    let mut e = env.bind(as_var.clone(), item);
+                    if let Some(at) = &at_var {
                         // Bags are unordered: AT has no meaningful value.
                         match self.config.typing {
                             TypingMode::Permissive => {
-                                e = e.bind(at.to_string(), Value::Missing);
+                                e = e.bind(at.clone(), Value::Missing);
                             }
                             TypingMode::StrictError => {
                                 return Err(EvalError::Type(
@@ -693,9 +922,9 @@ impl<'a> Evaluator<'a> {
             Value::Array(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for (i, item) in items.into_iter().enumerate() {
-                    let mut e = env.bind(as_var.to_string(), item);
-                    if let Some(at) = at_var {
-                        e = e.bind(at.to_string(), Value::Int(i as i64));
+                    let mut e = env.bind(as_var.clone(), item);
+                    if let Some(at) = &at_var {
+                        e = e.bind(at.clone(), Value::Int(i as i64));
                     }
                     out.push(e);
                 }
@@ -704,9 +933,9 @@ impl<'a> Evaluator<'a> {
             Value::Missing => Ok(Vec::new()),
             other => match self.config.typing {
                 TypingMode::Permissive => {
-                    let mut e = env.bind(as_var.to_string(), other);
+                    let mut e = env.bind(as_var, other);
                     if let Some(at) = at_var {
-                        e = e.bind(at.to_string(), Value::Missing);
+                        e = e.bind(at, Value::Missing);
                     }
                     Ok(vec![e])
                 }
@@ -748,11 +977,13 @@ impl<'a> Evaluator<'a> {
         if let Some(st) = &self.stats {
             st.add_rows_scanned(tuple.len() as u64);
         }
+        let value_var: std::rc::Rc<str> = value_var.into();
+        let name_var: std::rc::Rc<str> = name_var.into();
         Ok(tuple
             .into_iter()
             .map(|(name, value)| {
-                env.bind(value_var.to_string(), value)
-                    .bind(name_var.to_string(), Value::Str(name))
+                env.bind(value_var.clone(), value)
+                    .bind(name_var.clone(), Value::Str(name))
             })
             .collect())
     }
@@ -1512,6 +1743,38 @@ fn structural_hash(v: &Value) -> u64 {
     h.finish()
 }
 
+/// 64-bit structural hash of a key tuple — the same scheme `dedupe` and
+/// set operations use, extended over the sequence.
+fn joint_hash(keys: &[Value]) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::Hasher;
+    let mut h = DefaultHasher::new();
+    for k in keys {
+        hash_value(k, &mut h);
+    }
+    h.finish()
+}
+
+/// A materialized hash-join right side: surviving rows with their key
+/// tuples, bucketed by [`joint_hash`].
+struct JoinBuild {
+    rows: Vec<(Env, Vec<Value>)>,
+    table: HashMap<u64, Vec<usize>>,
+}
+
+/// Extends a left-row environment with the right side's variables from a
+/// matched build row — the same bindings, in the same order, that
+/// evaluating the right side under `l` would have produced.
+fn combine_envs(l: &Env, r: &Env, right_vars: &[std::rc::Rc<str>]) -> Env {
+    let mut out = l.clone();
+    for name in right_vars {
+        if let Some(v) = r.get(name) {
+            out = out.bind(name.clone(), v.clone());
+        }
+    }
+    out
+}
+
 fn apply_limit<T>(items: Vec<T>, limit: Option<usize>, offset: usize) -> Vec<T> {
     items
         .into_iter()
@@ -1874,5 +2137,224 @@ mod tests {
         let catalog = Catalog::new();
         let ev = Evaluator::new(&catalog, EvalConfig::default());
         assert!(ev.stats_snapshot().is_none());
+    }
+
+    // =================================================================
+    // Hash join
+    // =================================================================
+
+    /// `{k: …, v: n}`; a MISSING key means the attribute is absent.
+    fn row(k: Value, v: i64) -> Value {
+        let mut t = Tuple::new();
+        match k {
+            Value::Missing => {}
+            k => t.insert("k", k),
+        }
+        t.insert("v", Value::Int(v));
+        Value::Tuple(t)
+    }
+
+    fn scan_of(rows: Vec<Value>, var: &str) -> Box<CoreFrom> {
+        Box::new(CoreFrom::Scan {
+            expr: CoreExpr::Const(Value::Bag(rows)),
+            as_var: var.into(),
+            at_var: None,
+        })
+    }
+
+    fn key_of(var: &str) -> CoreExpr {
+        CoreExpr::Path(Box::new(CoreExpr::Var(var.into())), "k".into())
+    }
+
+    /// `SELECT VALUE [x, y] FROM <item>` — pairs joined rows for
+    /// comparison.
+    fn project_pairs(item: CoreFrom) -> CoreOp {
+        CoreOp::Project {
+            input: Box::new(CoreOp::From { item }),
+            expr: CoreExpr::ArrayCtor(vec![CoreExpr::Var("x".into()), CoreExpr::Var("y".into())]),
+            distinct: false,
+        }
+    }
+
+    #[test]
+    fn hash_join_agrees_with_nested_loop_on_absent_keys() {
+        let catalog = Catalog::new();
+        let lrows = vec![
+            row(Value::Int(1), 10),
+            row(Value::Null, 11),
+            row(Value::Missing, 12),
+            row(Value::Int(2), 13),
+            row(Value::Int(9), 14),
+        ];
+        let rrows = vec![
+            row(Value::Int(2), 20),
+            row(Value::Null, 21),
+            row(Value::Missing, 22),
+            row(Value::Int(1), 23),
+            row(Value::Int(1), 24),
+        ];
+        for typing in [TypingMode::Permissive, TypingMode::StrictError] {
+            let ev = Evaluator::new(
+                &catalog,
+                EvalConfig {
+                    typing,
+                    ..EvalConfig::default()
+                },
+            );
+            for kind in [CoreJoinKind::Inner, CoreJoinKind::Left] {
+                let on = CoreExpr::Bin(BinOp::Eq, Box::new(key_of("x")), Box::new(key_of("y")));
+                let nested = project_pairs(CoreFrom::Join {
+                    kind,
+                    left: scan_of(lrows.clone(), "x"),
+                    right: scan_of(rrows.clone(), "y"),
+                    on,
+                    right_vars: vec!["y".into()],
+                });
+                let hashed = project_pairs(CoreFrom::HashJoin {
+                    kind,
+                    left: scan_of(lrows.clone(), "x"),
+                    right: scan_of(rrows.clone(), "y"),
+                    keys: vec![(key_of("x"), key_of("y"))],
+                    left_pred: None,
+                    right_pred: None,
+                    residual: None,
+                    right_vars: vec!["y".into()],
+                });
+                let want = ev.value_op(&nested, &Env::new()).unwrap();
+                let got = ev.value_op(&hashed, &Env::new()).unwrap();
+                assert_eq!(got, want, "{kind:?} under {typing:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_join_residual_rejects_then_left_pads() {
+        let catalog = Catalog::new();
+        let ev = Evaluator::new(&catalog, EvalConfig::default());
+        // Key matches but the residual (x.v < y.v) fails for l2.
+        let lrows = vec![row(Value::Int(1), 10), row(Value::Int(1), 99)];
+        let rrows = vec![row(Value::Int(1), 20)];
+        let residual = CoreExpr::Bin(
+            BinOp::Lt,
+            Box::new(CoreExpr::Path(
+                Box::new(CoreExpr::Var("x".into())),
+                "v".into(),
+            )),
+            Box::new(CoreExpr::Path(
+                Box::new(CoreExpr::Var("y".into())),
+                "v".into(),
+            )),
+        );
+        let hashed = project_pairs(CoreFrom::HashJoin {
+            kind: CoreJoinKind::Left,
+            left: scan_of(lrows, "x"),
+            right: scan_of(rrows, "y"),
+            keys: vec![(key_of("x"), key_of("y"))],
+            left_pred: None,
+            right_pred: None,
+            residual: Some(residual),
+            right_vars: vec!["y".into()],
+        });
+        let got = ev.value_op(&hashed, &Env::new()).unwrap();
+        let Value::Bag(pairs) = got else {
+            panic!("bag expected")
+        };
+        assert_eq!(pairs.len(), 2);
+        // First left row matched; second padded with NULL.
+        let Value::Array(second) = &pairs[1] else {
+            panic!("array expected")
+        };
+        assert_eq!(second[1], Value::Null);
+    }
+
+    #[test]
+    fn hash_join_probes_are_linear_nested_loop_quadratic() {
+        let catalog = Catalog::new();
+        let n = 50i64;
+        let lrows: Vec<Value> = (0..n).map(|i| row(Value::Int(i), i)).collect();
+        let rrows: Vec<Value> = (0..n).map(|i| row(Value::Int(i), -i)).collect();
+        let hashed = project_pairs(CoreFrom::HashJoin {
+            kind: CoreJoinKind::Inner,
+            left: scan_of(lrows.clone(), "x"),
+            right: scan_of(rrows.clone(), "y"),
+            keys: vec![(key_of("x"), key_of("y"))],
+            left_pred: None,
+            right_pred: None,
+            residual: None,
+            right_vars: vec!["y".into()],
+        });
+        let ev = Evaluator::new(
+            &catalog,
+            EvalConfig {
+                collect_stats: true,
+                ..EvalConfig::default()
+            },
+        );
+        let out = ev.value_op(&hashed, &Env::new()).unwrap();
+        assert_eq!(out, {
+            let Value::Bag(items) = ev
+                .value_op(
+                    &project_pairs(CoreFrom::Join {
+                        kind: CoreJoinKind::Inner,
+                        left: scan_of(lrows.clone(), "x"),
+                        right: scan_of(rrows.clone(), "y"),
+                        on: CoreExpr::Bin(BinOp::Eq, Box::new(key_of("x")), Box::new(key_of("y"))),
+                        right_vars: vec!["y".into()],
+                    }),
+                    &Env::new(),
+                )
+                .unwrap()
+                .clone()
+            else {
+                panic!()
+            };
+            Value::Bag(items)
+        });
+        let s = ev.stats_snapshot().unwrap();
+        // The nested loop above contributed n·n probes and n-1 rescans;
+        // the hash join contributed ≤ n probes, n build rows, 0 rescans.
+        assert_eq!(s.join_build_rows, n as u64);
+        assert_eq!(
+            s.right_rescans,
+            (n - 1) as u64,
+            "only the nested loop rescans"
+        );
+        assert_eq!(s.join_probes, (n * n + n) as u64);
+    }
+
+    #[test]
+    fn hash_join_empty_right_side_pads_without_evaluating_predicates() {
+        let catalog = Catalog::new();
+        // left_pred would error in strict mode if evaluated (NOT on an
+        // int); over an empty right side the nested loop never evaluates
+        // ON, and the hash probe must not either.
+        let ev = Evaluator::new(
+            &catalog,
+            EvalConfig {
+                typing: TypingMode::StrictError,
+                ..EvalConfig::default()
+            },
+        );
+        let hashed = project_pairs(CoreFrom::HashJoin {
+            kind: CoreJoinKind::Left,
+            left: scan_of(vec![row(Value::Int(1), 10)], "x"),
+            right: scan_of(Vec::new(), "y"),
+            keys: vec![(key_of("x"), key_of("y"))],
+            left_pred: Some(CoreExpr::Un(
+                UnOp::Not,
+                Box::new(CoreExpr::Path(
+                    Box::new(CoreExpr::Var("x".into())),
+                    "v".into(),
+                )),
+            )),
+            right_pred: None,
+            residual: None,
+            right_vars: vec!["y".into()],
+        });
+        let got = ev.value_op(&hashed, &Env::new()).unwrap();
+        let Value::Bag(pairs) = got else {
+            panic!("bag expected")
+        };
+        assert_eq!(pairs.len(), 1, "LEFT join pads the single left row");
     }
 }

@@ -66,6 +66,15 @@ pub struct ExecStats {
     /// Nested-plan executions (subqueries, EXISTS, coerced SQL
     /// subqueries).
     pub subquery_invocations: u64,
+    /// Join probe work: ON evaluations (nested-loop joins) plus hash
+    /// bucket candidate confirmations (hash joins). An uncorrelated
+    /// equi-join should show `join_probes ≤ L + R`.
+    pub join_probes: u64,
+    /// Rows inserted into hash-join build tables.
+    pub join_build_rows: u64,
+    /// Times a join's right side was re-evaluated beyond its first
+    /// evaluation — zero for a hash join, `L - 1` for a nested loop.
+    pub right_rescans: u64,
     /// Per-operator counters, keyed by [`op_key`] of the plan node.
     pub ops: HashMap<usize, OpStats>,
 }
@@ -87,6 +96,9 @@ impl ExecStats {
             ("setop_probes", self.setop_probes),
             ("missing_propagations", self.missing_propagations),
             ("subquery_invocations", self.subquery_invocations),
+            ("join_probes", self.join_probes),
+            ("join_build_rows", self.join_build_rows),
+            ("right_rescans", self.right_rescans),
         ]
     }
 
@@ -136,6 +148,9 @@ pub struct StatsCollector {
     setop_probes: Cell<u64>,
     missing_propagations: Cell<u64>,
     subquery_invocations: Cell<u64>,
+    join_probes: Cell<u64>,
+    join_build_rows: Cell<u64>,
+    right_rescans: Cell<u64>,
     ops: RefCell<HashMap<usize, OpStats>>,
 }
 
@@ -186,6 +201,21 @@ impl StatsCollector {
             .set(self.subquery_invocations.get() + 1);
     }
 
+    /// Counts join probe work (ON evaluations / hash candidate checks).
+    pub fn add_join_probes(&self, n: u64) {
+        self.join_probes.set(self.join_probes.get() + n);
+    }
+
+    /// Counts rows inserted into a hash-join build table.
+    pub fn add_join_build_rows(&self, n: u64) {
+        self.join_build_rows.set(self.join_build_rows.get() + n);
+    }
+
+    /// Counts a re-evaluation of a join's right side.
+    pub fn add_right_rescans(&self, n: u64) {
+        self.right_rescans.set(self.right_rescans.get() + n);
+    }
+
     /// Snapshots the counters into an [`ExecStats`] (phase times zeroed —
     /// the engine fills those).
     pub fn snapshot(&self) -> ExecStats {
@@ -201,6 +231,9 @@ impl StatsCollector {
             setop_probes: self.setop_probes.get(),
             missing_propagations: self.missing_propagations.get(),
             subquery_invocations: self.subquery_invocations.get(),
+            join_probes: self.join_probes.get(),
+            join_build_rows: self.join_build_rows.get(),
+            right_rescans: self.right_rescans.get(),
             ops: self.ops.borrow().clone(),
         }
     }

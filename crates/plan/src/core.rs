@@ -200,7 +200,8 @@ pub enum CoreFrom {
         /// Right input (may reference left's variables).
         right: Box<CoreFrom>,
     },
-    /// Explicit join with an ON condition.
+    /// Explicit join with an ON condition, executed as a nested loop: the
+    /// right side is re-evaluated (and the ON probed) once per left row.
     Join {
         /// INNER or LEFT (RIGHT/FULL are normalized during lowering).
         kind: CoreJoinKind,
@@ -212,6 +213,39 @@ pub enum CoreFrom {
         on: CoreExpr,
         /// Variables introduced by the right side — needed to bind NULLs
         /// for unmatched left rows in LEFT joins.
+        right_vars: Vec<String>,
+    },
+    /// Equi-join annotated by the optimizer (never produced by lowering):
+    /// the right side is uncorrelated, so it is materialized exactly once
+    /// into a hash table keyed on `keys`, and each left row probes it.
+    ///
+    /// The original join condition is exactly
+    /// `left_pred AND right_pred AND (k_l = k_r for each key) AND residual`
+    /// — the split is semantics-preserving because a row passes an AND
+    /// chain iff every conjunct evaluates to TRUE, and NULL/MISSING keys
+    /// never compare equal (3VL), matching a hash table that simply never
+    /// stores or probes absent keys.
+    HashJoin {
+        /// INNER or LEFT.
+        kind: CoreJoinKind,
+        /// Left input.
+        left: Box<CoreFrom>,
+        /// Right input (uncorrelated: references none of left's variables).
+        right: Box<CoreFrom>,
+        /// `(left key, right key)` pairs: conjuncts of the form
+        /// `l.x = r.y` where each side references only that side's vars.
+        keys: Vec<(CoreExpr, CoreExpr)>,
+        /// Conjuncts referencing only left-side (or outer) variables,
+        /// checked per left row before probing.
+        left_pred: Option<CoreExpr>,
+        /// Conjuncts referencing only right-side variables, checked once
+        /// per right row at build time.
+        right_pred: Option<CoreExpr>,
+        /// Conjuncts referencing both sides that are not equi-keys,
+        /// re-checked on each hash match.
+        residual: Option<CoreExpr>,
+        /// Variables introduced by the right side, in binding order —
+        /// used to combine matched envs and to NULL-pad LEFT joins.
         right_vars: Vec<String>,
     },
 }
@@ -709,12 +743,48 @@ fn explain_from(item: &CoreFrom, indent: usize, out: &mut String) {
             ..
         } => {
             out.push_str(&format!(
-                "{} join on {on}\n",
+                "{} nested-loop join on {on}\n",
                 match kind {
                     CoreJoinKind::Inner => "inner",
                     CoreJoinKind::Left => "left",
                 }
             ));
+            explain_from(left, indent + 1, out);
+            explain_from(right, indent + 1, out);
+        }
+        CoreFrom::HashJoin {
+            kind,
+            left,
+            right,
+            keys,
+            left_pred,
+            right_pred,
+            residual,
+            ..
+        } => {
+            out.push_str(&format!(
+                "{} hash join on ",
+                match kind {
+                    CoreJoinKind::Inner => "inner",
+                    CoreJoinKind::Left => "left",
+                }
+            ));
+            for (i, (l, r)) in keys.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{l} = {r}"));
+            }
+            if let Some(p) = left_pred {
+                out.push_str(&format!(" probe-filter {p}"));
+            }
+            if let Some(p) = right_pred {
+                out.push_str(&format!(" build-filter {p}"));
+            }
+            if let Some(p) = residual {
+                out.push_str(&format!(" residual {p}"));
+            }
+            out.push('\n');
             explain_from(left, indent + 1, out);
             explain_from(right, indent + 1, out);
         }

@@ -1919,7 +1919,7 @@ mod tests {
     fn right_join_mirrors_to_left() {
         let q = lower("SELECT * FROM a AS a RIGHT JOIN b AS b ON a.id = b.id");
         let text = q.explain();
-        assert!(text.contains("left join"), "{text}");
+        assert!(text.contains("left nested-loop join"), "{text}");
         // b is now the preserved (left) side.
         let scan_b = text.find("scan @b").unwrap();
         let scan_a = text.find("scan @a").unwrap();

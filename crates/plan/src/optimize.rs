@@ -7,18 +7,21 @@
 //! from the evaluator's pipelined aggregation; the passes here handle the
 //! classical trivia.
 
+use std::collections::HashSet;
+
 use sqlpp_syntax::ast::BinOp;
 use sqlpp_value::Value;
 
-use crate::core::{CoreExpr, CoreOp, CoreQuery};
+use crate::core::{CoreExpr, CoreFrom, CoreJoinKind, CoreOp, CoreQuery};
 
-/// Applies all passes until a fixpoint (bounded).
+/// Applies all passes until a fixpoint (bounded). Fixpoint detection is
+/// structural (`PartialEq` on the plan tree), not textual.
 pub fn optimize(q: CoreQuery) -> CoreQuery {
     let mut op = q.op;
     for _ in 0..4 {
-        let before = format!("{op:?}");
-        op = fold_op(op);
-        if format!("{op:?}") == before {
+        let before = op.clone();
+        op = extract_joins_op(fold_op(op));
+        if op == before {
             break;
         }
     }
@@ -204,6 +207,691 @@ fn fold_expr(e: CoreExpr) -> CoreExpr {
     }
 }
 
+// ---------------------------------------------------------------------
+// Hash equi-join extraction
+// ---------------------------------------------------------------------
+//
+// The paper's conceptual semantics for joins and comma-FROM lists is a
+// (left-correlated) nested loop — O(L·R) ON/WHERE evaluations. "Under the
+// hood a SQL++ engine is free to optimize" (§V-C): this pass finds
+// conjunctive equality predicates linking an *uncorrelated* right side to
+// the left side and rewrites [`CoreFrom::Join`] / `Filter` over
+// [`CoreFrom::Correlate`] into [`CoreFrom::HashJoin`], which the evaluator
+// runs in O(L + R).
+//
+// Soundness rests on three facts:
+//  - a row passes an AND chain iff every conjunct evaluates to TRUE, so
+//    splitting the chain and checking conjuncts at different stages keeps
+//    the same rows (3VL: NULL/MISSING/FALSE all fail the chain);
+//  - `a = b` is TRUE iff both sides are non-absent and structurally equal
+//    (sqlpp_value::cmp::sql_eq), which is exactly what a hash table keyed
+//    on structural hashes with absent keys excluded computes;
+//  - conjuncts are only moved to stages whose environment still binds
+//    every variable the conjunct references. Conjuncts containing
+//    `Global`/`Dynamic` references are never moved across environments
+//    (their runtime resolution may consult the environment), so they stay
+//    where the original plan evaluated them.
+//
+// Evaluation *order* of conjuncts is not preserved — which strict-mode
+// type error surfaces first from a multi-conjunct ON/WHERE is
+// unspecified, as is how often side-local conjuncts run.
+
+fn extract_joins_op(op: CoreOp) -> CoreOp {
+    match op {
+        CoreOp::Filter { input, pred } => {
+            let input = extract_joins_op(*input);
+            let pred = extract_joins_expr(pred);
+            match input {
+                CoreOp::From { item } => {
+                    let mut conjuncts = Vec::new();
+                    split_conjuncts(pred, &mut conjuncts);
+                    let (item, leftover) = extract_from(item, conjuncts);
+                    let from = CoreOp::From { item };
+                    match and_all(leftover) {
+                        None => from,
+                        Some(pred) => CoreOp::Filter {
+                            input: Box::new(from),
+                            pred,
+                        },
+                    }
+                }
+                other => CoreOp::Filter {
+                    input: Box::new(other),
+                    pred,
+                },
+            }
+        }
+        CoreOp::From { item } => {
+            let (item, leftover) = extract_from(item, Vec::new());
+            debug_assert!(leftover.is_empty());
+            CoreOp::From { item }
+        }
+        CoreOp::Single => CoreOp::Single,
+        CoreOp::Project {
+            input,
+            expr,
+            distinct,
+        } => CoreOp::Project {
+            input: Box::new(extract_joins_op(*input)),
+            expr: extract_joins_expr(expr),
+            distinct,
+        },
+        CoreOp::Group {
+            input,
+            keys,
+            group_var,
+            captured,
+            emit_empty_group,
+        } => CoreOp::Group {
+            input: Box::new(extract_joins_op(*input)),
+            keys: keys
+                .into_iter()
+                .map(|(a, e)| (a, extract_joins_expr(e)))
+                .collect(),
+            group_var,
+            captured,
+            emit_empty_group,
+        },
+        CoreOp::Append { inputs } => CoreOp::Append {
+            inputs: inputs.into_iter().map(extract_joins_op).collect(),
+        },
+        CoreOp::Sort { input, keys } => CoreOp::Sort {
+            input: Box::new(extract_joins_op(*input)),
+            keys: keys.into_iter().map(extract_joins_sort_key).collect(),
+        },
+        CoreOp::SortValues { input, keys } => CoreOp::SortValues {
+            input: Box::new(extract_joins_op(*input)),
+            keys: keys.into_iter().map(extract_joins_sort_key).collect(),
+        },
+        CoreOp::LimitOffset {
+            input,
+            limit,
+            offset,
+        } => CoreOp::LimitOffset {
+            input: Box::new(extract_joins_op(*input)),
+            limit: limit.map(extract_joins_expr),
+            offset: offset.map(extract_joins_expr),
+        },
+        CoreOp::Pivot { input, value, name } => CoreOp::Pivot {
+            input: Box::new(extract_joins_op(*input)),
+            value: extract_joins_expr(value),
+            name: extract_joins_expr(name),
+        },
+        CoreOp::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => CoreOp::SetOp {
+            op,
+            all,
+            left: Box::new(extract_joins_op(*left)),
+            right: Box::new(extract_joins_op(*right)),
+        },
+        CoreOp::Window { input, defs } => CoreOp::Window {
+            input: Box::new(extract_joins_op(*input)),
+            defs: defs
+                .into_iter()
+                .map(|mut d| {
+                    d.args = d.args.into_iter().map(extract_joins_expr).collect();
+                    d.partition = d.partition.into_iter().map(extract_joins_expr).collect();
+                    d.order = d.order.into_iter().map(extract_joins_sort_key).collect();
+                    d
+                })
+                .collect(),
+        },
+        CoreOp::With { bindings, body } => CoreOp::With {
+            bindings,
+            body: Box::new(extract_joins_op(*body)),
+        },
+    }
+}
+
+fn extract_joins_sort_key(mut k: crate::core::CoreSortKey) -> crate::core::CoreSortKey {
+    k.expr = extract_joins_expr(k.expr);
+    k
+}
+
+/// Recurses the join-extraction pass into nested plans (subqueries,
+/// EXISTS) so equi-joins inside them are hashed too; all other expression
+/// forms are mapped structurally.
+fn extract_joins_expr(e: CoreExpr) -> CoreExpr {
+    match e {
+        CoreExpr::Subquery { plan, coercion } => CoreExpr::Subquery {
+            plan: Box::new(CoreQuery {
+                op: extract_joins_op(plan.op),
+            }),
+            coercion,
+        },
+        CoreExpr::Exists(q) => CoreExpr::Exists(Box::new(CoreQuery {
+            op: extract_joins_op(q.op),
+        })),
+        CoreExpr::Path(base, attr) => CoreExpr::Path(Box::new(extract_joins_expr(*base)), attr),
+        CoreExpr::Index(base, idx) => CoreExpr::Index(
+            Box::new(extract_joins_expr(*base)),
+            Box::new(extract_joins_expr(*idx)),
+        ),
+        CoreExpr::Bin(op, l, r) => CoreExpr::Bin(
+            op,
+            Box::new(extract_joins_expr(*l)),
+            Box::new(extract_joins_expr(*r)),
+        ),
+        CoreExpr::Un(op, inner) => CoreExpr::Un(op, Box::new(extract_joins_expr(*inner))),
+        CoreExpr::Like {
+            expr,
+            pattern,
+            escape,
+            negated,
+        } => CoreExpr::Like {
+            expr: Box::new(extract_joins_expr(*expr)),
+            pattern: Box::new(extract_joins_expr(*pattern)),
+            escape: escape.map(|e| Box::new(extract_joins_expr(*e))),
+            negated,
+        },
+        CoreExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => CoreExpr::Between {
+            expr: Box::new(extract_joins_expr(*expr)),
+            low: Box::new(extract_joins_expr(*low)),
+            high: Box::new(extract_joins_expr(*high)),
+            negated,
+        },
+        CoreExpr::In {
+            expr,
+            collection,
+            negated,
+        } => CoreExpr::In {
+            expr: Box::new(extract_joins_expr(*expr)),
+            collection: Box::new(extract_joins_expr(*collection)),
+            negated,
+        },
+        CoreExpr::Is {
+            expr,
+            test,
+            negated,
+        } => CoreExpr::Is {
+            expr: Box::new(extract_joins_expr(*expr)),
+            test,
+            negated,
+        },
+        CoreExpr::Case { arms, else_expr } => CoreExpr::Case {
+            arms: arms
+                .into_iter()
+                .map(|(w, t)| (extract_joins_expr(w), extract_joins_expr(t)))
+                .collect(),
+            else_expr: Box::new(extract_joins_expr(*else_expr)),
+        },
+        CoreExpr::Call { name, args } => CoreExpr::Call {
+            name,
+            args: args.into_iter().map(extract_joins_expr).collect(),
+        },
+        CoreExpr::CollAgg {
+            func,
+            distinct,
+            input,
+        } => CoreExpr::CollAgg {
+            func,
+            distinct,
+            input: Box::new(extract_joins_expr(*input)),
+        },
+        CoreExpr::TupleCtor(pairs) => CoreExpr::TupleCtor(
+            pairs
+                .into_iter()
+                .map(|(n, v)| (extract_joins_expr(n), extract_joins_expr(v)))
+                .collect(),
+        ),
+        CoreExpr::ArrayCtor(items) => {
+            CoreExpr::ArrayCtor(items.into_iter().map(extract_joins_expr).collect())
+        }
+        CoreExpr::BagCtor(items) => {
+            CoreExpr::BagCtor(items.into_iter().map(extract_joins_expr).collect())
+        }
+        CoreExpr::Cast { expr, ty } => CoreExpr::Cast {
+            expr: Box::new(extract_joins_expr(*expr)),
+            ty,
+        },
+        leaf @ (CoreExpr::Const(_)
+        | CoreExpr::Var(_)
+        | CoreExpr::Param(_)
+        | CoreExpr::Global(_)
+        | CoreExpr::Dynamic(_)) => leaf,
+    }
+}
+
+/// Rewrites a FROM tree given filter conjuncts available for pushdown;
+/// returns the rewritten tree and the conjuncts it could not consume.
+/// Invariant: every conjunct handed to this function references only
+/// variables bound by `item` or by enclosing (outer) scopes — never by
+/// FROM items to `item`'s right.
+fn extract_from(item: CoreFrom, conjuncts: Vec<CoreExpr>) -> (CoreFrom, Vec<CoreExpr>) {
+    match item {
+        CoreFrom::Correlate { left, right } => {
+            let left_set = introduced_set(&left);
+            let right_list = introduced_vars(&right);
+            let right_set: HashSet<String> = right_list.iter().cloned().collect();
+
+            // Classify each conjunct by which sides it references. A
+            // conjunct whose references cannot be determined statically
+            // (Global/Dynamic) is never moved.
+            let mut left_conj = Vec::new();
+            let mut right_conj = Vec::new();
+            let mut keys = Vec::new();
+            let mut residual = Vec::new();
+            let mut leftover = Vec::new();
+            let rewritable = uncorrelated(&right, &left_set);
+            for c in conjuncts {
+                let mut refs = HashSet::new();
+                if !expr_refs(&c, &mut refs) {
+                    leftover.push(c);
+                    continue;
+                }
+                match side_of(&refs, &left_set, &right_set) {
+                    Side::Left => left_conj.push(c),
+                    Side::Right if rewritable => right_conj.push(c),
+                    Side::Right => leftover.push(c),
+                    Side::Neither => leftover.push(c),
+                    Side::Both if rewritable => match as_equi_key(c, &left_set, &right_set) {
+                        Ok(pair) => keys.push(pair),
+                        Err(c) => residual.push(c),
+                    },
+                    Side::Both => leftover.push(c),
+                }
+            }
+
+            let (left, mut back) = extract_from(*left, left_conj);
+            let (right, _) = extract_from(*right, Vec::new());
+            if keys.is_empty() {
+                // No hash key: keep the correlate; left-only conjuncts the
+                // left subtree could not consume bubble back up.
+                leftover.append(&mut back);
+                leftover.extend(right_conj);
+                leftover.extend(residual);
+                (
+                    CoreFrom::Correlate {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    leftover,
+                )
+            } else {
+                (
+                    CoreFrom::HashJoin {
+                        kind: CoreJoinKind::Inner,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        keys,
+                        left_pred: and_all(back),
+                        right_pred: and_all(right_conj),
+                        residual: and_all(residual),
+                        right_vars: right_list,
+                    },
+                    leftover,
+                )
+            }
+        }
+        CoreFrom::Join {
+            kind,
+            left,
+            right,
+            on,
+            right_vars,
+        } => {
+            let on = extract_joins_expr(on);
+            let (left, _) = extract_from(*left, Vec::new());
+            let (right, _) = extract_from(*right, Vec::new());
+            let left_set = introduced_set(&left);
+            let right_set: HashSet<String> = right_vars.iter().cloned().collect();
+            if !uncorrelated(&right, &left_set) {
+                return (
+                    CoreFrom::Join {
+                        kind,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        on,
+                        right_vars,
+                    },
+                    conjuncts,
+                );
+            }
+            let mut on_conj = Vec::new();
+            split_conjuncts(on.clone(), &mut on_conj);
+            let mut left_conj = Vec::new();
+            let mut right_conj = Vec::new();
+            let mut keys = Vec::new();
+            let mut residual = Vec::new();
+            for c in on_conj {
+                let mut refs = HashSet::new();
+                if !expr_refs(&c, &mut refs) {
+                    // Environment-sensitive reference: evaluate per
+                    // matched pair, like the original ON did.
+                    residual.push(c);
+                    continue;
+                }
+                match side_of(&refs, &left_set, &right_set) {
+                    // ON conjuncts over only-left or only-outer variables
+                    // gate matching per left row in both join kinds.
+                    Side::Left | Side::Neither => left_conj.push(c),
+                    Side::Right => right_conj.push(c),
+                    Side::Both => match as_equi_key(c, &left_set, &right_set) {
+                        Ok(pair) => keys.push(pair),
+                        Err(c) => residual.push(c),
+                    },
+                }
+            }
+            if keys.is_empty() {
+                (
+                    CoreFrom::Join {
+                        kind,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        on,
+                        right_vars,
+                    },
+                    conjuncts,
+                )
+            } else {
+                (
+                    CoreFrom::HashJoin {
+                        kind,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        keys,
+                        left_pred: and_all(left_conj),
+                        right_pred: and_all(right_conj),
+                        residual: and_all(residual),
+                        right_vars,
+                    },
+                    conjuncts,
+                )
+            }
+        }
+        // Leaves consume nothing; their source expressions may hold
+        // nested plans worth extracting in.
+        CoreFrom::Scan {
+            expr,
+            as_var,
+            at_var,
+        } => (
+            CoreFrom::Scan {
+                expr: extract_joins_expr(expr),
+                as_var,
+                at_var,
+            },
+            conjuncts,
+        ),
+        CoreFrom::Unpivot {
+            expr,
+            value_var,
+            name_var,
+        } => (
+            CoreFrom::Unpivot {
+                expr: extract_joins_expr(expr),
+                value_var,
+                name_var,
+            },
+            conjuncts,
+        ),
+        CoreFrom::Let { expr, var } => (
+            CoreFrom::Let {
+                expr: extract_joins_expr(expr),
+                var,
+            },
+            conjuncts,
+        ),
+        // Already annotated: nothing further to extract.
+        other @ CoreFrom::HashJoin { .. } => (other, conjuncts),
+    }
+}
+
+enum Side {
+    Left,
+    Right,
+    Both,
+    Neither,
+}
+
+fn side_of(refs: &HashSet<String>, left: &HashSet<String>, right: &HashSet<String>) -> Side {
+    match (!refs.is_disjoint(left), !refs.is_disjoint(right)) {
+        (true, true) => Side::Both,
+        (true, false) => Side::Left,
+        (false, true) => Side::Right,
+        (false, false) => Side::Neither,
+    }
+}
+
+/// `l = r` where one side references only left variables and the other
+/// only right variables (each actually touching its side). Returns the
+/// `(left key, right key)` pair or gives the conjunct back.
+fn as_equi_key(
+    c: CoreExpr,
+    left: &HashSet<String>,
+    right: &HashSet<String>,
+) -> Result<(CoreExpr, CoreExpr), CoreExpr> {
+    let CoreExpr::Bin(BinOp::Eq, a, b) = c else {
+        return Err(c);
+    };
+    let mut ra = HashSet::new();
+    let mut rb = HashSet::new();
+    if !expr_refs(&a, &mut ra) || !expr_refs(&b, &mut rb) {
+        return Err(CoreExpr::Bin(BinOp::Eq, a, b));
+    }
+    let (al, ar) = (!ra.is_disjoint(left), !ra.is_disjoint(right));
+    let (bl, br) = (!rb.is_disjoint(left), !rb.is_disjoint(right));
+    if al && !ar && br && !bl {
+        Ok((*a, *b))
+    } else if bl && !br && ar && !al {
+        Ok((*b, *a))
+    } else {
+        Err(CoreExpr::Bin(BinOp::Eq, a, b))
+    }
+}
+
+fn split_conjuncts(e: CoreExpr, out: &mut Vec<CoreExpr>) {
+    match e {
+        CoreExpr::Bin(BinOp::And, l, r) => {
+            split_conjuncts(*l, out);
+            split_conjuncts(*r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Left-fold back into an AND chain (preserving conjunct order).
+fn and_all(conjuncts: Vec<CoreExpr>) -> Option<CoreExpr> {
+    let mut it = conjuncts.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, c| {
+        CoreExpr::Bin(BinOp::And, Box::new(acc), Box::new(c))
+    }))
+}
+
+/// Variables introduced by a FROM item, in binding order.
+fn introduced_vars(item: &CoreFrom) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_introduced(item, &mut out);
+    out
+}
+
+fn introduced_set(item: &CoreFrom) -> HashSet<String> {
+    introduced_vars(item).into_iter().collect()
+}
+
+fn collect_introduced(item: &CoreFrom, out: &mut Vec<String>) {
+    match item {
+        CoreFrom::Scan { as_var, at_var, .. } => {
+            out.push(as_var.clone());
+            if let Some(at) = at_var {
+                out.push(at.clone());
+            }
+        }
+        CoreFrom::Unpivot {
+            value_var,
+            name_var,
+            ..
+        } => {
+            out.push(value_var.clone());
+            out.push(name_var.clone());
+        }
+        CoreFrom::Let { var, .. } => out.push(var.clone()),
+        CoreFrom::Correlate { left, right }
+        | CoreFrom::Join { left, right, .. }
+        | CoreFrom::HashJoin { left, right, .. } => {
+            collect_introduced(left, out);
+            collect_introduced(right, out);
+        }
+    }
+}
+
+/// True when no expression anywhere in `item` references a variable from
+/// `outer` — and every reference is statically knowable (no
+/// `Global`/`Dynamic`, whose runtime resolution may consult the
+/// environment *except* for FROM-source expressions, where a `Global`
+/// table reference is the normal case and resolves against the catalog).
+fn uncorrelated(item: &CoreFrom, outer: &HashSet<String>) -> bool {
+    let mut refs = HashSet::new();
+    from_refs(item, &mut refs) && refs.is_disjoint(outer)
+}
+
+fn from_refs(item: &CoreFrom, out: &mut HashSet<String>) -> bool {
+    match item {
+        CoreFrom::Scan { expr, .. }
+        | CoreFrom::Unpivot { expr, .. }
+        | CoreFrom::Let { expr, .. } => source_expr_refs(expr, out),
+        CoreFrom::Correlate { left, right } => from_refs(left, out) && from_refs(right, out),
+        CoreFrom::Join {
+            left, right, on, ..
+        } => from_refs(left, out) && from_refs(right, out) && expr_refs(on, out),
+        CoreFrom::HashJoin {
+            left,
+            right,
+            keys,
+            left_pred,
+            right_pred,
+            residual,
+            ..
+        } => {
+            from_refs(left, out)
+                && from_refs(right, out)
+                && keys
+                    .iter()
+                    .all(|(l, r)| expr_refs(l, out) && expr_refs(r, out))
+                && [left_pred, right_pred, residual]
+                    .into_iter()
+                    .flatten()
+                    .all(|e| expr_refs(e, out))
+        }
+    }
+}
+
+/// Like [`expr_refs`], but tolerates a bare `Global` *head*: FROM sources
+/// are catalog names in the common case. Navigation below the head is
+/// still walked.
+fn source_expr_refs(e: &CoreExpr, out: &mut HashSet<String>) -> bool {
+    match e {
+        CoreExpr::Global(_) => true,
+        CoreExpr::Path(base, _) => source_expr_refs(base, out),
+        CoreExpr::Index(base, idx) => source_expr_refs(base, out) && expr_refs(idx, out),
+        other => expr_refs(other, out),
+    }
+}
+
+/// Collects every `Var` name referenced by `e` into `out`, recursing into
+/// subquery plans (an over-approximation: names bound *inside* a subquery
+/// are included too, which only makes classification more conservative).
+/// Returns `false` when the expression contains a reference whose target
+/// depends on the runtime environment (`Global`/`Dynamic`) — such
+/// expressions must not be moved to a different evaluation environment.
+fn expr_refs(e: &CoreExpr, out: &mut HashSet<String>) -> bool {
+    match e {
+        CoreExpr::Const(_) | CoreExpr::Param(_) => true,
+        CoreExpr::Var(v) => {
+            out.insert(v.clone());
+            true
+        }
+        CoreExpr::Global(_) | CoreExpr::Dynamic(_) => false,
+        CoreExpr::Path(base, _) => expr_refs(base, out),
+        CoreExpr::Index(base, idx) => expr_refs(base, out) && expr_refs(idx, out),
+        CoreExpr::Bin(_, l, r) => expr_refs(l, out) && expr_refs(r, out),
+        CoreExpr::Un(_, inner) => expr_refs(inner, out),
+        CoreExpr::Like {
+            expr,
+            pattern,
+            escape,
+            ..
+        } => {
+            expr_refs(expr, out)
+                && expr_refs(pattern, out)
+                && escape.as_deref().is_none_or(|e| expr_refs(e, out))
+        }
+        CoreExpr::Between {
+            expr, low, high, ..
+        } => expr_refs(expr, out) && expr_refs(low, out) && expr_refs(high, out),
+        CoreExpr::In {
+            expr, collection, ..
+        } => expr_refs(expr, out) && expr_refs(collection, out),
+        CoreExpr::Is { expr, .. } => expr_refs(expr, out),
+        CoreExpr::Case { arms, else_expr } => {
+            arms.iter()
+                .all(|(w, t)| expr_refs(w, out) && expr_refs(t, out))
+                && expr_refs(else_expr, out)
+        }
+        CoreExpr::Call { args, .. } => args.iter().all(|a| expr_refs(a, out)),
+        CoreExpr::CollAgg { input, .. } => expr_refs(input, out),
+        CoreExpr::Subquery { plan, .. } => op_refs(&plan.op, out),
+        CoreExpr::Exists(q) => op_refs(&q.op, out),
+        CoreExpr::TupleCtor(pairs) => pairs
+            .iter()
+            .all(|(n, v)| expr_refs(n, out) && expr_refs(v, out)),
+        CoreExpr::ArrayCtor(items) | CoreExpr::BagCtor(items) => {
+            items.iter().all(|i| expr_refs(i, out))
+        }
+        CoreExpr::Cast { expr, .. } => expr_refs(expr, out),
+    }
+}
+
+fn op_refs(op: &CoreOp, out: &mut HashSet<String>) -> bool {
+    match op {
+        CoreOp::Single => true,
+        CoreOp::From { item } => from_refs(item, out),
+        CoreOp::Filter { input, pred } => op_refs(input, out) && expr_refs(pred, out),
+        CoreOp::Group { input, keys, .. } => {
+            op_refs(input, out) && keys.iter().all(|(_, e)| expr_refs(e, out))
+        }
+        CoreOp::Append { inputs } => inputs.iter().all(|i| op_refs(i, out)),
+        CoreOp::Sort { input, keys } | CoreOp::SortValues { input, keys } => {
+            op_refs(input, out) && keys.iter().all(|k| expr_refs(&k.expr, out))
+        }
+        CoreOp::LimitOffset {
+            input,
+            limit,
+            offset,
+        } => {
+            op_refs(input, out)
+                && limit.as_ref().is_none_or(|e| expr_refs(e, out))
+                && offset.as_ref().is_none_or(|e| expr_refs(e, out))
+        }
+        CoreOp::Project { input, expr, .. } => op_refs(input, out) && expr_refs(expr, out),
+        CoreOp::Pivot { input, value, name } => {
+            op_refs(input, out) && expr_refs(value, out) && expr_refs(name, out)
+        }
+        CoreOp::SetOp { left, right, .. } => op_refs(left, out) && op_refs(right, out),
+        CoreOp::Window { input, defs } => {
+            op_refs(input, out)
+                && defs.iter().all(|d| {
+                    d.args.iter().all(|a| expr_refs(a, out))
+                        && d.partition.iter().all(|p| expr_refs(p, out))
+                        && d.order.iter().all(|k| expr_refs(&k.expr, out))
+                })
+        }
+        CoreOp::With { bindings, body } => {
+            bindings.iter().all(|(_, q)| op_refs(&q.op, out)) && op_refs(body, out)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +938,99 @@ mod tests {
             i64::MAX
         ));
         assert!(text.contains("+"), "{text}");
+    }
+
+    #[test]
+    fn explicit_equi_join_becomes_hash_join() {
+        let text = opt("SELECT VALUE [x.a, y.b] FROM l AS x JOIN r AS y ON x.k = y.k");
+        assert!(text.contains("inner hash join on x.k = y.k"), "{text}");
+        assert!(!text.contains("nested-loop"), "{text}");
+    }
+
+    #[test]
+    fn comma_join_with_where_becomes_hash_join() {
+        let text = opt("SELECT VALUE [x.a, y.b] FROM l AS x, r AS y \
+             WHERE x.k = y.k AND x.a > 0 AND y.b > 1");
+        assert!(text.contains("inner hash join on x.k = y.k"), "{text}");
+        // Side-local conjuncts are pushed to their sides...
+        assert!(text.contains("probe-filter (x.a > 0)"), "{text}");
+        assert!(text.contains("build-filter (y.b > 1)"), "{text}");
+        // ...and the filter operator disappears entirely.
+        assert!(no_filter_op(&text), "{text}");
+    }
+
+    fn no_filter_op(text: &str) -> bool {
+        !text.lines().any(|l| l.trim_start().starts_with("filter "))
+    }
+
+    #[test]
+    fn non_equi_conjunct_becomes_residual() {
+        let text = opt("SELECT VALUE x FROM l AS x JOIN r AS y ON x.k = y.k AND x.a < y.b");
+        assert!(text.contains("hash join on x.k = y.k"), "{text}");
+        assert!(text.contains("residual (x.a < y.b)"), "{text}");
+    }
+
+    #[test]
+    fn left_join_keeps_its_kind() {
+        let text = opt("SELECT VALUE [x, y] FROM l AS x LEFT JOIN r AS y ON x.k = y.k");
+        assert!(text.contains("left hash join on x.k = y.k"), "{text}");
+    }
+
+    #[test]
+    fn correlated_right_side_is_not_hashed() {
+        // The right source references the left variable: a hash build in
+        // the outer environment would be wrong.
+        let text = opt("SELECT VALUE y FROM l AS x JOIN x.items AS y ON x.k = y.k");
+        assert!(!text.contains("hash join"), "{text}");
+        assert!(text.contains("nested-loop join"), "{text}");
+    }
+
+    #[test]
+    fn unnest_where_stays_correlated() {
+        let text = opt("SELECT VALUE y FROM l AS x, x.items AS y WHERE x.k = y.k");
+        assert!(!text.contains("hash join"), "{text}");
+        assert!(text.contains("correlate"), "{text}");
+        assert!(text.contains("filter"), "{text}");
+    }
+
+    #[test]
+    fn no_equi_key_keeps_nested_loop() {
+        let text = opt("SELECT VALUE x FROM l AS x JOIN r AS y ON x.k < y.k");
+        assert!(!text.contains("hash join"), "{text}");
+        assert!(text.contains("nested-loop join on (x.k < y.k)"), "{text}");
+    }
+
+    #[test]
+    fn three_way_chain_builds_two_hash_joins() {
+        let text = opt("SELECT VALUE [a, b, c] FROM ta AS a, tb AS b, tc AS c \
+             WHERE a.k = b.k AND b.j = c.j");
+        assert!(text.contains("hash join on b.j = c.j"), "{text}");
+        assert!(text.contains("hash join on a.k = b.k"), "{text}");
+        assert!(no_filter_op(&text), "{text}");
+    }
+
+    #[test]
+    fn unresolved_name_conjuncts_stay_in_the_filter() {
+        // `kk` does not resolve to any FROM variable: its runtime
+        // resolution (dynamic disambiguation) may consult the whole
+        // environment, so the conjunct must not move.
+        let text = opt("SELECT VALUE [x, y] FROM l AS x, r AS y WHERE kk = y.k");
+        assert!(!text.contains("hash join"), "{text}");
+        assert!(text.contains("filter"), "{text}");
+    }
+
+    #[test]
+    fn outer_scope_equality_does_not_correlate_the_hash_join() {
+        // The subquery's join is between its own two tables; o is outer.
+        let text = opt("SELECT VALUE (SELECT VALUE [x, y] FROM l AS x, r AS y \
+             WHERE x.k = y.k AND x.o = o.k) FROM t AS o");
+        assert!(text.contains("hash join on x.k = y.k"), "{text}");
+        assert!(text.contains("(x.o = o.k)"), "{text}");
+    }
+
+    #[test]
+    fn swapped_key_sides_normalize() {
+        let text = opt("SELECT VALUE x FROM l AS x JOIN r AS y ON y.k = x.k");
+        assert!(text.contains("hash join on x.k = y.k"), "{text}");
     }
 }

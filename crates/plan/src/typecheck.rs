@@ -222,6 +222,26 @@ impl Checker<'_> {
                 self.expr(on, &env);
                 env
             }
+            CoreFrom::HashJoin {
+                left,
+                right,
+                keys,
+                left_pred,
+                right_pred,
+                residual,
+                ..
+            } => {
+                let env = self.from_item(left, env);
+                let env = self.from_item(right, &env);
+                for (l, r) in keys {
+                    self.expr(l, &env);
+                    self.expr(r, &env);
+                }
+                for pred in [left_pred, right_pred, residual].into_iter().flatten() {
+                    self.expr(pred, &env);
+                }
+                env
+            }
         }
     }
 

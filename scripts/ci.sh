@@ -22,6 +22,18 @@ test -s "$report" || { echo "missing bench report $report" >&2; exit 1; }
 grep -q '"median_ns"' "$report" || { echo "malformed bench report" >&2; exit 1; }
 echo "bench report OK: $report"
 
+echo "== join_scale smoke + hash-join plan gate =="
+# The suite itself asserts that an uncorrelated equi-join plans a
+# `hash join` (and that a correlated one does not), that its probe count
+# stays linear, and that the right side is never rescanned — so running
+# it IS the regression gate. The grep below additionally checks the new
+# join counters flow into the JSON report.
+SQLPP_BENCH_DIR="$out_dir" cargo run --release -q -p sqlpp-bench --bin bench_join_scale -- --quick --name join_smoke
+join_report="$out_dir/BENCH_join_smoke.json"
+test -s "$join_report" || { echo "missing join bench report $join_report" >&2; exit 1; }
+grep -q '"join_probes"' "$join_report" || { echo "join counters missing from $join_report" >&2; exit 1; }
+echo "join_scale OK: $join_report"
+
 echo "== compat-kit regression gate =="
 # The corpus pass count is checked in here; a drop means an engine
 # regression, a rise means this number needs bumping alongside the fix.

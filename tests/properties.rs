@@ -1,10 +1,11 @@
 //! Cross-crate algebraic properties: comparison laws, serialization round
 //! trips, and parser/printer inverses on generated inputs.
 
-use sqlpp::Engine;
+use sqlpp::{Engine, SessionConfig, TypingMode};
 use sqlpp_syntax::{parse_expr, parse_query, print_expr, print_query};
-use sqlpp_testkit::prop::gen::vec_of;
-use sqlpp_testkit::prop::values::{any_value, small_scalar};
+use sqlpp_testkit::prop::gen::{i64_range, just, one_of, vec_of};
+use sqlpp_testkit::prop::values::{any_value, rows_of, small_scalar};
+use sqlpp_testkit::prop::Gen;
 use sqlpp_testkit::{prop_assert, prop_assert_eq, prop_assert_ne, sqlpp_prop};
 use sqlpp_value::cmp::{deep_eq, total_cmp};
 use sqlpp_value::{canonicalize, Tuple, Value};
@@ -99,6 +100,73 @@ sqlpp_prop! {
             );
         }
     }
+
+    // The optimizer's hash equi-join must agree with the nested-loop
+    // plan (optimizer off) on every join shape, in both typing modes —
+    // including NULL and MISSING keys (which never hash-match, exactly
+    // as `=` never yields TRUE on them) and residual conjuncts checked
+    // after the key probe.
+    fn hash_join_agrees_with_nested_loop_oracle(
+        left in join_rows(), right in join_rows(),
+    ) {
+        const QUERIES: &[&str] = &[
+            // INNER with a residual conjunct on both sides of the key.
+            "SELECT VALUE [x.v, y.v] FROM l AS x JOIN r AS y \
+             ON x.k = y.k AND x.v <= y.v",
+            // LEFT with a build-side filter and a mixed residual; NULL
+            // padding must survive the hash path.
+            "SELECT VALUE [x.v, y.v] FROM l AS x LEFT JOIN r AS y \
+             ON x.k = y.k AND y.v >= 0 AND x.v + y.v < 12",
+            // Comma join + WHERE: the Filter-over-Correlate extraction.
+            "SELECT VALUE [x.v, y.v] FROM l AS x, r AS y \
+             WHERE x.k = y.k AND x.v <= y.v AND y.v >= -1",
+        ];
+        for typing in [TypingMode::Permissive, TypingMode::StrictError] {
+            for q in QUERIES {
+                let opt = join_prop_engine(&left, &right, typing, true);
+                let raw = join_prop_engine(&left, &right, typing, false);
+                match (opt.query(q), raw.query(q)) {
+                    (Ok(a), Ok(b)) => prop_assert!(
+                        a.matches(b.value()),
+                        "join strategies diverged ({typing:?}) on {q}\n\
+                         left {left}\nright {right}\nhash {}\nnested {}",
+                        a.value(), b.value()
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => prop_assert!(
+                        false,
+                        "error behavior diverged ({typing:?}) on {q}\n\
+                         left {left}\nright {right}\nhash {:?}\nnested {:?}",
+                        a.map(|r| r.value().clone()), b.map(|r| r.value().clone())
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Rows `{k, v}` whose keys collide often and include NULL and MISSING.
+fn join_rows() -> Gen<Value> {
+    let key = one_of(vec![
+        i64_range(0..4).map(Value::Int),
+        just(Value::Null),
+        just(Value::Missing),
+    ]);
+    let val = i64_range(-3..10).map(Value::Int);
+    rows_of(vec![("k", key), ("v", val)], 0..=10)
+}
+
+/// An engine with `l`/`r` registered and the given typing/optimizer
+/// configuration.
+fn join_prop_engine(left: &Value, right: &Value, typing: TypingMode, optimize: bool) -> Engine {
+    let engine = Engine::new();
+    engine.register("l", left.clone());
+    engine.register("r", right.clone());
+    engine.with_config(SessionConfig {
+        typing,
+        optimize,
+        ..SessionConfig::default()
+    })
 }
 
 /// First-occurrence DISTINCT by pairwise deep_eq — the O(n²) oracle.
