@@ -1,0 +1,214 @@
+//! **B12** — regression guard for the streaming executor: operators pull
+//! bindings one at a time, so `LIMIT k` stops the upstream scan after
+//! O(k) rows instead of materializing all N. The suite *asserts* the
+//! short-circuits via `rows_scanned` and the `peak_live_bindings` gauge;
+//! any of those failing means a pipeline stage went back to building a
+//! `Vec<Env>`.
+//!
+//! Workloads:
+//!
+//! * `limit_k` — `LIMIT k` over an N-row scan: `rows_scanned ≤ k + slack`
+//!   and `peak_live_bindings ≪ N` (nothing materializes).
+//! * `limit_offset` — `LIMIT k OFFSET j`: `rows_scanned ≤ j + k + slack`.
+//! * `limit_zero` — `LIMIT 0` never constructs its input:
+//!   `rows_scanned == 0`.
+//! * `filter_limit` — WHERE + LIMIT: the scan stops once k rows pass.
+//! * `hash_join_limit` — equi-join under LIMIT k: the build side still
+//!   materializes all N rows, but the probe side early-exits
+//!   (`join_probes = O(k)`, `rows_scanned = O(N + k)` not O(2N)).
+//! * `order_by_contrast` — ORDER BY is a true pipeline breaker: the same
+//!   scan under a sort shows `peak_live_bindings ≥ N`, proving the gauge
+//!   actually measures materialization.
+
+use sqlpp::Engine;
+use sqlpp_testkit::bench::Harness;
+use sqlpp_value::{Tuple, Value};
+
+use super::scaled;
+
+const K: usize = 10;
+const OFFSET: usize = 100;
+
+/// `n` tuples `{k: i, v: 7i, even: i % 2 == 0}` with unique keys.
+fn rows(n: usize) -> Value {
+    let rows = (0..n as i64)
+        .map(|i| {
+            let mut t = Tuple::with_capacity(3);
+            t.insert("k", Value::Int(i));
+            t.insert("v", Value::Int(7 * i));
+            t.insert("even", Value::Bool(i % 2 == 0));
+            Value::Tuple(t)
+        })
+        .collect();
+    Value::Bag(rows)
+}
+
+/// Pulls one named counter out of an instrumented run.
+fn counter(stats: &sqlpp::ExecStats, name: &str) -> u64 {
+    stats
+        .counters()
+        .iter()
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// Runs `query`, asserts the named scan/materialization gates, and
+/// returns `(rows_scanned, peak_live_bindings)` for the report.
+fn gated(engine: &Engine, query: &str, label: &str, max_scanned: u64, max_peak: u64) -> (u64, u64) {
+    let run = engine.query_with_stats(query).unwrap();
+    let stats = run.stats().expect("stats collection was on");
+    let scanned = counter(stats, "rows_scanned");
+    let peak = counter(stats, "peak_live_bindings");
+    assert!(
+        scanned <= max_scanned,
+        "{label}: rows_scanned regressed to O(N): {scanned} > {max_scanned}"
+    );
+    assert!(
+        peak <= max_peak,
+        "{label}: peak_live_bindings regressed: {peak} > {max_peak}"
+    );
+    (scanned, peak)
+}
+
+/// Runs the suite.
+pub fn run(h: &mut Harness) {
+    let n = scaled(h, 50_000).max(1_000);
+    let engine = Engine::new();
+    engine.register("s.big", rows(n));
+
+    let slack = 2; // streaming may look at one row past the quota
+
+    // LIMIT k over an N-row scan: O(k) rows pulled, nothing buffered.
+    let limit_k = format!("SELECT VALUE x.v FROM s.big AS x LIMIT {K}");
+    let (scanned, peak) = gated(
+        &engine,
+        &limit_k,
+        "limit_k",
+        (K + slack) as u64,
+        (K + slack) as u64,
+    );
+    assert!(
+        scanned as usize * 10 <= n,
+        "limit_k: rows_scanned {scanned} is not far below N = {n}"
+    );
+    let plan = engine.prepare(&limit_k).unwrap();
+    h.bench(format!("limit_stream/limit_k/{K}_of_{n}"), || {
+        plan.execute(&engine).unwrap()
+    });
+    h.attach_counters([
+        ("rows_scanned".to_string(), scanned),
+        ("peak_live_bindings".to_string(), peak),
+        ("n".to_string(), n as u64),
+    ]);
+
+    // OFFSET skips j rows but still stops at j + k.
+    let limit_offset = format!("SELECT VALUE x.v FROM s.big AS x LIMIT {K} OFFSET {OFFSET}");
+    let (scanned, peak) = gated(
+        &engine,
+        &limit_offset,
+        "limit_offset",
+        (OFFSET + K + slack) as u64,
+        (K + slack) as u64,
+    );
+    let plan = engine.prepare(&limit_offset).unwrap();
+    h.bench(
+        format!("limit_stream/limit_offset/{K}+{OFFSET}_of_{n}"),
+        || plan.execute(&engine).unwrap(),
+    );
+    h.attach_counters([
+        ("rows_scanned".to_string(), scanned),
+        ("peak_live_bindings".to_string(), peak),
+    ]);
+
+    // LIMIT 0 never constructs its input.
+    let limit_zero = "SELECT VALUE x.v FROM s.big AS x LIMIT 0";
+    let run = engine.query_with_stats(limit_zero).unwrap();
+    let stats = run.stats().expect("stats collection was on");
+    assert_eq!(
+        counter(stats, "rows_scanned"),
+        0,
+        "LIMIT 0 pulled rows from its input"
+    );
+
+    // WHERE + LIMIT: the scan stops once k rows pass the predicate
+    // (every other row here, so about 2k pulls).
+    let filter_limit = format!("SELECT VALUE x.v FROM s.big AS x WHERE x.even LIMIT {K}");
+    let (scanned, peak) = gated(
+        &engine,
+        &filter_limit,
+        "filter_limit",
+        (2 * K + slack) as u64,
+        (K + slack) as u64,
+    );
+    let plan = engine.prepare(&filter_limit).unwrap();
+    h.bench(format!("limit_stream/filter_limit/{K}_of_{n}"), || {
+        plan.execute(&engine).unwrap()
+    });
+    h.attach_counters([
+        ("rows_scanned".to_string(), scanned),
+        ("peak_live_bindings".to_string(), peak),
+    ]);
+
+    // Hash join under LIMIT: the build side must still materialize all m
+    // right rows (that's the pipeline breaker), but the probe side pulls
+    // only O(k) left rows — rows_scanned = O(m + k), probes = O(k).
+    let m = scaled(h, 10_000).max(500);
+    engine.register("s.l", rows(m));
+    engine.register("s.r", rows(m));
+    let join_limit =
+        format!("SELECT VALUE [x.v, y.v] FROM s.l AS x JOIN s.r AS y ON x.k = y.k LIMIT {K}");
+    let plan_text = engine.explain(&join_limit).unwrap();
+    assert!(
+        plan_text.contains("hash join"),
+        "equi-join under LIMIT no longer plans a hash join:\n{plan_text}"
+    );
+    let run = engine.query_with_stats(&join_limit).unwrap();
+    let stats = run.stats().expect("stats collection was on");
+    let scanned = counter(stats, "rows_scanned");
+    let probes = counter(stats, "join_probes");
+    let build_rows = counter(stats, "join_build_rows");
+    let peak = counter(stats, "peak_live_bindings");
+    assert_eq!(build_rows, m as u64, "hash build side must see every row");
+    assert!(
+        probes <= (K + slack) as u64,
+        "hash probe side did not early-exit under LIMIT: {probes} probes"
+    );
+    assert!(
+        scanned <= (m + K + slack) as u64,
+        "join under LIMIT scanned {scanned} rows, want ≤ m + k = {}",
+        m + K
+    );
+    let plan = engine.prepare(&join_limit).unwrap();
+    h.bench(
+        format!("limit_stream/hash_join_limit/{K}_of_{m}x{m}"),
+        || plan.execute(&engine).unwrap(),
+    );
+    h.attach_counters([
+        ("rows_scanned".to_string(), scanned),
+        ("join_probes".to_string(), probes),
+        ("join_build_rows".to_string(), build_rows),
+        ("peak_live_bindings".to_string(), peak),
+    ]);
+
+    // Contrast: ORDER BY breaks the pipeline, so the same scan under a
+    // sort buffers every row — the gauge must show it.
+    let order_by = format!("SELECT VALUE x.v FROM s.big AS x ORDER BY x.v DESC LIMIT {K}");
+    let run = engine.query_with_stats(&order_by).unwrap();
+    let stats = run.stats().expect("stats collection was on");
+    let scanned = counter(stats, "rows_scanned");
+    let peak = counter(stats, "peak_live_bindings");
+    assert_eq!(scanned, n as u64, "ORDER BY must consume its whole input");
+    assert!(
+        peak >= n as u64,
+        "ORDER BY materialized {n} rows but the gauge peaked at {peak}"
+    );
+    let plan = engine.prepare(&order_by).unwrap();
+    h.bench(format!("limit_stream/order_by_contrast/{K}_of_{n}"), || {
+        plan.execute(&engine).unwrap()
+    });
+    h.attach_counters([
+        ("rows_scanned".to_string(), scanned),
+        ("peak_live_bindings".to_string(), peak),
+    ]);
+}

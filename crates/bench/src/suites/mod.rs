@@ -1,4 +1,4 @@
-//! The eleven benchmark suites, one module per performance claim (see the
+//! The twelve benchmark suites, one module per performance claim (see the
 //! crate docs for the claim ↔ suite map). Each suite registers its
 //! measurements on a shared [`Harness`]; thin `[[bin]]` wrappers run one
 //! suite each, and `bench_all` runs every suite into one report.
@@ -16,6 +16,7 @@ pub mod e2e_paper_queries;
 pub mod format_parse;
 pub mod group_as_vs_subquery;
 pub mod join_scale;
+pub mod limit_stream;
 pub mod missing_propagation;
 pub mod optimizer_ablation;
 pub mod pivot_unpivot;
@@ -39,6 +40,7 @@ pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
         ("optimizer_ablation", optimizer_ablation::run),
         ("set_ops", set_ops::run),
         ("join_scale", join_scale::run),
+        ("limit_stream", limit_stream::run),
     ]
 }
 

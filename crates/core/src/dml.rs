@@ -9,7 +9,7 @@
 //! *not* affected), and collections with an attached schema re-validate on
 //! every mutation — the optional-schema tenet extended to writes.
 
-use sqlpp_eval::{Env, EvalConfig, Evaluator};
+use sqlpp_eval::{Env, EvalConfig, Evaluator, ExecStats};
 use sqlpp_plan::lower::lower_with_scope;
 use sqlpp_plan::{CoreExpr, CoreOp, PlanConfig, Scope};
 use sqlpp_schema::Validator;
@@ -38,14 +38,28 @@ fn open_collection(stmt: &str, name: &str, v: Value) -> Result<ElementsAndKind> 
 }
 
 impl Engine {
-    pub(crate) fn exec_insert(&self, ins: &Insert) -> Result<usize> {
+    pub(crate) fn exec_insert(
+        &self,
+        ins: &Insert,
+        collect: bool,
+    ) -> Result<(usize, Option<ExecStats>)> {
         let name = ins.target.join(".");
+        let mut stats: Option<ExecStats> = None;
         let new_elements: Vec<Value> = match &ins.source {
             InsertSource::Value(expr) => {
-                vec![self.eval_expr(&sqlpp_syntax::print_expr(expr))?]
+                let (v, st) = self.eval_expr_with(&sqlpp_syntax::print_expr(expr), collect)?;
+                stats = st;
+                vec![v]
             }
             InsertSource::Query(q) => {
-                let result = self.query(&sqlpp_syntax::print_query(q))?.into_value();
+                let src = sqlpp_syntax::print_query(q);
+                let result = if collect {
+                    let (_core, value, st) = self.run_with_stats(&src)?;
+                    stats = Some(st);
+                    value
+                } else {
+                    self.query(&src)?.into_value()
+                };
                 match result {
                     Value::Bag(items) | Value::Array(items) => items,
                     single => vec![single],
@@ -88,10 +102,14 @@ impl Engine {
             Err(_) => Value::Bag(new_elements),
         };
         self.catalog().set(name.as_str(), updated);
-        Ok(count)
+        Ok((count, stats))
     }
 
-    pub(crate) fn exec_delete(&self, del: &Delete) -> Result<usize> {
+    pub(crate) fn exec_delete(
+        &self,
+        del: &Delete,
+        collect: bool,
+    ) -> Result<(usize, Option<ExecStats>)> {
         let name = del.target.join(".");
         let alias = del
             .alias
@@ -100,20 +118,25 @@ impl Engine {
         let existing = self.catalog().get_str(&name)?;
         let (items, rebuild) = open_collection("DELETE", &name, (*existing).clone())?;
         let matcher = self.compile_row_predicate(&del.where_clause, &alias)?;
+        let evaluator = Evaluator::new(self.catalog(), self.dml_eval_config(collect));
         let mut kept = Vec::with_capacity(items.len());
         let mut deleted = 0usize;
         for item in items {
-            if self.row_matches(&matcher, &alias, &item)? {
+            if row_matches(&evaluator, &matcher, &alias, &item)? {
                 deleted += 1;
             } else {
                 kept.push(item);
             }
         }
         self.catalog().set(name.as_str(), rebuild(kept));
-        Ok(deleted)
+        Ok((deleted, evaluator.stats_snapshot()))
     }
 
-    pub(crate) fn exec_update(&self, up: &Update) -> Result<usize> {
+    pub(crate) fn exec_update(
+        &self,
+        up: &Update,
+        collect: bool,
+    ) -> Result<(usize, Option<ExecStats>)> {
         let name = up.target.join(".");
         let alias = up
             .alias
@@ -129,12 +152,12 @@ impl Engine {
             let attrs = assignment_path(path, &alias)?;
             compiled.push((attrs, self.compile_row_expr(value, &alias)?));
         }
-        let evaluator = Evaluator::new(self.catalog(), self.dml_eval_config());
+        let evaluator = Evaluator::new(self.catalog(), self.dml_eval_config(collect));
         let mut updated_items = Vec::with_capacity(items.len());
         let mut updated = 0usize;
         let schema = self.catalog().schema(&crate::Name::parse(&name));
         for item in items {
-            if !self.row_matches(&matcher, &alias, &item)? {
+            if !row_matches(&evaluator, &matcher, &alias, &item)? {
                 updated_items.push(item);
                 continue;
             }
@@ -160,15 +183,15 @@ impl Engine {
             updated_items.push(element);
         }
         self.catalog().set(name.as_str(), rebuild(updated_items));
-        Ok(updated)
+        Ok((updated, evaluator.stats_snapshot()))
     }
 
-    fn dml_eval_config(&self) -> EvalConfig {
+    fn dml_eval_config(&self, collect_stats: bool) -> EvalConfig {
         EvalConfig {
             typing: self.config().typing,
             compat: self.config().compat,
             pipeline_aggregates: self.config().pipeline_aggregates,
-            collect_stats: false,
+            collect_stats,
         }
     }
 
@@ -210,16 +233,21 @@ impl Engine {
             ))),
         }
     }
+}
 
-    /// Three-valued match: only a TRUE predicate affects the row.
-    fn row_matches(&self, matcher: &Option<CoreExpr>, alias: &str, item: &Value) -> Result<bool> {
-        let Some(pred) = matcher else {
-            return Ok(true);
-        };
-        let evaluator = Evaluator::new(self.catalog(), self.dml_eval_config());
-        let env = Env::new().bind(alias.to_string(), item.clone());
-        Ok(matches!(evaluator.expr(pred, &env)?, Value::Bool(true)))
-    }
+/// Three-valued match: only a TRUE predicate affects the row. Takes the
+/// statement's evaluator so its stats accumulate across all rows.
+fn row_matches(
+    evaluator: &Evaluator<'_>,
+    matcher: &Option<CoreExpr>,
+    alias: &str,
+    item: &Value,
+) -> Result<bool> {
+    let Some(pred) = matcher else {
+        return Ok(true);
+    };
+    let env = Env::new().bind(alias.to_string(), item.clone());
+    Ok(matches!(evaluator.expr(pred, &env)?, Value::Bool(true)))
 }
 
 /// Normalizes a SET path to the attribute chain below the element:

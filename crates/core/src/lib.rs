@@ -50,7 +50,7 @@ use sqlpp_catalog::QualifiedName;
 use sqlpp_eval::stats::fmt_ns;
 use sqlpp_eval::{EvalConfig, Evaluator};
 use sqlpp_formats::csv::CsvOptions;
-use sqlpp_plan::{lower_query, optimize, CoreQuery, PlanConfig};
+use sqlpp_plan::{lower_query, optimize, CoreOp, CoreQuery, PlanConfig};
 use sqlpp_schema::{SqlppType, Validator};
 use sqlpp_syntax::ast::Statement;
 use sqlpp_value::Value;
@@ -221,14 +221,58 @@ impl Engine {
                 Ok(ExecOutcome::Created { name, row_type: ty })
             }
             Statement::Insert(ins) => Ok(ExecOutcome::Inserted {
-                count: self.exec_insert(&ins)?,
+                count: self.exec_insert(&ins, false)?.0,
             }),
             Statement::Delete(del) => Ok(ExecOutcome::Deleted {
-                count: self.exec_delete(&del)?,
+                count: self.exec_delete(&del, false)?.0,
             }),
             Statement::Update(up) => Ok(ExecOutcome::Updated {
-                count: self.exec_update(&up)?,
+                count: self.exec_update(&up, false)?.0,
             }),
+        }
+    }
+
+    /// Like [`Engine::execute`], with statistics collection on: queries
+    /// and DML statements return their [`ExecStats`] (phase times plus
+    /// operator counters — for DML, the counters cover the statement's
+    /// embedded query/predicate evaluation). Statements with no
+    /// evaluation of their own (`CREATE TABLE`, `EXPLAIN`) return `None`.
+    pub fn execute_with_stats(&self, src: &str) -> Result<(ExecOutcome, Option<ExecStats>)> {
+        let parse_start = Instant::now();
+        let parsed = sqlpp_syntax::parse_statement(src)?;
+        let parse_ns = parse_start.elapsed().as_nanos() as u64;
+        let finish = |mut stats: Option<ExecStats>, eval_ns: u64| {
+            if let Some(st) = &mut stats {
+                st.parse_ns = parse_ns;
+                st.eval_ns = eval_ns;
+            }
+            stats
+        };
+        match parsed {
+            Statement::Query(q) => {
+                let (_core, value, stats) = self.run_ast_with_stats(&q, parse_ns)?;
+                Ok((ExecOutcome::Rows(QueryResult::new(value)), Some(stats)))
+            }
+            Statement::Insert(ins) => {
+                let t = Instant::now();
+                let (count, stats) = self.exec_insert(&ins, true)?;
+                let eval_ns = t.elapsed().as_nanos() as u64;
+                Ok((ExecOutcome::Inserted { count }, finish(stats, eval_ns)))
+            }
+            Statement::Delete(del) => {
+                let t = Instant::now();
+                let (count, stats) = self.exec_delete(&del, true)?;
+                let eval_ns = t.elapsed().as_nanos() as u64;
+                Ok((ExecOutcome::Deleted { count }, finish(stats, eval_ns)))
+            }
+            Statement::Update(up) => {
+                let t = Instant::now();
+                let (count, stats) = self.exec_update(&up, true)?;
+                let eval_ns = t.elapsed().as_nanos() as u64;
+                Ok((ExecOutcome::Updated { count }, finish(stats, eval_ns)))
+            }
+            // No evaluation of their own: run the plain path.
+            Statement::CreateTable(_) | Statement::Explain { .. } => Ok((self.execute(src)?, None)),
         }
     }
 
@@ -292,7 +336,7 @@ impl Engine {
         Ok(render_analysis(&core, &stats))
     }
 
-    fn run_with_stats(&self, src: &str) -> Result<(Box<CoreQuery>, Value, ExecStats)> {
+    fn run_with_stats(&self, src: &str) -> Result<(CoreQuery, Value, ExecStats)> {
         let t = Instant::now();
         let ast = sqlpp_syntax::parse_query(src)?;
         let parse_ns = t.elapsed().as_nanos() as u64;
@@ -303,13 +347,11 @@ impl Engine {
         &self,
         ast: &sqlpp_syntax::ast::Query,
         parse_ns: u64,
-    ) -> Result<(Box<CoreQuery>, Value, ExecStats)> {
+    ) -> Result<(CoreQuery, Value, ExecStats)> {
+        // Per-operator stats are keyed by the plan's pre-order index
+        // (assigned by `Evaluator::run`), so the plan can move freely
+        // between evaluation and annotation.
         let (core, lower_ns, optimize_ns) = self.lower_timed(ast)?;
-        // Boxed so the plan allocation — including the root operator,
-        // which lives inline in `CoreQuery` — stays at a fixed address
-        // from evaluation through annotation (stats are keyed by node
-        // address).
-        let core = Box::new(core);
         let evaluator = Evaluator::new(
             &self.catalog,
             EvalConfig {
@@ -348,6 +390,16 @@ impl Engine {
     /// "subqueries can appear anywhere", and so can bare constructors like
     /// Listing 16's `{{ {'avgsal': COLL_AVG(SELECT VALUE …)} }}`).
     pub fn eval_expr(&self, src: &str) -> Result<Value> {
+        Ok(self.eval_expr_with(src, false)?.0)
+    }
+
+    /// [`Engine::eval_expr`] with optional statistics collection (used by
+    /// DML under [`Engine::execute_with_stats`]).
+    pub(crate) fn eval_expr_with(
+        &self,
+        src: &str,
+        collect_stats: bool,
+    ) -> Result<(Value, Option<ExecStats>)> {
         use sqlpp_syntax::ast::{Query, QueryBlock, SelectClause, SetExpr, SetQuantifier};
         let expr = sqlpp_syntax::parse_expr(src)?;
         let block = QueryBlock::with_select(SelectClause::SelectValue {
@@ -369,13 +421,21 @@ impl Engine {
         if self.config.optimize {
             core = optimize(core);
         }
-        let evaluator = Evaluator::new(&self.catalog, self.eval_config());
+        let evaluator = Evaluator::new(
+            &self.catalog,
+            EvalConfig {
+                collect_stats,
+                ..self.eval_config()
+            },
+        );
         let bag = evaluator.run(&core)?;
+        let stats = evaluator.stats_snapshot();
         // A FROM-less SELECT VALUE produces a singleton bag; unwrap it.
-        match bag {
-            Value::Bag(mut items) if items.len() == 1 => Ok(items.pop().expect("len checked")),
-            other => Ok(other),
-        }
+        let value = match bag {
+            Value::Bag(mut items) if items.len() == 1 => items.pop().expect("len checked"),
+            other => other,
+        };
+        Ok((value, stats))
     }
 
     /// Runs either a query or, failing that, a bare expression — the REPL
@@ -399,17 +459,34 @@ impl Engine {
 }
 
 /// Renders an `EXPLAIN ANALYZE` report: the operator tree with per-node
-/// `[calls=… rows=… time=…]` annotations, then the phase/counter summary.
+/// `[streaming|materializing calls=… rows=… time=…]` annotations, then
+/// the phase/counter summary. Operators that buffered rows also show
+/// their high-water mark as `mat=…`.
 fn render_analysis(core: &CoreQuery, stats: &ExecStats) -> String {
+    // Stats are keyed by pre-order plan index; recover each rendered
+    // node's index by walking the same pre-order.
+    let index_of: std::collections::HashMap<*const CoreOp, u32> = core
+        .preorder_ops()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| (*op as *const CoreOp, i as u32))
+        .collect();
     let mut text = core.explain_with(&mut |op| {
-        stats.op(op).map(|s| {
-            format!(
-                " [calls={} rows={} time={}]",
-                s.calls,
-                s.rows_out,
-                fmt_ns(s.ns)
-            )
-        })
+        let key = index_of.get(&(op as *const CoreOp))?;
+        let s = stats.op_at(*key)?;
+        let mat = if s.peak_rows > 0 {
+            format!(" mat={}", s.peak_rows)
+        } else {
+            String::new()
+        };
+        Some(format!(
+            " [{} calls={} rows={}{} time={}]",
+            op.pipeline_class(),
+            s.calls,
+            s.rows_out,
+            mat,
+            fmt_ns(s.ns)
+        ))
     });
     text.push_str(&stats.render_summary());
     text

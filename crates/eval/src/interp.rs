@@ -7,7 +7,9 @@
 //! permissive/strict typing dichotomy (§IV) is threaded through every
 //! operation via [`TypingMode`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
 
 use sqlpp_catalog::Catalog;
 use sqlpp_plan::{
@@ -26,7 +28,11 @@ use crate::env::Env;
 use crate::error::{EvalError, TypingMode};
 use crate::functions;
 use crate::like::like_match;
-use crate::stats::{op_key, ExecStats, StatsCollector};
+use crate::stats::{ExecStats, StatsCollector};
+use crate::stream::{
+    empty, failed, from_vec, BindingStream, Instrumented, Limited, MatGauge, TrackedBuffer,
+    ValueStream,
+};
 
 /// Evaluator configuration.
 #[derive(Debug, Clone)]
@@ -87,6 +93,10 @@ impl<'a> Evaluator<'a> {
     /// Runs a query, producing its result value (a bag for SELECT
     /// queries, a tuple for top-level PIVOT).
     pub fn run(&self, q: &CoreQuery) -> Result<Value, EvalError> {
+        if let Some(st) = &self.stats {
+            // Per-operator stats are keyed by pre-order plan index.
+            st.register_plan(q);
+        }
         self.value_op(&q.op, &Env::new())
     }
 
@@ -133,7 +143,7 @@ impl<'a> Evaluator<'a> {
             Ok(_) => 1,
             Err(_) => 0,
         };
-        st.record_op(op_key(op), rows, elapsed);
+        st.record_op(st.key_for(op), rows, elapsed);
         result
     }
 
@@ -144,22 +154,28 @@ impl<'a> Evaluator<'a> {
                 expr,
                 distinct,
             } => {
-                let bindings = self.bindings(input, env)?;
-                let mut out = Vec::with_capacity(bindings.len());
-                for b in &bindings {
-                    out.push(self.expr(expr, b)?);
-                }
                 if *distinct {
-                    out = dedupe(out, self.stats.as_ref());
+                    // DISTINCT is a pipeline breaker: the projected rows
+                    // materialize through a tracked buffer, then dedupe.
+                    let mut buf = TrackedBuffer::new(self.stats.as_ref(), Some(op));
+                    for b in self.binding_stream(input, env) {
+                        buf.push(self.expr(expr, &b?)?);
+                    }
+                    Ok(Value::Bag(dedupe(buf.into_vec(), self.stats.as_ref())))
+                } else {
+                    let mut out = Vec::new();
+                    for b in self.binding_stream(input, env) {
+                        out.push(self.expr(expr, &b?)?);
+                    }
+                    Ok(Value::Bag(out))
                 }
-                Ok(Value::Bag(out))
             }
             CoreOp::Pivot { input, value, name } => {
-                let bindings = self.bindings(input, env)?;
                 let mut t = Tuple::new();
-                for b in &bindings {
-                    let n = self.expr(name, b)?;
-                    let v = self.expr(value, b)?;
+                for b in self.binding_stream(input, env) {
+                    let b = b?;
+                    let n = self.expr(name, &b)?;
+                    let v = self.expr(value, &b)?;
                     match n {
                         Value::Str(s) => t.insert(s, v),
                         Value::Missing | Value::Null => {}
@@ -177,26 +193,23 @@ impl<'a> Evaluator<'a> {
                 Ok(Value::Tuple(t))
             }
             CoreOp::SetOp {
-                op,
+                op: set_op,
                 all,
                 left,
                 right,
             } => {
-                let l = self.value_stream(left, env)?;
-                let r = self.value_stream(right, env)?;
-                Ok(Value::Bag(eval_set_op(
-                    *op,
-                    *all,
-                    l,
-                    r,
-                    self.stats.as_ref(),
-                )))
+                let mut out = Vec::new();
+                for v in self.set_op_stream(*set_op, *all, left, right, op, env) {
+                    out.push(v?);
+                }
+                Ok(Value::Bag(out))
             }
             CoreOp::SortValues { input, keys } => {
-                let values = self.value_stream(input, env)?;
-                let mut annotated = Vec::with_capacity(values.len());
-                let out_var: std::rc::Rc<str> = "$out".into();
-                for v in values {
+                let out_var: Rc<str> = "$out".into();
+                let mut buf: TrackedBuffer<'_, (Vec<Value>, Value)> =
+                    TrackedBuffer::new(self.stats.as_ref(), Some(op));
+                for v in self.element_stream(input, env) {
+                    let v = v?;
                     // The output element is visible as `$out`; if it is a
                     // tuple its attributes resolve dynamically.
                     let row_env = env.bind(out_var.clone(), v.clone());
@@ -204,8 +217,9 @@ impl<'a> Evaluator<'a> {
                     for k in keys {
                         ks.push(self.expr(&k.expr, &row_env)?);
                     }
-                    annotated.push((ks, v));
+                    buf.push((ks, v));
                 }
+                let mut annotated = buf.into_vec();
                 sort_annotated(&mut annotated, keys);
                 Ok(Value::Bag(annotated.into_iter().map(|(_, v)| v).collect()))
             }
@@ -214,9 +228,16 @@ impl<'a> Evaluator<'a> {
                 limit,
                 offset,
             } => {
-                let values = self.value_stream(input, env)?;
+                // Bounds first: LIMIT 0 never constructs (or pulls) the
+                // input at all.
                 let (lim, off) = self.limit_offset(limit, offset, env)?;
-                Ok(Value::Bag(apply_limit(values, lim, off)))
+                let mut out = Vec::new();
+                if lim != Some(0) {
+                    for v in Limited::new(self.element_stream(input, env), off, lim) {
+                        out.push(v?);
+                    }
+                }
+                Ok(Value::Bag(out))
             }
             CoreOp::With { bindings, body } => {
                 let mut env = env.clone();
@@ -229,103 +250,273 @@ impl<'a> Evaluator<'a> {
             // A binding-producing operator in value position only happens
             // for degenerate plans; expose the bindings as tuples.
             other => {
-                let bindings = self.bindings(other, env)?;
-                Ok(Value::Bag(
-                    bindings
-                        .iter()
-                        .map(|_| Value::Tuple(Tuple::new()))
-                        .collect(),
-                ))
+                let mut out = Vec::new();
+                for b in self.binding_stream(other, env) {
+                    b?;
+                    out.push(Value::Tuple(Tuple::new()));
+                }
+                Ok(Value::Bag(out))
             }
         }
     }
 
-    /// Evaluates a value-producing operator into a vector of elements.
-    fn value_stream(&self, op: &CoreOp, env: &Env) -> Result<Vec<Value>, EvalError> {
-        match self.value_op(op, env)? {
-            Value::Bag(items) | Value::Array(items) => Ok(items),
-            single => Ok(vec![single]),
+    // =================================================================
+    // Streams
+    // =================================================================
+
+    /// The elements of a value-producing operator as a lazy stream.
+    /// Operators with a streaming shape (projection, LIMIT, UNION ALL,
+    /// WITH bodies, set-op probe sides) yield elements as they are
+    /// pulled; everything else falls back to [`Self::value_op`] and
+    /// streams the materialized result.
+    fn element_stream<'s>(&'s self, op: &'s CoreOp, env: &Env) -> ValueStream<'s> {
+        if let Some(stream) = self.try_value_stream(op, env) {
+            return stream;
+        }
+        match self.value_op(op, env) {
+            Err(e) => failed(e),
+            Ok(Value::Bag(items)) | Ok(Value::Array(items)) => from_vec(items),
+            Ok(single) => Box::new(std::iter::once(Ok(single))),
         }
     }
 
-    /// Evaluates a binding-producing operator, recording per-operator
-    /// counters when stats collection is on.
-    fn bindings(&self, op: &CoreOp, env: &Env) -> Result<Vec<Env>, EvalError> {
-        let Some(st) = &self.stats else {
-            return self.bindings_inner(op, env);
-        };
-        let start = std::time::Instant::now();
-        let result = self.bindings_inner(op, env);
-        let elapsed = start.elapsed();
-        let rows = result.as_ref().map_or(0, |b| b.len() as u64);
-        st.record_op(op_key(op), rows, elapsed);
-        if matches!(op, CoreOp::From { .. }) {
-            st.add_bindings_produced(rows);
-        }
-        result
+    /// A lazy element stream for operators that can produce one, or
+    /// `None` when the operator must materialize (sort, pivot, grouping
+    /// inputs, …) and [`Self::value_op`] should run instead.
+    fn try_value_stream<'s>(&'s self, op: &'s CoreOp, env: &Env) -> Option<ValueStream<'s>> {
+        let inner = self.try_value_stream_inner(op, env)?;
+        Some(match &self.stats {
+            None => inner,
+            Some(st) => Box::new(Instrumented::new(inner, st, op, false)),
+        })
     }
 
-    fn bindings_inner(&self, op: &CoreOp, env: &Env) -> Result<Vec<Env>, EvalError> {
+    fn try_value_stream_inner<'s>(&'s self, op: &'s CoreOp, env: &Env) -> Option<ValueStream<'s>> {
         match op {
-            CoreOp::Single => Ok(vec![env.clone()]),
-            CoreOp::From { item } => self.from_item(item, env),
-            CoreOp::Filter { input, pred } => {
-                let input = self.bindings(input, env)?;
-                let mut out = Vec::with_capacity(input.len());
-                for b in input {
-                    if matches!(self.expr(pred, &b)?, Value::Bool(true)) {
-                        out.push(b);
+            CoreOp::Project {
+                input,
+                expr,
+                distinct: false,
+            } => {
+                let bindings = self.binding_stream(input, env);
+                Some(Box::new(bindings.map(move |b| self.expr(expr, &b?))))
+            }
+            CoreOp::LimitOffset {
+                input,
+                limit,
+                offset,
+            } => Some(match self.limit_offset(limit, offset, env) {
+                Err(e) => failed(e),
+                Ok((Some(0), _)) => empty(),
+                Ok((lim, off)) => Box::new(Limited::new(self.element_stream(input, env), off, lim)),
+            }),
+            CoreOp::SetOp {
+                op: set_op,
+                all,
+                left,
+                right,
+            } => Some(self.set_op_stream(*set_op, *all, left, right, op, env)),
+            CoreOp::With { bindings, body } => {
+                let mut inner_env = env.clone();
+                for (name, q) in bindings {
+                    match self.value_op(&q.op, &inner_env) {
+                        Ok(v) => inner_env = inner_env.bind(name.clone(), v),
+                        Err(e) => return Some(failed(e)),
                     }
                 }
-                Ok(out)
+                Some(self.element_stream(body, &inner_env))
             }
+            _ => None,
+        }
+    }
+
+    /// UNION/INTERSECT/EXCEPT as a stream. `UNION ALL` is fully streaming
+    /// (left chained to right); every other shape materializes the build
+    /// side (the right operand, or for de-duplicated UNION the whole
+    /// input) through a tracked buffer, but INTERSECT/EXCEPT ALL still
+    /// stream their probe (left) side.
+    fn set_op_stream<'s>(
+        &'s self,
+        set_op: CoreSetOp,
+        all: bool,
+        left: &'s CoreOp,
+        right: &'s CoreOp,
+        whole: &CoreOp,
+        env: &Env,
+    ) -> ValueStream<'s> {
+        match (set_op, all) {
+            (CoreSetOp::Union, true) => Box::new(
+                self.element_stream(left, env)
+                    .chain(self.element_stream(right, env)),
+            ),
+            (CoreSetOp::Union, false) => {
+                let mut buf = TrackedBuffer::new(self.stats.as_ref(), Some(whole));
+                for v in self
+                    .element_stream(left, env)
+                    .chain(self.element_stream(right, env))
+                {
+                    match v {
+                        Ok(v) => buf.push(v),
+                        Err(e) => return failed(e),
+                    }
+                }
+                from_vec(dedupe(buf.into_vec(), self.stats.as_ref()))
+            }
+            (CoreSetOp::Intersect, _) | (CoreSetOp::Except, _) => {
+                // Build the right multiset, then stream the left through
+                // it: INTERSECT keeps elements that consume a right
+                // occurrence, EXCEPT keeps the ones that don't.
+                let mut gauge = MatGauge::new(self.stats.as_ref(), Some(whole));
+                let mut rvals = Vec::new();
+                for v in self.element_stream(right, env) {
+                    match v {
+                        Ok(v) => {
+                            rvals.push(v);
+                            gauge.add(1);
+                        }
+                        Err(e) => return failed(e),
+                    }
+                }
+                let mut pool = RightMultiset::new(rvals, self.stats.as_ref());
+                let keep_matched = set_op == CoreSetOp::Intersect;
+                let probe = self.element_stream(left, env).filter_map(move |v| {
+                    let _hold = &gauge; // build rows stay live while probing
+                    match v {
+                        Err(e) => Some(Err(e)),
+                        Ok(v) => {
+                            if pool.take(&v) == keep_matched {
+                                Some(Ok(v))
+                            } else {
+                                None
+                            }
+                        }
+                    }
+                });
+                if all {
+                    Box::new(probe)
+                } else {
+                    let mut out = Vec::new();
+                    for v in probe {
+                        match v {
+                            Ok(v) => out.push(v),
+                            Err(e) => return failed(e),
+                        }
+                    }
+                    from_vec(dedupe(out, self.stats.as_ref()))
+                }
+            }
+        }
+    }
+
+    /// The bindings of a binding-producing operator as a lazy stream.
+    /// Scans, filters, joins, LET, and Append stream row by row; Sort,
+    /// Group, and Window are pipeline breakers that materialize through
+    /// tracked buffers at construction and then stream the result.
+    fn binding_stream<'s>(&'s self, op: &'s CoreOp, env: &Env) -> BindingStream<'s> {
+        match &self.stats {
+            None => self.binding_stream_inner(op, env),
+            Some(st) => Box::new(Instrumented::new(
+                self.binding_stream_inner(op, env),
+                st,
+                op,
+                matches!(op, CoreOp::From { .. }),
+            )),
+        }
+    }
+
+    fn binding_stream_inner<'s>(&'s self, op: &'s CoreOp, env: &Env) -> BindingStream<'s> {
+        match op {
+            CoreOp::Single => Box::new(std::iter::once(Ok(env.clone()))),
+            CoreOp::From { item } => self.from_stream(item, op, env),
+            CoreOp::Filter { input, pred } => Box::new(self.binding_stream(input, env).filter_map(
+                move |b| match b {
+                    Err(e) => Some(Err(e)),
+                    Ok(b) => match self.expr(pred, &b) {
+                        Ok(Value::Bool(true)) => Some(Ok(b)),
+                        Ok(_) => None,
+                        Err(e) => Some(Err(e)),
+                    },
+                },
+            )),
             CoreOp::Group {
                 input,
                 keys,
                 group_var,
                 captured,
                 emit_empty_group,
-            } => self.group(input, keys, group_var, captured, *emit_empty_group, env),
+            } => match self.group(op, input, keys, group_var, captured, *emit_empty_group, env) {
+                Ok(rows) => from_vec(rows),
+                Err(e) => failed(e),
+            },
             CoreOp::Append { inputs } => {
-                let mut out = Vec::new();
-                for i in inputs {
-                    out.extend(self.bindings(i, env)?);
-                }
-                Ok(out)
+                let env = env.clone();
+                Box::new(
+                    inputs
+                        .iter()
+                        .flat_map(move |i| self.binding_stream(i, &env)),
+                )
             }
-            CoreOp::Sort { input, keys } => {
-                let input = self.bindings(input, env)?;
-                let mut annotated = Vec::with_capacity(input.len());
-                for b in input {
-                    let mut ks = Vec::with_capacity(keys.len());
-                    for k in keys {
-                        ks.push(self.expr(&k.expr, &b)?);
-                    }
-                    annotated.push((ks, b));
-                }
-                sort_annotated(&mut annotated, keys);
-                Ok(annotated.into_iter().map(|(_, b)| b).collect())
-            }
+            CoreOp::Sort { input, keys } => match self.sort_bindings(op, input, keys, env) {
+                Ok(rows) => from_vec(rows),
+                Err(e) => failed(e),
+            },
             CoreOp::LimitOffset {
                 input,
                 limit,
                 offset,
-            } => {
-                let input_bindings = self.bindings(input, env)?;
-                let (lim, off) = self.limit_offset(limit, offset, env)?;
-                Ok(apply_limit(input_bindings, lim, off))
-            }
+            } => match self.limit_offset(limit, offset, env) {
+                Err(e) => failed(e),
+                Ok((Some(0), _)) => empty(),
+                Ok((lim, off)) => Box::new(Limited::new(self.binding_stream(input, env), off, lim)),
+            },
             CoreOp::Window { input, defs } => {
-                let mut rows = self.bindings(input, env)?;
-                for def in defs {
-                    rows = self.window(rows, def)?;
+                // Window functions see whole partitions: materialize the
+                // input, then rewrite rows def by def.
+                let mut buf = TrackedBuffer::new(self.stats.as_ref(), Some(op));
+                for b in self.binding_stream(input, env) {
+                    match b {
+                        Ok(b) => buf.push(b),
+                        Err(e) => return failed(e),
+                    }
                 }
-                Ok(rows)
+                let mut rows = buf.into_vec();
+                for def in defs {
+                    match self.window(rows, def) {
+                        Ok(r) => rows = r,
+                        Err(e) => return failed(e),
+                    }
+                }
+                from_vec(rows)
             }
-            other => Err(EvalError::Type(format!(
+            other => failed(EvalError::Type(format!(
                 "operator {other:?} does not produce bindings"
             ))),
         }
+    }
+
+    /// ORDER BY over bindings: a pipeline breaker — annotates each row
+    /// with its key values through a tracked buffer, sorts, and returns
+    /// the rows in order.
+    fn sort_bindings(
+        &self,
+        whole: &CoreOp,
+        input: &CoreOp,
+        keys: &[CoreSortKey],
+        env: &Env,
+    ) -> Result<Vec<Env>, EvalError> {
+        let mut buf: TrackedBuffer<'_, (Vec<Value>, Env)> =
+            TrackedBuffer::new(self.stats.as_ref(), Some(whole));
+        for b in self.binding_stream(input, env) {
+            let b = b?;
+            let mut ks = Vec::with_capacity(keys.len());
+            for k in keys {
+                ks.push(self.expr(&k.expr, &b)?);
+            }
+            buf.push((ks, b));
+        }
+        let mut annotated = buf.into_vec();
+        sort_annotated(&mut annotated, keys);
+        Ok(annotated.into_iter().map(|(_, b)| b).collect())
     }
 
     fn limit_offset(
@@ -351,6 +542,7 @@ impl<'a> Evaluator<'a> {
     #[allow(clippy::too_many_arguments)]
     fn group(
         &self,
+        whole: &CoreOp,
         input: &CoreOp,
         keys: &[(String, CoreExpr)],
         group_var: &str,
@@ -358,11 +550,15 @@ impl<'a> Evaluator<'a> {
         emit_empty_group: bool,
         env: &Env,
     ) -> Result<Vec<Env>, EvalError> {
-        let input = self.bindings(input, env)?;
         // Insertion-ordered grouping: HashMap for lookup, Vec for order.
+        // Grouping is a pipeline breaker: every captured element is live
+        // until the groups are emitted, tracked by the gauge.
+        let mut gauge = MatGauge::new(self.stats.as_ref(), Some(whole));
         let mut index: HashMap<GroupKey, usize> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (keys, elements)
-        for b in input {
+        for b in self.binding_stream(input, env) {
+            let b = b?;
+            gauge.add(1);
             let mut key_vals = Vec::with_capacity(keys.len());
             for (_, ke) in keys {
                 let mut v = self.expr(ke, &b)?;
@@ -589,36 +785,38 @@ impl<'a> Evaluator<'a> {
     // FROM
     // =================================================================
 
-    #[allow(clippy::wrong_self_convention)] // "from" is the SQL clause
-    fn from_item(&self, item: &CoreFrom, env: &Env) -> Result<Vec<Env>, EvalError> {
+    /// The binding stream of a FROM-item tree. `whole` is the enclosing
+    /// `CoreOp::From`, used to attribute materialization (hash-join
+    /// builds) to an operator in the stats.
+    fn from_stream<'s>(
+        &'s self,
+        item: &'s CoreFrom,
+        whole: &'s CoreOp,
+        env: &Env,
+    ) -> BindingStream<'s> {
         match item {
             CoreFrom::Scan {
                 expr,
                 as_var,
                 at_var,
-            } => {
-                let source = self.expr(expr, env)?;
-                self.scan(source, as_var, at_var.as_deref(), env)
-            }
+            } => self.scan_stream(expr, as_var, at_var.as_deref(), env),
             CoreFrom::Unpivot {
                 expr,
                 value_var,
                 name_var,
-            } => {
-                let source = self.expr(expr, env)?;
-                self.unpivot(source, value_var, name_var, env)
-            }
-            CoreFrom::Let { expr, var } => {
-                let v = self.expr(expr, env)?;
-                Ok(vec![env.bind(var.clone(), v)])
-            }
+            } => self.unpivot_stream(expr, value_var, name_var, env),
+            CoreFrom::Let { expr, var } => match self.expr(expr, env) {
+                Ok(v) => Box::new(std::iter::once(Ok(env.bind(var.clone(), v)))),
+                Err(e) => failed(e),
+            },
             CoreFrom::Correlate { left, right } => {
-                let lefts = self.from_item(left, env)?;
-                let mut out = Vec::new();
-                for l in lefts {
-                    out.extend(self.from_item(right, &l)?);
-                }
-                Ok(out)
+                let lefts = self.from_stream(left, whole, env);
+                Box::new(lefts.flat_map(move |l| -> BindingStream<'s> {
+                    match l {
+                        Ok(lenv) => self.from_stream(right, whole, &lenv),
+                        Err(e) => failed(e),
+                    }
+                }))
             }
             CoreFrom::Join {
                 kind,
@@ -626,42 +824,15 @@ impl<'a> Evaluator<'a> {
                 right,
                 on,
                 right_vars,
-            } => {
-                let lefts = self.from_item(left, env)?;
-                let names: Vec<std::rc::Rc<str>> =
-                    right_vars.iter().map(|v| v.as_str().into()).collect();
-                let mut out = Vec::new();
-                let mut scanned = false;
-                for l in lefts {
-                    if scanned {
-                        if let Some(st) = &self.stats {
-                            st.add_right_rescans(1);
-                        }
-                    }
-                    let rights = self.from_item(right, &l)?;
-                    scanned = true;
-                    let mut matched = false;
-                    for r in rights {
-                        if let Some(st) = &self.stats {
-                            st.add_join_probes(1);
-                        }
-                        if matches!(self.expr(on, &r)?, Value::Bool(true)) {
-                            matched = true;
-                            out.push(r);
-                        }
-                    }
-                    if !matched && *kind == CoreJoinKind::Left {
-                        // SQL left join: unmatched rows pad the right-side
-                        // variables with NULL.
-                        let mut padded = l.clone();
-                        for name in &names {
-                            padded = padded.bind(name.clone(), Value::Null);
-                        }
-                        out.push(padded);
-                    }
-                }
-                Ok(out)
-            }
+            } => Box::new(NestedLoop::new(
+                self,
+                *kind,
+                self.from_stream(left, whole, env),
+                right,
+                whole,
+                right_vars.iter().map(|v| v.as_str().into()).collect(),
+                RowTest::On(on),
+            )),
             CoreFrom::HashJoin {
                 kind,
                 left,
@@ -672,33 +843,40 @@ impl<'a> Evaluator<'a> {
                 residual,
                 right_vars,
             } => {
-                let lefts = self.from_item(left, env)?;
-                match self.hash_join_build(right, right_pred.as_ref(), keys, env) {
-                    Ok(build) => self.hash_join_probe(
-                        *kind,
-                        lefts,
-                        &build,
-                        keys,
-                        left_pred.as_ref(),
-                        residual.as_ref(),
-                        right_vars,
-                    ),
+                let names: Vec<Rc<str>> = right_vars.iter().map(|v| v.as_str().into()).collect();
+                match self.hash_join_build(right, whole, right_pred.as_ref(), keys, env) {
+                    Ok(build) => Box::new(HashProbe {
+                        ev: self,
+                        kind: *kind,
+                        keys: keys.as_slice(),
+                        left_pred: left_pred.as_ref(),
+                        residual: residual.as_ref(),
+                        names,
+                        build,
+                        left: self.from_stream(left, whole, env),
+                        pending: VecDeque::new(),
+                        done: false,
+                    }),
                     // The optimizer's uncorrelated analysis is static and
                     // conservative, but a runtime `Global` can still
                     // resolve through the environment (dynamic
                     // disambiguation). If materializing the right side in
                     // the outer environment fails, reconstruct the exact
                     // per-left-row nested loop the plan was derived from.
-                    Err(_) => self.hash_join_fallback(
+                    Err(_) => Box::new(NestedLoop::new(
+                        self,
                         *kind,
-                        lefts,
+                        self.from_stream(left, whole, env),
                         right,
-                        keys,
-                        left_pred.as_ref(),
-                        right_pred.as_ref(),
-                        residual.as_ref(),
-                        right_vars,
-                    ),
+                        whole,
+                        names,
+                        RowTest::Split {
+                            keys,
+                            left_pred: left_pred.as_ref(),
+                            right_pred: right_pred.as_ref(),
+                            residual: residual.as_ref(),
+                        },
+                    )),
                 }
             }
         }
@@ -707,18 +885,22 @@ impl<'a> Evaluator<'a> {
     /// Materializes a hash join's right side once and buckets the rows by
     /// the structural hash of their key tuple. Rows failing the build
     /// filter — or with any NULL/MISSING key, which can never compare
-    /// equal (3VL) — are left out of the table.
-    fn hash_join_build(
-        &self,
-        right: &CoreFrom,
+    /// equal (3VL) — are left out of the table. The build is the join's
+    /// pipeline breaker: its rows are tracked live by a [`MatGauge`]
+    /// attributed to the enclosing FROM operator.
+    fn hash_join_build<'s>(
+        &'s self,
+        right: &'s CoreFrom,
+        whole: &'s CoreOp,
         right_pred: Option<&CoreExpr>,
         keys: &[(CoreExpr, CoreExpr)],
         env: &Env,
-    ) -> Result<JoinBuild, EvalError> {
-        let rights = self.from_item(right, env)?;
+    ) -> Result<JoinBuild<'s>, EvalError> {
         let mut rows: Vec<(Env, Vec<Value>)> = Vec::new();
         let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
-        'rows: for r in rights {
+        let mut gauge = MatGauge::new(self.stats.as_ref(), Some(whole));
+        'rows: for r in self.from_stream(right, whole, env) {
+            let r = r?;
             if let Some(p) = right_pred {
                 if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
                     continue;
@@ -734,212 +916,119 @@ impl<'a> Evaluator<'a> {
             }
             table.entry(joint_hash(&kv)).or_default().push(rows.len());
             rows.push((r, kv));
+            gauge.add(1);
         }
         if let Some(st) = &self.stats {
             st.add_join_build_rows(rows.len() as u64);
         }
-        Ok(JoinBuild { rows, table })
+        Ok(JoinBuild { rows, table, gauge })
     }
 
-    /// Probes the build table once per left row. Bucket candidates are
-    /// confirmed key-by-key with `deep_eq` (hash_value is deep_eq-
-    /// consistent), which is exactly when `l.x = r.y` evaluates to TRUE
-    /// for non-absent keys; the residual is then re-checked in the
-    /// combined environment.
-    fn hash_join_probe(
-        &self,
-        kind: CoreJoinKind,
-        lefts: Vec<Env>,
-        build: &JoinBuild,
-        keys: &[(CoreExpr, CoreExpr)],
-        left_pred: Option<&CoreExpr>,
-        residual: Option<&CoreExpr>,
-        right_vars: &[String],
-    ) -> Result<Vec<Env>, EvalError> {
-        let names: Vec<std::rc::Rc<str>> = right_vars.iter().map(|v| v.as_str().into()).collect();
-        let mut out = Vec::new();
-        let mut kv: Vec<Value> = Vec::with_capacity(keys.len());
-        for l in lefts {
-            let mut matched = false;
-            'probe: {
-                // An empty build side matches nothing — and, like the
-                // nested loop over an empty right side, evaluates no
-                // predicate or key at all.
-                if build.rows.is_empty() {
-                    break 'probe;
+    /// How a scan obtains its source: a fully-resolved catalog name scans
+    /// the stored collection *shared* (`Arc` snapshot — elements clone
+    /// lazily, one per pulled row); anything else evaluates to an owned
+    /// value.
+    fn scan_source(&self, expr: &CoreExpr, env: &Env) -> Result<ScanSource, EvalError> {
+        if let CoreExpr::Global(segments) = expr {
+            if let Some((value, used)) = self.catalog.resolve_prefix(segments) {
+                if used == segments.len() {
+                    return Ok(ScanSource::Shared(value));
                 }
-                if let Some(p) = left_pred {
-                    if !matches!(self.expr(p, &l)?, Value::Bool(true)) {
-                        break 'probe;
-                    }
-                }
-                kv.clear();
-                for (lk, _) in keys {
-                    let v = self.expr(lk, &l)?;
-                    if v.is_absent() {
-                        break 'probe;
-                    }
-                    kv.push(v);
-                }
-                let Some(bucket) = build.table.get(&joint_hash(&kv)) else {
-                    break 'probe;
-                };
-                for &i in bucket {
-                    if let Some(st) = &self.stats {
-                        st.add_join_probes(1);
-                    }
-                    let (renv, rkv) = &build.rows[i];
-                    if !kv.iter().zip(rkv).all(|(a, b)| deep_eq(a, b)) {
-                        continue;
-                    }
-                    let combined = combine_envs(&l, renv, &names);
-                    if let Some(p) = residual {
-                        if !matches!(self.expr(p, &combined)?, Value::Bool(true)) {
-                            continue;
-                        }
-                    }
-                    matched = true;
-                    out.push(combined);
-                }
-            }
-            if !matched && kind == CoreJoinKind::Left {
-                let mut padded = l.clone();
-                for name in &names {
-                    padded = padded.bind(name.clone(), Value::Null);
-                }
-                out.push(padded);
             }
         }
-        Ok(out)
-    }
-
-    /// Nested-loop reconstruction of a [`CoreFrom::HashJoin`] whose build
-    /// failed: the original ON condition is exactly
-    /// `left_pred ∧ right_pred ∧ keys ∧ residual`, re-checked here per
-    /// (left, right) pair with the right side re-evaluated per left row.
-    #[allow(clippy::too_many_arguments)]
-    fn hash_join_fallback(
-        &self,
-        kind: CoreJoinKind,
-        lefts: Vec<Env>,
-        right: &CoreFrom,
-        keys: &[(CoreExpr, CoreExpr)],
-        left_pred: Option<&CoreExpr>,
-        right_pred: Option<&CoreExpr>,
-        residual: Option<&CoreExpr>,
-        right_vars: &[String],
-    ) -> Result<Vec<Env>, EvalError> {
-        let names: Vec<std::rc::Rc<str>> = right_vars.iter().map(|v| v.as_str().into()).collect();
-        let mut out = Vec::new();
-        let mut scanned = false;
-        for l in lefts {
-            if scanned {
-                if let Some(st) = &self.stats {
-                    st.add_right_rescans(1);
-                }
-            }
-            let rights = self.from_item(right, &l)?;
-            scanned = true;
-            let mut matched = false;
-            'rows: for r in rights {
-                if let Some(st) = &self.stats {
-                    st.add_join_probes(1);
-                }
-                for p in [left_pred, right_pred].into_iter().flatten() {
-                    if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
-                        continue 'rows;
-                    }
-                }
-                for (lk, rk) in keys {
-                    let a = self.expr(lk, &r)?;
-                    let b = self.expr(rk, &r)?;
-                    if !matches!(sql_eq(&a, &b), Value::Bool(true)) {
-                        continue 'rows;
-                    }
-                }
-                if let Some(p) = residual {
-                    if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
-                        continue 'rows;
-                    }
-                }
-                matched = true;
-                out.push(r);
-            }
-            if !matched && kind == CoreJoinKind::Left {
-                let mut padded = l.clone();
-                for name in &names {
-                    padded = padded.bind(name.clone(), Value::Null);
-                }
-                out.push(padded);
-            }
-        }
-        Ok(out)
+        Ok(ScanSource::Owned(self.expr(expr, env)?))
     }
 
     /// Iterating a FROM source (§III): collections iterate, MISSING
     /// vanishes, and any other value is — permissively — a singleton
     /// ("aliases may bind to any value, not just tuples").
-    fn scan(
-        &self,
-        source: Value,
+    /// `rows_scanned` counts *pulled* elements, so a short-circuited
+    /// consumer (LIMIT, EXISTS) stops the count with the pull.
+    fn scan_stream<'s>(
+        &'s self,
+        expr: &CoreExpr,
         as_var: &str,
         at_var: Option<&str>,
         env: &Env,
-    ) -> Result<Vec<Env>, EvalError> {
-        if let Some(st) = &self.stats {
-            st.add_rows_scanned(match &source {
-                Value::Bag(items) | Value::Array(items) => items.len() as u64,
-                Value::Missing => 0,
-                _ => 1,
-            });
-        }
+    ) -> BindingStream<'s> {
+        let source = match self.scan_source(expr, env) {
+            Ok(s) => s,
+            Err(e) => return failed(e),
+        };
         // Intern the binding names once; each per-row bind is then a
         // refcount bump instead of a String allocation.
-        let as_var: std::rc::Rc<str> = as_var.into();
-        let at_var: Option<std::rc::Rc<str>> = at_var.map(Into::into);
+        let as_var: Rc<str> = as_var.into();
+        let at_var: Option<Rc<str>> = at_var.map(Into::into);
+        match source {
+            ScanSource::Shared(arc) if matches!(&*arc, Value::Bag(_) | Value::Array(_)) => {
+                Box::new(SharedScan {
+                    ev: self,
+                    source: arc,
+                    idx: 0,
+                    as_var,
+                    at_var,
+                    env: env.clone(),
+                })
+            }
+            ScanSource::Shared(arc) => {
+                self.scan_value_stream((*arc).clone(), as_var, at_var, env.clone())
+            }
+            ScanSource::Owned(v) => self.scan_value_stream(v, as_var, at_var, env.clone()),
+        }
+    }
+
+    /// Streams an owned scan source (a computed collection, or a scalar).
+    fn scan_value_stream<'s>(
+        &'s self,
+        source: Value,
+        as_var: Rc<str>,
+        at_var: Option<Rc<str>>,
+        env: Env,
+    ) -> BindingStream<'s> {
         match source {
             Value::Bag(items) => {
-                let mut out = Vec::with_capacity(items.len());
-                for item in items {
-                    let mut e = env.bind(as_var.clone(), item);
-                    if let Some(at) = &at_var {
+                let strict_at =
+                    at_var.is_some() && matches!(self.config.typing, TypingMode::StrictError);
+                Box::new(items.into_iter().map(move |item| {
+                    if let Some(st) = &self.stats {
+                        st.add_rows_scanned(1);
+                    }
+                    if strict_at {
                         // Bags are unordered: AT has no meaningful value.
-                        match self.config.typing {
-                            TypingMode::Permissive => {
-                                e = e.bind(at.clone(), Value::Missing);
-                            }
-                            TypingMode::StrictError => {
-                                return Err(EvalError::Type(
-                                    "AT position variable over an unordered bag".to_string(),
-                                ));
-                            }
-                        }
+                        return Err(EvalError::Type(
+                            "AT position variable over an unordered bag".to_string(),
+                        ));
                     }
-                    out.push(e);
-                }
-                Ok(out)
-            }
-            Value::Array(items) => {
-                let mut out = Vec::with_capacity(items.len());
-                for (i, item) in items.into_iter().enumerate() {
                     let mut e = env.bind(as_var.clone(), item);
                     if let Some(at) = &at_var {
-                        e = e.bind(at.clone(), Value::Int(i as i64));
+                        e = e.bind(at.clone(), Value::Missing);
                     }
-                    out.push(e);
-                }
-                Ok(out)
+                    Ok(e)
+                }))
             }
-            Value::Missing => Ok(Vec::new()),
+            Value::Array(items) => Box::new(items.into_iter().enumerate().map(move |(i, item)| {
+                if let Some(st) = &self.stats {
+                    st.add_rows_scanned(1);
+                }
+                let mut e = env.bind(as_var.clone(), item);
+                if let Some(at) = &at_var {
+                    e = e.bind(at.clone(), Value::Int(i as i64));
+                }
+                Ok(e)
+            })),
+            Value::Missing => empty(),
             other => match self.config.typing {
-                TypingMode::Permissive => {
+                TypingMode::Permissive => Box::new(std::iter::once_with(move || {
+                    if let Some(st) = &self.stats {
+                        st.add_rows_scanned(1);
+                    }
                     let mut e = env.bind(as_var, other);
                     if let Some(at) = at_var {
                         e = e.bind(at, Value::Missing);
                     }
-                    Ok(vec![e])
-                }
-                TypingMode::StrictError => Err(EvalError::Type(format!(
+                    Ok(e)
+                })),
+                TypingMode::StrictError => failed(EvalError::Type(format!(
                     "FROM source must be a collection, found {}",
                     other.kind().name()
                 ))),
@@ -950,42 +1039,42 @@ impl<'a> Evaluator<'a> {
     /// UNPIVOT (§VI-A): a tuple's attribute/value pairs become data. A
     /// non-tuple coerces to `{'_1': v}` in permissive mode (PartiQL's
     /// rule); MISSING unpivots to nothing.
-    fn unpivot(
-        &self,
-        source: Value,
+    fn unpivot_stream<'s>(
+        &'s self,
+        expr: &CoreExpr,
         value_var: &str,
         name_var: &str,
         env: &Env,
-    ) -> Result<Vec<Env>, EvalError> {
-        let tuple = match source {
-            Value::Tuple(t) => t,
-            Value::Missing => return Ok(Vec::new()),
-            other => match self.config.typing {
+    ) -> BindingStream<'s> {
+        let tuple = match self.expr(expr, env) {
+            Err(e) => return failed(e),
+            Ok(Value::Tuple(t)) => t,
+            Ok(Value::Missing) => return empty(),
+            Ok(other) => match self.config.typing {
                 TypingMode::Permissive => {
                     let mut t = Tuple::new();
                     t.insert("_1", other);
                     t
                 }
                 TypingMode::StrictError => {
-                    return Err(EvalError::Type(format!(
+                    return failed(EvalError::Type(format!(
                         "UNPIVOT source must be a tuple, found {}",
                         other.kind().name()
                     )));
                 }
             },
         };
-        if let Some(st) = &self.stats {
-            st.add_rows_scanned(tuple.len() as u64);
-        }
-        let value_var: std::rc::Rc<str> = value_var.into();
-        let name_var: std::rc::Rc<str> = name_var.into();
-        Ok(tuple
-            .into_iter()
-            .map(|(name, value)| {
-                env.bind(value_var.clone(), value)
-                    .bind(name_var.clone(), Value::Str(name))
-            })
-            .collect())
+        let value_var: Rc<str> = value_var.into();
+        let name_var: Rc<str> = name_var.into();
+        let env = env.clone();
+        Box::new(tuple.into_iter().map(move |(name, value)| {
+            if let Some(st) = &self.stats {
+                st.add_rows_scanned(1);
+            }
+            Ok(env
+                .bind(value_var.clone(), value)
+                .bind(name_var.clone(), Value::Str(name)))
+        }))
     }
 
     // =================================================================
@@ -1140,15 +1229,51 @@ impl<'a> Evaluator<'a> {
                 distinct,
                 input,
             } => self.coll_agg(*func, *distinct, input, env),
-            CoreExpr::Subquery { plan, coercion } => {
-                let v = self.run_in(plan, env)?;
-                self.coerce_subquery(v, *coercion)
-            }
+            CoreExpr::Subquery { plan, coercion } => match coercion {
+                Coercion::Scalar if produces_elements(&plan.op) => {
+                    // Streaming scalar coercion: at most two pulled
+                    // elements decide the 0 / 1 / many-rows cases.
+                    if let Some(st) = &self.stats {
+                        st.add_subquery_invocation();
+                    }
+                    let mut stream = self.element_stream(&plan.op, env);
+                    let first = match stream.next() {
+                        None => return Ok(Value::Null),
+                        Some(r) => r?,
+                    };
+                    match stream.next() {
+                        None => self.single_attr(&first),
+                        Some(Err(e)) => Err(e),
+                        Some(Ok(_)) => match self.config.typing {
+                            TypingMode::Permissive => Ok(Value::Missing),
+                            TypingMode::StrictError => Err(EvalError::Cardinality(
+                                "scalar subquery produced more than one row".to_string(),
+                            )),
+                        },
+                    }
+                }
+                _ => {
+                    let v = self.run_in(plan, env)?;
+                    self.coerce_subquery(v, *coercion)
+                }
+            },
             CoreExpr::Exists(q) => {
-                let v = self.run_in(q, env)?;
-                match v.as_elements() {
-                    Some(items) => Ok(Value::Bool(!items.is_empty())),
-                    None => Ok(Value::Bool(true)), // PIVOT result: a tuple exists
+                if produces_elements(&q.op) {
+                    // Streaming: one pulled element decides EXISTS.
+                    if let Some(st) = &self.stats {
+                        st.add_subquery_invocation();
+                    }
+                    match self.element_stream(&q.op, env).next() {
+                        None => Ok(Value::Bool(false)),
+                        Some(Err(e)) => Err(e),
+                        Some(Ok(_)) => Ok(Value::Bool(true)),
+                    }
+                } else {
+                    let v = self.run_in(q, env)?;
+                    match v.as_elements() {
+                        Some(items) => Ok(Value::Bool(!items.is_empty())),
+                        None => Ok(Value::Bool(true)), // PIVOT result: a tuple exists
+                    }
                 }
             }
             CoreExpr::TupleCtor(pairs) => {
@@ -1465,7 +1590,8 @@ impl<'a> Evaluator<'a> {
     }
 
     /// SQL IN semantics under 3VL: TRUE if any element equals, else NULL
-    /// if any comparison was absent, else FALSE.
+    /// if any comparison was absent, else FALSE. An IN over a subquery
+    /// streams the subquery's rows and stops at the first TRUE.
     fn in_predicate(
         &self,
         expr: &CoreExpr,
@@ -1475,6 +1601,34 @@ impl<'a> Evaluator<'a> {
         let needle = self.expr(expr, env)?;
         if needle.is_missing() {
             return Ok(Value::Missing);
+        }
+        if let CoreExpr::Subquery {
+            plan,
+            coercion: Coercion::Collection,
+        } = collection
+        {
+            if produces_elements(&plan.op) {
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                if let Some(st) = &self.stats {
+                    st.add_subquery_invocation();
+                }
+                let mut saw_absent = false;
+                for row in self.element_stream(&plan.op, env) {
+                    let item = self.single_attr(&row?)?;
+                    match sql_eq(&needle, &item) {
+                        Value::Bool(true) => return Ok(Value::Bool(true)),
+                        Value::Bool(false) => {}
+                        _ => saw_absent = true,
+                    }
+                }
+                return Ok(if saw_absent {
+                    Value::Null
+                } else {
+                    Value::Bool(false)
+                });
+            }
         }
         let hay = self.expr(collection, env)?;
         if hay.is_missing() {
@@ -1531,8 +1685,8 @@ impl<'a> Evaluator<'a> {
                 } = &plan.op
                 {
                     let mut acc = agg::Accumulator::new(func);
-                    for b in self.bindings(sub_in, env)? {
-                        acc.push(&self.expr(expr, &b)?);
+                    for b in self.binding_stream(sub_in, env) {
+                        acc.push(&self.expr(expr, &b?)?);
                     }
                     return match acc.finish() {
                         Ok(v) => Ok(v),
@@ -1755,11 +1909,360 @@ fn joint_hash(keys: &[Value]) -> u64 {
     h.finish()
 }
 
+/// Whether a value-producing operator yields a *collection of elements*
+/// (`true` for everything except PIVOT — whose result is a single tuple —
+/// possibly under WITH). This is the condition for streaming its output
+/// element-wise through [`Evaluator::element_stream`].
+fn produces_elements(op: &CoreOp) -> bool {
+    match op {
+        CoreOp::Pivot { .. } => false,
+        CoreOp::With { body, .. } => produces_elements(body),
+        _ => true,
+    }
+}
+
+/// Where a scan's rows come from (see [`Evaluator::scan_source`]).
+enum ScanSource {
+    /// A stored catalog collection, borrowed via its `Arc` snapshot.
+    Shared(Arc<Value>),
+    /// A computed value owned by this scan.
+    Owned(Value),
+}
+
+/// A lazy scan over a shared catalog collection: elements are cloned one
+/// at a time as they are pulled, so `LIMIT k` over an N-row stored
+/// collection clones (and counts) k rows, not N.
+struct SharedScan<'s, 'a> {
+    ev: &'s Evaluator<'a>,
+    source: Arc<Value>,
+    idx: usize,
+    as_var: Rc<str>,
+    at_var: Option<Rc<str>>,
+    env: Env,
+}
+
+impl<'s, 'a> Iterator for SharedScan<'s, 'a> {
+    type Item = Result<Env, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (items, is_array) = match &*self.source {
+            Value::Bag(items) => (items, false),
+            Value::Array(items) => (items, true),
+            _ => unreachable!("SharedScan is only built over collections"),
+        };
+        let item = items.get(self.idx)?.clone();
+        let i = self.idx;
+        self.idx += 1;
+        if let Some(st) = &self.ev.stats {
+            st.add_rows_scanned(1);
+        }
+        let mut e = self.env.bind(self.as_var.clone(), item);
+        if let Some(at) = &self.at_var {
+            if is_array {
+                e = e.bind(at.clone(), Value::Int(i as i64));
+            } else {
+                // Bags are unordered: AT has no meaningful value.
+                match self.ev.config.typing {
+                    TypingMode::Permissive => e = e.bind(at.clone(), Value::Missing),
+                    TypingMode::StrictError => {
+                        return Some(Err(EvalError::Type(
+                            "AT position variable over an unordered bag".to_string(),
+                        )));
+                    }
+                }
+            }
+        }
+        Some(Ok(e))
+    }
+}
+
 /// A materialized hash-join right side: surviving rows with their key
-/// tuples, bucketed by [`joint_hash`].
-struct JoinBuild {
+/// tuples, bucketed by [`joint_hash`]. Holds the [`MatGauge`] that keeps
+/// the build rows counted as live until the probe finishes.
+struct JoinBuild<'s> {
     rows: Vec<(Env, Vec<Value>)>,
     table: HashMap<u64, Vec<usize>>,
+    #[allow(dead_code)] // held for its Drop (live-row accounting)
+    gauge: MatGauge<'s>,
+}
+
+/// Which per-right-row test a [`NestedLoop`] applies.
+enum RowTest<'s> {
+    /// The plan's ON condition.
+    On(&'s CoreExpr),
+    /// A hash join running in nested-loop fallback: the original ON is
+    /// exactly `left_pred ∧ right_pred ∧ keys ∧ residual`, re-checked per
+    /// (left, right) pair.
+    Split {
+        keys: &'s [(CoreExpr, CoreExpr)],
+        left_pred: Option<&'s CoreExpr>,
+        right_pred: Option<&'s CoreExpr>,
+        residual: Option<&'s CoreExpr>,
+    },
+}
+
+/// Streaming nested-loop join: pulls left rows one at a time, re-opens
+/// the right stream per left row, and emits matches as they are found —
+/// a LIMIT above the join stops both scans mid-flight. LEFT joins pad
+/// the right-side variables with NULL when a left row's right stream
+/// drains without a match.
+struct NestedLoop<'s, 'a> {
+    ev: &'s Evaluator<'a>,
+    kind: CoreJoinKind,
+    left: BindingStream<'s>,
+    right: &'s CoreFrom,
+    whole: &'s CoreOp,
+    names: Vec<Rc<str>>,
+    test: RowTest<'s>,
+    /// The left row currently probing: its env, its right stream, and
+    /// whether it has matched yet.
+    cur: Option<(Env, BindingStream<'s>, bool)>,
+    scanned: bool,
+    done: bool,
+}
+
+impl<'s, 'a> NestedLoop<'s, 'a> {
+    fn new(
+        ev: &'s Evaluator<'a>,
+        kind: CoreJoinKind,
+        left: BindingStream<'s>,
+        right: &'s CoreFrom,
+        whole: &'s CoreOp,
+        names: Vec<Rc<str>>,
+        test: RowTest<'s>,
+    ) -> Self {
+        NestedLoop {
+            ev,
+            kind,
+            left,
+            right,
+            whole,
+            names,
+            test,
+            cur: None,
+            scanned: false,
+            done: false,
+        }
+    }
+
+    fn passes(&self, r: &Env) -> Result<bool, EvalError> {
+        match &self.test {
+            RowTest::On(on) => Ok(matches!(self.ev.expr(on, r)?, Value::Bool(true))),
+            RowTest::Split {
+                keys,
+                left_pred,
+                right_pred,
+                residual,
+            } => {
+                for p in [left_pred, right_pred].into_iter().flatten() {
+                    if !matches!(self.ev.expr(p, r)?, Value::Bool(true)) {
+                        return Ok(false);
+                    }
+                }
+                for (lk, rk) in keys.iter() {
+                    let a = self.ev.expr(lk, r)?;
+                    let b = self.ev.expr(rk, r)?;
+                    if !matches!(sql_eq(&a, &b), Value::Bool(true)) {
+                        return Ok(false);
+                    }
+                }
+                if let Some(p) = residual {
+                    if !matches!(self.ev.expr(p, r)?, Value::Bool(true)) {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    fn pad(&self, l: &Env) -> Env {
+        // SQL left join: unmatched rows pad the right-side variables
+        // with NULL.
+        let mut padded = l.clone();
+        for name in &self.names {
+            padded = padded.bind(name.clone(), Value::Null);
+        }
+        padded
+    }
+}
+
+impl<'s, 'a> Iterator for NestedLoop<'s, 'a> {
+    type Item = Result<Env, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.cur.is_some() {
+                // Pull the next right row in a scope of its own, so the
+                // test below can borrow `self` again.
+                let step = {
+                    let (_, rights, _) = self.cur.as_mut().expect("checked above");
+                    rights.next()
+                };
+                match step {
+                    Some(Err(e)) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    Some(Ok(r)) => {
+                        if let Some(st) = &self.ev.stats {
+                            st.add_join_probes(1);
+                        }
+                        match self.passes(&r) {
+                            Err(e) => {
+                                self.done = true;
+                                return Some(Err(e));
+                            }
+                            Ok(true) => {
+                                self.cur.as_mut().expect("checked above").2 = true;
+                                return Some(Ok(r));
+                            }
+                            Ok(false) => continue,
+                        }
+                    }
+                    None => {
+                        let (lenv, _, matched) = self.cur.take().expect("checked above");
+                        if !matched && self.kind == CoreJoinKind::Left {
+                            return Some(Ok(self.pad(&lenv)));
+                        }
+                        continue;
+                    }
+                }
+            }
+            match self.left.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(l)) => {
+                    if self.scanned {
+                        if let Some(st) = &self.ev.stats {
+                            st.add_right_rescans(1);
+                        }
+                    }
+                    let rights = self.ev.from_stream(self.right, self.whole, &l);
+                    self.scanned = true;
+                    self.cur = Some((l, rights, false));
+                }
+            }
+        }
+    }
+}
+
+/// Streaming hash-join probe: the build side is already materialized
+/// (tracked live by its gauge); left rows are pulled one at a time and
+/// probed, so a LIMIT above the join stops the left scan early.
+struct HashProbe<'s, 'a> {
+    ev: &'s Evaluator<'a>,
+    kind: CoreJoinKind,
+    keys: &'s [(CoreExpr, CoreExpr)],
+    left_pred: Option<&'s CoreExpr>,
+    residual: Option<&'s CoreExpr>,
+    names: Vec<Rc<str>>,
+    build: JoinBuild<'s>,
+    left: BindingStream<'s>,
+    /// Rows produced by the current left row, drained before pulling the
+    /// next one.
+    pending: VecDeque<Env>,
+    done: bool,
+}
+
+impl<'s, 'a> HashProbe<'s, 'a> {
+    /// Probes the build table for one left row, queueing its matches.
+    /// Bucket candidates are confirmed key-by-key with `deep_eq`
+    /// (hash_value is deep_eq-consistent), which is exactly when
+    /// `l.x = r.y` evaluates to TRUE for non-absent keys; the residual is
+    /// then re-checked in the combined environment.
+    fn probe(&mut self, l: &Env) -> Result<bool, EvalError> {
+        // An empty build side matches nothing — and, like the nested
+        // loop over an empty right side, evaluates no predicate or key
+        // at all.
+        if self.build.rows.is_empty() {
+            return Ok(false);
+        }
+        if let Some(p) = self.left_pred {
+            if !matches!(self.ev.expr(p, l)?, Value::Bool(true)) {
+                return Ok(false);
+            }
+        }
+        let mut kv = Vec::with_capacity(self.keys.len());
+        for (lk, _) in self.keys {
+            let v = self.ev.expr(lk, l)?;
+            if v.is_absent() {
+                return Ok(false);
+            }
+            kv.push(v);
+        }
+        let Some(bucket) = self.build.table.get(&joint_hash(&kv)) else {
+            return Ok(false);
+        };
+        let mut matched = false;
+        for &i in bucket {
+            if let Some(st) = &self.ev.stats {
+                st.add_join_probes(1);
+            }
+            let (renv, rkv) = &self.build.rows[i];
+            if !kv.iter().zip(rkv).all(|(a, b)| deep_eq(a, b)) {
+                continue;
+            }
+            let combined = combine_envs(l, renv, &self.names);
+            if let Some(p) = self.residual {
+                if !matches!(self.ev.expr(p, &combined)?, Value::Bool(true)) {
+                    continue;
+                }
+            }
+            matched = true;
+            self.pending.push_back(combined);
+        }
+        Ok(matched)
+    }
+}
+
+impl<'s, 'a> Iterator for HashProbe<'s, 'a> {
+    type Item = Result<Env, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                return Some(Ok(e));
+            }
+            if self.done {
+                return None;
+            }
+            match self.left.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(l)) => match self.probe(&l) {
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    Ok(matched) => {
+                        if !matched && self.kind == CoreJoinKind::Left {
+                            let mut padded = l.clone();
+                            for name in &self.names {
+                                padded = padded.bind(name.clone(), Value::Null);
+                            }
+                            self.pending.push_back(padded);
+                        }
+                    }
+                },
+            }
+        }
+    }
 }
 
 /// Extends a left-row environment with the right side's variables from a
@@ -1773,14 +2276,6 @@ fn combine_envs(l: &Env, r: &Env, right_vars: &[std::rc::Rc<str>]) -> Env {
         }
     }
     out
-}
-
-fn apply_limit<T>(items: Vec<T>, limit: Option<usize>, offset: usize) -> Vec<T> {
-    items
-        .into_iter()
-        .skip(offset)
-        .take(limit.unwrap_or(usize::MAX))
-        .collect()
 }
 
 /// Stable sort of `(keys, payload)` rows honoring desc and nulls-first per
@@ -1879,6 +2374,10 @@ impl<'s> RightMultiset<'s> {
     }
 }
 
+/// Materialized set-operation semantics: the reference shape the
+/// streaming [`Evaluator::set_op_stream`] must agree with (exercised by
+/// the unit tests below; production queries run the stream).
+#[cfg(test)]
 fn eval_set_op(
     op: CoreSetOp,
     all: bool,
@@ -2059,13 +2558,20 @@ mod tests {
         ev.limit_offset(&limit, &offset, &Env::new())
     }
 
+    /// Runs `Limited` over an infallible source, collecting the output.
+    fn limited(items: Vec<i32>, lim: Option<usize>, off: usize) -> Vec<i32> {
+        Limited::new(items.into_iter().map(Ok::<i32, EvalError>), off, lim)
+            .collect::<Result<Vec<i32>, EvalError>>()
+            .unwrap()
+    }
+
     #[test]
     fn limit_zero_and_offset_past_end_truncate() {
         let (lim, off) = limits_under(TypingMode::Permissive, Some(Value::Int(0)), None).unwrap();
-        assert_eq!(apply_limit(vec![1, 2, 3], lim, off), Vec::<i32>::new());
+        assert_eq!(limited(vec![1, 2, 3], lim, off), Vec::<i32>::new());
 
         let (lim, off) = limits_under(TypingMode::Permissive, None, Some(Value::Int(99))).unwrap();
-        assert_eq!(apply_limit(vec![1, 2, 3], lim, off), Vec::<i32>::new());
+        assert_eq!(limited(vec![1, 2, 3], lim, off), Vec::<i32>::new());
     }
 
     #[test]
@@ -2117,19 +2623,25 @@ mod tests {
                 at_var: None,
             },
         };
-        let op = CoreOp::Project {
-            input: Box::new(scan),
-            expr: CoreExpr::Var("x".into()),
-            distinct: true,
+        let q = CoreQuery {
+            op: CoreOp::Project {
+                input: Box::new(scan),
+                expr: CoreExpr::Var("x".into()),
+                distinct: true,
+            },
         };
-        let out = ev.value_op(&op, &Env::new()).unwrap();
+        let out = ev.run(&q).unwrap();
         assert_eq!(out, Value::Bag(vec![Value::Int(1), Value::Int(2)]));
         let stats = ev.stats_snapshot().expect("collect_stats was on");
         assert_eq!(stats.rows_scanned, 3);
         assert_eq!(stats.bindings_produced, 3);
         assert_eq!(stats.dedupe_probes, 1, "one hash hit confirmed by deep_eq");
-        let project = stats.op(&op).expect("Project ran");
+        // Pre-order plan index 0 is the Project itself.
+        let project = stats.op_at(0).expect("Project ran");
         assert_eq!((project.calls, project.rows_out), (1, 2));
+        // DISTINCT materialized all three projected rows.
+        assert_eq!(project.peak_rows, 3);
+        assert_eq!(stats.peak_live_bindings, 3);
     }
 
     #[test]

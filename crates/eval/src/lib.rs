@@ -28,6 +28,7 @@ mod interp;
 mod like;
 pub mod reference;
 pub mod stats;
+mod stream;
 
 pub use env::Env;
 pub use error::{EvalError, TypingMode};

@@ -51,6 +51,19 @@ impl std::error::Error for ReferenceError {}
 /// pipeline* — binding generation, filtering, and projection are explicit
 /// nested loops exactly as printed in the paper.
 pub fn eval_sfw(query: &Query, catalog: &Catalog) -> Result<Value, ReferenceError> {
+    eval_sfw_config(query, catalog, EvalConfig::default())
+}
+
+/// [`eval_sfw`] under an explicit evaluator configuration, so the
+/// differential tests can pit the streaming engine against the
+/// materialized nested loops in *both* typing modes: permissive runs must
+/// produce identical bags, stop-on-error runs must surface an error on
+/// the same inputs.
+pub fn eval_sfw_config(
+    query: &Query,
+    catalog: &Catalog,
+    config: EvalConfig,
+) -> Result<Value, ReferenceError> {
     let block = match &query.body {
         SetExpr::Block(b) => b,
         SetExpr::SetOp { .. } => return Err(ReferenceError::Unsupported("set operations")),
@@ -87,7 +100,7 @@ pub fn eval_sfw(query: &Query, catalog: &Catalog) -> Result<Value, ReferenceErro
     // Reuse the engine's expression machinery by lowering tiny one-clause
     // queries. A FROM item expression is lowered in the scope of the
     // variables to its left (left-correlation).
-    let helper = Helper { catalog };
+    let helper = Helper { catalog, config };
     let mut out = Vec::new();
     helper.loop_from(block, &items, 0, &Env::new(), &mut out)?;
     Ok(Value::Bag(out))
@@ -95,6 +108,7 @@ pub fn eval_sfw(query: &Query, catalog: &Catalog) -> Result<Value, ReferenceErro
 
 struct Helper<'a> {
     catalog: &'a Catalog,
+    config: EvalConfig,
 }
 
 impl Helper<'_> {
@@ -200,7 +214,7 @@ impl Helper<'_> {
         // with a custom scope through `lower_with_scope`.
         let core = sqlpp_plan::lower::lower_with_scope(&q, &PlanConfig::default(), &mut scope)
             .map_err(|e| EvalError::Type(e.to_string()))?;
-        let ev = Evaluator::new(self.catalog, EvalConfig::default());
+        let ev = Evaluator::new(self.catalog, self.config.clone());
         match core.op {
             sqlpp_plan::CoreOp::Project { expr, .. } => ev.expr(&expr, env),
             other => Err(EvalError::Type(format!("unexpected lowering {other:?}"))),

@@ -4,29 +4,24 @@
 //! inspectable counterpart for performance: per-phase wall times
 //! (parse/lower/optimize/eval) plus per-operator and engine-wide counters
 //! (rows scanned, bindings produced, groups built, dedupe/set-op probes,
-//! MISSING propagations, subquery invocations).
+//! MISSING propagations, subquery invocations, peak live bindings).
 //!
 //! Collection is gated by [`crate::EvalConfig::collect_stats`] and costs
 //! nothing when off: the evaluator holds an `Option<StatsCollector>` and
 //! every counter update sits behind that single discriminant check.
-//! Per-operator entries are keyed by the *address* of the `CoreOp` node in
-//! the plan that ran (see [`op_key`]), so annotating an `EXPLAIN` render
-//! requires walking the same plan allocation — which is how
-//! `sqlpp::Engine` uses it.
+//! Per-operator entries are keyed by the operator's *pre-order plan index*
+//! (its position in [`sqlpp_plan::CoreQuery::preorder_ops`]), which is
+//! stable across plan clones and optimizer rewrites — unlike node
+//! addresses, which alias after drops. The evaluator registers the plan it
+//! is about to run ([`StatsCollector::register_plan`]); any operator
+//! evaluated outside a registered plan (direct `value_op` calls in tests)
+//! gets a fresh index past the registered range.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::time::Duration;
 
-use sqlpp_plan::CoreOp;
-
-/// Stable identity of an operator node within one plan: its address.
-/// Valid only while that plan allocation is alive and unmoved — the
-/// engine keeps the `CoreQuery` it executed and annotates the very same
-/// tree.
-pub fn op_key(op: &CoreOp) -> usize {
-    std::ptr::from_ref(op) as usize
-}
+use sqlpp_plan::{CoreOp, CoreQuery};
 
 /// Counters for one operator node (inclusive of its children).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +33,9 @@ pub struct OpStats {
     pub rows_out: u64,
     /// Total wall time across calls, in nanoseconds, including children.
     pub ns: u64,
+    /// High-water mark of rows this operator held materialized at once
+    /// (zero for fully streaming operators).
+    pub peak_rows: u64,
 }
 
 /// A finished statistics snapshot: phase wall times plus counters.
@@ -51,7 +49,9 @@ pub struct ExecStats {
     pub optimize_ns: u64,
     /// Wall time spent evaluating, in nanoseconds.
     pub eval_ns: u64,
-    /// Elements iterated by FROM scans (including UNPIVOT pairs).
+    /// Elements iterated by FROM scans (including UNPIVOT pairs). Under
+    /// the streaming executor this counts *pulled* elements, so a
+    /// short-circuited `LIMIT k` scan reports O(k), not the source size.
     pub rows_scanned: u64,
     /// Bindings emitted by FROM operators.
     pub bindings_produced: u64,
@@ -75,14 +75,20 @@ pub struct ExecStats {
     /// Times a join's right side was re-evaluated beyond its first
     /// evaluation — zero for a hash join, `L - 1` for a nested loop.
     pub right_rescans: u64,
-    /// Per-operator counters, keyed by [`op_key`] of the plan node.
-    pub ops: HashMap<usize, OpStats>,
+    /// High-water mark of rows held live across *all* pipeline-breaker
+    /// buffers simultaneously — the number a spill policy would act on.
+    /// Streaming plans keep this far below the source cardinality.
+    pub peak_live_bindings: u64,
+    /// Per-operator counters, keyed by pre-order plan index (see
+    /// [`sqlpp_plan::CoreQuery::preorder_ops`]).
+    pub ops: HashMap<u32, OpStats>,
 }
 
 impl ExecStats {
-    /// Per-operator counters for a plan node, if it ran.
-    pub fn op(&self, op: &CoreOp) -> Option<&OpStats> {
-        self.ops.get(&op_key(op))
+    /// Per-operator counters for the node at pre-order plan index
+    /// `index`, if it ran.
+    pub fn op_at(&self, index: u32) -> Option<&OpStats> {
+        self.ops.get(&index)
     }
 
     /// The engine-wide counters as stable `(name, value)` pairs — the
@@ -99,6 +105,7 @@ impl ExecStats {
             ("join_probes", self.join_probes),
             ("join_build_rows", self.join_build_rows),
             ("right_rescans", self.right_rescans),
+            ("peak_live_bindings", self.peak_live_bindings),
         ]
     }
 
@@ -151,17 +158,79 @@ pub struct StatsCollector {
     join_probes: Cell<u64>,
     join_build_rows: Cell<u64>,
     right_rescans: Cell<u64>,
-    ops: RefCell<HashMap<usize, OpStats>>,
+    /// Rows currently held live across all tracked buffers.
+    live_bindings: Cell<u64>,
+    /// High-water mark of `live_bindings`.
+    peak_live_bindings: Cell<u64>,
+    /// Node address → pre-order plan index, filled by [`register_plan`]
+    /// (plus overflow entries for unregistered nodes). The address is
+    /// only ever used as a lookup handle while the plan is alive; the
+    /// *index* is what snapshots carry.
+    ///
+    /// [`register_plan`]: StatsCollector::register_plan
+    op_index: RefCell<HashMap<usize, u32>>,
+    next_op_index: Cell<u32>,
+    ops: RefCell<HashMap<u32, OpStats>>,
 }
 
 impl StatsCollector {
+    /// Assigns every operator of `plan` its pre-order index. Called by
+    /// the evaluator once per top-level run, before any operator
+    /// executes, so recorded keys match what
+    /// [`CoreQuery::preorder_ops`] enumerates.
+    pub fn register_plan(&self, plan: &CoreQuery) {
+        let mut map = self.op_index.borrow_mut();
+        for op in plan.preorder_ops() {
+            let next = map.len() as u32;
+            map.entry(std::ptr::from_ref(op) as usize).or_insert(next);
+        }
+        self.next_op_index.set(map.len() as u32);
+    }
+
+    /// The stats key for an operator node: its registered pre-order
+    /// index, or a fresh index past the registered range when the node
+    /// was never registered (operators run outside a `CoreQuery`).
+    pub fn key_for(&self, op: &CoreOp) -> u32 {
+        let ptr = std::ptr::from_ref(op) as usize;
+        if let Some(&i) = self.op_index.borrow().get(&ptr) {
+            return i;
+        }
+        let i = self.next_op_index.get();
+        self.next_op_index.set(i + 1);
+        self.op_index.borrow_mut().insert(ptr, i);
+        i
+    }
+
     /// Records one operator evaluation: `rows` emitted over `elapsed`.
-    pub fn record_op(&self, key: usize, rows: u64, elapsed: Duration) {
+    pub fn record_op(&self, key: u32, rows: u64, elapsed: Duration) {
         let mut ops = self.ops.borrow_mut();
         let e = ops.entry(key).or_default();
         e.calls += 1;
         e.rows_out += rows;
         e.ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Raises an operator's materialization high-water mark to at least
+    /// `rows`.
+    pub fn record_peak_rows(&self, key: u32, rows: u64) {
+        let mut ops = self.ops.borrow_mut();
+        let e = ops.entry(key).or_default();
+        e.peak_rows = e.peak_rows.max(rows);
+    }
+
+    /// Counts `n` rows entering a tracked materialization buffer.
+    pub fn buffer_grow(&self, n: u64) {
+        let live = self.live_bindings.get() + n;
+        self.live_bindings.set(live);
+        if live > self.peak_live_bindings.get() {
+            self.peak_live_bindings.set(live);
+        }
+    }
+
+    /// Counts `n` rows leaving a tracked materialization buffer.
+    pub fn buffer_shrink(&self, n: u64) {
+        self.live_bindings
+            .set(self.live_bindings.get().saturating_sub(n));
     }
 
     /// Counts elements iterated by a FROM scan.
@@ -234,6 +303,7 @@ impl StatsCollector {
             join_probes: self.join_probes.get(),
             join_build_rows: self.join_build_rows.get(),
             right_rescans: self.right_rescans.get(),
+            peak_live_bindings: self.peak_live_bindings.get(),
             ops: self.ops.borrow().clone(),
         }
     }
@@ -256,7 +326,7 @@ mod tests {
         assert_eq!(s.rows_scanned, 15);
         assert_eq!(s.dedupe_probes, 3);
         assert_eq!(s.missing_propagations, 1);
-        let op = s.ops.get(&42).unwrap();
+        let op = s.op_at(42).unwrap();
         assert_eq!((op.calls, op.rows_out, op.ns), (2, 14, 150));
     }
 
@@ -271,6 +341,48 @@ mod tests {
         for (name, _) in s.counters() {
             assert!(text.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn buffer_gauge_tracks_the_high_water_mark_not_the_sum() {
+        let c = StatsCollector::default();
+        c.buffer_grow(10);
+        c.buffer_shrink(10); // first buffer released before the second fills
+        c.buffer_grow(4);
+        c.buffer_grow(3);
+        c.buffer_shrink(7);
+        let s = c.snapshot();
+        assert_eq!(s.peak_live_bindings, 10);
+        c.record_peak_rows(0, 4);
+        c.record_peak_rows(0, 2); // lower water never shrinks the peak
+        assert_eq!(c.snapshot().op_at(0).unwrap().peak_rows, 4);
+    }
+
+    #[test]
+    fn plan_registration_assigns_stable_preorder_indices() {
+        use sqlpp_plan::{CoreExpr, CoreFrom, CoreQuery};
+        let q = CoreQuery {
+            op: CoreOp::Project {
+                input: Box::new(CoreOp::From {
+                    item: CoreFrom::Scan {
+                        expr: CoreExpr::Global(vec!["c".into()]),
+                        as_var: "x".into(),
+                        at_var: None,
+                    },
+                }),
+                expr: CoreExpr::Var("x".into()),
+                distinct: false,
+            },
+        };
+        let c = StatsCollector::default();
+        c.register_plan(&q);
+        let ops = q.preorder_ops();
+        assert_eq!(c.key_for(ops[0]), 0, "root Project is index 0");
+        assert_eq!(c.key_for(ops[1]), 1, "From child is index 1");
+        // An unregistered node lands past the registered range.
+        let stray = CoreOp::Single;
+        assert_eq!(c.key_for(&stray), 2);
+        assert_eq!(c.key_for(&stray), 2, "and keeps its index");
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Pull-based streams: the lazy iterator layer under the interpreter.
+//!
+//! The paper's Pseudocodes 1–2 define clause semantics as *iteration* over
+//! binding environments; this module gives the interpreter that shape at
+//! runtime. A [`BindingStream`] (or [`ValueStream`]) yields one row per
+//! `next()`, so `LIMIT`, `EXISTS`, `IN`, and scalar-subquery coercion stop
+//! pulling as soon as they have what they need — instead of truncating a
+//! fully materialized `Vec`.
+//!
+//! True pipeline breakers (ORDER BY, GROUP BY, window, DISTINCT, hash-join
+//! and set-op build sides) still buffer, but only ever through
+//! [`TrackedBuffer`]/[`MatGauge`], which feed the `peak_live_bindings`
+//! gauge and per-operator high-water counters in
+//! [`crate::ExecStats`] — the future spill point.
+//!
+//! Error convention: a stream that yields `Err` is *finished*; consumers
+//! must stop pulling after the first error, and streams make no promise
+//! about what further `next()` calls return.
+
+use std::time::Instant;
+
+use sqlpp_plan::CoreOp;
+use sqlpp_value::Value;
+
+use crate::env::Env;
+use crate::error::EvalError;
+use crate::stats::StatsCollector;
+
+/// A lazy stream of binding environments.
+pub(crate) type BindingStream<'s> = Box<dyn Iterator<Item = Result<Env, EvalError>> + 's>;
+
+/// A lazy stream of output values (elements of a bag under construction).
+pub(crate) type ValueStream<'s> = Box<dyn Iterator<Item = Result<Value, EvalError>> + 's>;
+
+/// A stream that has already failed: yields the error once, then ends.
+pub(crate) fn failed<'s, T: 's>(
+    e: EvalError,
+) -> Box<dyn Iterator<Item = Result<T, EvalError>> + 's> {
+    Box::new(std::iter::once(Err(e)))
+}
+
+/// The empty stream.
+pub(crate) fn empty<'s, T: 's>() -> Box<dyn Iterator<Item = Result<T, EvalError>> + 's> {
+    Box::new(std::iter::empty())
+}
+
+/// Streams an already-materialized vector.
+pub(crate) fn from_vec<'s, T: 's>(
+    items: Vec<T>,
+) -> Box<dyn Iterator<Item = Result<T, EvalError>> + 's> {
+    Box::new(items.into_iter().map(Ok))
+}
+
+/// LIMIT/OFFSET as a stream adapter: skips `offset` rows, then yields at
+/// most `limit`, and — crucially — stops *pulling* from its input once the
+/// quota is met. Errors pass through without consuming quota.
+pub(crate) struct Limited<I> {
+    inner: I,
+    skip: usize,
+    take: Option<usize>,
+}
+
+impl<I> Limited<I> {
+    pub(crate) fn new(inner: I, offset: usize, limit: Option<usize>) -> Self {
+        Limited {
+            inner,
+            skip: offset,
+            take: limit,
+        }
+    }
+}
+
+impl<I, T> Iterator for Limited<I>
+where
+    I: Iterator<Item = Result<T, EvalError>>,
+{
+    type Item = Result<T, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.take == Some(0) {
+                return None;
+            }
+            match self.inner.next()? {
+                Err(e) => {
+                    self.take = Some(0);
+                    return Some(Err(e));
+                }
+                Ok(item) => {
+                    if self.skip > 0 {
+                        self.skip -= 1;
+                        continue;
+                    }
+                    if let Some(t) = &mut self.take {
+                        *t -= 1;
+                    }
+                    return Some(Ok(item));
+                }
+            }
+        }
+    }
+}
+
+/// Per-operator instrumentation for a stream: counts rows out and wall
+/// time spent inside this operator's `next()` (inclusive of children, as
+/// the tree renderer expects), recording one "call" when dropped. Only
+/// constructed when stats collection is on, so the ordinary path carries
+/// no timer at all.
+pub(crate) struct Instrumented<'s, I> {
+    inner: I,
+    stats: &'s StatsCollector,
+    key: u32,
+    rows: u64,
+    ns: u64,
+    /// The operator is a FROM: its rows also count as `bindings_produced`.
+    count_bindings: bool,
+}
+
+impl<'s, I> Instrumented<'s, I> {
+    pub(crate) fn new(
+        inner: I,
+        stats: &'s StatsCollector,
+        op: &CoreOp,
+        count_bindings: bool,
+    ) -> Self {
+        Instrumented {
+            inner,
+            stats,
+            key: stats.key_for(op),
+            rows: 0,
+            ns: 0,
+            count_bindings,
+        }
+    }
+}
+
+impl<'s, I, T> Iterator for Instrumented<'s, I>
+where
+    I: Iterator<Item = Result<T, EvalError>>,
+{
+    type Item = Result<T, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let t = Instant::now();
+        let item = self.inner.next();
+        self.ns += t.elapsed().as_nanos() as u64;
+        if matches!(item, Some(Ok(_))) {
+            self.rows += 1;
+        }
+        item
+    }
+}
+
+impl<'s, I> Drop for Instrumented<'s, I> {
+    fn drop(&mut self) {
+        self.stats.record_op(
+            self.key,
+            self.rows,
+            std::time::Duration::from_nanos(self.ns),
+        );
+        if self.count_bindings {
+            self.stats.add_bindings_produced(self.rows);
+        }
+    }
+}
+
+/// A materialization gauge: every row a pipeline breaker holds live is
+/// counted into the collector's `peak_live_bindings` high-water mark (and,
+/// when the breaker is a plan operator, into that operator's `peak_rows`).
+/// Dropping the gauge releases its rows from the live count — exactly the
+/// lifecycle a spill file would have.
+pub(crate) struct MatGauge<'s> {
+    stats: Option<&'s StatsCollector>,
+    key: Option<u32>,
+    count: u64,
+}
+
+impl<'s> MatGauge<'s> {
+    pub(crate) fn new(stats: Option<&'s StatsCollector>, op: Option<&CoreOp>) -> Self {
+        let key = match (stats, op) {
+            (Some(st), Some(op)) => Some(st.key_for(op)),
+            _ => None,
+        };
+        MatGauge {
+            stats,
+            key,
+            count: 0,
+        }
+    }
+
+    /// Counts `n` more rows as live in this buffer.
+    pub(crate) fn add(&mut self, n: u64) {
+        if let Some(st) = self.stats {
+            self.count += n;
+            st.buffer_grow(n);
+            if let Some(k) = self.key {
+                st.record_peak_rows(k, self.count);
+            }
+        }
+    }
+}
+
+impl<'s> Drop for MatGauge<'s> {
+    fn drop(&mut self) {
+        if let Some(st) = self.stats {
+            st.buffer_shrink(self.count);
+        }
+    }
+}
+
+/// The one buffer type pipeline breakers materialize through: a `Vec`
+/// whose occupancy is tracked by a [`MatGauge`].
+pub(crate) struct TrackedBuffer<'s, T> {
+    items: Vec<T>,
+    gauge: MatGauge<'s>,
+}
+
+impl<'s, T> TrackedBuffer<'s, T> {
+    pub(crate) fn new(stats: Option<&'s StatsCollector>, op: Option<&CoreOp>) -> Self {
+        TrackedBuffer {
+            items: Vec::new(),
+            gauge: MatGauge::new(stats, op),
+        }
+    }
+
+    pub(crate) fn push(&mut self, item: T) {
+        self.items.push(item);
+        self.gauge.add(1);
+    }
+
+    /// Releases the rows from the live gauge (their peak is already
+    /// recorded) and hands the vector to the caller.
+    pub(crate) fn into_vec(self) -> Vec<T> {
+        let TrackedBuffer { items, gauge } = self;
+        drop(gauge);
+        items
+    }
+}

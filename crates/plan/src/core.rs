@@ -525,6 +525,236 @@ impl CoreExpr {
 }
 
 // ---------------------------------------------------------------------
+// Plan walking
+// ---------------------------------------------------------------------
+
+impl CoreQuery {
+    /// Every operator in this plan, in pre-order — the node itself, then
+    /// nested subquery plans inside its expressions, then its operator
+    /// children. The position of a node in this sequence is its stable
+    /// *plan index*: execution statistics are keyed by it (it survives
+    /// plan clones and optimizer rewrites, unlike node addresses).
+    pub fn preorder_ops(&self) -> Vec<&CoreOp> {
+        let mut out = Vec::new();
+        collect_ops(&self.op, &mut out);
+        out
+    }
+}
+
+impl CoreOp {
+    /// How the streaming executor runs this operator: `"streaming"` when
+    /// rows flow through one at a time, `"materializing"` when it buffers
+    /// rows (a pipeline breaker — ORDER BY, GROUP BY, window, DISTINCT,
+    /// non-`UNION ALL` set operations, and FROM trees containing a
+    /// hash-join build side).
+    pub fn pipeline_class(&self) -> &'static str {
+        let materializes = match self {
+            CoreOp::Sort { .. }
+            | CoreOp::SortValues { .. }
+            | CoreOp::Group { .. }
+            | CoreOp::Window { .. } => true,
+            CoreOp::Project { distinct, .. } => *distinct,
+            CoreOp::SetOp { op, all, .. } => !(matches!(op, CoreSetOp::Union) && *all),
+            CoreOp::From { item } => from_materializes(item),
+            _ => false,
+        };
+        if materializes {
+            "materializing"
+        } else {
+            "streaming"
+        }
+    }
+}
+
+fn from_materializes(item: &CoreFrom) -> bool {
+    match item {
+        CoreFrom::HashJoin { .. } => true,
+        CoreFrom::Correlate { left, right } | CoreFrom::Join { left, right, .. } => {
+            from_materializes(left) || from_materializes(right)
+        }
+        CoreFrom::Scan { .. } | CoreFrom::Unpivot { .. } | CoreFrom::Let { .. } => false,
+    }
+}
+
+fn collect_ops<'p>(op: &'p CoreOp, out: &mut Vec<&'p CoreOp>) {
+    out.push(op);
+    match op {
+        CoreOp::Single => {}
+        CoreOp::From { item } => collect_from_plans(item, out),
+        CoreOp::Filter { input, pred } => {
+            collect_expr_plans(pred, out);
+            collect_ops(input, out);
+        }
+        CoreOp::Group { input, keys, .. } => {
+            for (_, k) in keys {
+                collect_expr_plans(k, out);
+            }
+            collect_ops(input, out);
+        }
+        CoreOp::Append { inputs } => {
+            for i in inputs {
+                collect_ops(i, out);
+            }
+        }
+        CoreOp::Sort { input, keys } | CoreOp::SortValues { input, keys } => {
+            for k in keys {
+                collect_expr_plans(&k.expr, out);
+            }
+            collect_ops(input, out);
+        }
+        CoreOp::LimitOffset {
+            input,
+            limit,
+            offset,
+        } => {
+            for e in [limit, offset].into_iter().flatten() {
+                collect_expr_plans(e, out);
+            }
+            collect_ops(input, out);
+        }
+        CoreOp::Project { input, expr, .. } => {
+            collect_expr_plans(expr, out);
+            collect_ops(input, out);
+        }
+        CoreOp::Pivot { input, value, name } => {
+            collect_expr_plans(value, out);
+            collect_expr_plans(name, out);
+            collect_ops(input, out);
+        }
+        CoreOp::SetOp { left, right, .. } => {
+            collect_ops(left, out);
+            collect_ops(right, out);
+        }
+        CoreOp::Window { input, defs } => {
+            for d in defs {
+                for e in d.args.iter().chain(d.partition.iter()) {
+                    collect_expr_plans(e, out);
+                }
+                for k in &d.order {
+                    collect_expr_plans(&k.expr, out);
+                }
+            }
+            collect_ops(input, out);
+        }
+        CoreOp::With { bindings, body } => {
+            for (_, q) in bindings {
+                collect_ops(&q.op, out);
+            }
+            collect_ops(body, out);
+        }
+    }
+}
+
+fn collect_from_plans<'p>(item: &'p CoreFrom, out: &mut Vec<&'p CoreOp>) {
+    match item {
+        CoreFrom::Scan { expr, .. }
+        | CoreFrom::Unpivot { expr, .. }
+        | CoreFrom::Let { expr, .. } => collect_expr_plans(expr, out),
+        CoreFrom::Correlate { left, right } => {
+            collect_from_plans(left, out);
+            collect_from_plans(right, out);
+        }
+        CoreFrom::Join {
+            left, right, on, ..
+        } => {
+            collect_from_plans(left, out);
+            collect_from_plans(right, out);
+            collect_expr_plans(on, out);
+        }
+        CoreFrom::HashJoin {
+            left,
+            right,
+            keys,
+            left_pred,
+            right_pred,
+            residual,
+            ..
+        } => {
+            collect_from_plans(left, out);
+            collect_from_plans(right, out);
+            for (l, r) in keys {
+                collect_expr_plans(l, out);
+                collect_expr_plans(r, out);
+            }
+            for e in [left_pred, right_pred, residual].into_iter().flatten() {
+                collect_expr_plans(e, out);
+            }
+        }
+    }
+}
+
+fn collect_expr_plans<'p>(e: &'p CoreExpr, out: &mut Vec<&'p CoreOp>) {
+    match e {
+        CoreExpr::Const(_)
+        | CoreExpr::Var(_)
+        | CoreExpr::Param(_)
+        | CoreExpr::Global(_)
+        | CoreExpr::Dynamic(_) => {}
+        CoreExpr::Path(base, _) | CoreExpr::Un(_, base) => collect_expr_plans(base, out),
+        CoreExpr::Index(base, idx) => {
+            collect_expr_plans(base, out);
+            collect_expr_plans(idx, out);
+        }
+        CoreExpr::Bin(_, l, r) => {
+            collect_expr_plans(l, out);
+            collect_expr_plans(r, out);
+        }
+        CoreExpr::Like {
+            expr,
+            pattern,
+            escape,
+            ..
+        } => {
+            collect_expr_plans(expr, out);
+            collect_expr_plans(pattern, out);
+            if let Some(esc) = escape {
+                collect_expr_plans(esc, out);
+            }
+        }
+        CoreExpr::Between {
+            expr, low, high, ..
+        } => {
+            collect_expr_plans(expr, out);
+            collect_expr_plans(low, out);
+            collect_expr_plans(high, out);
+        }
+        CoreExpr::In {
+            expr, collection, ..
+        } => {
+            collect_expr_plans(expr, out);
+            collect_expr_plans(collection, out);
+        }
+        CoreExpr::Is { expr, .. } | CoreExpr::Cast { expr, .. } => collect_expr_plans(expr, out),
+        CoreExpr::Case { arms, else_expr } => {
+            for (w, t) in arms {
+                collect_expr_plans(w, out);
+                collect_expr_plans(t, out);
+            }
+            collect_expr_plans(else_expr, out);
+        }
+        CoreExpr::Call { args, .. } => {
+            for a in args {
+                collect_expr_plans(a, out);
+            }
+        }
+        CoreExpr::CollAgg { input, .. } => collect_expr_plans(input, out),
+        CoreExpr::Subquery { plan, .. } => collect_ops(&plan.op, out),
+        CoreExpr::Exists(q) => collect_ops(&q.op, out),
+        CoreExpr::TupleCtor(pairs) => {
+            for (n, v) in pairs {
+                collect_expr_plans(n, out);
+                collect_expr_plans(v, out);
+            }
+        }
+        CoreExpr::ArrayCtor(items) | CoreExpr::BagCtor(items) => {
+            for v in items {
+                collect_expr_plans(v, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // EXPLAIN rendering
 // ---------------------------------------------------------------------
 
@@ -536,9 +766,10 @@ impl CoreQuery {
 
     /// Renders the operator tree with a per-operator annotation appended
     /// to each operator's line (`EXPLAIN ANALYZE`). The callback receives
-    /// each node of *this* tree; the eval crate matches nodes by address,
-    /// which is why annotation is a callback rather than a plan-side map —
-    /// `sqlpp-plan` knows nothing about execution statistics.
+    /// each node of *this* tree; the engine matches nodes to their
+    /// [`CoreQuery::preorder_ops`] index, which is why annotation is a
+    /// callback rather than a plan-side map — `sqlpp-plan` knows nothing
+    /// about execution statistics.
     pub fn explain_with(&self, annotate: &mut dyn FnMut(&CoreOp) -> Option<String>) -> String {
         let mut out = String::new();
         explain_op(&self.op, 0, &mut out, annotate);
@@ -974,5 +1205,79 @@ mod tests {
         assert!(text.contains("select value x"));
         assert!(text.contains("filter (x.a > 1)"));
         assert!(text.contains("scan @t as x"));
+    }
+
+    #[test]
+    fn preorder_walk_is_stable_and_reaches_nested_plans() {
+        let scan = |name: &str, var: &str| CoreOp::From {
+            item: CoreFrom::Scan {
+                expr: CoreExpr::Global(vec![name.into()]),
+                as_var: var.into(),
+                at_var: None,
+            },
+        };
+        // SELECT VALUE x FROM t AS x WHERE EXISTS (FROM u AS y SELECT VALUE y)
+        let exists_plan = CoreQuery {
+            op: CoreOp::Project {
+                input: Box::new(scan("u", "y")),
+                expr: CoreExpr::Var("y".into()),
+                distinct: false,
+            },
+        };
+        let q = CoreQuery {
+            op: CoreOp::Project {
+                input: Box::new(CoreOp::Filter {
+                    input: Box::new(scan("t", "x")),
+                    pred: CoreExpr::Exists(Box::new(exists_plan)),
+                }),
+                expr: CoreExpr::Var("x".into()),
+                distinct: false,
+            },
+        };
+        let ops = q.preorder_ops();
+        // Root project, filter, the EXISTS subplan's project + from
+        // (expressions before operator children), then the outer from.
+        assert_eq!(ops.len(), 5);
+        assert!(matches!(ops[0], CoreOp::Project { .. }));
+        assert!(matches!(ops[1], CoreOp::Filter { .. }));
+        assert!(matches!(ops[2], CoreOp::Project { .. }));
+        assert!(matches!(ops[3], CoreOp::From { .. }));
+        assert!(matches!(ops[4], CoreOp::From { .. }));
+        // Indices are positional, so a clone enumerates identically.
+        let cloned = q.clone();
+        for (a, b) in ops.iter().zip(cloned.preorder_ops()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn pipeline_class_tags_breakers_as_materializing() {
+        let base = CoreOp::Single;
+        assert_eq!(base.pipeline_class(), "streaming");
+        let sort = CoreOp::Sort {
+            input: Box::new(CoreOp::Single),
+            keys: vec![],
+        };
+        assert_eq!(sort.pipeline_class(), "materializing");
+        let distinct = CoreOp::Project {
+            input: Box::new(CoreOp::Single),
+            expr: CoreExpr::bool(true),
+            distinct: true,
+        };
+        assert_eq!(distinct.pipeline_class(), "materializing");
+        let union_all = CoreOp::SetOp {
+            op: CoreSetOp::Union,
+            all: true,
+            left: Box::new(CoreOp::Single),
+            right: Box::new(CoreOp::Single),
+        };
+        assert_eq!(union_all.pipeline_class(), "streaming");
+        let except_all = CoreOp::SetOp {
+            op: CoreSetOp::Except,
+            all: true,
+            left: Box::new(CoreOp::Single),
+            right: Box::new(CoreOp::Single),
+        };
+        assert_eq!(except_all.pipeline_class(), "materializing");
     }
 }

@@ -260,10 +260,27 @@ fn fails_on(f: &dyn Fn(&mut Source), data: &[u64]) -> Option<String> {
     run_case(f, &mut src).err()
 }
 
+/// Hashes one choice stream for the shrink cache.
+fn stream_hash(data: &[u64]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    data.hash(&mut h);
+    h.finish()
+}
+
 /// Greedy choice-stream shrinking: repeatedly tries structurally smaller
 /// streams, keeping any candidate on which the property still fails,
 /// until a full pass makes no progress (or the iteration budget runs
 /// out). Returns the minimal stream and its failure message.
+///
+/// The different passes (and successive sweeps) often propose the same
+/// candidate stream more than once — deleting index 0 of `[0, 1]` and
+/// zeroing index 1 both yield `[0, …]` after replay padding, and every
+/// sweep re-proposes the tail truncations. Replaying the property is the
+/// expensive part, so a cache of already-tried stream hashes skips exact
+/// duplicates without spending any of the iteration budget. (A 64-bit
+/// hash collision would silently skip one novel candidate — harmless:
+/// shrinking stays correct, at worst one step less minimal.)
 fn shrink(
     f: &dyn Fn(&mut Source),
     mut data: Vec<u64>,
@@ -271,20 +288,29 @@ fn shrink(
     budget: u32,
 ) -> (Vec<u64>, String) {
     let mut spent = 0u32;
-    let try_candidate =
-        |candidate: &[u64], data: &mut Vec<u64>, message: &mut String, spent: &mut u32| -> bool {
-            if *spent >= budget {
-                return false;
-            }
-            *spent += 1;
-            if let Some(msg) = fails_on(f, candidate) {
-                *data = candidate.to_vec();
-                *message = msg;
-                true
-            } else {
-                false
-            }
-        };
+    let mut tried: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    tried.insert(stream_hash(&data));
+    let try_candidate = |candidate: &[u64],
+                         data: &mut Vec<u64>,
+                         message: &mut String,
+                         spent: &mut u32,
+                         tried: &mut std::collections::HashSet<u64>|
+     -> bool {
+        if *spent >= budget {
+            return false;
+        }
+        if !tried.insert(stream_hash(candidate)) {
+            return false; // exact stream already tried — skip for free
+        }
+        *spent += 1;
+        if let Some(msg) = fails_on(f, candidate) {
+            *data = candidate.to_vec();
+            *message = msg;
+            true
+        } else {
+            false
+        }
+    };
 
     let mut progressed = true;
     while progressed && spent < budget {
@@ -298,7 +324,7 @@ fn shrink(
             while i + chunk <= data.len() {
                 let mut candidate = data.clone();
                 candidate.drain(i..i + chunk);
-                if try_candidate(&candidate, &mut data, &mut message, &mut spent) {
+                if try_candidate(&candidate, &mut data, &mut message, &mut spent, &mut tried) {
                     progressed = true;
                     // Stay at the same index: the next chunk shifted in.
                 } else {
@@ -315,14 +341,14 @@ fn shrink(
             }
             let mut candidate = data.clone();
             candidate[i] = 0;
-            if try_candidate(&candidate, &mut data, &mut message, &mut spent) {
+            if try_candidate(&candidate, &mut data, &mut message, &mut spent, &mut tried) {
                 progressed = true;
                 continue;
             }
             while data[i] > 1 {
                 let mut candidate = data.clone();
                 candidate[i] /= 2;
-                if !try_candidate(&candidate, &mut data, &mut message, &mut spent) {
+                if !try_candidate(&candidate, &mut data, &mut message, &mut spent, &mut tried) {
                     break;
                 }
                 progressed = true;
@@ -330,14 +356,15 @@ fn shrink(
             if data[i] > 0 {
                 let mut candidate = data.clone();
                 candidate[i] -= 1;
-                progressed |= try_candidate(&candidate, &mut data, &mut message, &mut spent);
+                progressed |=
+                    try_candidate(&candidate, &mut data, &mut message, &mut spent, &mut tried);
             }
         }
 
         // Pass 3: truncate the tail entirely.
         while !data.is_empty() {
             let candidate = data[..data.len() - 1].to_vec();
-            if try_candidate(&candidate, &mut data, &mut message, &mut spent) {
+            if try_candidate(&candidate, &mut data, &mut message, &mut spent, &mut tried) {
                 progressed = true;
             } else {
                 break;
@@ -523,6 +550,44 @@ macro_rules! prop_assert_eq {
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(l == r, $($fmt)+);
     }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A property that fails only on the exact stream `[0, 1]` never
+    /// shrinks — and the duplicate candidates the passes propose
+    /// (`[0]` via delete-index-1, truncate; `[0, 0]` via zero and
+    /// decrement) must each replay only once.
+    #[test]
+    fn shrink_cache_skips_duplicate_candidate_streams() {
+        let calls = Cell::new(0u32);
+        let f = |src: &mut Source| {
+            calls.set(calls.get() + 1);
+            let a = src.draw();
+            let b = src.draw();
+            assert!(!(a == 0 && b == 1), "boom");
+        };
+        let (minimal, message) = shrink(&f, vec![0, 1], "boom".to_string(), 4096);
+        assert_eq!(minimal, vec![0, 1], "no smaller stream fails");
+        assert!(message.contains("boom"));
+        // Distinct candidates: [], [1], [0], [0, 0]. Without the cache
+        // the passes would replay [0] and [0, 0] twice each (6 runs).
+        assert_eq!(calls.get(), 4, "duplicate candidate streams replayed");
+    }
+
+    /// The cache must never block progress: an always-failing property
+    /// still shrinks to the empty stream.
+    #[test]
+    fn shrink_cache_preserves_minimization() {
+        let f = |src: &mut Source| {
+            let _ = src.draw();
+            panic!("always");
+        };
+        let (minimal, _) = shrink(&f, vec![7, 7, 7, 7], "always".to_string(), 4096);
+        assert!(minimal.is_empty(), "expected full shrink, got {minimal:?}");
+    }
 }
 
 /// Asserts inequality inside a property.

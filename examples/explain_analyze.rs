@@ -37,11 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("{text}");
 
-    // The plan must be annotated: per-operator calls/rows/time plus the
-    // phase/counter summary with non-zero scan and binding counts.
+    // The plan must be annotated: per-operator pipeline class, calls,
+    // rows, and time, plus the phase/counter summary with non-zero scan
+    // and binding counts.
     assert!(
-        text.contains("[calls="),
-        "no per-operator annotations:\n{text}"
+        text.contains("[streaming calls="),
+        "no streaming-operator annotations:\n{text}"
+    );
+    assert!(
+        text.contains("[materializing calls="),
+        "no materializing-operator annotations:\n{text}"
     );
     assert!(text.contains("group by"), "no group operator:\n{text}");
     assert!(text.contains("phases: parse"), "no phase summary:\n{text}");

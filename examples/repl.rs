@@ -13,6 +13,8 @@
 //! * `.explain <query>` — show the lowered SQL++ Core plan;
 //! * `.names` — list catalog names;
 //! * `.mode compat|composable` / `.typing permissive|strict` — the dials;
+//! * `.stats on|off` — print the phase/counter summary after every
+//!   statement, DML included;
 //! * `.quit`.
 
 use std::io::{BufRead, Write};
@@ -21,6 +23,7 @@ use sqlpp::{CompatMode, Engine, SessionConfig, TypingMode};
 
 fn main() {
     let mut config = SessionConfig::default();
+    let mut stats_on = false;
     let base = Engine::new();
     // Something to play with out of the box.
     base.load_pnotation(
@@ -32,7 +35,7 @@ fn main() {
     .expect("demo data");
 
     println!("sqlpp REPL — try: SELECT VALUE e.name FROM demo.emps AS e");
-    println!("dot-commands: .load .explain .names .mode .typing .quit");
+    println!("dot-commands: .load .explain .names .mode .typing .stats .quit");
     let stdin = std::io::stdin();
     loop {
         print!("sql++> ");
@@ -67,6 +70,11 @@ fn main() {
                     Some("strict") => config.typing = TypingMode::StrictError,
                     _ => println!("usage: .typing permissive|strict"),
                 },
+                Some("stats") => match words.next() {
+                    Some("on") => stats_on = true,
+                    Some("off") => stats_on = false,
+                    _ => println!("usage: .stats on|off"),
+                },
                 Some("explain") => {
                     let q = rest.trim_start_matches("explain").trim();
                     match engine.explain(q) {
@@ -89,8 +97,19 @@ fn main() {
             continue;
         }
         // Statements first (INSERT/DELETE/UPDATE/CREATE/queries), then
-        // bare expressions.
-        match engine.execute(line) {
+        // bare expressions. With `.stats on`, every statement — DML
+        // included — also prints its phase/counter summary.
+        let outcome = if stats_on {
+            engine.execute_with_stats(line).map(|(outcome, stats)| {
+                if let Some(stats) = &stats {
+                    print!("{}", stats.render_summary());
+                }
+                outcome
+            })
+        } else {
+            engine.execute(line)
+        };
+        match outcome {
             Ok(sqlpp::ExecOutcome::Rows(r)) => println!("{}", r.to_pretty()),
             Ok(sqlpp::ExecOutcome::Created { name, row_type }) => {
                 println!("created {name}: {row_type}");

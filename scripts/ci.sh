@@ -34,6 +34,19 @@ test -s "$join_report" || { echo "missing join bench report $join_report" >&2; e
 grep -q '"join_probes"' "$join_report" || { echo "join counters missing from $join_report" >&2; exit 1; }
 echo "join_scale OK: $join_report"
 
+echo "== limit_stream smoke + streaming early-exit gate =="
+# B12's own asserts ARE the regression gate: `LIMIT k` must pull O(k)
+# rows (`rows_scanned`), `LIMIT 0` must pull none, the hash-join probe
+# side must early-exit under LIMIT, and only pipeline breakers may move
+# the `peak_live_bindings` gauge. The greps additionally check both
+# counters flow into the JSON report.
+SQLPP_BENCH_DIR="$out_dir" cargo run --release -q -p sqlpp-bench --bin bench_limit_stream -- --quick --name limit_stream
+limit_report="$out_dir/BENCH_limit_stream.json"
+test -s "$limit_report" || { echo "missing limit bench report $limit_report" >&2; exit 1; }
+grep -q '"rows_scanned"' "$limit_report" || { echo "rows_scanned missing from $limit_report" >&2; exit 1; }
+grep -q '"peak_live_bindings"' "$limit_report" || { echo "peak_live_bindings missing from $limit_report" >&2; exit 1; }
+echo "limit_stream OK: $limit_report"
+
 echo "== compat-kit regression gate =="
 # The corpus pass count is checked in here; a drop means an engine
 # regression, a rise means this number needs bumping alongside the fix.

@@ -1,0 +1,221 @@
+//! The streaming executor's observable guarantees: LIMIT/EXISTS/IN
+//! short-circuits actually stop the upstream pull (asserted through
+//! `rows_scanned`), pipeline breakers are the only buffering points
+//! (`peak_live_bindings`), and the lazy pipeline agrees with the
+//! materialized Pseudocode 1–2 reference in both typing modes.
+
+use sqlpp::{Engine, SessionConfig, TypingMode};
+use sqlpp_eval::reference::{eval_sfw_config, ReferenceError};
+use sqlpp_eval::EvalConfig;
+use sqlpp_syntax::parse_query;
+use sqlpp_testkit::prop::values::small_scalar;
+use sqlpp_testkit::{gen, prop_assert, sqlpp_prop, Gen};
+use sqlpp_value::{Tuple, Value};
+
+fn ints(n: i64) -> Value {
+    Value::Bag((0..n).map(Value::Int).collect())
+}
+
+fn engine_with(name: &str, data: Value) -> Engine {
+    let engine = Engine::new();
+    engine.register(name, data);
+    engine
+}
+
+/// `LIMIT 0` must not construct its input at all: zero rows pulled.
+#[test]
+fn limit_zero_pulls_zero_rows() {
+    let engine = engine_with("big", ints(1_000));
+    let run = engine
+        .query_with_stats("SELECT VALUE x FROM big AS x LIMIT 0")
+        .unwrap();
+    assert_eq!(run.len(), 0);
+    let stats = run.stats().expect("stats collection was on");
+    assert_eq!(stats.rows_scanned, 0, "LIMIT 0 pulled from its input");
+    assert_eq!(stats.peak_live_bindings, 0);
+}
+
+/// `LIMIT k` stops the scan after exactly k pulls, without buffering.
+#[test]
+fn limit_k_scans_exactly_k_rows() {
+    let engine = engine_with("big", ints(1_000));
+    let run = engine
+        .query_with_stats("SELECT VALUE x FROM big AS x LIMIT 3")
+        .unwrap();
+    assert_eq!(run.len(), 3);
+    let stats = run.stats().expect("stats collection was on");
+    assert_eq!(stats.rows_scanned, 3, "LIMIT 3 over-pulled the scan");
+    assert_eq!(stats.peak_live_bindings, 0, "streaming LIMIT buffered rows");
+}
+
+/// OFFSET past the end: an empty result after one full scan — the stream
+/// is exhausted looking for row offset+1, never found, and nothing leaks.
+#[test]
+fn offset_past_end_yields_empty_after_full_scan() {
+    let engine = engine_with("small", ints(10));
+    let run = engine
+        .query_with_stats("SELECT VALUE x FROM small AS x LIMIT 5 OFFSET 100")
+        .unwrap();
+    assert_eq!(run.len(), 0);
+    let stats = run.stats().expect("stats collection was on");
+    assert_eq!(stats.rows_scanned, 10, "offset skip must consume the scan");
+}
+
+/// EXISTS pulls exactly one row from its subquery, however big the input.
+#[test]
+fn exists_pulls_one_row() {
+    let engine = engine_with("big", ints(1_000));
+    let run = engine
+        .query_with_stats("SELECT VALUE EXISTS (SELECT VALUE x FROM big AS x) FROM [1] AS one")
+        .unwrap();
+    let stats = run.stats().expect("stats collection was on");
+    assert!(
+        stats.rows_scanned <= 2,
+        "EXISTS scanned {} rows of its subquery",
+        stats.rows_scanned
+    );
+}
+
+/// IN over a SQL-compat sugar subquery stops scanning at the first
+/// match. (A `SELECT VALUE` rhs lowers with bag coercion and stays on
+/// the materialized path — only the sugar form streams.)
+#[test]
+fn in_predicate_stops_at_first_match() {
+    let engine = engine_with("big", ints(1_000));
+    let run = engine
+        .query_with_stats("SELECT VALUE 5 IN (SELECT x FROM big AS x) FROM [1] AS one")
+        .unwrap();
+    assert!(run.matches(&Value::Bag(vec![Value::Bool(true)])));
+    let stats = run.stats().expect("stats collection was on");
+    assert!(
+        stats.rows_scanned <= 7,
+        "IN scanned {} rows past its match at position 6",
+        stats.rows_scanned
+    );
+}
+
+/// Error-position determinism: stop-on-error surfaces the first error in
+/// pull order, so a LIMIT that ends the stream *before* the bad row means
+/// no error — and a bad row before the quota still fails.
+#[test]
+fn strict_error_position_is_pull_order_deterministic() {
+    let bad_last = Value::Bag(vec![
+        Value::Int(1),
+        Value::Int(2),
+        Value::Str("boom".into()),
+    ]);
+    let bad_first = Value::Bag(vec![
+        Value::Str("boom".into()),
+        Value::Int(1),
+        Value::Int(2),
+    ]);
+    let strict = SessionConfig {
+        typing: TypingMode::StrictError,
+        ..SessionConfig::default()
+    };
+    let q2 = "SELECT VALUE x + 1 FROM t AS x LIMIT 2";
+    let q3 = "SELECT VALUE x + 1 FROM t AS x";
+
+    // Bad row beyond the quota: the stream ends first, so strict succeeds.
+    let engine = engine_with("t", bad_last.clone()).with_config(strict.clone());
+    assert!(
+        engine.query(q2).is_ok(),
+        "LIMIT 2 must end before the error"
+    );
+    // Without the limit the same engine hits the bad row and stops.
+    assert!(engine.query(q3).is_err(), "strict mode must surface row 3");
+
+    // Bad row inside the quota: strict fails, permissive keeps flowing.
+    let engine = engine_with("t", bad_first.clone()).with_config(strict);
+    assert!(engine.query(q2).is_err(), "strict mode must surface row 1");
+    let permissive = engine_with("t", bad_first);
+    let got = permissive.query(q2).unwrap();
+    assert!(
+        got.matches(&Value::Bag(vec![Value::Missing, Value::Int(2)])),
+        "permissive mode must keep healthy rows flowing: {}",
+        got.value()
+    );
+}
+
+/// Random documents whose `id` is *sometimes a string*, so arithmetic on
+/// it errors in strict mode — exercising both the healthy and the
+/// error-carrying paths of the stream.
+fn arb_doc() -> Gen<Value> {
+    gen::triple(
+        gen::any_i64(),
+        gen::any_bool(),
+        gen::option_of(gen::vec_of(small_scalar(), 0..=3).map(Value::Array)),
+    )
+    .map(|(id, poison, projects)| {
+        let mut t = Tuple::new();
+        if poison {
+            t.insert("id", Value::Str("not a number".into()));
+        } else {
+            t.insert("id", Value::Int(id % 50));
+        }
+        if let Some(projects) = projects {
+            t.insert("projects", projects);
+        }
+        Value::Tuple(t)
+    })
+}
+
+fn arb_collection() -> Gen<Value> {
+    gen::vec_of(arb_doc(), 0..=11).map(Value::Bag)
+}
+
+/// SFW-fragment queries the reference supports, chosen so strict mode
+/// has real errors to surface (arithmetic over the poisoned `id`).
+fn queries() -> Vec<&'static str> {
+    vec![
+        "SELECT VALUE e FROM t AS e",
+        "SELECT VALUE e.id + 1 FROM t AS e",
+        "SELECT VALUE e.id FROM t AS e WHERE e.id > 10",
+        "SELECT e.id + 0 AS id, p AS p FROM t AS e, e.projects AS p",
+        "SELECT VALUE {'i': e.id, 'p': p} FROM t AS e, e.projects AS p WHERE e.id > 5",
+    ]
+}
+
+sqlpp_prop! {
+    #![config(cases = 64)]
+
+    // The tentpole gate: the streaming pipeline against the materialized
+    // nested-loop oracle. Permissive runs must produce identical bags;
+    // stop-on-error runs must fail on exactly the same inputs.
+    fn streaming_agrees_with_materialized_reference(data in arb_collection()) {
+        for typing in [TypingMode::Permissive, TypingMode::StrictError] {
+            let catalog = sqlpp::Catalog::new();
+            catalog.set("t", data.clone());
+            let engine = engine_with("t", data.clone()).with_config(SessionConfig {
+                typing,
+                ..SessionConfig::default()
+            });
+            let config = EvalConfig {
+                typing,
+                ..EvalConfig::default()
+            };
+            for q in queries() {
+                let ast = parse_query(q).expect("query parses");
+                let expected = eval_sfw_config(&ast, &catalog, config.clone());
+                let got = engine.query(q);
+                match (expected, got) {
+                    (Ok(want), Ok(got)) => prop_assert!(
+                        got.matches(&want),
+                        "{typing:?} {q}\n  reference: {want}\n  streaming: {}",
+                        got.value()
+                    ),
+                    (Err(ReferenceError::Eval(_)), Err(_)) => {}
+                    (Err(ReferenceError::Unsupported(what)), _) => prop_assert!(
+                        false, "oracle lost coverage of {q}: unsupported {what}"
+                    ),
+                    (want, got) => prop_assert!(
+                        false,
+                        "{typing:?} error behavior diverged on {q}\n  data {data}\n  \
+                         reference: {want:?}\n  streaming: {:?}",
+                        got.map(|r| r.into_value())
+                    ),
+                }
+            }
+        }
+    }
+}
