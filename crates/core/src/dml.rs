@@ -8,6 +8,17 @@
 //! three-valued logic (an element whose predicate is NULL or MISSING is
 //! *not* affected), and collections with an attached schema re-validate on
 //! every mutation — the optional-schema tenet extended to writes.
+//!
+//! **Atomicity.** Every statement is snapshot-or-rollback: it reads an
+//! `Arc` snapshot of the target, computes the complete replacement value
+//! off to the side (evaluating predicates, sources, and assignments —
+//! each a possible failure point under strict typing, resource budgets,
+//! or injected faults), and only then publishes it through the single
+//! [`Engine::commit_collection`] call. Any error on the way out leaves
+//! the catalog byte-identical to the snapshot — there is no partially
+//! mutated state to roll back because the stored value is never mutated
+//! in place. The chaos suite (`tests/chaos.rs`) snapshot-compares the
+//! catalog around every failed DML to pin this.
 
 use sqlpp_eval::{Env, EvalConfig, Evaluator, ExecStats};
 use sqlpp_plan::lower::lower_with_scope;
@@ -38,6 +49,15 @@ fn open_collection(stmt: &str, name: &str, v: Value) -> Result<ElementsAndKind> 
 }
 
 impl Engine {
+    /// The single commit point for all DML: replaces `name`'s binding
+    /// with a fully computed value. Everything fallible must happen
+    /// *before* this call — it is infallible, so a statement either
+    /// reaches it with its complete result or leaves the catalog
+    /// untouched.
+    fn commit_collection(&self, name: &str, value: Value) {
+        self.catalog().set(name, value);
+    }
+
     pub(crate) fn exec_insert(
         &self,
         ins: &Insert,
@@ -101,7 +121,7 @@ impl Engine {
             // Inserting into an unbound name creates a bag.
             Err(_) => Value::Bag(new_elements),
         };
-        self.catalog().set(name.as_str(), updated);
+        self.commit_collection(&name, updated);
         Ok((count, stats))
     }
 
@@ -128,7 +148,7 @@ impl Engine {
                 kept.push(item);
             }
         }
-        self.catalog().set(name.as_str(), rebuild(kept));
+        self.commit_collection(&name, rebuild(kept));
         Ok((deleted, evaluator.stats_snapshot()))
     }
 
@@ -182,7 +202,7 @@ impl Engine {
             updated += 1;
             updated_items.push(element);
         }
-        self.catalog().set(name.as_str(), rebuild(updated_items));
+        self.commit_collection(&name, rebuild(updated_items));
         Ok((updated, evaluator.stats_snapshot()))
     }
 
@@ -192,6 +212,11 @@ impl Engine {
             compat: self.config().compat,
             pipeline_aggregates: self.config().pipeline_aggregates,
             collect_stats,
+            // DML evaluation runs under the same governor as queries:
+            // budgets, deadlines, and injected faults abort the statement
+            // before its commit point, leaving the catalog untouched.
+            limits: self.config().limits.clone(),
+            fault: self.config().fault.clone(),
         }
     }
 

@@ -58,7 +58,9 @@ use sqlpp_value::Value;
 pub use error::{Error, Result};
 pub use result::QueryResult;
 pub use sqlpp_catalog::Catalog;
-pub use sqlpp_eval::{ExecStats, OpStats, TypingMode};
+pub use sqlpp_eval::{
+    CancelToken, EvalError, ExecStats, FaultInjector, FaultSite, Limits, OpStats, TypingMode,
+};
 pub use sqlpp_plan::CompatMode;
 pub use sqlpp_value as value;
 pub use sqlpp_value::{Decimal, Tuple};
@@ -74,6 +76,13 @@ pub struct SessionConfig {
     pub optimize: bool,
     /// Use the pipelined-aggregation fast path (§V-C).
     pub pipeline_aggregates: bool,
+    /// Per-query resource limits (memory budget, deadline, cancellation,
+    /// nesting depth) applied to every query and DML evaluation this
+    /// session runs. Unlimited by default; enforcement is zero-cost when
+    /// unlimited (gated like stats collection).
+    pub limits: Limits,
+    /// Fault-injection hook (chaos testing). `None` in production.
+    pub fault: Option<FaultInjector>,
 }
 
 impl Default for SessionConfig {
@@ -83,6 +92,8 @@ impl Default for SessionConfig {
             typing: TypingMode::Permissive,
             optimize: true,
             pipeline_aggregates: true,
+            limits: Limits::default(),
+            fault: None,
         }
     }
 }
@@ -454,6 +465,8 @@ impl Engine {
             compat: self.config.compat,
             pipeline_aggregates: self.config.pipeline_aggregates,
             collect_stats: false,
+            limits: self.config.limits.clone(),
+            fault: self.config.fault.clone(),
         }
     }
 }
@@ -494,6 +507,7 @@ fn render_analysis(core: &CoreQuery, stats: &ExecStats) -> String {
 
 /// Outcome of [`Engine::execute`].
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one outcome per executed statement
 pub enum ExecOutcome {
     /// A query's rows.
     Rows(QueryResult),

@@ -34,6 +34,22 @@ pub enum EvalError {
     Cardinality(String),
     /// Resource guard tripped (e.g. recursion depth).
     Resource(String),
+    /// A governed resource budget (memory, nesting depth) was exceeded.
+    /// Structured so clients can tell *which* budget and by how much.
+    ResourceExhausted {
+        /// Which budget: `"memory budget (rows)"`, `"eval nesting depth"`.
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// The usage that was refused (first value past the limit).
+        used: u64,
+    },
+    /// The query was cancelled — deadline expiry or a tripped
+    /// cancellation token.
+    Cancelled {
+        /// Human-readable cause (`"deadline of 50ms exceeded"`, …).
+        reason: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -48,6 +64,15 @@ impl fmt::Display for EvalError {
             EvalError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
             EvalError::Cardinality(m) => write!(f, "cardinality error: {m}"),
             EvalError::Resource(m) => write!(f, "resource limit: {m}"),
+            EvalError::ResourceExhausted {
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "resource exhausted: {resource} limit {limit} exceeded (needed {used})"
+            ),
+            EvalError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
         }
     }
 }

@@ -27,11 +27,12 @@ use crate::cast::{cast, CastTarget};
 use crate::env::Env;
 use crate::error::{EvalError, TypingMode};
 use crate::functions;
+use crate::govern::{FaultInjector, FaultSite, Limits, ResourceGovernor};
 use crate::like::like_match;
 use crate::stats::{ExecStats, StatsCollector};
 use crate::stream::{
-    empty, failed, from_vec, BindingStream, Instrumented, Limited, MatGauge, TrackedBuffer,
-    ValueStream,
+    empty, failed, from_vec, BindingStream, Governed, Instrumented, Limited, MatGauge,
+    TrackedBuffer, ValueStream,
 };
 
 /// Evaluator configuration.
@@ -51,6 +52,12 @@ pub struct EvalConfig {
     /// default; when off the evaluator carries no collector and every
     /// instrumentation point is a single `Option` discriminant check.
     pub collect_stats: bool,
+    /// Per-query resource limits (memory budget, deadline, cancellation,
+    /// nesting depth). Unlimited by default; enforcement points are gated
+    /// like `collect_stats`, so the unlimited path stays zero-cost.
+    pub limits: Limits,
+    /// Fault-injection hook for chaos testing. `None` in production.
+    pub fault: Option<FaultInjector>,
 }
 
 impl Default for EvalConfig {
@@ -60,6 +67,8 @@ impl Default for EvalConfig {
             compat: CompatMode::SqlCompat,
             pipeline_aggregates: true,
             collect_stats: false,
+            limits: Limits::default(),
+            fault: None,
         }
     }
 }
@@ -70,18 +79,30 @@ pub struct Evaluator<'a> {
     config: EvalConfig,
     params: Vec<Value>,
     stats: Option<StatsCollector>,
+    /// Per-query resource enforcement. Always present; every check inside
+    /// it is gated on whether the corresponding limit is actually set.
+    /// The deadline clock starts here, at construction.
+    govern: ResourceGovernor,
 }
 
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator over a catalog.
     pub fn new(catalog: &'a Catalog, config: EvalConfig) -> Self {
         let stats = config.collect_stats.then(StatsCollector::default);
+        let govern = ResourceGovernor::new(&config.limits, config.fault.clone());
         Evaluator {
             catalog,
             config,
             params: Vec::new(),
             stats,
+            govern,
         }
+    }
+
+    /// The governor enforcing this query's limits (counter visibility for
+    /// tests and benches).
+    pub fn governor(&self) -> &ResourceGovernor {
+        &self.govern
     }
 
     /// Supplies positional parameter values.
@@ -101,10 +122,15 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Snapshots the statistics collected so far (phase times zeroed —
-    /// the engine layers those in). `None` unless
-    /// [`EvalConfig::collect_stats`] was set.
+    /// the engine layers those in), merged with the governor's counters
+    /// (budget denials, cancel checks, peak budget usage, limits in
+    /// effect). `None` unless [`EvalConfig::collect_stats`] was set.
     pub fn stats_snapshot(&self) -> Option<ExecStats> {
-        self.stats.as_ref().map(StatsCollector::snapshot)
+        self.stats.as_ref().map(|st| {
+            let mut s = st.snapshot();
+            self.govern.fill_stats(&mut s);
+            s
+        })
     }
 
     /// Dynamic type error handling (§IV-B case 2): MISSING in permissive
@@ -131,7 +157,25 @@ impl<'a> Evaluator<'a> {
     /// Evaluates a value-producing operator, recording per-operator
     /// counters when stats collection is on. Times are inclusive of
     /// children (the renderer shows the tree, so self-time is derivable).
+    ///
+    /// This is also the governor's nesting choke point: every operator
+    /// evaluation (including each per-row subquery invocation) passes
+    /// through here, so the depth guard and the [`FaultSite::OperatorEval`]
+    /// hook live in exactly one place, with the exit paired on all paths.
     fn value_op(&self, op: &CoreOp, env: &Env) -> Result<Value, EvalError> {
+        self.govern.enter_nested()?;
+        let result = if self.govern.injects_faults() {
+            self.govern
+                .fault_at(FaultSite::OperatorEval)
+                .and_then(|()| self.value_op_timed(op, env))
+        } else {
+            self.value_op_timed(op, env)
+        };
+        self.govern.exit_nested();
+        result
+    }
+
+    fn value_op_timed(&self, op: &CoreOp, env: &Env) -> Result<Value, EvalError> {
         let Some(st) = &self.stats else {
             return self.value_op_inner(op, env);
         };
@@ -157,9 +201,10 @@ impl<'a> Evaluator<'a> {
                 if *distinct {
                     // DISTINCT is a pipeline breaker: the projected rows
                     // materialize through a tracked buffer, then dedupe.
-                    let mut buf = TrackedBuffer::new(self.stats.as_ref(), Some(op));
+                    let mut buf =
+                        TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(op));
                     for b in self.binding_stream(input, env) {
-                        buf.push(self.expr(expr, &b?)?);
+                        buf.push(self.expr(expr, &b?)?)?;
                     }
                     Ok(Value::Bag(dedupe(buf.into_vec(), self.stats.as_ref())))
                 } else {
@@ -207,7 +252,7 @@ impl<'a> Evaluator<'a> {
             CoreOp::SortValues { input, keys } => {
                 let out_var: Rc<str> = "$out".into();
                 let mut buf: TrackedBuffer<'_, (Vec<Value>, Value)> =
-                    TrackedBuffer::new(self.stats.as_ref(), Some(op));
+                    TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(op));
                 for v in self.element_stream(input, env) {
                     let v = v?;
                     // The output element is visible as `$out`; if it is a
@@ -217,7 +262,7 @@ impl<'a> Evaluator<'a> {
                     for k in keys {
                         ks.push(self.expr(&k.expr, &row_env)?);
                     }
-                    buf.push((ks, v));
+                    buf.push((ks, v))?;
                 }
                 let mut annotated = buf.into_vec();
                 sort_annotated(&mut annotated, keys);
@@ -264,6 +309,12 @@ impl<'a> Evaluator<'a> {
     // Streams
     // =================================================================
 
+    /// The governor, iff buffer admissions must consult it (memory budget
+    /// or fault hook active) — the `Option` shape gauges gate on.
+    fn mem_guard(&self) -> Option<&ResourceGovernor> {
+        self.govern.as_memory_guard()
+    }
+
     /// The elements of a value-producing operator as a lazy stream.
     /// Operators with a streaming shape (projection, LIMIT, UNION ALL,
     /// WITH bodies, set-op probe sides) yield elements as they are
@@ -285,9 +336,13 @@ impl<'a> Evaluator<'a> {
     /// inputs, …) and [`Self::value_op`] should run instead.
     fn try_value_stream<'s>(&'s self, op: &'s CoreOp, env: &Env) -> Option<ValueStream<'s>> {
         let inner = self.try_value_stream_inner(op, env)?;
-        Some(match &self.stats {
+        let inner = match &self.stats {
             None => inner,
-            Some(st) => Box::new(Instrumented::new(inner, st, op, false)),
+            Some(st) => Box::new(Instrumented::new(inner, st, op, false)) as ValueStream<'s>,
+        };
+        Some(match self.govern.as_watcher() {
+            None => inner,
+            Some(g) => Box::new(Governed::new(inner, g)),
         })
     }
 
@@ -350,13 +405,18 @@ impl<'a> Evaluator<'a> {
                     .chain(self.element_stream(right, env)),
             ),
             (CoreSetOp::Union, false) => {
-                let mut buf = TrackedBuffer::new(self.stats.as_ref(), Some(whole));
+                let mut buf =
+                    TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
                 for v in self
                     .element_stream(left, env)
                     .chain(self.element_stream(right, env))
                 {
                     match v {
-                        Ok(v) => buf.push(v),
+                        Ok(v) => {
+                            if let Err(e) = buf.push(v) {
+                                return failed(e);
+                            }
+                        }
                         Err(e) => return failed(e),
                     }
                 }
@@ -366,13 +426,15 @@ impl<'a> Evaluator<'a> {
                 // Build the right multiset, then stream the left through
                 // it: INTERSECT keeps elements that consume a right
                 // occurrence, EXCEPT keeps the ones that don't.
-                let mut gauge = MatGauge::new(self.stats.as_ref(), Some(whole));
+                let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
                 let mut rvals = Vec::new();
                 for v in self.element_stream(right, env) {
                     match v {
                         Ok(v) => {
+                            if let Err(e) = gauge.add(1) {
+                                return failed(e);
+                            }
                             rvals.push(v);
-                            gauge.add(1);
                         }
                         Err(e) => return failed(e),
                     }
@@ -413,14 +475,20 @@ impl<'a> Evaluator<'a> {
     /// Group, and Window are pipeline breakers that materialize through
     /// tracked buffers at construction and then stream the result.
     fn binding_stream<'s>(&'s self, op: &'s CoreOp, env: &Env) -> BindingStream<'s> {
-        match &self.stats {
+        let inner = match &self.stats {
             None => self.binding_stream_inner(op, env),
             Some(st) => Box::new(Instrumented::new(
                 self.binding_stream_inner(op, env),
                 st,
                 op,
                 matches!(op, CoreOp::From { .. }),
-            )),
+            )) as BindingStream<'s>,
+        };
+        // Deadline/cancellation: tick per pull, only when a deadline or
+        // token is attached — the ungoverned path takes the `None` arm.
+        match self.govern.as_watcher() {
+            None => inner,
+            Some(g) => Box::new(Governed::new(inner, g)),
         }
     }
 
@@ -472,10 +540,14 @@ impl<'a> Evaluator<'a> {
             CoreOp::Window { input, defs } => {
                 // Window functions see whole partitions: materialize the
                 // input, then rewrite rows def by def.
-                let mut buf = TrackedBuffer::new(self.stats.as_ref(), Some(op));
+                let mut buf = TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(op));
                 for b in self.binding_stream(input, env) {
                     match b {
-                        Ok(b) => buf.push(b),
+                        Ok(b) => {
+                            if let Err(e) = buf.push(b) {
+                                return failed(e);
+                            }
+                        }
                         Err(e) => return failed(e),
                     }
                 }
@@ -505,14 +577,14 @@ impl<'a> Evaluator<'a> {
         env: &Env,
     ) -> Result<Vec<Env>, EvalError> {
         let mut buf: TrackedBuffer<'_, (Vec<Value>, Env)> =
-            TrackedBuffer::new(self.stats.as_ref(), Some(whole));
+            TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
         for b in self.binding_stream(input, env) {
             let b = b?;
             let mut ks = Vec::with_capacity(keys.len());
             for k in keys {
                 ks.push(self.expr(&k.expr, &b)?);
             }
-            buf.push((ks, b));
+            buf.push((ks, b))?;
         }
         let mut annotated = buf.into_vec();
         sort_annotated(&mut annotated, keys);
@@ -553,12 +625,12 @@ impl<'a> Evaluator<'a> {
         // Insertion-ordered grouping: HashMap for lookup, Vec for order.
         // Grouping is a pipeline breaker: every captured element is live
         // until the groups are emitted, tracked by the gauge.
-        let mut gauge = MatGauge::new(self.stats.as_ref(), Some(whole));
+        let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
         let mut index: HashMap<GroupKey, usize> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (keys, elements)
         for b in self.binding_stream(input, env) {
             let b = b?;
-            gauge.add(1);
+            gauge.add(1)?;
             let mut key_vals = Vec::with_capacity(keys.len());
             for (_, ke) in keys {
                 let mut v = self.expr(ke, &b)?;
@@ -788,6 +860,7 @@ impl<'a> Evaluator<'a> {
     /// The binding stream of a FROM-item tree. `whole` is the enclosing
     /// `CoreOp::From`, used to attribute materialization (hash-join
     /// builds) to an operator in the stats.
+    #[allow(clippy::wrong_self_convention)] // "from" is the SQL clause, not a conversion
     fn from_stream<'s>(
         &'s self,
         item: &'s CoreFrom,
@@ -860,10 +933,14 @@ impl<'a> Evaluator<'a> {
                     // The optimizer's uncorrelated analysis is static and
                     // conservative, but a runtime `Global` can still
                     // resolve through the environment (dynamic
-                    // disambiguation). If materializing the right side in
-                    // the outer environment fails, reconstruct the exact
+                    // disambiguation). If the right side fails to *resolve*
+                    // in the outer environment, reconstruct the exact
                     // per-left-row nested loop the plan was derived from.
-                    Err(_) => Box::new(NestedLoop::new(
+                    // Only that resolution failure is recoverable: any
+                    // other build error (a governed budget refusal, a
+                    // deadline, an injected fault, a strict-mode error)
+                    // must surface, not trigger a silent retry.
+                    Err(EvalError::UnknownName(_)) => Box::new(NestedLoop::new(
                         self,
                         *kind,
                         self.from_stream(left, whole, env),
@@ -877,6 +954,7 @@ impl<'a> Evaluator<'a> {
                             residual: residual.as_ref(),
                         },
                     )),
+                    Err(e) => failed(e),
                 }
             }
         }
@@ -898,8 +976,14 @@ impl<'a> Evaluator<'a> {
     ) -> Result<JoinBuild<'s>, EvalError> {
         let mut rows: Vec<(Env, Vec<Value>)> = Vec::new();
         let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut gauge = MatGauge::new(self.stats.as_ref(), Some(whole));
+        let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
+        let watcher = self.govern.as_watcher();
         'rows: for r in self.from_stream(right, whole, env) {
+            // The build happens at stream *construction* (before the
+            // first wrapped pull), so it ticks the deadline itself.
+            if let Some(g) = watcher {
+                g.tick()?;
+            }
             let r = r?;
             if let Some(p) = right_pred {
                 if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
@@ -914,9 +998,9 @@ impl<'a> Evaluator<'a> {
                 }
                 kv.push(v);
             }
+            gauge.add(1)?;
             table.entry(joint_hash(&kv)).or_default().push(rows.len());
             rows.push((r, kv));
-            gauge.add(1);
         }
         if let Some(st) = &self.stats {
             st.add_join_build_rows(rows.len() as u64);
@@ -930,6 +1014,7 @@ impl<'a> Evaluator<'a> {
     /// value.
     fn scan_source(&self, expr: &CoreExpr, env: &Env) -> Result<ScanSource, EvalError> {
         if let CoreExpr::Global(segments) = expr {
+            self.govern.fault_at(FaultSite::CatalogRead)?;
             if let Some((value, used)) = self.catalog.resolve_prefix(segments) {
                 if used == segments.len() {
                     return Ok(ScanSource::Shared(value));
@@ -1083,6 +1168,13 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluates a Core expression in an environment.
     pub fn expr(&self, e: &CoreExpr, env: &Env) -> Result<Value, EvalError> {
+        // Scalar evaluation is the finest-grained fault site: per-row
+        // stream closures and DML row predicates run through here, so
+        // chaos plans can fail mid-stream, not just at operator setup.
+        // Gated on hook presence — zero-cost in production.
+        if self.govern.injects_faults() {
+            self.govern.fault_at(FaultSite::OperatorEval)?;
+        }
         match e {
             CoreExpr::Const(v) => Ok(v.clone()),
             CoreExpr::Var(name) => env
@@ -1350,6 +1442,7 @@ impl<'a> Evaluator<'a> {
     /// dynamic-disambiguation fallback (a unique attribute of exactly one
     /// in-scope tuple binding).
     fn resolve_global(&self, segments: &[String], env: &Env) -> Result<Value, EvalError> {
+        self.govern.fault_at(FaultSite::CatalogRead)?;
         if let Some((value, used)) = self.catalog.resolve_prefix(segments) {
             let mut v = (*value).clone();
             for attr in &segments[used..] {
@@ -2095,6 +2188,15 @@ impl<'s, 'a> Iterator for NestedLoop<'s, 'a> {
             return None;
         }
         loop {
+            // The inner loop can spin through many right rows without
+            // emitting (no matches), so it ticks the deadline itself —
+            // the per-pull wrapper outside never sees those iterations.
+            if let Some(g) = self.ev.govern.as_watcher() {
+                if let Err(e) = g.tick() {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
             if self.cur.is_some() {
                 // Pull the next right row in a scope of its own, so the
                 // test below can borrow `self` again.
@@ -2205,6 +2307,11 @@ impl<'s, 'a> HashProbe<'s, 'a> {
         };
         let mut matched = false;
         for &i in bucket {
+            // A skewed bucket can hold many candidates per left pull;
+            // tick the deadline per candidate like the nested loop does.
+            if let Some(g) = self.ev.govern.as_watcher() {
+                g.tick()?;
+            }
             if let Some(st) = &self.ev.stats {
                 st.add_join_probes(1);
             }

@@ -24,6 +24,7 @@ mod cast;
 mod env;
 mod error;
 mod functions;
+pub mod govern;
 mod interp;
 mod like;
 pub mod reference;
@@ -32,6 +33,7 @@ mod stream;
 
 pub use env::Env;
 pub use error::{EvalError, TypingMode};
+pub use govern::{CancelToken, FaultInjector, FaultSite, Limits, ResourceGovernor};
 pub use interp::{EvalConfig, Evaluator};
 pub use like::like_match;
 pub use stats::{ExecStats, OpStats, StatsCollector};

@@ -79,6 +79,21 @@ pub struct ExecStats {
     /// buffers simultaneously — the number a spill policy would act on.
     /// Streaming plans keep this far below the source cardinality.
     pub peak_live_bindings: u64,
+    /// Buffer admissions the resource governor refused over the memory
+    /// budget (zero when no budget is set).
+    pub budget_denials: u64,
+    /// Real deadline/cancellation inspections the governor performed
+    /// (the amortized skips between them are not counted).
+    pub cancel_checks: u64,
+    /// High-water mark of rows the governor had admitted at once — equals
+    /// `peak_live_bindings` when both are tracked, but is maintained
+    /// independently so budgets work with stats collection off.
+    pub peak_budget_used: u64,
+    /// The memory budget in effect (rows), if one was set — lets
+    /// `EXPLAIN ANALYZE` render `used/limit`.
+    pub mem_budget: Option<u64>,
+    /// The wall-clock deadline in effect (milliseconds), if one was set.
+    pub time_budget_ms: Option<u64>,
     /// Per-operator counters, keyed by pre-order plan index (see
     /// [`sqlpp_plan::CoreQuery::preorder_ops`]).
     pub ops: HashMap<u32, OpStats>,
@@ -106,6 +121,9 @@ impl ExecStats {
             ("join_build_rows", self.join_build_rows),
             ("right_rescans", self.right_rescans),
             ("peak_live_bindings", self.peak_live_bindings),
+            ("budget_denials", self.budget_denials),
+            ("cancel_checks", self.cancel_checks),
+            ("peak_budget_used", self.peak_budget_used),
         ]
     }
 
@@ -125,6 +143,25 @@ impl ExecStats {
             out.push_str(&format!(" {name}={value}"));
         }
         out.push('\n');
+        if self.mem_budget.is_some() || self.time_budget_ms.is_some() {
+            out.push_str("budget:");
+            if let Some(limit) = self.mem_budget {
+                out.push_str(&format!(
+                    " mem {}/{} rows (denials {})",
+                    self.peak_budget_used, limit, self.budget_denials
+                ));
+            }
+            if let Some(ms) = self.time_budget_ms {
+                if self.mem_budget.is_some() {
+                    out.push_str(" |");
+                }
+                out.push_str(&format!(
+                    " deadline {}ms (checks {})",
+                    ms, self.cancel_checks
+                ));
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -305,6 +342,9 @@ impl StatsCollector {
             right_rescans: self.right_rescans.get(),
             peak_live_bindings: self.peak_live_bindings.get(),
             ops: self.ops.borrow().clone(),
+            // Governor counters are filled by the evaluator (the governor
+            // owns them so budgets work with stats collection off).
+            ..ExecStats::default()
         }
     }
 }
@@ -341,6 +381,24 @@ mod tests {
         for (name, _) in s.counters() {
             assert!(text.contains(name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn budget_line_renders_only_when_limits_are_set() {
+        let mut s = StatsCollector::default().snapshot();
+        assert!(!s.render_summary().contains("budget:"));
+        s.mem_budget = Some(1000);
+        s.peak_budget_used = 400;
+        s.budget_denials = 2;
+        let text = s.render_summary();
+        assert!(
+            text.contains("budget: mem 400/1000 rows (denials 2)"),
+            "{text}"
+        );
+        s.time_budget_ms = Some(250);
+        s.cancel_checks = 7;
+        let text = s.render_summary();
+        assert!(text.contains("| deadline 250ms (checks 7)"), "{text}");
     }
 
     #[test]

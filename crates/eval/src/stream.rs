@@ -24,6 +24,7 @@ use sqlpp_value::Value;
 
 use crate::env::Env;
 use crate::error::EvalError;
+use crate::govern::ResourceGovernor;
 use crate::stats::StatsCollector;
 
 /// A lazy stream of binding environments.
@@ -166,37 +167,55 @@ impl<'s, I> Drop for Instrumented<'s, I> {
 
 /// A materialization gauge: every row a pipeline breaker holds live is
 /// counted into the collector's `peak_live_bindings` high-water mark (and,
-/// when the breaker is a plan operator, into that operator's `peak_rows`).
-/// Dropping the gauge releases its rows from the live count — exactly the
+/// when the breaker is a plan operator, into that operator's `peak_rows`),
+/// and — when a memory budget or fault hook is active — *admitted* through
+/// the [`ResourceGovernor`], which can refuse. Refused rows are never
+/// counted, so the live total provably stays at or below the budget.
+/// Dropping the gauge releases its rows from both accounts — exactly the
 /// lifecycle a spill file would have.
 pub(crate) struct MatGauge<'s> {
     stats: Option<&'s StatsCollector>,
+    govern: Option<&'s ResourceGovernor>,
     key: Option<u32>,
     count: u64,
 }
 
 impl<'s> MatGauge<'s> {
-    pub(crate) fn new(stats: Option<&'s StatsCollector>, op: Option<&CoreOp>) -> Self {
+    pub(crate) fn new(
+        stats: Option<&'s StatsCollector>,
+        govern: Option<&'s ResourceGovernor>,
+        op: Option<&CoreOp>,
+    ) -> Self {
         let key = match (stats, op) {
             (Some(st), Some(op)) => Some(st.key_for(op)),
             _ => None,
         };
         MatGauge {
             stats,
+            govern,
             key,
             count: 0,
         }
     }
 
-    /// Counts `n` more rows as live in this buffer.
-    pub(crate) fn add(&mut self, n: u64) {
-        if let Some(st) = self.stats {
+    /// Admits and counts `n` more rows as live in this buffer. On refusal
+    /// (budget exceeded or injected fault) nothing is counted and the
+    /// caller must not buffer the rows.
+    pub(crate) fn add(&mut self, n: u64) -> Result<(), EvalError> {
+        if let Some(g) = self.govern {
+            g.admit(n)?;
             self.count += n;
+        }
+        if let Some(st) = self.stats {
+            if self.govern.is_none() {
+                self.count += n;
+            }
             st.buffer_grow(n);
             if let Some(k) = self.key {
                 st.record_peak_rows(k, self.count);
             }
         }
+        Ok(())
     }
 }
 
@@ -205,27 +224,37 @@ impl<'s> Drop for MatGauge<'s> {
         if let Some(st) = self.stats {
             st.buffer_shrink(self.count);
         }
+        if let Some(g) = self.govern {
+            g.release(self.count);
+        }
     }
 }
 
 /// The one buffer type pipeline breakers materialize through: a `Vec`
-/// whose occupancy is tracked by a [`MatGauge`].
+/// whose occupancy is tracked (and budget-governed) by a [`MatGauge`].
 pub(crate) struct TrackedBuffer<'s, T> {
     items: Vec<T>,
     gauge: MatGauge<'s>,
 }
 
 impl<'s, T> TrackedBuffer<'s, T> {
-    pub(crate) fn new(stats: Option<&'s StatsCollector>, op: Option<&CoreOp>) -> Self {
+    pub(crate) fn new(
+        stats: Option<&'s StatsCollector>,
+        govern: Option<&'s ResourceGovernor>,
+        op: Option<&CoreOp>,
+    ) -> Self {
         TrackedBuffer {
             items: Vec::new(),
-            gauge: MatGauge::new(stats, op),
+            gauge: MatGauge::new(stats, govern, op),
         }
     }
 
-    pub(crate) fn push(&mut self, item: T) {
+    /// Admits the row through the gauge *before* storing it; a refused
+    /// row is dropped and the buffer is unchanged.
+    pub(crate) fn push(&mut self, item: T) -> Result<(), EvalError> {
+        self.gauge.add(1)?;
         self.items.push(item);
-        self.gauge.add(1);
+        Ok(())
     }
 
     /// Releases the rows from the live gauge (their peak is already
@@ -234,5 +263,50 @@ impl<'s, T> TrackedBuffer<'s, T> {
         let TrackedBuffer { items, gauge } = self;
         drop(gauge);
         items
+    }
+}
+
+/// Deadline/cancellation enforcement as a stream adapter: every `next()`
+/// ticks the governor (a counter bump, with a real clock/token inspection
+/// only at the amortized interval) before pulling the inner stream. Only
+/// constructed when a deadline or token is attached, so ungoverned pulls
+/// carry no overhead. Fused: after the inner stream ends or errors, no
+/// further governor errors are manufactured.
+pub(crate) struct Governed<'s, I> {
+    inner: I,
+    govern: &'s ResourceGovernor,
+    done: bool,
+}
+
+impl<'s, I> Governed<'s, I> {
+    pub(crate) fn new(inner: I, govern: &'s ResourceGovernor) -> Self {
+        Governed {
+            inner,
+            govern,
+            done: false,
+        }
+    }
+}
+
+impl<'s, I, T> Iterator for Governed<'s, I>
+where
+    I: Iterator<Item = Result<T, EvalError>>,
+{
+    type Item = Result<T, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if let Err(e) = self.govern.tick() {
+            self.done = true;
+            return Some(Err(e));
+        }
+        let item = self.inner.next();
+        match &item {
+            None | Some(Err(_)) => self.done = true,
+            Some(Ok(_)) => {}
+        }
+        item
     }
 }

@@ -335,7 +335,22 @@ impl Parser {
     // Queries
     // ------------------------------------------------------------------
 
+    /// Entry: guarded against pathological nesting depth — subqueries
+    /// nest through `FROM (…)`, CTE bodies, and parenthesized set
+    /// operands *without* passing through `expr`, so the query level
+    /// shares the same depth budget.
     fn query(&mut self) -> Result<Query, SyntaxError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(self.err("query nesting too deep"));
+        }
+        let r = self.query_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn query_inner(&mut self) -> Result<Query, SyntaxError> {
         let mut ctes = Vec::new();
         if self.eat_kw(K::With) {
             loop {

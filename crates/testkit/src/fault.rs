@@ -1,0 +1,147 @@
+//! Deterministic fault injection — the chaos half of the resource
+//! governor story.
+//!
+//! A [`FaultPlan`] decides, reproducibly from one printed `u64` seed,
+//! *which* occurrence of *which* site fails: "the 7th buffer admission",
+//! "the 2nd catalog read". The engine side exposes matching hooks (the
+//! evaluator's `FaultInjector` consults a closure at each site visit);
+//! tests bridge the two by capturing a shared plan in that closure and
+//! keying on the site's stable string name (`"buffer"`, `"catalog"`,
+//! `"operator"`).
+//!
+//! The plan is `Sync` (counters behind a `Mutex`) so a closure holding it
+//! can satisfy the engine's `Send + Sync` hook bound, and deliberately
+//! knows nothing about the engine — this crate stays dependency-free in
+//! both directions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::rng::Rng;
+
+/// A deterministic "fail the k-th visit to site S" plan.
+///
+/// Sites are identified by caller-chosen string keys. Each visit to a
+/// site increments its hit counter; the visit whose 1-based ordinal
+/// equals the planned `k` fails (once — a plan fires at most one fault,
+/// which is what "the engine survives *a* mid-query failure" needs, and
+/// keeps every chaos run's blast radius attributable to one site).
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// The targeted site and the 1-based ordinal of the failing visit.
+    site: String,
+    k: u64,
+    /// Visits observed so far, per site key.
+    hits: Mutex<HashMap<String, u64>>,
+    /// Whether the planned fault has fired.
+    fired: AtomicBool,
+}
+
+impl FaultPlan {
+    /// Fails the `k`-th (1-based) visit to `site`. `k = 0` never fires
+    /// (a convenient "no fault" plan).
+    pub fn fail_kth(site: &str, k: u64) -> Self {
+        FaultPlan {
+            site: site.to_string(),
+            k,
+            hits: Mutex::new(HashMap::new()),
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// A seed-derived plan: picks one of `sites` and an ordinal in
+    /// `1..=max_k`, uniformly. The same seed always yields the same plan,
+    /// so a failing chaos case reproduces from its printed seed.
+    pub fn seeded(seed: u64, sites: &[&str], max_k: u64) -> Self {
+        assert!(!sites.is_empty(), "seeded plan needs at least one site");
+        assert!(max_k >= 1, "seeded plan needs max_k >= 1");
+        let mut rng = Rng::new(seed);
+        let site = *rng.choose(sites).expect("sites is non-empty");
+        let k = rng.gen_range(1..=max_k);
+        FaultPlan::fail_kth(site, k)
+    }
+
+    /// Records one visit to `site`; true when this visit is the planned
+    /// failure. Sites other than the targeted one count but never fail.
+    pub fn should_fail(&self, site: &str) -> bool {
+        let mut hits = self.hits.lock().unwrap_or_else(|e| e.into_inner());
+        let n = hits.entry(site.to_string()).or_insert(0);
+        *n += 1;
+        let fire = site == self.site && *n == self.k;
+        if fire {
+            self.fired.store(true, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Whether the planned fault has fired yet. A plan that never fires
+    /// means the workload didn't reach the k-th visit — the run completes
+    /// normally, which chaos suites should treat as a (boring) pass.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// The targeted site key.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// The 1-based ordinal of the failing visit.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Visits observed at `site` so far.
+    pub fn hits(&self, site: &str) -> u64 {
+        self.hits
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(site)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kth_visit_fails_exactly_once() {
+        let plan = FaultPlan::fail_kth("buffer", 3);
+        assert!(!plan.should_fail("buffer"));
+        assert!(!plan.should_fail("catalog"), "other sites never fail");
+        assert!(!plan.should_fail("buffer"));
+        assert!(!plan.fired());
+        assert!(plan.should_fail("buffer"), "3rd buffer visit fails");
+        assert!(plan.fired());
+        assert!(!plan.should_fail("buffer"), "a plan fires at most once");
+        assert_eq!(plan.hits("buffer"), 4);
+        assert_eq!(plan.hits("catalog"), 1);
+    }
+
+    #[test]
+    fn k_zero_never_fires() {
+        let plan = FaultPlan::fail_kth("operator", 0);
+        for _ in 0..100 {
+            assert!(!plan.should_fail("operator"));
+        }
+        assert!(!plan.fired());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        let sites = ["buffer", "catalog", "operator"];
+        let mut seen_sites = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded(seed, &sites, 10);
+            let b = FaultPlan::seeded(seed, &sites, 10);
+            assert_eq!((a.site(), a.k()), (b.site(), b.k()), "seed {seed}");
+            assert!(sites.contains(&a.site()));
+            assert!((1..=10).contains(&a.k()));
+            seen_sites.insert(a.site().to_string());
+        }
+        assert_eq!(seen_sites.len(), 3, "64 seeds should cover all sites");
+    }
+}

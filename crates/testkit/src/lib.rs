@@ -11,6 +11,7 @@
 //! | [`rng`] | `rand` | SplitMix64 + xoshiro256\*\* with `gen_range` / `shuffle` / `choose` |
 //! | [`prop`] | `proptest` | composable [`prop::Gen`] combinators, fixed-seed case iteration, choice-stream shrinking, persisted regression seeds, the [`sqlpp_prop!`] macro |
 //! | [`bench`] | `criterion` | warmup + calibrated iteration timing, median/MAD/p95, `BENCH_<name>.json` reports |
+//! | [`fault`] | (chaos harness) | seeded, deterministic [`fault::FaultPlan`]s — "fail the k-th visit to site S" — for the engine's fault-injection hooks |
 //!
 //! The paper's methodology leans on exactly these tools: differential
 //! testing against a reference nested-loop semantics (the original SQL++
@@ -22,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 

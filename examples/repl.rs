@@ -15,11 +15,14 @@
 //! * `.mode compat|composable` / `.typing permissive|strict` — the dials;
 //! * `.stats on|off` — print the phase/counter summary after every
 //!   statement, DML included;
+//! * `.limit mem <n>` / `.limit time <ms>` / `.limit off` — per-query
+//!   resource budgets (materialized rows, wall-clock deadline);
 //! * `.quit`.
 
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
-use sqlpp::{CompatMode, Engine, SessionConfig, TypingMode};
+use sqlpp::{CompatMode, Engine, Limits, SessionConfig, TypingMode};
 
 fn main() {
     let mut config = SessionConfig::default();
@@ -35,7 +38,7 @@ fn main() {
     .expect("demo data");
 
     println!("sqlpp REPL — try: SELECT VALUE e.name FROM demo.emps AS e");
-    println!("dot-commands: .load .explain .names .mode .typing .stats .quit");
+    println!("dot-commands: .load .explain .names .mode .typing .stats .limit .quit");
     let stdin = std::io::stdin();
     loop {
         print!("sql++> ");
@@ -74,6 +77,21 @@ fn main() {
                     Some("on") => stats_on = true,
                     Some("off") => stats_on = false,
                     _ => println!("usage: .stats on|off"),
+                },
+                Some("limit") => match (words.next(), words.next().map(str::parse::<u64>)) {
+                    (Some("mem"), Some(Ok(rows))) => {
+                        config.limits = config.limits.clone().with_memory_rows(rows);
+                        println!("memory budget: {rows} rows");
+                    }
+                    (Some("time"), Some(Ok(ms))) => {
+                        config.limits = config.limits.clone().with_time(Duration::from_millis(ms));
+                        println!("deadline: {ms}ms per query");
+                    }
+                    (Some("off"), _) => {
+                        config.limits = Limits::none();
+                        println!("limits cleared");
+                    }
+                    _ => println!("usage: .limit mem <rows> | .limit time <ms> | .limit off"),
                 },
                 Some("explain") => {
                     let q = rest.trim_start_matches("explain").trim();

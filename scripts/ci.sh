@@ -47,6 +47,28 @@ grep -q '"rows_scanned"' "$limit_report" || { echo "rows_scanned missing from $l
 grep -q '"peak_live_bindings"' "$limit_report" || { echo "peak_live_bindings missing from $limit_report" >&2; exit 1; }
 echo "limit_stream OK: $limit_report"
 
+echo "== governor smoke + fail-fast gate =="
+# B13's own asserts ARE the gate: a budgeted ORDER BY must die with the
+# structured ResourceExhausted while the governor's peak gauge stays at
+# or under the budget (admit-before-store), an expired deadline must
+# cancel on the first pull, and a governed run must not be
+# catastrophically slower than the ungoverned one. The greps check the
+# governor counters flow into the JSON report.
+SQLPP_BENCH_DIR="$out_dir" cargo run --release -q -p sqlpp-bench --bin bench_governor -- --quick --name governor
+governor_report="$out_dir/BENCH_governor.json"
+test -s "$governor_report" || { echo "missing governor bench report $governor_report" >&2; exit 1; }
+grep -q '"peak_budget_used"' "$governor_report" || { echo "peak_budget_used missing from $governor_report" >&2; exit 1; }
+grep -q '"budget_denials"' "$governor_report" || { echo "budget_denials missing from $governor_report" >&2; exit 1; }
+echo "governor OK: $governor_report"
+
+echo "== chaos gate (seeded fault injection) =="
+# 256 fixed-seed fault-injection runs across SELECT and DML: zero
+# panics across the API boundary, byte-identical catalog after every
+# failed DML, engine usable after every failure. Deterministic seeds —
+# a failure here reproduces exactly.
+cargo test -q --release --test chaos
+echo "chaos OK"
+
 echo "== compat-kit regression gate =="
 # The corpus pass count is checked in here; a drop means an engine
 # regression, a rise means this number needs bumping alongside the fix.

@@ -1,0 +1,190 @@
+//! Chaos suite: seeded, deterministic fault injection across queries
+//! and DML (ISSUE 5 acceptance: ≥ 200 seeded runs, zero panics, and a
+//! byte-identical catalog after every failed DML).
+//!
+//! Each run derives a [`FaultPlan`] from a printed seed — "fail the k-th
+//! visit to the buffer / catalog / operator site" — wires it into the
+//! engine through [`FaultInjector`], and asserts the three graceful-failure
+//! invariants:
+//!
+//! 1. no panic crosses the public API boundary (every statement is run
+//!    under `catch_unwind`; a panic fails the suite with its seed);
+//! 2. the catalog is unchanged after any failed DML (snapshot compare of
+//!    every stored collection's rendered value);
+//! 3. the engine remains fully usable after a failed statement — the
+//!    next query on the same session succeeds with correct results.
+//!
+//! A plan that never fires (the workload didn't reach the k-th visit) is
+//! a boring pass: the statement must then succeed normally.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use sqlpp::{Engine, FaultInjector, SessionConfig};
+use sqlpp_eval::EvalError;
+use sqlpp_testkit::fault::FaultPlan;
+
+/// The engine-side site names (`FaultSite::name()` values). Stable API:
+/// `govern::tests::fault_site_names_are_stable` pins them.
+const SITES: &[&str] = &["buffer", "catalog", "operator"];
+
+/// Query shapes chosen to exercise every governed choke point: pipeline
+/// breakers (ORDER BY, GROUP BY, DISTINCT, join build), catalog scans,
+/// and plain per-row operator evaluation.
+const SELECT_SHAPES: &[&str] = &[
+    "SELECT VALUE e.name FROM emp AS e ORDER BY e.sal DESC",
+    "SELECT e.dept AS dept, COUNT(*) AS n FROM emp AS e GROUP BY e.dept",
+    "SELECT DISTINCT VALUE e.dept FROM emp AS e",
+    "SELECT e.name AS name, d.loc AS loc FROM emp AS e JOIN dept AS d ON e.dept = d.dept",
+    "SELECT VALUE e.sal + 1 FROM emp AS e WHERE e.sal > 10",
+];
+
+const DML_SHAPES: &[&str] = &[
+    "INSERT INTO emp SELECT VALUE {'id': e.id + 100, 'name': e.name, \
+     'sal': e.sal + 1, 'dept': e.dept} FROM emp AS e WHERE e.sal > 10",
+    "DELETE FROM emp AS e WHERE e.sal > 50",
+    "UPDATE emp AS e SET e.sal = e.sal * 2 WHERE e.dept = 'eng'",
+];
+
+fn fixture() -> Engine {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "emp",
+            "{{ {'id': 1, 'name': 'Ann', 'sal': 90, 'dept': 'eng'},
+                {'id': 2, 'name': 'Bo',  'sal': 70, 'dept': 'eng'},
+                {'id': 3, 'name': 'Cy',  'sal': 40, 'dept': 'ops'},
+                {'id': 4, 'name': 'Di',  'sal': 20, 'dept': 'ops'},
+                {'id': 5, 'name': 'Ed',  'sal': 55, 'dept': 'hr'} }}",
+        )
+        .unwrap();
+    engine
+        .load_pnotation(
+            "dept",
+            "{{ {'dept': 'eng', 'loc': 'SFO'},
+                {'dept': 'ops', 'loc': 'NYC'},
+                {'dept': 'hr',  'loc': 'AUS'} }}",
+        )
+        .unwrap();
+    engine
+}
+
+/// A byte-comparable rendering of every collection in the catalog.
+fn catalog_snapshot(engine: &Engine) -> Vec<(String, String)> {
+    let mut names = engine.catalog().names();
+    names.sort_by_key(|n| n.to_string());
+    names
+        .into_iter()
+        .map(|n| {
+            let v = engine.catalog().get(&n).expect("listed name resolves");
+            (n.to_string(), v.to_string())
+        })
+        .collect()
+}
+
+/// Derives a session over `engine`'s catalog with `plan` wired in as the
+/// fault hook.
+fn chaos_session(engine: &Engine, plan: &Arc<FaultPlan>) -> Engine {
+    let plan = Arc::clone(plan);
+    engine.with_config(SessionConfig {
+        fault: Some(FaultInjector::new(move |site| {
+            plan.should_fail(site.name())
+                .then(|| EvalError::Resource(format!("injected fault at {}", site.name())))
+        })),
+        ..SessionConfig::default()
+    })
+}
+
+/// The clean follow-up probe: must succeed on the same session after a
+/// failure. Only called once the plan has fired — a plan fires at most
+/// once, so nothing can re-trip it here. (Before the plan fires, the
+/// probe itself could legitimately reach the k-th visit and fail, which
+/// would test nothing.)
+fn assert_engine_usable(session: &Engine, seed: u64) {
+    let r = session
+        .query("SELECT VALUE COLL_COUNT(SELECT VALUE e.id FROM emp AS e)")
+        .unwrap_or_else(|e| panic!("seed {seed}: engine unusable after failure: {e}"));
+    assert!(
+        r.rows()[0].as_int().unwrap() >= 1,
+        "seed {seed}: follow-up query returned nonsense"
+    );
+}
+
+#[test]
+fn chaos_select_no_panic_and_engine_survives() {
+    let mut fired = 0u32;
+    for seed in 0..128u64 {
+        let engine = fixture();
+        let plan = Arc::new(FaultPlan::seeded(seed, SITES, 12));
+        let session = chaos_session(&engine, &plan);
+        let shape = SELECT_SHAPES[(seed as usize) % SELECT_SHAPES.len()];
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| session.query(shape)));
+        let result = outcome
+            .unwrap_or_else(|_| panic!("seed {seed}: panic crossed the API boundary on {shape:?}"));
+        match result {
+            Ok(_) => assert!(
+                !plan.fired(),
+                "seed {seed}: fault fired but query succeeded ({shape:?})"
+            ),
+            Err(e) => {
+                assert!(plan.fired(), "seed {seed}: spurious failure: {e}");
+                assert!(
+                    e.to_string().contains("injected fault"),
+                    "seed {seed}: wrong error surfaced: {e}"
+                );
+                fired += 1;
+                assert_engine_usable(&session, seed);
+            }
+        }
+    }
+    // The suite is only meaningful if a healthy fraction of plans fire.
+    assert!(fired >= 32, "only {fired}/128 select plans fired");
+}
+
+#[test]
+fn chaos_dml_failed_statements_leave_catalog_byte_identical() {
+    let mut fired = 0u32;
+    for seed in 0..128u64 {
+        let engine = fixture();
+        let plan = Arc::new(FaultPlan::seeded(seed, SITES, 12));
+        let session = chaos_session(&engine, &plan);
+        let shape = DML_SHAPES[(seed as usize) % DML_SHAPES.len()];
+        let before = catalog_snapshot(&engine);
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| session.execute(shape)));
+        let result = outcome
+            .unwrap_or_else(|_| panic!("seed {seed}: panic crossed the API boundary on {shape:?}"));
+        match result {
+            Ok(_) => assert!(
+                !plan.fired(),
+                "seed {seed}: fault fired but DML succeeded ({shape:?})"
+            ),
+            Err(e) => {
+                assert!(plan.fired(), "seed {seed}: spurious failure: {e}");
+                let after = catalog_snapshot(&engine);
+                assert_eq!(
+                    before, after,
+                    "seed {seed}: catalog changed after failed DML ({shape:?})"
+                );
+                fired += 1;
+                assert_engine_usable(&session, seed);
+            }
+        }
+    }
+    assert!(fired >= 32, "only {fired}/128 DML plans fired");
+}
+
+#[test]
+fn fault_free_session_is_unaffected_by_the_hook_machinery() {
+    // A plan with k = 0 never fires; every shape must run normally.
+    let engine = fixture();
+    let plan = Arc::new(FaultPlan::fail_kth("buffer", 0));
+    let session = chaos_session(&engine, &plan);
+    for shape in SELECT_SHAPES {
+        session
+            .query(shape)
+            .unwrap_or_else(|e| panic!("no-fault plan broke {shape:?}: {e}"));
+    }
+    assert!(plan.hits("operator") > 0, "operator site was never visited");
+}

@@ -200,3 +200,138 @@ fn dml_statements_round_trip_through_the_printer() {
         assert_eq!(s1, s2, "{printed}");
     }
 }
+
+// ======================================================================
+// Atomicity under mid-statement failure (ISSUE 5 satellite): every DML
+// statement computes its complete replacement value before the single
+// `commit_collection` publish point, so a failure part-way through —
+// strict-mode type error, governed budget refusal, injected fault —
+// must leave the target collection exactly as it was.
+// ======================================================================
+
+/// The collection rendered for byte-compare (raw stored order, no
+/// canonicalization: atomicity means the *stored* value is untouched).
+fn stored(engine: &Engine, name: &str) -> String {
+    engine.catalog().get_str(name).unwrap().to_string()
+}
+
+fn strict(engine: &Engine) -> Engine {
+    engine.with_config(sqlpp::SessionConfig {
+        typing: sqlpp::TypingMode::StrictError,
+        ..sqlpp::SessionConfig::default()
+    })
+}
+
+/// A fixture where the *last* row poisons arithmetic/comparisons, so a
+/// strict-mode statement fails only after earlier rows were processed.
+fn poisoned() -> Engine {
+    let engine = Engine::new();
+    engine
+        .load_pnotation(
+            "acct",
+            "{{ {'id': 1, 'bal': 100}, {'id': 2, 'bal': 50}, {'id': 3, 'bal': 'frozen'} }}",
+        )
+        .unwrap();
+    engine
+}
+
+#[test]
+fn failed_update_is_atomic_under_strict_error() {
+    let engine = poisoned();
+    let before = stored(&engine, "acct");
+    // Rows 1 and 2 update fine; row 3 ('frozen' * 2) errors in strict mode.
+    let err = strict(&engine)
+        .execute("UPDATE acct AS a SET a.bal = a.bal * 2")
+        .unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+    assert_eq!(stored(&engine, "acct"), before, "partial update leaked");
+}
+
+#[test]
+fn failed_delete_is_atomic_under_strict_error() {
+    let engine = poisoned();
+    let before = stored(&engine, "acct");
+    // The predicate errors on row 3 after row 1 already matched.
+    let err = strict(&engine)
+        .execute("DELETE FROM acct AS a WHERE a.bal > 60")
+        .unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+    assert_eq!(stored(&engine, "acct"), before, "partial delete leaked");
+}
+
+#[test]
+fn failed_insert_is_atomic_under_strict_error() {
+    let engine = poisoned();
+    let before = stored(&engine, "acct");
+    let err = strict(&engine)
+        .execute("INSERT INTO acct SELECT VALUE {'id': a.id + 10, 'bal': a.bal + 1} FROM acct AS a")
+        .unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+    assert_eq!(stored(&engine, "acct"), before, "partial insert leaked");
+}
+
+#[test]
+fn failed_insert_is_atomic_under_budget_denial() {
+    let engine = engine();
+    let before = stored(&engine, "emp");
+    // An ORDER BY pipeline breaker over 3 rows with a 1-row budget: the
+    // source query is refused mid-materialization, before any append.
+    let session = engine.with_config(sqlpp::SessionConfig {
+        limits: sqlpp::Limits::none().with_memory_rows(1),
+        ..sqlpp::SessionConfig::default()
+    });
+    let err = session
+        .execute(
+            "INSERT INTO emp SELECT VALUE {'id': e.id + 10, 'name': e.name} \
+             FROM emp AS e ORDER BY e.id",
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("resource exhausted"), "{err}");
+    assert_eq!(
+        stored(&engine, "emp"),
+        before,
+        "budget-denied insert leaked"
+    );
+}
+
+#[test]
+fn failed_dml_is_atomic_under_injected_faults() {
+    use sqlpp_testkit::fault::FaultPlan;
+    use std::sync::Arc;
+
+    // Sweep the k-th operator-site fault across each statement kind:
+    // wherever the statement dies, the collection must be untouched.
+    for stmt in [
+        "INSERT INTO emp SELECT VALUE {'id': e.id + 10, 'sal': e.sal} FROM emp AS e",
+        "DELETE FROM emp AS e WHERE e.sal > 50",
+        "UPDATE emp AS e SET e.sal = e.sal + 1 WHERE e.sal >= 70",
+    ] {
+        for k in 1..=8u64 {
+            let engine = engine();
+            let before = stored(&engine, "emp");
+            let plan = Arc::new(FaultPlan::fail_kth("operator", k));
+            let hook = Arc::clone(&plan);
+            let session = engine.with_config(sqlpp::SessionConfig {
+                fault: Some(sqlpp::FaultInjector::new(move |site| {
+                    hook.should_fail(site.name()).then(|| {
+                        sqlpp_eval::EvalError::Resource(format!(
+                            "injected fault at {}",
+                            site.name()
+                        ))
+                    })
+                })),
+                ..sqlpp::SessionConfig::default()
+            });
+            match session.execute(stmt) {
+                Ok(_) => assert!(!plan.fired(), "{stmt} k={k}: fired but succeeded"),
+                Err(e) => {
+                    assert!(
+                        e.to_string().contains("injected fault"),
+                        "{stmt} k={k}: {e}"
+                    );
+                    assert_eq!(stored(&engine, "emp"), before, "{stmt} k={k}: leaked");
+                }
+            }
+        }
+    }
+}

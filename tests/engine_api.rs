@@ -176,3 +176,194 @@ fn deeply_nested_construction_round_trips() {
     let back = sqlpp_formats::pnotation::from_pnotation(&text).unwrap();
     assert!(sqlpp_value::cmp::deep_eq(&v, &back));
 }
+
+// ======================================================================
+// Resource governance at the API surface (ISSUE 5): structured errors
+// for budget/deadline/cancellation, and an engine that remains fully
+// usable after every kind of governed failure.
+// ======================================================================
+
+mod governance {
+    use std::time::Duration;
+
+    use sqlpp::{CancelToken, Engine, Limits, SessionConfig};
+
+    fn fixture() -> Engine {
+        let engine = Engine::new();
+        let rows: Vec<String> = (0..100)
+            .map(|i| format!("{{'id': {i}, 'grp': {}}}", i % 7))
+            .collect();
+        engine
+            .load_pnotation("nums", &format!("{{{{ {} }}}}", rows.join(", ")))
+            .unwrap();
+        engine
+    }
+
+    fn limited(engine: &Engine, limits: Limits) -> Engine {
+        engine.with_config(SessionConfig {
+            limits,
+            ..SessionConfig::default()
+        })
+    }
+
+    #[test]
+    fn budget_denial_is_structured_and_engine_survives() {
+        let engine = fixture();
+        let session = limited(&engine, Limits::none().with_memory_rows(10));
+        // ORDER BY is a pipeline breaker: 100 rows against a 10-row
+        // budget must be refused with the structured error, fast.
+        let err = session
+            .query("SELECT VALUE n.id FROM nums AS n ORDER BY n.id DESC")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("resource exhausted"), "{msg}");
+        assert!(msg.contains("memory budget"), "{msg}");
+        assert!(msg.contains("limit 10"), "{msg}");
+        // The same session still runs streaming queries (no breaker
+        // materializes more than the budget)...
+        let r = session
+            .query("SELECT VALUE n.id FROM nums AS n WHERE n.id < 3")
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        // ...and a breaker that fits the budget works too.
+        let r = session
+            .query("SELECT VALUE n.id FROM nums AS n WHERE n.id < 5 ORDER BY n.id DESC")
+            .unwrap();
+        assert_eq!(r.rows()[0].as_int().unwrap(), 4);
+    }
+
+    #[test]
+    fn governor_counters_reset_between_queries() {
+        let engine = fixture();
+        let session = limited(&engine, Limits::none().with_memory_rows(50));
+        let q = "SELECT VALUE n.id FROM nums AS n WHERE n.id < 20 ORDER BY n.id";
+        let first = session.query_with_stats(q).unwrap();
+        let second = session.query_with_stats(q).unwrap();
+        let (a, b) = (first.stats().unwrap(), second.stats().unwrap());
+        assert_eq!(a.peak_budget_used, 20, "{a:?}");
+        assert_eq!(
+            a.peak_budget_used, b.peak_budget_used,
+            "governor state leaked across queries"
+        );
+        assert_eq!(b.budget_denials, 0);
+        assert_eq!(a.mem_budget, Some(50));
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_and_engine_survives() {
+        let engine = fixture();
+        // A zero deadline has already expired at the first pull.
+        let session = limited(&engine, Limits::none().with_time(Duration::ZERO));
+        let err = session
+            .query("SELECT VALUE n.id FROM nums AS n")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("query cancelled"), "{msg}");
+        assert!(msg.contains("deadline"), "{msg}");
+        // The deadline clock is per-query: a generous one succeeds on the
+        // same catalog.
+        let ok = limited(&engine, Limits::none().with_time(Duration::from_secs(60)));
+        assert_eq!(
+            ok.query("SELECT VALUE n.id FROM nums AS n").unwrap().len(),
+            100
+        );
+    }
+
+    #[test]
+    fn cancellation_token_stops_the_query() {
+        let engine = fixture();
+        let token = CancelToken::new();
+        let session = limited(&engine, Limits::none().with_cancel(token.clone()));
+        // Not cancelled: runs normally.
+        assert_eq!(
+            session
+                .query("SELECT VALUE n.id FROM nums AS n")
+                .unwrap()
+                .len(),
+            100
+        );
+        // Tripped (as a controller thread would): the next query dies
+        // with the structured cancellation error.
+        token.cancel();
+        let err = session
+            .query("SELECT VALUE n.id FROM nums AS n")
+            .unwrap_err();
+        assert!(err.to_string().contains("cancellation requested"), "{err}");
+        // A fresh token over the same catalog is unaffected.
+        let fresh = limited(&engine, Limits::none().with_cancel(CancelToken::new()));
+        assert_eq!(
+            fresh
+                .query("SELECT VALUE n.id FROM nums AS n")
+                .unwrap()
+                .len(),
+            100
+        );
+    }
+
+    #[test]
+    fn strict_mode_error_leaves_session_usable() {
+        let engine = fixture();
+        engine
+            .load_pnotation("dirty", "{{ {'v': 1}, {'v': 'oops'} }}")
+            .unwrap();
+        let strict = engine.with_config(SessionConfig {
+            typing: sqlpp::TypingMode::StrictError,
+            ..SessionConfig::default()
+        });
+        let err = strict
+            .query("SELECT VALUE d.v + 1 FROM dirty AS d")
+            .unwrap_err();
+        assert!(err.to_string().contains("type error"), "{err}");
+        // Same strict session, clean data: works.
+        assert_eq!(
+            strict
+                .query("SELECT VALUE n.id FROM nums AS n")
+                .unwrap()
+                .len(),
+            100
+        );
+    }
+
+    #[test]
+    fn eval_nesting_depth_is_limited() {
+        let engine = fixture();
+        engine.load_pnotation("one", "{{ {'v': 1} }}").unwrap();
+        // Twelve nested scalar subqueries (each level is one evaluator
+        // re-entry) against a depth budget of 8: the guard trips with the
+        // structured error instead of marching toward stack exhaustion.
+        let mut deep = String::from("u0.v");
+        for i in 0..12 {
+            deep = format!("(SELECT VALUE {deep} FROM one AS u{i})");
+        }
+        let deep = format!("SELECT VALUE {deep} FROM one AS u0");
+        let session = limited(&engine, Limits::none().with_eval_depth(8));
+        let err = session.query(&deep).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("resource exhausted"), "{msg}");
+        assert!(msg.contains("nesting depth"), "{msg}");
+        // The default (generous) allowance evaluates the same query fine.
+        assert_eq!(engine.query(&deep).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn explain_analyze_reports_the_budget_line() {
+        let engine = fixture();
+        let session = limited(
+            &engine,
+            Limits::none()
+                .with_memory_rows(1000)
+                .with_time(Duration::from_secs(30)),
+        );
+        let report = session
+            .explain_analyze("SELECT VALUE n.id FROM nums AS n ORDER BY n.id")
+            .unwrap();
+        assert!(report.contains("budget: mem"), "{report}");
+        assert!(report.contains("/1000 rows"), "{report}");
+        assert!(report.contains("deadline 30000ms"), "{report}");
+        // Without limits the line is absent.
+        let plain = engine
+            .explain_analyze("SELECT VALUE n.id FROM nums AS n ORDER BY n.id")
+            .unwrap();
+        assert!(!plain.contains("budget:"), "{plain}");
+    }
+}

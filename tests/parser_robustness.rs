@@ -71,3 +71,77 @@ fn error_spans_never_exceed_the_source() {
         }
     }
 }
+
+#[test]
+fn pathological_query_nesting_is_rejected_without_stack_overflow() {
+    // The same guard must cover *query*-level recursion — FROM
+    // subqueries, parenthesized set operands, nested CTE bodies — not
+    // just scalar expressions. 16 MB thread for the same reason as above.
+    std::thread::Builder::new()
+        .stack_size(16 * 1024 * 1024)
+        .spawn(|| {
+            // Shallow query nesting is legal.
+            let mut q = String::from("SELECT VALUE x.a FROM t AS x");
+            for _ in 0..8 {
+                q = format!("SELECT VALUE y.a FROM ({q}) AS y");
+            }
+            assert!(parse_query(&q).is_ok(), "8-deep FROM subquery should parse");
+            // Adversarial depth dies cleanly in the parser.
+            for depth in [512usize, 10_000] {
+                let mut q = String::from("SELECT VALUE x.a FROM t AS x");
+                for _ in 0..depth {
+                    q = format!("SELECT VALUE y.a FROM ({q}) AS y");
+                }
+                let err = parse_query(&q).unwrap_err();
+                assert!(err.to_string().contains("too deep"), "depth {depth}: {err}");
+            }
+            // 10k-deep parenthesized subquery *expression*: the scalar
+            // side of the grammar recurses into query() per level, so
+            // this exercises both guards together.
+            let src = format!(
+                "SELECT VALUE {}SELECT VALUE 1{}",
+                "(".repeat(10_000),
+                ")".repeat(10_000)
+            );
+            let err = parse_query(&src).unwrap_err();
+            assert!(err.to_string().contains("too deep"), "{err}");
+        })
+        .expect("spawn")
+        .join()
+        .expect("no panic");
+}
+
+sqlpp_prop! {
+    #![config(cases = 64)]
+
+    // Property: for ANY nesting depth and ANY of the grammar's recursion
+    // vehicles, the parser either returns an AST or a clean SyntaxError —
+    // it never panics or overflows. (Runs on the default stack: depths
+    // near the guard's limit are the interesting region.)
+    fn generated_deep_nestings_never_panic(
+        depth in gen::usize_range(1..96),
+        kind in gen::element_of(vec!["paren", "subquery", "array", "case"]),
+    ) {
+        let src = match kind {
+            "paren" => format!("{}1{}", "(".repeat(depth), ")".repeat(depth)),
+            "subquery" => {
+                let mut q = String::from("SELECT VALUE 1");
+                for _ in 0..depth {
+                    q = format!("SELECT VALUE y.a FROM ({q}) AS y");
+                }
+                q
+            }
+            "array" => format!("{}1{}", "[".repeat(depth), "]".repeat(depth)),
+            "case" => {
+                let mut e = String::from("1");
+                for _ in 0..depth {
+                    e = format!("CASE WHEN TRUE THEN {e} ELSE 0 END");
+                }
+                format!("SELECT VALUE {e}")
+            }
+            _ => unreachable!(),
+        };
+        let _ = parse_query(&src);
+        let _ = parse_expr(&src);
+    }
+}
