@@ -14,6 +14,7 @@
 //! | `pivot_unpivot` | §VI: names ⇄ data at scale |
 //! | `format_parse` | §I tenet 5: one query over many formats |
 //! | `e2e_paper_queries` | end-to-end throughput on scaled paper queries |
+//! | `frontend` | error recovery is free on the happy path (strict ≡ recovering parse) |
 //!
 //! This library provides the deterministic workload generators those
 //! benches (and the scaling tests) share.

@@ -1,4 +1,4 @@
-//! The thirteen benchmark suites, one module per performance claim (see the
+//! The fourteen benchmark suites, one module per performance claim (see the
 //! crate docs for the claim ↔ suite map). Each suite registers its
 //! measurements on a shared [`Harness`]; thin `[[bin]]` wrappers run one
 //! suite each, and `bench_all` runs every suite into one report.
@@ -14,6 +14,7 @@ pub mod agg_pipeline;
 pub mod compat_mode_overhead;
 pub mod e2e_paper_queries;
 pub mod format_parse;
+pub mod frontend;
 pub mod governor;
 pub mod group_as_vs_subquery;
 pub mod join_scale;
@@ -43,6 +44,7 @@ pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
         ("join_scale", join_scale::run),
         ("limit_stream", limit_stream::run),
         ("governor", governor::run),
+        ("frontend", frontend::run),
     ]
 }
 

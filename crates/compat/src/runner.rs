@@ -130,7 +130,14 @@ pub fn run_case(engine: &Engine, case: &Case, mode: CompatMode) -> CaseResult {
     let elapsed_ns = started.elapsed().as_nanos() as u64;
     let (passed, actual) = match (&outcome, case.check) {
         (Err(e), Check::Errors) => (true, format!("error (expected): {e}")),
-        (Err(e), _) => (false, format!("error: {e}")),
+        // Unexpected failure: render the full caret-underlined report so
+        // the FAIL block shows every diagnostic, not just the first.
+        (Err(e), _) => (
+            false,
+            sqlpp::render_error_report(case.query, e)
+                .trim_end()
+                .replace('\n', "\n                "),
+        ),
         (Ok(_), Check::Errors) => (false, "query unexpectedly succeeded".to_string()),
         (Ok(v), check) => {
             let expected: Value = from_pnotation(case.expected).expect("corpus expected parses");

@@ -1,0 +1,123 @@
+//! Static analysis: bridging engine errors into front-end diagnostics.
+//!
+//! The front end produces spanned [`Diagnostic`]s natively; the semantic
+//! layers (planning, typechecking, evaluation) do not, because the AST
+//! carries no spans. Where those layers tag an error with the offending
+//! *identifier* ([`sqlpp_plan::PlanError::name`], typecheck warnings),
+//! this module locates the first occurrence of that name in the token
+//! stream and attaches its span — good enough for caret reports without
+//! threading spans through every IR.
+
+use sqlpp_syntax::diag::codes;
+use sqlpp_syntax::token::{Span, Tok};
+use sqlpp_syntax::Diagnostic;
+
+use crate::{Error, EvalError};
+
+/// A zero-width span for errors with no locatable source position.
+pub(crate) fn zero_span() -> Span {
+    Span {
+        start: 0,
+        end: 0,
+        line: 1,
+        column: 1,
+    }
+}
+
+/// Locates the first token spelling `name` as an identifier (plain or
+/// delimited), so semantic errors about a name can point at it.
+pub(crate) fn locate_name(src: &str, name: &str) -> Option<Span> {
+    let (tokens, _) = sqlpp_syntax::lex_recovering(src);
+    tokens.iter().find_map(|t| match &t.tok {
+        Tok::Ident(s) | Tok::QuotedIdent(s) if s == name => Some(t.span),
+        _ => None,
+    })
+}
+
+/// Converts an engine [`Error`] into structured diagnostics against the
+/// query text it arose from. Returns an empty vector for error families
+/// with no useful source attribution (I/O, schema validation, resource
+/// exhaustion, …) — callers fall back to the plain [`Display`] form.
+///
+/// [`Display`]: std::fmt::Display
+pub fn diagnostics_for(src: &str, err: &Error) -> Vec<Diagnostic> {
+    match err {
+        Error::Syntax(e) => {
+            // The strict error is the *first* of possibly several;
+            // re-parse in recovering mode to report all of them.
+            let rec = sqlpp_syntax::parse_statement_recovering(src);
+            if rec.diags.is_empty() {
+                vec![e.diagnostic().clone()]
+            } else {
+                rec.diags
+            }
+        }
+        Error::Plan(pe) => {
+            let span = pe
+                .name()
+                .and_then(|n| locate_name(src, n))
+                .unwrap_or_else(zero_span);
+            vec![Diagnostic::new(pe.code(), pe.message(), span)]
+        }
+        Error::Eval(e @ (EvalError::UnknownName(n) | EvalError::UnknownFunction(n))) => {
+            let span = locate_name(src, n).unwrap_or_else(zero_span);
+            vec![Diagnostic::new(codes::E_NAME, e.to_string(), span)]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Renders an engine error as a caret-underlined multi-error report when
+/// diagnostics are available, or as a plain one-liner otherwise. The
+/// REPL's and compat runner's error path.
+pub fn render_error_report(src: &str, err: &Error) -> String {
+    let diags = diagnostics_for(src, err);
+    if diags.is_empty() {
+        format!("error: {err}\n")
+    } else {
+        sqlpp_syntax::render_report(src, &diags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+
+    #[test]
+    fn locate_name_finds_the_first_identifier() {
+        let span = locate_name("SELECT e.bogus FROM emp AS e", "bogus").unwrap();
+        assert_eq!(
+            &"SELECT e.bogus FROM emp AS e"[span.start..span.end],
+            "bogus"
+        );
+    }
+
+    #[test]
+    fn locate_name_misses_keywords_and_strings() {
+        assert!(locate_name("SELECT 'bogus' FROM t AS t", "bogus").is_none());
+        assert!(locate_name("SELECT 1", "SELECT").is_none());
+    }
+
+    #[test]
+    fn syntax_errors_expand_to_the_full_recovering_report() {
+        let engine = Engine::new();
+        let src = "SELECT 1 + FROM t AS t WHERE ORDER BY";
+        let err = engine.query(src).unwrap_err();
+        let diags = diagnostics_for(src, &err);
+        assert!(diags.len() >= 3, "{diags:?}");
+        let report = render_error_report(src, &err);
+        assert!(report.contains("errors found"), "{report}");
+    }
+
+    #[test]
+    fn unknown_names_point_at_their_source_token() {
+        let engine = Engine::new();
+        let src = "SELECT VALUE x FROM nowhere AS x";
+        let err = engine.query(src).unwrap_err();
+        let diags = diagnostics_for(src, &err);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, codes::E_NAME);
+        assert_eq!(&src[diags[0].span.start..diags[0].span.end], "nowhere");
+    }
+}

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+mod analyze;
 mod dml;
 mod error;
 mod result;
@@ -55,6 +56,7 @@ use sqlpp_schema::{SqlppType, Validator};
 use sqlpp_syntax::ast::Statement;
 use sqlpp_value::Value;
 
+pub use analyze::{diagnostics_for, render_error_report};
 pub use error::{Error, Result};
 pub use result::QueryResult;
 pub use sqlpp_catalog::Catalog;
@@ -62,6 +64,7 @@ pub use sqlpp_eval::{
     CancelToken, EvalError, ExecStats, FaultInjector, FaultSite, Limits, OpStats, TypingMode,
 };
 pub use sqlpp_plan::CompatMode;
+pub use sqlpp_syntax::{render_report, Diagnostic};
 pub use sqlpp_value as value;
 pub use sqlpp_value::{Decimal, Tuple};
 
@@ -381,20 +384,75 @@ impl Engine {
         Ok((core, value, stats))
     }
 
-    /// Statically type-checks a query against the catalog's attached
-    /// schemas (§I: "the possibility of static type checking when the
-    /// optional schema is present"). Advisory: returns warnings for
-    /// expressions the schemas *guarantee* will misbehave (always-MISSING
-    /// navigation, never-numeric arithmetic, FROM over scalars); never
-    /// rejects a query, since schemaless data is legal by design.
-    pub fn check(&self, src: &str) -> Result<Vec<String>> {
-        let prepared = self.prepare(src)?;
-        Ok(
-            sqlpp_plan::typecheck(prepared.plan(), &self.catalog.schema_snapshot())
+    /// Statically analyzes a statement without evaluating it, returning
+    /// every problem found as a spanned [`Diagnostic`].
+    ///
+    /// Three layers feed the report: the *recovering* parser contributes
+    /// all syntax errors in one pass (not just the first), lowering
+    /// contributes name-resolution and clause-legality errors
+    /// (`E_PLAN`), and — when the parse and plan are clean — the
+    /// typechecker contributes advisory `W_TYPE` warnings against the
+    /// catalog's attached schemas (§I: "the possibility of static type
+    /// checking when the optional schema is present"). Typecheck
+    /// warnings never reject a query, since schemaless data is legal by
+    /// design. An empty vector means the statement is clean.
+    pub fn check(&self, src: &str) -> Vec<Diagnostic> {
+        let rec = sqlpp_syntax::parse_statement_recovering(src);
+        if !rec.diags.is_empty() {
+            // Bare expressions are legal engine input (`run_str` accepts
+            // them); only report the statement-shaped errors if the
+            // expression reading fails too.
+            let expr = sqlpp_syntax::parse_expr_recovering(src);
+            if expr.diags.is_empty() {
+                if let Some(e) = expr.ast {
+                    return self.check_expr_ast(src, e);
+                }
+            }
+            return rec.diags;
+        }
+        match rec.ast {
+            Some(Statement::Query(q)) => self.check_query_ast(src, &q),
+            Some(Statement::Explain { query, .. }) => self.check_query_ast(src, &query),
+            // DDL/DML statements carry no plan to lower; a clean parse is
+            // all the static analysis they get today.
+            _ => Vec::new(),
+        }
+    }
+
+    /// Lowers and typechecks a parsed query for [`Engine::check`].
+    fn check_query_ast(&self, src: &str, ast: &sqlpp_syntax::ast::Query) -> Vec<Diagnostic> {
+        match self.lower_timed(ast) {
+            Ok((core, _, _)) => sqlpp_plan::typecheck(&core, &self.catalog.schema_snapshot())
                 .into_iter()
-                .map(|w| w.message)
+                .map(|w| {
+                    let span = w
+                        .name
+                        .as_deref()
+                        .and_then(|n| analyze::locate_name(src, n))
+                        .unwrap_or_else(analyze::zero_span);
+                    Diagnostic::new(sqlpp_syntax::diag::codes::W_TYPE, w.message, span)
+                })
                 .collect(),
-        )
+            Err(e) => analyze::diagnostics_for(src, &e),
+        }
+    }
+
+    /// [`Engine::check`] for a bare expression: wraps it in the same
+    /// `SELECT VALUE` shell [`Engine::eval_expr`] uses and analyzes that.
+    fn check_expr_ast(&self, src: &str, expr: sqlpp_syntax::ast::Expr) -> Vec<Diagnostic> {
+        use sqlpp_syntax::ast::{Query, QueryBlock, SelectClause, SetExpr, SetQuantifier};
+        let block = QueryBlock::with_select(SelectClause::SelectValue {
+            quantifier: SetQuantifier::All,
+            expr,
+        });
+        let q = Query {
+            ctes: Vec::new(),
+            body: SetExpr::Block(Box::new(block)),
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        };
+        self.check_query_ast(src, &q)
     }
 
     /// Evaluates a standalone SQL++ *expression* (full composability:

@@ -3,9 +3,15 @@
 use std::fmt;
 
 /// An error produced while lowering a query to SQL++ Core.
+///
+/// Carries a stable diagnostic `code` and, where lowering knows which
+/// source identifier is at fault, the offending `name` — the analysis
+/// layer uses it to locate a source span (the AST itself carries none).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanError {
     message: String,
+    code: &'static str,
+    name: Option<String>,
 }
 
 impl PlanError {
@@ -13,12 +19,31 @@ impl PlanError {
     pub fn new(message: impl Into<String>) -> Self {
         PlanError {
             message: message.into(),
+            code: "E_PLAN",
+            name: None,
         }
+    }
+
+    /// Tags the error with the source identifier it is about.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
     }
 
     /// The message.
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// The stable diagnostic code.
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// The offending source identifier, when lowering knows it.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
     }
 }
 

@@ -880,8 +880,9 @@ impl Planner<'_> {
         else {
             unreachable!("extract_windows only collects Window nodes");
         };
-        let func = WindowFunc::parse(func)
-            .ok_or_else(|| PlanError::new(format!("unknown window function {func}")))?;
+        let func = WindowFunc::parse(func).ok_or_else(|| {
+            PlanError::new(format!("unknown window function {func}")).with_name(func)
+        })?;
         if matches!(
             func,
             WindowFunc::RowNumber | WindowFunc::Rank | WindowFunc::DenseRank
@@ -953,7 +954,8 @@ impl Planner<'_> {
             Disambiguation::Ambiguous(owners) => Err(PlanError::new(format!(
                 "ambiguous reference {head:?}: declared by variables {}",
                 owners.join(", ")
-            ))),
+            ))
+            .with_name(head)),
         }
     }
 
@@ -1377,7 +1379,8 @@ fn rewrite_grouped(e: &Expr, g: &GroupCtx) -> Result<Expr, PlanError> {
                 return Err(PlanError::new(format!(
                     "variable {head} must appear in the GROUP BY clause or \
                      be used in an aggregate function"
-                )));
+                ))
+                .with_name(head));
             }
             e.clone()
         }

@@ -26,6 +26,10 @@ use crate::core::{CoreExpr, CoreFrom, CoreOp, CoreQuery};
 pub struct TypeWarning {
     /// Human-readable description with the offending expression.
     pub message: String,
+    /// The source identifier (attribute or variable) the warning is
+    /// about, when the checker knows it — lets the analysis layer locate
+    /// a span in the original query text.
+    pub name: Option<String>,
 }
 
 /// Statically checks a plan against `(dotted name, element type)` schema
@@ -63,8 +67,12 @@ struct Checker<'a> {
 
 impl Checker<'_> {
     fn warn(&mut self, message: String) {
+        self.warn_named(message, None);
+    }
+
+    fn warn_named(&mut self, message: String, name: Option<String>) {
         if !self.warnings.iter().any(|w| w.message == message) {
-            self.warnings.push(TypeWarning { message });
+            self.warnings.push(TypeWarning { message, name });
         }
     }
 
@@ -439,10 +447,13 @@ impl Checker<'_> {
                 Some(f) => f.ty.clone(),
                 None if tt.open => SqlppType::Any,
                 None => {
-                    self.warn(format!(
-                        "navigation {at}: the schema declares no attribute \
-                         {attr:?} (always MISSING)"
-                    ));
+                    self.warn_named(
+                        format!(
+                            "navigation {at}: the schema declares no attribute \
+                             {attr:?} (always MISSING)"
+                        ),
+                        Some(attr.to_string()),
+                    );
                     SqlppType::Missing
                 }
             },
@@ -460,10 +471,13 @@ impl Checker<'_> {
                     })
                     .collect();
                 if viable.is_empty() {
-                    self.warn(format!(
-                        "navigation {at}: no branch of {base} has attribute \
-                         {attr:?} (always MISSING)"
-                    ));
+                    self.warn_named(
+                        format!(
+                            "navigation {at}: no branch of {base} has attribute \
+                             {attr:?} (always MISSING)"
+                        ),
+                        Some(attr.to_string()),
+                    );
                     SqlppType::Missing
                 } else {
                     SqlppType::Any

@@ -1,0 +1,296 @@
+//! Structured diagnostics for the front end.
+//!
+//! Every lex/parse error is a [`Diagnostic`]: a byte [`Span`], a stable
+//! machine-readable code (`E_EXPECTED`, `E_DEPTH`, …), a human message,
+//! the token classes that would have been accepted, and an optional
+//! hint naming the clause being parsed when the error struck. The
+//! recovering parser accumulates them in a [`Diagnostics`] sink instead
+//! of bailing at the first failure, so one parse reports every broken
+//! clause in a statement.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// Stable diagnostic codes. Codes are part of the tool-facing API:
+/// tests and downstream analyzers match on them, messages stay free to
+/// improve.
+pub mod codes {
+    /// A character the lexer cannot start any token with.
+    pub const E_CHAR: &str = "E_CHAR";
+    /// Unterminated string, delimited identifier, backtick literal or
+    /// block comment. The span points at the *opening* delimiter.
+    pub const E_UNTERMINATED: &str = "E_UNTERMINATED";
+    /// Invalid escape sequence inside a string literal.
+    pub const E_ESCAPE: &str = "E_ESCAPE";
+    /// Malformed numeric literal (e.g. exponent without digits).
+    pub const E_NUMBER: &str = "E_NUMBER";
+    /// The parser saw a token it did not expect.
+    pub const E_EXPECTED: &str = "E_EXPECTED";
+    /// Expression or query nesting exceeded the recursion guard.
+    pub const E_DEPTH: &str = "E_DEPTH";
+    /// Input continues after a complete statement.
+    pub const E_TRAILING: &str = "E_TRAILING";
+    /// Lowering (name resolution / clause legality) failure.
+    pub const E_PLAN: &str = "E_PLAN";
+    /// Runtime error surfaced by static analysis (unknown name/function).
+    pub const E_NAME: &str = "E_NAME";
+    /// Typechecker warning.
+    pub const W_TYPE: &str = "W_TYPE";
+}
+
+/// One structured front-end error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Byte range of the offending token (half-open, `start == end` at EOF).
+    pub span: Span,
+    /// Stable machine-readable code from [`codes`].
+    pub code: &'static str,
+    /// Human-readable description (no position — the span carries it).
+    pub message: String,
+    /// Token classes that would have been accepted here, if known.
+    pub expected: Vec<String>,
+    /// Optional context hint, e.g. `while parsing the WHERE clause`.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no expectations and no hint.
+    pub fn new(code: &'static str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            span,
+            code,
+            message: message.into(),
+            expected: Vec::new(),
+            hint: None,
+        }
+    }
+
+    /// Attaches the list of acceptable token classes.
+    #[must_use]
+    pub fn with_expected(mut self, expected: Vec<String>) -> Self {
+        self.expected = expected;
+        self
+    }
+
+    /// Attaches a context hint.
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// Renders this diagnostic with a caret-underlined source excerpt.
+    ///
+    /// ```text
+    /// error[E_EXPECTED]: expected expression, found FROM at line 1, column 8
+    ///   | SELECT FROM t AS t
+    ///   |        ^^^^
+    ///   = hint: while parsing the SELECT clause
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error[{}]: {} at {}\n", self.code, self.message, self.span);
+        let line_idx = (self.span.line as usize).saturating_sub(1);
+        if let Some(line_text) = src.lines().nth(line_idx) {
+            out.push_str("  | ");
+            out.push_str(line_text);
+            out.push('\n');
+            out.push_str("  | ");
+            for _ in 1..self.span.column {
+                out.push(' ');
+            }
+            // Underline the full token where it fits on the line; always
+            // at least one caret (EOF spans are empty).
+            let width = self
+                .span
+                .end
+                .saturating_sub(self.span.start)
+                .min(
+                    line_text
+                        .len()
+                        .saturating_sub(self.span.column as usize - 1),
+                )
+                .max(1);
+            for _ in 0..width {
+                out.push('^');
+            }
+            out.push('\n');
+        }
+        if !self.expected.is_empty() {
+            out.push_str("  = expected: ");
+            out.push_str(&self.expected.join(", "));
+            out.push('\n');
+        }
+        if let Some(hint) = &self.hint {
+            out.push_str("  = hint: ");
+            out.push_str(hint);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} at {}", self.code, self.message, self.span)
+    }
+}
+
+/// Hard cap on accumulated diagnostics: beyond this the parser stops
+/// recovering and reports truncation instead of spamming one error per
+/// token of garbage.
+pub const MAX_DIAGNOSTICS: usize = 64;
+
+/// An append-only diagnostic sink with two invariants the fuzz harness
+/// relies on: at most [`MAX_DIAGNOSTICS`] entries, and no two entries
+/// with overlapping spans (cascading errors at the same token collapse
+/// into the first report).
+#[derive(Debug, Default, Clone)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Whether another diagnostic can still be recorded.
+    pub fn has_room(&self) -> bool {
+        self.items.len() < MAX_DIAGNOSTICS
+    }
+
+    /// Number of diagnostics recorded so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Records a diagnostic, dropping it silently if the sink is full or
+    /// its span overlaps an already-reported one (a cascade of the same
+    /// underlying mistake).
+    pub fn push(&mut self, diag: Diagnostic) {
+        if !self.has_room() {
+            return;
+        }
+        let overlaps = self.items.iter().any(|d| spans_overlap(d.span, diag.span));
+        if !overlaps {
+            self.items.push(diag);
+        }
+    }
+
+    /// The recorded diagnostics, in source order of discovery.
+    pub fn as_slice(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Consumes the sink.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+}
+
+/// Half-open byte-range overlap; empty spans (EOF) overlap nothing but
+/// an identical empty span is treated as overlapping so repeated
+/// at-end-of-input errors collapse into one.
+fn spans_overlap(a: Span, b: Span) -> bool {
+    if a.start == a.end && b.start == b.end {
+        return a.start == b.start;
+    }
+    a.start < b.end && b.start < a.end
+}
+
+/// Renders a full multi-error report: each diagnostic caret-underlined,
+/// followed by an error-count summary line.
+pub fn render_report(src: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render(src));
+    }
+    if !diags.is_empty() {
+        let n = diags.len();
+        out.push_str(&format!(
+            "{n} error{} found\n",
+            if n == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(start: usize, end: usize, column: u32) -> Span {
+        Span {
+            start,
+            end,
+            line: 1,
+            column,
+        }
+    }
+
+    #[test]
+    fn render_underlines_the_token() {
+        let d = Diagnostic::new(
+            codes::E_EXPECTED,
+            "expected expression, found FROM",
+            sp(7, 11, 8),
+        )
+        .with_expected(vec!["expression".into()])
+        .with_hint("while parsing the SELECT clause");
+        let r = d.render("SELECT FROM t AS t");
+        assert!(r.contains("error[E_EXPECTED]"));
+        assert!(r.contains("line 1, column 8"));
+        assert!(r.contains("^^^^"));
+        assert!(r.contains("= expected: expression"));
+        assert!(r.contains("= hint: while parsing the SELECT clause"));
+    }
+
+    #[test]
+    fn sink_drops_overlapping_spans() {
+        let mut sink = Diagnostics::new();
+        sink.push(Diagnostic::new(codes::E_EXPECTED, "a", sp(0, 4, 1)));
+        sink.push(Diagnostic::new(codes::E_EXPECTED, "b", sp(2, 6, 3)));
+        sink.push(Diagnostic::new(codes::E_EXPECTED, "c", sp(4, 8, 5)));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.as_slice()[1].message, "c");
+    }
+
+    #[test]
+    fn sink_collapses_repeated_eof_errors() {
+        let mut sink = Diagnostics::new();
+        sink.push(Diagnostic::new(codes::E_EXPECTED, "a", sp(9, 9, 10)));
+        sink.push(Diagnostic::new(codes::E_EXPECTED, "b", sp(9, 9, 10)));
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn sink_respects_the_cap() {
+        let mut sink = Diagnostics::new();
+        for i in 0..(MAX_DIAGNOSTICS + 10) {
+            sink.push(Diagnostic::new(
+                codes::E_EXPECTED,
+                "x",
+                sp(i * 2, i * 2 + 1, 1),
+            ));
+        }
+        assert_eq!(sink.len(), MAX_DIAGNOSTICS);
+        assert!(!sink.has_room());
+    }
+
+    #[test]
+    fn report_counts_errors() {
+        let diags = vec![
+            Diagnostic::new(codes::E_EXPECTED, "a", sp(0, 1, 1)),
+            Diagnostic::new(codes::E_DEPTH, "b", sp(4, 5, 5)),
+        ];
+        let report = render_report("ab cd", &diags);
+        assert!(report.contains("2 errors found"));
+    }
+}

@@ -1,56 +1,79 @@
 //! Syntax errors with source positions.
+//!
+//! [`SyntaxError`] is the strict-mode (`Result`-shaped) face of the
+//! structured [`Diagnostic`] model: every error wraps exactly one
+//! diagnostic, so the single-error and multi-error paths report
+//! identical spans, codes and messages.
 
 use std::fmt;
 
+use crate::diag::{codes, Diagnostic};
 use crate::token::Span;
 
 /// A lexing or parsing error, carrying the offending span.
+///
+/// The diagnostic is boxed so the error arm of every
+/// `Result<_, SyntaxError>` in the recursive-descent parser stays
+/// pointer-sized — deep descent is bounded by stack, and fat error
+/// payloads multiply across every frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyntaxError {
-    message: String,
-    span: Span,
+    diag: Box<Diagnostic>,
 }
 
 impl SyntaxError {
-    /// Creates an error at the given span.
+    /// Creates an error at the given span (generic `E_EXPECTED` code).
     pub fn new(message: impl Into<String>, span: Span) -> Self {
         SyntaxError {
-            message: message.into(),
-            span,
+            diag: Box::new(Diagnostic::new(codes::E_EXPECTED, message, span)),
+        }
+    }
+
+    /// Wraps a structured diagnostic.
+    pub fn from_diagnostic(diag: Diagnostic) -> Self {
+        SyntaxError {
+            diag: Box::new(diag),
         }
     }
 
     /// The human-readable message (without position).
     pub fn message(&self) -> &str {
-        &self.message
+        &self.diag.message
+    }
+
+    /// The stable diagnostic code (`E_EXPECTED`, `E_DEPTH`, …).
+    pub fn code(&self) -> &'static str {
+        self.diag.code
     }
 
     /// Where the error occurred.
     pub fn span(&self) -> Span {
-        self.span
+        self.diag.span
+    }
+
+    /// The wrapped structured diagnostic.
+    pub fn diagnostic(&self) -> &Diagnostic {
+        &self.diag
+    }
+
+    /// Consumes the error, yielding the diagnostic.
+    pub fn into_diagnostic(self) -> Diagnostic {
+        *self.diag
     }
 
     /// Renders the error with a caret line pointing into `src`.
     pub fn render(&self, src: &str) -> String {
-        let mut out = format!("syntax error: {} at {}\n", self.message, self.span);
-        if let Some(line_text) = src.lines().nth(self.span.line as usize - 1) {
-            out.push_str("  | ");
-            out.push_str(line_text);
-            out.push('\n');
-            out.push_str("  | ");
-            for _ in 1..self.span.column {
-                out.push(' ');
-            }
-            out.push('^');
-            out.push('\n');
-        }
-        out
+        self.diag.render(src)
     }
 }
 
 impl fmt::Display for SyntaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error: {} at {}", self.message, self.span)
+        write!(
+            f,
+            "syntax error: {} at {}",
+            self.diag.message, self.diag.span
+        )
     }
 }
 
@@ -75,5 +98,6 @@ mod tests {
         assert!(rendered.contains("SELECT #"));
         assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'));
         assert!(rendered.contains("line 1, column 8"));
+        assert_eq!(err.code(), "E_EXPECTED");
     }
 }

@@ -12,12 +12,32 @@
 //! and `<<` as bag delimiters; the parser splits them back into comparisons
 //! where a bag delimiter is impossible. In practice the digraphs only occur
 //! as constructors, matching PartiQL's grammar.
+//!
+//! The lexer is *recovering*: every malformed construct produces a
+//! [`Diagnostic`] and the scan continues, so one pass reports every
+//! lexical mistake. An unterminated string/identifier/backtick reports
+//! the span of its **opening** delimiter and resumes scanning at the
+//! next line break (the delimiter was almost certainly meant to close
+//! on the same line). The strict [`lex`] entry point keeps its old
+//! `Result` shape by failing on the first diagnostic.
 
+use crate::diag::{codes, Diagnostic, Diagnostics};
 use crate::error::SyntaxError;
 use crate::token::{Keyword, Span, Tok, Token};
 
-/// Lexes a complete source string into tokens (ending with [`Tok::Eof`]).
+/// Lexes a complete source string into tokens (ending with [`Tok::Eof`]),
+/// failing on the first lexical error.
 pub fn lex(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    let (tokens, diags) = lex_recovering(src);
+    match diags.into_iter().next() {
+        None => Ok(tokens),
+        Some(d) => Err(SyntaxError::from_diagnostic(d)),
+    }
+}
+
+/// Lexes with error recovery: always returns the full token stream
+/// (ending with [`Tok::Eof`]) plus every lexical diagnostic found.
+pub fn lex_recovering(src: &str) -> (Vec<Token>, Vec<Diagnostic>) {
     Lexer::new(src).run()
 }
 
@@ -27,6 +47,7 @@ struct Lexer<'a> {
     pos: usize,
     line: u32,
     col: u32,
+    diags: Diagnostics,
 }
 
 impl<'a> Lexer<'a> {
@@ -37,6 +58,7 @@ impl<'a> Lexer<'a> {
             pos: 0,
             line: 1,
             col: 1,
+            diags: Diagnostics::new(),
         }
     }
 
@@ -69,39 +91,66 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn error(&self, msg: impl Into<String>, start: usize, line: u32, col: u32) -> SyntaxError {
-        SyntaxError::new(msg, self.span_from(start, line, col))
+    /// Span of the `len` bytes starting at `start` (for pointing at an
+    /// opening delimiter rather than everything scanned past it).
+    fn span_at(&self, start: usize, line: u32, col: u32, len: usize) -> Span {
+        Span {
+            start,
+            end: (start + len).min(self.bytes.len()),
+            line,
+            column: col,
+        }
     }
 
-    fn run(mut self) -> Result<Vec<Token>, SyntaxError> {
+    fn report(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Error recovery for unterminated quoted forms: rewind to just
+    /// after the opening delimiter and skip to the next line break, so
+    /// the rest of the input still lexes.
+    fn resume_at_newline(&mut self, after_open: (usize, u32, u32)) {
+        (self.pos, self.line, self.col) = after_open;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+            self.col += 1;
+        }
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Diagnostic>) {
         let mut out = Vec::new();
         loop {
-            self.skip_trivia()?;
+            self.skip_trivia();
             let (start, line, col) = (self.pos, self.line, self.col);
             let Some(b) = self.peek() else {
                 out.push(Token {
                     tok: Tok::Eof,
                     span: self.span_from(start, line, col),
                 });
-                return Ok(out);
+                return (out, self.diags.into_vec());
             };
             let tok = match b {
-                b'\'' => self.lex_string()?,
-                b'"' => self.lex_quoted_ident()?,
-                b'`' => self.lex_backtick_special()?,
-                b'0'..=b'9' => self.lex_number()?,
-                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.lex_number()?,
-                b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => self.lex_word(),
-                _ => self.lex_symbol()?,
+                b'\'' => self.lex_string(),
+                b'"' => self.lex_quoted_ident(),
+                b'`' => self.lex_backtick_special(),
+                b'0'..=b'9' => self.lex_number(),
+                b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => self.lex_number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => Some(self.lex_word()),
+                _ => self.lex_symbol(),
             };
-            out.push(Token {
-                tok,
-                span: self.span_from(start, line, col),
-            });
+            if let Some(tok) = tok {
+                out.push(Token {
+                    tok,
+                    span: self.span_from(start, line, col),
+                });
+            }
         }
     }
 
-    fn skip_trivia(&mut self) -> Result<(), SyntaxError> {
+    fn skip_trivia(&mut self) {
         loop {
             match self.peek() {
                 Some(b) if b.is_ascii_whitespace() => {
@@ -136,24 +185,29 @@ impl<'a> Lexer<'a> {
                                 self.bump();
                             }
                             (None, _) => {
-                                return Err(self.error(
-                                    "unterminated block comment",
-                                    start,
-                                    line,
-                                    col,
-                                ));
+                                let span = self.span_at(start, line, col, 2);
+                                self.report(
+                                    Diagnostic::new(
+                                        codes::E_UNTERMINATED,
+                                        "unterminated block comment",
+                                        span,
+                                    )
+                                    .with_hint("comment opened here is never closed with `*/`"),
+                                );
+                                return;
                             }
                         }
                     }
                 }
-                _ => return Ok(()),
+                _ => return,
             }
         }
     }
 
-    fn lex_string(&mut self) -> Result<Tok, SyntaxError> {
+    fn lex_string(&mut self) -> Option<Tok> {
         let (start, line, col) = (self.pos, self.line, self.col);
         self.bump(); // opening quote
+        let after_open = (self.pos, self.line, self.col);
         let mut s = String::new();
         loop {
             match self.bump() {
@@ -162,10 +216,11 @@ impl<'a> Lexer<'a> {
                         self.bump();
                         s.push('\'');
                     } else {
-                        return Ok(Tok::Str(s));
+                        return Some(Tok::Str(s));
                     }
                 }
                 Some(b'\\') => {
+                    let (esc_start, esc_line, esc_col) = (self.pos - 1, self.line, self.col - 1);
                     // C-style escapes, matching our value printer.
                     match self.bump() {
                         Some(b'n') => s.push('\n'),
@@ -173,57 +228,79 @@ impl<'a> Lexer<'a> {
                         Some(b't') => s.push('\t'),
                         Some(b'\\') => s.push('\\'),
                         Some(b'\'') => s.push('\''),
-                        Some(b'u') => {
-                            let mut code = 0u32;
-                            for _ in 0..4 {
-                                let d = self.bump().ok_or_else(|| {
-                                    self.error("unterminated \\u escape", start, line, col)
-                                })?;
-                                code = code * 16
-                                    + (d as char).to_digit(16).ok_or_else(|| {
-                                        self.error(
-                                            "invalid hex digit in \\u escape",
-                                            start,
-                                            line,
-                                            col,
-                                        )
-                                    })?;
+                        Some(b'u') => match self.lex_unicode_escape() {
+                            Ok(ch) => s.push(ch),
+                            Err(msg) => {
+                                let span = self.span_from(esc_start, esc_line, esc_col);
+                                self.report(
+                                    Diagnostic::new(codes::E_ESCAPE, msg, span).with_hint(
+                                        "\\u takes exactly four hex digits, e.g. \\u00e9",
+                                    ),
+                                );
+                                s.push('\u{FFFD}');
                             }
-                            s.push(char::from_u32(code).ok_or_else(|| {
-                                self.error("invalid \\u code point", start, line, col)
-                            })?);
-                        }
-                        _ => {
-                            return Err(self.error(
-                                "invalid escape in string literal",
-                                start,
-                                line,
-                                col,
-                            ));
+                        },
+                        other => {
+                            let span = self.span_from(esc_start, esc_line, esc_col);
+                            self.report(
+                                Diagnostic::new(
+                                    codes::E_ESCAPE,
+                                    "invalid escape in string literal",
+                                    span,
+                                )
+                                .with_hint("known escapes: \\n \\r \\t \\\\ \\' \\uXXXX"),
+                            );
+                            // Keep the character literally and carry on.
+                            if let Some(b) = other {
+                                self.push_char_from(b, &mut s);
+                            }
                         }
                     }
                 }
-                Some(_) => {
-                    // Collect raw UTF-8 bytes: re-slice from the source to
-                    // keep multi-byte characters intact.
-                    let ch_start = self.pos - 1;
-                    let ch = self.src[ch_start..].chars().next().expect("in-bounds char");
-                    // Bump over any continuation bytes.
-                    for _ in 1..ch.len_utf8() {
-                        self.bump();
-                    }
-                    s.push(ch);
-                }
+                Some(b) => self.push_char_from(b, &mut s),
                 None => {
-                    return Err(self.error("unterminated string literal", start, line, col));
+                    let span = self.span_at(start, line, col, 1);
+                    self.report(
+                        Diagnostic::new(codes::E_UNTERMINATED, "unterminated string literal", span)
+                            .with_hint("string opened here is never closed with `'`"),
+                    );
+                    self.resume_at_newline(after_open);
+                    return None;
                 }
             }
         }
     }
 
-    fn lex_quoted_ident(&mut self) -> Result<Tok, SyntaxError> {
+    /// Reads the four hex digits of a `\u` escape; the backslash and `u`
+    /// are already consumed.
+    fn lex_unicode_escape(&mut self) -> Result<char, &'static str> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().ok_or("unterminated \\u escape")?;
+            let digit = (d as char)
+                .to_digit(16)
+                .ok_or("invalid hex digit in \\u escape")?;
+            self.bump();
+            code = code * 16 + digit;
+        }
+        char::from_u32(code).ok_or("invalid \\u code point")
+    }
+
+    /// Pushes the full UTF-8 character whose first byte `b` was just
+    /// consumed, bumping over any continuation bytes.
+    fn push_char_from(&mut self, _b: u8, s: &mut String) {
+        let ch_start = self.pos - 1;
+        let ch = self.src[ch_start..].chars().next().expect("in-bounds char");
+        for _ in 1..ch.len_utf8() {
+            self.bump();
+        }
+        s.push(ch);
+    }
+
+    fn lex_quoted_ident(&mut self) -> Option<Tok> {
         let (start, line, col) = (self.pos, self.line, self.col);
         self.bump(); // opening quote
+        let after_open = (self.pos, self.line, self.col);
         let mut s = String::new();
         loop {
             match self.bump() {
@@ -232,19 +309,22 @@ impl<'a> Lexer<'a> {
                         self.bump();
                         s.push('"');
                     } else {
-                        return Ok(Tok::QuotedIdent(s));
+                        return Some(Tok::QuotedIdent(s));
                     }
                 }
-                Some(_) => {
-                    let ch_start = self.pos - 1;
-                    let ch = self.src[ch_start..].chars().next().expect("in-bounds char");
-                    for _ in 1..ch.len_utf8() {
-                        self.bump();
-                    }
-                    s.push(ch);
-                }
+                Some(b) => self.push_char_from(b, &mut s),
                 None => {
-                    return Err(self.error("unterminated delimited identifier", start, line, col));
+                    let span = self.span_at(start, line, col, 1);
+                    self.report(
+                        Diagnostic::new(
+                            codes::E_UNTERMINATED,
+                            "unterminated delimited identifier",
+                            span,
+                        )
+                        .with_hint("identifier opened here is never closed with `\"`"),
+                    );
+                    self.resume_at_newline(after_open);
+                    return None;
                 }
             }
         }
@@ -252,32 +332,50 @@ impl<'a> Lexer<'a> {
 
     /// Backtick forms carry special float values through the printer:
     /// `` `nan` ``, `` `+inf` ``, `` `-inf` ``.
-    fn lex_backtick_special(&mut self) -> Result<Tok, SyntaxError> {
+    fn lex_backtick_special(&mut self) -> Option<Tok> {
         let (start, line, col) = (self.pos, self.line, self.col);
         self.bump();
+        let after_open = (self.pos, self.line, self.col);
         let word_start = self.pos;
         while let Some(b) = self.peek() {
-            if b == b'`' {
+            if b == b'`' || b == b'\n' {
                 break;
             }
             self.bump();
         }
         let word = &self.src[word_start..self.pos];
-        if self.bump() != Some(b'`') {
-            return Err(self.error("unterminated backtick literal", start, line, col));
+        if self.peek() != Some(b'`') {
+            let span = self.span_at(start, line, col, 1);
+            self.report(
+                Diagnostic::new(codes::E_UNTERMINATED, "unterminated backtick literal", span)
+                    .with_hint("backtick opened here is never closed with `"),
+            );
+            self.resume_at_newline(after_open);
+            return None;
         }
+        self.bump(); // closing backtick
         match word {
-            "nan" | "+inf" | "-inf" => Ok(Tok::Number(word.to_string())),
-            other => Err(self.error(
-                format!("unknown backtick literal `{other}`"),
-                start,
-                line,
-                col,
-            )),
+            "nan" | "+inf" | "-inf" => Some(Tok::Number(word.to_string())),
+            other => {
+                let span = self.span_from(start, line, col);
+                self.report(
+                    Diagnostic::new(
+                        codes::E_NUMBER,
+                        format!("unknown backtick literal `{other}`"),
+                        span,
+                    )
+                    .with_expected(vec![
+                        "`nan`".into(),
+                        "`+inf`".into(),
+                        "`-inf`".into(),
+                    ]),
+                );
+                None
+            }
         }
     }
 
-    fn lex_number(&mut self) -> Result<Tok, SyntaxError> {
+    fn lex_number(&mut self) -> Option<Tok> {
         let (start, line, col) = (self.pos, self.line, self.col);
         let text_start = self.pos;
         let mut is_int = true;
@@ -297,12 +395,16 @@ impl<'a> Lexer<'a> {
                         self.bump();
                     }
                     if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
-                        return Err(self.error(
-                            "exponent must be followed by digits",
-                            start,
-                            line,
-                            col,
-                        ));
+                        let span = self.span_from(start, line, col);
+                        self.report(
+                            Diagnostic::new(
+                                codes::E_NUMBER,
+                                "exponent must be followed by digits",
+                                span,
+                            )
+                            .with_hint("write e.g. 1e3 or 2.5E-2"),
+                        );
+                        return None;
                     }
                 }
                 _ => break,
@@ -311,12 +413,12 @@ impl<'a> Lexer<'a> {
         let text = &self.src[text_start..self.pos];
         if is_int {
             match text.parse::<i64>() {
-                Ok(v) => Ok(Tok::Int(v)),
+                Ok(v) => Some(Tok::Int(v)),
                 // Magnitude beyond i64: defer to the decimal path.
-                Err(_) => Ok(Tok::Number(text.to_string())),
+                Err(_) => Some(Tok::Number(text.to_string())),
             }
         } else {
-            Ok(Tok::Number(text.to_string()))
+            Some(Tok::Number(text.to_string()))
         }
     }
 
@@ -336,10 +438,10 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_symbol(&mut self) -> Result<Tok, SyntaxError> {
+    fn lex_symbol(&mut self) -> Option<Tok> {
         let (start, line, col) = (self.pos, self.line, self.col);
         let b = self.bump().expect("peeked");
-        Ok(match b {
+        Some(match b {
             b'=' => {
                 if self.peek() == Some(b'=') {
                     self.bump(); // tolerate `==`
@@ -377,7 +479,12 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     Tok::NotEq
                 } else {
-                    return Err(self.error("expected '=' after '!'", start, line, col));
+                    let span = self.span_from(start, line, col);
+                    self.report(
+                        Diagnostic::new(codes::E_CHAR, "expected '=' after '!'", span)
+                            .with_expected(vec!["!=".into()]),
+                    );
+                    return None;
                 }
             }
             b'|' => {
@@ -385,7 +492,12 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     Tok::Concat
                 } else {
-                    return Err(self.error("expected '|' after '|'", start, line, col));
+                    let span = self.span_from(start, line, col);
+                    self.report(
+                        Diagnostic::new(codes::E_CHAR, "expected '|' after '|'", span)
+                            .with_expected(vec!["||".into()]),
+                    );
+                    return None;
                 }
             }
             b'+' => Tok::Plus,
@@ -419,12 +531,13 @@ impl<'a> Lexer<'a> {
             b';' => Tok::Semicolon,
             b'?' => Tok::Question,
             other => {
-                return Err(self.error(
+                let span = self.span_from(start, line, col);
+                self.report(Diagnostic::new(
+                    codes::E_CHAR,
                     format!("unexpected character {:?}", other as char),
-                    start,
-                    line,
-                    col,
+                    span,
                 ));
+                return None;
             }
         })
     }
@@ -547,6 +660,55 @@ mod tests {
         assert!(err.to_string().contains("line 2"));
         let err = lex("'unterminated").unwrap_err();
         assert!(err.to_string().contains("unterminated string"));
+    }
+
+    #[test]
+    fn unterminated_string_points_at_the_opening_quote() {
+        let src = "SELECT 'oops\nFROM t AS t";
+        let err = lex(src).unwrap_err();
+        assert_eq!(err.code(), codes::E_UNTERMINATED);
+        assert_eq!(err.span().start, 7);
+        assert_eq!(err.span().end, 8);
+        assert_eq!(err.span().line, 1);
+        assert_eq!(err.span().column, 8);
+        // Recovery resumes at the newline: the second line still lexes.
+        let (tokens, diags) = lex_recovering(src);
+        assert_eq!(diags.len(), 1);
+        let toks: Vec<_> = tokens.into_iter().map(|t| t.tok).collect();
+        assert!(toks.contains(&Tok::Keyword(Keyword::From)));
+        assert!(toks.contains(&Tok::Ident("t".into())));
+    }
+
+    #[test]
+    fn unterminated_quoted_ident_points_at_the_opening_quote() {
+        let (tokens, diags) = lex_recovering("SELECT \"oops\nFROM t AS t");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::E_UNTERMINATED);
+        assert_eq!(diags[0].span.start, 7);
+        assert_eq!(diags[0].span.end, 8);
+        let toks: Vec<_> = tokens.into_iter().map(|t| t.tok).collect();
+        assert!(toks.contains(&Tok::Keyword(Keyword::From)));
+    }
+
+    #[test]
+    fn unterminated_backtick_points_at_the_opening_backtick() {
+        let (tokens, diags) = lex_recovering("SELECT `nan\nFROM t AS t");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::E_UNTERMINATED);
+        assert_eq!(diags[0].span.start, 7);
+        let toks: Vec<_> = tokens.into_iter().map(|t| t.tok).collect();
+        assert!(toks.contains(&Tok::Keyword(Keyword::From)));
+    }
+
+    #[test]
+    fn recovery_reports_multiple_lexical_errors() {
+        let (tokens, diags) = lex_recovering("SELECT # FROM ~ WHERE @");
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.code == codes::E_CHAR));
+        let toks: Vec<_> = tokens.into_iter().map(|t| t.tok).collect();
+        assert!(toks.contains(&Tok::Keyword(Keyword::Select)));
+        assert!(toks.contains(&Tok::Keyword(Keyword::From)));
+        assert!(toks.contains(&Tok::Keyword(Keyword::Where)));
     }
 
     #[test]

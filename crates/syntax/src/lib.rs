@@ -29,13 +29,18 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod diag;
 mod error;
 mod lexer;
 mod parser;
 mod pretty;
 pub mod token;
 
+pub use diag::{render_report, Diagnostic, Diagnostics};
 pub use error::SyntaxError;
-pub use lexer::lex;
-pub use parser::{parse_expr, parse_query, parse_statement};
+pub use lexer::{lex, lex_recovering};
+pub use parser::{
+    parse_expr, parse_expr_recovering, parse_query, parse_query_recovering, parse_statement,
+    parse_statement_recovering, Recovered,
+};
 pub use pretty::{print_expr, print_query, print_statement};

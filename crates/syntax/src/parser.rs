@@ -7,8 +7,9 @@
 //! paper's examples and fills gaps with PartiQL's published grammar.
 
 use crate::ast::*;
+use crate::diag::{codes, Diagnostic, Diagnostics};
 use crate::error::SyntaxError;
-use crate::lexer::lex;
+use crate::lexer::{lex, lex_recovering};
 use crate::token::{Keyword as K, Span, Tok, Token};
 
 /// Parses a single statement (query or Hive-style CREATE TABLE).
@@ -37,6 +38,75 @@ pub fn parse_expr(src: &str) -> Result<Expr, SyntaxError> {
     Ok(e)
 }
 
+/// The result of a recovering parse: a (possibly partial) AST when any
+/// shape could be salvaged, plus *every* diagnostic found. `diags` is
+/// empty exactly when the strict parse would have succeeded, and the
+/// AST is then byte-identical to the strict parse's (the recovery
+/// machinery only engages on error paths).
+#[derive(Debug, Clone)]
+pub struct Recovered<T> {
+    /// The salvaged AST — `None` only when nothing parseable remained.
+    pub ast: Option<T>,
+    /// All diagnostics, in discovery order.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl<T> Recovered<T> {
+    /// True when the parse was clean.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// Parses a statement with error recovery: on failure the parser
+/// synchronizes to the next clause/statement boundary (SELECT, FROM,
+/// WHERE, GROUP, ORDER, LIMIT, `;`, …) and keeps going, accumulating
+/// every diagnostic instead of bailing at the first.
+pub fn parse_statement_recovering(src: &str) -> Recovered<Statement> {
+    let mut p = Parser::new_recovering(src);
+    let ast = match p.statement() {
+        Ok(stmt) => Some(stmt),
+        Err(e) => {
+            p.report(e);
+            None
+        }
+    };
+    p.finish_recovering(ast)
+}
+
+/// Parses a query with error recovery (see [`parse_statement_recovering`]).
+pub fn parse_query_recovering(src: &str) -> Recovered<Query> {
+    let mut p = Parser::new_recovering(src);
+    let ast = match p.query() {
+        Ok(q) => Some(q),
+        Err(e) => {
+            p.report(e);
+            None
+        }
+    };
+    p.finish_recovering(ast)
+}
+
+/// Parses a standalone expression with error recovery.
+pub fn parse_expr_recovering(src: &str) -> Recovered<Expr> {
+    let mut p = Parser::new_recovering(src);
+    let ast = match p.expr() {
+        Ok(e) => Some(e),
+        Err(e) => {
+            p.report(e);
+            None
+        }
+    };
+    if *p.peek() != Tok::Eof {
+        let e = p.err_trailing();
+        p.report(e);
+    }
+    Recovered {
+        ast,
+        diags: p.diags.into_vec(),
+    }
+}
+
 /// `(order_by, limit, offset)` trailing-modifier triple.
 type TrailingMods = (Vec<OrderItem>, Option<Expr>, Option<Expr>);
 
@@ -52,6 +122,13 @@ struct Parser {
     pos: usize,
     params: usize,
     depth: usize,
+    /// When set, clause-level failures synchronize and continue instead
+    /// of propagating; `diags` collects everything found.
+    recover: bool,
+    diags: Diagnostics,
+    /// Clause-context stack (`push_context` per clause): error messages
+    /// and hints name the innermost clause being parsed when they fire.
+    ctx: Vec<&'static str>,
 }
 
 impl Parser {
@@ -61,7 +138,45 @@ impl Parser {
             pos: 0,
             params: 0,
             depth: 0,
+            recover: false,
+            diags: Diagnostics::new(),
+            ctx: Vec::new(),
         })
+    }
+
+    /// A parser that accumulates diagnostics and recovers at clause
+    /// boundaries. Lexer diagnostics are seeded into the sink; the token
+    /// stream is whatever the recovering lexer salvaged.
+    fn new_recovering(src: &str) -> Self {
+        let (tokens, lex_diags) = lex_recovering(src);
+        let mut diags = Diagnostics::new();
+        for d in lex_diags {
+            diags.push(d);
+        }
+        Parser {
+            tokens,
+            pos: 0,
+            params: 0,
+            depth: 0,
+            recover: true,
+            diags,
+            ctx: Vec::new(),
+        }
+    }
+
+    /// Shared tail of the recovering entry points: reports trailing
+    /// input, guarantees at least one diagnostic whenever the strict
+    /// parse would have failed, and yields the final [`Recovered`].
+    fn finish_recovering<T>(mut self, ast: Option<T>) -> Recovered<T> {
+        self.eat(&Tok::Semicolon);
+        if *self.peek() != Tok::Eof {
+            let e = self.err_trailing();
+            self.report(e);
+        }
+        Recovered {
+            ast,
+            diags: self.diags.into_vec(),
+        }
     }
 
     fn peek(&self) -> &Tok {
@@ -106,7 +221,10 @@ impl Parser {
         if self.eat(tok) {
             Ok(())
         } else {
-            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+            Err(self.err_expecting(
+                format!("expected {tok}, found {}", self.peek()),
+                vec![tok.to_string()],
+            ))
         }
     }
 
@@ -118,12 +236,39 @@ impl Parser {
         if *self.peek() == Tok::Eof {
             Ok(())
         } else {
-            Err(self.err(format!("unexpected trailing input: {}", self.peek())))
+            Err(self.err_trailing())
         }
     }
 
+    fn err_trailing(&self) -> SyntaxError {
+        let diag = Diagnostic::new(
+            codes::E_TRAILING,
+            format!("unexpected trailing input: {}", self.peek()),
+            self.span(),
+        )
+        .with_hint("a complete statement was already parsed before this point");
+        SyntaxError::from_diagnostic(diag)
+    }
+
     fn err(&self, msg: impl Into<String>) -> SyntaxError {
-        SyntaxError::new(msg, self.span())
+        self.err_expecting(msg, Vec::new())
+    }
+
+    /// Builds an `E_EXPECTED` error at the current token, carrying the
+    /// acceptable-token list and a hint naming the innermost clause.
+    fn err_expecting(&self, msg: impl Into<String>, expected: Vec<String>) -> SyntaxError {
+        let mut diag = Diagnostic::new(codes::E_EXPECTED, msg, self.span()).with_expected(expected);
+        if let Some(ctx) = self.ctx.last() {
+            diag = diag.with_hint(format!("while parsing the {ctx}"));
+        }
+        SyntaxError::from_diagnostic(diag)
+    }
+
+    /// Builds an `E_DEPTH` error for the recursion guards.
+    fn err_depth(&self, msg: &str) -> SyntaxError {
+        let diag = Diagnostic::new(codes::E_DEPTH, msg, self.span())
+            .with_hint("the recursion guard caps nesting; flatten the query");
+        SyntaxError::from_diagnostic(diag)
     }
 
     /// An identifier-shaped token: regular or quoted. Non-reserved keywords
@@ -138,7 +283,99 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(self.err(format!("expected identifier, found {other}"))),
+            other => Err(self.err_expecting(
+                format!("expected identifier, found {other}"),
+                vec!["identifier".into()],
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Error recovery
+    // ------------------------------------------------------------------
+
+    /// Records a diagnostic in the sink.
+    fn report(&mut self, e: SyntaxError) {
+        self.diags.push(e.into_diagnostic());
+    }
+
+    /// Runs `f` with `name` pushed on the clause-context stack, so any
+    /// error raised inside names the clause it was parsing.
+    fn with_ctx<T>(
+        &mut self,
+        name: &'static str,
+        f: impl FnOnce(&mut Self) -> Result<T, SyntaxError>,
+    ) -> Result<T, SyntaxError> {
+        self.ctx.push(name);
+        let r = f(self);
+        self.ctx.pop();
+        r
+    }
+
+    /// Is the current token a synchronization point — the start of the
+    /// next clause, statement, or an enclosing delimiter?
+    fn at_boundary(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Eof
+                | Tok::Semicolon
+                | Tok::RParen
+                | Tok::Keyword(
+                    K::Select
+                        | K::Pivot
+                        | K::From
+                        | K::Where
+                        | K::Group
+                        | K::Having
+                        | K::Order
+                        | K::Limit
+                        | K::Offset
+                        | K::Union
+                        | K::Except
+                        | K::Intersect
+                )
+        )
+    }
+
+    /// Panic-mode synchronization: skip tokens until the next clause or
+    /// statement boundary.
+    fn sync_to_boundary(&mut self) {
+        while !self.at_boundary() {
+            self.bump();
+        }
+    }
+
+    /// The recovery wrapper around one clause (or clause-sized region).
+    /// In strict mode it is a no-op pass-through. In recovering mode, a
+    /// failure inside `f` is recorded, the parser synchronizes to the
+    /// next boundary, and `fallback` stands in for the clause so the
+    /// parse continues with a partial AST. Forced progress: if `f`
+    /// consumed nothing, one token is skipped before syncing, so a loop
+    /// of failing clauses always advances.
+    fn recovering<T>(
+        &mut self,
+        name: &'static str,
+        fallback: impl FnOnce() -> T,
+        f: impl FnOnce(&mut Self) -> Result<T, SyntaxError>,
+    ) -> Result<T, SyntaxError> {
+        if !self.recover {
+            return self.with_ctx(name, f);
+        }
+        let start = self.pos;
+        match self.with_ctx(name, f) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                // Sink full: stop recovering, let the entry point bail.
+                if !self.diags.has_room() {
+                    return Err(e);
+                }
+                self.report(e);
+                if self.pos == start && !self.at_boundary() {
+                    self.bump();
+                }
+                self.sync_to_boundary();
+                Ok(fallback())
+            }
         }
     }
 
@@ -148,13 +385,17 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement, SyntaxError> {
         if self.at_kw(K::Create) {
-            Ok(Statement::CreateTable(self.create_table()?))
+            let ct = self.with_ctx("CREATE TABLE statement", Parser::create_table)?;
+            Ok(Statement::CreateTable(ct))
         } else if self.at_kw(K::Insert) {
-            Ok(Statement::Insert(self.insert()?))
+            let ins = self.with_ctx("INSERT statement", Parser::insert)?;
+            Ok(Statement::Insert(ins))
         } else if self.at_kw(K::Delete) {
-            Ok(Statement::Delete(self.delete()?))
+            let del = self.with_ctx("DELETE statement", Parser::delete)?;
+            Ok(Statement::Delete(del))
         } else if self.at_kw(K::Update) {
-            Ok(Statement::Update(self.update()?))
+            let upd = self.with_ctx("UPDATE statement", Parser::update)?;
+            Ok(Statement::Update(upd))
         } else if self.eat_kw(K::Explain) {
             let analyze = self.eat_kw(K::Analyze);
             Ok(Statement::Explain {
@@ -343,7 +584,7 @@ impl Parser {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             self.depth -= 1;
-            return Err(self.err("query nesting too deep"));
+            return Err(self.err_depth("query nesting too deep"));
         }
         let r = self.query_inner();
         self.depth -= 1;
@@ -353,22 +594,30 @@ impl Parser {
     fn query_inner(&mut self) -> Result<Query, SyntaxError> {
         let mut ctes = Vec::new();
         if self.eat_kw(K::With) {
-            loop {
-                let name = self.ident()?;
-                self.expect_kw(K::As)?;
-                self.expect(&Tok::LParen)?;
-                let q = self.query()?;
-                self.expect(&Tok::RParen)?;
-                ctes.push(Cte {
-                    name,
-                    query: Box::new(q),
-                });
-                if !self.eat(&Tok::Comma) {
-                    break;
+            ctes = self.recovering("WITH clause", Vec::new, |p| {
+                let mut ctes = Vec::new();
+                loop {
+                    let name = p.ident()?;
+                    p.expect_kw(K::As)?;
+                    p.expect(&Tok::LParen)?;
+                    let q = p.query()?;
+                    p.expect(&Tok::RParen)?;
+                    ctes.push(Cte {
+                        name,
+                        query: Box::new(q),
+                    });
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
                 }
-            }
+                Ok(ctes)
+            })?;
         }
-        let body = self.set_expr()?;
+        let body = self.recovering(
+            "query body",
+            || SetExpr::Block(Box::new(QueryBlock::with_select(empty_select()))),
+            Parser::set_expr,
+        )?;
         let (order_by, limit, offset) = self.trailing_modifiers()?;
         Ok(Query {
             ctes,
@@ -382,21 +631,25 @@ impl Parser {
     fn trailing_modifiers(&mut self) -> Result<TrailingMods, SyntaxError> {
         let mut order_by = Vec::new();
         if self.eat_kw(K::Order) {
-            self.expect_kw(K::By)?;
-            loop {
-                order_by.push(self.order_item()?);
-                if !self.eat(&Tok::Comma) {
-                    break;
+            order_by = self.recovering("ORDER BY clause", Vec::new, |p| {
+                p.expect_kw(K::By)?;
+                let mut items = Vec::new();
+                loop {
+                    items.push(p.order_item()?);
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
                 }
-            }
+                Ok(items)
+            })?;
         }
         let mut limit = None;
         let mut offset = None;
         loop {
             if limit.is_none() && self.eat_kw(K::Limit) {
-                limit = Some(self.expr()?);
+                limit = self.recovering("LIMIT clause", || None, |p| p.expr().map(Some))?;
             } else if offset.is_none() && self.eat_kw(K::Offset) {
-                offset = Some(self.expr()?);
+                offset = self.recovering("OFFSET clause", || None, |p| p.expr().map(Some))?;
             } else {
                 break;
             }
@@ -516,21 +769,38 @@ impl Parser {
     /// One query block, in either clause order.
     fn query_block(&mut self) -> Result<QueryBlock, SyntaxError> {
         if self.at_kw(K::Select) || self.at_kw(K::Pivot) {
-            let select = self.select_clause()?;
+            let name = if self.at_kw(K::Pivot) {
+                "PIVOT clause"
+            } else {
+                "SELECT clause"
+            };
+            let select = self.recovering(name, empty_select, Parser::select_clause)?;
             let mut block = self.clause_tail(SelectPlacement::Leading)?;
             block.select = select;
             Ok(block)
         } else if self.at_kw(K::From) {
             let mut block = self.clause_tail(SelectPlacement::Trailing)?;
             if self.at_kw(K::Select) || self.at_kw(K::Pivot) {
-                block.select = self.select_clause()?;
+                let name = if self.at_kw(K::Pivot) {
+                    "PIVOT clause"
+                } else {
+                    "SELECT clause"
+                };
+                block.select = self.recovering(name, empty_select, Parser::select_clause)?;
                 // HAVING may legally follow a trailing SELECT? No — the
                 // paper's pipeline is FROM..GROUP..HAVING..SELECT. But
                 // block-level ORDER BY/LIMIT inside parens attach here.
             } else {
-                return Err(
-                    self.err("query block starting with FROM must end with SELECT or PIVOT")
+                let e = self.err_expecting(
+                    "query block starting with FROM must end with SELECT or PIVOT",
+                    vec!["SELECT".into(), "PIVOT".into()],
                 );
+                if self.recover && self.diags.has_room() {
+                    // Partial AST: keep the clauses we already parsed.
+                    self.report(e);
+                } else {
+                    return Err(e);
+                }
             }
             Ok(block)
         } else if self.at_kw(K::Values) {
@@ -538,19 +808,22 @@ impl Parser {
             // positional attribute names _1, _2, … is unconventional; we
             // model VALUES rows as arrays, matching PartiQL.
             self.bump();
-            let mut rows = Vec::new();
-            loop {
-                self.expect(&Tok::LParen)?;
-                let mut row = vec![self.expr()?];
-                while self.eat(&Tok::Comma) {
-                    row.push(self.expr()?);
+            let rows = self.recovering("VALUES clause", Vec::new, |p| {
+                let mut rows = Vec::new();
+                loop {
+                    p.expect(&Tok::LParen)?;
+                    let mut row = vec![p.expr()?];
+                    while p.eat(&Tok::Comma) {
+                        row.push(p.expr()?);
+                    }
+                    p.expect(&Tok::RParen)?;
+                    rows.push(Expr::ArrayCtor(row));
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
                 }
-                self.expect(&Tok::RParen)?;
-                rows.push(Expr::ArrayCtor(row));
-                if !self.eat(&Tok::Comma) {
-                    break;
-                }
-            }
+                Ok(rows)
+            })?;
             // Desugar to `FROM <<row, …>> AS $values SELECT VALUE $values`
             // so each row becomes one output element.
             let mut block = QueryBlock::with_select(SelectClause::SelectValue {
@@ -580,13 +853,16 @@ impl Parser {
         });
         block.placement = placement;
         if self.eat_kw(K::From) {
-            loop {
-                let item = self.from_item()?;
-                block.from.push(item);
-                if !self.eat(&Tok::Comma) {
-                    break;
+            block.from = self.recovering("FROM clause", Vec::new, |p| {
+                let mut items = Vec::new();
+                loop {
+                    items.push(p.from_item()?);
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
                 }
-            }
+                Ok(items)
+            })?;
         }
         // LET (extension): `LET v = expr, …` — lexed as the identifier
         // `LET` since it is not reserved.
@@ -601,38 +877,50 @@ impl Parser {
                 break;
             }
             self.bump();
-            loop {
-                let name = self.ident()?;
-                self.expect(&Tok::Eq)?;
-                let expr = self.expr()?;
-                block.lets.push(LetBinding { name, expr });
-                if !self.eat(&Tok::Comma) {
-                    break;
+            let lets = self.recovering("LET clause", Vec::new, |p| {
+                let mut lets = Vec::new();
+                loop {
+                    let name = p.ident()?;
+                    p.expect(&Tok::Eq)?;
+                    let expr = p.expr()?;
+                    lets.push(LetBinding { name, expr });
+                    if !p.eat(&Tok::Comma) {
+                        break;
+                    }
                 }
-            }
+                Ok(lets)
+            })?;
+            block.lets.extend(lets);
         }
         if self.eat_kw(K::Where) {
-            block.where_clause = Some(self.expr()?);
+            block.where_clause =
+                self.recovering("WHERE clause", || None, |p| p.expr().map(Some))?;
         }
         if self.at_kw(K::Group) && *self.peek_at(1) == Tok::Keyword(K::By) {
             self.bump();
             self.bump();
-            let (keys, modifier) = self.group_keys()?;
-            let group_as = if self.at_kw(K::Group) && *self.peek_at(1) == Tok::Keyword(K::As) {
-                self.bump();
-                self.bump();
-                Some(self.ident()?)
-            } else {
-                None
-            };
-            block.group_by = Some(GroupBy {
-                keys,
-                modifier,
-                group_as,
-            });
+            block.group_by = self.recovering(
+                "GROUP BY clause",
+                || None,
+                |p| {
+                    let (keys, modifier) = p.group_keys()?;
+                    let group_as = if p.at_kw(K::Group) && *p.peek_at(1) == Tok::Keyword(K::As) {
+                        p.bump();
+                        p.bump();
+                        Some(p.ident()?)
+                    } else {
+                        None
+                    };
+                    Ok(Some(GroupBy {
+                        keys,
+                        modifier,
+                        group_as,
+                    }))
+                },
+            )?;
         }
         if self.eat_kw(K::Having) {
-            block.having = Some(self.expr()?);
+            block.having = self.recovering("HAVING clause", || None, |p| p.expr().map(Some))?;
         }
         Ok(block)
     }
@@ -832,8 +1120,10 @@ impl Parser {
             let on = if kind == JoinKind::Cross {
                 None
             } else {
-                self.expect_kw(K::On)?;
-                Some(self.expr()?)
+                self.with_ctx("join ON condition", |p| {
+                    p.expect_kw(K::On)?;
+                    p.expr().map(Some)
+                })?
             };
             left = FromItem::Join {
                 kind,
@@ -886,7 +1176,7 @@ impl Parser {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             self.depth -= 1;
-            return Err(self.err("expression nesting too deep"));
+            return Err(self.err_depth("expression nesting too deep"));
         }
         let r = self.or_expr();
         self.depth -= 1;
@@ -1417,6 +1707,15 @@ impl Parser {
     }
 }
 
+/// The neutral SELECT clause used as a recovery fallback when a clause
+/// is too broken to salvage.
+fn empty_select() -> SelectClause {
+    SelectClause::Select {
+        quantifier: SetQuantifier::All,
+        items: Vec::new(),
+    }
+}
+
 /// Wraps a non-path expression in a fresh path so steps can attach, e.g.
 /// `(SELECT …)[0]` or `{'a':1}.a`. Represented by re-rooting: we keep the
 /// base expression in a one-step chain.
@@ -1883,6 +2182,86 @@ mod tests {
         assert!(err.to_string().contains("line 1"));
         let err = parse_query("SELECT VALUE x FROM").unwrap_err();
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn recovery_reports_every_broken_clause_in_one_parse() {
+        // Three independent mistakes: SELECT item, WHERE condition,
+        // ORDER BY key. One recovering parse reports all three.
+        let src = "SELECT 1 + FROM t AS t WHERE ORDER BY";
+        let r = parse_query_recovering(src);
+        assert!(r.ast.is_some(), "partial AST expected");
+        assert_eq!(r.diags.len(), 3, "{:#?}", r.diags);
+        let hints: Vec<_> = r.diags.iter().filter_map(|d| d.hint.as_deref()).collect();
+        assert!(
+            hints.iter().any(|h| h.contains("SELECT clause")),
+            "{hints:?}"
+        );
+        assert!(
+            hints.iter().any(|h| h.contains("WHERE clause")),
+            "{hints:?}"
+        );
+        assert!(
+            hints.iter().any(|h| h.contains("ORDER BY clause")),
+            "{hints:?}"
+        );
+        // The salvaged block still carries the FROM clause.
+        match r.ast.unwrap().body {
+            SetExpr::Block(b) => assert_eq!(b.from.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_is_inert_on_valid_input() {
+        let src = "SELECT e.name AS n FROM hr.emp AS e WHERE e.salary > 10 \
+                   GROUP BY e.deptno HAVING COUNT(*) > 1 ORDER BY n LIMIT 3";
+        let strict = parse_query(src).unwrap();
+        let rec = parse_query_recovering(src);
+        assert!(rec.is_clean());
+        assert_eq!(rec.ast.unwrap(), strict);
+    }
+
+    #[test]
+    fn recovery_spans_are_in_bounds_and_disjoint() {
+        let src = "SELECT , FROM ) WHERE + GROUP BY ( HAVING *";
+        let r = parse_query_recovering(src);
+        assert!(!r.diags.is_empty());
+        for d in &r.diags {
+            assert!(d.span.start <= d.span.end, "{d:?}");
+            assert!(d.span.end <= src.len(), "{d:?}");
+        }
+        for (i, a) in r.diags.iter().enumerate() {
+            for b in &r.diags[i + 1..] {
+                let disjoint = a.span.end <= b.span.start || b.span.end <= a.span.start;
+                assert!(disjoint, "overlapping spans: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_survives_a_lexer_error_and_keeps_parsing() {
+        let r = parse_query_recovering("SELECT 'oops\nFROM t AS t");
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| d.code == crate::diag::codes::E_UNTERMINATED));
+        // The second line still contributed a FROM clause.
+        if let Some(q) = r.ast {
+            if let SetExpr::Block(b) = q.body {
+                assert_eq!(b.from.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_depth_guard_reports_e_depth() {
+        let src = format!("{}1{}", "(".repeat(500), ")".repeat(500));
+        let r = parse_expr_recovering(&src);
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| d.code == crate::diag::codes::E_DEPTH));
     }
 
     #[test]

@@ -169,6 +169,51 @@ pub fn element_of<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
     Gen::new(move |src| items[src.draw_below(items.len() as u64) as usize].clone())
 }
 
+/// A corpus entry corrupted by a few structural mutations — chunk
+/// deletion, duplication, character swap, truncation, or insertion of a
+/// random printable character — always at `char` boundaries, so the
+/// result is valid UTF-8 but rarely still well-formed. The fuzz idiom
+/// for "almost right" inputs, which reach far deeper into a parser than
+/// byte soup (shrinks toward the first corpus entry, unmutated).
+pub fn mutated_string(corpus: Vec<String>) -> Gen<String> {
+    assert!(
+        !corpus.is_empty(),
+        "mutated_string needs a non-empty corpus"
+    );
+    Gen::new(move |src| {
+        let picked = &corpus[src.draw_below(corpus.len() as u64) as usize];
+        let mut s: Vec<char> = picked.chars().collect();
+        let rounds = src.draw_len(0, 4);
+        for _ in 0..rounds {
+            if s.is_empty() {
+                break;
+            }
+            let n = s.len();
+            let at = src.draw_below(n as u64) as usize;
+            let len = src.draw_len(1, 8).min(n - at);
+            match src.draw_below(5) {
+                0 => {
+                    s.drain(at..at + len);
+                }
+                1 => {
+                    let chunk: Vec<char> = s[at..at + len].to_vec();
+                    s.splice(at..at, chunk);
+                }
+                2 => {
+                    let other = src.draw_below(n as u64) as usize;
+                    s.swap(at, other);
+                }
+                3 => s.truncate(at),
+                _ => {
+                    let c = src.draw_range_i64(0x20, 0x7e) as u8 as char;
+                    s.insert(at, c);
+                }
+            }
+        }
+        s.into_iter().collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +254,26 @@ mod tests {
             assert!((1..=3).contains(&s.chars().count()));
             assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
         }
+    }
+
+    #[test]
+    fn mutated_strings_start_from_the_corpus_and_stay_utf8() {
+        let corpus = vec![
+            "SELECT VALUE x FROM t AS x".to_string(),
+            "1 + 2".to_string(),
+        ];
+        let g = mutated_string(corpus.clone());
+        // Zero stream: first corpus entry, unmutated (the shrink target).
+        let mut z = Source::replay(vec![]);
+        assert_eq!(g.generate(&mut z), corpus[0]);
+        // Mutations actually fire, deterministically per seed.
+        let mut changed = false;
+        for seed in 0..60 {
+            let s = sample(&g, seed);
+            assert_eq!(s, sample(&g, seed));
+            changed |= !corpus.contains(&s);
+        }
+        assert!(changed, "60 seeds and no mutation ever fired");
     }
 
     #[test]

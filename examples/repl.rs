@@ -17,7 +17,23 @@
 //!   statement, DML included;
 //! * `.limit mem <n>` / `.limit time <ms>` / `.limit off` — per-query
 //!   resource budgets (materialized rows, wall-clock deadline);
+//! * `.check <query>` — static analysis only: every syntax error,
+//!   name-resolution failure, and schema-derived type warning in one
+//!   caret-underlined report, nothing evaluated;
 //! * `.quit`.
+//!
+//! Broken input gets a multi-error report rather than just the first
+//! failure — the recovering parser resynchronizes at clause boundaries:
+//!
+//! ```text
+//! sql++> SELECT 1 + FROM demo.emps AS e WHERE ORDER BY
+//! error[E_EXPECTED]: unexpected token FROM in expression at line 1, column 12
+//!   | SELECT 1 + FROM demo.emps AS e WHERE ORDER BY
+//!   |            ^^^^
+//!   = hint: while parsing the SELECT clause
+//! …
+//! 3 errors found
+//! ```
 
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -38,7 +54,7 @@ fn main() {
     .expect("demo data");
 
     println!("sqlpp REPL — try: SELECT VALUE e.name FROM demo.emps AS e");
-    println!("dot-commands: .load .explain .names .mode .typing .stats .limit .quit");
+    println!("dot-commands: .load .explain .check .names .mode .typing .stats .limit .quit");
     let stdin = std::io::stdin();
     loop {
         print!("sql++> ");
@@ -93,6 +109,15 @@ fn main() {
                     }
                     _ => println!("usage: .limit mem <rows> | .limit time <ms> | .limit off"),
                 },
+                Some("check") => {
+                    let q = rest.trim_start_matches("check").trim();
+                    let diags = engine.check(q);
+                    if diags.is_empty() {
+                        println!("ok: no diagnostics");
+                    } else {
+                        print!("{}", sqlpp::render_report(q, &diags));
+                    }
+                }
                 Some("explain") => {
                     let q = rest.trim_start_matches("explain").trim();
                     match engine.explain(q) {
@@ -138,7 +163,9 @@ fn main() {
             Ok(sqlpp::ExecOutcome::Explained { text }) => print!("{text}"),
             Err(_) => match engine.run_str(line) {
                 Ok(v) => println!("{}", sqlpp::value::to_pretty(&v)),
-                Err(e) => println!("error: {e}"),
+                // Caret-underlined multi-error report where the error
+                // has source attribution; plain one-liner otherwise.
+                Err(e) => print!("{}", sqlpp::render_error_report(line, &e)),
             },
         }
     }

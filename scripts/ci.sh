@@ -61,6 +61,24 @@ grep -q '"peak_budget_used"' "$governor_report" || { echo "peak_budget_used miss
 grep -q '"budget_denials"' "$governor_report" || { echo "budget_denials missing from $governor_report" >&2; exit 1; }
 echo "governor OK: $governor_report"
 
+echo "== frontend fuzz smoke (seeded) =="
+# Fixed-seed fuzz of the error-recovering front end: byte soup, token
+# soup, and mutation-corrupted corpus queries — 500 cases per property
+# (~2000 inputs total) must produce zero panics, only well-formed
+# spanned diagnostics, and bit-identical ASTs for valid input in strict
+# vs recovering mode. Regression seeds persist under
+# tests/regression-seeds/ and are replayed first on every run.
+SQLPP_PROP_PERSIST_DIR=tests/regression-seeds SQLPP_PROP_CASES=500 \
+  cargo test -q --release --test fuzz_frontend
+echo "frontend fuzz OK"
+
+echo "== diagnostics golden gate =="
+# Caret-underlined multi-error reports are pinned byte-for-byte under
+# tests/golden/diagnostics/; regenerate intentionally with
+# SQLPP_UPDATE_GOLDEN=1 and review the diff.
+cargo test -q --release --test diagnostics
+echo "diagnostics goldens OK"
+
 echo "== chaos gate (seeded fault injection) =="
 # 256 fixed-seed fault-injection runs across SELECT and DML: zero
 # panics across the API boundary, byte-identical catalog after every

@@ -127,21 +127,24 @@ fn engine_check_reports_schema_guaranteed_anomalies() {
     // Clean query: no warnings.
     assert!(engine
         .check("SELECT name FROM emp AS e WHERE salary > 0")
-        .unwrap()
         .is_empty());
-    // Navigation the schema rules out.
-    let w = engine.check("SELECT VALUE e.bogus FROM emp AS e").unwrap();
+    // Navigation the schema rules out — and the warning's span points at
+    // the offending attribute in the source text.
+    let src = "SELECT VALUE e.bogus FROM emp AS e";
+    let w = engine.check(src);
     assert_eq!(w.len(), 1, "{w:?}");
-    assert!(w[0].contains("bogus"));
+    assert!(w[0].message.contains("bogus"));
+    assert_eq!(w[0].code, "W_TYPE");
+    assert_eq!(&src[w[0].span.start..w[0].span.end], "bogus");
     // Arithmetic on a string attribute.
-    let w = engine
-        .check("SELECT VALUE e.name * 2 FROM emp AS e")
-        .unwrap();
-    assert!(w.iter().any(|m| m.contains("never a number")), "{w:?}");
+    let w = engine.check("SELECT VALUE e.name * 2 FROM emp AS e");
+    assert!(
+        w.iter().any(|d| d.message.contains("never a number")),
+        "{w:?}"
+    );
     // Schemaless collections never warn.
     engine.register("loose", sqlpp_value::bag![1i64]);
     assert!(engine
         .check("SELECT VALUE l.anything FROM loose AS l")
-        .unwrap()
         .is_empty());
 }

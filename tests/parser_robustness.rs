@@ -53,9 +53,14 @@ fn pathological_nesting_is_rejected_without_stack_overflow() {
                 let src = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
                 let err = parse_expr(&src).unwrap_err();
                 assert!(err.to_string().contains("too deep"), "{err}");
+                // The guard reports through the structured-diagnostic
+                // channel: stable code, in-bounds span.
+                assert_eq!(err.code(), "E_DEPTH", "{err}");
+                assert!(err.span().end <= src.len(), "{:?}", err.span());
             }
             let deep_arrays = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
-            assert!(parse_expr(&deep_arrays).is_err());
+            let err = parse_expr(&deep_arrays).unwrap_err();
+            assert_eq!(err.code(), "E_DEPTH", "{err}");
         })
         .expect("spawn")
         .join()
@@ -94,6 +99,8 @@ fn pathological_query_nesting_is_rejected_without_stack_overflow() {
                 }
                 let err = parse_query(&q).unwrap_err();
                 assert!(err.to_string().contains("too deep"), "depth {depth}: {err}");
+                assert_eq!(err.code(), "E_DEPTH", "depth {depth}: {err}");
+                assert!(err.span().end <= q.len(), "{:?}", err.span());
             }
             // 10k-deep parenthesized subquery *expression*: the scalar
             // side of the grammar recurses into query() per level, so
@@ -105,6 +112,7 @@ fn pathological_query_nesting_is_rejected_without_stack_overflow() {
             );
             let err = parse_query(&src).unwrap_err();
             assert!(err.to_string().contains("too deep"), "{err}");
+            assert_eq!(err.code(), "E_DEPTH", "{err}");
         })
         .expect("spawn")
         .join()
