@@ -1,4 +1,4 @@
-//! The fourteen benchmark suites, one module per performance claim (see the
+//! The fifteen benchmark suites, one module per performance claim (see the
 //! crate docs for the claim ↔ suite map). Each suite registers its
 //! measurements on a shared [`Harness`]; thin `[[bin]]` wrappers run one
 //! suite each, and `bench_all` runs every suite into one report.
@@ -22,6 +22,7 @@ pub mod limit_stream;
 pub mod missing_propagation;
 pub mod optimizer_ablation;
 pub mod pivot_unpivot;
+pub mod serving;
 pub mod set_ops;
 pub mod unnest_vs_flat_join;
 
@@ -45,6 +46,7 @@ pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
         ("limit_stream", limit_stream::run),
         ("governor", governor::run),
         ("frontend", frontend::run),
+        ("serving", serving::run),
     ]
 }
 

@@ -12,7 +12,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use sqlpp_schema::SqlppType;
 use sqlpp_value::Value;
@@ -112,6 +113,15 @@ impl std::error::Error for CatalogError {}
 pub struct Catalog {
     inner: Arc<RwLock<BTreeMap<QualifiedName, Arc<Value>>>>,
     schemas: Arc<RwLock<BTreeMap<QualifiedName, Arc<SqlppType>>>>,
+    /// Monotonic version of the *schema* map. Query plans depend on the
+    /// catalog only through its schema attachments (§III static
+    /// disambiguation), so this epoch is exactly the validity stamp a
+    /// prepared plan (or a shared plan cache) needs: same epoch ⇒ the
+    /// plan's lowering inputs are unchanged. Bumped under the schemas
+    /// write lock so `schema_state` reads are consistent.
+    schema_epoch: Arc<AtomicU64>,
+    /// Serializes read-modify-write statements (see [`Catalog::dml_guard`]).
+    dml: Arc<Mutex<()>>,
 }
 
 impl Catalog {
@@ -154,17 +164,26 @@ impl Catalog {
     }
 
     /// Removes a binding, returning it if present. Any schema attached to
-    /// the name is removed with it.
+    /// the name is removed with it (advancing the schema epoch).
     pub fn remove(&self, name: &QualifiedName) -> Option<Arc<Value>> {
-        write(&self.schemas).remove(name);
+        {
+            let mut schemas = write(&self.schemas);
+            if schemas.remove(name).is_some() {
+                self.schema_epoch.fetch_add(1, Ordering::Release);
+            }
+        }
         write(&self.inner).remove(name)
     }
 
     /// Attaches a declared/inferred *element* schema to a name — the
     /// paper's optional-schema tenet: data stays self-describing, but a
     /// schema, when present, enables static disambiguation (§III).
+    /// Advances the schema epoch: plans lowered before this call are
+    /// stale and must be re-lowered (see [`Catalog::schema_epoch`]).
     pub fn set_schema(&self, name: impl Into<QualifiedName>, element_type: SqlppType) {
-        write(&self.schemas).insert(name.into(), Arc::new(element_type));
+        let mut schemas = write(&self.schemas);
+        schemas.insert(name.into(), Arc::new(element_type));
+        self.schema_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// The element schema attached to a name, if any.
@@ -179,6 +198,40 @@ impl Catalog {
             .iter()
             .map(|(k, v)| (k.to_string(), (**v).clone()))
             .collect()
+    }
+
+    /// The current schema epoch: a counter that advances on every schema
+    /// attachment or detachment. A plan lowered against epoch *e* is
+    /// valid exactly while `schema_epoch() == e`; prepared statements and
+    /// plan caches key on it to never execute (or serve) a stale plan.
+    pub fn schema_epoch(&self) -> u64 {
+        self.schema_epoch.load(Ordering::Acquire)
+    }
+
+    /// The schema epoch together with the snapshot it stamps, read under
+    /// one guard so the pair is consistent: a plan lowered from the
+    /// returned snapshot is valid exactly while the catalog's epoch still
+    /// equals the returned epoch.
+    pub fn schema_state(&self) -> (u64, Vec<(String, SqlppType)>) {
+        let schemas = read(&self.schemas);
+        let epoch = self.schema_epoch.load(Ordering::Acquire);
+        let snapshot = schemas
+            .iter()
+            .map(|(k, v)| (k.to_string(), (**v).clone()))
+            .collect();
+        (epoch, snapshot)
+    }
+
+    /// Serializes DML statements. A read-modify-write over a binding
+    /// (INSERT/DELETE/UPDATE reads an `Arc` snapshot, computes the full
+    /// replacement value, and `set`s it wholesale) must hold this guard
+    /// from its target read through its commit — otherwise two
+    /// concurrent writers clone the same snapshot and the second commit
+    /// silently discards the first's rows (a lost update). Readers
+    /// never take this lock: snapshot isolation via [`Catalog::get`] is
+    /// unaffected, so queries keep running while a writer holds it.
+    pub fn dml_guard(&self) -> MutexGuard<'_, ()> {
+        self.dml.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// True when the exact name is bound.
@@ -272,6 +325,35 @@ mod tests {
         assert!(cat.remove(&QualifiedName::parse("a")).is_some());
         assert!(cat.remove(&QualifiedName::parse("a")).is_none());
         assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn schema_epoch_tracks_schema_mutations_only() {
+        let cat = Catalog::new();
+        let e0 = cat.schema_epoch();
+        // Plain value writes leave plans valid: no epoch movement.
+        cat.set("t", Value::Int(1));
+        cat.set("t", Value::Int(2));
+        assert_eq!(cat.schema_epoch(), e0);
+        // Attaching a schema invalidates.
+        cat.set_schema("t", sqlpp_schema::SqlppType::Any);
+        let e1 = cat.schema_epoch();
+        assert!(e1 > e0);
+        // Re-attaching counts too (the type may differ).
+        cat.set_schema("t", sqlpp_schema::SqlppType::Any);
+        let e2 = cat.schema_epoch();
+        assert!(e2 > e1);
+        // Removing a schemaless name is epoch-neutral…
+        cat.set("plain", Value::Int(3));
+        cat.remove(&QualifiedName::parse("plain"));
+        assert_eq!(cat.schema_epoch(), e2);
+        // …removing a schema-attached one is not.
+        cat.remove(&QualifiedName::parse("t"));
+        assert!(cat.schema_epoch() > e2);
+        // The epoch and snapshot read consistently as a pair.
+        let (e, snap) = cat.schema_state();
+        assert_eq!(e, cat.schema_epoch());
+        assert!(snap.is_empty());
     }
 
     #[test]

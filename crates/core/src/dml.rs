@@ -19,6 +19,18 @@
 //! mutated state to roll back because the stored value is never mutated
 //! in place. The chaos suite (`tests/chaos.rs`) snapshot-compares the
 //! catalog around every failed DML to pin this.
+//!
+//! **Concurrency.** Snapshot-and-replace alone is not enough once
+//! several sessions write at once: two INSERTs that clone the same
+//! snapshot would each commit a replacement missing the other's rows
+//! (a lost update). Every statement therefore holds the catalog's
+//! [`dml_guard`](sqlpp_catalog::Catalog::dml_guard) from its target
+//! read through its commit, serializing writers per catalog. Readers
+//! never take that lock — queries keep their lock-free `Arc` snapshots
+//! — and INSERT evaluates its source *before* acquiring it, so only
+//! the read-modify-write window is serialized. The threaded storm in
+//! `tests/serving.rs` and the B16 mixed workload (8 sessions, 1-in-8
+//! DML, exact-count assertion) pin this under real contention.
 
 use sqlpp_eval::{Env, EvalConfig, Evaluator, ExecStats};
 use sqlpp_plan::lower::lower_with_scope;
@@ -101,6 +113,9 @@ impl Engine {
             }
         }
         let count = new_elements.len();
+        // Serialize the read-modify-write against concurrent writers; the
+        // source evaluation above ran lock-free on its own snapshot.
+        let _writers = self.catalog().dml_guard();
         let updated = match self.catalog().get_str(&name) {
             Ok(existing) => match (*existing).clone() {
                 Value::Bag(mut items) => {
@@ -135,6 +150,9 @@ impl Engine {
             .alias
             .clone()
             .unwrap_or_else(|| del.target.last().expect("non-empty name").clone());
+        // Held through commit: the kept-rows computation depends on the
+        // snapshot read here, so a concurrent writer must wait.
+        let _writers = self.catalog().dml_guard();
         let existing = self.catalog().get_str(&name)?;
         let (items, rebuild) = open_collection("DELETE", &name, (*existing).clone())?;
         let matcher = self.compile_row_predicate(&del.where_clause, &alias)?;
@@ -162,6 +180,9 @@ impl Engine {
             .alias
             .clone()
             .unwrap_or_else(|| up.target.last().expect("non-empty name").clone());
+        // Held through commit, as in DELETE: the rebuilt collection is
+        // derived from the snapshot read here.
+        let _writers = self.catalog().dml_guard();
         let existing = self.catalog().get_str(&name)?;
         let (items, rebuild) = open_collection("UPDATE", &name, (*existing).clone())?;
         let matcher = self.compile_row_predicate(&up.where_clause, &alias)?;

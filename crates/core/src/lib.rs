@@ -45,6 +45,7 @@ mod dml;
 mod error;
 mod result;
 
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use sqlpp_catalog::QualifiedName;
@@ -302,10 +303,33 @@ impl Engine {
     }
 
     /// Parses and lowers a query once for repeated execution.
+    ///
+    /// The returned plan is stamped with the catalog's *schema epoch* at
+    /// prepare time. Execution revalidates the stamp: if a schema was
+    /// attached, replaced, or removed since (`register_with_schema`,
+    /// `CREATE TABLE`, `Catalog::set_schema`/`remove`), the plan is
+    /// re-lowered against the current catalog before running, so a
+    /// `Prepared` never executes against a schema snapshot older than the
+    /// data it reads.
     pub fn prepare(&self, src: &str) -> Result<Prepared> {
         let ast = sqlpp_syntax::parse_query(src)?;
-        let (core, _, _) = self.lower_timed(&ast)?;
-        Ok(Prepared { core })
+        let (epoch, schemas) = self.catalog.schema_state();
+        let config = PlanConfig {
+            compat: self.config.compat,
+            schemas,
+        };
+        let mut core = lower_query(&ast, &config)?;
+        if self.config.optimize {
+            core = optimize(core);
+        }
+        Ok(Prepared {
+            ast,
+            compat: self.config.compat,
+            optimize: self.config.optimize,
+            epoch,
+            core: Arc::new(core),
+            refreshed: Arc::new(RwLock::new(None)),
+        })
     }
 
     /// Lowers (and optionally optimizes) a parsed query, timing each
@@ -601,26 +625,84 @@ pub enum ExecOutcome {
 }
 
 /// A parsed-and-lowered query, reusable across executions.
+///
+/// The plan is stamped with the catalog schema epoch it was lowered
+/// against. [`Prepared::execute`] checks the stamp and transparently
+/// re-lowers (once per epoch, cached) when the catalog's schemas have
+/// moved — stale plans are never executed. Cloning shares the refresh
+/// cache, so one re-lowering serves every clone.
 #[derive(Debug, Clone)]
 pub struct Prepared {
-    core: CoreQuery,
+    /// The parsed query, retained for re-lowering after schema changes.
+    ast: sqlpp_syntax::ast::Query,
+    /// Prepare-time planner inputs, reused verbatim on re-lowering.
+    compat: CompatMode,
+    optimize: bool,
+    /// Catalog schema epoch the plan below was lowered against.
+    epoch: u64,
+    /// The plan lowered at prepare time (valid while the epoch matches).
+    core: Arc<CoreQuery>,
+    /// Re-lowered plan for a later epoch, filled lazily on first execute
+    /// after a schema change (interior-mutable so `&self` stays cheap).
+    refreshed: Arc<RwLock<Option<(u64, Arc<CoreQuery>)>>>,
 }
 
 impl Prepared {
-    /// The Core plan.
+    /// The Core plan as lowered at prepare time.
     pub fn plan(&self) -> &CoreQuery {
         &self.core
     }
 
-    /// Executes against an engine.
+    /// The catalog schema epoch this plan was lowered against.
+    pub fn schema_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The plan currently valid for `engine`'s catalog: the prepare-time
+    /// plan when the schema epoch still matches, otherwise a plan
+    /// re-lowered against the current schemas (computed at most once per
+    /// epoch and cached).
+    fn current_plan(&self, engine: &Engine) -> Result<Arc<CoreQuery>> {
+        let now = engine.catalog.schema_epoch();
+        if now == self.epoch {
+            return Ok(Arc::clone(&self.core));
+        }
+        {
+            let cached = self.refreshed.read().unwrap_or_else(|e| e.into_inner());
+            if let Some((e, plan)) = cached.as_ref() {
+                if *e == now {
+                    return Ok(Arc::clone(plan));
+                }
+            }
+        }
+        // Stale: re-lower against a consistent (epoch, snapshot) pair
+        // with the prepare-time planner configuration.
+        let (epoch, schemas) = engine.catalog.schema_state();
+        let config = PlanConfig {
+            compat: self.compat,
+            schemas,
+        };
+        let mut core = lower_query(&self.ast, &config)?;
+        if self.optimize {
+            core = optimize(core);
+        }
+        let plan = Arc::new(core);
+        *self.refreshed.write().unwrap_or_else(|e| e.into_inner()) =
+            Some((epoch, Arc::clone(&plan)));
+        Ok(plan)
+    }
+
+    /// Executes against an engine, re-lowering first if the catalog's
+    /// schemas changed since prepare time (the plan never runs stale).
     pub fn execute(&self, engine: &Engine) -> Result<QueryResult> {
         self.execute_with_params(engine, Vec::new())
     }
 
     /// Executes with positional parameters.
     pub fn execute_with_params(&self, engine: &Engine, params: Vec<Value>) -> Result<QueryResult> {
+        let plan = self.current_plan(engine)?;
         let evaluator = Evaluator::new(&engine.catalog, engine.eval_config()).with_params(params);
-        Ok(QueryResult::new(evaluator.run(&self.core)?))
+        Ok(QueryResult::new(evaluator.run(&plan)?))
     }
 }
 

@@ -26,6 +26,7 @@ mod error;
 pub mod ion_lite;
 pub mod json;
 pub mod pnotation;
+pub mod wire;
 
 pub use error::FormatError;
 

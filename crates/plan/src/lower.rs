@@ -30,7 +30,7 @@ use crate::error::PlanError;
 use crate::scope::{Disambiguation, Scope};
 
 /// The paper's SQL-compatibility flag (§I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CompatMode {
     /// Prioritize SQL compatibility: SELECT-list subqueries coerce by
     /// context, and SQL queries behave exactly as in SQL.

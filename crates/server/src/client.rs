@@ -1,0 +1,51 @@
+//! A minimal blocking client for the wire protocol — used by tests,
+//! benchmarks, and the README example. One `Client` is one session: a
+//! TCP connection speaking length-prefixed request/response frames.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+
+use sqlpp_formats::wire::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response,
+};
+use sqlpp_value::Value;
+
+/// A blocking session over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running [`crate::Server`].
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one statement and waits for its response.
+    pub fn query(&mut self, src: &str) -> io::Result<Response> {
+        self.query_with_params(src, Vec::new())
+    }
+
+    /// Sends one query with positional parameters (`$1`, `$2`, …).
+    pub fn query_with_params(&mut self, src: &str, params: Vec<Value>) -> io::Result<Response> {
+        let req = Request {
+            query: src.to_string(),
+            params,
+        };
+        write_frame(&mut self.writer, &encode_request(&req))?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })?;
+        decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

@@ -61,6 +61,34 @@ grep -q '"peak_budget_used"' "$governor_report" || { echo "peak_budget_used miss
 grep -q '"budget_denials"' "$governor_report" || { echo "budget_denials missing from $governor_report" >&2; exit 1; }
 echo "governor OK: $governor_report"
 
+echo "== serving smoke (B16) =="
+# B16's own asserts ARE the gate: an 8-client mixed read/DML workload
+# must complete with zero errors and a fairness floor, the cached
+# request median must beat the cold one, every client's parameter echo
+# must return its own session id (zero cross-session result bleed), and
+# both admission and budget refusals must arrive as structured
+# Overloaded frames. The greps check the serving counters flow into the
+# JSON report.
+SQLPP_BENCH_DIR="$out_dir" cargo run --release -q -p sqlpp-bench --bin bench_serving -- --quick --name serving
+serving_report="$out_dir/BENCH_serving.json"
+test -s "$serving_report" || { echo "missing serving bench report $serving_report" >&2; exit 1; }
+grep -q '"cache_hits"' "$serving_report" || { echo "cache_hits missing from $serving_report" >&2; exit 1; }
+grep -q '"qps"' "$serving_report" || { echo "qps missing from $serving_report" >&2; exit 1; }
+cache_hits="$(sed -E 's/.*"cache_hits": ([0-9]+).*/\1/;t;d' "$serving_report" | head -n 1)"
+if [ -z "$cache_hits" ] || [ "$cache_hits" -eq 0 ]; then
+  echo "serving gate: plan cache never hit (cache_hits=$cache_hits)" >&2
+  exit 1
+fi
+echo "serving OK: $serving_report (cache_hits=$cache_hits)"
+
+echo "== serving chaos gate (threaded) =="
+# Real TCP clients hammering one engine from many threads: concurrent
+# reads, schema-violating DML (refused atomically — guarded collection
+# byte-identical after the storm), succeeding DML (exact count), and
+# budget-tripped queries (shed, never errors), with zero caught panics.
+cargo test -q --release --test serving
+echo "serving chaos OK"
+
 echo "== frontend fuzz smoke (seeded) =="
 # Fixed-seed fuzz of the error-recovering front end: byte soup, token
 # soup, and mutation-corrupted corpus queries — 500 cases per property

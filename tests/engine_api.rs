@@ -44,6 +44,69 @@ fn prepared_statements_are_reusable_and_parameterized() {
     assert!(err.to_string().contains("parameter"), "{err}");
 }
 
+/// The stale-`Prepared`-plan regression (PR 7's headline bugfix):
+/// a plan lowered against one schema snapshot must not run after the
+/// catalog's schemas change — prepare → alter schema → execute has to
+/// observe the *new* schema's disambiguation, not the old one's.
+#[test]
+fn prepared_plans_relower_after_schema_changes() {
+    use sqlpp_schema::infer_collection;
+
+    let engine = Engine::new();
+    let emps = sqlpp_formats::pnotation::from_pnotation("{{ {'name': 'Ann'} }}").unwrap();
+    let depts = sqlpp_formats::pnotation::from_pnotation("{{ {'dname': 'Eng'} }}").unwrap();
+    let emp_ty = infer_collection(&emps).unwrap();
+    let dept_ty = infer_collection(&depts).unwrap();
+    engine.register_with_schema("emp", emps, &emp_ty).unwrap();
+    engine
+        .register_with_schema("dept", depts, &dept_ty)
+        .unwrap();
+
+    // With the schemas above, bare `name` statically resolves to `e.name`
+    // (§III disambiguation): only `emp` elements carry the attribute.
+    let plan = engine
+        .prepare("SELECT VALUE name FROM emp AS e, dept AS d")
+        .unwrap();
+    assert_eq!(
+        plan.execute(&engine).unwrap().canonical().to_string(),
+        "{{'Ann'}}"
+    );
+
+    // Swap the attribute between the collections: now only `dept`
+    // elements carry `name`, so a correct lowering resolves bare `name`
+    // to `d.name`. The old plan would keep projecting `e.name` (MISSING
+    // on every row) — silently wrong results.
+    let emps2 = sqlpp_formats::pnotation::from_pnotation("{{ {'ename': 'X'} }}").unwrap();
+    let depts2 = sqlpp_formats::pnotation::from_pnotation("{{ {'name': 'Bob'} }}").unwrap();
+    let emp_ty2 = infer_collection(&emps2).unwrap();
+    let dept_ty2 = infer_collection(&depts2).unwrap();
+    engine.register_with_schema("emp", emps2, &emp_ty2).unwrap();
+    engine
+        .register_with_schema("dept", depts2, &dept_ty2)
+        .unwrap();
+
+    assert_eq!(
+        plan.execute(&engine).unwrap().canonical().to_string(),
+        "{{'Bob'}}",
+        "prepared plan executed against a stale schema snapshot"
+    );
+    // The stamp reflects prepare time; the catalog has moved past it.
+    assert!(engine.catalog().schema_epoch() > plan.schema_epoch());
+
+    // Re-lowering can also surface *errors* the new schemas imply — e.g.
+    // both collections now claiming the attribute makes bare `name`
+    // ambiguous — rather than silently running the stale resolution.
+    engine
+        .register_with_schema(
+            "emp",
+            sqlpp_formats::pnotation::from_pnotation("{{ {'name': 'Y'} }}").unwrap(),
+            &dept_ty2,
+        )
+        .unwrap();
+    let err = plan.execute(&engine).unwrap_err();
+    assert!(err.to_string().contains("ambiguous"), "{err}");
+}
+
 #[test]
 fn create_table_registers_an_empty_typed_collection() {
     let engine = Engine::new();
@@ -111,6 +174,62 @@ fn sessions_share_the_catalog_but_not_the_config() {
     // Writes through one session are visible to the other.
     strict.register("u", sqlpp_value::bag![1i64]);
     assert_eq!(base.query("SELECT VALUE u FROM u AS u").unwrap().len(), 1);
+}
+
+#[test]
+fn concurrent_dml_loses_no_updates() {
+    // Every DML statement is snapshot-and-replace; without the catalog's
+    // writer serialization two concurrent INSERTs clone the same
+    // snapshot and the second commit drops the first's row. Eight
+    // threads hammering one collection must land every single insert.
+    let engine = Engine::new();
+    engine.register("log", sqlpp_value::bag![]);
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 50;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let session = engine.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let outcome = session
+                        .execute(&format!("INSERT INTO log VALUE {{'t': {t}, 'i': {i}}}"))
+                        .unwrap();
+                    assert!(matches!(outcome, ExecOutcome::Inserted { count: 1 }));
+                }
+            });
+        }
+    });
+    let n = engine.query("SELECT VALUE COUNT(*) FROM log AS l").unwrap();
+    assert_eq!(
+        n.canonical().to_string(),
+        format!("{{{{{}}}}}", THREADS * PER_THREAD)
+    );
+    // Mixed writers too: DELETE and INSERT race, and the final state is
+    // exactly the set algebra of what succeeded — deletes remove only
+    // their own thread's rows, concurrent inserts survive.
+    std::thread::scope(|s| {
+        for t in 0..THREADS / 2 {
+            let session = engine.clone();
+            s.spawn(move || {
+                session
+                    .execute(&format!("DELETE FROM log AS l WHERE l.t = {t}"))
+                    .unwrap();
+            });
+        }
+        for t in THREADS..THREADS + 2 {
+            let session = engine.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    session
+                        .execute(&format!("INSERT INTO log VALUE {{'t': {t}, 'i': {i}}}"))
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let n = engine.query("SELECT VALUE COUNT(*) FROM log AS l").unwrap();
+    let expect = (THREADS / 2) * PER_THREAD + 2 * PER_THREAD;
+    assert_eq!(n.canonical().to_string(), format!("{{{{{expect}}}}}"));
 }
 
 #[test]

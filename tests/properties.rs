@@ -101,6 +101,107 @@ sqlpp_prop! {
         }
     }
 
+    // Pathological float keys — NaN (any bit pattern), -0.0 vs 0.0, and
+    // int/float numeric twins like 2 vs 2.0 — through every hash-keyed
+    // path. The data model's bag equality (`deep_eq`) makes NaN equal to
+    // NaN and -0.0 equal to 0.0, and `hash_value` canonicalizes both, so
+    // the hash join, hash DISTINCT, and hash GROUP BY must each agree
+    // with an oracle that never hashes: the nested-loop plan (optimizer
+    // off), the Pseudocode 1–2 reference evaluator, and a quadratic
+    // deep_eq scan, in both typing modes.
+    fn pathological_float_keys_join_all_strategies_agree(
+        left in float_key_rows(), right in float_key_rows(),
+    ) {
+        let q = "SELECT VALUE [x.v, y.v] FROM l AS x, r AS y WHERE x.k = y.k";
+        let ast = parse_query(q).unwrap();
+        for typing in [TypingMode::Permissive, TypingMode::StrictError] {
+            let hash = join_prop_engine(&left, &right, typing, true);
+            let nested = join_prop_engine(&left, &right, typing, false);
+            let catalog = sqlpp::Catalog::new();
+            catalog.set("l", left.clone());
+            catalog.set("r", right.clone());
+            let reference = sqlpp_eval::reference::eval_sfw_config(
+                &ast,
+                &catalog,
+                sqlpp_eval::EvalConfig { typing, ..sqlpp_eval::EvalConfig::default() },
+            );
+            match (hash.query(q), nested.query(q), reference) {
+                (Ok(a), Ok(b), Ok(c)) => {
+                    prop_assert!(
+                        a.matches(b.value()),
+                        "hash vs nested-loop diverged ({typing:?})\n\
+                         left {left}\nright {right}\nhash {}\nnested {}",
+                        a.value(), b.value()
+                    );
+                    prop_assert!(
+                        a.matches(&c),
+                        "hash vs reference diverged ({typing:?})\n\
+                         left {left}\nright {right}\nhash {}\nreference {c}",
+                        a.value()
+                    );
+                }
+                (Err(_), Err(_), Err(_)) => {}
+                (a, b, c) => prop_assert!(
+                    false,
+                    "error behavior diverged ({typing:?})\nleft {left}\nright {right}\n\
+                     hash {:?}\nnested {:?}\nreference {:?}",
+                    a.map(|r| r.value().clone()), b.map(|r| r.value().clone()), c
+                ),
+            }
+        }
+    }
+
+    fn pathological_float_keys_distinct_matches_quadratic_oracle(
+        items in vec_of(float_key(), 0..=24),
+    ) {
+        for typing in [TypingMode::Permissive, TypingMode::StrictError] {
+            let engine = Engine::new().with_config(SessionConfig {
+                typing,
+                ..SessionConfig::default()
+            });
+            engine.register("c", Value::Bag(items.clone()));
+            let got = engine.query("SELECT DISTINCT VALUE x FROM c AS x").unwrap();
+            prop_assert!(
+                got.matches(&Value::Bag(naive_distinct(&items))),
+                "DISTINCT diverged ({typing:?}) on {:?}: got {}",
+                items, got.value()
+            );
+        }
+    }
+
+    fn pathological_float_keys_group_by_matches_quadratic_oracle(
+        items in vec_of(float_key(), 0..=24),
+    ) {
+        for typing in [TypingMode::Permissive, TypingMode::StrictError] {
+            let engine = Engine::new().with_config(SessionConfig {
+                typing,
+                ..SessionConfig::default()
+            });
+            engine.register(
+                "c",
+                Value::Bag(items.iter().map(|k| {
+                    let mut t = Tuple::with_capacity(1);
+                    t.insert("k", k.clone());
+                    Value::Tuple(t)
+                }).collect()),
+            );
+            let got = engine
+                .query("SELECT VALUE [x.k, COUNT(*)] FROM c AS x GROUP BY x.k")
+                .unwrap();
+            let expected = Value::Bag(
+                naive_group_counts(&items)
+                    .into_iter()
+                    .map(|(k, n)| Value::Array(vec![k, Value::Int(n)]))
+                    .collect(),
+            );
+            prop_assert!(
+                got.matches(&expected),
+                "GROUP BY diverged ({typing:?}) on {:?}: got {}, want {expected}",
+                items, got.value()
+            );
+        }
+    }
+
     // The optimizer's hash equi-join must agree with the nested-loop
     // plan (optimizer off) on every join shape, in both typing modes —
     // including NULL and MISSING keys (which never hash-match, exactly
@@ -143,6 +244,46 @@ sqlpp_prop! {
             }
         }
     }
+}
+
+/// Every float a hash key can choke on: NaN under two bit patterns
+/// (quiet and negative — `deep_eq` makes all NaNs one equivalence
+/// class), the two zero signs, int/float numeric twins (2 vs 2.0 must
+/// land in one bucket), and infinities.
+fn float_key() -> Gen<Value> {
+    one_of(vec![
+        just(Value::Float(f64::NAN)),
+        just(Value::Float(f64::from_bits(0xFFF8_0000_0000_0001))),
+        just(Value::Float(-0.0)),
+        just(Value::Float(0.0)),
+        just(Value::Float(2.0)),
+        just(Value::Int(2)),
+        just(Value::Int(0)),
+        just(Value::Float(f64::INFINITY)),
+        just(Value::Float(f64::NEG_INFINITY)),
+        i64_range(-2..3).map(|i| Value::Float(i as f64 + 0.5)),
+    ])
+}
+
+/// Rows `{k, v}` with pathological float keys.
+fn float_key_rows() -> Gen<Value> {
+    rows_of(
+        vec![("k", float_key()), ("v", i64_range(-3..10).map(Value::Int))],
+        0..=8,
+    )
+}
+
+/// GROUP BY oracle: first-occurrence key classes by pairwise `deep_eq`,
+/// with per-class counts — O(n²), no hashing anywhere.
+fn naive_group_counts(items: &[Value]) -> Vec<(Value, i64)> {
+    let mut out: Vec<(Value, i64)> = Vec::new();
+    for item in items {
+        match out.iter_mut().find(|(k, _)| deep_eq(k, item)) {
+            Some((_, n)) => *n += 1,
+            None => out.push((item.clone(), 1)),
+        }
+    }
+    out
 }
 
 /// Rows `{k, v}` whose keys collide often and include NULL and MISSING.
