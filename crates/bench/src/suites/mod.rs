@@ -25,6 +25,7 @@ pub mod pivot_unpivot;
 pub mod serving;
 pub mod set_ops;
 pub mod unnest_vs_flat_join;
+pub mod vectorized;
 
 /// All suites, in a stable order, as `(name, runner)` pairs.
 pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
@@ -47,6 +48,7 @@ pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
         ("governor", governor::run),
         ("frontend", frontend::run),
         ("serving", serving::run),
+        ("vectorized", vectorized::run),
     ]
 }
 

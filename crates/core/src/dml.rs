@@ -238,6 +238,8 @@ impl Engine {
             // before its commit point, leaving the catalog untouched.
             limits: self.config().limits.clone(),
             fault: self.config().fault.clone(),
+            batch_size: self.config().batch_size,
+            compile_exprs: self.config().compile_exprs,
         }
     }
 

@@ -87,6 +87,13 @@ pub struct SessionConfig {
     pub limits: Limits,
     /// Fault-injection hook (chaos testing). `None` in production.
     pub fault: Option<FaultInjector>,
+    /// Rows moved per pipeline pull (vectorized execution). `1` forces
+    /// the row-at-a-time path everywhere — useful as a differential
+    /// baseline against the batched engine.
+    pub batch_size: usize,
+    /// Compile expressions to flat bytecode at plan time. Off, every
+    /// expression goes through the tree-walking interpreter.
+    pub compile_exprs: bool,
 }
 
 impl Default for SessionConfig {
@@ -98,6 +105,8 @@ impl Default for SessionConfig {
             pipeline_aggregates: true,
             limits: Limits::default(),
             fault: None,
+            batch_size: sqlpp_eval::DEFAULT_BATCH_SIZE,
+            compile_exprs: true,
         }
     }
 }
@@ -549,6 +558,8 @@ impl Engine {
             collect_stats: false,
             limits: self.config.limits.clone(),
             fault: self.config.fault.clone(),
+            batch_size: self.config.batch_size,
+            compile_exprs: self.config.compile_exprs,
         }
     }
 }
@@ -574,12 +585,25 @@ fn render_analysis(core: &CoreQuery, stats: &ExecStats) -> String {
         } else {
             String::new()
         };
+        let pull = if s.batches > 0 {
+            format!(" batched batches={}", s.batches)
+        } else {
+            " row-at-a-time".to_string()
+        };
+        let exprs = match s.expr_mode {
+            sqlpp_eval::stats::ExprMode::None => String::new(),
+            sqlpp_eval::stats::ExprMode::Bytecode => " expr=bytecode".to_string(),
+            sqlpp_eval::stats::ExprMode::TreeWalk => " expr=tree-walk".to_string(),
+            sqlpp_eval::stats::ExprMode::Mixed => " expr=mixed".to_string(),
+        };
         Some(format!(
-            " [{} calls={} rows={}{} time={}]",
+            " [{} calls={} rows={}{}{}{} time={}]",
             op.pipeline_class(),
             s.calls,
             s.rows_out,
             mat,
+            pull,
+            exprs,
             fmt_ns(s.ns)
         ))
     });

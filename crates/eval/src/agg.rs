@@ -173,6 +173,20 @@ impl Accumulator {
         match self.func {
             AggFunc::Count => {}
             AggFunc::Sum | AggFunc::Avg => {
+                // Int running sum skips the numeric-tower dispatch;
+                // overflow reports exactly what the tower would.
+                if let (Value::Int(s), Value::Int(x)) = (&self.sum, v) {
+                    match s.checked_add(*x) {
+                        Some(n) => self.sum = Value::Int(n),
+                        None => {
+                            self.failed = Some(AggError::Arithmetic(format!(
+                                "{:?}",
+                                crate::arith::NumError::Overflow
+                            )))
+                        }
+                    }
+                    return;
+                }
                 if !v.is_number() {
                     self.failed = Some(AggError::BadElement {
                         func: self.func,

@@ -1,0 +1,471 @@
+//! Flat postfix bytecode for scalar Core expressions.
+//!
+//! The tree-walking interpreter in `interp.rs` pays a recursive call and a
+//! full `match` per expression node, per row. This module flattens a
+//! [`CoreExpr`] tree into a `Vec<Instr>` once per plan (see
+//! `Evaluator::precompile`), so the per-row cost becomes a tight loop over
+//! a slice with an explicit value stack — no recursion, no re-dispatch on
+//! structure that never changes between rows.
+//!
+//! ## ISA shape
+//!
+//! Instructions are postfix: operands are evaluated left-to-right onto the
+//! stack and the operator pops them. Control flow (AND/OR short-circuit,
+//! CASE arms, the IN missing-needle rule) uses absolute-target jumps that
+//! the compiler back-patches. Two peepholes matter for the hot path:
+//!
+//! * `Field { var, attr }` fuses `Path(Var(v), a)` so the common `t.x`
+//!   navigation borrows the bound tuple and clones only the leaf value,
+//!   instead of cloning the whole tuple out of the environment first.
+//! * `Between` re-emits its test expression rather than introducing a
+//!   stack-dup instruction, matching the tree-walker's double evaluation
+//!   exactly (same effect order, same error order).
+//!
+//! ## Fallback rules
+//!
+//! `compile` returns [`Compiled::Fallback`] — and the evaluator keeps the
+//! tree-walker for that expression — when the tree contains anything
+//! non-scalar: subqueries, EXISTS, or composable aggregates (their inputs
+//! are whole plans, not value stacks). Oversized programs also fall back
+//! so pathological nesting (e.g. deeply nested BETWEEN) cannot explode
+//! code size. The VM itself lives in `interp.rs` (`run_program`) because
+//! it reuses the tree-walker's value-level helpers — by construction both
+//! paths produce identical values, errors, and stat side effects, which
+//! the differential properties in `tests/properties.rs` pin.
+
+use sqlpp_plan::CoreExpr;
+use sqlpp_syntax::ast::{BinOp, IsTest, UnOp};
+use sqlpp_value::Value;
+
+use crate::cast::CastTarget;
+
+/// Programs larger than this fall back to the tree-walker (`Between`
+/// re-emission can square code size when nested).
+const MAX_PROGRAM_LEN: usize = 4096;
+
+/// Result of compiling one expression tree.
+pub(crate) enum Compiled {
+    /// Fully covered: evaluate via the VM.
+    Program(Program),
+    /// Contains ops the compiler does not cover; keep tree-walking.
+    Fallback,
+}
+
+/// A compiled expression.
+pub(crate) struct Program {
+    /// The flat instruction sequence; execution runs `0..len` with jumps.
+    pub(crate) instrs: Vec<Instr>,
+    /// True when every name lookup is a plain variable/parameter read, so
+    /// the fused scan spine may evaluate rows against a *borrowed* root
+    /// binding without materializing an `Env`. `Global`/`Dynamic` lookups
+    /// clear this: they inspect the full set of visible bindings.
+    pub(crate) root_safe: bool,
+}
+
+/// One VM instruction. Jump targets are absolute instruction indices.
+#[derive(Clone)]
+pub(crate) enum Instr {
+    /// Push a literal.
+    Const(Value),
+    /// Push a variable's value (error: unknown name).
+    Var(String),
+    /// Push the fused spine's borrowed root binding (emitted only by
+    /// [`Program::specialize_for_root`], never by the compiler).
+    RootVar,
+    /// Fused `root.attr`: navigate the root binding directly — no name
+    /// compare, no environment probe (specialization-only, like
+    /// [`Instr::RootVar`]).
+    RootField(String),
+    /// Push a positional parameter.
+    Param(usize),
+    /// Resolve a catalog reference (tree-walker's `resolve_global`).
+    Global(Vec<String>),
+    /// Resolve a late-bound name (env → catalog → unique attribute).
+    Dynamic(String),
+    /// Fused `var.attr`: navigate without cloning the base value.
+    Field {
+        /// The variable holding the base value.
+        var: String,
+        /// The attribute to navigate to.
+        attr: String,
+    },
+    /// Navigate `.attr` on the popped value.
+    Path(String),
+    /// `base[index]` on the two popped values.
+    Index,
+    /// Any binary operator except AND/OR (those need control flow).
+    Bin(BinOp),
+    /// Join the two popped operands of AND/OR under 3VL (the
+    /// non-short-circuit half).
+    Logic(BinOp),
+    /// Peek the left operand of AND/OR: jump to `end` (keeping it as the
+    /// result) when it alone decides the outcome — exactly the
+    /// tree-walker's `Bool(false)`/`Bool(true)` dominance rule.
+    ShortCircuit {
+        /// `BinOp::And` or `BinOp::Or`.
+        op: BinOp,
+        /// Jump target when the left operand dominates.
+        end: usize,
+    },
+    /// Unary operator on the popped value.
+    Un(UnOp),
+    /// `IS [NOT] NULL/MISSING/<type>` on the popped value.
+    Is {
+        /// The test.
+        test: IsTest,
+        /// `IS NOT`?
+        negated: bool,
+    },
+    /// Pops `[escape,] pattern, text` and runs LIKE.
+    Like {
+        /// Whether an escape operand was pushed.
+        has_escape: bool,
+        /// NOT LIKE?
+        negated: bool,
+    },
+    /// Pops the two comparison results of BETWEEN and ANDs them.
+    BetweenFinish {
+        /// NOT BETWEEN?
+        negated: bool,
+    },
+    /// Peek: if the top of stack is MISSING jump to `0`-arg target,
+    /// leaving MISSING as the result (IN's missing-needle rule).
+    JumpIfMissing(usize),
+    /// Pops `collection, needle` and runs the IN membership scan.
+    InCollection {
+        /// NOT IN?
+        negated: bool,
+    },
+    /// CASE arm dispatch on the popped WHEN value: TRUE falls through to
+    /// the THEN code; MISSING under composable compat pushes MISSING and
+    /// jumps to `end`; anything else jumps to `next` (the next arm).
+    CaseJump {
+        /// Start of the next arm (or the ELSE code).
+        next: usize,
+        /// First instruction after the whole CASE.
+        end: usize,
+    },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Call a scalar function on the top `argc` values.
+    Call {
+        /// Upper-case function name.
+        name: String,
+        /// Argument count.
+        argc: usize,
+    },
+    /// CAST the popped value.
+    Cast {
+        /// Parsed target.
+        target: CastTarget,
+        /// Original type name (for the error message).
+        ty: String,
+    },
+    /// CAST to a target that failed to parse: evaluate-then-error, the
+    /// tree-walker's order (both typing modes hard-error).
+    BadCast(String),
+    /// Build a tuple from the top `2n` values (name/value pairs).
+    TupleCtor(usize),
+    /// Build an array from the top `n` values (MISSING dropped).
+    ArrayCtor(usize),
+    /// Build a bag from the top `n` values (MISSING dropped).
+    BagCtor(usize),
+}
+
+impl Program {
+    /// Rewrites every lookup that can only resolve to the fused spine's
+    /// root binding (`Var`/`Field` on the scan variable — root-first
+    /// shadowing means the root always wins) into a direct root read,
+    /// eliminating the per-row name comparison from the hot loop. Only
+    /// meaningful for `root_safe` programs run with a root binding.
+    pub(crate) fn specialize_for_root(&self, root: &str) -> Program {
+        let instrs = self
+            .instrs
+            .iter()
+            .map(|i| match i {
+                Instr::Var(name) if name == root => Instr::RootVar,
+                Instr::Field { var, attr } if var == root => Instr::RootField(attr.clone()),
+                other => other.clone(),
+            })
+            .collect();
+        Program {
+            instrs,
+            root_safe: self.root_safe,
+        }
+    }
+}
+
+/// Compiles `e`, returning `Fallback` when any part is uncovered.
+pub(crate) fn compile(e: &CoreExpr) -> Compiled {
+    let mut c = Compiler {
+        instrs: Vec::new(),
+        root_safe: true,
+    };
+    match c.emit(e) {
+        Ok(()) => Compiled::Program(Program {
+            instrs: c.instrs,
+            root_safe: c.root_safe,
+        }),
+        Err(NotCompilable) => Compiled::Fallback,
+    }
+}
+
+/// Marker error: bail out of compilation, keep the tree-walker.
+struct NotCompilable;
+
+struct Compiler {
+    instrs: Vec<Instr>,
+    root_safe: bool,
+}
+
+impl Compiler {
+    fn push(&mut self, i: Instr) -> Result<(), NotCompilable> {
+        if self.instrs.len() >= MAX_PROGRAM_LEN {
+            return Err(NotCompilable);
+        }
+        self.instrs.push(i);
+        Ok(())
+    }
+
+    /// Reserves a slot for a jump instruction patched later.
+    fn hole(&mut self) -> Result<usize, NotCompilable> {
+        let at = self.instrs.len();
+        self.push(Instr::Jump(usize::MAX))?;
+        Ok(at)
+    }
+
+    fn emit(&mut self, e: &CoreExpr) -> Result<(), NotCompilable> {
+        match e {
+            CoreExpr::Const(v) => self.push(Instr::Const(v.clone())),
+            CoreExpr::Var(name) => self.push(Instr::Var(name.clone())),
+            CoreExpr::Param(i) => self.push(Instr::Param(*i)),
+            CoreExpr::Global(segments) => {
+                self.root_safe = false;
+                self.push(Instr::Global(segments.clone()))
+            }
+            CoreExpr::Dynamic(name) => {
+                self.root_safe = false;
+                self.push(Instr::Dynamic(name.clone()))
+            }
+            CoreExpr::Path(base, attr) => {
+                if let CoreExpr::Var(var) = &**base {
+                    self.push(Instr::Field {
+                        var: var.clone(),
+                        attr: attr.clone(),
+                    })
+                } else {
+                    self.emit(base)?;
+                    self.push(Instr::Path(attr.clone()))
+                }
+            }
+            CoreExpr::Index(base, idx) => {
+                self.emit(base)?;
+                self.emit(idx)?;
+                self.push(Instr::Index)
+            }
+            CoreExpr::Bin(op @ (BinOp::And | BinOp::Or), l, r) => {
+                self.emit(l)?;
+                let sc = self.hole()?;
+                self.emit(r)?;
+                self.push(Instr::Logic(*op))?;
+                self.instrs[sc] = Instr::ShortCircuit {
+                    op: *op,
+                    end: self.instrs.len(),
+                };
+                Ok(())
+            }
+            CoreExpr::Bin(op, l, r) => {
+                self.emit(l)?;
+                self.emit(r)?;
+                self.push(Instr::Bin(*op))
+            }
+            CoreExpr::Un(op, x) => {
+                self.emit(x)?;
+                self.push(Instr::Un(*op))
+            }
+            CoreExpr::Like {
+                expr,
+                pattern,
+                escape,
+                negated,
+            } => {
+                self.emit(expr)?;
+                self.emit(pattern)?;
+                if let Some(esc) = escape {
+                    self.emit(esc)?;
+                }
+                self.push(Instr::Like {
+                    has_escape: escape.is_some(),
+                    negated: *negated,
+                })
+            }
+            CoreExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                // The tree-walker evaluates `expr` twice (once per bound);
+                // re-emitting it preserves that order of effects exactly.
+                self.emit(expr)?;
+                self.emit(low)?;
+                self.push(Instr::Bin(BinOp::GtEq))?;
+                self.emit(expr)?;
+                self.emit(high)?;
+                self.push(Instr::Bin(BinOp::LtEq))?;
+                self.push(Instr::BetweenFinish { negated: *negated })
+            }
+            CoreExpr::In {
+                expr,
+                collection,
+                negated,
+            } => {
+                self.emit(expr)?;
+                let j = self.hole()?;
+                self.emit(collection)?;
+                self.push(Instr::InCollection { negated: *negated })?;
+                self.instrs[j] = Instr::JumpIfMissing(self.instrs.len());
+                Ok(())
+            }
+            CoreExpr::Is {
+                expr,
+                test,
+                negated,
+            } => {
+                self.emit(expr)?;
+                self.push(Instr::Is {
+                    test: test.clone(),
+                    negated: *negated,
+                })
+            }
+            CoreExpr::Case { arms, else_expr } => {
+                let mut case_jumps = Vec::with_capacity(arms.len());
+                let mut arm_ends = Vec::with_capacity(arms.len());
+                for (when, then) in arms {
+                    self.emit(when)?;
+                    let cj = self.hole()?;
+                    self.emit(then)?;
+                    arm_ends.push(self.hole()?);
+                    // `next` is known now; `end` is patched after ELSE.
+                    self.instrs[cj] = Instr::CaseJump {
+                        next: self.instrs.len(),
+                        end: usize::MAX,
+                    };
+                    case_jumps.push(cj);
+                }
+                self.emit(else_expr)?;
+                let end = self.instrs.len();
+                for cj in case_jumps {
+                    if let Instr::CaseJump { end: e, .. } = &mut self.instrs[cj] {
+                        *e = end;
+                    }
+                }
+                for j in arm_ends {
+                    self.instrs[j] = Instr::Jump(end);
+                }
+                Ok(())
+            }
+            CoreExpr::Call { name, args } => {
+                for a in args {
+                    self.emit(a)?;
+                }
+                self.push(Instr::Call {
+                    name: name.clone(),
+                    argc: args.len(),
+                })
+            }
+            CoreExpr::CollAgg { .. } | CoreExpr::Subquery { .. } | CoreExpr::Exists(_) => {
+                Err(NotCompilable)
+            }
+            CoreExpr::TupleCtor(pairs) => {
+                for (name, value) in pairs {
+                    self.emit(name)?;
+                    self.emit(value)?;
+                }
+                self.push(Instr::TupleCtor(pairs.len()))
+            }
+            CoreExpr::ArrayCtor(items) => {
+                for v in items {
+                    self.emit(v)?;
+                }
+                self.push(Instr::ArrayCtor(items.len()))
+            }
+            CoreExpr::BagCtor(items) => {
+                for v in items {
+                    self.emit(v)?;
+                }
+                self.push(Instr::BagCtor(items.len()))
+            }
+            CoreExpr::Cast { expr, ty } => {
+                self.emit(expr)?;
+                match CastTarget::parse(ty) {
+                    Some(target) => self.push(Instr::Cast {
+                        target,
+                        ty: ty.clone(),
+                    }),
+                    None => self.push(Instr::BadCast(ty.clone())),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> CoreExpr {
+        CoreExpr::Var(n.into())
+    }
+
+    #[test]
+    fn field_peephole_fuses_var_navigation() {
+        let e = CoreExpr::Path(Box::new(var("t")), "x".into());
+        let Compiled::Program(p) = compile(&e) else {
+            panic!("expected a program");
+        };
+        assert_eq!(p.instrs.len(), 1);
+        assert!(matches!(&p.instrs[0], Instr::Field { var, attr } if var == "t" && attr == "x"));
+        assert!(p.root_safe);
+    }
+
+    #[test]
+    fn subqueries_fall_back() {
+        let e = CoreExpr::CollAgg {
+            func: sqlpp_plan::AggFunc::Count,
+            distinct: false,
+            input: Box::new(var("g")),
+        };
+        assert!(matches!(compile(&e), Compiled::Fallback));
+    }
+
+    #[test]
+    fn globals_clear_root_safety() {
+        let e = CoreExpr::Global(vec!["db".into(), "r".into()]);
+        let Compiled::Program(p) = compile(&e) else {
+            panic!("expected a program");
+        };
+        assert!(!p.root_safe);
+    }
+
+    #[test]
+    fn short_circuit_targets_land_after_logic_join() {
+        let e = CoreExpr::Bin(
+            BinOp::And,
+            Box::new(CoreExpr::Const(Value::Bool(false))),
+            Box::new(var("x")),
+        );
+        let Compiled::Program(p) = compile(&e) else {
+            panic!("expected a program");
+        };
+        // [Const(false), ShortCircuit{end:4}, Var(x), Logic(And)]
+        assert_eq!(p.instrs.len(), 4);
+        assert!(matches!(
+            p.instrs[1],
+            Instr::ShortCircuit {
+                op: BinOp::And,
+                end: 4
+            }
+        ));
+    }
+}

@@ -317,6 +317,20 @@ impl ResourceGovernor {
         }
     }
 
+    /// The batch-sized equivalent of [`ResourceGovernor::tick`]: advances
+    /// the amortized counter as if the pull loop had ticked once per
+    /// [`TICK_INTERVAL`] of the `rows` just produced, so a whole batch
+    /// costs at most a handful of counter bumps while deadline/token
+    /// responsiveness stays bounded by the batch size (a 1024-row batch
+    /// can never advance the clock-observation point by more than 64
+    /// rows' worth of ticks).
+    pub fn tick_rows(&self, rows: u64) -> Result<(), EvalError> {
+        for _ in 0..rows / TICK_INTERVAL {
+            self.tick()?;
+        }
+        Ok(())
+    }
+
     /// An unamortized deadline/token check.
     pub fn check_now(&self) -> Result<(), EvalError> {
         self.checks.set(self.checks.get() + 1);

@@ -7,6 +7,7 @@
 //! permissive/strict typing dichotomy (§IV) is threaded through every
 //! operation via [`TypingMode`].
 
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -23,6 +24,7 @@ use sqlpp_value::{Tuple, Value};
 
 use crate::agg;
 use crate::arith::{num_binop, num_neg, NumError, NumOp};
+use crate::bytecode::{self, Compiled, Instr};
 use crate::cast::{cast, CastTarget};
 use crate::env::Env;
 use crate::error::{EvalError, TypingMode};
@@ -31,8 +33,8 @@ use crate::govern::{FaultInjector, FaultSite, Limits, ResourceGovernor};
 use crate::like::like_match;
 use crate::stats::{ExecStats, StatsCollector};
 use crate::stream::{
-    empty, failed, from_vec, BindingStream, Governed, Instrumented, Limited, MatGauge,
-    TrackedBuffer, ValueStream,
+    boxed, empty, failed, from_vec, BindingStream, Governed, Instrumented, Limited, MatGauge,
+    Stream, TrackedBuffer, ValueStream, BATCH_TICK_ROWS, DEFAULT_BATCH_SIZE,
 };
 
 /// Evaluator configuration.
@@ -58,6 +60,16 @@ pub struct EvalConfig {
     pub limits: Limits,
     /// Fault-injection hook for chaos testing. `None` in production.
     pub fault: Option<FaultInjector>,
+    /// How many bindings each pipeline pull moves at once. `1` forces the
+    /// row-at-a-time path everywhere (useful as a differential baseline);
+    /// the default amortizes dynamic dispatch, governor ticks, and stat
+    /// increments across [`DEFAULT_BATCH_SIZE`] rows.
+    pub batch_size: usize,
+    /// Compile plan expressions to flat bytecode once per run (with
+    /// transparent fallback to the tree-walker for subqueries and other
+    /// uncovered shapes). Disabling keeps the pure tree-walker — the
+    /// differential baseline for the bytecode path.
+    pub compile_exprs: bool,
 }
 
 impl Default for EvalConfig {
@@ -69,6 +81,8 @@ impl Default for EvalConfig {
             collect_stats: false,
             limits: Limits::default(),
             fault: None,
+            batch_size: DEFAULT_BATCH_SIZE,
+            compile_exprs: true,
         }
     }
 }
@@ -83,6 +97,19 @@ pub struct Evaluator<'a> {
     /// it is gated on whether the corresponding limit is actually set.
     /// The deadline clock starts here, at construction.
     govern: ResourceGovernor,
+    /// Bytecode programs keyed by expression identity (`&CoreExpr` address
+    /// within the plan being run — stable because `run` borrows the plan
+    /// for its whole duration). Only successfully compiled expressions are
+    /// stored; everything else misses and tree-walks.
+    programs: RefCell<HashMap<usize, Rc<Compiled>>>,
+    /// Fast gate for the per-expression cache lookup: false until
+    /// `precompile` stores at least one program, so runs without bytecode
+    /// pay one `Cell` read instead of a hash probe per expression.
+    has_programs: Cell<bool>,
+    /// The VM's value stack, reused across expression evaluations (taken
+    /// and restored around each run so re-entrancy through `resolve_global`
+    /// gets a fresh stack rather than a poisoned borrow).
+    vm_stack: Cell<Vec<Value>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -96,6 +123,9 @@ impl<'a> Evaluator<'a> {
             params: Vec::new(),
             stats,
             govern,
+            programs: RefCell::new(HashMap::new()),
+            has_programs: Cell::new(false),
+            vm_stack: Cell::new(Vec::new()),
         }
     }
 
@@ -118,7 +148,36 @@ impl<'a> Evaluator<'a> {
             // Per-operator stats are keyed by pre-order plan index.
             st.register_plan(q);
         }
+        self.precompile(q);
         self.value_op(&q.op, &Env::new())
+    }
+
+    /// Compiles every scalar expression in the plan to bytecode, filling
+    /// the program cache. Skipped under fault injection: the chaos tests
+    /// pin tree-walker fault sites, and keeping the walker there means
+    /// fault counts stay identical whether or not bytecode exists.
+    fn precompile(&self, q: &CoreQuery) {
+        if !self.config.compile_exprs || self.govern.injects_faults() {
+            return;
+        }
+        let mut map = self.programs.borrow_mut();
+        map.clear();
+        q.for_each_expr(&mut |op, e| {
+            let compiled = bytecode::compile(e);
+            let is_program = matches!(compiled, Compiled::Program(_));
+            if let Some(st) = &self.stats {
+                if is_program {
+                    st.add_expr_compiled();
+                } else {
+                    st.add_expr_fallback();
+                }
+                st.record_op_expr_mode(st.key_for(op), is_program);
+            }
+            if is_program {
+                map.insert(e as *const CoreExpr as usize, Rc::new(compiled));
+            }
+        });
+        self.has_programs.set(!map.is_empty());
     }
 
     /// Snapshots the statistics collected so far (phase times zeroed —
@@ -203,22 +262,25 @@ impl<'a> Evaluator<'a> {
                     // materialize through a tracked buffer, then dedupe.
                     let mut buf =
                         TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(op));
-                    for b in self.binding_stream(input, env) {
-                        buf.push(self.expr(expr, &b?)?)?;
-                    }
+                    drain_batched(self.binding_stream(input, env), self.batch_size(), |b| {
+                        buf.push(self.expr(expr, &b)?)
+                    })?;
                     Ok(Value::Bag(dedupe(buf.into_vec(), self.stats.as_ref())))
                 } else {
-                    let mut out = Vec::new();
-                    for b in self.binding_stream(input, env) {
-                        out.push(self.expr(expr, &b?)?);
+                    if let Some(result) = self.try_fused_project(input, expr, env) {
+                        return result;
                     }
+                    let mut out = Vec::new();
+                    drain_batched(self.binding_stream(input, env), self.batch_size(), |b| {
+                        out.push(self.expr(expr, &b)?);
+                        Ok(())
+                    })?;
                     Ok(Value::Bag(out))
                 }
             }
             CoreOp::Pivot { input, value, name } => {
                 let mut t = Tuple::new();
-                for b in self.binding_stream(input, env) {
-                    let b = b?;
+                drain_batched(self.binding_stream(input, env), self.batch_size(), |b| {
                     let n = self.expr(name, &b)?;
                     let v = self.expr(value, &b)?;
                     match n {
@@ -234,7 +296,8 @@ impl<'a> Evaluator<'a> {
                             })?;
                         }
                     }
-                }
+                    Ok(())
+                })?;
                 Ok(Value::Tuple(t))
             }
             CoreOp::SetOp {
@@ -244,17 +307,21 @@ impl<'a> Evaluator<'a> {
                 right,
             } => {
                 let mut out = Vec::new();
-                for v in self.set_op_stream(*set_op, *all, left, right, op, env) {
-                    out.push(v?);
-                }
+                drain_batched(
+                    self.set_op_stream(*set_op, *all, left, right, op, env),
+                    self.batch_size(),
+                    |v| {
+                        out.push(v);
+                        Ok(())
+                    },
+                )?;
                 Ok(Value::Bag(out))
             }
             CoreOp::SortValues { input, keys } => {
                 let out_var: Rc<str> = "$out".into();
                 let mut buf: TrackedBuffer<'_, (Vec<Value>, Value)> =
                     TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(op));
-                for v in self.element_stream(input, env) {
-                    let v = v?;
+                drain_batched(self.element_stream(input, env), self.batch_size(), |v| {
                     // The output element is visible as `$out`; if it is a
                     // tuple its attributes resolve dynamically.
                     let row_env = env.bind(out_var.clone(), v.clone());
@@ -262,8 +329,8 @@ impl<'a> Evaluator<'a> {
                     for k in keys {
                         ks.push(self.expr(&k.expr, &row_env)?);
                     }
-                    buf.push((ks, v))?;
-                }
+                    buf.push((ks, v))
+                })?;
                 let mut annotated = buf.into_vec();
                 sort_annotated(&mut annotated, keys);
                 Ok(Value::Bag(annotated.into_iter().map(|(_, v)| v).collect()))
@@ -278,9 +345,14 @@ impl<'a> Evaluator<'a> {
                 let (lim, off) = self.limit_offset(limit, offset, env)?;
                 let mut out = Vec::new();
                 if lim != Some(0) {
-                    for v in Limited::new(self.element_stream(input, env), off, lim) {
-                        out.push(v?);
-                    }
+                    drain_batched(
+                        Box::new(Limited::new(self.element_stream(input, env), off, lim)),
+                        self.batch_size(),
+                        |v| {
+                            out.push(v);
+                            Ok(())
+                        },
+                    )?;
                 }
                 Ok(Value::Bag(out))
             }
@@ -296,10 +368,10 @@ impl<'a> Evaluator<'a> {
             // for degenerate plans; expose the bindings as tuples.
             other => {
                 let mut out = Vec::new();
-                for b in self.binding_stream(other, env) {
-                    b?;
+                drain_batched(self.binding_stream(other, env), self.batch_size(), |_| {
                     out.push(Value::Tuple(Tuple::new()));
-                }
+                    Ok(())
+                })?;
                 Ok(Value::Bag(out))
             }
         }
@@ -327,7 +399,7 @@ impl<'a> Evaluator<'a> {
         match self.value_op(op, env) {
             Err(e) => failed(e),
             Ok(Value::Bag(items)) | Ok(Value::Array(items)) => from_vec(items),
-            Ok(single) => Box::new(std::iter::once(Ok(single))),
+            Ok(single) => boxed(std::iter::once(Ok(single))),
         }
     }
 
@@ -352,10 +424,13 @@ impl<'a> Evaluator<'a> {
                 input,
                 expr,
                 distinct: false,
-            } => {
-                let bindings = self.binding_stream(input, env);
-                Some(Box::new(bindings.map(move |b| self.expr(expr, &b?))))
-            }
+            } => Some(Box::new(ProjectStream {
+                ev: self,
+                expr,
+                inner: self.binding_stream(input, env),
+                buf: Vec::new(),
+                done: false,
+            })),
             CoreOp::LimitOffset {
                 input,
                 limit,
@@ -400,24 +475,20 @@ impl<'a> Evaluator<'a> {
         env: &Env,
     ) -> ValueStream<'s> {
         match (set_op, all) {
-            (CoreSetOp::Union, true) => Box::new(
+            (CoreSetOp::Union, true) => boxed(
                 self.element_stream(left, env)
                     .chain(self.element_stream(right, env)),
             ),
             (CoreSetOp::Union, false) => {
                 let mut buf =
                     TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
-                for v in self
-                    .element_stream(left, env)
-                    .chain(self.element_stream(right, env))
-                {
-                    match v {
-                        Ok(v) => {
-                            if let Err(e) = buf.push(v) {
-                                return failed(e);
-                            }
-                        }
-                        Err(e) => return failed(e),
+                for side in [left, right] {
+                    if let Err(e) =
+                        drain_batched(self.element_stream(side, env), self.batch_size(), |v| {
+                            buf.push(v)
+                        })
+                    {
+                        return failed(e);
                     }
                 }
                 from_vec(dedupe(buf.into_vec(), self.stats.as_ref()))
@@ -428,16 +499,14 @@ impl<'a> Evaluator<'a> {
                 // occurrence, EXCEPT keeps the ones that don't.
                 let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
                 let mut rvals = Vec::new();
-                for v in self.element_stream(right, env) {
-                    match v {
-                        Ok(v) => {
-                            if let Err(e) = gauge.add(1) {
-                                return failed(e);
-                            }
-                            rvals.push(v);
-                        }
-                        Err(e) => return failed(e),
-                    }
+                if let Err(e) =
+                    drain_batched(self.element_stream(right, env), self.batch_size(), |v| {
+                        gauge.add(1)?;
+                        rvals.push(v);
+                        Ok(())
+                    })
+                {
+                    return failed(e);
                 }
                 let mut pool = RightMultiset::new(rvals, self.stats.as_ref());
                 let keep_matched = set_op == CoreSetOp::Intersect;
@@ -455,7 +524,7 @@ impl<'a> Evaluator<'a> {
                     }
                 });
                 if all {
-                    Box::new(probe)
+                    boxed(probe)
                 } else {
                     let mut out = Vec::new();
                     for v in probe {
@@ -494,18 +563,15 @@ impl<'a> Evaluator<'a> {
 
     fn binding_stream_inner<'s>(&'s self, op: &'s CoreOp, env: &Env) -> BindingStream<'s> {
         match op {
-            CoreOp::Single => Box::new(std::iter::once(Ok(env.clone()))),
+            CoreOp::Single => boxed(std::iter::once(Ok(env.clone()))),
             CoreOp::From { item } => self.from_stream(item, op, env),
-            CoreOp::Filter { input, pred } => Box::new(self.binding_stream(input, env).filter_map(
-                move |b| match b {
-                    Err(e) => Some(Err(e)),
-                    Ok(b) => match self.expr(pred, &b) {
-                        Ok(Value::Bool(true)) => Some(Ok(b)),
-                        Ok(_) => None,
-                        Err(e) => Some(Err(e)),
-                    },
-                },
-            )),
+            CoreOp::Filter { input, pred } => Box::new(FilterStream {
+                ev: self,
+                pred,
+                inner: self.binding_stream(input, env),
+                buf: Vec::new(),
+                done: false,
+            }),
             CoreOp::Group {
                 input,
                 keys,
@@ -518,7 +584,7 @@ impl<'a> Evaluator<'a> {
             },
             CoreOp::Append { inputs } => {
                 let env = env.clone();
-                Box::new(
+                boxed(
                     inputs
                         .iter()
                         .flat_map(move |i| self.binding_stream(i, &env)),
@@ -541,15 +607,12 @@ impl<'a> Evaluator<'a> {
                 // Window functions see whole partitions: materialize the
                 // input, then rewrite rows def by def.
                 let mut buf = TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(op));
-                for b in self.binding_stream(input, env) {
-                    match b {
-                        Ok(b) => {
-                            if let Err(e) = buf.push(b) {
-                                return failed(e);
-                            }
-                        }
-                        Err(e) => return failed(e),
-                    }
+                if let Err(e) =
+                    drain_batched(self.binding_stream(input, env), self.batch_size(), |b| {
+                        buf.push(b)
+                    })
+                {
+                    return failed(e);
                 }
                 let mut rows = buf.into_vec();
                 for def in defs {
@@ -578,14 +641,13 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Vec<Env>, EvalError> {
         let mut buf: TrackedBuffer<'_, (Vec<Value>, Env)> =
             TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
-        for b in self.binding_stream(input, env) {
-            let b = b?;
+        drain_batched(self.binding_stream(input, env), self.batch_size(), |b| {
             let mut ks = Vec::with_capacity(keys.len());
             for k in keys {
                 ks.push(self.expr(&k.expr, &b)?);
             }
-            buf.push((ks, b))?;
-        }
+            buf.push((ks, b))
+        })?;
         let mut annotated = buf.into_vec();
         sort_annotated(&mut annotated, keys);
         Ok(annotated.into_iter().map(|(_, b)| b).collect())
@@ -628,8 +690,7 @@ impl<'a> Evaluator<'a> {
         let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
         let mut index: HashMap<GroupKey, usize> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (keys, elements)
-        for b in self.binding_stream(input, env) {
-            let b = b?;
+        drain_batched(self.binding_stream(input, env), self.batch_size(), |b| {
             gauge.add(1)?;
             let mut key_vals = Vec::with_capacity(keys.len());
             for (_, ke) in keys {
@@ -660,7 +721,8 @@ impl<'a> Evaluator<'a> {
                     groups.push((key_vals, vec![elem]));
                 }
             }
-        }
+            Ok(())
+        })?;
         // Ungrouped aggregation and the grand-total grouping set yield
         // exactly one group even over empty input (SQL).
         if emit_empty_group && groups.is_empty() {
@@ -879,18 +941,17 @@ impl<'a> Evaluator<'a> {
                 name_var,
             } => self.unpivot_stream(expr, value_var, name_var, env),
             CoreFrom::Let { expr, var } => match self.expr(expr, env) {
-                Ok(v) => Box::new(std::iter::once(Ok(env.bind(var.clone(), v)))),
+                Ok(v) => boxed(std::iter::once(Ok(env.bind(var.clone(), v)))),
                 Err(e) => failed(e),
             },
-            CoreFrom::Correlate { left, right } => {
-                let lefts = self.from_stream(left, whole, env);
-                Box::new(lefts.flat_map(move |l| -> BindingStream<'s> {
-                    match l {
-                        Ok(lenv) => self.from_stream(right, whole, &lenv),
-                        Err(e) => failed(e),
-                    }
-                }))
-            }
+            CoreFrom::Correlate { left, right } => Box::new(CorrelateStream {
+                ev: self,
+                right,
+                whole,
+                left: self.from_stream(left, whole, env),
+                cur: None,
+                done: false,
+            }),
             CoreFrom::Join {
                 kind,
                 left,
@@ -978,30 +1039,35 @@ impl<'a> Evaluator<'a> {
         let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
         let watcher = self.govern.as_watcher();
-        'rows: for r in self.from_stream(right, whole, env) {
-            // The build happens at stream *construction* (before the
-            // first wrapped pull), so it ticks the deadline itself.
-            if let Some(g) = watcher {
-                g.tick()?;
-            }
-            let r = r?;
-            if let Some(p) = right_pred {
-                if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
-                    continue;
+        drain_batched(
+            self.from_stream(right, whole, env),
+            self.batch_size(),
+            |r| {
+                // The build happens at stream *construction* (before the
+                // first wrapped pull), so it ticks the deadline itself —
+                // still per row: build rows do real per-row work.
+                if let Some(g) = watcher {
+                    g.tick()?;
                 }
-            }
-            let mut kv = Vec::with_capacity(keys.len());
-            for (_, rk) in keys {
-                let v = self.expr(rk, &r)?;
-                if v.is_absent() {
-                    continue 'rows;
+                if let Some(p) = right_pred {
+                    if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
+                        return Ok(());
+                    }
                 }
-                kv.push(v);
-            }
-            gauge.add(1)?;
-            table.entry(joint_hash(&kv)).or_default().push(rows.len());
-            rows.push((r, kv));
-        }
+                let mut kv = Vec::with_capacity(keys.len());
+                for (_, rk) in keys {
+                    let v = self.expr(rk, &r)?;
+                    if v.is_absent() {
+                        return Ok(());
+                    }
+                    kv.push(v);
+                }
+                gauge.add(1)?;
+                table.entry(joint_hash(&kv)).or_default().push(rows.len());
+                rows.push((r, kv));
+                Ok(())
+            },
+        )?;
         if let Some(st) = &self.stats {
             st.add_join_build_rows(rows.len() as u64);
         }
@@ -1071,39 +1137,30 @@ impl<'a> Evaluator<'a> {
         env: Env,
     ) -> BindingStream<'s> {
         match source {
-            Value::Bag(items) => {
-                let strict_at =
-                    at_var.is_some() && matches!(self.config.typing, TypingMode::StrictError);
-                Box::new(items.into_iter().map(move |item| {
-                    if let Some(st) = &self.stats {
-                        st.add_rows_scanned(1);
-                    }
-                    if strict_at {
-                        // Bags are unordered: AT has no meaningful value.
-                        return Err(EvalError::Type(
-                            "AT position variable over an unordered bag".to_string(),
-                        ));
-                    }
-                    let mut e = env.bind(as_var.clone(), item);
-                    if let Some(at) = &at_var {
-                        e = e.bind(at.clone(), Value::Missing);
-                    }
-                    Ok(e)
-                }))
-            }
-            Value::Array(items) => Box::new(items.into_iter().enumerate().map(move |(i, item)| {
-                if let Some(st) = &self.stats {
-                    st.add_rows_scanned(1);
-                }
-                let mut e = env.bind(as_var.clone(), item);
-                if let Some(at) = &at_var {
-                    e = e.bind(at.clone(), Value::Int(i as i64));
-                }
-                Ok(e)
-            })),
+            Value::Bag(items) => Box::new(OwnedScan {
+                ev: self,
+                items: items.into_iter(),
+                next_idx: 0,
+                is_array: false,
+                strict_bag_at: at_var.is_some()
+                    && matches!(self.config.typing, TypingMode::StrictError),
+                as_var,
+                at_var,
+                env,
+            }),
+            Value::Array(items) => Box::new(OwnedScan {
+                ev: self,
+                items: items.into_iter(),
+                next_idx: 0,
+                is_array: true,
+                strict_bag_at: false,
+                as_var,
+                at_var,
+                env,
+            }),
             Value::Missing => empty(),
             other => match self.config.typing {
-                TypingMode::Permissive => Box::new(std::iter::once_with(move || {
+                TypingMode::Permissive => boxed(std::iter::once_with(move || {
                     if let Some(st) = &self.stats {
                         st.add_rows_scanned(1);
                     }
@@ -1152,7 +1209,7 @@ impl<'a> Evaluator<'a> {
         let value_var: Rc<str> = value_var.into();
         let name_var: Rc<str> = name_var.into();
         let env = env.clone();
-        Box::new(tuple.into_iter().map(move |(name, value)| {
+        boxed(tuple.into_iter().map(move |(name, value)| {
             if let Some(st) = &self.stats {
                 st.add_rows_scanned(1);
             }
@@ -1160,6 +1217,181 @@ impl<'a> Evaluator<'a> {
                 .bind(value_var.clone(), value)
                 .bind(name_var.clone(), Value::Str(name)))
         }))
+    }
+
+    // =================================================================
+    // Fused scan spine
+    // =================================================================
+
+    /// The effective batch size (configured, floored at one row).
+    fn batch_size(&self) -> usize {
+        self.config.batch_size.max(1)
+    }
+
+    /// The fused fast path for a materializing `SELECT VALUE`: see
+    /// [`Self::try_fused`]. Returns `None` when the shape or config is
+    /// ineligible and the adapter pipeline should run instead.
+    fn try_fused_project(
+        &self,
+        input: &CoreOp,
+        proj: &CoreExpr,
+        env: &Env,
+    ) -> Option<Result<Value, EvalError>> {
+        let mut out = Vec::new();
+        let r = self.try_fused(input, proj, env, |v| {
+            out.push(v);
+            Ok(())
+        })?;
+        Some(r.map(|()| Value::Bag(out)))
+    }
+
+    /// The fused scan spine: when `input` is a bare `Scan → Filter*`
+    /// chain (no AT variable) and every predicate plus the projection
+    /// compiled to root-safe bytecode, each source element is evaluated
+    /// *borrowed* — no per-row `Env` allocation, no per-row adapter
+    /// dispatch, the deadline ticked once per [`BATCH_TICK_ROWS`] rows.
+    /// Only active when stats are off (`EXPLAIN ANALYZE` wants real
+    /// per-operator adapters) and no faults are injected; results are
+    /// identical to the adapter pipeline because both bottom out in the
+    /// same compiled programs and scan-source semantics.
+    fn try_fused(
+        &self,
+        input: &CoreOp,
+        proj: &CoreExpr,
+        env: &Env,
+        emit: impl FnMut(Value) -> Result<(), EvalError>,
+    ) -> Option<Result<(), EvalError>> {
+        if self.config.batch_size <= 1
+            || self.stats.is_some()
+            || self.govern.injects_faults()
+            || !self.has_programs.get()
+        {
+            return None;
+        }
+        // Peel WHERE filters down to a plain scan.
+        let mut preds: Vec<&CoreExpr> = Vec::new();
+        let mut op = input;
+        let (scan_expr, as_var) = loop {
+            match op {
+                CoreOp::Filter { input, pred } => {
+                    preds.push(pred);
+                    op = input;
+                }
+                CoreOp::From {
+                    item:
+                        CoreFrom::Scan {
+                            expr,
+                            as_var,
+                            at_var: None,
+                        },
+                } => break (expr, as_var.as_str()),
+                _ => return None,
+            }
+        };
+        // Peeled outermost-first; they must run scan-side-first.
+        preds.reverse();
+        let pred_progs: Vec<Rc<Compiled>> = preds
+            .iter()
+            .map(|p| self.rooted_program(p))
+            .collect::<Option<_>>()?;
+        let proj_prog = self.rooted_program(proj)?;
+        Some(self.run_fused(scan_expr, as_var, &pred_progs, &proj_prog, env, emit))
+    }
+
+    /// Looks up an expression's cached program, requiring it to be safe
+    /// to run against a borrowed root binding.
+    fn rooted_program(&self, e: &CoreExpr) -> Option<Rc<Compiled>> {
+        let c = self
+            .programs
+            .borrow()
+            .get(&(e as *const CoreExpr as usize))
+            .cloned()?;
+        match &*c {
+            Compiled::Program(p) if p.root_safe => Some(c),
+            Compiled::Program(_) | Compiled::Fallback => None,
+        }
+    }
+
+    fn run_fused(
+        &self,
+        scan_expr: &CoreExpr,
+        as_var: &str,
+        preds: &[Rc<Compiled>],
+        proj: &Rc<Compiled>,
+        env: &Env,
+        mut emit: impl FnMut(Value) -> Result<(), EvalError>,
+    ) -> Result<(), EvalError> {
+        let source = self.scan_source(scan_expr, env)?;
+        let source_val: &Value = match &source {
+            ScanSource::Shared(arc) => arc,
+            ScanSource::Owned(v) => v,
+        };
+        // Mirrors `scan_value_stream`: collections iterate, MISSING
+        // vanishes, anything else is a permissive singleton or a strict
+        // error.
+        let items: &[Value] = match source_val {
+            Value::Bag(items) | Value::Array(items) => items.as_slice(),
+            Value::Missing => return Ok(()),
+            other => match self.config.typing {
+                TypingMode::Permissive => std::slice::from_ref(other),
+                TypingMode::StrictError => {
+                    return Err(EvalError::Type(format!(
+                        "FROM source must be a collection, found {}",
+                        other.kind().name()
+                    )));
+                }
+            },
+        };
+        // Specialize every program for this run's root variable once:
+        // root references become direct RootVar/RootField instructions,
+        // so the hot loop never compares variable names.
+        let pred_specs: Vec<bytecode::Program> = preds
+            .iter()
+            .map(|p| {
+                let Compiled::Program(pp) = &**p else {
+                    unreachable!("rooted_program only returns programs");
+                };
+                pp.specialize_for_root(as_var)
+            })
+            .collect();
+        let Compiled::Program(proj_prog) = &**proj else {
+            unreachable!("rooted_program only returns programs");
+        };
+        let proj_spec = proj_prog.specialize_for_root(as_var);
+        let watcher = self.govern.as_watcher();
+        // One value stack for the whole run. Compiled instructions never
+        // re-enter the VM (subqueries are Fallback), and even if `emit`
+        // does (a nested query inside an accumulator), `Cell::take`
+        // hands it a fresh stack — correctness never depends on this
+        // reuse, only speed does.
+        let mut stack = self.vm_stack.take();
+        stack.clear();
+        let mut run = |stack: &mut Vec<Value>| -> Result<(), EvalError> {
+            'rows: for (i, item) in items.iter().enumerate() {
+                if let Some(g) = watcher {
+                    // At least once per batch-worth of rows, starting
+                    // immediately: a huge source cannot outrun the
+                    // deadline.
+                    if i % BATCH_TICK_ROWS == 0 {
+                        g.tick()?;
+                    }
+                }
+                for p in &pred_specs {
+                    self.exec_program(p, Some((as_var, item)), env, stack)?;
+                    match stack.pop().expect("bytecode program left no result") {
+                        Value::Bool(true) => {}
+                        _ => continue 'rows,
+                    }
+                }
+                self.exec_program(&proj_spec, Some((as_var, item)), env, stack)?;
+                emit(stack.pop().expect("bytecode program left no result"))?;
+            }
+            Ok(())
+        };
+        let result = run(&mut stack);
+        stack.clear();
+        self.vm_stack.set(stack);
+        result
     }
 
     // =================================================================
@@ -1174,6 +1406,19 @@ impl<'a> Evaluator<'a> {
         // Gated on hook presence — zero-cost in production.
         if self.govern.injects_faults() {
             self.govern.fault_at(FaultSite::OperatorEval)?;
+        }
+        if self.has_programs.get() {
+            let prog = self
+                .programs
+                .borrow()
+                .get(&(e as *const CoreExpr as usize))
+                .cloned();
+            if let Some(prog) = prog {
+                let Compiled::Program(p) = &*prog else {
+                    unreachable!("only compiled programs are cached");
+                };
+                return self.run_program(p, None, env);
+            }
         }
         match e {
             CoreExpr::Const(v) => Ok(v.clone()),
@@ -1429,6 +1674,337 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    // =================================================================
+    // Bytecode VM
+    // =================================================================
+
+    /// Runs a compiled expression program. `root` optionally supplies one
+    /// borrowed binding that shadows `env` (the fused scan spine's row
+    /// variable — looked up first, exactly as a real `bind` would
+    /// shadow). Value semantics, error messages, and stat side effects
+    /// are identical to the tree-walker by construction: every operator
+    /// bottoms out in the same value-level helpers.
+    fn run_program(
+        &self,
+        prog: &bytecode::Program,
+        root: Option<(&str, &Value)>,
+        env: &Env,
+    ) -> Result<Value, EvalError> {
+        let mut stack = self.vm_stack.take();
+        stack.clear();
+        let result = self.exec_program(prog, root, env, &mut stack);
+        let out = match result {
+            Ok(()) => stack.pop().expect("bytecode program left no result"),
+            Err(e) => {
+                stack.clear();
+                self.vm_stack.set(stack);
+                return Err(e);
+            }
+        };
+        stack.clear();
+        self.vm_stack.set(stack);
+        Ok(out)
+    }
+
+    fn exec_program(
+        &self,
+        prog: &bytecode::Program,
+        root: Option<(&str, &Value)>,
+        env: &Env,
+        stack: &mut Vec<Value>,
+    ) -> Result<(), EvalError> {
+        let instrs = &prog.instrs;
+        let mut pc = 0usize;
+        while pc < instrs.len() {
+            match &instrs[pc] {
+                Instr::Const(v) => stack.push(v.clone()),
+                Instr::Var(name) => {
+                    let v = match root {
+                        Some((rv, val)) if name == rv => Some(val.clone()),
+                        _ => env.get(name).cloned(),
+                    };
+                    match v {
+                        Some(v) => stack.push(v),
+                        None => return Err(EvalError::UnknownName(name.clone())),
+                    }
+                }
+                Instr::Param(i) => match self.params.get(*i) {
+                    Some(v) => stack.push(v.clone()),
+                    None => return Err(EvalError::MissingParam(*i)),
+                },
+                Instr::Global(segments) => stack.push(self.resolve_global(segments, env)?),
+                Instr::Dynamic(name) => {
+                    stack.push(self.resolve_global(std::slice::from_ref(name), env)?)
+                }
+                Instr::Field { var, attr } => {
+                    let base = match root {
+                        Some((rv, val)) if var == rv => Some(val),
+                        _ => env.get(var),
+                    };
+                    let Some(base) = base else {
+                        return Err(EvalError::UnknownName(var.clone()));
+                    };
+                    let v = match base {
+                        Value::Tuple(_) | Value::Null | Value::Missing => base.path(attr),
+                        other => self.type_err(|| {
+                            format!(
+                                "cannot navigate attribute {attr:?} of a {}",
+                                other.kind().name()
+                            )
+                        })?,
+                    };
+                    stack.push(v);
+                }
+                Instr::RootVar => {
+                    let Some((_, val)) = root else {
+                        return Err(EvalError::Type(
+                            "root instruction outside the fused spine".into(),
+                        ));
+                    };
+                    stack.push(val.clone());
+                }
+                Instr::RootField(attr) => {
+                    let Some((_, base)) = root else {
+                        return Err(EvalError::Type(
+                            "root instruction outside the fused spine".into(),
+                        ));
+                    };
+                    let v = match base {
+                        Value::Tuple(_) | Value::Null | Value::Missing => base.path(attr),
+                        other => self.type_err(|| {
+                            format!(
+                                "cannot navigate attribute {attr:?} of a {}",
+                                other.kind().name()
+                            )
+                        })?,
+                    };
+                    stack.push(v);
+                }
+                Instr::Path(attr) => {
+                    let base = stack.pop().expect("stack");
+                    let v = match &base {
+                        Value::Tuple(_) | Value::Null | Value::Missing => base.path(attr),
+                        other => self.type_err(|| {
+                            format!(
+                                "cannot navigate attribute {attr:?} of a {}",
+                                other.kind().name()
+                            )
+                        })?,
+                    };
+                    stack.push(v);
+                }
+                Instr::Index => {
+                    let idx = stack.pop().expect("stack");
+                    let base = stack.pop().expect("stack");
+                    let v = if base.is_missing() || idx.is_missing() {
+                        Value::Missing
+                    } else if base.is_null() || idx.is_null() {
+                        Value::Null
+                    } else {
+                        match (&base, &idx) {
+                            (Value::Array(_), Value::Int(i)) => base.index(*i),
+                            _ => self.type_err(|| {
+                                format!(
+                                    "cannot index a {} with a {}",
+                                    base.kind().name(),
+                                    idx.kind().name()
+                                )
+                            })?,
+                        }
+                    };
+                    stack.push(v);
+                }
+                Instr::Bin(op) => {
+                    let rv = stack.pop().expect("stack");
+                    let lv = stack.pop().expect("stack");
+                    // Int×Int fast path. Overflow (and every non-int
+                    // pair) falls through to the general path, so
+                    // promotion and error semantics are untouched.
+                    let v = match (&lv, &rv) {
+                        (Value::Int(a), Value::Int(b)) => match int_fast_binop(*op, *a, *b) {
+                            Some(v) => v,
+                            None => self.binop_values(*op, &lv, &rv)?,
+                        },
+                        _ => self.binop_values(*op, &lv, &rv)?,
+                    };
+                    stack.push(v);
+                }
+                Instr::ShortCircuit { op, end } => {
+                    let lv = stack.last().expect("stack");
+                    let dominates = match op {
+                        BinOp::And => *lv == Value::Bool(false),
+                        _ => *lv == Value::Bool(true),
+                    };
+                    if dominates {
+                        pc = *end;
+                        continue;
+                    }
+                }
+                Instr::Logic(op) => {
+                    let rv = stack.pop().expect("stack");
+                    let lv = stack.pop().expect("stack");
+                    let (lb, rb) = (self.to_logical(&lv)?, self.to_logical(&rv)?);
+                    stack.push(match op {
+                        BinOp::And => and3(lb, rb),
+                        _ => or3(lb, rb),
+                    });
+                }
+                Instr::Un(op) => {
+                    let v = stack.pop().expect("stack");
+                    let out = if v.is_missing() {
+                        Value::Missing
+                    } else if v.is_null() {
+                        Value::Null
+                    } else {
+                        match op {
+                            UnOp::Not => match v {
+                                Value::Bool(b) => Value::Bool(!b),
+                                other => self.type_err(|| {
+                                    format!("NOT requires a boolean, found {}", other.kind().name())
+                                })?,
+                            },
+                            UnOp::Neg => self.lift_num(num_neg(&v))?,
+                            UnOp::Pos => {
+                                if v.is_number() {
+                                    v
+                                } else {
+                                    self.type_err(|| {
+                                        format!(
+                                            "unary + requires a number, found {}",
+                                            v.kind().name()
+                                        )
+                                    })?
+                                }
+                            }
+                        }
+                    };
+                    stack.push(out);
+                }
+                Instr::Is { test, negated } => {
+                    let v = stack.pop().expect("stack");
+                    let result = match test {
+                        IsTest::Null => v.is_absent(),
+                        IsTest::Missing => v.is_missing(),
+                        IsTest::Type(name) => type_test(&v, name),
+                    };
+                    stack.push(Value::Bool(result != *negated));
+                }
+                Instr::Like {
+                    has_escape,
+                    negated,
+                } => {
+                    let esc = has_escape.then(|| stack.pop().expect("stack"));
+                    let pat = stack.pop().expect("stack");
+                    let text = stack.pop().expect("stack");
+                    stack.push(self.like_values(&text, &pat, esc.as_ref(), *negated)?);
+                }
+                Instr::BetweenFinish { negated } => {
+                    let le = stack.pop().expect("stack");
+                    let ge = stack.pop().expect("stack");
+                    let both = logical_and(&ge, &le);
+                    stack.push(if *negated { logical_not(&both) } else { both });
+                }
+                Instr::JumpIfMissing(end) => {
+                    if stack.last().expect("stack").is_missing() {
+                        pc = *end;
+                        continue;
+                    }
+                }
+                Instr::InCollection { negated } => {
+                    let hay = stack.pop().expect("stack");
+                    let needle = stack.pop().expect("stack");
+                    let v = self.in_values(&needle, &hay)?;
+                    stack.push(if *negated { logical_not(&v) } else { v });
+                }
+                Instr::CaseJump { next, end } => {
+                    let cond = stack.pop().expect("stack");
+                    match cond {
+                        Value::Bool(true) => {}
+                        Value::Missing if self.config.compat == CompatMode::Composable => {
+                            stack.push(Value::Missing);
+                            pc = *end;
+                            continue;
+                        }
+                        _ => {
+                            pc = *next;
+                            continue;
+                        }
+                    }
+                }
+                Instr::Jump(target) => {
+                    pc = *target;
+                    continue;
+                }
+                Instr::Call { name, argc } => {
+                    let vals = stack.split_off(stack.len() - argc);
+                    let v = match functions::call(
+                        name,
+                        &vals,
+                        self.config.compat == CompatMode::SqlCompat,
+                    )? {
+                        Ok(v) => v,
+                        Err(msg) => self.type_err(|| msg)?,
+                    };
+                    stack.push(v);
+                }
+                Instr::Cast { target, ty } => {
+                    let v = stack.pop().expect("stack");
+                    let out = match cast(&v, *target) {
+                        Some(out) => out,
+                        None => self.type_err(|| {
+                            format!("cannot cast {} value {v} to {ty}", v.kind().name())
+                        })?,
+                    };
+                    stack.push(out);
+                }
+                Instr::BadCast(ty) => {
+                    return Err(EvalError::Type(format!("unknown CAST target type {ty}")));
+                }
+                Instr::TupleCtor(n) => {
+                    let vals = stack.split_off(stack.len() - 2 * n);
+                    let mut t = Tuple::with_capacity(*n);
+                    let mut it = vals.into_iter();
+                    while let (Some(name), Some(value)) = (it.next(), it.next()) {
+                        match name {
+                            Value::Str(s) => t.insert(s, value),
+                            Value::Missing | Value::Null => match self.config.typing {
+                                TypingMode::Permissive => {}
+                                TypingMode::StrictError => {
+                                    return Err(EvalError::Type(
+                                        "tuple attribute name is absent".to_string(),
+                                    ));
+                                }
+                            },
+                            other => {
+                                self.type_err(|| {
+                                    format!(
+                                        "tuple attribute name must be a string, found {}",
+                                        other.kind().name()
+                                    )
+                                })?;
+                            }
+                        }
+                    }
+                    stack.push(Value::Tuple(t));
+                }
+                Instr::ArrayCtor(n) => {
+                    let vals = stack.split_off(stack.len() - n);
+                    stack.push(Value::Array(
+                        vals.into_iter().filter(|v| !v.is_missing()).collect(),
+                    ));
+                }
+                Instr::BagCtor(n) => {
+                    let vals = stack.split_off(stack.len() - n);
+                    stack.push(Value::Bag(
+                        vals.into_iter().filter(|v| !v.is_missing()).collect(),
+                    ));
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
     /// Runs a nested plan with the current environment as its outer scope
     /// (correlated subqueries).
     fn run_in(&self, q: &CoreQuery, env: &Env) -> Result<Value, EvalError> {
@@ -1525,15 +2101,21 @@ impl<'a> Evaluator<'a> {
         }
         let lv = self.expr(l, env)?;
         let rv = self.expr(r, env)?;
+        self.binop_values(op, &lv, &rv)
+    }
+
+    /// The value-level half of every non-AND/OR binary operator — shared
+    /// between the tree-walker and the bytecode VM.
+    fn binop_values(&self, op: BinOp, lv: &Value, rv: &Value) -> Result<Value, EvalError> {
         match op {
-            BinOp::Eq => Ok(sql_eq(&lv, &rv)),
-            BinOp::NotEq => Ok(logical_not(&sql_eq(&lv, &rv))),
-            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => self.compare_values(op, &lv, &rv),
-            BinOp::Add => self.arith(NumOp::Add, &lv, &rv),
-            BinOp::Sub => self.arith(NumOp::Sub, &lv, &rv),
-            BinOp::Mul => self.arith(NumOp::Mul, &lv, &rv),
-            BinOp::Div => self.arith(NumOp::Div, &lv, &rv),
-            BinOp::Mod => self.arith(NumOp::Rem, &lv, &rv),
+            BinOp::Eq => Ok(sql_eq(lv, rv)),
+            BinOp::NotEq => Ok(logical_not(&sql_eq(lv, rv))),
+            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => self.compare_values(op, lv, rv),
+            BinOp::Add => self.arith(NumOp::Add, lv, rv),
+            BinOp::Sub => self.arith(NumOp::Sub, lv, rv),
+            BinOp::Mul => self.arith(NumOp::Mul, lv, rv),
+            BinOp::Div => self.arith(NumOp::Div, lv, rv),
+            BinOp::Mod => self.arith(NumOp::Rem, lv, rv),
             BinOp::Concat => {
                 if lv.is_missing() || rv.is_missing() {
                     return Ok(Value::Missing);
@@ -1636,10 +2218,19 @@ impl<'a> Evaluator<'a> {
             Some(e) => Some(self.expr(e, env)?),
             None => None,
         };
-        for v in [Some(&text), Some(&pat), esc.as_ref()]
-            .into_iter()
-            .flatten()
-        {
+        self.like_values(&text, &pat, esc.as_ref(), negated)
+    }
+
+    /// The value-level half of LIKE — shared between the tree-walker and
+    /// the bytecode VM.
+    fn like_values(
+        &self,
+        text: &Value,
+        pat: &Value,
+        esc: Option<&Value>,
+        negated: bool,
+    ) -> Result<Value, EvalError> {
+        for v in [Some(text), Some(pat), esc].into_iter().flatten() {
             if v.is_missing() {
                 return Ok(Value::Missing);
             }
@@ -1724,6 +2315,12 @@ impl<'a> Evaluator<'a> {
             }
         }
         let hay = self.expr(collection, env)?;
+        self.in_values(&needle, &hay)
+    }
+
+    /// The value-level membership half of IN (needle already known to be
+    /// non-MISSING) — shared between the tree-walker and the bytecode VM.
+    fn in_values(&self, needle: &Value, hay: &Value) -> Result<Value, EvalError> {
         if hay.is_missing() {
             return Ok(Value::Missing);
         }
@@ -1742,7 +2339,7 @@ impl<'a> Evaluator<'a> {
         }
         let mut saw_absent = false;
         for item in items {
-            match sql_eq(&needle, item) {
+            match sql_eq(needle, item) {
                 Value::Bool(true) => return Ok(Value::Bool(true)),
                 Value::Bool(false) => {}
                 _ => saw_absent = true,
@@ -1778,8 +2375,16 @@ impl<'a> Evaluator<'a> {
                 } = &plan.op
                 {
                     let mut acc = agg::Accumulator::new(func);
-                    for b in self.binding_stream(sub_in, env) {
-                        acc.push(&self.expr(expr, &b?)?);
+                    if let Some(r) = self.try_fused(sub_in, expr, env, |v| {
+                        acc.push(&v);
+                        Ok(())
+                    }) {
+                        r?;
+                    } else {
+                        drain_batched(self.binding_stream(sub_in, env), self.batch_size(), |b| {
+                            acc.push(&self.expr(expr, &b)?);
+                            Ok(())
+                        })?;
                     }
                     return match acc.finish() {
                         Ok(v) => Ok(v),
@@ -1895,6 +2500,25 @@ enum Logical {
     Bool(bool),
     Null,
     Missing,
+}
+
+/// Direct int arithmetic/comparison for the VM's `Bin` dispatch.
+/// `None` (overflow, division, concat, logic) defers to the general
+/// numeric tower so its promotion and error semantics stay canonical.
+#[inline]
+fn int_fast_binop(op: BinOp, a: i64, b: i64) -> Option<Value> {
+    match op {
+        BinOp::Add => a.checked_add(b).map(Value::Int),
+        BinOp::Sub => a.checked_sub(b).map(Value::Int),
+        BinOp::Mul => a.checked_mul(b).map(Value::Int),
+        BinOp::Eq => Some(Value::Bool(a == b)),
+        BinOp::NotEq => Some(Value::Bool(a != b)),
+        BinOp::Lt => Some(Value::Bool(a < b)),
+        BinOp::LtEq => Some(Value::Bool(a <= b)),
+        BinOp::Gt => Some(Value::Bool(a > b)),
+        BinOp::GtEq => Some(Value::Bool(a >= b)),
+        _ => None,
+    }
 }
 
 fn and3(a: Logical, b: Logical) -> Value {
@@ -2066,6 +2690,399 @@ impl<'s, 'a> Iterator for SharedScan<'s, 'a> {
             }
         }
         Some(Ok(e))
+    }
+}
+
+impl<'s, 'a> Stream<Env> for SharedScan<'s, 'a> {
+    fn next_batch(&mut self, out: &mut Vec<Env>, max: usize) -> Result<(), EvalError> {
+        let (items, is_array) = match &*self.source {
+            Value::Bag(items) => (items, false),
+            Value::Array(items) => (items, true),
+            _ => unreachable!("SharedScan is only built over collections"),
+        };
+        let end = (self.idx.saturating_add(max)).min(items.len());
+        if self.idx >= end {
+            return Ok(());
+        }
+        if self.at_var.is_some()
+            && !is_array
+            && matches!(self.ev.config.typing, TypingMode::StrictError)
+        {
+            // The row path counts the pull before surfacing the AT error.
+            if let Some(st) = &self.ev.stats {
+                st.add_rows_scanned(1);
+            }
+            self.idx = items.len();
+            return Err(EvalError::Type(
+                "AT position variable over an unordered bag".to_string(),
+            ));
+        }
+        if let Some(st) = &self.ev.stats {
+            st.add_rows_scanned((end - self.idx) as u64);
+        }
+        out.reserve(end - self.idx);
+        for (i, item) in items.iter().enumerate().take(end).skip(self.idx) {
+            let mut e = self.env.bind(self.as_var.clone(), item.clone());
+            if let Some(at) = &self.at_var {
+                let pos = if is_array {
+                    Value::Int(i as i64)
+                } else {
+                    Value::Missing
+                };
+                e = e.bind(at.clone(), pos);
+            }
+            out.push(e);
+        }
+        self.idx = end;
+        Ok(())
+    }
+}
+
+/// An owned scan source (a computed collection): the batch path binds a
+/// whole run of elements per pull and amortizes the scan counter.
+struct OwnedScan<'s, 'a> {
+    ev: &'s Evaluator<'a>,
+    items: std::vec::IntoIter<Value>,
+    /// Position of the next element (AT values for arrays).
+    next_idx: usize,
+    is_array: bool,
+    /// Strict mode refuses AT over an unordered bag — checked per pulled
+    /// row, after the scan counter, like the row path always did.
+    strict_bag_at: bool,
+    as_var: Rc<str>,
+    at_var: Option<Rc<str>>,
+    env: Env,
+}
+
+impl<'s, 'a> OwnedScan<'s, 'a> {
+    fn bind_row(&self, item: Value, i: usize) -> Env {
+        let mut e = self.env.bind(self.as_var.clone(), item);
+        if let Some(at) = &self.at_var {
+            let pos = if self.is_array {
+                Value::Int(i as i64)
+            } else {
+                Value::Missing
+            };
+            e = e.bind(at.clone(), pos);
+        }
+        e
+    }
+}
+
+impl<'s, 'a> Iterator for OwnedScan<'s, 'a> {
+    type Item = Result<Env, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.items.next()?;
+        if let Some(st) = &self.ev.stats {
+            st.add_rows_scanned(1);
+        }
+        if self.strict_bag_at {
+            return Some(Err(EvalError::Type(
+                "AT position variable over an unordered bag".to_string(),
+            )));
+        }
+        let i = self.next_idx;
+        self.next_idx += 1;
+        Some(Ok(self.bind_row(item, i)))
+    }
+}
+
+impl<'s, 'a> Stream<Env> for OwnedScan<'s, 'a> {
+    fn next_batch(&mut self, out: &mut Vec<Env>, max: usize) -> Result<(), EvalError> {
+        if self.items.len() == 0 || max == 0 {
+            return Ok(());
+        }
+        if self.strict_bag_at {
+            if self.items.next().is_none() {
+                return Ok(());
+            }
+            if let Some(st) = &self.ev.stats {
+                st.add_rows_scanned(1);
+            }
+            return Err(EvalError::Type(
+                "AT position variable over an unordered bag".to_string(),
+            ));
+        }
+        let take = self.items.len().min(max);
+        if let Some(st) = &self.ev.stats {
+            st.add_rows_scanned(take as u64);
+        }
+        out.reserve(take);
+        for _ in 0..take {
+            let item = self.items.next().expect("length checked");
+            let i = self.next_idx;
+            self.next_idx += 1;
+            out.push(self.bind_row(item, i));
+        }
+        Ok(())
+    }
+}
+
+/// `SELECT VALUE` as a stream: maps the projection over the input
+/// bindings. The batch path evaluates a whole pulled batch per call —
+/// the inner request passes `max` through, so a LIMIT above still bounds
+/// how much of the input is materialized.
+struct ProjectStream<'s, 'a> {
+    ev: &'s Evaluator<'a>,
+    expr: &'s CoreExpr,
+    inner: BindingStream<'s>,
+    buf: Vec<Env>,
+    done: bool,
+}
+
+impl<'s, 'a> Iterator for ProjectStream<'s, 'a> {
+    type Item = Result<Value, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.inner.next() {
+            None => {
+                self.done = true;
+                None
+            }
+            Some(Err(e)) => {
+                self.done = true;
+                Some(Err(e))
+            }
+            Some(Ok(b)) => Some(self.ev.expr(self.expr, &b)),
+        }
+    }
+}
+
+impl<'s, 'a> Stream<Value> for ProjectStream<'s, 'a> {
+    fn next_batch(&mut self, out: &mut Vec<Value>, max: usize) -> Result<(), EvalError> {
+        if self.done {
+            return Ok(());
+        }
+        self.buf.clear();
+        let r = self.inner.next_batch(&mut self.buf, max);
+        let got = self.buf.len();
+        let mut err = None;
+        for b in self.buf.drain(..) {
+            if err.is_some() {
+                break;
+            }
+            match self.ev.expr(self.expr, &b) {
+                Ok(v) => out.push(v),
+                Err(e) => err = Some(e),
+            }
+        }
+        if let Some(e) = err {
+            self.done = true;
+            return Err(e);
+        }
+        if let Err(e) = r {
+            self.done = true;
+            return Err(e);
+        }
+        if got == 0 {
+            self.done = true;
+        }
+        Ok(())
+    }
+}
+
+/// WHERE as a stream: keeps bindings whose predicate is exactly TRUE.
+/// The batch path filters a whole pulled batch per call, re-pulling
+/// until something passes or the input is exhausted (so callers see the
+/// protocol's "empty append means exhausted" invariant).
+struct FilterStream<'s, 'a> {
+    ev: &'s Evaluator<'a>,
+    pred: &'s CoreExpr,
+    inner: BindingStream<'s>,
+    buf: Vec<Env>,
+    done: bool,
+}
+
+impl<'s, 'a> Iterator for FilterStream<'s, 'a> {
+    type Item = Result<Env, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.inner.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(b)) => match self.ev.expr(self.pred, &b) {
+                    Ok(Value::Bool(true)) => return Some(Ok(b)),
+                    Ok(_) => {}
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                },
+            }
+        }
+    }
+}
+
+impl<'s, 'a> Stream<Env> for FilterStream<'s, 'a> {
+    fn next_batch(&mut self, out: &mut Vec<Env>, max: usize) -> Result<(), EvalError> {
+        if self.done {
+            return Ok(());
+        }
+        let start = out.len();
+        while out.len() == start {
+            self.buf.clear();
+            let r = self.inner.next_batch(&mut self.buf, max);
+            let got = self.buf.len();
+            let mut err = None;
+            for b in self.buf.drain(..) {
+                if err.is_some() {
+                    break;
+                }
+                match self.ev.expr(self.pred, &b) {
+                    Ok(Value::Bool(true)) => out.push(b),
+                    Ok(_) => {}
+                    Err(e) => err = Some(e),
+                }
+            }
+            if let Some(e) = err {
+                self.done = true;
+                return Err(e);
+            }
+            if let Err(e) = r {
+                self.done = true;
+                return Err(e);
+            }
+            if got == 0 {
+                self.done = true;
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Left-correlated FROM product (comma lists, UNNEST): for each left
+/// binding, the right item streams in the extended environment. The
+/// batch path drains the current right stream batch-at-a-time; left rows
+/// still arrive one at a time (each re-opens the right side).
+struct CorrelateStream<'s, 'a> {
+    ev: &'s Evaluator<'a>,
+    right: &'s CoreFrom,
+    whole: &'s CoreOp,
+    left: BindingStream<'s>,
+    cur: Option<BindingStream<'s>>,
+    done: bool,
+}
+
+impl<'s, 'a> Iterator for CorrelateStream<'s, 'a> {
+    type Item = Result<Env, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if let Some(cur) = &mut self.cur {
+                match cur.next() {
+                    Some(Ok(b)) => return Some(Ok(b)),
+                    Some(Err(e)) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    None => self.cur = None,
+                }
+            }
+            match self.left.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(l)) => {
+                    self.cur = Some(self.ev.from_stream(self.right, self.whole, &l));
+                }
+            }
+        }
+    }
+}
+
+impl<'s, 'a> Stream<Env> for CorrelateStream<'s, 'a> {
+    fn next_batch(&mut self, out: &mut Vec<Env>, max: usize) -> Result<(), EvalError> {
+        if self.done {
+            return Ok(());
+        }
+        let start = out.len();
+        loop {
+            if out.len() - start >= max {
+                return Ok(());
+            }
+            if let Some(cur) = self.cur.as_mut() {
+                let before = out.len();
+                let want = max - (before - start);
+                let r = cur.next_batch(out, want);
+                let exhausted = out.len() == before;
+                if let Err(e) = r {
+                    self.done = true;
+                    return Err(e);
+                }
+                if exhausted {
+                    self.cur = None;
+                }
+                continue;
+            }
+            match self.left.next() {
+                None => {
+                    self.done = true;
+                    return Ok(());
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Err(e);
+                }
+                Some(Ok(l)) => {
+                    self.cur = Some(self.ev.from_stream(self.right, self.whole, &l));
+                }
+            }
+        }
+    }
+}
+
+/// Fully drains a stream through the batch protocol, calling `f` per
+/// row — the batched replacement for a `for` loop over the stream. Rows
+/// that arrived before a mid-batch error are processed first, matching
+/// the row-at-a-time order of effects exactly.
+fn drain_batched<T>(
+    mut stream: Box<dyn Stream<T> + '_>,
+    batch_size: usize,
+    mut f: impl FnMut(T) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let mut batch: Vec<T> = Vec::new();
+    loop {
+        let r = stream.next_batch(&mut batch, batch_size);
+        let got = batch.len();
+        let mut err = None;
+        for v in batch.drain(..) {
+            if err.is_some() {
+                break;
+            }
+            if let Err(e) = f(v) {
+                err = Some(e);
+            }
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        r?;
+        if got == 0 {
+            return Ok(());
+        }
     }
 }
 
@@ -2258,6 +3275,11 @@ impl<'s, 'a> Iterator for NestedLoop<'s, 'a> {
     }
 }
 
+// The nested-loop join stays row-at-a-time even under batching: each
+// produced row can re-open the right side, so there is no run of work to
+// amortize — the default shim preserves its per-row tick semantics.
+impl<'s, 'a> Stream<Env> for NestedLoop<'s, 'a> {}
+
 /// Streaming hash-join probe: the build side is already materialized
 /// (tracked live by its gauge); left rows are pulled one at a time and
 /// probed, so a LIMIT above the join stops the left scan early.
@@ -2356,6 +3378,50 @@ impl<'s, 'a> Iterator for HashProbe<'s, 'a> {
                     Err(e) => {
                         self.done = true;
                         return Some(Err(e));
+                    }
+                    Ok(matched) => {
+                        if !matched && self.kind == CoreJoinKind::Left {
+                            let mut padded = l.clone();
+                            for name in &self.names {
+                                padded = padded.bind(name.clone(), Value::Null);
+                            }
+                            self.pending.push_back(padded);
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+impl<'s, 'a> Stream<Env> for HashProbe<'s, 'a> {
+    fn next_batch(&mut self, out: &mut Vec<Env>, max: usize) -> Result<(), EvalError> {
+        let start = out.len();
+        loop {
+            while out.len() - start < max {
+                let Some(e) = self.pending.pop_front() else {
+                    break;
+                };
+                out.push(e);
+            }
+            if out.len() - start >= max || self.done {
+                return Ok(());
+            }
+            // The left side is still pulled one row at a time: a LIMIT
+            // above the join must be able to stop the left scan early.
+            match self.left.next() {
+                None => {
+                    self.done = true;
+                    return Ok(());
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Err(e);
+                }
+                Some(Ok(l)) => match self.probe(&l) {
+                    Err(e) => {
+                        self.done = true;
+                        return Err(e);
                     }
                     Ok(matched) => {
                         if !matched && self.kind == CoreJoinKind::Left {

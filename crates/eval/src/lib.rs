@@ -20,6 +20,7 @@
 
 pub mod agg;
 mod arith;
+mod bytecode;
 mod cast;
 mod env;
 mod error;
@@ -37,3 +38,4 @@ pub use govern::{CancelToken, FaultInjector, FaultSite, Limits, ResourceGovernor
 pub use interp::{EvalConfig, Evaluator};
 pub use like::like_match;
 pub use stats::{ExecStats, OpStats, StatsCollector};
+pub use stream::DEFAULT_BATCH_SIZE;

@@ -23,6 +23,20 @@ use std::time::Duration;
 
 use sqlpp_plan::{CoreOp, CoreQuery};
 
+/// How an operator's expressions were evaluated, for `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExprMode {
+    /// The operator evaluated no expressions (or none were recorded).
+    #[default]
+    None,
+    /// Every expression ran as compiled bytecode.
+    Bytecode,
+    /// Every expression fell back to the tree-walking interpreter.
+    TreeWalk,
+    /// Some expressions compiled, some fell back.
+    Mixed,
+}
+
 /// Counters for one operator node (inclusive of its children).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpStats {
@@ -36,6 +50,11 @@ pub struct OpStats {
     /// High-water mark of rows this operator held materialized at once
     /// (zero for fully streaming operators).
     pub peak_rows: u64,
+    /// Batches the operator emitted through the batch pull protocol —
+    /// zero means every pull was row-at-a-time.
+    pub batches: u64,
+    /// Whether this operator's expressions ran as bytecode or tree-walk.
+    pub expr_mode: ExprMode,
 }
 
 /// A finished statistics snapshot: phase wall times plus counters.
@@ -94,6 +113,14 @@ pub struct ExecStats {
     pub mem_budget: Option<u64>,
     /// The wall-clock deadline in effect (milliseconds), if one was set.
     pub time_budget_ms: Option<u64>,
+    /// Non-empty batches emitted through the batch pull protocol across
+    /// all instrumented operators (zero for a fully row-at-a-time run).
+    pub batches_produced: u64,
+    /// Expressions compiled to bytecode for this run.
+    pub exprs_compiled: u64,
+    /// Expressions that fell back to the tree-walking interpreter
+    /// (uncovered forms: subqueries, EXISTS, collection aggregates).
+    pub exprs_fallback: u64,
     /// Per-operator counters, keyed by pre-order plan index (see
     /// [`sqlpp_plan::CoreQuery::preorder_ops`]).
     pub ops: HashMap<u32, OpStats>,
@@ -124,6 +151,9 @@ impl ExecStats {
             ("budget_denials", self.budget_denials),
             ("cancel_checks", self.cancel_checks),
             ("peak_budget_used", self.peak_budget_used),
+            ("batches_produced", self.batches_produced),
+            ("exprs_compiled", self.exprs_compiled),
+            ("exprs_fallback", self.exprs_fallback),
         ]
     }
 
@@ -208,6 +238,9 @@ pub struct StatsCollector {
     op_index: RefCell<HashMap<usize, u32>>,
     next_op_index: Cell<u32>,
     ops: RefCell<HashMap<u32, OpStats>>,
+    batches_produced: Cell<u64>,
+    exprs_compiled: Cell<u64>,
+    exprs_fallback: Cell<u64>,
 }
 
 impl StatsCollector {
@@ -245,6 +278,31 @@ impl StatsCollector {
         e.calls += 1;
         e.rows_out += rows;
         e.ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Counts `batches` non-empty batched pulls emitted by an operator.
+    pub fn record_op_batches(&self, key: u32, batches: u64) {
+        let mut ops = self.ops.borrow_mut();
+        let e = ops.entry(key).or_default();
+        e.batches += batches;
+    }
+
+    /// Records whether an operator's expression ran as bytecode
+    /// (`compiled`) or fell back to the tree-walker; repeated calls with
+    /// differing modes merge to [`ExprMode::Mixed`].
+    pub fn record_op_expr_mode(&self, key: u32, compiled: bool) {
+        let mode = if compiled {
+            ExprMode::Bytecode
+        } else {
+            ExprMode::TreeWalk
+        };
+        let mut ops = self.ops.borrow_mut();
+        let e = ops.entry(key).or_default();
+        e.expr_mode = match (e.expr_mode, mode) {
+            (ExprMode::None, m) => m,
+            (old, m) if old == m => old,
+            _ => ExprMode::Mixed,
+        };
     }
 
     /// Raises an operator's materialization high-water mark to at least
@@ -322,6 +380,21 @@ impl StatsCollector {
         self.right_rescans.set(self.right_rescans.get() + n);
     }
 
+    /// Counts non-empty batches emitted through the batch pull protocol.
+    pub fn add_batches_produced(&self, n: u64) {
+        self.batches_produced.set(self.batches_produced.get() + n);
+    }
+
+    /// Counts an expression compiled to bytecode.
+    pub fn add_expr_compiled(&self) {
+        self.exprs_compiled.set(self.exprs_compiled.get() + 1);
+    }
+
+    /// Counts an expression that fell back to the tree-walker.
+    pub fn add_expr_fallback(&self) {
+        self.exprs_fallback.set(self.exprs_fallback.get() + 1);
+    }
+
     /// Snapshots the counters into an [`ExecStats`] (phase times zeroed —
     /// the engine fills those).
     pub fn snapshot(&self) -> ExecStats {
@@ -341,6 +414,9 @@ impl StatsCollector {
             join_build_rows: self.join_build_rows.get(),
             right_rescans: self.right_rescans.get(),
             peak_live_bindings: self.peak_live_bindings.get(),
+            batches_produced: self.batches_produced.get(),
+            exprs_compiled: self.exprs_compiled.get(),
+            exprs_fallback: self.exprs_fallback.get(),
             ops: self.ops.borrow().clone(),
             // Governor counters are filled by the evaluator (the governor
             // owns them so budgets work with stats collection off).

@@ -7,6 +7,17 @@
 //! pulling as soon as they have what they need — instead of truncating a
 //! fully materialized `Vec`.
 //!
+//! On top of the row protocol sits a *batch* protocol: [`Stream::next_batch`]
+//! appends up to `max` rows into a caller-owned buffer in one virtual call,
+//! so full-consumption operators (projection, sort fill, aggregation,
+//! DISTINCT) amortize dynamic dispatch, governor ticks, and stat increments
+//! across ~[`DEFAULT_BATCH_SIZE`] rows instead of paying them per row. Every
+//! adapter gets a row-at-a-time shim for free (the trait's default method),
+//! so unported adapters keep working; hot adapters override it. Quota-aware
+//! consumers (`LIMIT k`) pass a small `max`, which keeps the scan-pull
+//! guarantees (B12) intact: a batched stream never pulls more than `max`
+//! rows per call from its input.
+//!
 //! True pipeline breakers (ORDER BY, GROUP BY, window, DISTINCT, hash-join
 //! and set-op build sides) still buffer, but only ever through
 //! [`TrackedBuffer`]/[`MatGauge`], which feed the `peak_live_bindings`
@@ -15,7 +26,10 @@
 //!
 //! Error convention: a stream that yields `Err` is *finished*; consumers
 //! must stop pulling after the first error, and streams make no promise
-//! about what further `next()` calls return.
+//! about what further `next()` calls return. For `next_batch` the same
+//! convention holds batch-wise: on `Err` the buffer holds the valid rows
+//! produced *before* the error (in pull order), and the stream is finished.
+//! A call that appends zero rows and returns `Ok` means exhaustion.
 
 use std::time::Instant;
 
@@ -27,34 +41,111 @@ use crate::error::EvalError;
 use crate::govern::ResourceGovernor;
 use crate::stats::StatsCollector;
 
+/// The default unit of pull for full-consumption operators.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Within a batch materialization loop, tick the governor once per this
+/// many rows so one huge batch cannot blow past a deadline unchecked.
+pub(crate) const BATCH_TICK_ROWS: usize = 64;
+
+/// A pull stream with both a row protocol (the `Iterator` supertrait) and
+/// a batch protocol. Implementors override `next_batch` when they can
+/// produce rows in bulk cheaper than `max` virtual `next()` calls.
+pub(crate) trait Stream<T>: Iterator<Item = Result<T, EvalError>> {
+    /// Appends up to `max` rows to `out`. Appending zero rows (with `Ok`)
+    /// means the stream is exhausted; fewer than `max` rows does *not*.
+    /// On `Err` the rows appended before the error are valid and the
+    /// stream is finished.
+    fn next_batch(&mut self, out: &mut Vec<T>, max: usize) -> Result<(), EvalError> {
+        for _ in 0..max {
+            match self.next() {
+                None => break,
+                Some(Ok(v)) => out.push(v),
+                Some(Err(e)) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T, S: Stream<T> + ?Sized> Stream<T> for Box<S> {
+    fn next_batch(&mut self, out: &mut Vec<T>, max: usize) -> Result<(), EvalError> {
+        (**self).next_batch(out, max)
+    }
+}
+
+/// Adapts any plain iterator into a [`Stream`] via the row-at-a-time shim.
+pub(crate) struct Rows<I>(pub(crate) I);
+
+impl<I, T> Iterator for Rows<I>
+where
+    I: Iterator<Item = Result<T, EvalError>>,
+{
+    type Item = Result<T, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+}
+
+impl<I, T> Stream<T> for Rows<I> where I: Iterator<Item = Result<T, EvalError>> {}
+
 /// A lazy stream of binding environments.
-pub(crate) type BindingStream<'s> = Box<dyn Iterator<Item = Result<Env, EvalError>> + 's>;
+pub(crate) type BindingStream<'s> = Box<dyn Stream<Env> + 's>;
 
 /// A lazy stream of output values (elements of a bag under construction).
-pub(crate) type ValueStream<'s> = Box<dyn Iterator<Item = Result<Value, EvalError>> + 's>;
+pub(crate) type ValueStream<'s> = Box<dyn Stream<Value> + 's>;
+
+/// Boxes a plain iterator as a stream (row-at-a-time batch shim).
+pub(crate) fn boxed<'s, T: 's>(
+    it: impl Iterator<Item = Result<T, EvalError>> + 's,
+) -> Box<dyn Stream<T> + 's> {
+    Box::new(Rows(it))
+}
 
 /// A stream that has already failed: yields the error once, then ends.
-pub(crate) fn failed<'s, T: 's>(
-    e: EvalError,
-) -> Box<dyn Iterator<Item = Result<T, EvalError>> + 's> {
-    Box::new(std::iter::once(Err(e)))
+pub(crate) fn failed<'s, T: 's>(e: EvalError) -> Box<dyn Stream<T> + 's> {
+    boxed(std::iter::once(Err(e)))
 }
 
 /// The empty stream.
-pub(crate) fn empty<'s, T: 's>() -> Box<dyn Iterator<Item = Result<T, EvalError>> + 's> {
-    Box::new(std::iter::empty())
+pub(crate) fn empty<'s, T: 's>() -> Box<dyn Stream<T> + 's> {
+    boxed(std::iter::empty())
+}
+
+/// Streams an already-materialized vector, batch-aware: a `next_batch`
+/// moves a whole chunk without per-row dispatch.
+pub(crate) struct VecStream<T> {
+    items: std::vec::IntoIter<T>,
+}
+
+impl<T> Iterator for VecStream<T> {
+    type Item = Result<T, EvalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.items.next().map(Ok)
+    }
+}
+
+impl<T> Stream<T> for VecStream<T> {
+    fn next_batch(&mut self, out: &mut Vec<T>, max: usize) -> Result<(), EvalError> {
+        out.extend(self.items.by_ref().take(max));
+        Ok(())
+    }
 }
 
 /// Streams an already-materialized vector.
-pub(crate) fn from_vec<'s, T: 's>(
-    items: Vec<T>,
-) -> Box<dyn Iterator<Item = Result<T, EvalError>> + 's> {
-    Box::new(items.into_iter().map(Ok))
+pub(crate) fn from_vec<'s, T: 's>(items: Vec<T>) -> Box<dyn Stream<T> + 's> {
+    Box::new(VecStream {
+        items: items.into_iter(),
+    })
 }
 
 /// LIMIT/OFFSET as a stream adapter: skips `offset` rows, then yields at
 /// most `limit`, and — crucially — stops *pulling* from its input once the
-/// quota is met. Errors pass through without consuming quota.
+/// quota is met. Errors pass through without consuming quota. The batch
+/// path bounds every inner pull by `remaining skip + remaining quota`, so
+/// batching never over-pulls a limited scan.
 pub(crate) struct Limited<I> {
     inner: I,
     skip: usize,
@@ -102,16 +193,55 @@ where
     }
 }
 
-/// Per-operator instrumentation for a stream: counts rows out and wall
-/// time spent inside this operator's `next()` (inclusive of children, as
-/// the tree renderer expects), recording one "call" when dropped. Only
-/// constructed when stats collection is on, so the ordinary path carries
-/// no timer at all.
+impl<I, T> Stream<T> for Limited<I>
+where
+    I: Stream<T>,
+{
+    fn next_batch(&mut self, out: &mut Vec<T>, max: usize) -> Result<(), EvalError> {
+        let mut produced = 0;
+        while produced < max {
+            if self.take == Some(0) {
+                break;
+            }
+            let quota = self.take.unwrap_or(max - produced).min(max - produced);
+            let want = quota.saturating_add(self.skip);
+            let start = out.len();
+            let r = self.inner.next_batch(out, want);
+            let got = out.len() - start;
+            let dropped = self.skip.min(got);
+            if dropped > 0 {
+                out.drain(start..start + dropped);
+                self.skip -= dropped;
+            }
+            let kept = got - dropped;
+            if let Some(t) = &mut self.take {
+                *t -= kept.min(*t);
+            }
+            produced += kept;
+            if let Err(e) = r {
+                self.take = Some(0);
+                return Err(e);
+            }
+            if got == 0 {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-operator instrumentation for a stream: counts rows and batches out
+/// and wall time spent inside this operator's pulls (inclusive of
+/// children, as the tree renderer expects), recording one "call" when
+/// dropped. Only constructed when stats collection is on, so the ordinary
+/// path carries no timer at all. A batched pull pays one timer sample per
+/// batch — this is where per-row stat overhead amortizes.
 pub(crate) struct Instrumented<'s, I> {
     inner: I,
     stats: &'s StatsCollector,
     key: u32,
     rows: u64,
+    batches: u64,
     ns: u64,
     /// The operator is a FROM: its rows also count as `bindings_produced`.
     count_bindings: bool,
@@ -129,6 +259,7 @@ impl<'s, I> Instrumented<'s, I> {
             stats,
             key: stats.key_for(op),
             rows: 0,
+            batches: 0,
             ns: 0,
             count_bindings,
         }
@@ -152,6 +283,25 @@ where
     }
 }
 
+impl<'s, I, T> Stream<T> for Instrumented<'s, I>
+where
+    I: Stream<T>,
+{
+    fn next_batch(&mut self, out: &mut Vec<T>, max: usize) -> Result<(), EvalError> {
+        let start = out.len();
+        let t = Instant::now();
+        let r = self.inner.next_batch(out, max);
+        self.ns += t.elapsed().as_nanos() as u64;
+        let got = (out.len() - start) as u64;
+        self.rows += got;
+        if got > 0 {
+            self.batches += 1;
+            self.stats.add_batches_produced(1);
+        }
+        r
+    }
+}
+
 impl<'s, I> Drop for Instrumented<'s, I> {
     fn drop(&mut self) {
         self.stats.record_op(
@@ -159,6 +309,9 @@ impl<'s, I> Drop for Instrumented<'s, I> {
             self.rows,
             std::time::Duration::from_nanos(self.ns),
         );
+        if self.batches > 0 {
+            self.stats.record_op_batches(self.key, self.batches);
+        }
         if self.count_bindings {
             self.stats.add_bindings_produced(self.rows);
         }
@@ -272,6 +425,12 @@ impl<'s, T> TrackedBuffer<'s, T> {
 /// constructed when a deadline or token is attached, so ungoverned pulls
 /// carry no overhead. Fused: after the inner stream ends or errors, no
 /// further governor errors are manufactured.
+///
+/// A batched pull ticks once up front and then once per
+/// [`BATCH_TICK_ROWS`] rows the batch produced, so a full batch can never
+/// advance the pipeline by more than 64 rows between deadline/cancel
+/// observations — while the *real* clock/token inspection still amortizes
+/// to roughly once per 4096 rows.
 pub(crate) struct Governed<'s, I> {
     inner: I,
     govern: &'s ResourceGovernor,
@@ -308,5 +467,32 @@ where
             Some(Ok(_)) => {}
         }
         item
+    }
+}
+
+impl<'s, I, T> Stream<T> for Governed<'s, I>
+where
+    I: Stream<T>,
+{
+    fn next_batch(&mut self, out: &mut Vec<T>, max: usize) -> Result<(), EvalError> {
+        if self.done {
+            return Ok(());
+        }
+        if let Err(e) = self.govern.tick() {
+            self.done = true;
+            return Err(e);
+        }
+        let start = out.len();
+        let r = self.inner.next_batch(out, max);
+        let got = out.len() - start;
+        if r.is_err() || got == 0 {
+            self.done = true;
+        }
+        r?;
+        if let Err(e) = self.govern.tick_rows(got as u64) {
+            self.done = true;
+            return Err(e);
+        }
+        Ok(())
     }
 }

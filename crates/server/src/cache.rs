@@ -36,12 +36,24 @@ struct Key {
     epoch: u64,
 }
 
+/// A cached plan plus its last-touched tick — the recency order for LRU
+/// eviction. Ticks come from one monotone counter shared by lookups and
+/// inserts, so "smallest tick" is always "least recently used".
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<Prepared>,
+    tick: u64,
+}
+
 /// A bounded, thread-shared plan cache (see module docs for the keying
-/// invariant).
+/// invariant). Eviction is LRU: at capacity, the single least-recently
+/// used entry makes room — a hot plan is never dropped just because an
+/// unrelated query filled the cache.
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
-    map: Mutex<HashMap<Key, Arc<Prepared>>>,
+    map: Mutex<HashMap<Key, Entry>>,
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
@@ -53,10 +65,17 @@ impl PlanCache {
         PlanCache {
             capacity,
             map: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
         }
+    }
+
+    /// The next recency tick. Relaxed is fine: ticks only order entries
+    /// against each other, and every use happens under the map lock.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Whitespace/comment-insensitive form of a query: its token texts
@@ -100,12 +119,12 @@ impl PlanCache {
             compat,
             epoch,
         };
-        let found = self
-            .map
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
-            .cloned();
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let found = map.get_mut(&key).map(|entry| {
+            entry.tick = self.tick();
+            Arc::clone(&entry.plan)
+        });
+        drop(map);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -141,13 +160,26 @@ impl PlanCache {
             self.invalidations
                 .fetch_add(purged as u64, Ordering::Relaxed);
         }
-        if map.len() >= self.capacity {
-            // Full of same-epoch plans: drop the lot rather than track
-            // recency — repreparing is cheap and bounded, unbounded
-            // growth is not.
-            map.clear();
+        while map.len() >= self.capacity && !map.contains_key(&key) {
+            // Full of same-epoch plans: evict the least recently used
+            // one. A hot plan keeps its slot no matter how many distinct
+            // queries pass through.
+            let Some(lru) = map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            map.remove(&lru);
         }
-        map.insert(key, Arc::clone(&prepared));
+        map.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&prepared),
+                tick: self.tick(),
+            },
+        );
         Ok(prepared)
     }
 
@@ -227,6 +259,36 @@ mod tests {
             .get(&text, compat, engine.catalog().schema_epoch())
             .is_none());
         assert_eq!(cache.stats().size, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_entry_only() {
+        let engine = engine();
+        let cache = PlanCache::new(2);
+        let compat = engine.config().compat;
+        let epoch = engine.catalog().schema_epoch();
+        let q1 = PlanCache::normalize("SELECT VALUE t FROM t AS t");
+        let q2 = PlanCache::normalize("SELECT VALUE t + 1 FROM t AS t");
+        let q3 = PlanCache::normalize("SELECT VALUE t + 2 FROM t AS t");
+
+        cache.prepare_and_insert(&engine, &q1, compat).unwrap();
+        cache.prepare_and_insert(&engine, &q2, compat).unwrap();
+        // Touch q1: it is now more recently used than q2.
+        assert!(cache.get(&q1, compat, epoch).is_some());
+
+        // Inserting a third plan at capacity 2 must evict q2 (the LRU),
+        // not q1, and must not clear the whole cache.
+        cache.prepare_and_insert(&engine, &q3, compat).unwrap();
+        assert_eq!(cache.stats().size, 2);
+        assert!(cache.get(&q1, compat, epoch).is_some(), "hot entry kept");
+        assert!(cache.get(&q3, compat, epoch).is_some(), "new entry kept");
+        assert!(cache.get(&q2, compat, epoch).is_none(), "LRU evicted");
+
+        // Re-inserting an already-resident key at capacity evicts
+        // nothing: it just refreshes the entry in place.
+        cache.prepare_and_insert(&engine, &q1, compat).unwrap();
+        assert_eq!(cache.stats().size, 2);
+        assert!(cache.get(&q3, compat, epoch).is_some());
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl Tuple {
     }
 
     /// First value bound to `name`, if any.
+    #[inline]
     pub fn get(&self, name: &str) -> Option<&Value> {
         self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }

@@ -102,21 +102,25 @@ impl Value {
     }
 
     /// True for the two absent values, NULL and MISSING.
+    #[inline]
     pub fn is_absent(&self) -> bool {
         matches!(self, Value::Missing | Value::Null)
     }
 
     /// True only for MISSING.
+    #[inline]
     pub fn is_missing(&self) -> bool {
         matches!(self, Value::Missing)
     }
 
     /// True only for NULL.
+    #[inline]
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
 
     /// True for any numeric scalar.
+    #[inline]
     pub fn is_number(&self) -> bool {
         matches!(self, Value::Int(_) | Value::Float(_) | Value::Decimal(_))
     }
@@ -213,6 +217,7 @@ impl Value {
     /// `attr` in a tuple, and MISSING when the receiver is not a tuple or
     /// the attribute is absent. Navigation on NULL yields NULL (the
     /// receiver is *present* but unknown), mirroring PartiQL.
+    #[inline]
     pub fn path(&self, attr: &str) -> Value {
         match self {
             Value::Tuple(t) => t.get(attr).cloned().unwrap_or(Value::Missing),
@@ -223,6 +228,7 @@ impl Value {
 
     /// Index navigation `self[i]` for arrays; MISSING when out of bounds or
     /// the receiver is not an array; NULL receiver propagates NULL.
+    #[inline]
     pub fn index(&self, i: i64) -> Value {
         match self {
             Value::Array(v) => {

@@ -61,6 +61,22 @@ grep -q '"peak_budget_used"' "$governor_report" || { echo "peak_budget_used miss
 grep -q '"budget_denials"' "$governor_report" || { echo "budget_denials missing from $governor_report" >&2; exit 1; }
 echo "governor OK: $governor_report"
 
+echo "== vectorized smoke + speedup gate (B17) =="
+# B17's own asserts ARE the gate: at the cache-resident gate size the
+# batched+bytecode engine must be ≥5× the row-at-a-time tree-walking
+# path on scan/filter/aggregate shapes, an instrumented run must prove
+# the batch protocol and compiler actually engaged (batches_produced,
+# exprs_compiled > 0), and governed scans must amortize real deadline
+# checks to ≤ rows/512 while still checking at least once. The greps
+# check the vectorization counters flow into the JSON report.
+SQLPP_BENCH_DIR="$out_dir" cargo run --release -q -p sqlpp-bench --bin bench_vectorized -- --quick --name vectorized
+vectorized_report="$out_dir/BENCH_vectorized.json"
+test -s "$vectorized_report" || { echo "missing vectorized bench report $vectorized_report" >&2; exit 1; }
+grep -q '"speedup_pct"' "$vectorized_report" || { echo "speedup_pct missing from $vectorized_report" >&2; exit 1; }
+grep -q '"batches_produced"' "$vectorized_report" || { echo "batches_produced missing from $vectorized_report" >&2; exit 1; }
+grep -q '"exprs_compiled"' "$vectorized_report" || { echo "exprs_compiled missing from $vectorized_report" >&2; exit 1; }
+echo "vectorized OK: $vectorized_report"
+
 echo "== serving smoke (B16) =="
 # B16's own asserts ARE the gate: an 8-client mixed read/DML workload
 # must complete with zero errors and a fairness floor, the cached

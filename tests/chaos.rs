@@ -175,6 +175,55 @@ fn chaos_dml_failed_statements_leave_catalog_byte_identical() {
     assert!(fired >= 32, "only {fired}/128 DML plans fired");
 }
 
+/// Regression for the batched governor audit: a governed batched scan
+/// must observe the deadline/token at least once (a huge batch cannot
+/// slip past unchecked — `Governed` ticks per batch and per 64 rows of
+/// batch materialization) while the *real* clock inspections amortize to
+/// no more than one per 512 rows.
+#[test]
+fn governed_batched_scan_checks_at_least_once_and_amortizes() {
+    const ROWS: i64 = 10_000;
+    let engine = Engine::new();
+    engine.register(
+        "big",
+        sqlpp::value::Value::Bag((0..ROWS).map(sqlpp::value::Value::Int).collect()),
+    );
+    let session = engine.with_config(SessionConfig {
+        limits: sqlpp::Limits::none().with_time(std::time::Duration::from_secs(3600)),
+        ..SessionConfig::default()
+    });
+    let run = session
+        .query_with_stats("SELECT VALUE x FROM big AS x WHERE x >= 0")
+        .unwrap();
+    assert_eq!(run.len(), ROWS as usize);
+    let stats = run.stats().expect("stats collection was on");
+    assert!(
+        stats.cancel_checks >= 1,
+        "a governed batched scan never checked its deadline"
+    );
+    assert!(
+        stats.cancel_checks <= ROWS as u64 / 512,
+        "{} real deadline checks for {ROWS} rows — batching failed to amortize",
+        stats.cancel_checks
+    );
+
+    // And the check is not vacuous: a token cancelled up front aborts
+    // the same batched scan instead of running it to completion.
+    let token = sqlpp::CancelToken::new();
+    token.cancel();
+    let session = engine.with_config(SessionConfig {
+        limits: sqlpp::Limits::none().with_cancel(token),
+        ..SessionConfig::default()
+    });
+    let err = session
+        .query("SELECT VALUE x FROM big AS x WHERE x >= 0")
+        .expect_err("cancelled token must abort the batched scan");
+    assert!(
+        err.to_string().contains("cancel"),
+        "wrong error for cancelled scan: {err}"
+    );
+}
+
 #[test]
 fn fault_free_session_is_unaffected_by_the_hook_machinery() {
     // A plan with k = 0 never fires; every shape must run normally.

@@ -176,6 +176,69 @@ fn queries() -> Vec<&'static str> {
     ]
 }
 
+/// A session over `t` with an explicit unit of pull. `batch_size: 1`
+/// with `compile_exprs: false` is the row-at-a-time tree-walking
+/// baseline the vectorized engine is measured against.
+fn sized_engine(data: Value, typing: TypingMode, batch_size: usize, compile_exprs: bool) -> Engine {
+    let engine = engine_with("t", data);
+    engine.with_config(SessionConfig {
+        typing,
+        batch_size,
+        compile_exprs,
+        ..SessionConfig::default()
+    })
+}
+
+/// LIMIT/OFFSET quotas that land mid-batch, exactly on a batch edge, one
+/// past it, and beyond the input — every off-by-one a batched `Limited`
+/// could get wrong. Checked at batch sizes bracketing the default
+/// (including batch size 1, the degenerate single-row batch).
+#[test]
+fn limit_offset_batch_boundaries_agree_with_row_path() {
+    const QUERIES: &[&str] = &[
+        "SELECT VALUE x FROM t AS x LIMIT 1024 OFFSET 1023",
+        "SELECT VALUE x FROM t AS x LIMIT 5 OFFSET 1022",
+        "SELECT VALUE x FROM t AS x LIMIT 1025",
+        "SELECT VALUE x FROM t AS x LIMIT 1 OFFSET 2999",
+        "SELECT VALUE x FROM t AS x LIMIT 10 OFFSET 3000",
+        "SELECT VALUE x FROM t AS x WHERE x % 7 = 0 LIMIT 100 OFFSET 99",
+        "SELECT VALUE x FROM t AS x LIMIT 0 OFFSET 1024",
+    ];
+    let data = ints(3_000);
+    for q in QUERIES {
+        let baseline = sized_engine(data.clone(), TypingMode::Permissive, 1, false)
+            .query(q)
+            .unwrap_or_else(|e| panic!("row path failed on {q}: {e}"))
+            .into_value();
+        for batch_size in [1usize, 2, 3, 1023, 1024, 1025] {
+            let got = sized_engine(data.clone(), TypingMode::Permissive, batch_size, true)
+                .query(q)
+                .unwrap_or_else(|e| panic!("batch={batch_size} failed on {q}: {e}"))
+                .into_value();
+            assert!(
+                sqlpp_value::cmp::deep_eq(&got, &baseline),
+                "batch={batch_size} diverged on {q}\n  row path: {baseline}\n  batched:  {got}"
+            );
+        }
+    }
+}
+
+/// Exhaustion edge cases: an empty input collection and a filter that
+/// rejects every row both produce clean empty results through the batch
+/// protocol (an empty append means "done", not an error or a hang).
+#[test]
+fn empty_batches_are_exhaustion_not_errors() {
+    let empty = sized_engine(ints(0), TypingMode::Permissive, 1024, true);
+    let r = empty.query("SELECT VALUE x + 1 FROM t AS x").unwrap();
+    assert_eq!(r.len(), 0);
+
+    let filtered = sized_engine(ints(5_000), TypingMode::Permissive, 1024, true);
+    let r = filtered
+        .query("SELECT VALUE x FROM t AS x WHERE x < 0 LIMIT 10")
+        .unwrap();
+    assert_eq!(r.len(), 0);
+}
+
 sqlpp_prop! {
     #![config(cases = 64)]
 
@@ -214,6 +277,58 @@ sqlpp_prop! {
                          reference: {want:?}\n  streaming: {:?}",
                         got.map(|r| r.into_value())
                     ),
+                }
+            }
+        }
+    }
+
+    // The vectorized gate: the batched+bytecode engine against both the
+    // row-at-a-time tree-walking path and the Pseudocode 1–2 reference,
+    // in both typing modes — at batch sizes 1 (degenerate), 2 (every
+    // boundary hit), and the 1024 default.
+    fn batched_bytecode_agrees_with_row_path_and_reference(data in arb_collection()) {
+        for typing in [TypingMode::Permissive, TypingMode::StrictError] {
+            let catalog = sqlpp::Catalog::new();
+            catalog.set("t", data.clone());
+            let config = EvalConfig { typing, ..EvalConfig::default() };
+            let row_path = sized_engine(data.clone(), typing, 1, false);
+            for q in queries() {
+                let ast = parse_query(q).expect("query parses");
+                let reference = eval_sfw_config(&ast, &catalog, config.clone());
+                let row = row_path.query(q).map(|r| r.into_value());
+                for batch_size in [1usize, 2, 1024] {
+                    let batched = sized_engine(data.clone(), typing, batch_size, true);
+                    let got = batched.query(q).map(|r| r.into_value());
+                    match (&row, &got) {
+                        (Ok(want), Ok(got)) => prop_assert!(
+                            sqlpp_value::cmp::deep_eq(got, want),
+                            "{typing:?} batch={batch_size} diverged from row path on {q}\n  \
+                             row:     {want}\n  batched: {got}"
+                        ),
+                        (Err(_), Err(_)) => {}
+                        (want, got) => prop_assert!(
+                            false,
+                            "{typing:?} batch={batch_size} error behavior diverged on {q}\n  \
+                             data {data}\n  row: {want:?}\n  batched: {got:?}"
+                        ),
+                    }
+                    match (&reference, &got) {
+                        (Ok(want), Ok(got)) => prop_assert!(
+                            sqlpp_value::cmp::deep_eq(got, want),
+                            "{typing:?} batch={batch_size} diverged from reference on {q}\n  \
+                             reference: {want}\n  batched:   {got}"
+                        ),
+                        (Err(ReferenceError::Eval(_)), Err(_)) => {}
+                        (Err(ReferenceError::Unsupported(what)), _) => prop_assert!(
+                            false, "oracle lost coverage of {q}: unsupported {what}"
+                        ),
+                        (want, got) => prop_assert!(
+                            false,
+                            "{typing:?} batch={batch_size} error behavior diverged from \
+                             reference on {q}\n  data {data}\n  reference: {want:?}\n  \
+                             batched: {got:?}"
+                        ),
+                    }
                 }
             }
         }
