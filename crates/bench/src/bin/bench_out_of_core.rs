@@ -1,0 +1,3 @@
+fn main() {
+    sqlpp_bench::suites::run_one("out_of_core");
+}

@@ -17,8 +17,9 @@
 //!   materializes all N rows, but the probe side early-exits
 //!   (`join_probes = O(k)`, `rows_scanned = O(N + k)` not O(2N)).
 //! * `order_by_contrast` — ORDER BY is a true pipeline breaker: the same
-//!   scan under a sort shows `peak_live_bindings ≥ N`, proving the gauge
-//!   actually measures materialization.
+//!   scan under a bare sort shows `peak_live_bindings ≥ N`, proving the
+//!   gauge actually measures materialization — while ORDER BY + LIMIT k
+//!   fuses into the bounded top-k heap (B15) and peaks at O(k) instead.
 
 use sqlpp::Engine;
 use sqlpp_testkit::bench::Harness;
@@ -191,9 +192,9 @@ pub fn run(h: &mut Harness) {
         ("peak_live_bindings".to_string(), peak),
     ]);
 
-    // Contrast: ORDER BY breaks the pipeline, so the same scan under a
-    // sort buffers every row — the gauge must show it.
-    let order_by = format!("SELECT VALUE x.v FROM s.big AS x ORDER BY x.v DESC LIMIT {K}");
+    // Contrast: a bare ORDER BY breaks the pipeline, so the same scan
+    // under a sort buffers every row — the gauge must show it.
+    let order_by = "SELECT VALUE x.v FROM s.big AS x ORDER BY x.v DESC".to_string();
     let run = engine.query_with_stats(&order_by).unwrap();
     let stats = run.stats().expect("stats collection was on");
     let scanned = counter(stats, "rows_scanned");
@@ -204,7 +205,37 @@ pub fn run(h: &mut Harness) {
         "ORDER BY materialized {n} rows but the gauge peaked at {peak}"
     );
     let plan = engine.prepare(&order_by).unwrap();
-    h.bench(format!("limit_stream/order_by_contrast/{K}_of_{n}"), || {
+    h.bench(format!("limit_stream/order_by_contrast/all_of_{n}"), || {
+        plan.execute(&engine).unwrap()
+    });
+    h.attach_counters([
+        ("rows_scanned".to_string(), scanned),
+        ("peak_live_bindings".to_string(), peak),
+    ]);
+
+    // ORDER BY + LIMIT k no longer pays that price: fuse_topk rewrites it
+    // into a bounded heap, so the gauge stays at O(k) even though the
+    // whole input is still consumed.
+    let top_k = format!("SELECT VALUE x.v FROM s.big AS x ORDER BY x.v DESC LIMIT {K}");
+    let plan_text = engine.explain(&top_k).unwrap();
+    assert!(
+        plan_text.contains("top-k"),
+        "ORDER BY + LIMIT no longer fuses into top-k:\n{plan_text}"
+    );
+    let run = engine.query_with_stats(&top_k).unwrap();
+    let stats = run.stats().expect("stats collection was on");
+    let scanned = counter(stats, "rows_scanned");
+    let peak = counter(stats, "peak_live_bindings");
+    assert_eq!(
+        scanned, n as u64,
+        "top-k must still consume its whole input"
+    );
+    assert!(
+        peak <= (2 * K + slack) as u64,
+        "top-k LIMIT {K} should hold O(k) rows but the gauge peaked at {peak}"
+    );
+    let plan = engine.prepare(&top_k).unwrap();
+    h.bench(format!("limit_stream/order_by_topk/{K}_of_{n}"), || {
         plan.execute(&engine).unwrap()
     });
     h.attach_counters([

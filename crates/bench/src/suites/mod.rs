@@ -1,4 +1,4 @@
-//! The fifteen benchmark suites, one module per performance claim (see the
+//! The seventeen benchmark suites, one module per performance claim (see the
 //! crate docs for the claim ↔ suite map). Each suite registers its
 //! measurements on a shared [`Harness`]; thin `[[bin]]` wrappers run one
 //! suite each, and `bench_all` runs every suite into one report.
@@ -21,6 +21,7 @@ pub mod join_scale;
 pub mod limit_stream;
 pub mod missing_propagation;
 pub mod optimizer_ablation;
+pub mod out_of_core;
 pub mod pivot_unpivot;
 pub mod serving;
 pub mod set_ops;
@@ -49,6 +50,9 @@ pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
         ("frontend", frontend::run),
         ("serving", serving::run),
         ("vectorized", vectorized::run),
+        // Disk-heavy (spill files, page-cache churn): keep it after the
+        // CPU-bound speedup gates so its I/O footprint can't skew them.
+        ("out_of_core", out_of_core::run),
     ]
 }
 

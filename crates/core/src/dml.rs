@@ -240,6 +240,7 @@ impl Engine {
             fault: self.config().fault.clone(),
             batch_size: self.config().batch_size,
             compile_exprs: self.config().compile_exprs,
+            spill: self.config().spill.clone(),
         }
     }
 

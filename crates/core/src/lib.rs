@@ -62,7 +62,8 @@ pub use error::{Error, Result};
 pub use result::QueryResult;
 pub use sqlpp_catalog::Catalog;
 pub use sqlpp_eval::{
-    CancelToken, EvalError, ExecStats, FaultInjector, FaultSite, Limits, OpStats, TypingMode,
+    CancelToken, EvalError, ExecStats, FaultInjector, FaultSite, Limits, OpStats, SpillConfig,
+    TypingMode,
 };
 pub use sqlpp_plan::CompatMode;
 pub use sqlpp_syntax::{render_report, Diagnostic};
@@ -94,6 +95,11 @@ pub struct SessionConfig {
     /// Compile expressions to flat bytecode at plan time. Off, every
     /// expression goes through the tree-walking interpreter.
     pub compile_exprs: bool,
+    /// Out-of-core execution policy. `None` (the default) keeps memory-
+    /// budget overruns as hard refusals; `Some` lets pipeline breakers
+    /// spill to temp files (external merge-sort, Grace partitioning)
+    /// within the session's [`Limits::spill_bytes`] cap.
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for SessionConfig {
@@ -107,6 +113,7 @@ impl Default for SessionConfig {
             fault: None,
             batch_size: sqlpp_eval::DEFAULT_BATCH_SIZE,
             compile_exprs: true,
+            spill: None,
         }
     }
 }
@@ -560,6 +567,7 @@ impl Engine {
             fault: self.config.fault.clone(),
             batch_size: self.config.batch_size,
             compile_exprs: self.config.compile_exprs,
+            spill: self.config.spill.clone(),
         }
     }
 }
@@ -581,7 +589,18 @@ fn render_analysis(core: &CoreQuery, stats: &ExecStats) -> String {
         let key = index_of.get(&(op as *const CoreOp))?;
         let s = stats.op_at(*key)?;
         let mat = if s.peak_rows > 0 {
-            format!(" mat={}", s.peak_rows)
+            // Breakers that took the out-of-core path are tagged; the
+            // others stay explicitly `in-memory` whenever the run spilled
+            // anywhere, so a reader can tell which operator was the one
+            // under pressure.
+            let spill_tag = if s.spilled {
+                " spilled"
+            } else if stats.spill_partitions > 0 {
+                " in-memory"
+            } else {
+                ""
+            };
+            format!(" mat={}{}", s.peak_rows, spill_tag)
         } else {
             String::new()
         };

@@ -71,6 +71,15 @@ pub struct Limits {
     /// [`DEFAULT_EVAL_DEPTH`] guardrail (it exists to prevent stack
     /// overflow, so it is never fully off).
     pub eval_depth: Option<u32>,
+    /// Memory budget measured in *estimated live bytes* across all
+    /// pipeline-breaker buffers. The row gauge above stays the admission
+    /// fast path; the byte gauge is consulted by spill-aware breakers,
+    /// whose serialized sizes are known (or cheaply estimated) at
+    /// admission time. `None` = unlimited.
+    pub memory_bytes: Option<u64>,
+    /// Cap on total bytes a query may write to spill files. `None` =
+    /// unlimited (spilling is still off unless the session enables it).
+    pub spill_bytes: Option<u64>,
 }
 
 impl Limits {
@@ -86,6 +95,8 @@ impl Limits {
             && self.time.is_none()
             && self.cancel.is_none()
             && self.eval_depth.is_none()
+            && self.memory_bytes.is_none()
+            && self.spill_bytes.is_none()
     }
 
     /// Sets the memory budget (live materialized rows).
@@ -109,6 +120,18 @@ impl Limits {
     /// Sets the eval nesting-depth cap.
     pub fn with_eval_depth(mut self, depth: u32) -> Self {
         self.eval_depth = Some(depth);
+        self
+    }
+
+    /// Sets the memory budget (estimated live buffer bytes).
+    pub fn with_memory_bytes(mut self, bytes: u64) -> Self {
+        self.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the spill-write cap (total bytes written to spill files).
+    pub fn with_spill_bytes(mut self, bytes: u64) -> Self {
+        self.spill_bytes = Some(bytes);
         self
     }
 }
@@ -147,14 +170,23 @@ pub enum FaultSite {
     CatalogRead,
     /// An operator evaluation beginning.
     OperatorEval,
+    /// A record being written to a spill file.
+    SpillWrite,
+    /// A record being read back from a spill file.
+    SpillRead,
+    /// A spill temp file being created.
+    TempFileCreate,
 }
 
 impl FaultSite {
     /// All sites, for chaos suites that sweep them.
-    pub const ALL: [FaultSite; 3] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::BufferAdmission,
         FaultSite::CatalogRead,
         FaultSite::OperatorEval,
+        FaultSite::SpillWrite,
+        FaultSite::SpillRead,
+        FaultSite::TempFileCreate,
     ];
 
     /// Stable string name (the key `testkit::fault::FaultPlan` uses).
@@ -163,6 +195,9 @@ impl FaultSite {
             FaultSite::BufferAdmission => "buffer",
             FaultSite::CatalogRead => "catalog",
             FaultSite::OperatorEval => "operator",
+            FaultSite::SpillWrite => "spill-write",
+            FaultSite::SpillRead => "spill-read",
+            FaultSite::TempFileCreate => "temp-file",
         }
     }
 }
@@ -198,6 +233,8 @@ impl fmt::Debug for FaultInjector {
 #[derive(Debug)]
 pub struct ResourceGovernor {
     mem_limit: Option<u64>,
+    mem_bytes_limit: Option<u64>,
+    spill_limit: Option<u64>,
     deadline: Option<Instant>,
     time_limit: Option<Duration>,
     cancel: Option<CancelToken>,
@@ -207,12 +244,23 @@ pub struct ResourceGovernor {
     live: Cell<u64>,
     /// High-water mark of `live`.
     peak: Cell<u64>,
+    /// Estimated bytes currently admitted across all live buffers.
+    live_bytes: Cell<u64>,
+    /// High-water mark of `live_bytes`.
+    peak_bytes: Cell<u64>,
     /// Admissions refused over budget.
     denials: Cell<u64>,
     /// Real deadline/token inspections performed (not amortized skips).
     checks: Cell<u64>,
     ticks: Cell<u64>,
     depth: Cell<u32>,
+    /// Spill files (partitions + sorted runs) created.
+    spill_partitions: Cell<u64>,
+    /// Total bytes written to spill files.
+    spill_written: Cell<u64>,
+    /// K-way merge passes performed by external sorts — every pass
+    /// including the final one, so any spilled sort counts at least 1.
+    merge_passes: Cell<u64>,
 }
 
 impl ResourceGovernor {
@@ -221,6 +269,8 @@ impl ResourceGovernor {
     pub fn new(limits: &Limits, fault: Option<FaultInjector>) -> Self {
         ResourceGovernor {
             mem_limit: limits.memory_rows,
+            mem_bytes_limit: limits.memory_bytes,
+            spill_limit: limits.spill_bytes,
             deadline: limits.time.map(|d| Instant::now() + d),
             time_limit: limits.time,
             cancel: limits.cancel.clone(),
@@ -228,17 +278,22 @@ impl ResourceGovernor {
             fault,
             live: Cell::new(0),
             peak: Cell::new(0),
+            live_bytes: Cell::new(0),
+            peak_bytes: Cell::new(0),
             denials: Cell::new(0),
             checks: Cell::new(0),
             ticks: Cell::new(0),
             depth: Cell::new(0),
+            spill_partitions: Cell::new(0),
+            spill_written: Cell::new(0),
+            merge_passes: Cell::new(0),
         }
     }
 
     /// True when buffer admissions must consult the governor (a memory
     /// budget is set, or a fault hook wants the admission site).
     pub fn tracks_memory(&self) -> bool {
-        self.mem_limit.is_some() || self.fault.is_some()
+        self.mem_limit.is_some() || self.mem_bytes_limit.is_some() || self.fault.is_some()
     }
 
     /// True when pull loops must tick the governor (a deadline or token
@@ -302,6 +357,66 @@ impl ResourceGovernor {
     /// Releases `n` admitted rows (buffer dropped / handed off).
     pub fn release(&self, n: u64) {
         self.live.set(self.live.get().saturating_sub(n));
+    }
+
+    /// Admits `n` estimated bytes into the live-byte account, or refuses
+    /// with [`EvalError::ResourceExhausted`] *without* counting them —
+    /// the byte-denominated twin of [`ResourceGovernor::admit`]. Spill-
+    /// aware breakers call this alongside the row gauge, so budgets can
+    /// be expressed in either unit. No fault site here: admissions
+    /// already pass through [`FaultSite::BufferAdmission`] via the row
+    /// path.
+    pub fn admit_bytes(&self, n: u64) -> Result<(), EvalError> {
+        let live = self.live_bytes.get() + n;
+        if let Some(limit) = self.mem_bytes_limit {
+            if live > limit {
+                self.denials.set(self.denials.get() + 1);
+                return Err(EvalError::ResourceExhausted {
+                    resource: "memory budget (bytes)",
+                    limit,
+                    used: live,
+                });
+            }
+        }
+        self.live_bytes.set(live);
+        if live > self.peak_bytes.get() {
+            self.peak_bytes.set(live);
+        }
+        Ok(())
+    }
+
+    /// Releases `n` admitted bytes.
+    pub fn release_bytes(&self, n: u64) {
+        self.live_bytes.set(self.live_bytes.get().saturating_sub(n));
+    }
+
+    /// Accounts `n` bytes written to a spill file against the spill-write
+    /// cap. Refused writes are not counted (the file is abandoned by the
+    /// failing operator), so retried queries start from a clean slate.
+    pub fn add_spill_write(&self, n: u64) -> Result<(), EvalError> {
+        let written = self.spill_written.get() + n;
+        if let Some(limit) = self.spill_limit {
+            if written > limit {
+                self.denials.set(self.denials.get() + 1);
+                return Err(EvalError::ResourceExhausted {
+                    resource: "spill budget (bytes)",
+                    limit,
+                    used: written,
+                });
+            }
+        }
+        self.spill_written.set(written);
+        Ok(())
+    }
+
+    /// Counts `n` spill files (partitions or sorted runs) created.
+    pub fn add_spill_partitions(&self, n: u64) {
+        self.spill_partitions.set(self.spill_partitions.get() + n);
+    }
+
+    /// Counts one k-way merge pass (intermediate or final).
+    pub fn add_merge_pass(&self) {
+        self.merge_passes.set(self.merge_passes.get() + 1);
     }
 
     /// One amortized pull-loop step: bumps a counter, and every
@@ -407,6 +522,31 @@ impl ResourceGovernor {
         self.checks.get()
     }
 
+    /// Estimated bytes currently admitted.
+    pub fn live_buffer_bytes(&self) -> u64 {
+        self.live_bytes.get()
+    }
+
+    /// High-water mark of admitted bytes.
+    pub fn peak_buffer_bytes(&self) -> u64 {
+        self.peak_bytes.get()
+    }
+
+    /// Spill files created so far.
+    pub fn spill_partitions(&self) -> u64 {
+        self.spill_partitions.get()
+    }
+
+    /// Bytes written to spill files so far.
+    pub fn spill_bytes_written(&self) -> u64 {
+        self.spill_written.get()
+    }
+
+    /// K-way merge passes performed so far (the final pass included).
+    pub fn merge_passes(&self) -> u64 {
+        self.merge_passes.get()
+    }
+
     /// Copies the governor's counters (and the limits in effect) into a
     /// stats snapshot, so `EXPLAIN ANALYZE` and benches can report them.
     pub fn fill_stats(&self, stats: &mut ExecStats) {
@@ -415,6 +555,11 @@ impl ResourceGovernor {
         stats.peak_budget_used = self.peak.get();
         stats.mem_budget = self.mem_limit;
         stats.time_budget_ms = self.time_limit.map(|d| d.as_millis() as u64);
+        stats.mem_bytes_budget = self.mem_bytes_limit;
+        stats.peak_budget_bytes = self.peak_bytes.get();
+        stats.spill_partitions = self.spill_partitions.get();
+        stats.spill_bytes_written = self.spill_written.get();
+        stats.merge_passes = self.merge_passes.get();
     }
 }
 
@@ -521,6 +666,63 @@ mod tests {
     #[test]
     fn site_names_are_stable() {
         let names: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
-        assert_eq!(names, ["buffer", "catalog", "operator"]);
+        assert_eq!(
+            names,
+            [
+                "buffer",
+                "catalog",
+                "operator",
+                "spill-write",
+                "spill-read",
+                "temp-file"
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_budget_refuses_before_counting_like_the_row_budget() {
+        let g = ResourceGovernor::new(&Limits::none().with_memory_bytes(100), None);
+        assert!(g.tracks_memory());
+        g.admit_bytes(60).unwrap();
+        g.admit_bytes(40).unwrap();
+        let err = g.admit_bytes(1).unwrap_err();
+        match err {
+            EvalError::ResourceExhausted {
+                resource,
+                limit,
+                used,
+            } => {
+                assert_eq!(resource, "memory budget (bytes)");
+                assert_eq!((limit, used), (100, 101));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(g.live_buffer_bytes(), 100, "refused bytes are not counted");
+        assert_eq!(g.peak_buffer_bytes(), 100);
+        g.release_bytes(50);
+        g.admit_bytes(25).unwrap();
+        assert_eq!(g.live_buffer_bytes(), 75);
+    }
+
+    #[test]
+    fn spill_write_cap_is_cumulative_and_refuses_over_limit() {
+        let g = ResourceGovernor::new(&Limits::none().with_spill_bytes(64), None);
+        g.add_spill_write(40).unwrap();
+        g.add_spill_write(24).unwrap();
+        let err = g.add_spill_write(1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EvalError::ResourceExhausted {
+                    resource: "spill budget (bytes)",
+                    ..
+                }
+            ),
+            "wrong error: {err:?}"
+        );
+        assert_eq!(g.spill_bytes_written(), 64, "refused writes not counted");
+        g.add_spill_partitions(3);
+        g.add_merge_pass();
+        assert_eq!((g.spill_partitions(), g.merge_passes()), (3, 1));
     }
 }

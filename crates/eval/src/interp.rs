@@ -18,7 +18,7 @@ use sqlpp_plan::{
     CoreSortKey, WindowDef, WindowFunc,
 };
 use sqlpp_syntax::ast::{BinOp, IsTest, UnOp};
-use sqlpp_value::cmp::{deep_eq, sql_compare, sql_eq, total_cmp};
+use sqlpp_value::cmp::{deep_eq, sql_compare, sql_eq};
 use sqlpp_value::hash::{hash_value, GroupKey};
 use sqlpp_value::{Tuple, Value};
 
@@ -31,6 +31,10 @@ use crate::error::{EvalError, TypingMode};
 use crate::functions;
 use crate::govern::{FaultInjector, FaultSite, Limits, ResourceGovernor};
 use crate::like::like_match;
+use crate::spill::{
+    approx_value_bytes, cmp_sort_keys, decode_keyed_record, encode_keyed_record, is_memory_refusal,
+    ExternalSorter, GracePartitioner, SpillCodec, SpillConfig, SpillCtx, SpillRun,
+};
 use crate::stats::{ExecStats, StatsCollector};
 use crate::stream::{
     boxed, empty, failed, from_vec, BindingStream, Governed, Instrumented, Limited, MatGauge,
@@ -70,6 +74,13 @@ pub struct EvalConfig {
     /// uncovered shapes). Disabling keeps the pure tree-walker — the
     /// differential baseline for the bytecode path.
     pub compile_exprs: bool,
+    /// Out-of-core execution policy. `None` (the default) keeps the PR 5
+    /// contract: a memory-budget overrun is a hard
+    /// [`EvalError::ResourceExhausted`] refusal. `Some` lets every
+    /// pipeline breaker spill to temp files instead — ORDER BY becomes an
+    /// external merge-sort, GROUP BY and hash-join builds partition
+    /// Grace-style (see `spill`).
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for EvalConfig {
@@ -83,6 +94,7 @@ impl Default for EvalConfig {
             fault: None,
             batch_size: DEFAULT_BATCH_SIZE,
             compile_exprs: true,
+            spill: None,
         }
     }
 }
@@ -319,8 +331,14 @@ impl<'a> Evaluator<'a> {
             }
             CoreOp::SortValues { input, keys } => {
                 let out_var: Rc<str> = "$out".into();
-                let mut buf: TrackedBuffer<'_, (Vec<Value>, Value)> =
-                    TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(op));
+                let gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(op));
+                let mut sorter = ExternalSorter::new(
+                    self.spill_ctx(),
+                    keys,
+                    ValueCodec,
+                    gauge,
+                    self.track_bytes(),
+                );
                 drain_batched(self.element_stream(input, env), self.batch_size(), |v| {
                     // The output element is visible as `$out`; if it is a
                     // tuple its attributes resolve dynamically.
@@ -329,11 +347,39 @@ impl<'a> Evaluator<'a> {
                     for k in keys {
                         ks.push(self.expr(&k.expr, &row_env)?);
                     }
-                    buf.push((ks, v))
+                    sorter.push(ks, v)
                 })?;
-                let mut annotated = buf.into_vec();
-                sort_annotated(&mut annotated, keys);
-                Ok(Value::Bag(annotated.into_iter().map(|(_, v)| v).collect()))
+                if sorter.spilled() {
+                    self.mark_spilled(op);
+                }
+                Ok(Value::Bag(sorter.finish()?))
+            }
+            CoreOp::TopK {
+                input,
+                keys,
+                limit,
+                offset,
+                on_values: true,
+            } => {
+                let out_var: Rc<str> = "$out".into();
+                let rows = self.topk_rows(
+                    op,
+                    keys,
+                    limit,
+                    offset,
+                    env,
+                    || self.element_stream(input, env),
+                    |v: &Value| {
+                        let row_env = env.bind(out_var.clone(), v.clone());
+                        let mut ks = Vec::with_capacity(keys.len());
+                        for k in keys {
+                            ks.push(self.expr(&k.expr, &row_env)?);
+                        }
+                        Ok(ks)
+                    },
+                    approx_value_bytes,
+                )?;
+                Ok(Value::Bag(rows))
             }
             CoreOp::LimitOffset {
                 input,
@@ -342,7 +388,7 @@ impl<'a> Evaluator<'a> {
             } => {
                 // Bounds first: LIMIT 0 never constructs (or pulls) the
                 // input at all.
-                let (lim, off) = self.limit_offset(limit, offset, env)?;
+                let (lim, off) = self.limit_offset(limit.as_ref(), offset.as_ref(), env)?;
                 let mut out = Vec::new();
                 if lim != Some(0) {
                     drain_batched(
@@ -385,6 +431,30 @@ impl<'a> Evaluator<'a> {
     /// or fault hook active) — the `Option` shape gauges gate on.
     fn mem_guard(&self) -> Option<&ResourceGovernor> {
         self.govern.as_memory_guard()
+    }
+
+    /// The spill context, iff the session opted into out-of-core
+    /// execution. `None` keeps budget refusals hard.
+    fn spill_ctx(&self) -> Option<SpillCtx<'_>> {
+        self.config.spill.as_ref().map(|config| SpillCtx {
+            config,
+            govern: &self.govern,
+        })
+    }
+
+    /// Whether breakers must account bytes (a byte-denominated budget is
+    /// set) in addition to the row gauge, which stays the admission fast
+    /// path.
+    fn track_bytes(&self) -> bool {
+        self.config.limits.memory_bytes.is_some()
+    }
+
+    /// Marks a breaker as having spilled in the per-operator stats (the
+    /// `EXPLAIN ANALYZE` `spilled` tag).
+    fn mark_spilled(&self, whole: &CoreOp) {
+        if let Some(st) = &self.stats {
+            st.record_op_spilled(st.key_for(whole));
+        }
     }
 
     /// The elements of a value-producing operator as a lazy stream.
@@ -435,11 +505,15 @@ impl<'a> Evaluator<'a> {
                 input,
                 limit,
                 offset,
-            } => Some(match self.limit_offset(limit, offset, env) {
-                Err(e) => failed(e),
-                Ok((Some(0), _)) => empty(),
-                Ok((lim, off)) => Box::new(Limited::new(self.element_stream(input, env), off, lim)),
-            }),
+            } => Some(
+                match self.limit_offset(limit.as_ref(), offset.as_ref(), env) {
+                    Err(e) => failed(e),
+                    Ok((Some(0), _)) => empty(),
+                    Ok((lim, off)) => {
+                        Box::new(Limited::new(self.element_stream(input, env), off, lim))
+                    }
+                },
+            ),
             CoreOp::SetOp {
                 op: set_op,
                 all,
@@ -594,11 +668,39 @@ impl<'a> Evaluator<'a> {
                 Ok(rows) => from_vec(rows),
                 Err(e) => failed(e),
             },
+            CoreOp::TopK {
+                input,
+                keys,
+                limit,
+                offset,
+                on_values: false,
+            } => {
+                let rows = self.topk_rows(
+                    op,
+                    keys,
+                    limit,
+                    offset,
+                    env,
+                    || self.binding_stream(input, env),
+                    |b: &Env| {
+                        let mut ks = Vec::with_capacity(keys.len());
+                        for k in keys {
+                            ks.push(self.expr(&k.expr, b)?);
+                        }
+                        Ok(ks)
+                    },
+                    env_bytes,
+                );
+                match rows {
+                    Ok(rows) => from_vec(rows),
+                    Err(e) => failed(e),
+                }
+            }
             CoreOp::LimitOffset {
                 input,
                 limit,
                 offset,
-            } => match self.limit_offset(limit, offset, env) {
+            } => match self.limit_offset(limit.as_ref(), offset.as_ref(), env) {
                 Err(e) => failed(e),
                 Ok((Some(0), _)) => empty(),
                 Ok((lim, off)) => Box::new(Limited::new(self.binding_stream(input, env), off, lim)),
@@ -630,8 +732,10 @@ impl<'a> Evaluator<'a> {
     }
 
     /// ORDER BY over bindings: a pipeline breaker — annotates each row
-    /// with its key values through a tracked buffer, sorts, and returns
-    /// the rows in order.
+    /// with its key values through a gauge-tracked [`ExternalSorter`].
+    /// Without spilling (or when the budget is never hit) this is the old
+    /// buffer-and-stable-sort; under budget pressure with spilling enabled
+    /// it becomes an external merge-sort over sorted runs.
     fn sort_bindings(
         &self,
         whole: &CoreOp,
@@ -639,27 +743,92 @@ impl<'a> Evaluator<'a> {
         keys: &[CoreSortKey],
         env: &Env,
     ) -> Result<Vec<Env>, EvalError> {
-        let mut buf: TrackedBuffer<'_, (Vec<Value>, Env)> =
-            TrackedBuffer::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
+        let gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
+        let mut sorter = ExternalSorter::new(
+            self.spill_ctx(),
+            keys,
+            EnvCodec { base: env.clone() },
+            gauge,
+            self.track_bytes(),
+        );
         drain_batched(self.binding_stream(input, env), self.batch_size(), |b| {
             let mut ks = Vec::with_capacity(keys.len());
             for k in keys {
                 ks.push(self.expr(&k.expr, &b)?);
             }
-            buf.push((ks, b))
+            sorter.push(ks, b)
         })?;
-        let mut annotated = buf.into_vec();
-        sort_annotated(&mut annotated, keys);
-        Ok(annotated.into_iter().map(|(_, b)| b).collect())
+        if sorter.spilled() {
+            self.mark_spilled(whole);
+        }
+        sorter.finish()
+    }
+
+    /// Bounded-heap TopK over any row type: keeps the `limit + offset`
+    /// least rows (per the shared sort comparator, ties by arrival order —
+    /// the stable-sort outcome), so peak tracked memory is O(k) and the
+    /// input is never materialized. `make_stream` is only called when the
+    /// bound is nonzero: LIMIT 0 pulls nothing, like [`CoreOp::LimitOffset`].
+    fn topk_rows<'s, T>(
+        &'s self,
+        whole: &CoreOp,
+        keys: &[CoreSortKey],
+        limit: &CoreExpr,
+        offset: &Option<CoreExpr>,
+        env: &Env,
+        make_stream: impl FnOnce() -> Box<dyn Stream<T> + 's>,
+        key_of: impl Fn(&T) -> Result<Vec<Value>, EvalError>,
+        size_of: impl Fn(&T) -> u64,
+    ) -> Result<Vec<T>, EvalError> {
+        let (lim, off) = self.limit_offset(Some(limit), offset.as_ref(), env)?;
+        let lim = lim.expect("top-k always carries a LIMIT");
+        let n = lim.saturating_add(off);
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let track_bytes = self.track_bytes();
+        let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
+        let mut heap: std::collections::BinaryHeap<HeapEntry<'_, T>> =
+            std::collections::BinaryHeap::new();
+        let mut seq = 0u64;
+        drain_batched(make_stream(), self.batch_size(), |row| {
+            let kv = key_of(&row)?;
+            let bytes = if track_bytes {
+                kv.iter().map(approx_value_bytes).sum::<u64>() + size_of(&row)
+            } else {
+                0
+            };
+            let entry = HeapEntry {
+                keys,
+                kv,
+                seq,
+                bytes,
+                row,
+            };
+            seq += 1;
+            if heap.len() < n {
+                gauge.add_sized(1, bytes)?;
+                heap.push(entry);
+            } else if entry < *heap.peek().expect("heap is at capacity") {
+                let evicted = heap.pop().expect("heap is at capacity");
+                gauge.remove(1, evicted.bytes);
+                gauge.add_sized(1, bytes)?;
+                heap.push(entry);
+            }
+            Ok(())
+        })?;
+        let entries = heap.into_sorted_vec();
+        drop(gauge);
+        Ok(entries.into_iter().skip(off).map(|e| e.row).collect())
     }
 
     fn limit_offset(
         &self,
-        limit: &Option<CoreExpr>,
-        offset: &Option<CoreExpr>,
+        limit: Option<&CoreExpr>,
+        offset: Option<&CoreExpr>,
         env: &Env,
     ) -> Result<(Option<usize>, usize), EvalError> {
-        let eval_count = |e: &Option<CoreExpr>| -> Result<Option<usize>, EvalError> {
+        let eval_count = |e: Option<&CoreExpr>| -> Result<Option<usize>, EvalError> {
             match e {
                 None => Ok(None),
                 Some(e) => match self.expr(e, env)? {
@@ -686,12 +855,22 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Vec<Env>, EvalError> {
         // Insertion-ordered grouping: HashMap for lookup, Vec for order.
         // Grouping is a pipeline breaker: every captured element is live
-        // until the groups are emitted, tracked by the gauge.
+        // until the groups are emitted, tracked by the gauge. Under budget
+        // pressure with spilling enabled, the accumulated elements scatter
+        // to Grace partitions instead (and the rest of the stream follows
+        // them straight to disk); each partition is then rebuilt in memory
+        // — recursively re-partitioned on skew — so peak tracked memory
+        // never exceeds the budget. The spilled path loses the in-memory
+        // path's insertion order, which GROUP BY (a bag producer) never
+        // promised.
+        let ctx = self.spill_ctx();
+        let track_bytes = self.track_bytes();
         let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
         let mut index: HashMap<GroupKey, usize> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (keys, elements)
+        let mut tracked = (0u64, 0u64); // rows, bytes held by the gauge
+        let mut spill: Option<GracePartitioner> = None;
         drain_batched(self.binding_stream(input, env), self.batch_size(), |b| {
-            gauge.add(1)?;
             let mut key_vals = Vec::with_capacity(keys.len());
             for (_, ke) in keys {
                 let mut v = self.expr(ke, &b)?;
@@ -712,6 +891,43 @@ impl<'a> Evaluator<'a> {
                 }
             }
             let elem = Value::Tuple(elem);
+            if let Some(p) = &mut spill {
+                let c = ctx.as_ref().expect("spilling implies a ctx");
+                let rec = encode_keyed_record(&key_vals, elem);
+                return p.write(c, &key_vals, &rec);
+            }
+            let bytes = if track_bytes {
+                key_vals.iter().map(approx_value_bytes).sum::<u64>() + approx_value_bytes(&elem)
+            } else {
+                0
+            };
+            if let Err(e) = gauge.add_sized(1, bytes) {
+                let Some(c) = ctx.as_ref() else {
+                    return Err(e);
+                };
+                if !is_memory_refusal(&e) {
+                    return Err(e);
+                }
+                // Budget hit: scatter everything accumulated so far (and
+                // this row) to Grace partitions and release the budget.
+                self.mark_spilled(whole);
+                let mut p = GracePartitioner::new(c, 0)?;
+                for (kv, elems) in groups.drain(..) {
+                    for el in elems {
+                        let rec = encode_keyed_record(&kv, el);
+                        p.write(c, &kv, &rec)?;
+                    }
+                }
+                index.clear();
+                gauge.remove(tracked.0, tracked.1);
+                tracked = (0, 0);
+                let rec = encode_keyed_record(&key_vals, elem);
+                p.write(c, &key_vals, &rec)?;
+                spill = Some(p);
+                return Ok(());
+            }
+            tracked.0 += 1;
+            tracked.1 += bytes;
             match index.entry(GroupKey(key_vals.clone())) {
                 std::collections::hash_map::Entry::Occupied(o) => {
                     groups[*o.get()].1.push(elem);
@@ -723,6 +939,12 @@ impl<'a> Evaluator<'a> {
             }
             Ok(())
         })?;
+        if let Some(p) = spill {
+            let c = ctx.as_ref().expect("spilling implies a ctx");
+            drop(gauge);
+            groups = self.regroup_partitions(whole, c, p.finish()?, track_bytes)?;
+            return self.emit_groups(groups, keys, group_var, env);
+        }
         // Ungrouped aggregation and the grand-total grouping set yield
         // exactly one group even over empty input (SQL).
         if emit_empty_group && groups.is_empty() {
@@ -741,6 +963,18 @@ impl<'a> Evaluator<'a> {
         if let Some(st) = &self.stats {
             st.add_groups_built(groups.len() as u64);
         }
+        self.emit_groups(groups, keys, group_var, env)
+    }
+
+    /// Binds each completed group's key aliases and `GROUP AS` variable —
+    /// the tail both the in-memory and the spilled grouping paths share.
+    fn emit_groups(
+        &self,
+        groups: Vec<(Vec<Value>, Vec<Value>)>,
+        keys: &[(String, CoreExpr)],
+        group_var: &str,
+        env: &Env,
+    ) -> Result<Vec<Env>, EvalError> {
         let mut out = Vec::with_capacity(groups.len());
         for (key_vals, elems) in groups {
             let mut genv = env.clone();
@@ -751,6 +985,88 @@ impl<'a> Evaluator<'a> {
             out.push(genv);
         }
         Ok(out)
+    }
+
+    /// Rebuilds spilled Grace partitions into completed groups, one
+    /// partition at a time under a fresh gauge. A partition that alone
+    /// exceeds the budget is re-partitioned with the next depth's seed
+    /// (splitting hash-skewed keys apart); past `max_recursion` the
+    /// refusal surfaces — identical-key skew cannot be split.
+    fn regroup_partitions(
+        &self,
+        whole: &CoreOp,
+        ctx: &SpillCtx<'_>,
+        runs: Vec<SpillRun>,
+        track_bytes: bool,
+    ) -> Result<Vec<(Vec<Value>, Vec<Value>)>, EvalError> {
+        let mut work: Vec<(SpillRun, u32)> = runs.into_iter().map(|r| (r, 1)).collect();
+        let mut groups: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+        while let Some((run, depth)) = work.pop() {
+            if run.records() == 0 {
+                continue;
+            }
+            let mut reader = run.open(ctx)?;
+            let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
+            let mut pidx: HashMap<GroupKey, usize> = HashMap::new();
+            let mut pgroups: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+            let mut tracked = (0u64, 0u64);
+            let mut overflowed = false;
+            while let Some(rec) = reader.next(ctx)? {
+                let (kv, elem) = decode_keyed_record(rec)?;
+                let bytes = if track_bytes {
+                    kv.iter().map(approx_value_bytes).sum::<u64>() + approx_value_bytes(&elem)
+                } else {
+                    0
+                };
+                if let Err(e) = gauge.add_sized(1, bytes) {
+                    if !is_memory_refusal(&e) || depth > ctx.config.max_recursion {
+                        return Err(e);
+                    }
+                    // Skewed partition: re-scatter it (including this
+                    // record and the unread tail) under the next seed.
+                    let mut p = GracePartitioner::new(ctx, u64::from(depth))?;
+                    for (gkv, elems) in pgroups.drain(..) {
+                        for el in elems {
+                            let rec = encode_keyed_record(&gkv, el);
+                            p.write(ctx, &gkv, &rec)?;
+                        }
+                    }
+                    pidx.clear();
+                    let rec = encode_keyed_record(&kv, elem);
+                    p.write(ctx, &kv, &rec)?;
+                    while let Some(rec) = reader.next(ctx)? {
+                        let (kv2, elem2) = decode_keyed_record(rec)?;
+                        let rec2 = encode_keyed_record(&kv2, elem2);
+                        p.write(ctx, &kv2, &rec2)?;
+                    }
+                    gauge.remove(tracked.0, tracked.1);
+                    for r in p.finish()? {
+                        work.push((r, depth + 1));
+                    }
+                    overflowed = true;
+                    break;
+                }
+                tracked.0 += 1;
+                tracked.1 += bytes;
+                match pidx.entry(GroupKey(kv.clone())) {
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        pgroups[*o.get()].1.push(elem);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(pgroups.len());
+                        pgroups.push((kv, vec![elem]));
+                    }
+                }
+            }
+            if overflowed {
+                continue;
+            }
+            if let Some(st) = &self.stats {
+                st.add_groups_built(pgroups.len() as u64);
+            }
+            groups.append(&mut pgroups);
+        }
+        Ok(groups)
     }
 
     /// Evaluates one window definition over the binding stream, returning
@@ -1015,6 +1331,27 @@ impl<'a> Evaluator<'a> {
                             residual: residual.as_ref(),
                         },
                     )),
+                    // The build side exceeded the memory budget and the
+                    // session allows spilling: run the join Grace-style —
+                    // both sides scatter to key-hash partitions on disk,
+                    // each partition pair joins in memory.
+                    Err(e) if self.spill_ctx().is_some() && is_memory_refusal(&e) => {
+                        match self.grace_hash_join(
+                            *kind,
+                            left,
+                            right,
+                            whole,
+                            keys,
+                            left_pred.as_ref(),
+                            right_pred.as_ref(),
+                            residual.as_ref(),
+                            &names,
+                            env,
+                        ) {
+                            Ok(rows) => from_vec(rows),
+                            Err(e) => failed(e),
+                        }
+                    }
                     Err(e) => failed(e),
                 }
             }
@@ -1062,7 +1399,12 @@ impl<'a> Evaluator<'a> {
                     }
                     kv.push(v);
                 }
-                gauge.add(1)?;
+                let bytes = if self.track_bytes() {
+                    kv.iter().map(approx_value_bytes).sum::<u64>() + env_bytes(&r)
+                } else {
+                    0
+                };
+                gauge.add_sized(1, bytes)?;
                 table.entry(joint_hash(&kv)).or_default().push(rows.len());
                 rows.push((r, kv));
                 Ok(())
@@ -1072,6 +1414,227 @@ impl<'a> Evaluator<'a> {
             st.add_join_build_rows(rows.len() as u64);
         }
         Ok(JoinBuild { rows, table, gauge })
+    }
+
+    /// Grace hash join: the out-of-core fallback when
+    /// [`Self::hash_join_build`] takes a memory-budget refusal. Both sides
+    /// re-stream once and scatter to seeded key-hash partitions on disk —
+    /// build rows as their right-variable bindings (all a probe match
+    /// reads back), probe rows as whole binding rows — then each partition
+    /// pair joins in memory under a fresh gauge, re-partitioning
+    /// recursively when a build partition alone exceeds the budget. Probe
+    /// rows that can never match (absent key, false probe filter) resolve
+    /// during the scatter: dropped, or padded for LEFT joins. Output
+    /// arrives partition by partition — a different order than the
+    /// streaming probe, which a join (a bag producer) never promised.
+    #[allow(clippy::too_many_arguments)]
+    fn grace_hash_join(
+        &self,
+        kind: CoreJoinKind,
+        left: &CoreFrom,
+        right: &CoreFrom,
+        whole: &CoreOp,
+        keys: &[(CoreExpr, CoreExpr)],
+        left_pred: Option<&CoreExpr>,
+        right_pred: Option<&CoreExpr>,
+        residual: Option<&CoreExpr>,
+        names: &[Rc<str>],
+        env: &Env,
+    ) -> Result<Vec<Env>, EvalError> {
+        let ctx = self.spill_ctx().expect("grace join requires a spill ctx");
+        self.mark_spilled(whole);
+        let track_bytes = self.track_bytes();
+        let watcher = self.govern.as_watcher();
+        let mut bp = GracePartitioner::new(&ctx, 0)?;
+        drain_batched(
+            self.from_stream(right, whole, env),
+            self.batch_size(),
+            |r| {
+                if let Some(g) = watcher {
+                    g.tick()?;
+                }
+                if let Some(p) = right_pred {
+                    if !matches!(self.expr(p, &r)?, Value::Bool(true)) {
+                        return Ok(());
+                    }
+                }
+                let mut kv = Vec::with_capacity(keys.len());
+                for (_, rk) in keys {
+                    let v = self.expr(rk, &r)?;
+                    if v.is_absent() {
+                        return Ok(());
+                    }
+                    kv.push(v);
+                }
+                let rec = encode_keyed_record(&kv, encode_env(&r, Some(names)));
+                bp.write(&ctx, &kv, &rec)
+            },
+        )?;
+        let mut out: Vec<Env> = Vec::new();
+        let mut lp = GracePartitioner::new(&ctx, 0)?;
+        drain_batched(self.from_stream(left, whole, env), self.batch_size(), |l| {
+            if let Some(g) = watcher {
+                g.tick()?;
+            }
+            match self.left_join_key(keys, left_pred, &l)? {
+                Some(kv) => {
+                    let rec = encode_keyed_record(&kv, encode_env(&l, None));
+                    lp.write(&ctx, &kv, &rec)
+                }
+                None => {
+                    if kind == CoreJoinKind::Left {
+                        out.push(pad_left(&l, names));
+                    }
+                    Ok(())
+                }
+            }
+        })?;
+        let mut work: Vec<(SpillRun, SpillRun, u32)> = bp
+            .finish()?
+            .into_iter()
+            .zip(lp.finish()?)
+            .map(|(b, l)| (b, l, 1))
+            .collect();
+        while let Some((brun, lrun, depth)) = work.pop() {
+            if lrun.records() == 0 {
+                // No probe rows: nothing to emit — LEFT pads also come
+                // from the left side. (The empty-build case still scans,
+                // padding every LEFT probe row.)
+                continue;
+            }
+            match self.load_build_partition(whole, &ctx, brun, track_bytes, depth)? {
+                BuildLoad::Overflow { build_runs } => {
+                    // The probe partition re-scatters under the same seed
+                    // so both sides stay pairwise aligned.
+                    let mut nlp = GracePartitioner::new(&ctx, u64::from(depth))?;
+                    let mut r = lrun.open(&ctx)?;
+                    while let Some(rec) = r.next(&ctx)? {
+                        let (kv, payload) = decode_keyed_record(rec)?;
+                        let rec = encode_keyed_record(&kv, payload);
+                        nlp.write(&ctx, &kv, &rec)?;
+                    }
+                    for (b, l) in build_runs.into_iter().zip(nlp.finish()?) {
+                        work.push((b, l, depth + 1));
+                    }
+                }
+                BuildLoad::Table { rows, table, gauge } => {
+                    if let Some(st) = &self.stats {
+                        st.add_join_build_rows(rows.len() as u64);
+                    }
+                    let mut r = lrun.open(&ctx)?;
+                    while let Some(rec) = r.next(&ctx)? {
+                        let (kv, payload) = decode_keyed_record(rec)?;
+                        let l = decode_env(payload, env)?;
+                        let mut matched = false;
+                        if let Some(bucket) = table.get(&joint_hash(&kv)) {
+                            for &i in bucket {
+                                if let Some(g) = watcher {
+                                    g.tick()?;
+                                }
+                                if let Some(st) = &self.stats {
+                                    st.add_join_probes(1);
+                                }
+                                let (renv, rkv) = &rows[i];
+                                if !kv.iter().zip(rkv).all(|(a, b)| deep_eq(a, b)) {
+                                    continue;
+                                }
+                                let combined = combine_envs(&l, renv, names);
+                                if let Some(p) = residual {
+                                    if !matches!(self.expr(p, &combined)?, Value::Bool(true)) {
+                                        continue;
+                                    }
+                                }
+                                matched = true;
+                                out.push(combined);
+                            }
+                        }
+                        if !matched && kind == CoreJoinKind::Left {
+                            out.push(pad_left(&l, names));
+                        }
+                    }
+                    drop(gauge);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// A probe row's key values, or `None` when the row can never match
+    /// (probe filter false, or any absent key — 3VL equality).
+    fn left_join_key(
+        &self,
+        keys: &[(CoreExpr, CoreExpr)],
+        left_pred: Option<&CoreExpr>,
+        l: &Env,
+    ) -> Result<Option<Vec<Value>>, EvalError> {
+        if let Some(p) = left_pred {
+            if !matches!(self.expr(p, l)?, Value::Bool(true)) {
+                return Ok(None);
+            }
+        }
+        let mut kv = Vec::with_capacity(keys.len());
+        for (lk, _) in keys {
+            let v = self.expr(lk, l)?;
+            if v.is_absent() {
+                return Ok(None);
+            }
+            kv.push(v);
+        }
+        Ok(Some(kv))
+    }
+
+    /// Loads one spilled build partition into a probe-ready hash table, or
+    /// — when it alone exceeds the budget — re-scatters it under the next
+    /// depth's seed and reports the new runs.
+    fn load_build_partition(
+        &self,
+        whole: &CoreOp,
+        ctx: &SpillCtx<'_>,
+        run: SpillRun,
+        track_bytes: bool,
+        depth: u32,
+    ) -> Result<BuildLoad<'_>, EvalError> {
+        let mut reader = run.open(ctx)?;
+        let mut gauge = MatGauge::new(self.stats.as_ref(), self.mem_guard(), Some(whole));
+        let mut rows: Vec<(Env, Vec<Value>)> = Vec::new();
+        let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut tracked = (0u64, 0u64);
+        while let Some(rec) = reader.next(ctx)? {
+            let (kv, payload) = decode_keyed_record(rec)?;
+            let bytes = if track_bytes {
+                kv.iter().map(approx_value_bytes).sum::<u64>() + approx_value_bytes(&payload)
+            } else {
+                0
+            };
+            if let Err(e) = gauge.add_sized(1, bytes) {
+                if !is_memory_refusal(&e) || depth > ctx.config.max_recursion {
+                    return Err(e);
+                }
+                let mut p = GracePartitioner::new(ctx, u64::from(depth))?;
+                for (renv, rkv) in rows.drain(..) {
+                    let rec = encode_keyed_record(&rkv, encode_env(&renv, None));
+                    p.write(ctx, &rkv, &rec)?;
+                }
+                table.clear();
+                gauge.remove(tracked.0, tracked.1);
+                let rec = encode_keyed_record(&kv, payload);
+                p.write(ctx, &kv, &rec)?;
+                while let Some(rec) = reader.next(ctx)? {
+                    let (kv2, payload2) = decode_keyed_record(rec)?;
+                    let rec2 = encode_keyed_record(&kv2, payload2);
+                    p.write(ctx, &kv2, &rec2)?;
+                }
+                return Ok(BuildLoad::Overflow {
+                    build_runs: p.finish()?,
+                });
+            }
+            tracked.0 += 1;
+            tracked.1 += bytes;
+            let renv = decode_env(payload, &Env::new())?;
+            table.entry(joint_hash(&kv)).or_default().push(rows.len());
+            rows.push((renv, kv));
+        }
+        Ok(BuildLoad::Table { rows, table, gauge })
     }
 
     /// How a scan obtains its source: a fully-resolved catalog name scans
@@ -3096,6 +3659,21 @@ struct JoinBuild<'s> {
     gauge: MatGauge<'s>,
 }
 
+/// One spilled build partition after [`Evaluator::load_build_partition`]:
+/// either a probe-ready table, or the finer-grained runs it re-scattered
+/// into because it did not fit by itself.
+enum BuildLoad<'s> {
+    Table {
+        rows: Vec<(Env, Vec<Value>)>,
+        table: HashMap<u64, Vec<usize>>,
+        #[allow(dead_code)] // held for its Drop (live-row accounting)
+        gauge: MatGauge<'s>,
+    },
+    Overflow {
+        build_runs: Vec<SpillRun>,
+    },
+}
+
 /// Which per-right-row test a [`NestedLoop`] applies.
 enum RowTest<'s> {
     /// The plan's ON condition.
@@ -3441,6 +4019,16 @@ impl<'s, 'a> Stream<Env> for HashProbe<'s, 'a> {
 /// Extends a left-row environment with the right side's variables from a
 /// matched build row — the same bindings, in the same order, that
 /// evaluating the right side under `l` would have produced.
+/// SQL left join: unmatched probe rows pad the right-side variables with
+/// NULL.
+fn pad_left(l: &Env, right_vars: &[std::rc::Rc<str>]) -> Env {
+    let mut padded = l.clone();
+    for name in right_vars {
+        padded = padded.bind(name.clone(), Value::Null);
+    }
+    padded
+}
+
 fn combine_envs(l: &Env, r: &Env, right_vars: &[std::rc::Rc<str>]) -> Env {
     let mut out = l.clone();
     for name in right_vars {
@@ -3456,49 +4044,144 @@ fn combine_envs(l: &Env, r: &Env, right_vars: &[std::rc::Rc<str>]) -> Env {
 /// within the block the total order puts MISSING before NULL, and DESC —
 /// which reverses the whole total order — therefore puts NULL before
 /// MISSING (the block's *placement* stays governed by `nulls_first`).
+/// Delegates to the one shared comparator ([`cmp_sort_keys`]) the external
+/// merge and the top-k heap also use, so all sort paths provably agree.
 fn sort_annotated<T>(rows: &mut [(Vec<Value>, T)], keys: &[CoreSortKey]) {
-    rows.sort_by(|(a, _), (b, _)| {
-        for (i, k) in keys.iter().enumerate() {
-            let (av, bv) = (&a[i], &b[i]);
-            let (aa, ba) = (av.is_absent(), bv.is_absent());
-            let ord = match (aa, ba) {
-                (true, true) => {
-                    let o = total_cmp(av, bv);
-                    if k.desc {
-                        o.reverse()
-                    } else {
-                        o
+    rows.sort_by(|(a, _), (b, _)| cmp_sort_keys(keys, a, b));
+}
+
+/// Estimated in-memory footprint of a binding row: every visible binding's
+/// name and value (the budget unit when a byte-denominated limit is set).
+fn env_bytes(e: &Env) -> u64 {
+    e.visible_bindings()
+        .iter()
+        .map(|(n, v)| 9 + n.len() as u64 + approx_value_bytes(v))
+        .sum::<u64>()
+        + 9
+}
+
+/// Serializes an environment for a spill file: the visible bindings
+/// (innermost first), optionally restricted to `names` — a hash-join build
+/// row only needs the right side's variables. Each binding becomes a
+/// `[name, value]` pair.
+fn encode_env(e: &Env, names: Option<&[Rc<str>]>) -> Value {
+    let pairs: Vec<Value> = match names {
+        Some(names) => names
+            .iter()
+            .filter_map(|n| {
+                e.get(n)
+                    .map(|v| Value::Array(vec![Value::Str(n.to_string()), v.clone()]))
+            })
+            .collect(),
+        None => e
+            .visible_bindings()
+            .into_iter()
+            .map(|(n, v)| Value::Array(vec![Value::Str(n.to_string()), v.clone()]))
+            .collect(),
+    };
+    Value::Array(pairs)
+}
+
+/// Inverse of [`encode_env`]: rebinds the pairs (outermost first, so
+/// innermost bindings shadow as before) onto `base`.
+fn decode_env(v: Value, base: &Env) -> Result<Env, EvalError> {
+    let Value::Array(pairs) = v else {
+        return Err(EvalError::Resource(format!(
+            "spill read failed: malformed binding row {v:?}"
+        )));
+    };
+    let mut env = base.clone();
+    for pair in pairs.into_iter().rev() {
+        match pair {
+            Value::Array(mut nv) if nv.len() == 2 => {
+                let value = nv.pop().expect("len checked");
+                match nv.pop().expect("len checked") {
+                    Value::Str(name) => env = env.bind(name, value),
+                    other => {
+                        return Err(EvalError::Resource(format!(
+                            "spill read failed: malformed binding name {other:?}"
+                        )));
                     }
                 }
-                (true, false) => {
-                    if k.nulls_first {
-                        std::cmp::Ordering::Less
-                    } else {
-                        std::cmp::Ordering::Greater
-                    }
-                }
-                (false, true) => {
-                    if k.nulls_first {
-                        std::cmp::Ordering::Greater
-                    } else {
-                        std::cmp::Ordering::Less
-                    }
-                }
-                (false, false) => {
-                    let o = total_cmp(av, bv);
-                    if k.desc {
-                        o.reverse()
-                    } else {
-                        o
-                    }
-                }
-            };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
+            }
+            other => {
+                return Err(EvalError::Resource(format!(
+                    "spill read failed: malformed binding pair {other:?}"
+                )));
             }
         }
-        std::cmp::Ordering::Equal
-    });
+    }
+    Ok(env)
+}
+
+/// Spill codec for binding rows (ORDER BY over bindings): an [`Env`]
+/// round-trips as its visible bindings, rebuilt over the sort's base
+/// environment.
+struct EnvCodec {
+    base: Env,
+}
+
+impl SpillCodec for EnvCodec {
+    type Row = Env;
+    fn encode(&self, row: &Env) -> Value {
+        encode_env(row, None)
+    }
+    fn decode(&self, v: Value) -> Result<Env, EvalError> {
+        decode_env(v, &self.base)
+    }
+    fn size(&self, row: &Env) -> u64 {
+        env_bytes(row)
+    }
+}
+
+/// Spill codec for output elements (ORDER BY over values): the element is
+/// its own spilled form.
+struct ValueCodec;
+
+impl SpillCodec for ValueCodec {
+    type Row = Value;
+    fn encode(&self, row: &Value) -> Value {
+        row.clone()
+    }
+    fn decode(&self, v: Value) -> Result<Value, EvalError> {
+        Ok(v)
+    }
+    fn size(&self, row: &Value) -> u64 {
+        approx_value_bytes(row)
+    }
+}
+
+/// One resident row of a bounded top-k heap. The heap is a max-heap under
+/// this ordering — sort keys first (via the shared comparator), arrival
+/// order as the tie-break — so the row evicted is always the *greatest*,
+/// and among equal keys the latest arrival, which reproduces the stable
+/// sort's survivors exactly.
+struct HeapEntry<'k, T> {
+    keys: &'k [CoreSortKey],
+    kv: Vec<Value>,
+    seq: u64,
+    bytes: u64,
+    row: T,
+}
+
+impl<T> PartialEq for HeapEntry<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> Eq for HeapEntry<'_, T> {}
+
+impl<T> PartialOrd for HeapEntry<'_, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<'_, T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        cmp_sort_keys(self.keys, &self.kv, &other.kv).then(self.seq.cmp(&other.seq))
+    }
 }
 
 /// A multiset of the right operand for INTERSECT/EXCEPT matching: hash
@@ -3728,7 +4411,7 @@ mod tests {
         );
         let limit = limit.map(CoreExpr::Const);
         let offset = offset.map(CoreExpr::Const);
-        ev.limit_offset(&limit, &offset, &Env::new())
+        ev.limit_offset(limit.as_ref(), offset.as_ref(), &Env::new())
     }
 
     /// Runs `Limited` over an infallible source, collecting the output.

@@ -29,6 +29,7 @@ pub mod govern;
 mod interp;
 mod like;
 pub mod reference;
+pub mod spill;
 pub mod stats;
 mod stream;
 
@@ -37,5 +38,6 @@ pub use error::{EvalError, TypingMode};
 pub use govern::{CancelToken, FaultInjector, FaultSite, Limits, ResourceGovernor};
 pub use interp::{EvalConfig, Evaluator};
 pub use like::like_match;
+pub use spill::SpillConfig;
 pub use stats::{ExecStats, OpStats, StatsCollector};
 pub use stream::DEFAULT_BATCH_SIZE;

@@ -55,6 +55,10 @@ pub struct OpStats {
     pub batches: u64,
     /// Whether this operator's expressions ran as bytecode or tree-walk.
     pub expr_mode: ExprMode,
+    /// Whether this pipeline breaker spilled part of its working set to
+    /// disk (always `false` for streaming operators and for breakers that
+    /// stayed within budget).
+    pub spilled: bool,
 }
 
 /// A finished statistics snapshot: phase wall times plus counters.
@@ -113,6 +117,19 @@ pub struct ExecStats {
     pub mem_budget: Option<u64>,
     /// The wall-clock deadline in effect (milliseconds), if one was set.
     pub time_budget_ms: Option<u64>,
+    /// The byte-denominated memory budget in effect, if one was set.
+    pub mem_bytes_budget: Option<u64>,
+    /// High-water mark of estimated bytes the governor had admitted at
+    /// once (zero when no spill-aware breaker accounted bytes).
+    pub peak_budget_bytes: u64,
+    /// Spill files (Grace partitions + sorted runs) created by this run.
+    pub spill_partitions: u64,
+    /// Total bytes written to spill files by this run.
+    pub spill_bytes_written: u64,
+    /// K-way merge passes performed by external sorts, the final pass
+    /// included — at least 1 whenever a sort spilled, more when the
+    /// run count exceeded the merge fan-in (zero without spilling).
+    pub merge_passes: u64,
     /// Non-empty batches emitted through the batch pull protocol across
     /// all instrumented operators (zero for a fully row-at-a-time run).
     pub batches_produced: u64,
@@ -154,6 +171,9 @@ impl ExecStats {
             ("batches_produced", self.batches_produced),
             ("exprs_compiled", self.exprs_compiled),
             ("exprs_fallback", self.exprs_fallback),
+            ("spill_partitions", self.spill_partitions),
+            ("spill_bytes_written", self.spill_bytes_written),
+            ("merge_passes", self.merge_passes),
         ]
     }
 
@@ -173,7 +193,10 @@ impl ExecStats {
             out.push_str(&format!(" {name}={value}"));
         }
         out.push('\n');
-        if self.mem_budget.is_some() || self.time_budget_ms.is_some() {
+        if self.mem_budget.is_some()
+            || self.time_budget_ms.is_some()
+            || self.mem_bytes_budget.is_some()
+        {
             out.push_str("budget:");
             if let Some(limit) = self.mem_budget {
                 out.push_str(&format!(
@@ -181,8 +204,14 @@ impl ExecStats {
                     self.peak_budget_used, limit, self.budget_denials
                 ));
             }
-            if let Some(ms) = self.time_budget_ms {
+            if let Some(limit) = self.mem_bytes_budget {
                 if self.mem_budget.is_some() {
+                    out.push_str(" |");
+                }
+                out.push_str(&format!(" mem {}/{} bytes", self.peak_budget_bytes, limit));
+            }
+            if let Some(ms) = self.time_budget_ms {
+                if self.mem_budget.is_some() || self.mem_bytes_budget.is_some() {
                     out.push_str(" |");
                 }
                 out.push_str(&format!(
@@ -191,6 +220,12 @@ impl ExecStats {
                 ));
             }
             out.push('\n');
+        }
+        if self.spill_partitions > 0 || self.spill_bytes_written > 0 || self.merge_passes > 0 {
+            out.push_str(&format!(
+                "spill: {} partition(s), {} byte(s) written, {} merge pass(es)\n",
+                self.spill_partitions, self.spill_bytes_written, self.merge_passes
+            ));
         }
         out
     }
@@ -303,6 +338,14 @@ impl StatsCollector {
             (old, m) if old == m => old,
             _ => ExprMode::Mixed,
         };
+    }
+
+    /// Marks an operator as having spilled part of its working set to
+    /// disk (sticky for the run).
+    pub fn record_op_spilled(&self, key: u32) {
+        let mut ops = self.ops.borrow_mut();
+        let e = ops.entry(key).or_default();
+        e.spilled = true;
     }
 
     /// Raises an operator's materialization high-water mark to at least
@@ -475,6 +518,24 @@ mod tests {
         s.cancel_checks = 7;
         let text = s.render_summary();
         assert!(text.contains("| deadline 250ms (checks 7)"), "{text}");
+    }
+
+    #[test]
+    fn spill_line_renders_only_when_spilling_happened() {
+        let mut s = StatsCollector::default().snapshot();
+        assert!(!s.render_summary().contains("spill:"));
+        s.spill_partitions = 4;
+        s.spill_bytes_written = 2048;
+        s.merge_passes = 1;
+        let text = s.render_summary();
+        assert!(
+            text.contains("spill: 4 partition(s), 2048 byte(s) written, 1 merge pass(es)"),
+            "{text}"
+        );
+        s.mem_bytes_budget = Some(4096);
+        s.peak_budget_bytes = 1024;
+        let text = s.render_summary();
+        assert!(text.contains("budget: mem 1024/4096 bytes"), "{text}");
     }
 
     #[test]

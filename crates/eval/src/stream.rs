@@ -331,6 +331,10 @@ pub(crate) struct MatGauge<'s> {
     govern: Option<&'s ResourceGovernor>,
     key: Option<u32>,
     count: u64,
+    /// Estimated bytes admitted through the governor's byte account
+    /// (only maintained when a governor is attached — the byte budget is
+    /// a governor feature, not a stats feature).
+    bytes: u64,
 }
 
 impl<'s> MatGauge<'s> {
@@ -348,6 +352,7 @@ impl<'s> MatGauge<'s> {
             govern,
             key,
             count: 0,
+            bytes: 0,
         }
     }
 
@@ -355,9 +360,23 @@ impl<'s> MatGauge<'s> {
     /// (budget exceeded or injected fault) nothing is counted and the
     /// caller must not buffer the rows.
     pub(crate) fn add(&mut self, n: u64) -> Result<(), EvalError> {
+        self.add_sized(n, 0)
+    }
+
+    /// Like [`MatGauge::add`], also admitting `bytes` estimated bytes
+    /// through the governor's byte-denominated budget. Refusal on either
+    /// account leaves both accounts untouched.
+    pub(crate) fn add_sized(&mut self, n: u64, bytes: u64) -> Result<(), EvalError> {
         if let Some(g) = self.govern {
             g.admit(n)?;
+            if bytes > 0 {
+                if let Err(e) = g.admit_bytes(bytes) {
+                    g.release(n);
+                    return Err(e);
+                }
+            }
             self.count += n;
+            self.bytes += bytes;
         }
         if let Some(st) = self.stats {
             if self.govern.is_none() {
@@ -370,6 +389,25 @@ impl<'s> MatGauge<'s> {
         }
         Ok(())
     }
+
+    /// Releases `n` rows (and `bytes` estimated bytes) from the live
+    /// accounts *before* the gauge is dropped — the spill hook: a breaker
+    /// that writes part of its working set to disk stops holding those
+    /// rows in memory, so the budget sees them leave immediately. The
+    /// recorded peaks are unaffected.
+    pub(crate) fn remove(&mut self, n: u64, bytes: u64) {
+        let n = n.min(self.count);
+        let bytes = bytes.min(self.bytes);
+        if let Some(st) = self.stats {
+            st.buffer_shrink(n);
+        }
+        if let Some(g) = self.govern {
+            g.release(n);
+            g.release_bytes(bytes);
+        }
+        self.count -= n;
+        self.bytes -= bytes;
+    }
 }
 
 impl<'s> Drop for MatGauge<'s> {
@@ -379,6 +417,7 @@ impl<'s> Drop for MatGauge<'s> {
         }
         if let Some(g) = self.govern {
             g.release(self.count);
+            g.release_bytes(self.bytes);
         }
     }
 }

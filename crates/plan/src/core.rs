@@ -89,6 +89,24 @@ pub enum CoreOp {
         /// Rows to skip.
         offset: Option<CoreExpr>,
     },
+    /// ORDER BY + LIMIT fused into a bounded-heap top-k (optimizer-
+    /// produced — lowering never emits it). Yields the first `limit` rows
+    /// of the stable sort order after skipping `offset`, while holding at
+    /// most `limit + offset` rows at once — so it never needs to spill.
+    TopK {
+        /// Upstream operator.
+        input: Box<CoreOp>,
+        /// Sort keys, major first (same scoping as the `Sort`/`SortValues`
+        /// this node was rewritten from — see `on_values`).
+        keys: Vec<CoreSortKey>,
+        /// Maximum rows (evaluated once; non-negative integer).
+        limit: CoreExpr,
+        /// Rows of the sorted prefix to skip.
+        offset: Option<CoreExpr>,
+        /// Sorts output *values* (rewritten from `SortValues`, keys see
+        /// `$out`) rather than bindings (rewritten from `Sort`).
+        on_values: bool,
+    },
     /// `SELECT [DISTINCT] VALUE expr` — Core's only projection (§V-A).
     Project {
         /// Upstream operator (binding stream).
@@ -551,6 +569,7 @@ impl CoreOp {
         let materializes = match self {
             CoreOp::Sort { .. }
             | CoreOp::SortValues { .. }
+            | CoreOp::TopK { .. }
             | CoreOp::Group { .. }
             | CoreOp::Window { .. } => true,
             CoreOp::Project { distinct, .. } => *distinct,
@@ -608,6 +627,22 @@ fn collect_ops<'p>(op: &'p CoreOp, out: &mut Vec<&'p CoreOp>) {
             offset,
         } => {
             for e in [limit, offset].into_iter().flatten() {
+                collect_expr_plans(e, out);
+            }
+            collect_ops(input, out);
+        }
+        CoreOp::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+            ..
+        } => {
+            for k in keys {
+                collect_expr_plans(&k.expr, out);
+            }
+            collect_expr_plans(limit, out);
+            if let Some(e) = offset {
                 collect_expr_plans(e, out);
             }
             collect_ops(input, out);
@@ -799,6 +834,22 @@ fn visit_op_exprs<'p>(op: &'p CoreOp, f: &mut dyn FnMut(&'p CoreOp, &'p CoreExpr
             offset,
         } => {
             for e in [limit, offset].into_iter().flatten() {
+                here(e, f);
+            }
+            visit_op_exprs(input, f);
+        }
+        CoreOp::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+            ..
+        } => {
+            for k in keys {
+                here(&k.expr, f);
+            }
+            here(limit, f);
+            if let Some(e) = offset {
                 here(e, f);
             }
             visit_op_exprs(input, f);
@@ -1053,6 +1104,24 @@ fn explain_op(
             if let Some(l) = limit {
                 out.push_str(&format!(" limit {l}"));
             }
+            if let Some(o) = offset {
+                out.push_str(&format!(" offset {o}"));
+            }
+            out.push('\n');
+            explain_op(input, indent + 1, out, annotate);
+        }
+        CoreOp::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+            on_values,
+        } => {
+            out.push_str(if *on_values { "top-k-values" } else { "top-k" });
+            for k in keys {
+                out.push_str(&format!(" {}{}", k.expr, if k.desc { " desc" } else { "" }));
+            }
+            out.push_str(&format!(" limit {limit}"));
             if let Some(o) = offset {
                 out.push_str(&format!(" offset {o}"));
             }

@@ -89,10 +89,19 @@ fn fold_op(op: CoreOp) -> CoreOp {
             input,
             limit,
             offset,
-        } => CoreOp::LimitOffset {
+        } => fuse_topk(fold_op(*input), limit.map(fold_expr), offset.map(fold_expr)),
+        CoreOp::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+            on_values,
+        } => CoreOp::TopK {
             input: Box::new(fold_op(*input)),
-            limit: limit.map(fold_expr),
+            keys,
+            limit: fold_expr(limit),
             offset: offset.map(fold_expr),
+            on_values,
         },
         CoreOp::Pivot { input, value, name } => CoreOp::Pivot {
             input: Box::new(fold_op(*input)),
@@ -129,6 +138,97 @@ fn fold_op(op: CoreOp) -> CoreOp {
             body: Box::new(fold_op(*body)),
         },
         other @ (CoreOp::Single | CoreOp::From { .. }) => other,
+    }
+}
+
+/// ORDER BY + LIMIT fusion. A LIMIT directly over a sort only ever
+/// observes the first `limit + offset` rows, so the full sort (a
+/// pipeline breaker that materializes — and under memory pressure
+/// spills — its whole input) is replaced by [`CoreOp::TopK`], a
+/// bounded heap that holds at most that many rows and never spills.
+///
+/// Three shapes fuse:
+/// * `limit(sort(..))` — binding-level sort, e.g. inside a lowered
+///   subquery; TopK applies the offset skip itself.
+/// * `limit(sort-values(..))` — value-level sort after a set-op;
+///   likewise.
+/// * `limit(project(sort(..)))` — the common `SELECT … ORDER BY …
+///   LIMIT n` lowering. The projection must still see the rows an
+///   OFFSET later skips (strict-mode errors in them are observable),
+///   so the outer LIMIT/OFFSET stays and only the sort underneath is
+///   bounded to `limit + offset` rows. To keep that bound a plain
+///   constant this shape fuses only for literal limits.
+fn fuse_topk(input: CoreOp, limit: Option<CoreExpr>, offset: Option<CoreExpr>) -> CoreOp {
+    let Some(limit) = limit else {
+        // OFFSET without LIMIT still needs every row: no fusion.
+        return CoreOp::LimitOffset {
+            input: Box::new(input),
+            limit: None,
+            offset,
+        };
+    };
+    match input {
+        CoreOp::Sort { input, keys } => CoreOp::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+            on_values: false,
+        },
+        CoreOp::SortValues { input, keys } => CoreOp::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+            on_values: true,
+        },
+        CoreOp::Project {
+            input: sort,
+            expr,
+            distinct: false,
+        } if matches!(*sort, CoreOp::Sort { .. })
+            && const_nonneg(&limit).is_some()
+            && offset.as_ref().is_none_or(|o| const_nonneg(o).is_some())
+            && const_nonneg(&limit)
+                .unwrap()
+                .checked_add(offset.as_ref().map_or(Some(0), const_nonneg).unwrap())
+                .is_some() =>
+        {
+            let CoreOp::Sort { input, keys } = *sort else {
+                unreachable!()
+            };
+            let bound = const_nonneg(&limit).unwrap()
+                + offset.as_ref().map_or(Some(0), const_nonneg).unwrap();
+            CoreOp::LimitOffset {
+                input: Box::new(CoreOp::Project {
+                    input: Box::new(CoreOp::TopK {
+                        input,
+                        keys,
+                        limit: CoreExpr::Const(Value::Int(bound)),
+                        offset: None,
+                        on_values: false,
+                    }),
+                    expr,
+                    distinct: false,
+                }),
+                limit: Some(limit),
+                offset,
+            }
+        }
+        other => CoreOp::LimitOffset {
+            input: Box::new(other),
+            limit: Some(limit),
+            offset,
+        },
+    }
+}
+
+/// The integer value of a non-negative literal LIMIT/OFFSET operand,
+/// if it is one.
+fn const_nonneg(e: &CoreExpr) -> Option<i64> {
+    match e {
+        CoreExpr::Const(Value::Int(n)) if *n >= 0 => Some(*n),
+        _ => None,
     }
 }
 
@@ -311,6 +411,19 @@ fn extract_joins_op(op: CoreOp) -> CoreOp {
             input: Box::new(extract_joins_op(*input)),
             limit: limit.map(extract_joins_expr),
             offset: offset.map(extract_joins_expr),
+        },
+        CoreOp::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+            on_values,
+        } => CoreOp::TopK {
+            input: Box::new(extract_joins_op(*input)),
+            keys: keys.into_iter().map(extract_joins_sort_key).collect(),
+            limit: extract_joins_expr(limit),
+            offset: offset.map(extract_joins_expr),
+            on_values,
         },
         CoreOp::Pivot { input, value, name } => CoreOp::Pivot {
             input: Box::new(extract_joins_op(*input)),
@@ -873,6 +986,18 @@ fn op_refs(op: &CoreOp, out: &mut HashSet<String>) -> bool {
                 && limit.as_ref().is_none_or(|e| expr_refs(e, out))
                 && offset.as_ref().is_none_or(|e| expr_refs(e, out))
         }
+        CoreOp::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+            ..
+        } => {
+            op_refs(input, out)
+                && keys.iter().all(|k| expr_refs(&k.expr, out))
+                && expr_refs(limit, out)
+                && offset.as_ref().is_none_or(|e| expr_refs(e, out))
+        }
         CoreOp::Project { input, expr, .. } => op_refs(input, out) && expr_refs(expr, out),
         CoreOp::Pivot { input, value, name } => {
             op_refs(input, out) && expr_refs(value, out) && expr_refs(name, out)
@@ -1017,6 +1142,68 @@ mod tests {
         let text = opt("SELECT VALUE [x, y] FROM l AS x, r AS y WHERE kk = y.k");
         assert!(!text.contains("hash join"), "{text}");
         assert!(text.contains("filter"), "{text}");
+    }
+
+    #[test]
+    fn order_by_limit_fuses_to_topk_under_the_projection() {
+        let text = opt("SELECT VALUE x FROM t AS x ORDER BY x.a LIMIT 5");
+        assert!(text.contains("top-k x.a limit 5"), "{text}");
+        assert!(
+            !text.contains("\nsort") && !text.contains(" sort "),
+            "{text}"
+        );
+        // The outer LIMIT survives so projection semantics are unchanged.
+        assert!(text.contains("limit/offset limit 5"), "{text}");
+    }
+
+    #[test]
+    fn offset_widens_the_heap_bound_but_stays_outside() {
+        let text = opt("SELECT VALUE x FROM t AS x ORDER BY x.a DESC LIMIT 5 OFFSET 3");
+        assert!(text.contains("top-k x.a desc limit 8"), "{text}");
+        assert!(text.contains("limit 5 offset 3"), "{text}");
+    }
+
+    #[test]
+    fn set_op_order_by_limit_fuses_to_value_topk() {
+        let text = opt(
+            "(SELECT VALUE x.a FROM t AS x) UNION ALL (SELECT VALUE y.a FROM u AS y) \
+             ORDER BY 1 LIMIT 3",
+        );
+        assert!(text.contains("top-k-values"), "{text}");
+        assert!(text.contains("limit 3"), "{text}");
+        assert!(!text.contains("sort-values"), "{text}");
+    }
+
+    #[test]
+    fn order_by_without_limit_keeps_the_full_sort() {
+        let text = opt("SELECT VALUE x FROM t AS x ORDER BY x.a");
+        assert!(text.contains("sort x.a"), "{text}");
+        assert!(!text.contains("top-k"), "{text}");
+    }
+
+    #[test]
+    fn limit_without_order_by_is_not_fused() {
+        let text = opt("SELECT VALUE x FROM t AS x LIMIT 5");
+        assert!(!text.contains("top-k"), "{text}");
+        assert!(text.contains("limit/offset limit 5"), "{text}");
+    }
+
+    #[test]
+    fn distinct_between_sort_and_limit_blocks_fusion() {
+        // DISTINCT dedups the sorted stream before the limit applies:
+        // a bounded heap under it would return the wrong rows.
+        let text = opt("SELECT DISTINCT x.a FROM t AS x ORDER BY x.a LIMIT 5");
+        assert!(!text.contains("top-k"), "{text}");
+        assert!(text.contains("sort"), "{text}");
+    }
+
+    #[test]
+    fn parameter_limit_over_projection_is_not_fused() {
+        // The heap bound must be a literal when the projection sits in
+        // between; a parameter LIMIT keeps the full sort.
+        let text = opt("SELECT x.a FROM t AS x ORDER BY x.a LIMIT ?");
+        assert!(!text.contains("top-k"), "{text}");
+        assert!(text.contains("sort"), "{text}");
     }
 
     #[test]

@@ -136,6 +136,23 @@ impl Checker<'_> {
                 }
                 env
             }
+            CoreOp::TopK {
+                input,
+                keys,
+                limit,
+                offset,
+                ..
+            } => {
+                let env = self.op(input, env);
+                for k in keys {
+                    self.expr(&k.expr, &env);
+                }
+                self.expr(limit, &env);
+                if let Some(o) = offset {
+                    self.expr(o, &env);
+                }
+                env
+            }
             CoreOp::Project { input, expr, .. } => {
                 let env = self.op(input, env);
                 self.expr(expr, &env);

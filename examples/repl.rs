@@ -15,8 +15,13 @@
 //! * `.mode compat|composable` / `.typing permissive|strict` — the dials;
 //! * `.stats on|off` — print the phase/counter summary after every
 //!   statement, DML included;
-//! * `.limit mem <n>` / `.limit time <ms>` / `.limit off` — per-query
-//!   resource budgets (materialized rows, wall-clock deadline);
+//! * `.limit mem <n>` / `.limit bytes <n>` / `.limit time <ms>` /
+//!   `.limit spill <n>` / `.limit off` — per-query resource budgets
+//!   (materialized rows, tracked buffer bytes, wall-clock deadline,
+//!   spill-file bytes);
+//! * `.spill on|off` — let pipeline breakers overflow the memory budget
+//!   to temp files instead of refusing the query; with `.stats on`,
+//!   spilling queries report partitions/bytes/merge passes;
 //! * `.check <query>` — static analysis only: every syntax error,
 //!   name-resolution failure, and schema-derived type warning in one
 //!   caret-underlined report, nothing evaluated;
@@ -38,7 +43,7 @@
 use std::io::{BufRead, Write};
 use std::time::Duration;
 
-use sqlpp::{CompatMode, Engine, Limits, SessionConfig, TypingMode};
+use sqlpp::{CompatMode, Engine, Limits, SessionConfig, SpillConfig, TypingMode};
 
 fn main() {
     let mut config = SessionConfig::default();
@@ -54,7 +59,7 @@ fn main() {
     .expect("demo data");
 
     println!("sqlpp REPL — try: SELECT VALUE e.name FROM demo.emps AS e");
-    println!("dot-commands: .load .explain .check .names .mode .typing .stats .limit .quit");
+    println!("dot-commands: .load .explain .check .names .mode .typing .stats .limit .spill .quit");
     let stdin = std::io::stdin();
     loop {
         print!("sql++> ");
@@ -99,15 +104,37 @@ fn main() {
                         config.limits = config.limits.clone().with_memory_rows(rows);
                         println!("memory budget: {rows} rows");
                     }
+                    (Some("bytes"), Some(Ok(bytes))) => {
+                        config.limits = config.limits.clone().with_memory_bytes(bytes);
+                        println!("memory budget: {bytes} bytes of tracked buffers");
+                    }
                     (Some("time"), Some(Ok(ms))) => {
                         config.limits = config.limits.clone().with_time(Duration::from_millis(ms));
                         println!("deadline: {ms}ms per query");
+                    }
+                    (Some("spill"), Some(Ok(bytes))) => {
+                        config.limits = config.limits.clone().with_spill_bytes(bytes);
+                        println!("spill budget: {bytes} bytes of temp files per query");
                     }
                     (Some("off"), _) => {
                         config.limits = Limits::none();
                         println!("limits cleared");
                     }
-                    _ => println!("usage: .limit mem <rows> | .limit time <ms> | .limit off"),
+                    _ => println!(
+                        "usage: .limit mem <rows> | .limit bytes <n> | .limit time <ms> \
+                         | .limit spill <n> | .limit off"
+                    ),
+                },
+                Some("spill") => match words.next() {
+                    Some("on") => {
+                        config.spill = Some(SpillConfig::default());
+                        println!("spill: on (pipeline breakers overflow to temp files)");
+                    }
+                    Some("off") => {
+                        config.spill = None;
+                        println!("spill: off (over-budget queries are refused)");
+                    }
+                    _ => println!("usage: .spill on|off"),
                 },
                 Some("check") => {
                     let q = rest.trim_start_matches("check").trim();

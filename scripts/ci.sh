@@ -77,6 +77,31 @@ grep -q '"batches_produced"' "$vectorized_report" || { echo "batches_produced mi
 grep -q '"exprs_compiled"' "$vectorized_report" || { echo "exprs_compiled missing from $vectorized_report" >&2; exit 1; }
 echo "vectorized OK: $vectorized_report"
 
+echo "== out-of-core smoke + bounded-memory gate (B15) =="
+# B15's own asserts ARE the gate: at a byte budget a tenth of the
+# measured working set, ORDER BY / GROUP BY / hash join must complete
+# with answers identical to the in-memory paths while peak tracked
+# bytes stay at or under the budget and the spill counters prove disk
+# was actually used; the fused ORDER BY + LIMIT k heap must hold O(k)
+# rows with zero spill files and not lose to the unfused sort. The
+# greps check the spill counters flow into the JSON report.
+SQLPP_BENCH_DIR="$out_dir" cargo run --release -q -p sqlpp-bench --bin bench_out_of_core -- --quick --name out_of_core
+ooc_report="$out_dir/BENCH_out_of_core.json"
+test -s "$ooc_report" || { echo "missing out-of-core bench report $ooc_report" >&2; exit 1; }
+grep -q '"spill_partitions"' "$ooc_report" || { echo "spill_partitions missing from $ooc_report" >&2; exit 1; }
+grep -q '"spill_bytes_written"' "$ooc_report" || { echo "spill_bytes_written missing from $ooc_report" >&2; exit 1; }
+grep -q '"topk_peak_rows"' "$ooc_report" || { echo "topk_peak_rows missing from $ooc_report" >&2; exit 1; }
+echo "out_of_core OK: $ooc_report"
+
+echo "== out-of-core differential gate =="
+# Spill-on vs spill-off twins: external sort ≡ in-memory sort ≡ a Rust
+# oracle (exact order, both typing modes), Grace join/GROUP BY ≡ their
+# in-memory paths as multisets, top-k ≡ ORDER BY + LIMIT across offsets
+# and edge limits, a budget sweep straddling partition boundaries, no
+# leaked temp files, and bytecode-compiled sort keys.
+cargo test -q --release --test out_of_core
+echo "out-of-core differential OK"
+
 echo "== serving smoke (B16) =="
 # B16's own asserts ARE the gate: an 8-client mixed read/DML workload
 # must complete with zero errors and a fairness floor, the cached
@@ -124,10 +149,11 @@ cargo test -q --release --test diagnostics
 echo "diagnostics goldens OK"
 
 echo "== chaos gate (seeded fault injection) =="
-# 256 fixed-seed fault-injection runs across SELECT and DML: zero
+# 352 fixed-seed fault-injection runs across SELECT, DML, and the
+# out-of-core sites (temp-file create / spill write / spill read): zero
 # panics across the API boundary, byte-identical catalog after every
-# failed DML, engine usable after every failure. Deterministic seeds —
-# a failure here reproduces exactly.
+# failed DML, no leaked temp files, engine usable after every failure.
+# Deterministic seeds — a failure here reproduces exactly.
 cargo test -q --release --test chaos
 echo "chaos OK"
 

@@ -224,6 +224,98 @@ fn governed_batched_scan_checks_at_least_once_and_amortizes() {
     );
 }
 
+/// The engine-side out-of-core site names (ISSUE 9). Stable API:
+/// `govern::tests::fault_site_names_are_stable` pins them.
+const SPILL_SITES: &[&str] = &["spill-write", "spill-read", "temp-file"];
+
+/// Shapes whose pipeline breakers all overflow a ~1 KB byte budget:
+/// external sort, Grace GROUP BY, Grace hash join — plus a top-k that
+/// stays in memory (its seeds exercise the boring no-fire pass).
+const SPILL_SHAPES: &[&str] = &[
+    "SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id",
+    "SELECT b.k AS k, COUNT(*) AS n FROM big AS b GROUP BY b.k",
+    "SELECT a.id AS l, b.id AS r FROM big AS a JOIN big AS b ON a.k = b.k",
+    "SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id LIMIT 5",
+];
+
+fn spill_fixture() -> Engine {
+    let engine = Engine::new();
+    let rows: Vec<String> = (0..64)
+        .map(|i| format!("{{'id': {i}, 'k': {}}}", (i * 29) % 16))
+        .collect();
+    engine
+        .load_pnotation("big", &format!("{{{{ {} }}}}", rows.join(", ")))
+        .unwrap();
+    engine
+}
+
+/// Spill-path chaos (ISSUE 9): inject failures at the three out-of-core
+/// sites — temp-file creation, spill writes, spill reads — under a byte
+/// budget small enough that every pipeline breaker spills. Invariants:
+/// no panic crosses the API, only the injected error surfaces, no temp
+/// file outlives its query (success or failure), and the session keeps
+/// answering — including spilling again — after a mid-spill failure.
+#[test]
+fn chaos_spill_sites_fail_cleanly_and_leak_no_temp_files() {
+    let mut fired = 0u32;
+    for seed in 0..96u64 {
+        let dir =
+            std::env::temp_dir().join(format!("sqlpp-chaos-spill-{}-{seed}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = spill_fixture();
+        let plan = Arc::new(FaultPlan::seeded(seed, SPILL_SITES, 24));
+        let hook = Arc::clone(&plan);
+        let session = engine.with_config(SessionConfig {
+            limits: sqlpp::Limits::none().with_memory_bytes(1_000),
+            spill: Some(sqlpp::SpillConfig {
+                dir: Some(dir.clone()),
+                ..sqlpp::SpillConfig::default()
+            }),
+            fault: Some(FaultInjector::new(move |site| {
+                hook.should_fail(site.name())
+                    .then(|| EvalError::Resource(format!("injected fault at {}", site.name())))
+            })),
+            ..SessionConfig::default()
+        });
+        let shape = SPILL_SHAPES[(seed as usize) % SPILL_SHAPES.len()];
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| session.query(shape)));
+        let result = outcome
+            .unwrap_or_else(|_| panic!("seed {seed}: panic crossed the API boundary on {shape:?}"));
+        match result {
+            Ok(_) => assert!(
+                !plan.fired(),
+                "seed {seed}: fault fired but query succeeded ({shape:?})"
+            ),
+            Err(e) => {
+                assert!(plan.fired(), "seed {seed}: spurious failure: {e}");
+                assert!(
+                    e.to_string().contains("injected fault"),
+                    "seed {seed}: wrong error surfaced: {e}"
+                );
+                fired += 1;
+                // A mid-spill failure must not leave the session broken:
+                // the next query — which spills again — still answers.
+                let r = session
+                    .query("SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id")
+                    .unwrap_or_else(|e| {
+                        panic!("seed {seed}: engine unusable after mid-spill failure: {e}")
+                    });
+                assert_eq!(r.len(), 64, "seed {seed}: follow-up lost rows");
+            }
+        }
+        // Success or failure: every spill temp file has been reclaimed.
+        let leaked: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(
+            leaked.is_empty(),
+            "seed {seed}: {} temp files leaked in {dir:?}",
+            leaked.len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert!(fired >= 24, "only {fired}/96 spill plans fired");
+}
+
 #[test]
 fn fault_free_session_is_unaffected_by_the_hook_machinery() {
     // A plan with k = 0 never fires; every shape must run normally.

@@ -1,0 +1,302 @@
+//! Out-of-core differential suite (ISSUE 9): every spilling pipeline
+//! breaker must agree with its in-memory twin, and the top-k rewrite
+//! must agree with the ORDER BY + LIMIT plan it replaces.
+//!
+//! * external merge-sort ≡ in-memory sort (exact order) ≡ a Rust
+//!   reference oracle, under both typing modes;
+//! * Grace hash join and Grace GROUP BY ≡ their in-memory paths as
+//!   multisets (bags are unordered — a spilled group-by emits in
+//!   partition order, which is legal);
+//! * `ORDER BY … LIMIT` fused to a bounded heap ≡ the unfused plan,
+//!   including OFFSET, `LIMIT 0`, and limits larger than the input —
+//!   and the heap never materializes more than O(k) rows, never spills;
+//! * a byte-budget sweep straddling partition-size boundaries keeps the
+//!   answer identical while peak tracked bytes stay within budget;
+//! * successful spills reclaim every temp file;
+//! * sort and top-k nodes execute their key expressions through the
+//!   compiled bytecode engine (`expr=bytecode` in EXPLAIN ANALYZE).
+
+use sqlpp::{Engine, ExecOutcome, Limits, SessionConfig, SpillConfig, TypingMode};
+
+/// A deterministic scrambled fixture: `n` rows with non-monotonic sort
+/// keys (`k`, n/4 distinct values, four duplicates each — join and
+/// group-by fodder), and a string payload to give each row some byte
+/// weight.
+fn fixture(n: usize) -> Engine {
+    let engine = Engine::new();
+    let rows: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "{{'id': {i}, 'k': {}, 'tag': 'row-{}'}}",
+                (i * 67) % (n / 4),
+                i % 7
+            )
+        })
+        .collect();
+    engine
+        .load_pnotation("big", &format!("{{{{ {} }}}}", rows.join(", ")))
+        .unwrap();
+    engine
+}
+
+fn spill_session(engine: &Engine, budget_bytes: u64) -> Engine {
+    engine.with_config(SessionConfig {
+        limits: Limits::none().with_memory_bytes(budget_bytes),
+        spill: Some(SpillConfig::default()),
+        ..SessionConfig::default()
+    })
+}
+
+const SORT_Q: &str = "SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id";
+
+#[test]
+fn external_sort_matches_in_memory_sort_exactly() {
+    let engine = fixture(500);
+    let baseline = engine.query_with_stats(SORT_Q).unwrap();
+    assert_eq!(
+        baseline.stats().unwrap().spill_partitions,
+        0,
+        "unlimited session must not spill"
+    );
+    let spilled = spill_session(&engine, 2_000)
+        .query_with_stats(SORT_Q)
+        .unwrap();
+    let stats = spilled.stats().unwrap().clone();
+    assert!(stats.spill_partitions > 0, "2 KB budget must force runs");
+    assert!(stats.spill_bytes_written > 0);
+    assert!(
+        stats.peak_budget_bytes <= 2_000,
+        "peak {} exceeded the byte budget",
+        stats.peak_budget_bytes
+    );
+    // Exact order, not just multiset: ORDER BY promises the sequence.
+    assert_eq!(
+        spilled.into_value().to_string(),
+        baseline.into_value().to_string()
+    );
+}
+
+/// The engine (spilling and not) against a plain Rust sort of the same
+/// keys — the §II Pseudocode semantics of ORDER BY, written by hand.
+#[test]
+fn external_sort_agrees_with_the_reference_oracle() {
+    let n = 300usize;
+    let m = (n / 4) as i64;
+    let mut oracle: Vec<(i64, i64)> = (0..n as i64).map(|i| ((i * 67) % m, i)).collect();
+    oracle.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1))); // k DESC, id ASC
+    let expected = format!(
+        "{{{{{}}}}}",
+        oracle
+            .iter()
+            .map(|(_, id)| id.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let q = "SELECT VALUE b.id FROM big AS b ORDER BY b.k DESC, b.id";
+    let engine = fixture(n);
+    for typing in [TypingMode::Permissive, TypingMode::StrictError] {
+        for budget in [None, Some(1_500u64)] {
+            let session = engine.with_config(SessionConfig {
+                typing,
+                limits: budget.map_or_else(Limits::none, |b| Limits::none().with_memory_bytes(b)),
+                spill: budget.map(|_| SpillConfig::default()),
+                ..SessionConfig::default()
+            });
+            let got = session.query(q).unwrap().into_value().to_string();
+            assert_eq!(got, expected, "typing={typing:?} budget={budget:?}");
+        }
+    }
+}
+
+#[test]
+fn top_k_matches_order_by_limit() {
+    let engine = fixture(200);
+    let shapes = [
+        "SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id LIMIT 5",
+        "SELECT VALUE b.id FROM big AS b ORDER BY b.k DESC, b.id LIMIT 5 OFFSET 3",
+        "SELECT VALUE b.id FROM big AS b ORDER BY b.k LIMIT 0",
+        "SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id LIMIT 1000",
+        "SELECT b.id AS id, b.tag AS tag FROM big AS b ORDER BY b.k, b.id LIMIT 7 OFFSET 2",
+    ];
+    for q in shapes {
+        let fused = engine.query(q).unwrap().into_value().to_string();
+        let unfused = engine
+            .with_config(SessionConfig {
+                optimize: false,
+                ..SessionConfig::default()
+            })
+            .query(q)
+            .unwrap()
+            .into_value()
+            .to_string();
+        assert_eq!(fused, unfused, "top-k diverged from ORDER BY + LIMIT: {q}");
+    }
+    // And the rewrite really is in the optimized plan.
+    let plan = engine
+        .explain("SELECT VALUE b.id FROM big AS b ORDER BY b.k LIMIT 5")
+        .unwrap();
+    assert!(
+        plan.contains("top-k"),
+        "no top-k in optimized plan:\n{plan}"
+    );
+}
+
+/// The ISSUE 9 acceptance bound: a top-k over input 10× beyond any
+/// reasonable budget holds O(k) rows, not O(n), and never touches disk.
+#[test]
+fn top_k_never_materializes_its_input() {
+    let n = 2_000;
+    let (k, off) = (10u64, 5u64);
+    let engine = fixture(n);
+    let run = spill_session(&engine, 4_000)
+        .query_with_stats(&format!(
+            "SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id LIMIT {k} OFFSET {off}"
+        ))
+        .unwrap();
+    assert_eq!(run.len(), k as usize);
+    let stats = run.stats().unwrap();
+    assert_eq!(stats.spill_partitions, 0, "a bounded heap must not spill");
+    assert!(
+        stats.peak_budget_used <= 2 * (k + off) + 16,
+        "top-k held {} rows for k+offset = {}",
+        stats.peak_budget_used,
+        k + off
+    );
+}
+
+#[test]
+fn spilled_group_by_and_join_match_in_memory_as_multisets() {
+    let engine = fixture(400);
+    let shapes = [
+        // Grace GROUP BY with aggregates over duplicate-heavy keys.
+        "SELECT b.k AS k, COUNT(*) AS n, SUM(b.id) AS total FROM big AS b GROUP BY b.k",
+        // GROUP AS: whole groups round-trip through the spill codec.
+        "SELECT kk AS kk, (SELECT VALUE x.b.id FROM grp AS x) AS ids \
+         FROM big AS b GROUP BY b.k AS kk GROUP AS grp",
+        // Grace hash join with a residual predicate.
+        "SELECT a.id AS l, b.id AS r FROM big AS a JOIN big AS b \
+         ON a.k = b.k AND a.id < b.id",
+        // LEFT join: unmatched probe rows pad with NULL through the
+        // spilled path too (the smallest id of each key group matches
+        // nothing).
+        "SELECT a.id AS l, b.id AS r FROM big AS a LEFT JOIN big AS b \
+         ON a.k = b.k AND b.id < a.id",
+    ];
+    for q in shapes {
+        let baseline = engine.query(q).unwrap().canonical().to_string();
+        let run = spill_session(&engine, 3_000).query_with_stats(q).unwrap();
+        let spill_partitions = run.stats().unwrap().spill_partitions;
+        assert!(
+            spill_partitions > 0,
+            "3 KB budget did not force a spill: {q}"
+        );
+        assert_eq!(run.canonical().to_string(), baseline, "diverged: {q}");
+    }
+}
+
+/// Sweeping the byte budget across partition-size boundaries: every
+/// budget gives the same answer, and tracked memory never overshoots.
+/// Small budgets recurse (partitions straddle); large ones barely spill.
+#[test]
+fn budget_sweep_straddles_partition_boundaries() {
+    let engine = fixture(256);
+    let sort_expected = engine.query(SORT_Q).unwrap().into_value().to_string();
+    let group_q = "SELECT b.k AS k, COUNT(*) AS n FROM big AS b GROUP BY b.k";
+    let group_expected = engine.query(group_q).unwrap().canonical().to_string();
+    for budget in [600u64, 1_100, 2_300, 4_700, 9_500, 19_000] {
+        let session = spill_session(&engine, budget);
+        let sorted = session.query_with_stats(SORT_Q).unwrap();
+        let stats = sorted.stats().unwrap().clone();
+        assert!(
+            stats.peak_budget_bytes <= budget,
+            "budget {budget}: peak {} overshot",
+            stats.peak_budget_bytes
+        );
+        assert_eq!(
+            sorted.into_value().to_string(),
+            sort_expected,
+            "budget {budget}: sort diverged"
+        );
+        let grouped = session.query(group_q).unwrap();
+        assert_eq!(
+            grouped.canonical().to_string(),
+            group_expected,
+            "budget {budget}: group-by diverged"
+        );
+    }
+}
+
+/// Grace recursion splits skew across *distinct* keys; a single group
+/// bigger than the whole budget is irreducible — hashing the same key
+/// again never separates its rows. That must surface as the honest
+/// budget refusal, not a hang or a silent overshoot.
+#[test]
+fn a_single_group_larger_than_the_budget_is_an_honest_refusal() {
+    let engine = fixture(400);
+    let err = spill_session(&engine, 1_000)
+        .query("SELECT b.tag AS tag, COUNT(*) AS n FROM big AS b GROUP BY b.tag")
+        .expect_err("seven ~57-row groups cannot fit a 1 KB budget");
+    assert!(err.to_string().contains("memory budget"), "{err}");
+}
+
+#[test]
+fn successful_spills_leave_no_temp_files() {
+    let dir = std::env::temp_dir().join(format!("sqlpp-ooc-clean-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let engine = fixture(300);
+    let session = engine.with_config(SessionConfig {
+        limits: Limits::none().with_memory_bytes(2_000),
+        spill: Some(SpillConfig {
+            dir: Some(dir.clone()),
+            ..SpillConfig::default()
+        }),
+        ..SessionConfig::default()
+    });
+    for q in [
+        SORT_Q,
+        "SELECT b.k AS k, COUNT(*) AS n FROM big AS b GROUP BY b.k",
+        "SELECT a.id AS l, b.id AS r FROM big AS a JOIN big AS b ON a.k = b.k",
+    ] {
+        session.query(q).unwrap();
+        let leaked: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(
+            leaked.is_empty(),
+            "{} temp files leaked after {q}",
+            leaked.len()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// PR 8 satellite: sort and top-k keys go through the compiled
+/// expression bytecode, visible per node in EXPLAIN ANALYZE — and a
+/// spilling run tags the breaker that went out-of-core.
+#[test]
+fn sort_and_top_k_nodes_run_compiled_bytecode() {
+    let engine = fixture(200);
+    let analyze = |session: &Engine, q: &str| -> String {
+        match session.execute(&format!("EXPLAIN ANALYZE {q}")).unwrap() {
+            ExecOutcome::Explained { text } => text,
+            other => panic!("expected an analysis, got {other:?}"),
+        }
+    };
+    let text = analyze(
+        &engine,
+        "SELECT VALUE b.id FROM big AS b ORDER BY b.k LIMIT 5",
+    );
+    let topk_line = text
+        .lines()
+        .find(|l| l.contains("top-k"))
+        .unwrap_or_else(|| panic!("no top-k node in:\n{text}"));
+    assert!(topk_line.contains("expr=bytecode"), "{topk_line}");
+
+    let session = spill_session(&engine, 2_000);
+    let text = analyze(&session, SORT_Q);
+    let sort_line = text
+        .lines()
+        .find(|l| l.contains("sort"))
+        .unwrap_or_else(|| panic!("no sort node in:\n{text}"));
+    assert!(sort_line.contains("expr=bytecode"), "{sort_line}");
+    assert!(sort_line.contains("spilled"), "{sort_line}");
+    assert!(text.contains("spill:"), "no spill counter summary:\n{text}");
+}

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use sqlpp::{Engine, Limits, SessionConfig};
+use sqlpp::{Engine, Limits, SessionConfig, SpillConfig};
 use sqlpp_server::{wire::Response, Client, Server, ServerConfig};
 use sqlpp_value::Value;
 
@@ -184,6 +184,82 @@ fn budget_trips_shed_the_request_but_not_the_session() {
     let stats = server.stats();
     assert_eq!(stats.shed_requests, 1);
     assert_eq!(stats.errors, 0, "a budget trip is shedding, not an error");
+    server.shutdown();
+}
+
+/// A session whose byte budget is far too small for the sort still
+/// completes when spilling is enabled — the breaker overflows to temp
+/// files instead of shedding — and the answer is the same one an
+/// unconstrained session gives.
+#[test]
+fn spilling_sessions_complete_over_budget_queries() {
+    let engine = Engine::new();
+    let rows_txt: Vec<String> = (0..200)
+        .map(|i| format!("{{'id': {}, 'k': {}}}", i, (i * 67) % 200))
+        .collect();
+    engine
+        .load_pnotation("big", &format!("{{{{ {} }}}}", rows_txt.join(", ")))
+        .unwrap();
+    let q = "SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id";
+    let expected = engine.query(q).unwrap().into_value().to_string();
+
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            session: SessionConfig {
+                limits: Limits::none().with_memory_bytes(2_000),
+                spill: Some(SpillConfig::default()),
+                ..SessionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(rows(client.query(q).unwrap()).to_string(), expected);
+    assert_eq!(server.stats().shed_requests, 0);
+    server.shutdown();
+}
+
+/// The spill-bytes cap is the session's second line of defense: a query
+/// that would write more temp-file bytes than the session allows sheds
+/// with a structured `Overloaded`, and the connection stays usable.
+#[test]
+fn spill_budget_trips_shed_like_memory_budgets() {
+    let engine = Engine::new();
+    let rows_txt: Vec<String> = (0..200)
+        .map(|i| format!("{{'id': {}, 'k': {}}}", i, (i * 67) % 200))
+        .collect();
+    engine
+        .load_pnotation("big", &format!("{{{{ {} }}}}", rows_txt.join(", ")))
+        .unwrap();
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            session: SessionConfig {
+                limits: Limits::none().with_memory_bytes(2_000).with_spill_bytes(64),
+                spill: Some(SpillConfig::default()),
+                ..SessionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.query("SELECT VALUE b.id FROM big AS b ORDER BY b.k, b.id") {
+        Ok(Response::Overloaded { message }) => {
+            assert!(message.contains("spill budget"), "{message}")
+        }
+        other => panic!("expected spill-budget shed, got {other:?}"),
+    }
+    // Same connection, cheap query: still served.
+    let v = rows(
+        client
+            .query("SELECT VALUE b.id FROM big AS b WHERE b.id = 1")
+            .unwrap(),
+    );
+    assert_eq!(v.to_string(), "{{1}}");
+    assert_eq!(server.stats().errors, 0, "a spill cap trip is shedding");
     server.shutdown();
 }
 
