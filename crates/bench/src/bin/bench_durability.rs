@@ -1,0 +1,3 @@
+fn main() {
+    sqlpp_bench::suites::run_one("durability");
+}

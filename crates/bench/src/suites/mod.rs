@@ -1,4 +1,4 @@
-//! The seventeen benchmark suites, one module per performance claim (see the
+//! The eighteen benchmark suites, one module per performance claim (see the
 //! crate docs for the claim ↔ suite map). Each suite registers its
 //! measurements on a shared [`Harness`]; thin `[[bin]]` wrappers run one
 //! suite each, and `bench_all` runs every suite into one report.
@@ -12,6 +12,7 @@ use sqlpp_testkit::bench::Harness;
 
 pub mod agg_pipeline;
 pub mod compat_mode_overhead;
+pub mod durability;
 pub mod e2e_paper_queries;
 pub mod format_parse;
 pub mod frontend;
@@ -53,6 +54,8 @@ pub fn all() -> Vec<(&'static str, fn(&mut Harness))> {
         // Disk-heavy (spill files, page-cache churn): keep it after the
         // CPU-bound speedup gates so its I/O footprint can't skew them.
         ("out_of_core", out_of_core::run),
+        // fsync-heavy: last of all, for the same reason.
+        ("durability", durability::run),
     ]
 }
 

@@ -208,6 +208,15 @@ impl Catalog {
         self.schema_epoch.load(Ordering::Acquire)
     }
 
+    /// Advances the schema epoch to at least `target` (monotonic — a
+    /// smaller target is a no-op). Durability recovery uses this to
+    /// restore the epoch a snapshot recorded, so epochs never move
+    /// backwards across a restart and cached plans keyed on pre-crash
+    /// epochs can never be mistaken for current.
+    pub fn advance_schema_epoch_to(&self, target: u64) {
+        self.schema_epoch.fetch_max(target, Ordering::Release);
+    }
+
     /// The schema epoch together with the snapshot it stamps, read under
     /// one guard so the pair is consistent: a plan lowered from the
     /// returned snapshot is valid exactly while the catalog's epoch still

@@ -62,12 +62,20 @@ fn open_collection(stmt: &str, name: &str, v: Value) -> Result<ElementsAndKind> 
 
 impl Engine {
     /// The single commit point for all DML: replaces `name`'s binding
-    /// with a fully computed value. Everything fallible must happen
-    /// *before* this call — it is infallible, so a statement either
-    /// reaches it with its complete result or leaves the catalog
-    /// untouched.
-    fn commit_collection(&self, name: &str, value: Value) {
+    /// with a fully computed value. On a durable engine the replacement
+    /// is appended to the write-ahead log *before* the catalog publishes
+    /// it — the only failure this call can produce. A failed append
+    /// leaves the catalog byte-identical to the snapshot the statement
+    /// read (the in-memory publish never happens), so statement
+    /// atomicity holds on both sides of a crash. The caller already
+    /// holds the catalog's `dml_guard` here, which is what lets
+    /// [`Engine::checkpoint`] capture images that match the log exactly.
+    fn commit_collection(&self, name: &str, value: Value) -> Result<()> {
+        if let Some(wal) = self.wal() {
+            wal.append_commit(name, &value)?;
+        }
         self.catalog().set(name, value);
+        Ok(())
     }
 
     pub(crate) fn exec_insert(
@@ -136,7 +144,7 @@ impl Engine {
             // Inserting into an unbound name creates a bag.
             Err(_) => Value::Bag(new_elements),
         };
-        self.commit_collection(&name, updated);
+        self.commit_collection(&name, updated)?;
         Ok((count, stats))
     }
 
@@ -166,7 +174,7 @@ impl Engine {
                 kept.push(item);
             }
         }
-        self.commit_collection(&name, rebuild(kept));
+        self.commit_collection(&name, rebuild(kept))?;
         Ok((deleted, evaluator.stats_snapshot()))
     }
 
@@ -223,7 +231,7 @@ impl Engine {
             updated += 1;
             updated_items.push(element);
         }
-        self.commit_collection(&name, rebuild(updated_items));
+        self.commit_collection(&name, rebuild(updated_items))?;
         Ok((updated, evaluator.stats_snapshot()))
     }
 

@@ -17,6 +17,10 @@ pub enum Error {
     Catalog(sqlpp_catalog::CatalogError),
     /// Schema validation rejected data.
     Schema(String),
+    /// The durability layer failed (WAL append, checkpoint, recovery).
+    /// Boxed: the payload is 64 bytes, and an inline variant would cost
+    /// every `Result<_, Error>` on the query path its niche packing.
+    Durability(Box<sqlpp_durability::DurabilityError>),
     /// Misuse of the API (e.g. executing a CREATE TABLE as a query).
     Usage(String),
 }
@@ -30,6 +34,7 @@ impl fmt::Display for Error {
             Error::Format(e) => write!(f, "{e}"),
             Error::Catalog(e) => write!(f, "{e}"),
             Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Durability(e) => write!(f, "{e}"),
             Error::Usage(m) => write!(f, "usage error: {m}"),
         }
     }
@@ -43,6 +48,7 @@ impl std::error::Error for Error {
             Error::Eval(e) => Some(e),
             Error::Format(e) => Some(e),
             Error::Catalog(e) => Some(e),
+            Error::Durability(e) => Some(e.as_ref()),
             Error::Schema(_) | Error::Usage(_) => None,
         }
     }
@@ -71,6 +77,11 @@ impl From<sqlpp_formats::FormatError> for Error {
 impl From<sqlpp_catalog::CatalogError> for Error {
     fn from(e: sqlpp_catalog::CatalogError) -> Self {
         Error::Catalog(e)
+    }
+}
+impl From<sqlpp_durability::DurabilityError> for Error {
+    fn from(e: sqlpp_durability::DurabilityError) -> Self {
+        Error::Durability(Box::new(e))
     }
 }
 

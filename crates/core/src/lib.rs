@@ -43,6 +43,7 @@
 mod analyze;
 mod dml;
 mod error;
+mod persist;
 mod result;
 
 use std::sync::{Arc, RwLock};
@@ -61,6 +62,9 @@ pub use analyze::{diagnostics_for, render_error_report};
 pub use error::{Error, Result};
 pub use result::QueryResult;
 pub use sqlpp_catalog::Catalog;
+pub use sqlpp_durability::{
+    DurabilityConfig, DurabilityError, DurableStore, Recovered, SyncMode, WalStatus,
+};
 pub use sqlpp_eval::{
     CancelToken, EvalError, ExecStats, FaultInjector, FaultSite, Limits, OpStats, SpillConfig,
     TypingMode,
@@ -100,6 +104,12 @@ pub struct SessionConfig {
     /// spill to temp files (external merge-sort, Grace partitioning)
     /// within the session's [`Limits::spill_bytes`] cap.
     pub spill: Option<SpillConfig>,
+    /// Crash-safe persistence. `None` (the default) keeps the catalog
+    /// purely in memory, exactly as before; `Some` opens a write-ahead
+    /// log + checkpoint directory via [`Engine::open`] — every committed
+    /// DML statement and schema change is logged before it publishes,
+    /// and recovery on the next open replays the catalog back.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for SessionConfig {
@@ -114,6 +124,7 @@ impl Default for SessionConfig {
             batch_size: sqlpp_eval::DEFAULT_BATCH_SIZE,
             compile_exprs: true,
             spill: None,
+            durability: None,
         }
     }
 }
@@ -126,20 +137,31 @@ impl Default for SessionConfig {
 pub struct Engine {
     catalog: Catalog,
     config: SessionConfig,
+    /// The shared write-ahead log, when this engine was opened durable.
+    /// Cloned engines and derived sessions share it with the catalog —
+    /// one log per database, whatever the session topology.
+    wal: Option<Arc<DurableStore>>,
 }
 
 impl Engine {
-    /// A fresh engine with an empty catalog and default configuration.
+    /// A fresh engine with an empty catalog and default configuration
+    /// (in-memory: no durability).
     pub fn new() -> Self {
         Engine::default()
     }
 
     /// Derives a session with different configuration over the *same*
-    /// catalog.
+    /// catalog (and the same write-ahead log, if one is open — the
+    /// `durability` field of `config` is ignored in favor of this
+    /// engine's, since sessions over one catalog must share one log).
     pub fn with_config(&self, config: SessionConfig) -> Engine {
         Engine {
             catalog: self.catalog.clone(),
-            config,
+            wal: self.wal.clone(),
+            config: SessionConfig {
+                durability: self.config.durability.clone(),
+                ..config
+            },
         }
     }
 
@@ -156,6 +178,12 @@ impl Engine {
     // ---------------- data loading ----------------
 
     /// Binds a name to an in-memory value.
+    ///
+    /// Deliberately *not* written to the write-ahead log (it is the one
+    /// infallible loading path, kept infallible): on a durable engine
+    /// the binding lives in memory until the next [`Engine::checkpoint`]
+    /// folds it into a snapshot. Use [`Engine::load_pnotation`] (or any
+    /// fallible loader) for crash-safe registration.
     pub fn register(&self, name: &str, value: Value) {
         self.catalog.set(name, value);
     }
@@ -163,8 +191,7 @@ impl Engine {
     /// Loads a collection from the paper's object notation.
     pub fn load_pnotation(&self, name: &str, text: &str) -> Result<()> {
         let v = sqlpp_formats::pnotation::from_pnotation(text)?;
-        self.catalog.set(name, v);
-        Ok(())
+        self.put_logged(name, v, None)
     }
 
     /// Loads a collection from a JSON document (or JSON Lines stream).
@@ -179,22 +206,19 @@ impl Engine {
         } else {
             sqlpp_formats::json::from_json_lines(text)?
         };
-        self.catalog.set(name, v);
-        Ok(())
+        self.put_logged(name, v, None)
     }
 
     /// Loads a collection from CSV text.
     pub fn load_csv(&self, name: &str, text: &str) -> Result<()> {
         let v = sqlpp_formats::csv::from_csv(text, &CsvOptions::default())?;
-        self.catalog.set(name, v);
-        Ok(())
+        self.put_logged(name, v, None)
     }
 
     /// Loads a collection from ion-lite bytes.
     pub fn load_ion_lite(&self, name: &str, bytes: &[u8]) -> Result<()> {
         let v = sqlpp_formats::ion_lite::from_ion_lite(bytes)?;
-        self.catalog.set(name, v);
-        Ok(())
+        self.put_logged(name, v, None)
     }
 
     /// Registers a value after validating every element against an
@@ -215,11 +239,11 @@ impl Engine {
                 v.message
             )));
         }
-        self.catalog.set(name, value);
-        // Attach the schema: queries over this collection gain §III
-        // schema-based disambiguation of bare identifiers.
-        self.catalog.set_schema(name, element_type.clone());
-        Ok(())
+        // Value + schema publish (and log) as one unit: queries over
+        // this collection gain §III schema-based disambiguation of bare
+        // identifiers, and a recovered catalog can never see one
+        // without the other.
+        self.put_logged(name, value, Some(element_type))
     }
 
     // ---------------- statements and queries ----------------
@@ -247,8 +271,7 @@ impl Engine {
             Statement::CreateTable(ct) => {
                 let ty = sqlpp_schema::hive::table_row_type(&ct);
                 let name = ct.name.join(".");
-                self.catalog.set(name.as_str(), Value::empty_bag());
-                self.catalog.set_schema(name.as_str(), ty.clone());
+                self.put_logged(name.as_str(), Value::empty_bag(), Some(&ty))?;
                 Ok(ExecOutcome::Created { name, row_type: ty })
             }
             Statement::Insert(ins) => Ok(ExecOutcome::Inserted {

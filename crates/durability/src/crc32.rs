@@ -1,0 +1,62 @@
+//! First-party CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) — the
+//! per-frame checksum of the WAL and snapshot formats. The hermetic
+//! build policy (zero crates.io dependencies) means we carry our own;
+//! the table is computed at compile time.
+
+const fn table() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[i] = c;
+        i += 1;
+    }
+    t
+}
+
+static CRC_TABLE: [u32; 256] = table();
+
+/// CRC-32 of `data` (init `0xFFFFFFFF`, final xor `0xFFFFFFFF` — the
+/// zlib/PNG convention, so the values are checkable with standard tools).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"write-ahead log frame");
+        let mut flipped = b"write-ahead log frame".to_vec();
+        for byte in 0..flipped.len() {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

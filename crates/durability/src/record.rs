@@ -1,0 +1,386 @@
+//! The WAL record model and its ion_lite payload encoding.
+//!
+//! One record is one committed catalog mutation, stamped with the
+//! monotonic log sequence number (LSN) assigned at append time. The
+//! payload is an ordinary SQL++ tuple value run through the first-party
+//! `ion_lite` binary codec — the catalog's own data model carries its
+//! own log, no second serialization layer needed (the format-
+//! independence tenet applied to the engine's internals):
+//!
+//! ```text
+//! { 'lsn': <int>, 'op': <string>, 'name': <string>
+//! , 'value': <any>            -- present for commit / commit-schema
+//! , 'schema': <type value>    -- present for schema / commit-schema
+//! }
+//! ```
+//!
+//! Ops: `commit` (full replacement value for a collection — DML is
+//! snapshot-and-replace, so physical full-value logging is exact),
+//! `commit-schema` (CREATE TABLE / schema-validated registration: value
+//! and schema land in *one* record so a statement is one atomic log
+//! entry), `schema` (attach/replace a schema only), and `remove`
+//! (unbind a name). Schemas ride as values through
+//! [`type_to_value`]/[`type_from_value`].
+
+use sqlpp_schema::{Field, SqlppType, TupleType};
+use sqlpp_value::{Tuple, Value};
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The log sequence number (monotonic, starts at 1).
+    pub lsn: u64,
+    /// The operation.
+    pub op: WalOp,
+}
+
+/// The catalog mutation a WAL record carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Replace (or create) `name`'s binding with `value`.
+    Commit {
+        /// The bound name.
+        name: String,
+        /// The full replacement value.
+        value: Value,
+    },
+    /// Replace `name`'s binding *and* attach `schema` — one record, so
+    /// a CREATE TABLE is a single atomic log entry.
+    CommitWithSchema {
+        /// The bound name.
+        name: String,
+        /// The full replacement value.
+        value: Value,
+        /// The attached element schema.
+        schema: SqlppType,
+    },
+    /// Attach (or replace) `name`'s element schema.
+    SetSchema {
+        /// The bound name.
+        name: String,
+        /// The attached element schema.
+        schema: SqlppType,
+    },
+    /// Unbind `name` (and any attached schema).
+    Remove {
+        /// The unbound name.
+        name: String,
+    },
+}
+
+impl WalOp {
+    /// The name this mutation targets.
+    pub fn name(&self) -> &str {
+        match self {
+            WalOp::Commit { name, .. }
+            | WalOp::CommitWithSchema { name, .. }
+            | WalOp::SetSchema { name, .. }
+            | WalOp::Remove { name } => name,
+        }
+    }
+
+    /// Whether replaying this record moves the catalog's schema epoch.
+    pub fn touches_schema(&self) -> bool {
+        matches!(
+            self,
+            WalOp::CommitWithSchema { .. } | WalOp::SetSchema { .. } | WalOp::Remove { .. }
+        )
+    }
+}
+
+/// Encodes a record to its ion_lite payload bytes.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut t = Tuple::with_capacity(5);
+    t.insert("lsn", Value::Int(record.lsn as i64));
+    match &record.op {
+        WalOp::Commit { name, value } => {
+            t.insert("op", Value::Str("commit".into()));
+            t.insert("name", Value::Str(name.clone()));
+            t.insert("value", value.clone());
+        }
+        WalOp::CommitWithSchema {
+            name,
+            value,
+            schema,
+        } => {
+            t.insert("op", Value::Str("commit-schema".into()));
+            t.insert("name", Value::Str(name.clone()));
+            t.insert("value", value.clone());
+            t.insert("schema", type_to_value(schema));
+        }
+        WalOp::SetSchema { name, schema } => {
+            t.insert("op", Value::Str("schema".into()));
+            t.insert("name", Value::Str(name.clone()));
+            t.insert("schema", type_to_value(schema));
+        }
+        WalOp::Remove { name } => {
+            t.insert("op", Value::Str("remove".into()));
+            t.insert("name", Value::Str(name.clone()));
+        }
+    }
+    sqlpp_formats::ion_lite::to_ion_lite(&Value::Tuple(t))
+}
+
+/// Decodes a checksum-valid payload back into a record. Any shape
+/// mismatch here is *corruption*, not a torn write — the checksum
+/// already vouched for the bytes.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
+    let value = sqlpp_formats::ion_lite::from_ion_lite(payload)
+        .map_err(|e| format!("undecodable record payload: {e}"))?;
+    let t = value
+        .as_tuple()
+        .ok_or_else(|| "record payload is not a tuple".to_string())?;
+    let lsn = field_int(t, "lsn")?;
+    let op = field_str(t, "op")?;
+    let name = field_str(t, "name")?.to_string();
+    let op = match op {
+        "commit" => WalOp::Commit {
+            name,
+            value: field_value(t, "value")?,
+        },
+        "commit-schema" => WalOp::CommitWithSchema {
+            name,
+            value: field_value(t, "value")?,
+            schema: field_schema(t)?,
+        },
+        "schema" => WalOp::SetSchema {
+            name,
+            schema: field_schema(t)?,
+        },
+        "remove" => WalOp::Remove { name },
+        other => return Err(format!("unknown record op {other:?}")),
+    };
+    Ok(WalRecord { lsn, op })
+}
+
+fn field_int(t: &Tuple, name: &str) -> Result<u64, String> {
+    match t.get(name) {
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        Some(other) => Err(format!("field {name:?} is {}", other.kind().name())),
+        None => Err(format!("missing field {name:?}")),
+    }
+}
+
+fn field_str<'a>(t: &'a Tuple, name: &str) -> Result<&'a str, String> {
+    match t.get(name) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(other) => Err(format!("field {name:?} is {}", other.kind().name())),
+        None => Err(format!("missing field {name:?}")),
+    }
+}
+
+fn field_value(t: &Tuple, name: &str) -> Result<Value, String> {
+    t.get(name)
+        .cloned()
+        .ok_or_else(|| format!("missing field {name:?}"))
+}
+
+fn field_schema(t: &Tuple) -> Result<SqlppType, String> {
+    type_from_value(&field_value(t, "schema")?)
+}
+
+// ---------------- SqlppType ⇄ Value ----------------
+//
+// Schemas must survive the WAL and snapshots; the structural type enum
+// has no serialization of its own, so it rides as a SQL++ value:
+// `{'k': 'int'}`, `{'k': 'array', 'elem': …}`,
+// `{'k': 'tuple', 'open': bool, 'fields': [{'name','ty','optional'}…]}`,
+// `{'k': 'union', 'alts': […]}`.
+
+/// Encodes a structural type as a SQL++ value.
+pub fn type_to_value(ty: &SqlppType) -> Value {
+    let mut t = Tuple::with_capacity(2);
+    let kind = |k: &str| Value::Str(k.to_string());
+    match ty {
+        SqlppType::Any => t.insert("k", kind("any")),
+        SqlppType::Null => t.insert("k", kind("null")),
+        SqlppType::Missing => t.insert("k", kind("missing")),
+        SqlppType::Bool => t.insert("k", kind("bool")),
+        SqlppType::Int => t.insert("k", kind("int")),
+        SqlppType::Float => t.insert("k", kind("float")),
+        SqlppType::Decimal => t.insert("k", kind("decimal")),
+        SqlppType::Str => t.insert("k", kind("str")),
+        SqlppType::Bytes => t.insert("k", kind("bytes")),
+        SqlppType::Array(elem) => {
+            t.insert("k", kind("array"));
+            t.insert("elem", type_to_value(elem));
+        }
+        SqlppType::Bag(elem) => {
+            t.insert("k", kind("bag"));
+            t.insert("elem", type_to_value(elem));
+        }
+        SqlppType::Tuple(tt) => {
+            t.insert("k", kind("tuple"));
+            t.insert("open", Value::Bool(tt.open));
+            let fields = tt
+                .fields
+                .iter()
+                .map(|f| {
+                    let mut ft = Tuple::with_capacity(3);
+                    ft.insert("name", Value::Str(f.name.clone()));
+                    ft.insert("ty", type_to_value(&f.ty));
+                    ft.insert("optional", Value::Bool(f.optional));
+                    Value::Tuple(ft)
+                })
+                .collect();
+            t.insert("fields", Value::Array(fields));
+        }
+        SqlppType::Union(alts) => {
+            t.insert("k", kind("union"));
+            t.insert(
+                "alts",
+                Value::Array(alts.iter().map(type_to_value).collect()),
+            );
+        }
+    }
+    Value::Tuple(t)
+}
+
+/// Decodes a structural type from its value encoding.
+pub fn type_from_value(v: &Value) -> Result<SqlppType, String> {
+    let t = v
+        .as_tuple()
+        .ok_or_else(|| "type encoding is not a tuple".to_string())?;
+    let kind = field_str(t, "k")?;
+    Ok(match kind {
+        "any" => SqlppType::Any,
+        "null" => SqlppType::Null,
+        "missing" => SqlppType::Missing,
+        "bool" => SqlppType::Bool,
+        "int" => SqlppType::Int,
+        "float" => SqlppType::Float,
+        "decimal" => SqlppType::Decimal,
+        "str" => SqlppType::Str,
+        "bytes" => SqlppType::Bytes,
+        "array" => SqlppType::Array(Box::new(type_from_value(&field_value(t, "elem")?)?)),
+        "bag" => SqlppType::Bag(Box::new(type_from_value(&field_value(t, "elem")?)?)),
+        "tuple" => {
+            let open = match t.get("open") {
+                Some(Value::Bool(b)) => *b,
+                _ => return Err("tuple type missing 'open'".to_string()),
+            };
+            let fields = match t.get("fields") {
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|item| {
+                        let ft = item
+                            .as_tuple()
+                            .ok_or_else(|| "tuple field is not a tuple".to_string())?;
+                        Ok(Field {
+                            name: field_str(ft, "name")?.to_string(),
+                            ty: type_from_value(&field_value(ft, "ty")?)?,
+                            optional: match ft.get("optional") {
+                                Some(Value::Bool(b)) => *b,
+                                _ => return Err("field missing 'optional'".to_string()),
+                            },
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => return Err("tuple type missing 'fields'".to_string()),
+            };
+            SqlppType::Tuple(TupleType { fields, open })
+        }
+        "union" => {
+            let alts = match t.get("alts") {
+                Some(Value::Array(items)) => items.iter().map(type_from_value).collect::<Result<
+                    Vec<_>,
+                    String,
+                >>(
+                )?,
+                _ => return Err("union type missing 'alts'".to_string()),
+            };
+            if alts.is_empty() {
+                return Err("union type with no alternatives".to_string());
+            }
+            SqlppType::Union(alts)
+        }
+        other => return Err(format!("unknown type kind {other:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_value::bag;
+
+    fn rt(op: WalOp) {
+        let rec = WalRecord { lsn: 42, op };
+        let payload = encode_record(&rec);
+        assert_eq!(decode_record(&payload).unwrap(), rec);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        rt(WalOp::Commit {
+            name: "hr.emp".into(),
+            value: bag![1i64, 2i64],
+        });
+        rt(WalOp::CommitWithSchema {
+            name: "t".into(),
+            value: Value::empty_bag(),
+            schema: SqlppType::Tuple(TupleType::closed([
+                ("id", SqlppType::Int),
+                ("name", SqlppType::Str),
+            ])),
+        });
+        rt(WalOp::SetSchema {
+            name: "t".into(),
+            schema: SqlppType::Bag(Box::new(SqlppType::Any)),
+        });
+        rt(WalOp::Remove {
+            name: "gone".into(),
+        });
+    }
+
+    #[test]
+    fn every_type_shape_round_trips() {
+        let shapes = [
+            SqlppType::Any,
+            SqlppType::Null,
+            SqlppType::Missing,
+            SqlppType::Bool,
+            SqlppType::Int,
+            SqlppType::Float,
+            SqlppType::Decimal,
+            SqlppType::Str,
+            SqlppType::Bytes,
+            SqlppType::Array(Box::new(SqlppType::Union(vec![
+                SqlppType::Int,
+                SqlppType::Str,
+            ]))),
+            SqlppType::Bag(Box::new(SqlppType::Tuple(
+                TupleType::closed([("x", SqlppType::Float)]).into_open(),
+            ))),
+        ];
+        for ty in shapes {
+            let back = type_from_value(&type_to_value(&ty)).unwrap();
+            assert_eq!(back, ty);
+        }
+    }
+
+    #[test]
+    fn optional_fields_survive() {
+        let ty = SqlppType::Tuple(TupleType {
+            fields: vec![Field {
+                name: "title".into(),
+                ty: SqlppType::Str,
+                optional: true,
+            }],
+            open: true,
+        });
+        assert_eq!(type_from_value(&type_to_value(&ty)).unwrap(), ty);
+    }
+
+    #[test]
+    fn garbage_payloads_are_structured_errors() {
+        assert!(decode_record(b"not ion").is_err());
+        // A valid value of the wrong shape.
+        let wrong = sqlpp_formats::ion_lite::to_ion_lite(&Value::Int(7));
+        assert!(decode_record(&wrong).is_err());
+        // A tuple missing required fields.
+        let mut t = Tuple::new();
+        t.insert("lsn", Value::Int(1));
+        let partial = sqlpp_formats::ion_lite::to_ion_lite(&Value::Tuple(t));
+        assert!(decode_record(&partial).is_err());
+    }
+}

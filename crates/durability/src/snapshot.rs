@@ -1,0 +1,251 @@
+//! Checkpoint snapshots: the full catalog image in one checksummed
+//! frame.
+//!
+//! A snapshot file is a single frame (same `[len][crc][payload]` layout
+//! as a WAL record) whose payload is one ion_lite tuple:
+//!
+//! ```text
+//! { 'format': 'sqlpp-snapshot', 'version': 1, 'lsn': <int>,
+//!   'epoch': <int>,
+//!   'values':  [ {'name': <str>, 'value': <any>} … ],
+//!   'schemas': [ {'name': <str>, 'ty': <type value>} … ] }
+//! ```
+//!
+//! `lsn` is the last log sequence number the image covers: recovery
+//! loads the image and replays only WAL records with a larger LSN.
+//! Snapshots are written to a `.tmp` sibling, fsynced, and atomically
+//! renamed into place — a crash mid-write leaves only a `.tmp` orphan
+//! (deleted on the next open), never a half-valid snapshot under the
+//! real name.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+use sqlpp_schema::SqlppType;
+use sqlpp_value::{Tuple, Value};
+
+use crate::crc32::crc32;
+use crate::record::{type_from_value, type_to_value};
+use crate::wal::FRAME_HEADER;
+use crate::DurabilityError;
+
+/// The catalog contents a snapshot carries (and recovery restores):
+/// every named value, every schema attachment, and the schema epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatalogImage {
+    /// `(dotted name, value)` bindings, in name order.
+    pub values: Vec<(String, Value)>,
+    /// `(dotted name, element type)` schema attachments, in name order.
+    pub schemas: Vec<(String, SqlppType)>,
+    /// The schema epoch at capture time; restored monotonically so
+    /// epochs never move backwards across a restart.
+    pub schema_epoch: u64,
+}
+
+/// A catalog image stamped with the LSN it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Last LSN whose effects are inside the image (0 = empty log).
+    pub lsn: u64,
+    /// The catalog contents.
+    pub image: CatalogImage,
+}
+
+/// Encodes a snapshot into its single-frame file contents.
+pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut t = Tuple::with_capacity(6);
+    t.insert("format", Value::Str("sqlpp-snapshot".into()));
+    t.insert("version", Value::Int(1));
+    t.insert("lsn", Value::Int(snap.lsn as i64));
+    t.insert("epoch", Value::Int(snap.image.schema_epoch as i64));
+    t.insert(
+        "values",
+        Value::Array(
+            snap.image
+                .values
+                .iter()
+                .map(|(name, value)| {
+                    let mut e = Tuple::with_capacity(2);
+                    e.insert("name", Value::Str(name.clone()));
+                    e.insert("value", value.clone());
+                    Value::Tuple(e)
+                })
+                .collect(),
+        ),
+    );
+    t.insert(
+        "schemas",
+        Value::Array(
+            snap.image
+                .schemas
+                .iter()
+                .map(|(name, ty)| {
+                    let mut e = Tuple::with_capacity(2);
+                    e.insert("name", Value::Str(name.clone()));
+                    e.insert("ty", type_to_value(ty));
+                    Value::Tuple(e)
+                })
+                .collect(),
+        ),
+    );
+    let payload = sqlpp_formats::ion_lite::to_ion_lite(&Value::Tuple(t));
+    crate::wal::frame(&payload)
+}
+
+/// Decodes snapshot file contents. Any defect — bad frame, bad
+/// checksum, wrong format marker, undecodable image — is a `String`
+/// reason the caller wraps into a structured error (or uses to fall
+/// back to an older snapshot).
+pub fn decode_snapshot(data: &[u8]) -> Result<Snapshot, String> {
+    if data.len() < FRAME_HEADER {
+        return Err("snapshot shorter than a frame header".to_string());
+    }
+    let len = u32::from_le_bytes(data[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if FRAME_HEADER + len != data.len() {
+        return Err(format!(
+            "snapshot frame declares {len} payload bytes, file holds {}",
+            data.len() - FRAME_HEADER
+        ));
+    }
+    let payload = &data[FRAME_HEADER..];
+    if crc32(payload) != crc {
+        return Err("snapshot checksum mismatch".to_string());
+    }
+    let value = sqlpp_formats::ion_lite::from_ion_lite(payload)
+        .map_err(|e| format!("undecodable snapshot payload: {e}"))?;
+    let t = value
+        .as_tuple()
+        .ok_or_else(|| "snapshot payload is not a tuple".to_string())?;
+    match t.get("format") {
+        Some(Value::Str(s)) if s == "sqlpp-snapshot" => {}
+        _ => return Err("missing sqlpp-snapshot format marker".to_string()),
+    }
+    match t.get("version") {
+        Some(Value::Int(1)) => {}
+        Some(Value::Int(v)) => return Err(format!("unsupported snapshot version {v}")),
+        _ => return Err("missing snapshot version".to_string()),
+    }
+    let lsn = get_u64(t, "lsn")?;
+    let schema_epoch = get_u64(t, "epoch")?;
+    let mut values = Vec::new();
+    match t.get("values") {
+        Some(Value::Array(items)) => {
+            for item in items {
+                let e = item
+                    .as_tuple()
+                    .ok_or_else(|| "snapshot value entry is not a tuple".to_string())?;
+                values.push((get_str(e, "name")?, get_val(e, "value")?));
+            }
+        }
+        _ => return Err("snapshot missing 'values'".to_string()),
+    }
+    let mut schemas = Vec::new();
+    match t.get("schemas") {
+        Some(Value::Array(items)) => {
+            for item in items {
+                let e = item
+                    .as_tuple()
+                    .ok_or_else(|| "snapshot schema entry is not a tuple".to_string())?;
+                schemas.push((get_str(e, "name")?, type_from_value(&get_val(e, "ty")?)?));
+            }
+        }
+        _ => return Err("snapshot missing 'schemas'".to_string()),
+    }
+    Ok(Snapshot {
+        lsn,
+        image: CatalogImage {
+            values,
+            schemas,
+            schema_epoch,
+        },
+    })
+}
+
+fn get_u64(t: &Tuple, name: &str) -> Result<u64, String> {
+    match t.get(name) {
+        Some(Value::Int(i)) if *i >= 0 => Ok(*i as u64),
+        _ => Err(format!("snapshot field {name:?} missing or malformed")),
+    }
+}
+
+fn get_str(t: &Tuple, name: &str) -> Result<String, String> {
+    match t.get(name) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("snapshot field {name:?} missing or malformed")),
+    }
+}
+
+fn get_val(t: &Tuple, name: &str) -> Result<Value, String> {
+    t.get(name)
+        .cloned()
+        .ok_or_else(|| format!("snapshot field {name:?} missing"))
+}
+
+/// Writes a snapshot to `path` directly (no tmp/rename dance — the
+/// checkpoint path layers that on top; the REPL's `.save` uses this
+/// for one-shot exports). `sync` forces the bytes to disk before
+/// returning.
+pub fn write_snapshot(path: &Path, snap: &Snapshot, sync: bool) -> Result<(), DurabilityError> {
+    let bytes = encode_snapshot(snap);
+    let mut f = File::create(path).map_err(|e| DurabilityError::io("create", path, &e))?;
+    f.write_all(&bytes)
+        .map_err(|e| DurabilityError::io("write", path, &e))?;
+    if sync {
+        f.sync_all()
+            .map_err(|e| DurabilityError::io("fsync", path, &e))?;
+    }
+    Ok(())
+}
+
+/// Reads and validates a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, DurabilityError> {
+    let data = std::fs::read(path).map_err(|e| DurabilityError::io("read", path, &e))?;
+    decode_snapshot(&data).map_err(|message| DurabilityError::Corrupt {
+        path: path.to_path_buf(),
+        offset: 0,
+        message,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlpp_value::bag;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            lsn: 17,
+            image: CatalogImage {
+                values: vec![
+                    ("hr.emp".into(), bag![1i64, 2i64]),
+                    ("t".into(), Value::empty_bag()),
+                ],
+                schemas: vec![("t".into(), SqlppType::Bag(Box::new(SqlppType::Int)))],
+                schema_epoch: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample();
+        assert_eq!(decode_snapshot(&encode_snapshot(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncation_and_flips_are_rejected() {
+        let bytes = encode_snapshot(&sample());
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut flipped = bytes.clone();
+        flipped[bytes.len() / 2] ^= 1;
+        assert!(decode_snapshot(&flipped).is_err());
+        // Trailing garbage after the frame is rejected too.
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(decode_snapshot(&extended).is_err());
+    }
+}

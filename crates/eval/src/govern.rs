@@ -176,17 +176,42 @@ pub enum FaultSite {
     SpillRead,
     /// A spill temp file being created.
     TempFileCreate,
+    /// A record about to be appended to the write-ahead log.
+    WalAppend,
+    /// The write-ahead log about to be fsynced after an append.
+    WalFsync,
+    /// A checkpoint snapshot temp file about to be written.
+    SnapshotWrite,
+    /// A checkpoint snapshot about to be renamed into place.
+    SnapshotRename,
+    /// A snapshot or WAL file about to be read during recovery.
+    RecoveryRead,
 }
 
 impl FaultSite {
     /// All sites, for chaos suites that sweep them.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::BufferAdmission,
         FaultSite::CatalogRead,
         FaultSite::OperatorEval,
         FaultSite::SpillWrite,
         FaultSite::SpillRead,
         FaultSite::TempFileCreate,
+        FaultSite::WalAppend,
+        FaultSite::WalFsync,
+        FaultSite::SnapshotWrite,
+        FaultSite::SnapshotRename,
+        FaultSite::RecoveryRead,
+    ];
+
+    /// The durability-layer subset — the sites the crash-recovery
+    /// harness sweeps.
+    pub const DURABILITY: [FaultSite; 5] = [
+        FaultSite::WalAppend,
+        FaultSite::WalFsync,
+        FaultSite::SnapshotWrite,
+        FaultSite::SnapshotRename,
+        FaultSite::RecoveryRead,
     ];
 
     /// Stable string name (the key `testkit::fault::FaultPlan` uses).
@@ -198,6 +223,11 @@ impl FaultSite {
             FaultSite::SpillWrite => "spill-write",
             FaultSite::SpillRead => "spill-read",
             FaultSite::TempFileCreate => "temp-file",
+            FaultSite::WalAppend => "wal-append",
+            FaultSite::WalFsync => "wal-fsync",
+            FaultSite::SnapshotWrite => "snapshot-write",
+            FaultSite::SnapshotRename => "snapshot-rename",
+            FaultSite::RecoveryRead => "recovery-read",
         }
     }
 }
@@ -674,9 +704,17 @@ mod tests {
                 "operator",
                 "spill-write",
                 "spill-read",
-                "temp-file"
+                "temp-file",
+                "wal-append",
+                "wal-fsync",
+                "snapshot-write",
+                "snapshot-rename",
+                "recovery-read"
             ]
         );
+        for site in FaultSite::DURABILITY {
+            assert!(FaultSite::ALL.contains(&site));
+        }
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub fn from_ion_lite(mut data: &[u8]) -> Result<Value, FormatError> {
     Ok(v)
 }
 
+/// Decodes one ion-lite value from the front of `data` and returns it
+/// with the number of bytes consumed — for framed streams (the WAL,
+/// length-prefixed files) where trailing bytes belong to the *next*
+/// value rather than being garbage. The caller is responsible for
+/// deciding whether a nonzero remainder is legitimate.
+pub fn from_ion_lite_prefix(data: &[u8]) -> Result<(Value, usize), FormatError> {
+    let mut cursor = data;
+    let v = decode(&mut cursor, 0)?;
+    Ok((v, data.len() - cursor.len()))
+}
+
 fn put_varint(buf: &mut Vec<u8>, mut v: u128) {
     loop {
         let byte = (v & 0x7f) as u8;
@@ -99,6 +110,12 @@ fn get_varint(data: &mut &[u8]) -> Result<u128, FormatError> {
             return Err(FormatError::parse("ion-lite", "varint overflow", 0));
         }
         let byte = get_u8(data)?;
+        // The final chunk (shift 126) only has room for 2 of its 7
+        // bits; shifting would silently drop the rest, making two
+        // distinct encodings decode to the same value.
+        if shift + 7 > 128 && (byte & 0x7f) >> (128 - shift) != 0 {
+            return Err(FormatError::parse("ion-lite", "varint overflow", 0));
+        }
         v |= ((byte & 0x7f) as u128) << shift;
         if byte & 0x80 == 0 {
             return Ok(v);

@@ -1,0 +1,127 @@
+//! Decoder robustness fuzzing for the ion-lite binary format.
+//!
+//! Two adversary families, both seeded and deterministic:
+//!
+//! 1. **byte soup** — random byte strings fed straight into the decoder;
+//! 2. **bit-flipped valid encodings** — encode a generated value, flip
+//!    one bit (or splice random bytes), decode.
+//!
+//! The contract under test: `from_ion_lite` returns `Ok` only for
+//! byte-exact canonical encodings, and every rejection is a structured
+//! `FormatError` — never a panic, never an abort. Accepted mutations
+//! must decode to a value that re-encodes canonically (no two distinct
+//! byte strings decode to the same value and both round-trip).
+
+use sqlpp_formats::ion_lite::{from_ion_lite, from_ion_lite_prefix, to_ion_lite};
+use sqlpp_testkit::prop::values::any_value;
+use sqlpp_testkit::prop::Source;
+use sqlpp_testkit::Rng;
+use sqlpp_value::Value;
+
+/// Decode inside `catch_unwind`: a panic is the one outcome the fuzz
+/// families exist to rule out.
+fn decode_no_panic(bytes: &[u8]) -> Option<Value> {
+    let owned = bytes.to_vec();
+    let result = std::panic::catch_unwind(move || from_ion_lite(&owned).ok());
+    match result {
+        Ok(v) => v,
+        Err(_) => panic!("decoder panicked on {} bytes: {:?}", bytes.len(), bytes),
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics() {
+    let mut rng = Rng::new(0xB18_F00D);
+    for case in 0..4096 {
+        let len = (rng.next_u64() % 64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        // Accidental hits must decode to stable, re-encodable values.
+        if let Some(v) = decode_no_panic(&bytes) {
+            let back = from_ion_lite(&to_ion_lite(&v))
+                .unwrap_or_else(|e| panic!("case {case}: accepted value won't round-trip: {e}"));
+            assert!(sqlpp_value::cmp::deep_eq(&back, &v), "case {case}");
+        }
+    }
+}
+
+#[test]
+fn bit_flipped_valid_encodings_error_not_panic() {
+    let gen = any_value();
+    let mut rng = Rng::new(0x1077_F11D);
+    for case in 0..512 {
+        let mut src = Source::random(rng.next_u64());
+        let value = gen.generate(&mut src);
+        let bytes = to_ion_lite(&value);
+        if bytes.is_empty() {
+            continue;
+        }
+        // One single-bit flip per case, position seeded.
+        let mut flipped = bytes.clone();
+        let pos = (rng.next_u64() % bytes.len() as u64) as usize;
+        let bit = 1u8 << (rng.next_u64() % 8);
+        flipped[pos] ^= bit;
+        // A flip may still decode (e.g. inside a string or mantissa, or
+        // producing a non-canonical scale that normalizes on re-encode);
+        // what matters is that whatever is accepted is itself a
+        // well-formed value that round-trips.
+        if let Some(v) = decode_no_panic(&flipped) {
+            let reencoded = to_ion_lite(&v);
+            let back = from_ion_lite(&reencoded)
+                .unwrap_or_else(|e| panic!("case {case}: accepted value won't round-trip: {e}"));
+            assert!(
+                sqlpp_value::cmp::deep_eq(&back, &v),
+                "case {case}: flip at {pos} decoded to an unstable value"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncations_and_extensions_error_not_panic() {
+    let gen = any_value();
+    let mut rng = Rng::new(0x7A11_CAFE);
+    for _ in 0..128 {
+        let mut src = Source::random(rng.next_u64());
+        let bytes = to_ion_lite(&gen.generate(&mut src));
+        // Every proper prefix must be rejected (truncation) without
+        // panicking; the whole buffer must decode.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_no_panic(&bytes[..cut]).is_none(),
+                "cut {cut} accepted"
+            );
+        }
+        assert!(decode_no_panic(&bytes).is_some());
+        // Trailing garbage is rejected by from_ion_lite but accepted by
+        // the prefix decoder, which reports the true boundary.
+        let mut extended = bytes.clone();
+        extended.push(rng.next_u64() as u8);
+        assert!(from_ion_lite(&extended).is_err(), "trailing byte accepted");
+        let (v, used) = from_ion_lite_prefix(&extended).expect("prefix decode");
+        assert_eq!(used, bytes.len());
+        assert_eq!(to_ion_lite(&v), bytes);
+    }
+}
+
+#[test]
+fn oversized_varint_chunks_are_rejected_consistently() {
+    // A 19-byte varint whose final chunk carries bits beyond bit 127.
+    // Before the overflow fix these bits were silently dropped, so two
+    // distinct byte strings decoded to the same length header.
+    // 18 continuation bytes of 0x80 put the final chunk at shift 126;
+    // any final byte > 0x03 overflows u128.
+    let mut bytes = vec![3u8]; // TAG_INT
+    bytes.extend(std::iter::repeat(0x80).take(18));
+    bytes.push(0x04); // bit 128 — out of range
+    assert!(
+        from_ion_lite(&bytes).is_err(),
+        "overflowing varint accepted"
+    );
+
+    // The maximal in-range final chunk still decodes (or fails for a
+    // structured reason other than a panic).
+    let mut max = vec![3u8];
+    max.extend(std::iter::repeat(0xFF).take(18));
+    max.push(0x03);
+    let _ = decode_no_panic(&max);
+}

@@ -1,30 +1,136 @@
 //! A minimal blocking client for the wire protocol — used by tests,
 //! benchmarks, and the README example. One `Client` is one session: a
 //! TCP connection speaking length-prefixed request/response frames.
+//!
+//! Resilience is opt-in: attach a [`RetryPolicy`] and the client retries
+//! `Overloaded` responses (admission shedding, tripped session budgets)
+//! and connect failures with seeded, jittered exponential backoff —
+//! bounded attempts, deterministic under a fixed seed, and *only* for
+//! those two outcomes. Real errors (syntax, plan, eval…) surface
+//! immediately: retrying them would just repeat the failure.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use sqlpp_formats::wire::{
     decode_response, encode_request, read_frame, write_frame, Request, Response,
 };
 use sqlpp_value::Value;
 
+/// Bounded-retry configuration for [`Client`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (so `1` means "never retry";
+    /// `0` is treated as `1`).
+    pub max_attempts: u32,
+    /// Backoff before retry *n* (1-based) is `base_delay * 2^(n-1)`,
+    /// jittered down by up to half. `Duration::ZERO` disables sleeping
+    /// (tests use this to pin attempt counts without wall-clock cost).
+    pub base_delay: Duration,
+    /// Seed for the jitter stream — same seed, same delays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(20),
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before 1-based retry `attempt`, advancing
+    /// the jitter state.
+    fn backoff(&self, attempt: u32, state: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        if exp.is_zero() {
+            return exp;
+        }
+        // xorshift64* — enough randomness to de-synchronize a thundering
+        // herd, zero dependencies.
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        let jitter_ns = (exp.as_nanos() / 2) as u64;
+        exp - Duration::from_nanos(*state % (jitter_ns + 1))
+    }
+}
+
 /// A blocking session over one TCP connection.
 #[derive(Debug)]
 pub struct Client {
+    addr: SocketAddr,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    retry: Option<RetryPolicy>,
+    jitter: u64,
+    retries: u64,
 }
 
 impl Client {
     /// Connects to a running [`crate::Server`].
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        let reader = BufReader::new(stream.try_clone()?);
-        let writer = BufWriter::new(stream);
-        Ok(Client { reader, writer })
+        let (reader, writer) = open_stream(addr)?;
+        Ok(Client {
+            addr,
+            reader,
+            writer,
+            retry: None,
+            jitter: 0,
+            retries: 0,
+        })
+    }
+
+    /// Connects with retry on connect failure, and arms the same policy
+    /// for subsequent queries (see [`Client::with_retry`]).
+    pub fn connect_with_retry(addr: SocketAddr, policy: RetryPolicy) -> io::Result<Client> {
+        let mut jitter = policy.seed | 1; // xorshift state must be nonzero
+        let attempts = policy.max_attempts.max(1);
+        let mut retries = 0u64;
+        let mut last_err = None;
+        for attempt in 1..=attempts {
+            match open_stream(addr) {
+                Ok((reader, writer)) => {
+                    return Ok(Client {
+                        addr,
+                        reader,
+                        writer,
+                        retry: Some(policy),
+                        jitter,
+                        retries,
+                    });
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt < attempts {
+                        retries += 1;
+                        std::thread::sleep(policy.backoff(attempt, &mut jitter));
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    /// Arms bounded retry for queries on this session: `Overloaded`
+    /// responses and dropped connections after shedding are retried up
+    /// to the policy's budget with jittered backoff. Off by default.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.jitter = policy.seed | 1;
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Retries performed over this client's lifetime (connect + query).
+    /// Tests pin exact attempt counts through this.
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Sends one statement and waits for its response.
@@ -33,7 +139,46 @@ impl Client {
     }
 
     /// Sends one query with positional parameters (`$1`, `$2`, …).
+    ///
+    /// With a [`RetryPolicy`] armed, `Overloaded` responses and
+    /// connection drops (the server sheds queue-overflow connections by
+    /// answering `Overloaded` and closing) are retried; every other
+    /// response — including error responses — returns immediately.
     pub fn query_with_params(&mut self, src: &str, params: Vec<Value>) -> io::Result<Response> {
+        let Some(policy) = self.retry.clone() else {
+            return self.send_once(src, params);
+        };
+        let attempts = policy.max_attempts.max(1);
+        let mut last: Option<io::Result<Response>> = None;
+        for attempt in 1..=attempts {
+            let result = self.send_once(src, params.clone());
+            let retryable = match &result {
+                Ok(Response::Overloaded { .. }) => true,
+                // A shed connection surfaces as a broken stream on the
+                // *next* request; reconnecting gets a fresh admission
+                // decision. Anything else io-ish is equally worth one
+                // more try against a live server.
+                Err(_) => true,
+                Ok(_) => false,
+            };
+            if !retryable || attempt == attempts {
+                return result;
+            }
+            last = Some(result);
+            self.retries += 1;
+            std::thread::sleep(policy.backoff(attempt, &mut self.jitter));
+            // Reconnect so a server that closed this session (or one
+            // that restarted) serves the retry; keep the old stream on
+            // failure so the caller sees the connect error next round.
+            if let Ok((reader, writer)) = open_stream(self.addr) {
+                self.reader = reader;
+                self.writer = writer;
+            }
+        }
+        last.expect("loop ran at least once")
+    }
+
+    fn send_once(&mut self, src: &str, params: Vec<Value>) -> io::Result<Response> {
         let req = Request {
             query: src.to_string(),
             params,
@@ -48,4 +193,12 @@ impl Client {
         decode_response(&payload)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
+}
+
+fn open_stream(addr: SocketAddr) -> io::Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer = BufWriter::new(stream);
+    Ok((reader, writer))
 }

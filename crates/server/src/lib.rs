@@ -60,7 +60,7 @@ use sqlpp_formats::wire::{
 use sqlpp_value::{Tuple, Value};
 
 pub use cache::{CacheStats, PlanCache};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use sqlpp_formats::wire;
 
 /// Server tuning knobs.
@@ -212,6 +212,9 @@ pub struct Server {
     registry: Arc<ConnRegistry>,
     cache: Arc<PlanCache>,
     counters: Arc<Counters>,
+    /// A handle onto the served engine (shared catalog + WAL), kept so
+    /// graceful shutdown can checkpoint after the workers drain.
+    engine: Engine,
 }
 
 impl Server {
@@ -298,6 +301,7 @@ impl Server {
             registry,
             cache,
             counters,
+            engine: session_engine,
         })
     }
 
@@ -343,6 +347,11 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Graceful shutdown on a durable engine ends with a checkpoint:
+        // every worker has drained, so the image is the final state and
+        // the next open replays nothing. Best-effort — a failed
+        // checkpoint just leaves the WAL for recovery to replay.
+        let _ = self.engine.checkpoint();
     }
 }
 
@@ -489,6 +498,7 @@ fn error_response(src: &str, err: &Error) -> Response {
                 Error::Format(_) => "format",
                 Error::Catalog(_) => "catalog",
                 Error::Schema(_) => "schema",
+                Error::Durability(_) => "durability",
                 Error::Usage(_) => "usage",
             };
             let diagnostics = sqlpp::diagnostics_for(src, err)

@@ -1,0 +1,134 @@
+//! Pinned behavior of the client's bounded retry: exact attempt counts
+//! against a scripted stub server, immediate surfacing of non-retryable
+//! errors, and connect-retry.
+//!
+//! The stub speaks just enough of the wire protocol to script responses
+//! deterministically — a real `Server` sheds under load, but *when* it
+//! sheds depends on thread scheduling; these tests need exact counts.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sqlpp_formats::wire::{encode_response, read_frame, write_frame, Response};
+use sqlpp_server::{Client, RetryPolicy};
+
+/// Starts a stub that answers every request on every connection with
+/// `response`, counting requests served. Returns (addr, counter).
+fn scripted_server(response: Response) -> (SocketAddr, Arc<AtomicU64>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let served = Arc::new(AtomicU64::new(0));
+    let count = Arc::clone(&served);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = BufWriter::new(stream);
+            while let Ok(Some(_req)) = read_frame(&mut reader) {
+                count.fetch_add(1, Ordering::SeqCst);
+                if write_frame(&mut writer, &encode_response(&response)).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, served)
+}
+
+/// Zero-delay policy: attempt counts without wall-clock cost.
+fn fast_policy(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_delay: Duration::ZERO,
+        seed: 42,
+    }
+}
+
+#[test]
+fn overloaded_is_retried_exactly_to_the_attempt_budget() {
+    let (addr, served) = scripted_server(Response::Overloaded {
+        message: "scripted shed".into(),
+    });
+    let mut client = Client::connect(addr)
+        .expect("connect")
+        .with_retry(fast_policy(4));
+    let resp = client.query("SELECT VALUE 1").expect("wire ok");
+    assert!(matches!(resp, Response::Overloaded { .. }));
+    assert_eq!(served.load(Ordering::SeqCst), 4, "4 attempts on the wire");
+    assert_eq!(client.retries(), 3, "3 retries after the first attempt");
+}
+
+#[test]
+fn error_responses_surface_immediately() {
+    let (addr, served) = scripted_server(Response::Error {
+        code: "syntax".into(),
+        message: "scripted error".into(),
+        diagnostics: Vec::new(),
+    });
+    let mut client = Client::connect(addr)
+        .expect("connect")
+        .with_retry(fast_policy(5));
+    let resp = client.query("SELECT bogus!").expect("wire ok");
+    match resp {
+        Response::Error { code, .. } => assert_eq!(code, "syntax"),
+        other => panic!("expected error response, got {other:?}"),
+    }
+    assert_eq!(served.load(Ordering::SeqCst), 1, "no retry on real errors");
+    assert_eq!(client.retries(), 0);
+}
+
+#[test]
+fn without_a_policy_overloaded_is_returned_as_is() {
+    let (addr, served) = scripted_server(Response::Overloaded {
+        message: "scripted shed".into(),
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.query("SELECT VALUE 1").expect("wire ok");
+    assert!(matches!(resp, Response::Overloaded { .. }));
+    assert_eq!(served.load(Ordering::SeqCst), 1);
+    assert_eq!(client.retries(), 0);
+}
+
+#[test]
+fn connect_retry_succeeds_against_a_live_server_without_spending_retries() {
+    let (addr, _served) = scripted_server(Response::Rows(sqlpp_value::Value::empty_bag()));
+    let client = Client::connect_with_retry(addr, fast_policy(3)).expect("connect");
+    assert_eq!(client.retries(), 0);
+}
+
+#[test]
+fn connect_retry_exhausts_against_a_dead_address() {
+    // Bind then drop: the port is (momentarily) guaranteed refused.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let err = Client::connect_with_retry(addr, fast_policy(3));
+    assert!(err.is_err(), "no server, connect must fail after retries");
+}
+
+#[test]
+fn backoff_is_deterministic_under_a_seed() {
+    // Same seed → same jitter stream → same delays; different seed →
+    // (almost surely) different. Pinned indirectly through the policy's
+    // public behavior: two clients with the same policy retry the same
+    // number of times against the same script.
+    let (addr, served) = scripted_server(Response::Overloaded {
+        message: "scripted shed".into(),
+    });
+    for _ in 0..2 {
+        let mut client = Client::connect(addr)
+            .expect("connect")
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_micros(50),
+                seed: 7,
+            });
+        let _ = client.query("SELECT VALUE 1").expect("wire ok");
+        assert_eq!(client.retries(), 1);
+    }
+    assert_eq!(served.load(Ordering::SeqCst), 4);
+}

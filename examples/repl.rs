@@ -25,6 +25,12 @@
 //! * `.check <query>` — static analysis only: every syntax error,
 //!   name-resolution failure, and schema-derived type warning in one
 //!   caret-underlined report, nothing evaluated;
+//! * `.save <path>` / `.open <path>` — export the whole catalog as a
+//!   checksummed snapshot file, or import one (values *and* attached
+//!   schemas survive the round trip);
+//! * `.wal status` — durability counters when the REPL was started on a
+//!   durable engine (`SQLPP_DATA_DIR=<dir> cargo run --example repl`
+//!   opens a write-ahead-logged catalog that survives restarts);
 //! * `.quit`.
 //!
 //! Broken input gets a multi-error report rather than just the first
@@ -48,18 +54,40 @@ use sqlpp::{CompatMode, Engine, Limits, SessionConfig, SpillConfig, TypingMode};
 fn main() {
     let mut config = SessionConfig::default();
     let mut stats_on = false;
-    let base = Engine::new();
-    // Something to play with out of the box.
-    base.load_pnotation(
-        "demo.emps",
-        "{{ {'name': 'Ann', 'dept': 'eng', 'salary': 100},
-            {'name': 'Bo', 'dept': 'eng', 'salary': 80},
-            {'name': 'Cy', 'dept': 'ops'} }}",
-    )
-    .expect("demo data");
+    // `SQLPP_DATA_DIR=<dir>` starts the shell durable: catalog recovered
+    // from the directory on startup, every commit write-ahead logged.
+    let base = match std::env::var("SQLPP_DATA_DIR") {
+        Ok(dir) => match Engine::open_durable(&dir) {
+            Ok(engine) => {
+                println!(
+                    "durable catalog at {dir} ({} names recovered)",
+                    engine.catalog().names().len()
+                );
+                engine
+            }
+            Err(e) => {
+                eprintln!("cannot open durable catalog at {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => Engine::new(),
+    };
+    if !base.catalog().contains(&sqlpp::Name::parse("demo.emps")) {
+        // Something to play with out of the box.
+        base.load_pnotation(
+            "demo.emps",
+            "{{ {'name': 'Ann', 'dept': 'eng', 'salary': 100},
+                {'name': 'Bo', 'dept': 'eng', 'salary': 80},
+                {'name': 'Cy', 'dept': 'ops'} }}",
+        )
+        .expect("demo data");
+    }
 
     println!("sqlpp REPL — try: SELECT VALUE e.name FROM demo.emps AS e");
-    println!("dot-commands: .load .explain .check .names .mode .typing .stats .limit .spill .quit");
+    println!(
+        "dot-commands: .load .save .open .wal .explain .check .names .mode .typing \
+         .stats .limit .spill .quit"
+    );
     let stdin = std::io::stdin();
     loop {
         print!("sql++> ");
@@ -162,6 +190,53 @@ fn main() {
                         _ => println!("usage: .load <name> <file>"),
                     }
                 }
+                Some("save") => match words.next() {
+                    Some(path) => match engine.save_snapshot(std::path::Path::new(path)) {
+                        Ok(()) => println!("catalog saved to {path}"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("usage: .save <path>"),
+                },
+                Some("open") => match words.next() {
+                    Some(path) => match engine.load_snapshot(std::path::Path::new(path)) {
+                        Ok(n) => println!("imported {n} binding(s) from {path}"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("usage: .open <path>"),
+                },
+                Some("wal") => match words.next() {
+                    Some("status") => match engine.wal_status() {
+                        Some(st) => {
+                            println!(
+                                "wal: {} (sync {})\n  last lsn {} | snapshot lsn {} | \
+                                 {} record(s) since checkpoint | {} wal byte(s)\n  \
+                                 lifetime: {} append(s), {} fsync(s), {} checkpoint(s), \
+                                 {} replayed on open{}",
+                                st.dir.display(),
+                                st.sync,
+                                st.last_lsn,
+                                st.snapshot_lsn
+                                    .map_or_else(|| "-".to_string(), |l| l.to_string()),
+                                st.records_since_checkpoint,
+                                st.wal_bytes,
+                                st.appends,
+                                st.syncs,
+                                st.checkpoints,
+                                st.replayed,
+                                if st.poisoned { " | POISONED" } else { "" },
+                            );
+                        }
+                        None => println!(
+                            "in-memory engine (start with SQLPP_DATA_DIR=<dir> for durability)"
+                        ),
+                    },
+                    Some("checkpoint") => match engine.checkpoint() {
+                        Ok(Some(lsn)) => println!("checkpoint written at lsn {lsn}"),
+                        Ok(None) => println!("in-memory engine: nothing to checkpoint"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    _ => println!("usage: .wal status|checkpoint"),
+                },
                 other => println!("unknown command {other:?}"),
             }
             continue;
@@ -194,6 +269,15 @@ fn main() {
                 // has source attribution; plain one-liner otherwise.
                 Err(e) => print!("{}", sqlpp::render_error_report(line, &e)),
             },
+        }
+    }
+    // Graceful exit on a durable engine: checkpoint so the next start
+    // recovers from a snapshot instead of replaying the whole log.
+    if base.is_durable() {
+        match base.checkpoint() {
+            Ok(Some(lsn)) => println!("checkpointed at lsn {lsn}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("checkpoint failed: {e}"),
         }
     }
 }

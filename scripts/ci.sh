@@ -102,6 +102,32 @@ echo "== out-of-core differential gate =="
 cargo test -q --release --test out_of_core
 echo "out-of-core differential OK"
 
+echo "== durability smoke (B18) =="
+# B18's own asserts ARE the correctness side of the gate: snapshot
+# recovery must replay zero records, WAL replay must reproduce every
+# row of every shard, and checkpoints must leave a parseable snapshot.
+# Timings (per-commit WAL overhead at each sync mode, checkpoint write,
+# cold-start recovery) are reported, not gated — fsync latency belongs
+# to the storage stack. The greps check the durability counters flow
+# into the JSON report.
+SQLPP_BENCH_DIR="$out_dir" cargo run --release -q -p sqlpp-bench --bin bench_durability -- --quick --name durability
+durability_report="$out_dir/BENCH_durability.json"
+test -s "$durability_report" || { echo "missing durability bench report $durability_report" >&2; exit 1; }
+grep -q '"wal_bytes_per_commit_always"' "$durability_report" || { echo "wal counters missing from $durability_report" >&2; exit 1; }
+grep -q '"fsyncs_always"' "$durability_report" || { echo "fsync counters missing from $durability_report" >&2; exit 1; }
+echo "durability OK: $durability_report"
+
+echo "== crash-recovery gate =="
+# Deterministic crash-point sweep: the engine is killed at every
+# injectable point in the WAL append / fsync / snapshot write / rename
+# paths during a seeded DML workload, then recovered. Every crash point
+# must recover to exactly the pre- or post-commit state of the
+# interrupted statement, every acknowledged commit must survive, no
+# temp files may leak, and zero panics — plus torn-tail truncation,
+# mid-log corruption reporting, and the WAL prefix-differential.
+cargo test -q --release --test crash_recovery
+echo "crash recovery OK"
+
 echo "== serving smoke (B16) =="
 # B16's own asserts ARE the gate: an 8-client mixed read/DML workload
 # must complete with zero errors and a fairness floor, the cached
